@@ -1,0 +1,98 @@
+"""Experiment A1 — ablations of the design choices DESIGN.md calls out.
+
+Three internal knobs whose value the headline experiments take for
+granted, each isolated here:
+
+- A1a: the FPRAS pool size (our practical stand-in for ACJR's worst-case
+  polynomial bounds) — error must shrink as pools grow;
+- A1b: the reach-accept pruning inside the exact determinized counter —
+  pruning must reduce the explored subset space without changing counts;
+- A1c: WL refinement rounds to stabilization — the paper's message-passing
+  depth — stays far below the trivial |N| bound on real-ish graphs.
+"""
+
+import time
+
+from repro.bench import Experiment
+from repro.core.gnn import wl_node_colors
+from repro.core.gnn.wl import _refine_once  # ablation peeks at internals
+from repro.core.rpq import ApproxPathCounter, parse_regex
+from repro.core.rpq.count import count_words_exact
+from repro.core.rpq.nfa import compile_regex
+from repro.core.rpq.product import build_product
+from repro.datasets import barabasi_albert, generate_contact_graph, random_labeled_graph
+from repro.util.stats import relative_error
+
+AMBIGUOUS = parse_regex("(r + s)*/r/(r + s)*")
+
+
+def test_a1a_pool_size_vs_error(record_experiment):
+    graph = random_labeled_graph(10, 32, rng=8)
+    k = 5
+    product = build_product(graph, compile_regex(AMBIGUOUS))
+    exact = count_words_exact(product, k + 1)
+    assert exact > 0
+    experiment = Experiment(
+        "A1a", "FPRAS pool size vs achieved relative error (k=5, avg of 5 seeds)",
+        headers=["pool size", "trials/state", "mean rel.err"])
+    errors_by_pool = []
+    for pool in (8, 32, 128):
+        errors = []
+        for seed in range(5):
+            counter = ApproxPathCounter(graph, AMBIGUOUS, k, pool_size=pool,
+                                        trials_per_state=pool * 4, rng=seed)
+            errors.append(relative_error(counter.estimate(), exact))
+        mean_error = sum(errors) / len(errors)
+        errors_by_pool.append(mean_error)
+        experiment.add_row(pool, pool * 4, round(mean_error, 4))
+    record_experiment(experiment)
+    assert errors_by_pool[-1] < errors_by_pool[0]
+
+
+def test_a1b_pruning_ablation(record_experiment):
+    graph = random_labeled_graph(12, 34, rng=6)
+    regex = parse_regex("(r + s)*/r/s")  # suffix constraint: pruning bites
+    product = build_product(graph, compile_regex(regex))
+    experiment = Experiment(
+        "A1b", "exact counting with and without reach-accept pruning",
+        headers=["k", "count", "pruned s", "unpruned s"])
+    for k in (4, 6, 8):
+        start = time.perf_counter()
+        pruned = count_words_exact(product, k + 1, prune=True)
+        pruned_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        unpruned = count_words_exact(product, k + 1, prune=False)
+        unpruned_seconds = time.perf_counter() - start
+        assert pruned == unpruned  # the ablation must not change the answer
+        experiment.add_row(k, pruned, round(pruned_seconds, 4),
+                           round(unpruned_seconds, 4))
+    record_experiment(experiment)
+
+
+def test_a1c_wl_rounds_to_stability(record_experiment):
+    experiment = Experiment(
+        "A1c", "WL rounds to stable coloring (bound is |N|)",
+        headers=["graph", "nodes", "rounds", "classes"])
+    cases = {
+        "contact world": generate_contact_graph(60, 5, 20, 2, rng=3),
+        "barabasi-albert": barabasi_albert(80, 2, rng=4),
+        "random labeled": random_labeled_graph(60, 180, rng=5),
+    }
+    for name, graph in cases.items():
+        colors = {node: 0 for node in graph.nodes()}
+        label_of = getattr(graph, "node_label", None)
+        if label_of is not None:
+            palette = {value: i for i, value in enumerate(
+                sorted({label_of(n) for n in graph.nodes()}, key=str))}
+            colors = {n: palette[label_of(n)] for n in graph.nodes()}
+        rounds = 0
+        while True:
+            colors, changed = _refine_once(graph, colors, True, True)
+            if not changed:
+                break
+            rounds += 1
+        stable = wl_node_colors(graph)
+        classes = len(set(stable.values()))
+        experiment.add_row(name, graph.node_count(), rounds, classes)
+        assert rounds < graph.node_count() / 2
+    record_experiment(experiment)

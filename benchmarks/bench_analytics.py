@@ -1,0 +1,82 @@
+"""Experiment G2 — the graph-analytics battery of Section 4.2.
+
+Two quantitative checks on the "global properties" toolbox the paper
+lists:
+
+- community detection recovers planted stochastic-block-model partitions,
+  degrading as the planted signal (p_in vs p_out) weakens;
+- the Charikar peeling 2-approximation for densest subgraph stays within
+  its guarantee against Goldberg's exact max-flow answer.
+"""
+
+import time
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analytics import charikar_peel, densest_subgraph_exact, label_propagation
+from repro.analytics.densest import subgraph_density_exact
+from repro.bench import Experiment
+from repro.datasets import (
+    partition_accuracy,
+    random_labeled_graph,
+    stochastic_block_model,
+)
+
+
+def test_g2_community_recovery(record_experiment):
+    experiment = Experiment(
+        "G2", "label propagation on planted SBM partitions",
+        headers=["p_in", "p_out", "accuracy", "communities found"])
+    accuracies = []
+    for p_in, p_out in ((0.7, 0.02), (0.5, 0.05), (0.3, 0.15)):
+        graph, blocks = stochastic_block_model([15, 15, 15], p_in, p_out, rng=5)
+        found = label_propagation(graph, rng=2)
+        accuracy = partition_accuracy(found, blocks)
+        accuracies.append(accuracy)
+        experiment.add_row(p_in, p_out, round(accuracy, 3), len(found))
+    record_experiment(experiment)
+    assert accuracies[0] > 0.9          # strong signal: near-perfect recovery
+    assert accuracies[0] >= accuracies[-1]  # degrades as signal weakens
+
+
+def test_g2_densest_subgraph_guarantee(record_experiment):
+    experiment = Experiment(
+        "G2b", "Charikar peel vs Goldberg exact densest subgraph",
+        headers=["seed", "peel density", "exact density", "ratio",
+                 "peel s", "exact s"])
+    for seed in (11, 12, 13, 14):
+        graph = random_labeled_graph(10, 26, rng=seed, allow_parallel=False)
+        start = time.perf_counter()
+        peel_set = charikar_peel(graph)
+        peel_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        exact_set = densest_subgraph_exact(graph)
+        exact_seconds = time.perf_counter() - start
+        peel_density = subgraph_density_exact(graph, peel_set)
+        exact_density = subgraph_density_exact(graph, exact_set)
+        ratio = (float(peel_density / exact_density)
+                 if exact_density > 0 else 1.0)
+        experiment.add_row(seed, float(peel_density), float(exact_density),
+                           round(ratio, 3), round(peel_seconds, 5),
+                           round(exact_seconds, 5))
+        assert exact_density >= peel_density
+        assert Fraction(2) * peel_density >= exact_density  # the 2-approx bound
+    record_experiment(experiment)
+
+
+@pytest.fixture(scope="module")
+def sbm_world():
+    return stochastic_block_model([20, 20], 0.5, 0.03, rng=9)[0]
+
+
+def test_label_propagation_speed(benchmark, sbm_world):
+    result = benchmark(label_propagation, sbm_world, rng=1)
+    assert result
+
+
+def test_densest_exact_speed(benchmark):
+    graph = random_labeled_graph(10, 24, rng=3, allow_parallel=False)
+    result = benchmark(densest_subgraph_exact, graph)
+    assert result

@@ -1,0 +1,87 @@
+"""Experiments B1/B2 — centrality with knowledge (Section 4.2).
+
+B1: classical betweenness vs the regex-constrained bc_r on the paper's bus
+story — the transport pattern must re-rank nodes (people central to the
+label-blind measure become irrelevant; the bus's score reflects transport
+use only, not company ownership).
+
+B2: the randomized approximation of bc_r built from the Section 4.1 tools
+— error shrinks as samples grow.
+"""
+
+import pytest
+
+from repro.bench import Experiment
+from repro.core.centrality import (
+    approximate_regex_betweenness,
+    betweenness_centrality,
+    regex_betweenness,
+)
+from repro.core.rpq import parse_regex
+from repro.datasets import generate_contact_graph
+from repro.models import figure2_labeled
+
+TRANSPORT = "?person/rides/?bus/rides^-/?person"
+
+
+def test_b1_figure2_re_ranking(record_experiment):
+    graph = figure2_labeled()
+    plain = betweenness_centrality(graph, directed=False)
+    constrained = regex_betweenness(graph, parse_regex(TRANSPORT))
+
+    experiment = Experiment(
+        "B1", "bc vs bc_r on Figure 2 (transport pattern)",
+        headers=["node", "label", "bc", "bc_r"])
+    for node in sorted(graph.nodes()):
+        experiment.add_row(node, graph.node_label(node),
+                           round(plain[node], 2), round(constrained[node], 2))
+    record_experiment(experiment)
+
+    assert constrained["n3"] == max(constrained.values())
+    assert plain["n1"] > 0 and constrained["n1"] == 0.0
+    assert constrained["n6"] == 0.0  # the owning company plays no role
+
+
+def test_b1_contact_world(record_experiment):
+    graph = generate_contact_graph(18, 3, 6, 2, rng=21, infection_rate=0.2)
+    plain = betweenness_centrality(graph, directed=False)
+    buses = [n for n in graph.nodes() if graph.node_label(n) == "bus"]
+    constrained = regex_betweenness(graph, parse_regex(TRANSPORT),
+                                    candidates=buses)
+    experiment = Experiment(
+        "B1b", "bus centrality in an 18-person world",
+        headers=["bus", "bc (label-blind)", "bc_r (transport)"])
+    for bus in buses:
+        experiment.add_row(bus, round(plain[bus], 2), round(constrained[bus], 2))
+    record_experiment(experiment)
+    assert any(value > 0 for value in constrained.values())
+
+
+@pytest.mark.parametrize("samples", [10, 50, 200])
+def test_b2_approximation_error_shrinks(samples, record_experiment):
+    graph = generate_contact_graph(14, 2, 5, 1, rng=31, infection_rate=0.2)
+    regex = parse_regex(TRANSPORT)
+    exact = regex_betweenness(graph, regex)
+    estimate = approximate_regex_betweenness(graph, regex,
+                                             samples_per_pair=samples, rng=5)
+    worst = max(abs(estimate[n] - exact[n]) for n in graph.nodes())
+    experiment = Experiment(
+        f"B2-{samples}", f"bc_r sampling error at {samples} samples/pair",
+        headers=["samples per pair", "max abs error"])
+    experiment.add_row(samples, round(worst, 4))
+    record_experiment(experiment)
+    total = sum(exact.values()) or 1.0
+    assert worst <= max(0.05, total)  # sanity band; tightness shown in table
+
+
+def test_bc_r_speed(benchmark):
+    graph = figure2_labeled()
+    regex = parse_regex(TRANSPORT)
+    result = benchmark(regex_betweenness, graph, regex)
+    assert result["n3"] == 4.0
+
+
+def test_brandes_speed(benchmark):
+    graph = generate_contact_graph(60, 4, 20, 2, rng=2)
+    result = benchmark(betweenness_centrality, graph)
+    assert len(result) == graph.node_count()

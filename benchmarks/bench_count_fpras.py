@@ -1,0 +1,86 @@
+"""Experiment C1 — Count is hard exactly, easy approximately (Section 4.1).
+
+The paper's claim: Count(G, r, k) is SpanL-complete, yet a randomized
+algorithm approximates it within relative error epsilon in polynomial
+time.  This experiment runs both on an ambiguous product (where the exact
+algorithm's determinization does real work) and reports count, estimate,
+relative error and wall-clock for each k; the FPRAS must stay within
+epsilon while exact time grows much faster with k.
+"""
+
+import time
+
+import pytest
+
+from repro.bench import Experiment
+from repro.core.rpq import ApproxPathCounter, count_paths_exact, parse_regex
+from repro.datasets import random_labeled_graph
+from repro.util.stats import relative_error
+
+AMBIGUOUS = "(r + s)*/r/(r + s)*"
+EPSILON = 0.1
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return random_labeled_graph(12, 40, rng=42)
+
+
+def test_fpras_accuracy_sweep(graph, record_experiment):
+    regex = parse_regex(AMBIGUOUS)
+    experiment = Experiment(
+        "C1", f"Count vs FPRAS (epsilon={EPSILON}) on an ambiguous RPQ",
+        headers=["k", "exact", "estimate", "rel.err", "exact s", "fpras s"])
+    exact_times = []
+    for k in (2, 4, 6, 8):
+        start = time.perf_counter()
+        exact = count_paths_exact(graph, regex, k)
+        exact_seconds = time.perf_counter() - start
+        exact_times.append(exact_seconds)
+
+        start = time.perf_counter()
+        counter = ApproxPathCounter(graph, regex, k, epsilon=EPSILON, rng=7)
+        estimate = counter.estimate()
+        fpras_seconds = time.perf_counter() - start
+
+        error = relative_error(estimate, exact)
+        experiment.add_row(k, exact, round(estimate, 1), round(error, 4),
+                           round(exact_seconds, 4), round(fpras_seconds, 4))
+        assert error <= EPSILON, f"k={k}: error {error} above epsilon"
+    record_experiment(experiment)
+    # Exact cost must grow with k (the determinization pays for exactness).
+    assert exact_times[-1] > exact_times[0]
+
+
+def test_epsilon_controls_error(graph, record_experiment):
+    regex = parse_regex(AMBIGUOUS)
+    k = 5
+    exact = count_paths_exact(graph, regex, k)
+    experiment = Experiment(
+        "C1b", "achieved relative error as epsilon shrinks (k=5)",
+        headers=["epsilon", "estimate", "rel.err"])
+    errors = []
+    for epsilon in (0.4, 0.2, 0.1):
+        counter = ApproxPathCounter(graph, regex, k, epsilon=epsilon, rng=11)
+        estimate = counter.estimate()
+        error = relative_error(estimate, exact)
+        errors.append(error)
+        experiment.add_row(epsilon, round(estimate, 1), round(error, 4))
+        assert error <= epsilon
+    record_experiment(experiment)
+
+
+def test_exact_count_speed(benchmark, graph):
+    regex = parse_regex(AMBIGUOUS)
+    result = benchmark(count_paths_exact, graph, regex, 5)
+    assert result > 0
+
+
+def test_fpras_speed(benchmark, graph):
+    regex = parse_regex(AMBIGUOUS)
+
+    def build_and_estimate():
+        return ApproxPathCounter(graph, regex, 5, epsilon=0.2, rng=3).estimate()
+
+    result = benchmark(build_and_estimate)
+    assert result > 0

@@ -1,0 +1,57 @@
+"""Experiment F1 — Figure 1: DBLP keyword series 2010-2020.
+
+Regenerates the per-keyword per-year publication counts from the synthetic
+calibrated corpus (the pipeline is the paper's; only the raw corpus is
+synthetic — see DESIGN.md) and checks the figure's qualitative story:
+knowledge graphs take off after 2013 and dominate by 2020, RDF/SPARQL stay
+stable, graph database stays small, property graph stays negligible, and
+the KG/RDF overlap falls from 70% (2015) to 14% (2020).
+"""
+
+import pytest
+
+from repro.bench import Experiment
+from repro.bibliometrics import keyword_series, kg_overlap_ratio
+from repro.datasets import generate_corpus
+from repro.datasets.dblp import KEYWORDS, YEARS
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_corpus(rng=0)
+
+
+def test_fig1_series_shape(corpus, record_experiment):
+    series = keyword_series(corpus, KEYWORDS, YEARS)
+
+    experiment = Experiment(
+        "F1", "Figure 1 — publications with keyword in title, per year",
+        headers=["keyword", *[str(y) for y in YEARS]])
+    for keyword in KEYWORDS:
+        experiment.add_row(keyword, *[series[keyword][y] for y in YEARS])
+    record_experiment(experiment)
+
+    kg = series["knowledge graph"]
+    assert kg[2013] > 2 * kg[2012], "takeoff after the 2012 KG announcement"
+    assert kg[2020] == max(kg.values())
+    assert kg[2020] > series["rdf"][2020] > series["sparql"][2020]
+    rdf_values = [series["rdf"][y] for y in YEARS]
+    assert max(rdf_values) < 1.5 * min(rdf_values), "RDF stable"
+    assert max(series["property graph"][y] for y in YEARS) < 15, "negligible"
+
+
+def test_fig1_overlap_ratios(corpus, record_experiment):
+    experiment = Experiment(
+        "F1b", "share of 'knowledge graph' papers also mentioning RDF/SPARQL",
+        headers=["year", "overlap"])
+    for year in YEARS:
+        experiment.add_row(year, round(kg_overlap_ratio(corpus, year), 3))
+    record_experiment(experiment)
+
+    assert kg_overlap_ratio(corpus, 2015) == pytest.approx(0.70, abs=0.05)
+    assert kg_overlap_ratio(corpus, 2020) == pytest.approx(0.14, abs=0.05)
+
+
+def test_fig1_scan_speed(benchmark, corpus):
+    result = benchmark(keyword_series, corpus, KEYWORDS, YEARS)
+    assert result["knowledge graph"][2020] > 0

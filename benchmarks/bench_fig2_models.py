@@ -1,0 +1,57 @@
+"""Experiment F2 — Figure 2: one dataset, three graph data models.
+
+Builds the labeled / property / vector-labeled versions of the paper's
+running example, verifies they are conversions of one another, and times
+the conversion pipeline at contact-graph scale.
+"""
+
+import pytest
+
+from repro.bench import Experiment
+from repro.datasets import generate_contact_graph
+from repro.models import (
+    figure2_labeled,
+    figure2_property,
+    figure2_vector,
+    property_to_labeled,
+    property_to_vector,
+    vector_to_property,
+)
+from repro.models.figures import FIGURE2_SCHEMA
+
+
+def test_fig2_models_agree(record_experiment):
+    labeled = figure2_labeled()
+    prop = figure2_property()
+    vector = figure2_vector()
+
+    experiment = Experiment(
+        "F2", "Figure 2 — the same data in three models",
+        headers=["model", "nodes", "edges", "extra"])
+    experiment.add_row("labeled", labeled.node_count(), labeled.edge_count(),
+                       f"{len(labeled.node_label_set())} node labels")
+    experiment.add_row("property", prop.node_count(), prop.edge_count(),
+                       f"{len(prop.property_names())} property names")
+    experiment.add_row("vector", vector.node_count(), vector.edge_count(),
+                       f"dimension {vector.dimension}")
+    record_experiment(experiment)
+
+    assert property_to_labeled(prop).node_label_set() == labeled.node_label_set()
+    assert vector.schema == FIGURE2_SCHEMA
+    round_tripped = vector_to_property(vector)
+    for node in prop.nodes():
+        assert round_tripped.node_properties(node) == prop.node_properties(node)
+
+
+@pytest.mark.parametrize("n_people", [50, 200])
+def test_fig2_conversion_round_trip_at_scale(n_people):
+    world = generate_contact_graph(n_people, 5, n_people // 3, 2, rng=1)
+    back = vector_to_property(property_to_vector(world))
+    assert back.node_count() == world.node_count()
+    assert back.edge_count() == world.edge_count()
+
+
+def test_fig2_conversion_speed(benchmark):
+    world = generate_contact_graph(150, 5, 40, 2, rng=2)
+    result = benchmark(lambda: vector_to_property(property_to_vector(world)))
+    assert result.node_count() == world.node_count()

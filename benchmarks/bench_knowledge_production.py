@@ -1,0 +1,117 @@
+"""Experiment K1 — producing knowledge: reasoners and embeddings (§2.3).
+
+The paper's definition of a knowledge graph includes *producing* new
+knowledge: deduction (logical reasoners) and learning (embeddings used for
+completion).  This experiment measures both producers:
+
+- RDFS forward chaining: derived triples and closure time as the instance
+  data grows (semi-naive evaluation must scale roughly with the output);
+- TransE link prediction: MRR/Hits@k against the random-ranking baseline —
+  the learned model must win by a wide margin.
+"""
+
+import random
+import time
+
+import pytest
+
+from repro.bench import Experiment
+from repro.embeddings import TrainConfig, TransE, evaluate_link_prediction
+from repro.embeddings.transe import train_test_split
+from repro.models.rdf import RDF_TYPE, Triple
+from repro.reasoning import (
+    RDFS_DOMAIN,
+    RDFS_RANGE,
+    RDFS_SUBCLASS,
+    rdfs_closure,
+)
+from repro.storage import TripleStore
+
+
+def _ontology_store(n_instances: int) -> TripleStore:
+    store = TripleStore([
+        ("bus", RDFS_SUBCLASS, "vehicle"),
+        ("vehicle", RDFS_SUBCLASS, "mobile_thing"),
+        ("mobile_thing", RDFS_SUBCLASS, "thing"),
+        ("rides", RDFS_DOMAIN, "person"),
+        ("rides", RDFS_RANGE, "bus"),
+    ])
+    for i in range(n_instances):
+        store.add(f"b{i}", RDF_TYPE, "bus")
+        store.add(f"p{i}", "rides", f"b{i}")
+    return store
+
+
+def test_k1_rdfs_closure_scales(record_experiment):
+    experiment = Experiment(
+        "K1", "RDFS closure: derived triples and time vs instance size",
+        headers=["instances", "asserted", "derived", "seconds"])
+    for n in (50, 200, 800):
+        store = _ontology_store(n)
+        asserted = len(store)
+        start = time.perf_counter()
+        derived = rdfs_closure(store)
+        seconds = time.perf_counter() - start
+        experiment.add_row(n, asserted, derived, round(seconds, 4))
+        # Each bus gains vehicle/mobile_thing/thing types; each rider a type.
+        assert derived >= 4 * n
+    record_experiment(experiment)
+
+
+def _clustered_kg(n_families: int, rng: random.Random) -> list[Triple]:
+    triples = []
+    for fam in range(n_families):
+        people = [f"f{fam}_p{i}" for i in range(5)]
+        parent = people[0]
+        for child in people[1:]:
+            triples.append(Triple(parent, "parent_of", child))
+        for i, a in enumerate(people[1:]):
+            for b in people[1 + i + 1:]:
+                triples.append(Triple(a, "sibling_of", b))
+        triples.append(Triple(parent, "lives_in", f"city{fam % 3}"))
+    return triples
+
+
+@pytest.fixture(scope="module")
+def trained():
+    triples = _clustered_kg(8, random.Random(0))
+    train, test = train_test_split(triples, 0.2, rng=1)
+    model = TransE(train, TrainConfig(dimension=24, epochs=200), rng=2).train()
+    return model, test
+
+
+def test_k1_link_prediction_beats_random(trained, record_experiment):
+    model, test = trained
+    report = evaluate_link_prediction(model, test)
+    n = len(model.entities)
+    random_mrr = sum(1.0 / r for r in range(1, n + 1)) / n
+    random_hits10 = min(10 / n, 1.0)
+
+    experiment = Experiment(
+        "K1b", "TransE link prediction vs random-ranking baseline",
+        headers=["metric", "TransE", "random baseline"])
+    experiment.add_row("MRR", round(report.mean_reciprocal_rank, 3),
+                       round(random_mrr, 3))
+    experiment.add_row("Hits@10", round(report.hits_at_10, 3),
+                       round(random_hits10, 3))
+    experiment.add_row("mean rank", round(report.mean_rank, 1),
+                       round((n + 1) / 2, 1))
+    record_experiment(experiment)
+
+    assert report.mean_reciprocal_rank > 3 * random_mrr
+    assert report.hits_at_10 > 2 * random_hits10
+    assert report.mean_rank < (n + 1) / 4
+
+
+def test_rdfs_closure_speed(benchmark):
+    def closure():
+        return rdfs_closure(_ontology_store(200))
+
+    derived = benchmark(closure)
+    assert derived > 0
+
+
+def test_transe_epoch_speed(benchmark):
+    triples = _clustered_kg(6, random.Random(1))
+    model = TransE(triples, TrainConfig(dimension=16, epochs=1), rng=3)
+    benchmark(model.train, epochs=1)

@@ -1,0 +1,117 @@
+"""Experiment Q1 — declarative querying end to end (Sections 2.1/3).
+
+The same contact-tracing question asked in mini-SPARQL (over the triple
+store) and mini-Cypher (over the property-graph store) must return the
+same entities; the experiment reports both engines' latency as the world
+grows, plus the effect of the BGP selectivity planner.
+"""
+
+import time
+
+import pytest
+
+from repro.bench import Experiment
+from repro.datasets import generate_contact_graph
+from repro.models.convert import labeled_to_rdf, property_to_labeled
+from repro.query import run_cypher, run_sparql
+from repro.query.sparql import _solve_bgp, parse_sparql
+from repro.storage import PropertyGraphStore, TripleStore
+
+SPARQL = """
+SELECT DISTINCT ?x WHERE {
+  ?x <rdf:type> <person> .
+  ?x <rides> ?b . ?b <rdf:type> <bus> .
+  ?z <rides> ?b . ?z <rdf:type> <infected> .
+}"""
+
+CYPHER = """
+MATCH (x:person)-[:rides]->(b:bus)<-[:rides]-(z:infected)
+RETURN DISTINCT x"""
+
+
+def _stores(n_people: int):
+    world = generate_contact_graph(n_people, max(3, n_people // 20),
+                                   n_people // 3, 2, rng=n_people,
+                                   infection_rate=0.2)
+    triple = TripleStore.from_graph(labeled_to_rdf(property_to_labeled(world)))
+    prop = PropertyGraphStore(world)
+    return triple, prop
+
+
+def test_q1_engines_agree_and_scale(record_experiment):
+    experiment = Experiment(
+        "Q1", "mini-SPARQL vs mini-Cypher: same question, same answers",
+        headers=["people", "answers", "sparql s", "cypher s"])
+    for n_people in (40, 120, 240):
+        triple, prop = _stores(n_people)
+        start = time.perf_counter()
+        sparql_rows = {row[0] for row in run_sparql(triple, SPARQL).rows}
+        sparql_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        cypher_rows = {row[0] for row in run_cypher(prop, CYPHER).rows}
+        cypher_seconds = time.perf_counter() - start
+
+        assert sparql_rows == cypher_rows
+        experiment.add_row(n_people, len(sparql_rows),
+                           round(sparql_seconds, 4), round(cypher_seconds, 4))
+    record_experiment(experiment)
+
+
+def test_q1_planner_effect(record_experiment):
+    """Greedy selectivity ordering vs worst-case fixed ordering."""
+    triple, _ = _stores(150)
+    query = parse_sparql(SPARQL)
+    patterns = list(query.patterns)
+
+    start = time.perf_counter()
+    planned = _solve_bgp(triple, patterns, {})
+    planned_seconds = time.perf_counter() - start
+
+    # Adversarial order: most selective last (reverse of the planner pick).
+    start = time.perf_counter()
+    solutions = [dict()]
+    for pattern in sorted(patterns,
+                          key=lambda p: -_cardinality(triple, p)):
+        next_solutions = []
+        for binding in solutions:
+            from repro.query.sparql import _match_pattern
+
+            next_solutions.extend(_match_pattern(triple, pattern, binding))
+        solutions = next_solutions
+    fixed_seconds = time.perf_counter() - start
+
+    assert {tuple(sorted(s.items())) for s in planned} == \
+        {tuple(sorted(s.items())) for s in solutions}
+    experiment = Experiment(
+        "Q1b", "BGP planner: greedy selectivity vs adversarial order",
+        headers=["strategy", "seconds", "solutions"])
+    experiment.add_row("greedy selectivity", round(planned_seconds, 4),
+                       len(planned))
+    experiment.add_row("adversarial order", round(fixed_seconds, 4),
+                       len(solutions))
+    record_experiment(experiment)
+    assert planned_seconds <= fixed_seconds * 2.0
+
+
+def _cardinality(store, pattern):
+    from repro.query.sparql import _estimate
+
+    return _estimate(store, pattern, {})
+
+
+@pytest.fixture(scope="module")
+def medium_stores():
+    return _stores(120)
+
+
+def test_sparql_speed(benchmark, medium_stores):
+    triple, _ = medium_stores
+    result = benchmark(run_sparql, triple, SPARQL)
+    assert result.variables == ("x",)
+
+
+def test_cypher_speed(benchmark, medium_stores):
+    _, prop = medium_stores
+    result = benchmark(run_cypher, prop, CYPHER)
+    assert result.columns == ("x",)

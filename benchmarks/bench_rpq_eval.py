@@ -1,0 +1,66 @@
+"""Experiments E2/E3 — the paper's worked regex queries.
+
+Regenerates the answer sets of eq. (2) (labeled graph), eq. (3) (property
+graph and its vector-graph rewriting), and the worked negated-inverse
+example, then times regex evaluation on growing contact graphs.
+"""
+
+import pytest
+
+from repro.bench import Experiment
+from repro.core.rpq import endpoint_pairs, enumerate_paths, parse_regex
+from repro.datasets import generate_contact_graph
+from repro.models import figure2_labeled, figure2_property, figure2_vector
+
+EQ2 = "?person/contact/?infected"
+EQ3 = '?person/(contact & date="3/4/21")/?infected'
+EQ3_VECTOR = '?(f1=person)/(f1=contact & f5="3/4/21")/?(f1=infected)'
+BUS_SHARE = "?person/rides/?bus/rides^-/?infected"
+
+
+def test_worked_examples(record_experiment):
+    experiment = Experiment(
+        "E2/E3", "the paper's worked regex queries on Figure 2",
+        headers=["query", "model", "answers"])
+
+    answers_eq2 = list(enumerate_paths(figure2_labeled(), parse_regex(EQ2), 1))
+    experiment.add_row("eq2 ?person/contact/?infected", "labeled",
+                       "; ".join(p.to_text() for p in answers_eq2))
+    assert [p.to_text() for p in answers_eq2] == ["n1 -e3- n2"]
+
+    answers_eq3 = list(enumerate_paths(figure2_property(), parse_regex(EQ3), 1))
+    experiment.add_row("eq3 (date = 3/4/21)", "property",
+                       "; ".join(p.to_text() for p in answers_eq3))
+    assert answers_eq3 == answers_eq2
+
+    answers_vec = list(enumerate_paths(figure2_vector(),
+                                       parse_regex(EQ3_VECTOR), 1))
+    experiment.add_row("eq3 rewritten with f1/f5", "vector",
+                       "; ".join(p.to_text() for p in answers_vec))
+    assert answers_vec == answers_eq2
+
+    shared = list(enumerate_paths(figure2_labeled(), parse_regex(BUS_SHARE), 2))
+    experiment.add_row("?person/rides/?bus/rides^-/?infected", "labeled",
+                       "; ".join(sorted(p.to_text() for p in shared)))
+    assert {p.start for p in shared} == {"n1", "n7"}
+    record_experiment(experiment)
+
+
+@pytest.mark.parametrize("n_people", [30, 100])
+def test_node_extraction_scales(n_people, record_experiment):
+    world = generate_contact_graph(n_people, 4, n_people // 3, 2, rng=5,
+                                   infection_rate=0.2)
+    pairs = endpoint_pairs(world, parse_regex(BUS_SHARE))
+    experiment = Experiment(
+        f"E2s-{n_people}", f"bus-sharing pairs on a {n_people}-person world",
+        headers=["people", "edges", "answer pairs"])
+    experiment.add_row(n_people, world.edge_count(), len(pairs))
+    record_experiment(experiment)
+    assert all(world.node_label(a) == "person" for a, _ in pairs)
+
+
+def test_eval_speed(benchmark):
+    world = generate_contact_graph(80, 4, 25, 2, rng=6, infection_rate=0.2)
+    regex = parse_regex(BUS_SHARE)
+    pairs = benchmark(endpoint_pairs, world, regex)
+    assert isinstance(pairs, set)

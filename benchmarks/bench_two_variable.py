@@ -1,0 +1,94 @@
+"""Experiment L1 — bounded-variable evaluation (Section 4.3).
+
+phi(x) (three variables) vs psi(x) (two variables, reused): identical
+answers, but the naive translation materializes wider intermediate
+relations and pays for it as the pattern/graph grows.  The regex -> FO vs
+regex -> FO2 translators generalize the pair to chains of any length.
+"""
+
+import time
+
+from repro.bench import Experiment
+from repro.core.logic import (
+    answers_unary,
+    count_distinct_variables,
+    evaluate_materialized,
+    paper_phi,
+    paper_psi,
+    regex_to_fo,
+    regex_to_fo2,
+)
+from repro.core.rpq import concat, parse_regex
+from repro.core.rpq.ast import EdgeAtom, LabelTest
+from repro.datasets import generate_contact_graph
+from repro.models import figure2_labeled
+
+
+def test_l1_paper_pair(record_experiment):
+    graph = figure2_labeled()
+    phi, psi = paper_phi(), paper_psi()
+    phi_rows, _, phi_stats = evaluate_materialized(graph, phi)
+    psi_rows, _, psi_stats = evaluate_materialized(graph, psi)
+
+    experiment = Experiment(
+        "L1", "phi(x) vs psi(x): same answers, different widths",
+        headers=["formula", "variables", "answers", "max width", "max rows"])
+    experiment.add_row("phi (3 vars)", count_distinct_variables(phi),
+                       len(phi_rows), phi_stats.max_width, phi_stats.max_rows)
+    experiment.add_row("psi (2 vars)", count_distinct_variables(psi),
+                       len(psi_rows), psi_stats.max_width, psi_stats.max_rows)
+    record_experiment(experiment)
+
+    assert phi_rows == psi_rows
+    assert phi_stats.max_width == 3
+    assert psi_stats.max_width == 2
+
+
+def test_l1_width_gap_grows_with_chain_length(record_experiment):
+    graph = generate_contact_graph(30, 3, 10, 2, rng=17,
+                                   contacts_per_person=2.0)
+    experiment = Experiment(
+        "L1b", "regex->FO (fresh vars) vs regex->FO2 on contact chains",
+        headers=["chain length", "fo vars", "fo2 vars", "fo s", "fo2 s"])
+    for hops in (2, 3, 4):
+        chain = concat(*[EdgeAtom(LabelTest("contact"))] * hops)
+        naive = regex_to_fo(chain)
+        bounded = regex_to_fo2(chain)
+
+        start = time.perf_counter()
+        naive_answers = answers_unary(graph, naive, "x")
+        naive_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        bounded_answers = answers_unary(graph, bounded, "x")
+        bounded_seconds = time.perf_counter() - start
+
+        assert naive_answers == bounded_answers
+        experiment.add_row(hops, count_distinct_variables(naive),
+                           count_distinct_variables(bounded),
+                           round(naive_seconds, 4), round(bounded_seconds, 4))
+        assert count_distinct_variables(bounded) == 2
+        assert count_distinct_variables(naive) == hops + 1
+    record_experiment(experiment)
+
+
+def test_l1_fo2_answers_match_automaton(record_experiment):
+    graph = generate_contact_graph(25, 3, 8, 2, rng=19, infection_rate=0.25)
+    from repro.core.rpq import nodes_matching
+
+    regex = parse_regex("?person/rides/?bus/rides^-/?infected")
+    by_fo2 = answers_unary(graph, regex_to_fo2(regex), "x")
+    by_product = nodes_matching(graph, regex)
+    experiment = Experiment(
+        "L1c", "FO2 translation vs product automaton (node extraction)",
+        headers=["method", "answers"])
+    experiment.add_row("FO2 pipeline", len(by_fo2))
+    experiment.add_row("product automaton", len(by_product))
+    record_experiment(experiment)
+    assert by_fo2 == by_product
+
+
+def test_psi_evaluation_speed(benchmark):
+    graph = generate_contact_graph(50, 4, 15, 2, rng=23)
+    rows = benchmark(lambda: evaluate_materialized(graph, paper_psi())[0])
+    assert isinstance(rows, set)

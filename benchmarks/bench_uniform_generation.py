@@ -1,0 +1,73 @@
+"""Experiment G1 — Gen: preprocessing once, uniform paths on demand.
+
+The paper describes Gen as a preprocessing phase building a data structure
+"which can be repeatedly used in the generation phase to produce paths with
+uniform distribution".  This experiment times the two phases separately and
+validates uniformity with a chi-square test over the full support.
+"""
+
+import time
+
+from repro.bench import Experiment
+from repro.core.rpq import UniformPathSampler, parse_regex
+from repro.datasets import random_labeled_graph
+from repro.util.stats import chi_square_critical, chi_square_uniform
+
+REGEX = "(r + s)*/s"
+
+
+def test_phase_split_and_uniformity(record_experiment):
+    experiment = Experiment(
+        "G1", "uniform generation: phase costs and chi-square uniformity",
+        headers=["nodes", "k", "support", "preproc s", "per-sample ms",
+                 "chi2", "chi2 crit (a=0.001)"])
+    for n, k in ((8, 2), (10, 3), (12, 3)):
+        graph = random_labeled_graph(n, 3 * n, rng=n)
+        regex = parse_regex(REGEX)
+        start = time.perf_counter()
+        sampler = UniformPathSampler(graph, regex, k)
+        preprocessing = time.perf_counter() - start
+        support = sampler.count
+        assert support > 0
+        draws = max(200 * support, 1000)
+        start = time.perf_counter()
+        samples = sampler.sample_many(draws, rng=99)
+        per_sample_ms = (time.perf_counter() - start) / draws * 1000
+        statistic = chi_square_uniform(samples, support)
+        critical = chi_square_critical(support - 1, alpha=0.001)
+        experiment.add_row(n, k, support, round(preprocessing, 4),
+                           round(per_sample_ms, 4), round(statistic, 1),
+                           round(critical, 1))
+        assert statistic < critical, "sampling is not uniform"
+    record_experiment(experiment)
+
+
+def test_generation_phase_much_cheaper_than_preprocessing():
+    graph = random_labeled_graph(12, 36, rng=4)
+    sampler = UniformPathSampler(graph, parse_regex(REGEX), 4)
+    start = time.perf_counter()
+    rebuilt = UniformPathSampler(graph, parse_regex(REGEX), 4)
+    preprocessing = time.perf_counter() - start
+    assert rebuilt.count == sampler.count
+    start = time.perf_counter()
+    sampler.sample_many(50, rng=1)
+    fifty_samples = time.perf_counter() - start
+    # Drawing 50 paths must be cheaper than one preprocessing pass.
+    assert fifty_samples < max(preprocessing, 1e-3) * 5
+
+
+def test_sampler_preprocessing_speed(benchmark):
+    graph = random_labeled_graph(10, 30, rng=2)
+    regex = parse_regex(REGEX)
+    sampler = benchmark(UniformPathSampler, graph, regex, 3)
+    assert sampler.count >= 0
+
+
+def test_sampler_draw_speed(benchmark):
+    graph = random_labeled_graph(10, 30, rng=2)
+    sampler = UniformPathSampler(graph, parse_regex(REGEX), 3)
+    import random as _random
+
+    rng = _random.Random(5)
+    path = benchmark(sampler.sample, rng)
+    assert path.length == 3

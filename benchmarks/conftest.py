@@ -1,0 +1,53 @@
+"""Benchmark-suite plumbing: collects experiment tables into a report.
+
+Every benchmark renders its paper-artifact table through the
+``record_experiment`` fixture; at session end the collected tables are
+written to ``benchmarks/bench_report.txt`` and echoed to the terminal, so
+``pytest benchmarks/ --benchmark-only`` leaves the reproduction tables on
+disk next to pytest-benchmark's timing output.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.bench import Experiment
+
+_REPORT: list[str] = []
+
+
+@pytest.fixture
+def record_experiment(benchmark):
+    """Call with an Experiment to add its rendered table to the report.
+
+    Depends on (and, once per test, exercises) the ``benchmark`` fixture so
+    table-producing experiments also run under ``--benchmark-only`` — the
+    mode the reproduction instructions use — rather than being skipped.
+    """
+    state = {"timed": False}
+
+    def record(experiment: Experiment) -> None:
+        _REPORT.append(experiment.render())
+        if not state["timed"]:
+            state["timed"] = True
+            benchmark(experiment.render)
+
+    return record
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _REPORT:
+        return
+    text = "\n\n".join(_REPORT) + "\n"
+    path = pathlib.Path(__file__).parent / "bench_report.txt"
+    path.write_text(text)
+    reporter = session.config.pluginmanager.get_plugin("terminalreporter")
+    if reporter is not None:
+        reporter.write_line("")
+        reporter.write_line("=" * 70)
+        reporter.write_line("Reproduced paper artifacts (also in benchmarks/bench_report.txt)")
+        reporter.write_line("=" * 70)
+        for line in text.splitlines():
+            reporter.write_line(line)

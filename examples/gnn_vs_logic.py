@@ -1,0 +1,60 @@
+"""Declarative vs procedural node extraction (Section 4.3).
+
+Builds graded modal queries over a contact-tracing graph, compiles each to
+an AC-GNN, and shows that the network — a purely procedural message-passing
+computation — answers exactly the declarative query.  Finishes with the
+Weisfeiler-Lehman side of the story: WL-indistinguishable nodes always get
+the same answer.
+
+Run with::
+
+    python examples/gnn_vs_logic.py
+"""
+
+from repro.core.gnn import compile_modal_formula, wl_partition
+from repro.core.logic import (
+    DiamondAtLeast,
+    LabelProp,
+    ModalAnd,
+    ModalNot,
+    evaluate_modal,
+    modal_depth,
+)
+from repro.datasets import generate_contact_graph
+
+QUERIES = {
+    "rides a bus": ModalAnd(LabelProp("person"),
+                            DiamondAtLeast(1, LabelProp("bus"))),
+    "contacted 2+ people": DiamondAtLeast(
+        2, LabelProp("person") | LabelProp("infected")),
+    "socially isolated": ModalAnd(
+        LabelProp("person"),
+        ModalNot(DiamondAtLeast(1, LabelProp("person") | LabelProp("infected")))),
+    "two hops from a bus": DiamondAtLeast(1, DiamondAtLeast(1, LabelProp("bus"))),
+}
+
+
+def main() -> None:
+    world = generate_contact_graph(40, 4, 14, 2, rng=11, infection_rate=0.2)
+    print(f"world: {world.node_count()} nodes, {world.edge_count()} edges\n")
+
+    for name, formula in QUERIES.items():
+        declarative = evaluate_modal(world, formula)
+        compiled = compile_modal_formula(formula)
+        procedural = compiled.satisfying_nodes(world)
+        status = "MATCH" if declarative == procedural else "MISMATCH"
+        print(f"{name!r}: modal depth {modal_depth(formula)}, "
+              f"{compiled.dimension} GNN coordinates, "
+              f"{len(compiled.network.layers)} layers -> "
+              f"{len(declarative)} nodes [{status}]")
+        assert declarative == procedural
+
+    partition = wl_partition(world, use_edge_labels=False)
+    print(f"\n1-WL stable partition: {len(partition)} classes "
+          f"(largest {len(partition[0])})")
+    print("every compiled GNN is constant on each class — the paper's")
+    print("expressiveness ceiling for message-passing networks.")
+
+
+if __name__ == "__main__":
+    main()

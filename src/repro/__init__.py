@@ -1,0 +1,87 @@
+"""repro — querying in the age of graph databases and knowledge graphs.
+
+A from-scratch Python reproduction of the systems described in the SIGMOD
+2021 tutorial by Arenas, Gutierrez and Sequeda:
+
+- the graph data models of Section 3 (:mod:`repro.models`);
+- the regular path queries of Section 4 with exact/approximate counting,
+  uniform generation and polynomial-delay enumeration
+  (:mod:`repro.core.rpq`);
+- knowledge-aware centrality, Section 4.2 (:mod:`repro.core.centrality`);
+- declarative vs procedural node extraction, Section 4.3
+  (:mod:`repro.core.logic`, :mod:`repro.core.gnn`);
+- graph analytics (:mod:`repro.analytics`), graph-database storage
+  (:mod:`repro.storage`), the relational baseline (:mod:`repro.relational`)
+  and declarative query languages (:mod:`repro.query`).
+
+Quickstart::
+
+    from repro import figure2_labeled, parse_regex, enumerate_paths
+
+    graph = figure2_labeled()
+    regex = parse_regex("?person/contact/?infected")
+    for path in enumerate_paths(graph, regex, 1):
+        print(path)
+"""
+
+from repro.models import (
+    BOTTOM,
+    LabeledGraph,
+    MultiGraph,
+    PropertyGraph,
+    RDFGraph,
+    Triple,
+    VectorGraph,
+    VectorSchema,
+    figure2_labeled,
+    figure2_property,
+    figure2_vector,
+)
+from repro.core.rpq import (
+    ApproxPathCounter,
+    Path,
+    UniformPathSampler,
+    count_paths_bruteforce,
+    count_paths_exact,
+    endpoint_pairs,
+    enumerate_paths,
+    enumerate_paths_up_to,
+    evaluate_bruteforce,
+    nodes_matching,
+    parse_regex,
+    parse_test,
+    paths_matching,
+)
+from repro.core.centrality import (
+    approximate_regex_betweenness,
+    betweenness_centrality,
+    regex_betweenness,
+)
+from repro.core.logic import evaluate_modal, regex_to_fo, regex_to_fo2
+from repro.core.gnn import compile_modal_formula, wl_node_colors, wl_test
+from repro.storage import PropertyGraphStore, TripleStore
+from repro.query import run_cypher, run_sparql
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # models
+    "MultiGraph", "LabeledGraph", "RDFGraph", "Triple", "PropertyGraph",
+    "VectorGraph", "VectorSchema", "BOTTOM",
+    "figure2_labeled", "figure2_property", "figure2_vector",
+    # rpq
+    "Path", "parse_regex", "parse_test", "evaluate_bruteforce",
+    "paths_matching", "endpoint_pairs", "nodes_matching",
+    "count_paths_exact", "count_paths_bruteforce",
+    "enumerate_paths", "enumerate_paths_up_to",
+    "UniformPathSampler", "ApproxPathCounter",
+    # centrality
+    "betweenness_centrality", "regex_betweenness",
+    "approximate_regex_betweenness",
+    # logic / gnn
+    "evaluate_modal", "regex_to_fo", "regex_to_fo2",
+    "compile_modal_formula", "wl_node_colors", "wl_test",
+    # storage / query
+    "TripleStore", "PropertyGraphStore", "run_sparql", "run_cypher",
+]

@@ -1,0 +1,45 @@
+"""Graph analytics: the "global properties" toolbox of Section 4.2.
+
+The paper lists the typical applications — clustering, connected components
+and diameter, shortest paths, centrality measures such as betweenness and
+PageRank, and community detection such as densest-subgraph discovery.  Each
+lives in its own module here, implemented from scratch over the
+:class:`repro.models.MultiGraph` family.
+"""
+
+from repro.analytics.components import (
+    connected_components,
+    is_connected,
+    strongly_connected_components,
+)
+from repro.analytics.shortest_paths import (
+    all_pairs_shortest_lengths,
+    bfs_distances,
+    count_shortest_paths,
+    diameter,
+)
+from repro.analytics.pagerank import pagerank
+from repro.analytics.hits import hits
+from repro.analytics.clustering import (
+    average_clustering,
+    global_clustering,
+    local_clustering,
+)
+from repro.analytics.communities import label_propagation
+from repro.analytics.densest import (
+    charikar_peel,
+    densest_subgraph_exact,
+    subgraph_density,
+)
+from repro.analytics.walks import count_walks, count_walks_between
+
+__all__ = [
+    "connected_components", "strongly_connected_components", "is_connected",
+    "bfs_distances", "all_pairs_shortest_lengths", "count_shortest_paths",
+    "diameter",
+    "pagerank", "hits",
+    "local_clustering", "average_clustering", "global_clustering",
+    "label_propagation",
+    "subgraph_density", "charikar_peel", "densest_subgraph_exact",
+    "count_walks", "count_walks_between",
+]

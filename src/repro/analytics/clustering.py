@@ -1,0 +1,56 @@
+"""Clustering coefficients on the undirected simple projection of a graph."""
+
+from __future__ import annotations
+
+
+def _undirected_neighbors(graph, node) -> set:
+    neighbors = graph.neighbors(node)
+    neighbors.discard(node)
+    return neighbors
+
+
+def local_clustering(graph, node) -> float:
+    """Fraction of a node's neighbor pairs that are themselves adjacent.
+
+    Computed on the undirected simple projection (direction and parallel
+    edges ignored); 0.0 for degree < 2.
+    """
+    neighbors = _undirected_neighbors(graph, node)
+    k = len(neighbors)
+    if k < 2:
+        return 0.0
+    links = 0
+    neighbor_list = sorted(neighbors, key=str)
+    for i, u in enumerate(neighbor_list):
+        adjacent = _undirected_neighbors(graph, u)
+        for v in neighbor_list[i + 1:]:
+            if v in adjacent:
+                links += 1
+    return 2.0 * links / (k * (k - 1))
+
+
+def average_clustering(graph) -> float:
+    """Mean local clustering coefficient over all nodes; 0.0 for empty graphs."""
+    nodes = list(graph.nodes())
+    if not nodes:
+        return 0.0
+    return sum(local_clustering(graph, node) for node in nodes) / len(nodes)
+
+
+def global_clustering(graph) -> float:
+    """Transitivity: 3 * triangles / connected triples, on the projection."""
+    triangles = 0
+    triples = 0
+    for node in graph.nodes():
+        neighbors = sorted(_undirected_neighbors(graph, node), key=str)
+        k = len(neighbors)
+        triples += k * (k - 1) // 2
+        for i, u in enumerate(neighbors):
+            adjacent = _undirected_neighbors(graph, u)
+            for v in neighbors[i + 1:]:
+                if v in adjacent:
+                    triangles += 1
+    if triples == 0:
+        return 0.0
+    # Each triangle is counted once per corner, i.e. three times.
+    return triangles / triples

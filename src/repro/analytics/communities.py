@@ -1,0 +1,47 @@
+"""Community detection by asynchronous label propagation.
+
+A light-weight representative of the community-detection family the paper
+cites (finding "groups with a rich interaction in a network").
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+from repro.util.rng import make_rng
+
+
+def label_propagation(graph, max_iterations: int = 100,
+                      rng: int | random.Random | None = None) -> list[set]:
+    """Partition nodes into communities, largest first.
+
+    Asynchronous label propagation on the undirected projection: each node
+    repeatedly adopts the most frequent label among its neighbors (ties
+    broken randomly) until labels are stable.
+    """
+    rng = make_rng(rng)
+    labels = {node: node for node in graph.nodes()}
+    nodes = sorted(graph.nodes(), key=str)
+    for _ in range(max_iterations):
+        rng.shuffle(nodes)
+        changed = False
+        for node in nodes:
+            neighbors = graph.neighbors(node)
+            neighbors.discard(node)
+            if not neighbors:
+                continue
+            counts = Counter(labels[neighbor] for neighbor in neighbors)
+            best = max(counts.values())
+            candidates = sorted((label for label, c in counts.items() if c == best),
+                                key=str)
+            choice = rng.choice(candidates)
+            if labels[node] != choice:
+                labels[node] = choice
+                changed = True
+        if not changed:
+            break
+    communities: dict = {}
+    for node, label in labels.items():
+        communities.setdefault(label, set()).add(node)
+    return sorted(communities.values(), key=len, reverse=True)

@@ -1,0 +1,85 @@
+"""Connected components (weak and strong)."""
+
+from __future__ import annotations
+
+
+def connected_components(graph) -> list[set]:
+    """Weakly connected components (edge direction ignored), largest first."""
+    remaining = set(graph.nodes())
+    components: list[set] = []
+    while remaining:
+        seed = next(iter(remaining))
+        seen = {seed}
+        stack = [seed]
+        while stack:
+            node = stack.pop()
+            for neighbor in graph.neighbors(node):
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    stack.append(neighbor)
+        components.append(seen)
+        remaining -= seen
+    components.sort(key=len, reverse=True)
+    return components
+
+
+def is_connected(graph) -> bool:
+    """Is the graph weakly connected (vacuously true when empty)?"""
+    if graph.node_count() == 0:
+        return True
+    return len(connected_components(graph)) == 1
+
+
+def strongly_connected_components(graph) -> list[set]:
+    """Strongly connected components by Tarjan's algorithm (iterative).
+
+    Returned largest first; singleton components included.
+    """
+    index_counter = 0
+    indices: dict = {}
+    lowlinks: dict = {}
+    on_stack: set = set()
+    stack: list = []
+    components: list[set] = []
+
+    for root in graph.nodes():
+        if root in indices:
+            continue
+        # Iterative Tarjan: work items are (node, iterator over successors).
+        work = [(root, iter(sorted(set(graph.successors(root)), key=str)))]
+        indices[root] = lowlinks[root] = index_counter
+        index_counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for successor in successors:
+                if successor not in indices:
+                    indices[successor] = lowlinks[successor] = index_counter
+                    index_counter += 1
+                    stack.append(successor)
+                    on_stack.add(successor)
+                    work.append((successor,
+                                 iter(sorted(set(graph.successors(successor)), key=str))))
+                    advanced = True
+                    break
+                if successor in on_stack:
+                    lowlinks[node] = min(lowlinks[node], indices[successor])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlinks[parent] = min(lowlinks[parent], lowlinks[node])
+            if lowlinks[node] == indices[node]:
+                component = set()
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.add(member)
+                    if member == node:
+                        break
+                components.append(component)
+    components.sort(key=len, reverse=True)
+    return components

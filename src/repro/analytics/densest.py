@@ -1,0 +1,229 @@
+"""Densest subgraph discovery (Goldberg's problem, cited as [30, 45]).
+
+Density of a node set S is |E(S)| / |S| with E(S) the edges having both
+endpoints in S (direction ignored, parallel edges counted).  Two solvers:
+
+- :func:`charikar_peel` — the classic greedy 2-approximation: repeatedly
+  remove the minimum-degree node, keep the densest prefix.
+- :func:`densest_subgraph_exact` — Goldberg's binary search over candidate
+  densities, each step decided by a max-flow computed with a from-scratch
+  Dinic implementation.  Exact on small/medium graphs.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import Counter, deque
+from fractions import Fraction
+
+
+def subgraph_density(graph, nodes: set) -> float:
+    """|E(S)| / |S| for a node set S (0.0 for the empty set)."""
+    if not nodes:
+        return 0.0
+    return float(subgraph_density_exact(graph, nodes))
+
+
+def subgraph_density_exact(graph, nodes: set) -> Fraction:
+    """Exact rational density |E(S)| / |S|."""
+    if not nodes:
+        return Fraction(0)
+    edges = sum(1 for e in graph.edges()
+                if graph.source(e) in nodes and graph.target(e) in nodes)
+    return Fraction(edges, len(nodes))
+
+
+def _undirected_adjacency(graph) -> dict:
+    """node -> Counter(neighbor -> multiplicity), self-loops under the node."""
+    adjacency: dict = {node: Counter() for node in graph.nodes()}
+    for edge in graph.edges():
+        u, v = graph.endpoints(edge)
+        if u == v:
+            adjacency[u][u] += 1
+        else:
+            adjacency[u][v] += 1
+            adjacency[v][u] += 1
+    return adjacency
+
+
+def charikar_peel(graph) -> set:
+    """Greedy peeling; returns a node set with density >= optimum / 2."""
+    nodes = set(graph.nodes())
+    if not nodes:
+        return set()
+    adjacency = _undirected_adjacency(graph)
+    degree = {node: sum(adjacency[node].values()) + adjacency[node][node]
+              for node in nodes}
+    # degree counts self-loops twice so peeling order matches edge removal.
+
+    heap = [(degree[node], str(node), node) for node in nodes]
+    heapq.heapify(heap)
+    removed: set = set()
+    removal_order: list = []
+    current_edges = graph.edge_count()
+    current_size = len(nodes)
+    best_density = Fraction(current_edges, current_size)
+    best_prefix = 0
+    while current_size > 1:
+        while True:
+            d, _, node = heapq.heappop(heap)
+            if node not in removed and d == degree[node]:
+                break
+        removed.add(node)
+        removal_order.append(node)
+        current_edges -= adjacency[node][node]
+        for neighbor, multiplicity in adjacency[node].items():
+            if neighbor == node or neighbor in removed:
+                continue
+            current_edges -= multiplicity
+            degree[neighbor] -= multiplicity
+            heapq.heappush(heap, (degree[neighbor], str(neighbor), neighbor))
+        current_size -= 1
+        density = Fraction(current_edges, current_size)
+        if density > best_density:
+            best_density = density
+            best_prefix = len(removal_order)
+    return nodes - set(removal_order[:best_prefix])
+
+
+def densest_subgraph_exact(graph) -> set:
+    """Exact densest subgraph via Goldberg's max-flow binary search."""
+    nodes = sorted(graph.nodes(), key=str)
+    n = len(nodes)
+    if n == 0:
+        return set()
+    m = graph.edge_count()
+    if m == 0:
+        return {nodes[0]}
+
+    weight: dict = {}
+    degree = {node: 0 for node in nodes}
+    for edge in graph.edges():
+        u, v = graph.endpoints(edge)
+        degree[u] += 1
+        degree[v] += 1
+        if u != v:
+            key = (u, v) if str(u) <= str(v) else (v, u)
+            weight[key] = weight.get(key, 0) + 1
+
+    best_set = set(nodes)
+    best_density = subgraph_density_exact(graph, best_set)
+    low = best_density
+    high = Fraction(m, 1)
+    # Densities are rationals with denominator <= n; once the interval is
+    # narrower than 1/n^2 no two distinct achievable densities fit inside.
+    resolution = Fraction(1, n * n)
+    while high - low > resolution:
+        g = (low + high) / 2
+        candidate = _denser_than(nodes, weight, degree, m, g)
+        if candidate:
+            density = subgraph_density_exact(graph, candidate)
+            if density > best_density:
+                best_density = density
+                best_set = candidate
+            low = g
+        else:
+            high = g
+    return best_set
+
+
+def _denser_than(nodes, weight, degree, m, g: Fraction):
+    """Return a node set with density > g, or None (Goldberg's flow check).
+
+    Goldberg's network, with all capacities scaled by g's denominator q so
+    they are integers: source -> u with m*q; u -> sink with
+    m*q + 2p - deg(u)*q (p = g's numerator); each undirected pair with its
+    multiplicity*q in both directions.  A min cut below m*n*q certifies a
+    subgraph denser than g, read off the source side of the cut.
+    """
+    p, q = g.numerator, g.denominator
+    network = _Dinic()
+    source = network.add_node()
+    sink = network.add_node()
+    ids = {node: network.add_node() for node in nodes}
+    for node in nodes:
+        network.add_arc(source, ids[node], m * q)
+        network.add_arc(ids[node], sink, max(m * q + 2 * p - degree[node] * q, 0))
+    for (u, v), multiplicity in weight.items():
+        network.add_arc(ids[u], ids[v], multiplicity * q)
+        network.add_arc(ids[v], ids[u], multiplicity * q)
+    total = network.max_flow(source, sink)
+    if total >= m * len(nodes) * q:
+        return None
+    reachable = network.residual_reachable(source)
+    candidate = {node for node in nodes if ids[node] in reachable}
+    return candidate or None
+
+
+class _Dinic:
+    """Dinic's max-flow on integer capacities (paired-arc residual graph)."""
+
+    def __init__(self) -> None:
+        self.adjacency: list[list[int]] = []
+        self.to: list[int] = []
+        self.capacity: list[int] = []
+
+    def add_node(self) -> int:
+        self.adjacency.append([])
+        return len(self.adjacency) - 1
+
+    def add_arc(self, u: int, v: int, capacity: int) -> None:
+        self.adjacency[u].append(len(self.to))
+        self.to.append(v)
+        self.capacity.append(capacity)
+        self.adjacency[v].append(len(self.to))
+        self.to.append(u)
+        self.capacity.append(0)
+
+    def max_flow(self, source: int, sink: int) -> int:
+        flow = 0
+        while True:
+            level = self._bfs_levels(source, sink)
+            if level is None:
+                return flow
+            iterators = [0] * len(self.adjacency)
+            while True:
+                pushed = self._dfs_push(source, sink, None, level, iterators)
+                if not pushed:
+                    break
+                flow += pushed
+
+    def _bfs_levels(self, source: int, sink: int):
+        level = [-1] * len(self.adjacency)
+        level[source] = 0
+        queue = deque([source])
+        while queue:
+            node = queue.popleft()
+            for arc in self.adjacency[node]:
+                if self.capacity[arc] > 0 and level[self.to[arc]] < 0:
+                    level[self.to[arc]] = level[node] + 1
+                    queue.append(self.to[arc])
+        return level if level[sink] >= 0 else None
+
+    def _dfs_push(self, node: int, sink: int, limit, level, iterators) -> int:
+        if node == sink:
+            return limit if limit is not None else 0
+        while iterators[node] < len(self.adjacency[node]):
+            arc = self.adjacency[node][iterators[node]]
+            target = self.to[arc]
+            if self.capacity[arc] > 0 and level[target] == level[node] + 1:
+                available = self.capacity[arc] if limit is None else min(limit, self.capacity[arc])
+                pushed = self._dfs_push(target, sink, available, level, iterators)
+                if pushed:
+                    self.capacity[arc] -= pushed
+                    self.capacity[arc ^ 1] += pushed
+                    return pushed
+            iterators[node] += 1
+        return 0
+
+    def residual_reachable(self, source: int) -> set[int]:
+        seen = {source}
+        stack = [source]
+        while stack:
+            node = stack.pop()
+            for arc in self.adjacency[node]:
+                target = self.to[arc]
+                if self.capacity[arc] > 0 and target not in seen:
+                    seen.add(target)
+                    stack.append(target)
+        return seen

@@ -1,0 +1,68 @@
+"""Unweighted shortest paths: BFS distances, counts, diameter.
+
+The paper (Section 4.2) notes that classical betweenness centrality is
+efficient because "given a labeled graph, a pair of nodes a, b and a length
+k, count the number of paths of length k from a to b" is easy *without*
+regular expressions; :func:`count_shortest_paths` is that easy counting
+problem, solved by the standard BFS dynamic program (as in Brandes).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+
+def bfs_distances(graph, source, *, directed: bool = True) -> dict:
+    """Shortest-path distances from ``source`` to every reachable node."""
+    distances = {source: 0}
+    queue = deque([source])
+    while queue:
+        node = queue.popleft()
+        next_nodes = set(graph.successors(node))
+        if not directed:
+            next_nodes.update(graph.predecessors(node))
+        for neighbor in next_nodes:
+            if neighbor not in distances:
+                distances[neighbor] = distances[node] + 1
+                queue.append(neighbor)
+    return distances
+
+
+def count_shortest_paths(graph, source, *, directed: bool = True) -> tuple[dict, dict]:
+    """BFS from ``source`` returning (distances, number of shortest paths).
+
+    Shortest paths in an unlabeled graph are simple, so the BFS DAG counting
+    sigma[v] = sum of sigma over predecessors at distance d-1 is exact.
+    """
+    distances = {source: 0}
+    sigma = {source: 1}
+    queue = deque([source])
+    while queue:
+        node = queue.popleft()
+        next_nodes = list(graph.successors(node))
+        if not directed:
+            next_nodes.extend(graph.predecessors(node))
+        for neighbor in next_nodes:
+            if neighbor not in distances:
+                distances[neighbor] = distances[node] + 1
+                sigma[neighbor] = 0
+                queue.append(neighbor)
+            if distances[neighbor] == distances[node] + 1:
+                sigma[neighbor] += sigma[node]
+    return distances, sigma
+
+
+def all_pairs_shortest_lengths(graph, *, directed: bool = True) -> dict:
+    """dict of dicts with d(u, v) for every reachable pair (BFS per source)."""
+    return {node: bfs_distances(graph, node, directed=directed)
+            for node in graph.nodes()}
+
+
+def diameter(graph, *, directed: bool = False) -> int:
+    """Longest shortest-path distance over reachable pairs; 0 for empty graphs."""
+    best = 0
+    for node in graph.nodes():
+        distances = bfs_distances(graph, node, directed=directed)
+        if distances:
+            best = max(best, max(distances.values()))
+    return best

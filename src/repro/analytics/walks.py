@@ -1,0 +1,39 @@
+"""Counting fixed-length walks — the easy counting problem of Section 4.2.
+
+The paper contrasts two counting problems: counting paths of length k
+between two nodes in a plain graph is efficient (this module: a textbook
+dynamic program, polynomial time), whereas the same problem constrained by
+a regular expression is SpanL-complete (handled by
+:mod:`repro.core.rpq.count` and approximated by the FPRAS).  Having both in
+the library makes the tractability boundary the paper draws directly
+observable in experiment B1.
+"""
+
+from __future__ import annotations
+
+
+def count_walks(graph, source, k: int, *, directed: bool = True) -> dict:
+    """Number of length-k walks from ``source`` to every node.
+
+    Walks may repeat nodes and edges; parallel edges count with
+    multiplicity.  Runs in O(k * |E|).
+    """
+    if k < 0:
+        raise ValueError("walk length must be non-negative")
+    counts = {source: 1}
+    for _ in range(k):
+        following: dict = {}
+        for node, count in counts.items():
+            for successor in graph.successors(node):
+                following[successor] = following.get(successor, 0) + count
+            if not directed:
+                for predecessor in graph.predecessors(node):
+                    following[predecessor] = following.get(predecessor, 0) + count
+        counts = following
+    return counts
+
+
+def count_walks_between(graph, source, target, k: int, *,
+                        directed: bool = True) -> int:
+    """Number of length-k walks from ``source`` to ``target``."""
+    return count_walks(graph, source, k, directed=directed).get(target, 0)

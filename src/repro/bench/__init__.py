@@ -1,0 +1,5 @@
+"""Experiment harness shared by benchmarks and examples."""
+
+from repro.bench.harness import Experiment, print_series, print_table, timed
+
+__all__ = ["Experiment", "timed", "print_table", "print_series"]

@@ -1,0 +1,64 @@
+"""Tiny experiment harness: named experiments printing paper-style tables.
+
+The benchmark suite regenerates each of the paper's artifacts as a printed
+table/series; this module gives those printouts one consistent shape so
+EXPERIMENTS.md can quote them directly.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+from repro.util.tables import format_table
+
+
+@dataclass
+class Experiment:
+    """A named experiment accumulating result rows."""
+
+    identifier: str
+    description: str
+    headers: Sequence[str] = ()
+    rows: list[Sequence[object]] = field(default_factory=list)
+
+    def add_row(self, *values: object) -> None:
+        self.rows.append(values)
+
+    def render(self) -> str:
+        title = f"[{self.identifier}] {self.description}"
+        if not self.headers:
+            return title
+        return format_table(self.headers, self.rows, title=title)
+
+    def show(self) -> None:
+        print()
+        print(self.render())
+
+
+def timed(function: Callable, *args, repeat: int = 1, **kwargs) -> tuple[object, float]:
+    """Run a callable, returning (last result, best wall-clock seconds)."""
+    best = float("inf")
+    result = None
+    for _ in range(max(repeat, 1)):
+        start = time.perf_counter()
+        result = function(*args, **kwargs)
+        best = min(best, time.perf_counter() - start)
+    return result, best
+
+
+def print_table(title: str, headers: Sequence[str],
+                rows: Sequence[Sequence[object]]) -> None:
+    print()
+    print(format_table(headers, rows, title=title))
+
+
+def print_series(title: str, series: dict) -> None:
+    """Print a {name: {x: y}} family of series as a wide table."""
+    xs = sorted({x for points in series.values() for x in points})
+    headers = ["series", *[str(x) for x in xs]]
+    rows = []
+    for name in series:
+        rows.append([name, *[series[name].get(x, "") for x in xs]])
+    print_table(title, headers, rows)

@@ -1,0 +1,21 @@
+"""The Figure 1 pipeline: keyword-in-title bibliometrics.
+
+The paper's methodology (Section 1): take every publication indexed by
+DBLP, scan titles for five keywords, plot counts per year 2010-2020.  This
+package implements that scan over any corpus of
+:class:`repro.datasets.dblp.Publication` records.
+"""
+
+from repro.bibliometrics.scan import (
+    keyword_series,
+    kg_overlap_ratio,
+    publications_with_keyword,
+    title_contains,
+)
+
+__all__ = [
+    "title_contains",
+    "publications_with_keyword",
+    "keyword_series",
+    "kg_overlap_ratio",
+]

@@ -1,0 +1,54 @@
+"""Title scanning and per-year keyword series (the Figure 1 computation)."""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Iterable, Sequence
+
+from repro.datasets.dblp import Publication
+
+
+def title_contains(title: str, keyword: str) -> bool:
+    """Case-insensitive whole-phrase containment, with word boundaries.
+
+    "RDF" must not match "wordfreq"; "graph database" matches "Graph
+    Databases" via a simple plural-tolerant boundary.
+    """
+    pattern = r"\b" + re.escape(keyword.lower()).replace(r"\ ", r"\s+") + r"s?\b"
+    return re.search(pattern, title.lower()) is not None
+
+
+def publications_with_keyword(corpus: Iterable[Publication],
+                              keyword: str) -> list[Publication]:
+    """All records whose title contains the keyword."""
+    return [p for p in corpus if title_contains(p.title, keyword)]
+
+
+def keyword_series(corpus: Iterable[Publication], keywords: Sequence[str],
+                   years: Sequence[int]) -> dict[str, dict[int, int]]:
+    """keyword -> year -> number of matching titles (the Figure 1 table)."""
+    corpus = list(corpus)
+    series: dict[str, dict[int, int]] = {}
+    for keyword in keywords:
+        matches = publications_with_keyword(corpus, keyword)
+        per_year = {year: 0 for year in years}
+        for publication in matches:
+            if publication.year in per_year:
+                per_year[publication.year] += 1
+        series[keyword] = per_year
+    return series
+
+
+def kg_overlap_ratio(corpus: Iterable[Publication], year: int) -> float:
+    """Fraction of 'knowledge graph' titles that also mention RDF or SPARQL.
+
+    The statistic behind the paper's "70% in 2015, down to 14% in 2020"
+    observation.  Returns 0.0 when the year has no knowledge-graph titles.
+    """
+    kg_titles = [p for p in corpus
+                 if p.year == year and title_contains(p.title, "knowledge graph")]
+    if not kg_titles:
+        return 0.0
+    overlapping = [p for p in kg_titles
+                   if title_contains(p.title, "rdf") or title_contains(p.title, "sparql")]
+    return len(overlapping) / len(kg_titles)

@@ -1,0 +1,169 @@
+"""Command-line interface: query graph files without writing Python.
+
+Usage (after ``pip install -e .``, or via ``python -m repro.cli``)::
+
+    python -m repro.cli pathql  graph.json "PATHS MATCHING ?person/contact/?infected LENGTH 1"
+    python -m repro.cli sparql  graph.json "SELECT ?x WHERE { ?x <rdf:type> <bus> . }"
+    python -m repro.cli cypher  graph.json "MATCH (p:person) RETURN p.name"
+    python -m repro.cli summary graph.json
+    python -m repro.cli fig2    --out graph.json       # write the paper's example
+    python -m repro.cli contact --people 50 --out world.json
+
+Graph files use the JSON interchange format of :mod:`repro.models.io`;
+``sparql`` loads a labeled/property graph by converting it to RDF triples
+first (node labels become rdf:type).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.models import figure2_property
+from repro.models.convert import labeled_to_rdf, property_to_labeled
+from repro.models.io import dumps, loads
+from repro.models.labeled import LabeledGraph
+from repro.models.property import PropertyGraph
+from repro.query import run_cypher, run_pathql, run_sparql
+from repro.storage import PropertyGraphStore, TripleStore
+from repro.util import format_table
+
+
+def _load_graph(path: str):
+    with open(path, encoding="utf-8") as handle:
+        return loads(handle.read())
+
+
+def _cmd_pathql(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph)
+    result = run_pathql(graph, args.query)
+    if result.mode in ("count", "count-approx"):
+        print(result.count)
+    else:
+        for path in result.paths:
+            print(path.to_text())
+        if result.mode == "sample" and result.count is not None:
+            print(f"# support size: {result.count}", file=sys.stderr)
+    return 0
+
+
+def _cmd_sparql(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph)
+    if isinstance(graph, PropertyGraph):
+        graph = property_to_labeled(graph)
+    if not isinstance(graph, LabeledGraph):
+        print("sparql needs a labeled or property graph file", file=sys.stderr)
+        return 2
+    store = TripleStore.from_graph(labeled_to_rdf(graph))
+    result = run_sparql(store, args.query)
+    print(format_table([f"?{v}" for v in result.variables],
+                       [[v if v is not None else "" for v in row]
+                        for row in result.rows]))
+    return 0
+
+
+def _cmd_cypher(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph)
+    if not isinstance(graph, PropertyGraph):
+        print("cypher needs a property graph file", file=sys.stderr)
+        return 2
+    result = run_cypher(PropertyGraphStore(graph), args.query)
+    print(format_table(result.columns,
+                       [[v if v is not None else "" for v in row]
+                        for row in result.rows]))
+    return 0
+
+
+def _cmd_summary(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph)
+    from repro.analytics import connected_components, diameter
+
+    rows = [["nodes", graph.node_count()],
+            ["edges", graph.edge_count()],
+            ["weak components", len(connected_components(graph))],
+            ["diameter (undirected)", diameter(graph)]]
+    label_of = getattr(graph, "node_label", None)
+    if label_of is not None:
+        from collections import Counter
+
+        for label, count in sorted(Counter(
+                label_of(n) for n in graph.nodes()).items(), key=str):
+            rows.append([f"label {label or '(none)'!s}", count])
+    print(format_table(["statistic", "value"], rows))
+    return 0
+
+
+def _cmd_fig2(args: argparse.Namespace) -> int:
+    _write(args.out, dumps(figure2_property(), indent=2))
+    return 0
+
+
+def _cmd_contact(args: argparse.Namespace) -> int:
+    from repro.datasets import generate_contact_graph
+
+    graph = generate_contact_graph(args.people, args.buses, args.addresses,
+                                   args.companies, rng=args.seed,
+                                   infection_rate=args.infection_rate)
+    _write(args.out, dumps(graph, indent=2))
+    return 0
+
+
+def _write(path: str | None, text: str) -> None:
+    if path is None or path == "-":
+        print(text)
+        return
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Query graph files (models of the SIGMOD'21 tutorial).")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    pathql = commands.add_parser("pathql", help="run a PathQL statement")
+    pathql.add_argument("graph")
+    pathql.add_argument("query")
+    pathql.set_defaults(handler=_cmd_pathql)
+
+    sparql = commands.add_parser("sparql", help="run a mini-SPARQL query")
+    sparql.add_argument("graph")
+    sparql.add_argument("query")
+    sparql.set_defaults(handler=_cmd_sparql)
+
+    cypher = commands.add_parser("cypher", help="run a mini-Cypher query")
+    cypher.add_argument("graph")
+    cypher.add_argument("query")
+    cypher.set_defaults(handler=_cmd_cypher)
+
+    summary = commands.add_parser("summary", help="print graph statistics")
+    summary.add_argument("graph")
+    summary.set_defaults(handler=_cmd_summary)
+
+    fig2 = commands.add_parser("fig2", help="write the Figure 2 property graph")
+    fig2.add_argument("--out", default="-")
+    fig2.set_defaults(handler=_cmd_fig2)
+
+    contact = commands.add_parser("contact",
+                                  help="generate a contact-tracing world")
+    contact.add_argument("--people", type=int, default=30)
+    contact.add_argument("--buses", type=int, default=4)
+    contact.add_argument("--addresses", type=int, default=12)
+    contact.add_argument("--companies", type=int, default=2)
+    contact.add_argument("--infection-rate", type=float, default=0.15)
+    contact.add_argument("--seed", type=int, default=0)
+    contact.add_argument("--out", default="-")
+    contact.set_defaults(handler=_cmd_contact)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,8 @@
+"""The paper's primary contribution: querying machinery over graph models.
+
+- :mod:`repro.core.rpq` — regular path queries (Section 4 intro, Section 4.1)
+- :mod:`repro.core.centrality` — knowledge-aware centrality (Section 4.2)
+- :mod:`repro.core.logic` — declarative node extraction (Section 4.3)
+- :mod:`repro.core.gnn` — procedural node extraction and the logic bridge
+  (Section 4.3)
+"""

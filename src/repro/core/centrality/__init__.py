@@ -1,0 +1,31 @@
+"""Centrality with knowledge: Section 4.2 of the paper.
+
+- :func:`betweenness_centrality` — classical Freeman/Brandes betweenness,
+  label-blind.
+- :func:`regex_betweenness` — the paper's bc_r: only shortest paths
+  *conforming to a regular expression* count, so domain knowledge (e.g.
+  "buses matter as transport for people, not as property of companies")
+  enters the measure.  Exact, via the product automaton.
+- :func:`approximate_regex_betweenness` — the paper's proposal: a
+  randomized approximation of bc_r built from the Section 4.1 tools
+  (uniform generation of shortest conforming paths).
+- :func:`all_subgraphs_centrality` — the subgraph-family framework of
+  Riveros & Salas [58], which the paper cites as a general centrality
+  recipe that does not yet use labels.
+"""
+
+from repro.core.centrality.betweenness import betweenness_centrality
+from repro.core.centrality.regex_betweenness import (
+    conforming_shortest_profile,
+    regex_betweenness,
+)
+from repro.core.centrality.approx import approximate_regex_betweenness
+from repro.core.centrality.family import all_subgraphs_centrality
+
+__all__ = [
+    "betweenness_centrality",
+    "regex_betweenness",
+    "conforming_shortest_profile",
+    "approximate_regex_betweenness",
+    "all_subgraphs_centrality",
+]

@@ -1,0 +1,60 @@
+"""All-subgraphs centrality — the framework of Riveros & Salas (ICDT 2020).
+
+The paper's closing remark in Section 4.2 points to [58]: "a natural and
+general framework to specify centrality measures ... but still without
+taking labels into consideration".  The flagship instance of that framework
+is *all-subgraphs centrality*:
+
+    C(v) = log2 |{ connected subgraphs of G that contain v }|
+
+Counting connected subgraphs is #P-hard, so this implementation enumerates
+edge subsets and is only meant for the small graphs of experiment B1 —
+enough to compare the framework's label-blind ranking against bc_r.
+"""
+
+from __future__ import annotations
+
+import math
+from itertools import combinations
+
+
+def all_subgraphs_centrality(graph, *, max_edges: int | None = None) -> dict:
+    """C(v) = log2 of the number of connected edge-subgraphs containing v.
+
+    A subgraph here is a non-empty set of edges (direction ignored) whose
+    induced graph is connected; a single node with no edges also counts as
+    the trivial subgraph containing v, so every node has C(v) >= 0.
+    ``max_edges`` caps the subset size for tractability; ``None`` means all
+    |E| edges (use only on small graphs: the loop is 2^|E|).
+    """
+    edges = sorted(graph.edges(), key=str)
+    limit = len(edges) if max_edges is None else min(max_edges, len(edges))
+    counts = {node: 1 for node in graph.nodes()}  # the trivial subgraph {v}
+    for size in range(1, limit + 1):
+        for subset in combinations(edges, size):
+            nodes = _connected_node_set(graph, subset)
+            if nodes is None:
+                continue
+            for node in nodes:
+                counts[node] += 1
+    return {node: math.log2(count) for node, count in counts.items()}
+
+
+def _connected_node_set(graph, edge_subset) -> set | None:
+    """Node set of the edge-induced subgraph if connected, else None."""
+    adjacency: dict = {}
+    for edge in edge_subset:
+        u, v = graph.endpoints(edge)
+        adjacency.setdefault(u, set()).add(v)
+        adjacency.setdefault(v, set()).add(u)
+    nodes = set(adjacency)
+    start = next(iter(nodes))
+    seen = {start}
+    stack = [start]
+    while stack:
+        node = stack.pop()
+        for neighbor in adjacency[node]:
+            if neighbor not in seen:
+                seen.add(neighbor)
+                stack.append(neighbor)
+    return nodes if seen == nodes else None

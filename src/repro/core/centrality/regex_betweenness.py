@@ -1,0 +1,160 @@
+"""Regex-constrained betweenness centrality bc_r — exact algorithm.
+
+The paper's definition (Section 4.2): with S_abr the set of *shortest*
+paths from a to b conforming to regex r, and S_abr(x) those including node
+x,
+
+    bc_r(x) = sum over a, b != x of |S_abr(x)| / |S_abr|
+
+(pairs with S_abr empty contribute 0).  Conforming shortest paths are walks
+and may revisit nodes, so Brandes-style predecessor accumulation does not
+apply; instead this module counts exactly:
+
+- |S_abr| by a determinized dynamic program over the product automaton
+  restricted to the conforming-shortest length (every distinct path counted
+  once, however many accepting runs it has);
+- |S_abr(x)| by the subtraction  |S_abr| - |avoiding x|, where the
+  avoiding-count is the same DP run on the graph with x removed, at the
+  *original* shortest length.
+
+This is exponential in the worst case — as expected, since even Count alone
+is SpanL-complete — and is the ground truth experiment B2 compares the
+randomized approximation against.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.core.rpq.ast import Regex
+from repro.core.rpq.nfa import NFA, compile_regex
+from repro.core.rpq.product import INITIAL, build_product
+
+
+def conforming_shortest_profile(graph, regex: Regex, source,
+                                nfa: NFA | None = None,
+                                ) -> dict[object, tuple[int, int]]:
+    """For one source a: {b: (shortest conforming length, |S_abr|)}.
+
+    Only targets with at least one conforming path appear.  The length-0
+    self pair (a, a) is included when the regex admits it.
+    """
+    if nfa is None:
+        nfa = compile_regex(regex)
+    product = build_product(graph, nfa, start_nodes=[source])
+    init_states = product.transitions[INITIAL].get(("init", source), frozenset())
+    if not init_states:
+        return {}
+
+    # Pass 1 -- existence distances per target node, by BFS on product states.
+    distances: dict[object, int] = {}
+    frontier = set(init_states)
+    seen = set(frontier)
+    level = 0
+    while frontier:
+        for state in frontier:
+            if state in product.accepts:
+                node = product.state_node[state]
+                distances.setdefault(node, level)
+        next_frontier: set[int] = set()
+        for state in frontier:
+            for targets in product.transitions[state].values():
+                next_frontier.update(targets)
+        frontier = next_frontier - seen
+        seen |= frontier
+        level += 1
+    if not distances:
+        return {}
+
+    # Pass 2 -- determinized counting up to the largest shortest distance.
+    counts = _count_at_lengths(product, init_states, distances)
+    return {node: (distances[node], counts.get(node, 0))
+            for node in distances if counts.get(node, 0) > 0}
+
+
+def _count_at_lengths(product, init_states: frozenset,
+                      target_lengths: dict[object, int]) -> dict[object, int]:
+    """Count conforming paths of exactly target_lengths[b] edges ending at b.
+
+    One determinized forward DP serves every target: all product states in a
+    subset share their graph node, so an accepting subset at layer L whose
+    node b has target length L contributes its word count to b.
+    """
+    max_level = max(target_lengths.values())
+    counts: dict[object, int] = {}
+    current: dict[frozenset, int] = {frozenset(init_states): 1}
+    for level in range(max_level + 1):
+        for subset, count in current.items():
+            accepting = subset & product.accepts
+            if accepting:
+                node = product.state_node[next(iter(accepting))]
+                if target_lengths.get(node) == level:
+                    counts[node] = counts.get(node, 0) + count
+        if level == max_level:
+            break
+        following: dict[frozenset, int] = {}
+        for subset, count in current.items():
+            for symbol in product.symbols_from(subset):
+                reached = product.delta(subset, symbol)
+                if reached:
+                    following[reached] = following.get(reached, 0) + count
+        current = following
+        if not current:
+            break
+    return counts
+
+
+def _avoiding_counts(graph_without_x, nfa: NFA, source,
+                     target_lengths: dict[object, int]) -> dict[object, int]:
+    """|S_abr restricted to paths avoiding x| at the original shortest lengths."""
+    if not graph_without_x.has_node(source):
+        return {}
+    product = build_product(graph_without_x, nfa, start_nodes=[source])
+    init_states = product.transitions[INITIAL].get(("init", source), frozenset())
+    if not init_states:
+        return {}
+    relevant = {node: length for node, length in target_lengths.items()
+                if graph_without_x.has_node(node)}
+    if not relevant:
+        return {}
+    return _count_at_lengths(product, init_states, relevant)
+
+
+def regex_betweenness(graph, regex: Regex, *,
+                      candidates: Iterable | None = None) -> dict:
+    """Exact bc_r for every node (or only the ``candidates``).
+
+    Returns {x: bc_r(x)}.  The sum ranges over ordered pairs (a, b) with
+    a != x and b != x, following the paper's formula; the trivial pair
+    a = b contributes 0 (its only shortest conforming path, when one
+    exists, is the length-0 path at a, which cannot include x != a).
+    """
+    nfa = compile_regex(regex)
+    nodes = sorted(graph.nodes(), key=str)
+    candidate_list = nodes if candidates is None else sorted(candidates, key=str)
+
+    # sigma[a][b] = (shortest length, count) for every source a.
+    sigma: dict = {}
+    for a in nodes:
+        sigma[a] = conforming_shortest_profile(graph, regex, a, nfa)
+
+    centrality = {x: 0.0 for x in candidate_list}
+    for x in candidate_list:
+        graph_without_x = graph.subgraph_without_node(x)
+        for a in nodes:
+            if a == x:
+                continue
+            profile = sigma[a]
+            # b = a is allowed (conforming cycles through x count); pairs whose
+            # shortest conforming path has length 0 cannot include x != a.
+            relevant = {b: length for b, (length, _) in profile.items()
+                        if b != x and length > 0}
+            if not relevant:
+                continue
+            avoiding = _avoiding_counts(graph_without_x, nfa, a, relevant)
+            for b, length in relevant.items():
+                total = profile[b][1]
+                through = total - avoiding.get(b, 0)
+                if through:
+                    centrality[x] += through / total
+    return centrality

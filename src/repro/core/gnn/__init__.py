@@ -1,0 +1,28 @@
+"""Procedural node extraction: GNNs and the Weisfeiler-Lehman test (§4.3).
+
+- :mod:`repro.core.gnn.acgnn` — aggregate-combine graph neural networks
+  (numpy forward pass) viewed as unary queries/classifiers over
+  vector-labeled graphs, as in Barcelo et al. [16].
+- :mod:`repro.core.gnn.compiler` — the constructive direction of the
+  logic/GNN correspondence: compile any graded modal formula into an
+  AC-GNN computing exactly its semantics.
+- :mod:`repro.core.gnn.wl` — the Weisfeiler-Lehman color refinement /
+  isomorphism test, the yardstick of GNN expressiveness [50, 71].
+"""
+
+from repro.core.gnn.acgnn import ACGNN, Layer, clip01, random_acgnn
+from repro.core.gnn.compiler import compile_modal_formula
+from repro.core.gnn.wl import (
+    wl_distinguishes,
+    wl_node_colors,
+    wl_partition,
+    wl_test,
+)
+from repro.core.gnn.kwl import wl2_node_colors, wl2_pair_colors, wl2_test
+
+__all__ = [
+    "ACGNN", "Layer", "clip01", "random_acgnn",
+    "compile_modal_formula",
+    "wl_node_colors", "wl_partition", "wl_test", "wl_distinguishes",
+    "wl2_pair_colors", "wl2_node_colors", "wl2_test",
+]

@@ -1,0 +1,149 @@
+"""Aggregate-combine graph neural networks over graph models.
+
+Following the paper (Section 4.3) and Barcelo et al. [16], an AC-GNN
+receives a vector-labeled graph, computes new feature vectors by rounds of
+
+    x_v'  =  sigma( x_v W_self  +  ( sum over neighbors u of x_u ) W_neigh  +  b )
+
+and classifies each node from its final vector — making the network a
+*unary query*.  The activation used throughout is the truncated ReLU
+``clip01`` (the sigma of the logic/GNN correspondence proofs).
+
+Input features are produced by pluggable "encoders": either the raw
+numeric vectors of a :class:`~repro.models.vector.VectorGraph`, a one-hot
+encoding of node labels, or — for compiled formulas — indicator features
+of the formula's atoms.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.logic.modal import neighbor_multiset
+from repro.errors import SchemaError
+from repro.util.rng import make_rng
+
+
+def clip01(x: np.ndarray) -> np.ndarray:
+    """The truncated ReLU sigma(x) = min(max(x, 0), 1)."""
+    return np.clip(x, 0.0, 1.0)
+
+
+@dataclass
+class Layer:
+    """One aggregate-combine round: weights for self, neighbors, and bias."""
+
+    w_self: np.ndarray
+    w_neigh: np.ndarray
+    bias: np.ndarray
+
+    def __post_init__(self) -> None:
+        d_in_self, d_out = self.w_self.shape
+        d_in_neigh, d_out_neigh = self.w_neigh.shape
+        if (d_in_self, d_out) != (d_in_neigh, d_out_neigh) or self.bias.shape != (d_out,):
+            raise SchemaError("layer weight shapes are inconsistent")
+
+
+class ACGNN:
+    """An aggregate-combine GNN with a Boolean readout on one coordinate.
+
+    ``direction`` chooses which edges feed the aggregation ('out', 'in' or
+    'both'), shared with the modal-logic semantics so the two frameworks
+    answer identical queries.
+    """
+
+    def __init__(self, layers: list[Layer], *, direction: str = "out",
+                 readout_coordinate: int = 0, threshold: float = 0.5) -> None:
+        self.layers = layers
+        self.direction = direction
+        self.readout_coordinate = readout_coordinate
+        self.threshold = threshold
+
+    # -- forward pass ------------------------------------------------------
+
+    def node_embeddings(self, graph, features: dict) -> dict:
+        """Run all layers; ``features`` maps node -> initial numpy vector.
+
+        Returns node -> final vector.  The graph only contributes its
+        adjacency; feature encoding is the caller's concern.
+        """
+        nodes = sorted(graph.nodes(), key=str)
+        index = {node: i for i, node in enumerate(nodes)}
+        if not nodes:
+            return {}
+        matrix = np.stack([np.asarray(features[node], dtype=float) for node in nodes])
+        # Aggregation matrix A with multiplicity (sum aggregation).
+        adjacency = np.zeros((len(nodes), len(nodes)))
+        for node in nodes:
+            for neighbor in neighbor_multiset(graph, node, self.direction):
+                adjacency[index[node], index[neighbor]] += 1.0
+        for layer in self.layers:
+            aggregated = adjacency @ matrix
+            matrix = clip01(matrix @ layer.w_self + aggregated @ layer.w_neigh
+                            + layer.bias)
+        return {node: matrix[index[node]] for node in nodes}
+
+    def classify(self, graph, features: dict) -> dict:
+        """node -> bool via thresholding the readout coordinate."""
+        embeddings = self.node_embeddings(graph, features)
+        return {node: bool(vector[self.readout_coordinate] >= self.threshold)
+                for node, vector in embeddings.items()}
+
+    def satisfying_nodes(self, graph, features: dict) -> set:
+        """The unary query defined by the network: nodes classified true."""
+        return {node for node, flag in self.classify(graph, features).items() if flag}
+
+
+# ---------------------------------------------------------------------------
+# Feature encoders
+# ---------------------------------------------------------------------------
+
+
+def one_hot_label_features(graph, labels: list[str] | None = None,
+                           ) -> tuple[dict, list[str]]:
+    """Encode node labels one-hot; returns (features, label order)."""
+    if labels is None:
+        labels = sorted(graph.node_label_set(), key=str)
+    position = {label: i for i, label in enumerate(labels)}
+    features = {}
+    for node in graph.nodes():
+        vector = np.zeros(len(labels))
+        spot = position.get(graph.node_label(node))
+        if spot is not None:
+            vector[spot] = 1.0
+        features[node] = vector
+    return features, labels
+
+
+def numeric_vector_features(graph) -> dict:
+    """Features straight from a numeric vector-labeled graph."""
+    features = {}
+    for node in graph.nodes():
+        vector = graph.node_vector(node)
+        try:
+            features[node] = np.asarray([float(v) for v in vector])
+        except (TypeError, ValueError) as exc:
+            raise SchemaError(
+                f"node {node!r} has non-numeric features {vector!r}") from exc
+    return features
+
+
+def random_acgnn(dimensions: list[int], *, direction: str = "out",
+                 rng: int | random.Random | None = None,
+                 scale: float = 1.0) -> ACGNN:
+    """A random AC-GNN (for WL-invariance experiments, not for accuracy)."""
+    if len(dimensions) < 2:
+        raise SchemaError("need at least input and output dimensions")
+    rng = make_rng(rng)
+    layers = []
+    for d_in, d_out in zip(dimensions, dimensions[1:]):
+        w_self = np.array([[rng.gauss(0, scale) for _ in range(d_out)]
+                           for _ in range(d_in)])
+        w_neigh = np.array([[rng.gauss(0, scale) for _ in range(d_out)]
+                            for _ in range(d_in)])
+        bias = np.array([rng.gauss(0, scale) for _ in range(d_out)])
+        layers.append(Layer(w_self, w_neigh, bias))
+    return ACGNN(layers, direction=direction)

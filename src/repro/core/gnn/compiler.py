@@ -1,0 +1,140 @@
+"""Compiling graded modal formulas into AC-GNNs (Barcelo et al., [16]).
+
+The constructive half of the logic/GNN correspondence: every graded modal
+formula has an AC-GNN computing exactly its semantics.  The construction
+assigns one feature coordinate per subformula and implements each connective
+with the truncated ReLU sigma(x) = min(max(x, 0), 1) over 0/1 coordinates:
+
+    not  phi        ->  sigma(1 - x_phi)
+    phi and psi     ->  sigma(x_phi + x_psi - 1)
+    phi or  psi     ->  sigma(x_phi + x_psi)
+    >=k  phi        ->  sigma(sum over neighbors of x_phi - (k - 1))
+
+A subformula of height h (diamonds *and* Boolean connectives each add one)
+is correct after layer h, and already-computed coordinates are carried by
+identity rows, so `modal height` layers suffice.  The returned network plus
+its atom-indicator feature encoder is the procedural evaluator the paper
+contrasts with the declarative semantics of
+:func:`repro.core.logic.modal.evaluate_modal` — experiment L2 checks they
+agree on every node of every tested graph.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.gnn.acgnn import ACGNN, Layer
+from repro.core.logic.modal import (
+    DiamondAtLeast,
+    FeatureProp,
+    LabelProp,
+    ModalAnd,
+    ModalFormula,
+    ModalNot,
+    ModalOr,
+    ModalTrue,
+    modal_subformulas,
+)
+from repro.errors import LogicError
+
+
+class CompiledModalGNN:
+    """An AC-GNN together with the feature encoder for its atoms."""
+
+    def __init__(self, network: ACGNN, subformulas: list[ModalFormula],
+                 coordinate: dict[ModalFormula, int]) -> None:
+        self.network = network
+        self.subformulas = subformulas
+        self.coordinate = coordinate
+
+    @property
+    def dimension(self) -> int:
+        return len(self.subformulas)
+
+    def initial_features(self, graph) -> dict:
+        """Indicator features: atom coordinates set from the graph, rest 0."""
+        features = {node: np.zeros(self.dimension) for node in graph.nodes()}
+        for sub in self.subformulas:
+            i = self.coordinate[sub]
+            if isinstance(sub, LabelProp):
+                for node in features:
+                    if graph.node_label(node) == sub.label:
+                        features[node][i] = 1.0
+            elif isinstance(sub, FeatureProp):
+                for node in features:
+                    if graph.node_feature(node, sub.index) == sub.value:
+                        features[node][i] = 1.0
+            elif isinstance(sub, ModalTrue):
+                for node in features:
+                    features[node][i] = 1.0
+        return features
+
+    def satisfying_nodes(self, graph) -> set:
+        """Evaluate the compiled formula procedurally: one GNN forward pass."""
+        return self.network.satisfying_nodes(graph, self.initial_features(graph))
+
+    def classify(self, graph) -> dict:
+        return self.network.classify(graph, self.initial_features(graph))
+
+
+def compile_modal_formula(formula: ModalFormula, *,
+                          direction: str = "out") -> CompiledModalGNN:
+    """Build the AC-GNN equivalent to ``formula``.
+
+    ``direction`` must match the one used in the declarative semantics.
+    """
+    subformulas = modal_subformulas(formula)
+    coordinate = {sub: i for i, sub in enumerate(subformulas)}
+    height: dict[ModalFormula, int] = {}
+    for sub in subformulas:
+        if isinstance(sub, (LabelProp, FeatureProp, ModalTrue)):
+            height[sub] = 0
+        elif isinstance(sub, ModalNot):
+            height[sub] = height[sub.inner] + 1
+        elif isinstance(sub, (ModalAnd, ModalOr)):
+            height[sub] = max(height[sub.left], height[sub.right]) + 1
+        elif isinstance(sub, DiamondAtLeast):
+            height[sub] = height[sub.inner] + 1
+        else:
+            raise LogicError(f"unknown modal node: {type(sub).__name__}")
+    depth = max(height.values(), default=0)
+    dimension = len(subformulas)
+
+    layers = []
+    for level in range(1, depth + 1):
+        w_self = np.zeros((dimension, dimension))
+        w_neigh = np.zeros((dimension, dimension))
+        bias = np.zeros(dimension)
+        for sub in subformulas:
+            i = coordinate[sub]
+            if height[sub] < level:
+                # Already correct: carry through the identity (0/1 values are
+                # fixed points of clip01).
+                w_self[i, i] = 1.0
+            elif height[sub] == level:
+                if isinstance(sub, ModalNot):
+                    bias[i] = 1.0
+                    w_self[coordinate[sub.inner], i] += -1.0
+                elif isinstance(sub, ModalAnd):
+                    bias[i] = -1.0
+                    w_self[coordinate[sub.left], i] += 1.0
+                    w_self[coordinate[sub.right], i] += 1.0
+                elif isinstance(sub, ModalOr):
+                    w_self[coordinate[sub.left], i] += 1.0
+                    w_self[coordinate[sub.right], i] += 1.0
+                elif isinstance(sub, DiamondAtLeast):
+                    w_neigh[coordinate[sub.inner], i] = 1.0
+                    bias[i] = float(1 - sub.count)
+                else:  # pragma: no cover - atoms have height 0
+                    raise LogicError(f"atom {sub!r} cannot have positive height")
+            # Coordinates with height > level stay zero until their turn.
+        layers.append(Layer(w_self, w_neigh, bias))
+    if not layers:
+        # A purely atomic formula: the identity network (zero rounds needed,
+        # but ACGNN wants at least the readout, so use one identity layer).
+        identity = np.eye(dimension)
+        layers = [Layer(identity, np.zeros((dimension, dimension)),
+                        np.zeros(dimension))]
+    network = ACGNN(layers, direction=direction,
+                    readout_coordinate=coordinate[formula])
+    return CompiledModalGNN(network, subformulas, coordinate)

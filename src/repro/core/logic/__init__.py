@@ -1,0 +1,69 @@
+"""Declarative node extraction: first-order logic over graphs (Section 4.3).
+
+- :mod:`repro.core.logic.fo` — FO formulas with unary (node-label) and
+  binary (edge-label) predicates, a tuple-at-a-time evaluator and a
+  materializing evaluator that reports the width of its intermediate
+  relations.
+- :mod:`repro.core.logic.fo2` — the bounded-variable fragment: variable
+  counting, the FO2 evaluation discipline (only unary/binary intermediates),
+  and the paper's phi(x) / psi(x) example pair.
+- :mod:`repro.core.logic.translate` — regex -> FO (fresh variables) and
+  regex -> FO2 (two reused variables, the Vardi idiom) for star-free
+  expressions.
+- :mod:`repro.core.logic.modal` — graded modal logic, the fragment matching
+  AC-GNN classifiers (Barcelo et al.).
+"""
+
+from repro.core.logic.fo import (
+    And,
+    CountingExists,
+    EdgeRel,
+    Equals,
+    Exists,
+    Forall,
+    Formula,
+    Label,
+    Not,
+    Or,
+    Prop,
+    TrueFormula,
+    answers_unary,
+    evaluate,
+    evaluate_materialized,
+    free_variables,
+)
+from repro.core.logic.c2 import is_c2, modal_to_c2
+from repro.core.logic.fo2 import (
+    count_distinct_variables,
+    evaluate_bounded,
+    is_bounded_variable,
+    paper_phi,
+    paper_psi,
+)
+from repro.core.logic.translate import regex_to_fo, regex_to_fo2
+from repro.core.logic.modal import (
+    DiamondAtLeast,
+    FeatureProp,
+    LabelProp,
+    ModalAnd,
+    ModalFormula,
+    ModalNot,
+    ModalOr,
+    ModalTrue,
+    evaluate_modal,
+    modal_depth,
+    modal_subformulas,
+)
+
+__all__ = [
+    "Formula", "Label", "EdgeRel", "Prop", "Equals", "TrueFormula",
+    "Not", "And", "Or", "Exists", "Forall", "CountingExists",
+    "is_c2", "modal_to_c2",
+    "free_variables", "evaluate", "evaluate_materialized", "answers_unary",
+    "count_distinct_variables", "is_bounded_variable", "evaluate_bounded",
+    "paper_phi", "paper_psi",
+    "regex_to_fo", "regex_to_fo2",
+    "ModalFormula", "LabelProp", "FeatureProp", "ModalTrue",
+    "ModalNot", "ModalAnd", "ModalOr", "DiamondAtLeast",
+    "evaluate_modal", "modal_depth", "modal_subformulas",
+]

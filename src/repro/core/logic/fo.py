@@ -1,0 +1,405 @@
+"""First-order logic over labeled graphs.
+
+As in Section 4.3 of the paper, node labels are unary predicates and edge
+labels are binary predicates: ``person(x)``, ``rides(x, y)``.  Two
+evaluators are provided:
+
+- :func:`evaluate` — tuple-at-a-time recursion over assignments, the
+  textbook semantics.
+- :func:`evaluate_materialized` — bottom-up evaluation that materializes
+  one relation per subformula and records the *maximum intermediate arity*.
+  This makes the paper's point about bounded-variable evaluation
+  measurable: the three-variable phi(x) materializes a ternary relation,
+  while the equivalent two-variable psi(x) never exceeds binary (see
+  :mod:`repro.core.logic.fo2` and experiment L1).
+
+Quantifiers range over the graph's nodes.  Formulas must be *sentences up
+to their free variables*: evaluating with an assignment that misses a free
+variable raises :class:`repro.errors.LogicError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product as iter_product
+
+from repro.errors import LogicError
+
+
+class Formula:
+    """Base class of FO formulas (a small closed hierarchy)."""
+
+    def __and__(self, other: "Formula") -> "Formula":
+        return And(self, other)
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return Or(self, other)
+
+    def __invert__(self) -> "Formula":
+        return Not(self)
+
+
+@dataclass(frozen=True)
+class Label(Formula):
+    """Unary predicate ``label(var)``: the node bound to var has this label."""
+
+    label: str
+    var: str
+
+
+@dataclass(frozen=True)
+class Prop(Formula):
+    """Unary predicate ``(prop = value)(var)`` on property graphs."""
+
+    prop: str
+    value: str
+    var: str
+
+
+@dataclass(frozen=True)
+class EdgeRel(Formula):
+    """Binary predicate ``label(source_var, target_var)``: a conforming edge."""
+
+    label: str
+    source: str
+    target: str
+
+
+@dataclass(frozen=True)
+class Equals(Formula):
+    """``var1 = var2``."""
+
+    left: str
+    right: str
+
+
+@dataclass(frozen=True)
+class TrueFormula(Formula):
+    """The formula that always holds."""
+
+
+@dataclass(frozen=True)
+class Not(Formula):
+    inner: Formula
+
+
+@dataclass(frozen=True)
+class And(Formula):
+    left: Formula
+    right: Formula
+
+
+@dataclass(frozen=True)
+class Or(Formula):
+    left: Formula
+    right: Formula
+
+
+@dataclass(frozen=True)
+class Exists(Formula):
+    var: str
+    inner: Formula
+
+
+@dataclass(frozen=True)
+class Forall(Formula):
+    var: str
+    inner: Formula
+
+
+@dataclass(frozen=True)
+class CountingExists(Formula):
+    """The counting quantifier ``exists^{>=count} var . inner``.
+
+    Adding these to the two-variable fragment yields the logic C2, which —
+    by Cai, Furer and Immerman [22], as the paper recounts — has exactly
+    the distinguishing power of the Weisfeiler-Lehman test, and through it
+    bounds GNN expressiveness.
+    """
+
+    var: str
+    count: int
+    inner: Formula
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise LogicError("counting quantifier needs count >= 1")
+
+
+def free_variables(formula: Formula) -> frozenset[str]:
+    """The free variables of a formula."""
+    if isinstance(formula, Label):
+        return frozenset({formula.var})
+    if isinstance(formula, Prop):
+        return frozenset({formula.var})
+    if isinstance(formula, EdgeRel):
+        return frozenset({formula.source, formula.target})
+    if isinstance(formula, Equals):
+        return frozenset({formula.left, formula.right})
+    if isinstance(formula, TrueFormula):
+        return frozenset()
+    if isinstance(formula, Not):
+        return free_variables(formula.inner)
+    if isinstance(formula, (And, Or)):
+        return free_variables(formula.left) | free_variables(formula.right)
+    if isinstance(formula, (Exists, Forall, CountingExists)):
+        return free_variables(formula.inner) - {formula.var}
+    raise LogicError(f"unknown formula node: {type(formula).__name__}")
+
+
+def all_variables(formula: Formula) -> frozenset[str]:
+    """Every variable name occurring in the formula, bound or free."""
+    if isinstance(formula, (Label, Prop)):
+        return frozenset({formula.var})
+    if isinstance(formula, EdgeRel):
+        return frozenset({formula.source, formula.target})
+    if isinstance(formula, Equals):
+        return frozenset({formula.left, formula.right})
+    if isinstance(formula, TrueFormula):
+        return frozenset()
+    if isinstance(formula, Not):
+        return all_variables(formula.inner)
+    if isinstance(formula, (And, Or)):
+        return all_variables(formula.left) | all_variables(formula.right)
+    if isinstance(formula, (Exists, Forall, CountingExists)):
+        return all_variables(formula.inner) | {formula.var}
+    raise LogicError(f"unknown formula node: {type(formula).__name__}")
+
+
+# ---------------------------------------------------------------------------
+# Tuple-at-a-time evaluation
+# ---------------------------------------------------------------------------
+
+
+def evaluate(graph, formula: Formula, assignment: dict | None = None) -> bool:
+    """Does ``graph, assignment |= formula``?"""
+    assignment = assignment or {}
+    missing = free_variables(formula) - set(assignment)
+    if missing:
+        raise LogicError(f"unassigned free variables: {sorted(missing)}")
+    return _eval(graph, formula, assignment)
+
+
+def _eval(graph, formula: Formula, assignment: dict) -> bool:
+    if isinstance(formula, Label):
+        return graph.node_label(assignment[formula.var]) == formula.label
+    if isinstance(formula, Prop):
+        return graph.node_property(assignment[formula.var], formula.prop) == formula.value
+    if isinstance(formula, EdgeRel):
+        source = assignment[formula.source]
+        target = assignment[formula.target]
+        return any(graph.edge_label(edge) == formula.label
+                   for edge in graph.edges_between(source, target))
+    if isinstance(formula, Equals):
+        return assignment[formula.left] == assignment[formula.right]
+    if isinstance(formula, TrueFormula):
+        return True
+    if isinstance(formula, Not):
+        return not _eval(graph, formula.inner, assignment)
+    if isinstance(formula, And):
+        return _eval(graph, formula.left, assignment) and _eval(graph, formula.right, assignment)
+    if isinstance(formula, Or):
+        return _eval(graph, formula.left, assignment) or _eval(graph, formula.right, assignment)
+    if isinstance(formula, Exists):
+        extended = dict(assignment)
+        for node in graph.nodes():
+            extended[formula.var] = node
+            if _eval(graph, formula.inner, extended):
+                return True
+        return False
+    if isinstance(formula, Forall):
+        extended = dict(assignment)
+        for node in graph.nodes():
+            extended[formula.var] = node
+            if not _eval(graph, formula.inner, extended):
+                return False
+        return True
+    if isinstance(formula, CountingExists):
+        extended = dict(assignment)
+        witnesses = 0
+        for node in graph.nodes():
+            extended[formula.var] = node
+            if _eval(graph, formula.inner, extended):
+                witnesses += 1
+                if witnesses >= formula.count:
+                    return True
+        return False
+    raise LogicError(f"unknown formula node: {type(formula).__name__}")
+
+
+def answers_unary(graph, formula: Formula, var: str | None = None) -> set:
+    """The nodes a such that formula(a) holds (formula has one free variable)."""
+    free = free_variables(formula)
+    if var is None:
+        if len(free) != 1:
+            raise LogicError(
+                f"answers_unary needs exactly one free variable, got {sorted(free)}")
+        var = next(iter(free))
+    elif free - {var}:
+        raise LogicError(f"unexpected free variables: {sorted(free - {var})}")
+    return {node for node in graph.nodes()
+            if _eval(graph, formula, {var: node})}
+
+
+# ---------------------------------------------------------------------------
+# Materializing evaluation (relation per subformula, width tracked)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class MaterializationStats:
+    """Width/size accounting for experiment L1."""
+
+    max_width: int = 0
+    max_rows: int = 0
+    relations_built: int = 0
+
+    def record(self, width: int, rows: int) -> None:
+        self.max_width = max(self.max_width, width)
+        self.max_rows = max(self.max_rows, rows)
+        self.relations_built += 1
+
+
+def evaluate_materialized(graph, formula: Formula,
+                          ) -> tuple[set, tuple[str, ...], MaterializationStats]:
+    """Bottom-up evaluation; returns (tuples, column order, stats).
+
+    The relation contains one tuple per satisfying assignment of the free
+    variables (columns sorted by name).  A sentence yields columns ``()``
+    and either {()} (true) or set() (false).
+    """
+    stats = MaterializationStats()
+    domain = sorted(graph.nodes(), key=str)
+    rows, columns = _materialize(graph, formula, domain, stats)
+    return rows, columns, stats
+
+
+def _materialize(graph, formula: Formula, domain: list, stats: MaterializationStats,
+                 ) -> tuple[set, tuple[str, ...]]:
+    if isinstance(formula, Label):
+        rows = {(node,) for node in domain
+                if graph.node_label(node) == formula.label}
+        return _record(stats, rows, (formula.var,))
+    if isinstance(formula, Prop):
+        rows = {(node,) for node in domain
+                if graph.node_property(node, formula.prop) == formula.value}
+        return _record(stats, rows, (formula.var,))
+    if isinstance(formula, EdgeRel):
+        if formula.source == formula.target:
+            rows = {(graph.source(edge),) for edge in graph.edges()
+                    if graph.edge_label(edge) == formula.label
+                    and graph.source(edge) == graph.target(edge)}
+            return _record(stats, rows, (formula.source,))
+        pairs = {(graph.source(edge), graph.target(edge))
+                 for edge in graph.edges()
+                 if graph.edge_label(edge) == formula.label}
+        columns = tuple(sorted((formula.source, formula.target)))
+        if columns == (formula.source, formula.target):
+            rows = pairs
+        else:
+            rows = {(t, s) for s, t in pairs}
+        return _record(stats, rows, columns)
+    if isinstance(formula, Equals):
+        if formula.left == formula.right:
+            return _record(stats, {(node,) for node in domain}, (formula.left,))
+        columns = tuple(sorted((formula.left, formula.right)))
+        return _record(stats, {(node, node) for node in domain}, columns)
+    if isinstance(formula, TrueFormula):
+        return _record(stats, {()}, ())
+    if isinstance(formula, Not):
+        inner_rows, columns = _materialize(graph, formula.inner, domain, stats)
+        universe = set(iter_product(domain, repeat=len(columns)))
+        return _record(stats, universe - inner_rows, columns)
+    if isinstance(formula, And):
+        left_rows, left_cols = _materialize(graph, formula.left, domain, stats)
+        right_rows, right_cols = _materialize(graph, formula.right, domain, stats)
+        rows, columns = _join(left_rows, left_cols, right_rows, right_cols)
+        return _record(stats, rows, columns)
+    if isinstance(formula, Or):
+        left_rows, left_cols = _materialize(graph, formula.left, domain, stats)
+        right_rows, right_cols = _materialize(graph, formula.right, domain, stats)
+        columns = tuple(sorted(set(left_cols) | set(right_cols)))
+        rows = (_expand(left_rows, left_cols, columns, domain)
+                | _expand(right_rows, right_cols, columns, domain))
+        return _record(stats, rows, columns)
+    if isinstance(formula, (Exists, Forall, CountingExists)):
+        inner_rows, inner_cols = _materialize(graph, formula.inner, domain, stats)
+        if formula.var not in inner_cols:
+            # Quantifying a variable not free inside: the inner truth value
+            # is kept, except a counting quantifier also needs enough
+            # domain elements to witness the count.
+            if isinstance(formula, CountingExists) and formula.count > len(domain):
+                return _record(stats, set(), inner_cols)
+            return inner_rows, inner_cols
+        keep = tuple(c for c in inner_cols if c != formula.var)
+        index = inner_cols.index(formula.var)
+        if isinstance(formula, Exists):
+            rows = {tuple(v for i, v in enumerate(row) if i != index)
+                    for row in inner_rows}
+        elif isinstance(formula, Forall):
+            groups: dict = {}
+            for row in inner_rows:
+                key = tuple(v for i, v in enumerate(row) if i != index)
+                groups.setdefault(key, set()).add(row[index])
+            full = set(domain)
+            rows = {key for key, values in groups.items() if values == full}
+        else:
+            groups = {}
+            for row in inner_rows:
+                key = tuple(v for i, v in enumerate(row) if i != index)
+                groups.setdefault(key, set()).add(row[index])
+            rows = {key for key, values in groups.items()
+                    if len(values) >= formula.count}
+        return _record(stats, rows, keep)
+    raise LogicError(f"unknown formula node: {type(formula).__name__}")
+
+
+def _record(stats: MaterializationStats, rows: set, columns: tuple[str, ...],
+            ) -> tuple[set, tuple[str, ...]]:
+    stats.record(len(columns), len(rows))
+    return rows, columns
+
+
+def _join(left_rows: set, left_cols: tuple, right_rows: set, right_cols: tuple,
+          ) -> tuple[set, tuple[str, ...]]:
+    """Natural hash join on the shared columns."""
+    shared = tuple(c for c in left_cols if c in right_cols)
+    columns = tuple(sorted(set(left_cols) | set(right_cols)))
+    right_only = tuple(c for c in right_cols if c not in left_cols)
+    left_shared_idx = [left_cols.index(c) for c in shared]
+    right_shared_idx = [right_cols.index(c) for c in shared]
+    right_only_idx = [right_cols.index(c) for c in right_only]
+    table: dict = {}
+    for row in right_rows:
+        key = tuple(row[i] for i in right_shared_idx)
+        table.setdefault(key, []).append(tuple(row[i] for i in right_only_idx))
+    out_positions = {c: i for i, c in enumerate(columns)}
+    rows = set()
+    for row in left_rows:
+        key = tuple(row[i] for i in left_shared_idx)
+        for extra in table.get(key, ()):
+            merged = [None] * len(columns)
+            for c, v in zip(left_cols, row):
+                merged[out_positions[c]] = v
+            for c, v in zip(right_only, extra):
+                merged[out_positions[c]] = v
+            rows.add(tuple(merged))
+    return rows, columns
+
+
+def _expand(rows: set, columns: tuple, target_columns: tuple, domain: list) -> set:
+    """Pad a relation to extra columns by crossing with the domain."""
+    if columns == target_columns:
+        return rows
+    missing = [c for c in target_columns if c not in columns]
+    positions = {c: i for i, c in enumerate(target_columns)}
+    result = set()
+    for row in rows:
+        for filler in iter_product(domain, repeat=len(missing)):
+            merged = [None] * len(target_columns)
+            for c, v in zip(columns, row):
+                merged[positions[c]] = v
+            for c, v in zip(missing, filler):
+                merged[positions[c]] = v
+            result.add(tuple(merged))
+    return result

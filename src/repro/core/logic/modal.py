@@ -1,0 +1,171 @@
+"""Graded modal logic — the logic of AC-GNN classifiers (Section 4.3).
+
+Barcelo et al. [16] characterize the unary queries expressible by
+aggregate-combine graph neural networks as exactly those definable in
+*graded modal logic*: Boolean combinations of node atoms plus the counting
+modality "at least k neighbors satisfy phi".  This module gives the logic
+its standalone declarative semantics; :mod:`repro.core.gnn.compiler` turns
+any formula into an equivalent GNN, and the test suite checks the two
+agree on arbitrary graphs — the paper's declarative/procedural bridge made
+executable.
+
+Neighborhood direction is a parameter (``out``, ``in`` or ``both``) shared
+with the GNN aggregation so the two sides always count the same edges;
+multiplicities count (two parallel edges to a satisfying node contribute 2
+to the grade).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import LogicError, ModelCapabilityError
+
+
+class ModalFormula:
+    """Base class of graded modal formulas."""
+
+    def __and__(self, other: "ModalFormula") -> "ModalFormula":
+        return ModalAnd(self, other)
+
+    def __or__(self, other: "ModalFormula") -> "ModalFormula":
+        return ModalOr(self, other)
+
+    def __invert__(self) -> "ModalFormula":
+        return ModalNot(self)
+
+
+@dataclass(frozen=True)
+class LabelProp(ModalFormula):
+    """Atom: the node's label equals ``label``."""
+
+    label: str
+
+
+@dataclass(frozen=True)
+class FeatureProp(ModalFormula):
+    """Atom: feature ``index`` (1-based) of the node's vector equals ``value``."""
+
+    index: int
+    value: str
+
+
+@dataclass(frozen=True)
+class ModalTrue(ModalFormula):
+    """Holds at every node."""
+
+
+@dataclass(frozen=True)
+class ModalNot(ModalFormula):
+    inner: ModalFormula
+
+
+@dataclass(frozen=True)
+class ModalAnd(ModalFormula):
+    left: ModalFormula
+    right: ModalFormula
+
+
+@dataclass(frozen=True)
+class ModalOr(ModalFormula):
+    left: ModalFormula
+    right: ModalFormula
+
+
+@dataclass(frozen=True)
+class DiamondAtLeast(ModalFormula):
+    """Counting modality: at least ``count`` neighbor-edges lead to nodes
+    satisfying ``inner``."""
+
+    count: int
+    inner: ModalFormula
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise LogicError("the grade of a diamond must be at least 1")
+
+
+def modal_depth(formula: ModalFormula) -> int:
+    """Nesting depth of diamonds — the number of GNN layers needed."""
+    if isinstance(formula, (LabelProp, FeatureProp, ModalTrue)):
+        return 0
+    if isinstance(formula, ModalNot):
+        return modal_depth(formula.inner)
+    if isinstance(formula, (ModalAnd, ModalOr)):
+        return max(modal_depth(formula.left), modal_depth(formula.right))
+    if isinstance(formula, DiamondAtLeast):
+        return 1 + modal_depth(formula.inner)
+    raise LogicError(f"unknown modal node: {type(formula).__name__}")
+
+
+def modal_subformulas(formula: ModalFormula) -> list[ModalFormula]:
+    """All distinct subformulas, children before parents (topological)."""
+    order: list[ModalFormula] = []
+    seen: set[ModalFormula] = set()
+
+    def visit(node: ModalFormula) -> None:
+        if node in seen:
+            return
+        if isinstance(node, ModalNot):
+            visit(node.inner)
+        elif isinstance(node, (ModalAnd, ModalOr)):
+            visit(node.left)
+            visit(node.right)
+        elif isinstance(node, DiamondAtLeast):
+            visit(node.inner)
+        seen.add(node)
+        order.append(node)
+
+    visit(formula)
+    return order
+
+
+def neighbor_multiset(graph, node, direction: str) -> list:
+    """Neighbor nodes reached over edges in the given direction, with
+    multiplicity (both directions double-count self-loop partners, matching
+    sum aggregation in the GNN)."""
+    if direction == "out":
+        return list(graph.successors(node))
+    if direction == "in":
+        return list(graph.predecessors(node))
+    if direction == "both":
+        return list(graph.successors(node)) + list(graph.predecessors(node))
+    raise LogicError(f"unknown direction {direction!r}")
+
+
+def evaluate_modal(graph, formula: ModalFormula, *,
+                   direction: str = "out") -> set:
+    """The set of nodes satisfying ``formula`` (bottom-up over subformulas)."""
+    satisfied: dict[ModalFormula, set] = {}
+    nodes = list(graph.nodes())
+    for sub in modal_subformulas(formula):
+        if isinstance(sub, LabelProp):
+            lookup = getattr(graph, "node_label", None)
+            if lookup is None:
+                raise ModelCapabilityError("label atoms need a labeled graph")
+            satisfied[sub] = {n for n in nodes if lookup(n) == sub.label}
+        elif isinstance(sub, FeatureProp):
+            lookup = getattr(graph, "node_feature", None)
+            if lookup is None:
+                raise ModelCapabilityError("feature atoms need a vector-labeled graph")
+            satisfied[sub] = {n for n in nodes if lookup(n, sub.index) == sub.value}
+        elif isinstance(sub, ModalTrue):
+            satisfied[sub] = set(nodes)
+        elif isinstance(sub, ModalNot):
+            satisfied[sub] = set(nodes) - satisfied[sub.inner]
+        elif isinstance(sub, ModalAnd):
+            satisfied[sub] = satisfied[sub.left] & satisfied[sub.right]
+        elif isinstance(sub, ModalOr):
+            satisfied[sub] = satisfied[sub.left] | satisfied[sub.right]
+        elif isinstance(sub, DiamondAtLeast):
+            inner = satisfied[sub.inner]
+            result = set()
+            for n in nodes:
+                hits = sum(1 for m in neighbor_multiset(graph, n, direction)
+                           if m in inner)
+                if hits >= sub.count:
+                    result.add(n)
+            satisfied[sub] = result
+        else:
+            raise LogicError(f"unknown modal node: {type(sub).__name__}")
+    return satisfied[formula]

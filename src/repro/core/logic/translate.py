@@ -1,0 +1,145 @@
+"""Translating regexes into first-order logic (star-free fragment).
+
+Section 4.3 evaluates the regex ``?person/rides/?bus/rides^-/?infected``
+by translating it into FO — naively with a fresh variable per step
+(phi-style), or cleverly with two reused variables (psi-style), since "the
+result of any join in r is always a binary table".  These translators
+implement both schemes for arbitrary *star-free* regexes; Kleene star needs
+transitive closure, which FO cannot express, so it raises
+:class:`repro.errors.LogicError`.
+
+The produced formulas define node extraction: formula(x) holds iff some
+path conforming to the regex starts at x.
+"""
+
+from __future__ import annotations
+
+from repro.core.logic.fo import And, EdgeRel, Exists, Formula, Label, Or, TrueFormula
+from repro.core.rpq.ast import (
+    AndTest,
+    Concat,
+    EdgeAtom,
+    FalseTest,
+    LabelTest,
+    NodeTest,
+    NotTest,
+    OrTest,
+    Regex,
+    Star,
+    Test,
+    TrueTest,
+    Union,
+)
+from repro.core.logic.fo import Not as FONot
+from repro.errors import LogicError
+
+
+def regex_to_fo2(regex: Regex, var: str = "x", other: str = "y") -> Formula:
+    """Two-variable translation (the Vardi/psi idiom): variables alternate
+    between ``var`` and ``other`` and are requantified once dead."""
+    items = _flatten(regex)
+    return _translate(items, var, other)
+
+
+def regex_to_fo(regex: Regex, prefix: str = "v") -> Formula:
+    """Naive translation with a fresh variable per traversed edge (phi-style).
+
+    The first position is named ``x`` so answers line up with
+    :func:`regex_to_fo2`; fresh variables are ``v1, v2, ...``.
+    """
+    items = _flatten(regex)
+    counter = [0]
+
+    def fresh() -> str:
+        counter[0] += 1
+        return f"{prefix}{counter[0]}"
+
+    return _translate_fresh(items, "x", fresh)
+
+
+def _flatten(regex: Regex) -> list[Regex]:
+    """Flatten nested concatenations into a sequence of steps."""
+    if isinstance(regex, Concat):
+        return _flatten(regex.left) + _flatten(regex.right)
+    return [regex]
+
+
+def _translate(items: list[Regex], current: str, other: str) -> Formula:
+    if not items:
+        return TrueFormula()
+    head, rest = items[0], items[1:]
+    if isinstance(head, NodeTest):
+        return _and(_test_formula(head.test, current), _translate(rest, current, other))
+    if isinstance(head, EdgeAtom):
+        step = _edge_formula(head, current, other)
+        # `current` is dead after the step; the continuation may reuse it.
+        return Exists(other, _and(step, _translate(rest, other, current)))
+    if isinstance(head, Union):
+        return Or(_translate(_flatten(head.left) + rest, current, other),
+                  _translate(_flatten(head.right) + rest, current, other))
+    if isinstance(head, Star):
+        raise LogicError(
+            "Kleene star needs transitive closure; FO translation covers the "
+            "star-free fragment only")
+    raise LogicError(f"unknown regex node: {type(head).__name__}")
+
+
+def _translate_fresh(items: list[Regex], current: str, fresh) -> Formula:
+    if not items:
+        return TrueFormula()
+    head, rest = items[0], items[1:]
+    if isinstance(head, NodeTest):
+        return _and(_test_formula(head.test, current),
+                    _translate_fresh(rest, current, fresh))
+    if isinstance(head, EdgeAtom):
+        target = fresh()
+        step = _edge_formula(head, current, target)
+        return Exists(target, _and(step, _translate_fresh(rest, target, fresh)))
+    if isinstance(head, Union):
+        return Or(_translate_fresh(_flatten(head.left) + rest, current, fresh),
+                  _translate_fresh(_flatten(head.right) + rest, current, fresh))
+    if isinstance(head, Star):
+        raise LogicError(
+            "Kleene star needs transitive closure; FO translation covers the "
+            "star-free fragment only")
+    raise LogicError(f"unknown regex node: {type(head).__name__}")
+
+
+def _edge_formula(atom: EdgeAtom, current: str, target: str) -> Formula:
+    label = _edge_label(atom.test)
+    if atom.inverse:
+        return EdgeRel(label, target, current)
+    return EdgeRel(label, current, target)
+
+
+def _edge_label(test: Test) -> str:
+    if isinstance(test, LabelTest):
+        return test.label
+    raise LogicError(
+        "FO translation supports single-label edge atoms; Boolean edge tests "
+        "have no single binary predicate")
+
+
+def _test_formula(test: Test, var: str) -> Formula:
+    if isinstance(test, LabelTest):
+        return Label(test.label, var)
+    if isinstance(test, TrueTest):
+        return TrueFormula()
+    if isinstance(test, FalseTest):
+        return FONot(TrueFormula())
+    if isinstance(test, NotTest):
+        return FONot(_test_formula(test.inner, var))
+    if isinstance(test, AndTest):
+        return And(_test_formula(test.left, var), _test_formula(test.right, var))
+    if isinstance(test, OrTest):
+        return Or(_test_formula(test.left, var), _test_formula(test.right, var))
+    raise LogicError(
+        f"test {test!r} has no FO counterpart over labeled graphs")
+
+
+def _and(left: Formula, right: Formula) -> Formula:
+    if isinstance(right, TrueFormula):
+        return left
+    if isinstance(left, TrueFormula):
+        return right
+    return And(left, right)

@@ -1,0 +1,75 @@
+"""Regular path queries: the regex grammar of the paper and its algorithms.
+
+The grammar (paper, eq. (1)) over a labeled graph::
+
+    test ::= l | (!test) | (test | test) | (test & test)
+    r    ::= ?test | test | test^- | (r + r) | (r / r) | (r*)
+
+extended with property tests ``(p = v)`` for property graphs and feature
+tests ``(f_i = v)`` for vector-labeled graphs.  Answers are paths (walks)
+``n0 e1 n1 ... ek nk`` whose labels conform to ``r``; ``?test`` checks the
+node at the current position without consuming an edge; ``test^-`` traverses
+an edge backwards.
+
+Algorithms (Section 4.1):
+
+- :func:`count_paths_exact` / :func:`count_paths_bruteforce` — the problem
+  ``Count`` (SpanL-complete in general; exact algorithms are worst-case
+  exponential).
+- :class:`ApproxPathCounter` — the FPRAS of Arenas, Croquevielle, Jayaram
+  and Riveros, adapted to the graph/automaton product.
+- :class:`UniformPathSampler` — the problem ``Gen``: preprocessing phase +
+  exactly-uniform generation phase.
+- :func:`enumerate_paths` — polynomial-delay enumeration after a
+  preprocessing phase.
+"""
+
+from repro.core.rpq.ast import (
+    AndTest,
+    EdgeAtom,
+    FalseTest,
+    FeatureTest,
+    LabelTest,
+    NodeTest,
+    NotTest,
+    OrTest,
+    PropertyTest,
+    Regex,
+    Concat,
+    Star,
+    Test,
+    TrueTest,
+    Union,
+    concat,
+    optional,
+    plus,
+    star,
+    union,
+)
+from repro.core.rpq.parser import parse_regex, parse_test
+from repro.core.rpq.paths import Path, cat
+from repro.core.rpq.nfa import NFA, compile_regex
+from repro.core.rpq.product import ProductNFA, build_product
+from repro.core.rpq.semantics import evaluate_bruteforce
+from repro.core.rpq.evaluate import endpoint_pairs, nodes_matching, paths_matching
+from repro.core.rpq.count import count_paths_bruteforce, count_paths_exact
+from repro.core.rpq.enumerate import enumerate_paths, enumerate_paths_up_to
+from repro.core.rpq.generate import UniformPathSampler
+from repro.core.rpq.fpras import ApproxPathCounter
+
+__all__ = [
+    "Test", "LabelTest", "PropertyTest", "FeatureTest", "TrueTest", "FalseTest",
+    "NotTest", "AndTest", "OrTest",
+    "Regex", "NodeTest", "EdgeAtom", "Union", "Concat", "Star",
+    "union", "concat", "star", "plus", "optional",
+    "parse_regex", "parse_test",
+    "Path", "cat",
+    "NFA", "compile_regex",
+    "ProductNFA", "build_product",
+    "evaluate_bruteforce",
+    "paths_matching", "endpoint_pairs", "nodes_matching",
+    "count_paths_exact", "count_paths_bruteforce",
+    "enumerate_paths", "enumerate_paths_up_to",
+    "UniformPathSampler",
+    "ApproxPathCounter",
+]

@@ -1,0 +1,386 @@
+"""AST for the paper's regular expressions over graphs (grammar (1)).
+
+Two syntactic categories:
+
+- :class:`Test` — Boolean combinations of atomic tests.  Atomic tests come
+  in the three flavours the paper defines, one per data model: label tests
+  ``l`` (labeled graphs), property tests ``(p = v)`` (property graphs) and
+  feature tests ``(f_i = v)`` (vector-labeled graphs).
+- :class:`Regex` — node tests ``?test``, edge atoms ``test`` / ``test^-``,
+  union ``+``, concatenation ``/`` and Kleene star ``*``.
+
+Tests are evaluated against nodes or edges of a concrete graph model; asking
+a model for a capability it lacks (for example a feature test on a plain
+labeled graph) raises :class:`repro.errors.ModelCapabilityError` rather than
+silently failing, matching the paper's per-model grammars.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.errors import ModelCapabilityError
+
+
+# ---------------------------------------------------------------------------
+# Tests
+# ---------------------------------------------------------------------------
+
+
+class Test(ABC):
+    """A Boolean test on a single node or edge."""
+
+    @abstractmethod
+    def matches_node(self, graph, node) -> bool:
+        """Does this test hold at ``node`` of ``graph``?"""
+
+    @abstractmethod
+    def matches_edge(self, graph, edge) -> bool:
+        """Does this test hold at ``edge`` of ``graph``?"""
+
+    @abstractmethod
+    def to_text(self) -> str:
+        """Parseable textual form (inverse of :func:`repro.core.rpq.parse_test`)."""
+
+    def __and__(self, other: "Test") -> "Test":
+        return AndTest(self, other)
+
+    def __or__(self, other: "Test") -> "Test":
+        return OrTest(self, other)
+
+    def __invert__(self) -> "Test":
+        return NotTest(self)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.to_text()!r})"
+
+
+@dataclass(frozen=True, repr=False)
+class LabelTest(Test):
+    """The atomic test ``l``: the label of the node/edge equals ``label``."""
+
+    label: str
+
+    def matches_node(self, graph, node) -> bool:
+        lookup = getattr(graph, "node_label", None)
+        if lookup is None:
+            raise ModelCapabilityError(
+                f"label test {self.label!r} needs a labeled graph, "
+                f"got {type(graph).__name__}")
+        return lookup(node) == self.label
+
+    def matches_edge(self, graph, edge) -> bool:
+        lookup = getattr(graph, "edge_label", None)
+        if lookup is None:
+            raise ModelCapabilityError(
+                f"label test {self.label!r} needs a labeled graph, "
+                f"got {type(graph).__name__}")
+        return lookup(edge) == self.label
+
+    def to_text(self) -> str:
+        return _quote_if_needed(self.label)
+
+
+@dataclass(frozen=True, repr=False)
+class PropertyTest(Test):
+    """The atomic test ``(p = v)`` on property graphs.
+
+    Where sigma is undefined for the property, the test is false (sigma is a
+    partial function in the paper's definition).
+    """
+
+    prop: str
+    value: str
+
+    def matches_node(self, graph, node) -> bool:
+        lookup = getattr(graph, "node_property", None)
+        if lookup is None:
+            raise ModelCapabilityError(
+                f"property test ({self.prop} = {self.value}) needs a property "
+                f"graph, got {type(graph).__name__}")
+        return lookup(node, self.prop) == self.value
+
+    def matches_edge(self, graph, edge) -> bool:
+        lookup = getattr(graph, "edge_property", None)
+        if lookup is None:
+            raise ModelCapabilityError(
+                f"property test ({self.prop} = {self.value}) needs a property "
+                f"graph, got {type(graph).__name__}")
+        return lookup(edge, self.prop) == self.value
+
+    def to_text(self) -> str:
+        return f"{_quote_if_needed(self.prop)}={_quote_if_needed(self.value)}"
+
+
+@dataclass(frozen=True, repr=False)
+class FeatureTest(Test):
+    """The atomic test ``(f_i = v)`` on vector-labeled graphs; ``index`` is 1-based."""
+
+    index: int
+    value: str
+
+    def matches_node(self, graph, node) -> bool:
+        lookup = getattr(graph, "node_feature", None)
+        if lookup is None:
+            raise ModelCapabilityError(
+                f"feature test (f{self.index} = {self.value}) needs a "
+                f"vector-labeled graph, got {type(graph).__name__}")
+        return lookup(node, self.index) == self.value
+
+    def matches_edge(self, graph, edge) -> bool:
+        lookup = getattr(graph, "edge_feature", None)
+        if lookup is None:
+            raise ModelCapabilityError(
+                f"feature test (f{self.index} = {self.value}) needs a "
+                f"vector-labeled graph, got {type(graph).__name__}")
+        return lookup(edge, self.index) == self.value
+
+    def to_text(self) -> str:
+        return f"f{self.index}={_quote_if_needed(self.value)}"
+
+
+@dataclass(frozen=True, repr=False)
+class TrueTest(Test):
+    """Matches every node and edge (useful for "any edge" wildcards)."""
+
+    def matches_node(self, graph, node) -> bool:
+        return True
+
+    def matches_edge(self, graph, edge) -> bool:
+        return True
+
+    def to_text(self) -> str:
+        return "true"
+
+
+@dataclass(frozen=True, repr=False)
+class FalseTest(Test):
+    """Matches nothing; the unit of disjunction."""
+
+    def matches_node(self, graph, node) -> bool:
+        return False
+
+    def matches_edge(self, graph, edge) -> bool:
+        return False
+
+    def to_text(self) -> str:
+        return "false"
+
+
+@dataclass(frozen=True, repr=False)
+class NotTest(Test):
+    """``(!test)``."""
+
+    inner: Test
+
+    def matches_node(self, graph, node) -> bool:
+        return not self.inner.matches_node(graph, node)
+
+    def matches_edge(self, graph, edge) -> bool:
+        return not self.inner.matches_edge(graph, edge)
+
+    def to_text(self) -> str:
+        return f"!{_wrap_test(self.inner)}"
+
+
+@dataclass(frozen=True, repr=False)
+class AndTest(Test):
+    """``(test & test)``."""
+
+    left: Test
+    right: Test
+
+    def matches_node(self, graph, node) -> bool:
+        return self.left.matches_node(graph, node) and self.right.matches_node(graph, node)
+
+    def matches_edge(self, graph, edge) -> bool:
+        return self.left.matches_edge(graph, edge) and self.right.matches_edge(graph, edge)
+
+    def to_text(self) -> str:
+        return f"{_wrap_test(self.left)}&{_wrap_test(self.right)}"
+
+
+@dataclass(frozen=True, repr=False)
+class OrTest(Test):
+    """``(test | test)``."""
+
+    left: Test
+    right: Test
+
+    def matches_node(self, graph, node) -> bool:
+        return self.left.matches_node(graph, node) or self.right.matches_node(graph, node)
+
+    def matches_edge(self, graph, edge) -> bool:
+        return self.left.matches_edge(graph, edge) or self.right.matches_edge(graph, edge)
+
+    def to_text(self) -> str:
+        return f"{_wrap_test(self.left)}|{_wrap_test(self.right)}"
+
+
+def _wrap_test(test: Test) -> str:
+    if isinstance(test, (AndTest, OrTest)):
+        return f"({test.to_text()})"
+    return test.to_text()
+
+
+# ---------------------------------------------------------------------------
+# Regexes
+# ---------------------------------------------------------------------------
+
+
+class Regex(ABC):
+    """A regular expression over a graph, per grammar (1)."""
+
+    @abstractmethod
+    def to_text(self) -> str:
+        """Parseable textual form (inverse of :func:`repro.core.rpq.parse_regex`)."""
+
+    def __add__(self, other: "Regex") -> "Regex":
+        return Union(self, other)
+
+    def __truediv__(self, other: "Regex") -> "Regex":
+        return Concat(self, other)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.to_text()!r})"
+
+
+@dataclass(frozen=True, repr=False)
+class NodeTest(Regex):
+    """``?test`` — a length-0 path at a node satisfying ``test``."""
+
+    test: Test
+
+    def to_text(self) -> str:
+        return f"?{_wrap_atom_test(self.test)}"
+
+
+@dataclass(frozen=True, repr=False)
+class EdgeAtom(Regex):
+    """``test`` (follow a conforming edge) or ``test^-`` (follow it backwards)."""
+
+    test: Test
+    inverse: bool = False
+
+    def to_text(self) -> str:
+        suffix = "^-" if self.inverse else ""
+        return f"{_wrap_atom_test(self.test)}{suffix}"
+
+
+@dataclass(frozen=True, repr=False)
+class Union(Regex):
+    """``(r + r)``."""
+
+    left: Regex
+    right: Regex
+
+    def to_text(self) -> str:
+        # Parenthesize a right-nested union so parsing (left-associative)
+        # rebuilds this exact tree.
+        right = self.right.to_text()
+        if isinstance(self.right, Union):
+            right = f"({right})"
+        return f"{self.left.to_text()} + {right}"
+
+
+@dataclass(frozen=True, repr=False)
+class Concat(Regex):
+    """``(r / r)`` — paths sharing the junction node, concatenated."""
+
+    left: Regex
+    right: Regex
+
+    def to_text(self) -> str:
+        right = _wrap_concat(self.right)
+        if isinstance(self.right, Concat):
+            right = f"({right})"
+        return f"{_wrap_concat(self.left)}/{right}"
+
+
+@dataclass(frozen=True, repr=False)
+class Star(Regex):
+    """``(r*)`` — zero or more concatenations of ``r``."""
+
+    inner: Regex
+
+    def to_text(self) -> str:
+        return f"{_wrap_postfix(self.inner)}*"
+
+
+def _wrap_atom_test(test: Test) -> str:
+    if isinstance(test, (AndTest, OrTest, PropertyTest, FeatureTest)):
+        return f"({test.to_text()})"
+    return test.to_text()
+
+
+def _wrap_concat(regex: Regex) -> str:
+    if isinstance(regex, Union):
+        return f"({regex.to_text()})"
+    return regex.to_text()
+
+
+def _wrap_postfix(regex: Regex) -> str:
+    if isinstance(regex, (Union, Concat)):
+        return f"({regex.to_text()})"
+    if isinstance(regex, EdgeAtom) and regex.inverse:
+        return f"({regex.to_text()})"
+    return regex.to_text()
+
+
+# ---------------------------------------------------------------------------
+# Convenience constructors
+# ---------------------------------------------------------------------------
+
+
+def union(*parts: Regex) -> Regex:
+    """n-ary union; requires at least one operand."""
+    if not parts:
+        raise ValueError("union of zero regexes")
+    result = parts[0]
+    for part in parts[1:]:
+        result = Union(result, part)
+    return result
+
+
+def concat(*parts: Regex) -> Regex:
+    """n-ary concatenation; requires at least one operand."""
+    if not parts:
+        raise ValueError("concatenation of zero regexes")
+    result = parts[0]
+    for part in parts[1:]:
+        result = Concat(result, part)
+    return result
+
+
+def star(regex: Regex) -> Regex:
+    return Star(regex)
+
+
+def plus(regex: Regex) -> Regex:
+    """``r+`` sugar: one or more repetitions, i.e. r / r*."""
+    return Concat(regex, Star(regex))
+
+
+def optional(regex: Regex) -> Regex:
+    """``r?`` sugar: the empty path anywhere, or one ``r``."""
+    return Union(NodeTest(TrueTest()), regex)
+
+
+_BARE_RE_CHARS = set("?()/+*&|!=^- \t\n\"'")
+
+
+def _quote_if_needed(value: str) -> str:
+    """Render a constant so the parser reads it back as the same atom.
+
+    Constants that would collide with grammar keywords (``true``/``false``)
+    or with the feature-test shape ``f<digits>`` are quoted.
+    """
+    import re as _re
+
+    text = str(value)
+    reserved = text in ("true", "false") or _re.fullmatch(r"f\d+", text) is not None
+    if text and not reserved and not any(ch in _BARE_RE_CHARS for ch in text):
+        return text
+    escaped = text.replace("\\", "\\\\").replace('"', '\\"')
+    return f'"{escaped}"'

@@ -1,0 +1,91 @@
+"""High-level evaluation helpers over [[r]].
+
+These wrap the product construction for the two query modes Section 4
+discusses beyond raw path sets:
+
+- :func:`endpoint_pairs` — the pairs (a, b) such that some conforming path
+  goes from a to b.  This is plain reachability on the product automaton, so
+  no length bound is needed even though [[r]] itself is infinite.
+- :func:`nodes_matching` — node extraction: the nodes a that can reach some
+  b along a conforming path (the paper's "who possibly got infected on the
+  bus" query shape).
+- :func:`paths_matching` — materialize conforming paths up to a length
+  bound, via the poly-delay enumerator.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.core.rpq.ast import Regex
+from repro.core.rpq.enumerate import enumerate_paths_up_to
+from repro.core.rpq.nfa import compile_regex
+from repro.core.rpq.paths import Path
+from repro.core.rpq.product import INITIAL, build_product
+
+
+def paths_matching(graph, regex: Regex, max_length: int,
+                   start_nodes: Iterable | None = None,
+                   end_nodes: Iterable | None = None) -> Iterator[Path]:
+    """All conforming paths with |p| <= max_length, shortest first."""
+    return enumerate_paths_up_to(graph, regex, max_length,
+                                 start_nodes=start_nodes, end_nodes=end_nodes)
+
+
+def endpoint_pairs(graph, regex: Regex,
+                   start_nodes: Iterable | None = None,
+                   end_nodes: Iterable | None = None) -> set[tuple]:
+    """All (start(p), end(p)) for p in [[regex]] — finite, computed exactly.
+
+    Works by reachability in the product automaton: for each initial symbol
+    ('init', a), every accepting product state reachable from it contributes
+    the pair (a, node-of-that-state).
+    """
+    nfa = compile_regex(regex)
+    product = build_product(graph, nfa, start_nodes=start_nodes, end_nodes=end_nodes)
+    pairs: set[tuple] = set()
+    for symbol, first_states in product.transitions[INITIAL].items():
+        start_node = symbol[1]
+        seen: set[int] = set(first_states)
+        stack = list(first_states)
+        while stack:
+            state = stack.pop()
+            if state in product.accepts:
+                pairs.add((start_node, product.state_node[state]))
+            for targets in product.transitions[state].values():
+                for target in targets:
+                    if target not in seen:
+                        seen.add(target)
+                        stack.append(target)
+    return pairs
+
+
+def nodes_matching(graph, regex: Regex,
+                   end_nodes: Iterable | None = None) -> set:
+    """Node extraction: nodes a with a conforming path from a to some b."""
+    return {a for a, _ in endpoint_pairs(graph, regex, end_nodes=end_nodes)}
+
+
+def shortest_conforming_length(graph, regex: Regex, start_node, end_node) -> int | None:
+    """min{|p| : p in [[regex]], start(p)=start_node, end(p)=end_node}, or None.
+
+    BFS over the product automaton (word length - 1 = path length); this is
+    the distance notion S_{a,b,r} of Section 4.2 builds on.
+    """
+    nfa = compile_regex(regex)
+    product = build_product(graph, nfa, start_nodes=[start_node],
+                            end_nodes=[end_node])
+    frontier = set(product.transitions[INITIAL].get(("init", start_node), ()))
+    seen = set(frontier)
+    distance = 0
+    while frontier:
+        if any(state in product.accepts for state in frontier):
+            return distance
+        next_frontier: set[int] = set()
+        for state in frontier:
+            for targets in product.transitions[state].values():
+                next_frontier.update(targets)
+        frontier = next_frontier - seen
+        seen |= frontier
+        distance += 1
+    return None

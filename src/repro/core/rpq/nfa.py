@@ -1,0 +1,86 @@
+"""Compilation of regexes into nondeterministic finite automata.
+
+The automaton alphabet is *symbolic*: edge transitions carry an edge test
+plus a direction flag, and epsilon transitions may be guarded by a node
+test (the compilation of ``?test``).  Instantiating the symbols against a
+concrete graph happens in :mod:`repro.core.rpq.product`.
+
+The construction is Thompson's, which keeps the automaton linear in the
+size of the regex and makes the correctness argument per-operator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.rpq.ast import Concat, EdgeAtom, NodeTest, Regex, Star, Test, Union
+from repro.errors import LogicError
+
+
+@dataclass
+class NFA:
+    """A Thompson-style NFA with symbolic transitions.
+
+    - ``edge_transitions[q]`` is a list of ``(test, inverse, q')``: consume
+      one graph edge conforming to ``test`` in the given direction.
+    - ``epsilon_transitions[q]`` is a list of ``(guard, q')`` where ``guard``
+      is a node :class:`Test` or ``None`` for an unconditional epsilon move.
+    """
+
+    start: int = 0
+    accept: int = 1
+    n_states: int = 2
+    edge_transitions: dict[int, list[tuple[Test, bool, int]]] = field(default_factory=dict)
+    epsilon_transitions: dict[int, list[tuple[Test | None, int]]] = field(default_factory=dict)
+
+    def _new_state(self) -> int:
+        state = self.n_states
+        self.n_states += 1
+        return state
+
+    def _add_edge(self, source: int, test: Test, inverse: bool, target: int) -> None:
+        self.edge_transitions.setdefault(source, []).append((test, inverse, target))
+
+    def _add_epsilon(self, source: int, guard: Test | None, target: int) -> None:
+        self.epsilon_transitions.setdefault(source, []).append((guard, target))
+
+    def edge_transition_count(self) -> int:
+        return sum(len(v) for v in self.edge_transitions.values())
+
+
+def compile_regex(regex: Regex) -> NFA:
+    """Compile a regex into an NFA with a single start and accept state."""
+    nfa = NFA()
+    _build(nfa, regex, nfa.start, nfa.accept)
+    return nfa
+
+
+def _build(nfa: NFA, regex: Regex, start: int, accept: int) -> None:
+    """Wire the fragment for ``regex`` between existing states start/accept."""
+    if isinstance(regex, NodeTest):
+        nfa._add_epsilon(start, regex.test, accept)
+        return
+    if isinstance(regex, EdgeAtom):
+        nfa._add_edge(start, regex.test, regex.inverse, accept)
+        return
+    if isinstance(regex, Union):
+        _build(nfa, regex.left, start, accept)
+        _build(nfa, regex.right, start, accept)
+        return
+    if isinstance(regex, Concat):
+        middle = nfa._new_state()
+        _build(nfa, regex.left, start, middle)
+        _build(nfa, regex.right, middle, accept)
+        return
+    if isinstance(regex, Star):
+        # Fresh inner states avoid the classic Thompson pitfall of a star
+        # leaking loops through shared start/accept states.
+        inner_start = nfa._new_state()
+        inner_accept = nfa._new_state()
+        nfa._add_epsilon(start, None, inner_start)
+        nfa._add_epsilon(start, None, accept)
+        nfa._add_epsilon(inner_accept, None, inner_start)
+        nfa._add_epsilon(inner_accept, None, accept)
+        _build(nfa, regex.inner, inner_start, inner_accept)
+        return
+    raise LogicError(f"unknown regex node: {type(regex).__name__}")

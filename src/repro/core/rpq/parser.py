@@ -1,0 +1,263 @@
+"""Recursive-descent parser for the textual form of the paper's regexes.
+
+Syntax (ASCII rendering of grammar (1) plus its property/vector extensions)::
+
+    ?person/contact/?infected                 eq. (2)
+    ?person/(contact & date="3/4/21")/?infected   eq. (3)
+    ?infected/rides/?bus/rides^-/(?person/(lives + contact))*/?person   r1
+    (f1=person)/(f1=contact & f5="3/4/21")/?(f1=infected)   eq. (3) on Fig 2(c)
+
+Operator precedence, tightest first: ``!`` (test negation), ``=`` (property /
+feature equality), ``&``, ``|`` (test connectives), postfix ``*`` and ``^-``,
+``/`` (concatenation), ``+`` (union).  Test connectives bind tighter than
+path operators, so ``contact & date="x" / ?b`` reads as
+``(contact & date="x") / ?b``.  Constants containing reserved characters
+(such as dates with slashes) are written as double-quoted strings.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.core.rpq.ast import (
+    AndTest,
+    Concat,
+    EdgeAtom,
+    FalseTest,
+    FeatureTest,
+    LabelTest,
+    NodeTest,
+    NotTest,
+    OrTest,
+    PropertyTest,
+    Regex,
+    Star,
+    Test,
+    TrueTest,
+    Union,
+)
+from repro.errors import RegexSyntaxError
+
+_FEATURE_NAME = re.compile(r"f(\d+)$")
+_RESERVED = set('?()/+*&|!=^ \t\r\n"')
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str  # 'ident' | 'string' | 'op'
+    value: str
+    position: int
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch in " \t\r\n":
+            i += 1
+            continue
+        if ch == "^":
+            if i + 1 < n and text[i + 1] == "-":
+                tokens.append(_Token("op", "^-", i))
+                i += 2
+                continue
+            raise RegexSyntaxError("'^' must be followed by '-'", i)
+        if ch in "?()/+*&|!=":
+            tokens.append(_Token("op", ch, i))
+            i += 1
+            continue
+        if ch == '"':
+            j = i + 1
+            chunks: list[str] = []
+            while j < n and text[j] != '"':
+                if text[j] == "\\" and j + 1 < n:
+                    chunks.append(text[j + 1])
+                    j += 2
+                else:
+                    chunks.append(text[j])
+                    j += 1
+            if j >= n:
+                raise RegexSyntaxError("unterminated string", i)
+            tokens.append(_Token("string", "".join(chunks), i))
+            i = j + 1
+            continue
+        j = i
+        while j < n and text[j] not in _RESERVED:
+            j += 1
+        tokens.append(_Token("ident", text[i:j], i))
+        i = j
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.pos = 0
+
+    # -- token helpers -------------------------------------------------------
+
+    def _peek(self) -> _Token | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def _peek_op(self, *values: str) -> bool:
+        token = self._peek()
+        return token is not None and token.kind == "op" and token.value in values
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise RegexSyntaxError("unexpected end of input", len(self.text))
+        self.pos += 1
+        return token
+
+    def _expect_op(self, value: str) -> None:
+        token = self._peek()
+        if token is None or token.kind != "op" or token.value != value:
+            found = "end of input" if token is None else repr(token.value)
+            where = len(self.text) if token is None else token.position
+            raise RegexSyntaxError(f"expected {value!r}, found {found}", where)
+        self.pos += 1
+
+    # -- regex levels ----------------------------------------------------------
+
+    def parse_regex(self) -> Regex:
+        result = self._parse_union()
+        token = self._peek()
+        if token is not None:
+            raise RegexSyntaxError(f"trailing input {token.value!r}", token.position)
+        return result
+
+    def _parse_union(self) -> Regex:
+        result = self._parse_concat()
+        while self._peek_op("+"):
+            self._next()
+            result = Union(result, self._parse_concat())
+        return result
+
+    def _parse_concat(self) -> Regex:
+        result = self._parse_postfixed()
+        while self._peek_op("/"):
+            self._next()
+            result = Concat(result, self._parse_postfixed())
+        return result
+
+    def _parse_postfixed(self) -> Regex:
+        result = self._parse_atom()
+        while self._peek_op("*", "^-"):
+            token = self._next()
+            if token.value == "*":
+                result = Star(result)
+            else:
+                if not (isinstance(result, EdgeAtom) and not result.inverse):
+                    raise RegexSyntaxError(
+                        "'^-' applies to an edge test, not a path expression",
+                        token.position)
+                result = EdgeAtom(result.test, inverse=True)
+        return result
+
+    def _parse_atom(self) -> Regex:
+        token = self._peek()
+        if token is None:
+            raise RegexSyntaxError("expected an expression", len(self.text))
+        if token.kind == "op" and token.value == "?":
+            self._next()
+            return NodeTest(self._parse_test_unit())
+        if token.kind == "op" and token.value == "(":
+            self._next()
+            inner = self._parse_union()
+            self._expect_op(")")
+            # A parenthesized pure test may keep combining with & / |, e.g.
+            # (contact & date="x") | lives as a single edge test.
+            if self._peek_op("&", "|") and isinstance(inner, EdgeAtom) and not inner.inverse:
+                return EdgeAtom(self._continue_test(inner.test))
+            return inner
+        if token.kind in ("ident", "string"):
+            return EdgeAtom(self._parse_test_expr())
+        if token.kind == "op" and token.value == "!":
+            return EdgeAtom(self._parse_test_expr())
+        raise RegexSyntaxError(f"unexpected {token.value!r}", token.position)
+
+    # -- test levels -------------------------------------------------------
+
+    def parse_test(self) -> Test:
+        result = self._parse_test_expr()
+        token = self._peek()
+        if token is not None:
+            raise RegexSyntaxError(f"trailing input {token.value!r}", token.position)
+        return result
+
+    def _parse_test_expr(self) -> Test:
+        return self._continue_test(self._parse_test_conj())
+
+    def _continue_test(self, first: Test) -> Test:
+        result = first
+        while self._peek_op("&", "|"):
+            token = self._next()
+            right = self._parse_test_conj()
+            if token.value == "&":
+                result = AndTest(result, right)
+            else:
+                result = OrTest(result, right)
+        return result
+
+    def _parse_test_conj(self) -> Test:
+        result = self._parse_test_neg()
+        while self._peek_op("&"):
+            # '&' handled here binds tighter than '|', handled by _continue_test.
+            self._next()
+            result = AndTest(result, self._parse_test_neg())
+        return result
+
+    def _parse_test_neg(self) -> Test:
+        if self._peek_op("!"):
+            token = self._next()
+            del token
+            return NotTest(self._parse_test_neg())
+        return self._parse_test_unit()
+
+    def _parse_test_unit(self) -> Test:
+        token = self._peek()
+        if token is None:
+            raise RegexSyntaxError("expected a test", len(self.text))
+        if token.kind == "op" and token.value == "(":
+            self._next()
+            result = self._parse_test_expr()
+            self._expect_op(")")
+            return result
+        if token.kind == "op" and token.value == "!":
+            return self._parse_test_neg()
+        if token.kind not in ("ident", "string"):
+            raise RegexSyntaxError(f"expected a test, found {token.value!r}",
+                                   token.position)
+        self._next()
+        name = token.value
+        if self._peek_op("="):
+            self._next()
+            value_token = self._next()
+            if value_token.kind not in ("ident", "string"):
+                raise RegexSyntaxError(
+                    f"expected a value after '=', found {value_token.value!r}",
+                    value_token.position)
+            feature = _FEATURE_NAME.match(name) if token.kind == "ident" else None
+            if feature:
+                return FeatureTest(int(feature.group(1)), value_token.value)
+            return PropertyTest(name, value_token.value)
+        if token.kind == "ident" and name == "true":
+            return TrueTest()
+        if token.kind == "ident" and name == "false":
+            return FalseTest()
+        return LabelTest(name)
+
+
+def parse_regex(text: str) -> Regex:
+    """Parse the textual form of a regular path query into a :class:`Regex`."""
+    return _Parser(text).parse_regex()
+
+
+def parse_test(text: str) -> Test:
+    """Parse a standalone node/edge test into a :class:`Test`."""
+    return _Parser(text).parse_test()

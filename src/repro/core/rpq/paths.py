@@ -1,0 +1,102 @@
+"""Paths in a graph, exactly as the paper defines them.
+
+A path is a sequence ``p = n0 e1 n1 e2 ... ek nk`` of alternating nodes and
+edges; ``start(p) = n0``, ``end(p) = nk``, ``|p| = k`` (the number of
+edges).  Paths are walks: nodes and edges may repeat.  An edge may be
+traversed in either direction (the regex decides which via ``test^-``), so
+a path only records which edges were used between which nodes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.errors import GraphError
+
+
+@dataclass(frozen=True)
+class Path:
+    """An alternating node/edge sequence with ``len(nodes) == len(edges) + 1``."""
+
+    nodes: tuple
+    edges: tuple = ()
+
+    def __post_init__(self) -> None:
+        if len(self.nodes) != len(self.edges) + 1:
+            raise GraphError(
+                f"a path with {len(self.edges)} edges needs {len(self.edges) + 1} "
+                f"nodes, got {len(self.nodes)}")
+        if not self.nodes:
+            raise GraphError("a path has at least one node")
+
+    @property
+    def start(self):
+        """``start(p) = n0``."""
+        return self.nodes[0]
+
+    @property
+    def end(self):
+        """``end(p) = nk``."""
+        return self.nodes[-1]
+
+    @property
+    def length(self) -> int:
+        """``|p|`` — the number of edges."""
+        return len(self.edges)
+
+    def visits(self, node) -> bool:
+        """Does the path include ``node``?  (Used by bc_r path counting.)"""
+        return node in self.nodes
+
+    def is_consistent_with(self, graph) -> bool:
+        """Check every step uses an edge of ``graph`` between its recorded nodes.
+
+        Either traversal direction is accepted, matching the semantics of
+        ``test^-``.
+        """
+        for i, edge in enumerate(self.edges):
+            if not graph.has_edge(edge):
+                return False
+            source, target = graph.endpoints(edge)
+            step = (self.nodes[i], self.nodes[i + 1])
+            if step != (source, target) and step != (target, source):
+                return False
+        return all(graph.has_node(n) for n in self.nodes)
+
+    def to_text(self) -> str:
+        """Human-readable ``n0 -e1- n1 -e2- n2`` rendering."""
+        parts = [str(self.nodes[0])]
+        for i, edge in enumerate(self.edges):
+            parts.append(f"-{edge}-")
+            parts.append(str(self.nodes[i + 1]))
+        return " ".join(parts)
+
+    def __repr__(self) -> str:
+        return f"Path({self.to_text()})"
+
+    @classmethod
+    def single(cls, node) -> "Path":
+        """The length-0 path at ``node``."""
+        return cls((node,), ())
+
+    @classmethod
+    def from_steps(cls, start, steps: Sequence[tuple]) -> "Path":
+        """Build from a start node and (edge, next_node) steps."""
+        nodes = [start]
+        edges = []
+        for edge, node in steps:
+            edges.append(edge)
+            nodes.append(node)
+        return cls(tuple(nodes), tuple(edges))
+
+
+def cat(left: Path, right: Path) -> Path:
+    """``cat(p, p')`` — concatenation of paths sharing the junction node.
+
+    Defined only when ``end(left) == start(right)``, as in the paper.
+    """
+    if left.end != right.start:
+        raise GraphError(
+            f"cannot concatenate: end {left.end!r} != start {right.start!r}")
+    return Path(left.nodes + right.nodes[1:], left.edges + right.edges)

@@ -1,0 +1,251 @@
+"""The graph x automaton product: the engine behind Count, Gen and enumeration.
+
+Given a graph and a compiled :class:`~repro.core.rpq.nfa.NFA`, the product
+is an ordinary (epsilon-free) NFA whose *alphabet is concrete*:
+
+- an initial symbol ``('init', n)`` fixes the start node of the path, and
+- an edge symbol ``('edge', e, d)`` traverses edge ``e`` forwards (``d='+'``)
+  or backwards (``d='-'``).
+
+A word ``('init', n0) ('edge', e1, d1) ... ('edge', ek, dk)`` decodes to
+exactly one path ``n0 e1 n1 ... ek nk``, and distinct words decode to
+distinct paths (self-loop traversals are normalized to ``'+'``, since both
+directions of a self-loop are the same path step).  Therefore:
+
+    paths of length k conforming to r  <-->  accepted words of length k+1
+
+which reduces the paper's Count/Gen problems on paths to counting and
+sampling the words of an NFA — the #NFA setting of Arenas, Croquevielle,
+Jayaram and Riveros.  The NFA is genuinely ambiguous (one path may have many
+accepting runs), which is precisely why exact counting is SpanL-hard.
+
+Node-test guards of the symbolic NFA become epsilon moves evaluated at a
+concrete node and are closed away during construction, so the product has no
+epsilon transitions.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.core.rpq.nfa import NFA
+from repro.core.rpq.paths import Path
+from repro.errors import GraphError
+
+#: Product state id of the virtual initial state.
+INITIAL = 0
+
+Symbol = tuple
+
+
+class ProductNFA:
+    """Materialized product automaton with integer state ids.
+
+    State 0 is the virtual initial state; every other state is a pair
+    (nfa_state, graph_node).  ``transitions[s]`` maps symbols to frozensets
+    of successor states.  All states reached by one word share the same
+    graph node (a word determines a path), which downstream algorithms rely
+    on.
+    """
+
+    def __init__(self, graph, nfa: NFA) -> None:
+        self.graph = graph
+        self.nfa = nfa
+        self.state_keys: list[object] = ["<init>"]
+        self.state_index: dict[object, int] = {"<init>": INITIAL}
+        self.state_node: list[object] = [None]
+        self.transitions: list[dict[Symbol, frozenset[int]]] = [{}]
+        self.accepts: frozenset[int] = frozenset()
+        self._successor_sets: list[frozenset[int]] | None = None
+        self._reverse: list[list[tuple[int, Symbol]]] | None = None
+
+    # -- structure -----------------------------------------------------------
+
+    def n_states(self) -> int:
+        return len(self.state_keys)
+
+    def delta(self, states: Iterable[int], symbol: Symbol) -> frozenset[int]:
+        """Subset transition function."""
+        result: set[int] = set()
+        for state in states:
+            result.update(self.transitions[state].get(symbol, ()))
+        return frozenset(result)
+
+    def symbols_from(self, states: Iterable[int]) -> set[Symbol]:
+        symbols: set[Symbol] = set()
+        for state in states:
+            symbols.update(self.transitions[state])
+        return symbols
+
+    def successor_sets(self) -> list[frozenset[int]]:
+        """Per-state successor sets ignoring symbols (for backward layers)."""
+        if self._successor_sets is None:
+            sets = []
+            for table in self.transitions:
+                merged: set[int] = set()
+                for targets in table.values():
+                    merged.update(targets)
+                sets.append(frozenset(merged))
+            self._successor_sets = sets
+        return self._successor_sets
+
+    def reverse_transitions(self) -> list[list[tuple[int, Symbol]]]:
+        """For each state q, the list of (p, symbol) with q in delta(p, symbol)."""
+        if self._reverse is None:
+            reverse: list[list[tuple[int, Symbol]]] = [[] for _ in self.state_keys]
+            for source, table in enumerate(self.transitions):
+                for symbol, targets in table.items():
+                    for target in targets:
+                        reverse[target].append((source, symbol))
+            self._reverse = reverse
+        return self._reverse
+
+    def back_layers(self, max_steps: int) -> list[frozenset[int]]:
+        """``back[j]`` = states from which an accept state is reachable in
+        exactly ``j`` transitions.  ``back[0]`` is the accept set."""
+        succ = self.successor_sets()
+        layers = [self.accepts]
+        for _ in range(max_steps):
+            previous = layers[-1]
+            layers.append(frozenset(
+                s for s in range(self.n_states()) if succ[s] & previous))
+        return layers
+
+    # -- words and paths -----------------------------------------------------
+
+    def run(self, word: Iterable[Symbol]) -> frozenset[int]:
+        """Reached state set after reading ``word`` from the initial state."""
+        current = frozenset([INITIAL])
+        for symbol in word:
+            current = self.delta(current, symbol)
+            if not current:
+                return current
+        return current
+
+    def accepts_word(self, word: Iterable[Symbol]) -> bool:
+        return bool(self.run(word) & self.accepts)
+
+    def word_to_path(self, word: Iterable[Symbol]) -> Path:
+        """Decode a word into the unique path it denotes."""
+        word = list(word)
+        if not word or word[0][0] != "init":
+            raise GraphError("a product word starts with an ('init', node) symbol")
+        nodes = [word[0][1]]
+        edges = []
+        for symbol in word[1:]:
+            kind, edge, direction = symbol
+            if kind != "edge":
+                raise GraphError(f"unexpected symbol {symbol!r} inside a word")
+            source, target = self.graph.endpoints(edge)
+            edges.append(edge)
+            nodes.append(target if direction == "+" else source)
+        return Path(tuple(nodes), tuple(edges))
+
+
+def symbol_sort_key(symbol: Symbol) -> tuple:
+    """Deterministic ordering of symbols, for reproducible enumeration."""
+    if symbol[0] == "init":
+        return (0, str(symbol[1]), "")
+    return (1, str(symbol[1]), symbol[2])
+
+
+def build_product(graph, nfa: NFA,
+                  start_nodes: Iterable | None = None,
+                  end_nodes: Iterable | None = None) -> ProductNFA:
+    """Materialize the product automaton reachable from the initial state.
+
+    ``start_nodes`` restricts where paths may begin (default: every node);
+    ``end_nodes`` restricts acceptance to paths ending there (default: every
+    node).  Both restrictions are what Count/Gen between fixed endpoints —
+    and the bc_r centrality — need.
+    """
+    product = ProductNFA(graph, nfa)
+    end_filter = None if end_nodes is None else set(end_nodes)
+    closure_cache: dict[tuple[int, object], frozenset[int]] = {}
+
+    def closure(nfa_states: Iterable[int], node) -> frozenset[int]:
+        """Guarded-epsilon closure of NFA states, evaluated at ``node``."""
+        result: set[int] = set()
+        stack = list(nfa_states)
+        while stack:
+            q = stack.pop()
+            if q in result:
+                continue
+            result.add(q)
+            for guard, q2 in nfa.epsilon_transitions.get(q, ()):
+                if q2 not in result and (guard is None or guard.matches_node(graph, node)):
+                    stack.append(q2)
+        return frozenset(result)
+
+    def cached_closure(q: int, node) -> frozenset[int]:
+        key = (q, node)
+        found = closure_cache.get(key)
+        if found is None:
+            found = closure((q,), node)
+            closure_cache[key] = found
+        return found
+
+    def intern(q: int, node) -> int:
+        key = (q, node)
+        index = product.state_index.get(key)
+        if index is None:
+            index = len(product.state_keys)
+            product.state_index[key] = index
+            product.state_keys.append(key)
+            product.state_node.append(node)
+            product.transitions.append({})
+        return index
+
+    accept_states: set[int] = set()
+    worklist: list[int] = []
+    seen: set[int] = set()
+
+    def product_states_for(nfa_states: frozenset[int], node) -> frozenset[int]:
+        states = []
+        for q in nfa_states:
+            index = intern(q, node)
+            states.append(index)
+            if q == nfa.accept and (end_filter is None or node in end_filter):
+                accept_states.add(index)
+            if index not in seen:
+                seen.add(index)
+                worklist.append(index)
+        return frozenset(states)
+
+    # Initial symbols: one per allowed start node.
+    starts = list(start_nodes) if start_nodes is not None else list(graph.nodes())
+    init_table: dict[Symbol, frozenset[int]] = {}
+    for node in starts:
+        if not graph.has_node(node):
+            raise GraphError(f"start node {node!r} is not in the graph")
+        reached = closure((nfa.start,), node)
+        init_table[("init", node)] = product_states_for(reached, node)
+    product.transitions[INITIAL] = init_table
+
+    # Explore edge transitions from every reachable product state.
+    while worklist:
+        index = worklist.pop()
+        key = product.state_keys[index]
+        q, node = key
+        table = product.transitions[index]
+        for test, inverse, q2 in nfa.edge_transitions.get(q, ()):
+            if inverse:
+                candidate_edges = graph.in_edges(node)
+            else:
+                candidate_edges = graph.out_edges(node)
+            for edge in candidate_edges:
+                if not test.matches_edge(graph, edge):
+                    continue
+                source, target = graph.endpoints(edge)
+                next_node = source if inverse else target
+                # A self-loop traversed backwards is the same path step as
+                # forwards; normalize so one path is one word.
+                direction = "+" if (not inverse or source == target) else "-"
+                symbol = ("edge", edge, direction)
+                closed = cached_closure(q2, next_node)
+                successors = product_states_for(closed, next_node)
+                existing = table.get(symbol)
+                table[symbol] = successors if existing is None else existing | successors
+
+    product.accepts = frozenset(accept_states)
+    return product

@@ -1,0 +1,74 @@
+"""Brute-force reference semantics of regexes: the evaluation [[r]]_L.
+
+This module implements the paper's recursive definition literally, producing
+the *set of paths* that conform to a regex, restricted to paths of length at
+most ``max_length`` (the set is infinite in general because paths are
+walks).  It is exponential and exists to cross-check the automaton-based
+algorithms on small instances; every production algorithm in this package is
+tested against it.
+"""
+
+from __future__ import annotations
+
+from repro.core.rpq.ast import Concat, EdgeAtom, NodeTest, Regex, Star, Union
+from repro.core.rpq.paths import Path, cat
+from repro.errors import LogicError
+
+
+def evaluate_bruteforce(graph, regex: Regex, max_length: int) -> set[Path]:
+    """[[regex]]_graph restricted to paths with at most ``max_length`` edges."""
+    if max_length < 0:
+        raise ValueError("max_length must be non-negative")
+    if isinstance(regex, NodeTest):
+        return {Path.single(n) for n in graph.nodes()
+                if regex.test.matches_node(graph, n)}
+    if isinstance(regex, EdgeAtom):
+        if max_length < 1:
+            return set()
+        result = set()
+        for edge in graph.edges():
+            if not regex.test.matches_edge(graph, edge):
+                continue
+            source, target = graph.endpoints(edge)
+            if regex.inverse:
+                result.add(Path((target, source), (edge,)))
+            else:
+                result.add(Path((source, target), (edge,)))
+        return result
+    if isinstance(regex, Union):
+        return (evaluate_bruteforce(graph, regex.left, max_length)
+                | evaluate_bruteforce(graph, regex.right, max_length))
+    if isinstance(regex, Concat):
+        left = evaluate_bruteforce(graph, regex.left, max_length)
+        right = evaluate_bruteforce(graph, regex.right, max_length)
+        result = set()
+        for p in left:
+            budget = max_length - p.length
+            for q in right:
+                if q.length <= budget and p.end == q.start:
+                    result.add(cat(p, q))
+        return result
+    if isinstance(regex, Star):
+        # [[r*]] = union of [[r]]^i for i >= 0; the i = 0 case is every
+        # length-0 path.  Iterate to a fixpoint under the length bound.
+        result = {Path.single(n) for n in graph.nodes()}
+        base = evaluate_bruteforce(graph, regex.inner, max_length)
+        frontier = set(result)
+        while frontier:
+            new_paths = set()
+            for p in frontier:
+                budget = max_length - p.length
+                for q in base:
+                    if q.length <= budget and p.end == q.start:
+                        candidate = cat(p, q)
+                        if candidate not in result:
+                            new_paths.add(candidate)
+            result |= new_paths
+            frontier = new_paths
+        return result
+    raise LogicError(f"unknown regex node: {type(regex).__name__}")
+
+
+def paths_of_length(paths: set[Path], k: int) -> set[Path]:
+    """Filter a path set to |p| = k (helper for Count/Gen cross-checks)."""
+    return {p for p in paths if p.length == k}

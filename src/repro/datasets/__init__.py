@@ -1,0 +1,33 @@
+"""Workload generators.
+
+The paper's running example and figure are built from data we cannot ship
+(real contact-tracing data; the DBLP dump), so this package generates
+synthetic equivalents whose *relevant statistics* match what the paper
+reports — the substitutions are documented in DESIGN.md.
+
+- :mod:`repro.datasets.contact` — contact-tracing property graphs with the
+  Figure 2 schema (person/infected/bus/address/company; rides, contact,
+  lives, owns), at any scale.
+- :mod:`repro.datasets.dblp` — a synthetic bibliography calibrated to the
+  keyword trends of Figure 1.
+- :mod:`repro.datasets.random_graphs` — Erdos-Renyi / Barabasi-Albert /
+  random labeled and vector graphs for algorithm benchmarks.
+"""
+
+from repro.datasets.contact import generate_contact_graph
+from repro.datasets.dblp import Publication, generate_corpus, KEYWORDS, YEARS
+from repro.datasets.random_graphs import (
+    barabasi_albert,
+    erdos_renyi,
+    random_labeled_graph,
+    random_vector_graph,
+)
+from repro.datasets.social import partition_accuracy, stochastic_block_model
+
+__all__ = [
+    "generate_contact_graph",
+    "Publication", "generate_corpus", "KEYWORDS", "YEARS",
+    "erdos_renyi", "barabasi_albert", "random_labeled_graph",
+    "random_vector_graph",
+    "stochastic_block_model", "partition_accuracy",
+]

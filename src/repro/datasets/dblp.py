@@ -1,0 +1,143 @@
+"""Synthetic DBLP-like corpus, calibrated to the statistics behind Figure 1.
+
+The paper counts DBLP-indexed publications whose *titles* contain one of
+five keywords, 2010-2020 (Figure 1), and reports two ratio observations:
+in 2015, 70% of "knowledge graph" papers were about RDF/SPARQL; by 2020
+that fell to 14%.  DBLP itself is external data, so — per the
+substitution rule — this module generates a corpus of (year, title, venue)
+records whose keyword counts per year follow the paper's qualitative
+series and whose KG/RDF overlap matches the reported ratios.  The counting
+*pipeline* in :mod:`repro.bibliometrics` is the faithful part: it scans
+titles exactly as the paper's methodology describes.
+
+Calibration targets (approximate paper-reading of Figure 1):
+
+- "knowledge graph": negligible until 2012, takeoff after the 2012 Google
+  announcement (visible growth from 2013), steep rise to dominance by 2020;
+- "RDF" and "SPARQL": stable through the decade (RDF higher), with a mild
+  late-decade decline relative to knowledge graphs;
+- "graph database": comparatively small, no significant growth;
+- "property graph": negligible throughout.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.util.rng import make_rng
+
+#: The five keywords the paper tracks, lowercase.
+KEYWORDS = ("graph database", "rdf", "sparql", "property graph", "knowledge graph")
+
+#: The decade of Figure 1.
+YEARS = tuple(range(2010, 2021))
+
+# Expected number of titles per keyword per year (the Figure 1 series the
+# generator is calibrated to; absolute scale is arbitrary, shape is what
+# the paper shows).
+_SERIES: dict[str, dict[int, int]] = {
+    "knowledge graph": {
+        2010: 5, 2011: 6, 2012: 8, 2013: 25, 2014: 45, 2015: 80,
+        2016: 140, 2017: 230, 2018: 380, 2019: 560, 2020: 750,
+    },
+    "rdf": {
+        2010: 220, 2011: 230, 2012: 240, 2013: 245, 2014: 250, 2015: 245,
+        2016: 235, 2017: 225, 2018: 215, 2019: 205, 2020: 195,
+    },
+    "sparql": {
+        2010: 90, 2011: 100, 2012: 110, 2013: 115, 2014: 120, 2015: 118,
+        2016: 112, 2017: 105, 2018: 100, 2019: 92, 2020: 85,
+    },
+    "graph database": {
+        2010: 18, 2011: 20, 2012: 24, 2013: 28, 2014: 30, 2015: 32,
+        2016: 33, 2017: 34, 2018: 36, 2019: 38, 2020: 40,
+    },
+    "property graph": {
+        2010: 1, 2011: 1, 2012: 2, 2013: 2, 2014: 3, 2015: 4,
+        2016: 4, 2017: 5, 2018: 6, 2019: 6, 2020: 7,
+    },
+}
+
+# Fraction of "knowledge graph" titles that also mention RDF or SPARQL —
+# the paper's 70% (2015) to 14% (2020) observation, linearly interpolated
+# outside the two anchors.
+_KG_RDF_OVERLAP: dict[int, float] = {
+    2010: 0.70, 2011: 0.70, 2012: 0.70, 2013: 0.70, 2014: 0.70, 2015: 0.70,
+    2016: 0.59, 2017: 0.48, 2018: 0.36, 2019: 0.25, 2020: 0.14,
+}
+
+_TOPICS = [
+    "query answering", "data integration", "entity resolution", "reasoning",
+    "embeddings", "stream processing", "benchmarking", "schema discovery",
+    "access control", "visualization", "provenance", "federation",
+    "completion", "question answering", "storage layouts", "indexing",
+]
+
+_VENUES = ["SIGMOD", "VLDB", "ISWC", "WWW", "EDBT", "ICDE", "CIKM", "ESWC"]
+
+_FILLER_SUBJECTS = [
+    "relational engines", "column stores", "stream systems", "data lakes",
+    "machine learning pipelines", "crowdsourcing", "spreadsheets",
+    "time series", "text analytics", "map matching",
+]
+
+
+@dataclass(frozen=True)
+class Publication:
+    """One bibliographic record: what the title scan consumes."""
+
+    year: int
+    title: str
+    venue: str
+
+
+def generate_corpus(rng: int | random.Random | None = 0, *,
+                    noise: float = 0.05,
+                    filler_per_year: int = 400) -> list[Publication]:
+    """Generate the synthetic bibliography.
+
+    ``noise`` jitters each yearly count by up to that relative amount (the
+    shape survives); ``filler_per_year`` adds keyword-free records so the
+    scanner has to actually filter.
+    """
+    rng = make_rng(rng)
+    corpus: list[Publication] = []
+    for year in YEARS:
+        kg_total = _jitter(rng, _SERIES["knowledge graph"][year], noise)
+        overlap_count = round(kg_total * _KG_RDF_OVERLAP[year])
+        for i in range(kg_total):
+            if i < overlap_count:
+                partner = "RDF" if rng.random() < 0.6 else "SPARQL"
+                title = (f"{rng.choice(_TOPICS).title()} for Knowledge Graph "
+                         f"Systems with {partner}")
+            else:
+                title = f"Knowledge Graph {rng.choice(_TOPICS).title()}"
+            corpus.append(Publication(year, title, rng.choice(_VENUES)))
+        for keyword in ("rdf", "sparql", "graph database", "property graph"):
+            target = _jitter(rng, _SERIES[keyword][year], noise)
+            if keyword in ("rdf", "sparql"):
+                # Subtract the KG titles that already mention this keyword,
+                # so scans count each paper once per keyword, as DBLP would.
+                already = sum(1 for p in corpus
+                              if p.year == year and keyword in p.title.lower())
+                target = max(target - already, 0)
+            rendered = keyword.upper() if keyword in ("rdf", "sparql") else keyword.title()
+            for _ in range(target):
+                corpus.append(Publication(
+                    year, f"{rendered} {rng.choice(_TOPICS).title()}",
+                    rng.choice(_VENUES)))
+        for _ in range(filler_per_year):
+            corpus.append(Publication(
+                year,
+                f"{rng.choice(_TOPICS).title()} over {rng.choice(_FILLER_SUBJECTS).title()}",
+                rng.choice(_VENUES)))
+    rng.shuffle(corpus)
+    return corpus
+
+
+def _jitter(rng: random.Random, value: int, noise: float) -> int:
+    if noise <= 0:
+        return value
+    spread = max(1, round(value * noise))
+    return max(0, value + rng.randint(-spread, spread))

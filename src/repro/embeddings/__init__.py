@@ -1,0 +1,26 @@
+"""Knowledge graph embeddings: completion by learning (Section 2.3).
+
+The paper: "we see the rapid development of knowledge graph embeddings
+[19, 21], and its use in the refinement and completion of knowledge graphs
+[36, 43, 52, 56]".  This package implements the reference model of that
+line of work — TransE (Bordes et al. [19]) — from scratch over numpy:
+
+- :class:`TransE` — entity/relation vectors with h + r ≈ t, trained by
+  margin ranking with negative sampling.
+- :mod:`repro.embeddings.evaluation` — the standard link-prediction
+  protocol: filtered ranks, mean reciprocal rank, Hits@k.
+- :func:`complete` — knowledge-graph completion: propose new triples whose
+  score clears a threshold, the "producing knowledge" loop of §2.3.
+"""
+
+from repro.embeddings.transe import TransE, TrainConfig
+from repro.embeddings.evaluation import (
+    LinkPredictionReport,
+    complete,
+    evaluate_link_prediction,
+)
+
+__all__ = [
+    "TransE", "TrainConfig",
+    "evaluate_link_prediction", "LinkPredictionReport", "complete",
+]

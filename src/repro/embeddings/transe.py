@@ -1,0 +1,212 @@
+"""TransE (Bordes et al., NeurIPS 2013): translation embeddings for KGs.
+
+The model embeds entities and relations in R^d and scores a triple
+(h, r, t) by -||e_h + e_r - e_t||; training minimizes a margin ranking
+loss between observed triples and corrupted ones (head or tail replaced by
+a random entity), with entity vectors renormalized to the unit ball each
+step — the original paper's recipe, implemented in numpy.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import EstimationError
+from repro.models.rdf import Triple
+from repro.util.rng import make_rng
+
+
+@dataclass(frozen=True)
+class TrainConfig:
+    """Training hyper-parameters (defaults suit the small synthetic KGs)."""
+
+    dimension: int = 24
+    margin: float = 1.0
+    learning_rate: float = 0.05
+    epochs: int = 200
+    batch_size: int = 64
+    norm: int = 1  # L1 or L2 dissimilarity, as in the original paper
+
+    def __post_init__(self) -> None:
+        if self.dimension < 1 or self.epochs < 0 or self.batch_size < 1:
+            raise EstimationError("invalid TransE configuration")
+        if self.norm not in (1, 2):
+            raise EstimationError("norm must be 1 (L1) or 2 (L2)")
+
+
+class TransE:
+    """A trained (or trainable) TransE model over a fixed vocabulary."""
+
+    def __init__(self, triples: Iterable[Triple | tuple[str, str, str]],
+                 config: TrainConfig = TrainConfig(),
+                 rng: int | random.Random | None = 0) -> None:
+        self.triples = [Triple(*t) for t in triples]
+        if not self.triples:
+            raise EstimationError("cannot embed an empty knowledge graph")
+        self.config = config
+        self._rng = make_rng(rng)
+        self.entities = sorted({t.subject for t in self.triples}
+                               | {t.object for t in self.triples})
+        self.relations = sorted({t.predicate for t in self.triples})
+        self._entity_index = {e: i for i, e in enumerate(self.entities)}
+        self._relation_index = {r: i for i, r in enumerate(self.relations)}
+        seed = self._rng.randrange(2 ** 31)
+        generator = np.random.default_rng(seed)
+        bound = 6.0 / np.sqrt(config.dimension)
+        self.entity_vectors = generator.uniform(
+            -bound, bound, (len(self.entities), config.dimension))
+        self.relation_vectors = generator.uniform(
+            -bound, bound, (len(self.relations), config.dimension))
+        norms = np.linalg.norm(self.relation_vectors, axis=1, keepdims=True)
+        self.relation_vectors /= np.maximum(norms, 1e-12)
+        self._train_ids = np.array(
+            [[self._entity_index[t.subject], self._relation_index[t.predicate],
+              self._entity_index[t.object]] for t in self.triples])
+        self._known = {(t.subject, t.predicate, t.object) for t in self.triples}
+
+    # -- scoring -------------------------------------------------------------
+
+    def score(self, head: str, relation: str, tail: str) -> float:
+        """-(dissimilarity); larger is more plausible."""
+        h = self.entity_vectors[self._require_entity(head)]
+        r = self.relation_vectors[self._require_relation(relation)]
+        t = self.entity_vectors[self._require_entity(tail)]
+        return -float(self._distance(h + r - t))
+
+    def score_all_tails(self, head: str, relation: str) -> np.ndarray:
+        """Scores of (head, relation, e) for every entity e, vectorized."""
+        h = self.entity_vectors[self._require_entity(head)]
+        r = self.relation_vectors[self._require_relation(relation)]
+        deltas = (h + r)[None, :] - self.entity_vectors
+        return -self._distances(deltas)
+
+    def score_all_heads(self, relation: str, tail: str) -> np.ndarray:
+        r = self.relation_vectors[self._require_relation(relation)]
+        t = self.entity_vectors[self._require_entity(tail)]
+        deltas = self.entity_vectors + (r - t)[None, :]
+        return -self._distances(deltas)
+
+    def _distance(self, delta: np.ndarray) -> float:
+        if self.config.norm == 1:
+            return float(np.abs(delta).sum())
+        return float(np.sqrt((delta * delta).sum()))
+
+    def _distances(self, deltas: np.ndarray) -> np.ndarray:
+        if self.config.norm == 1:
+            return np.abs(deltas).sum(axis=1)
+        return np.sqrt((deltas * deltas).sum(axis=1))
+
+    # -- training --------------------------------------------------------------
+
+    def train(self, *, epochs: int | None = None,
+              log: list | None = None) -> "TransE":
+        """Margin-ranking SGD with uniform negative sampling.
+
+        Appends (epoch, mean loss) pairs to ``log`` when provided.  Returns
+        self for chaining.
+        """
+        config = self.config
+        epochs = config.epochs if epochs is None else epochs
+        n_train = len(self._train_ids)
+        n_entities = len(self.entities)
+        rng = np.random.default_rng(self._rng.randrange(2 ** 31))
+        for epoch in range(epochs):
+            order = rng.permutation(n_train)
+            losses = []
+            for start in range(0, n_train, config.batch_size):
+                batch = self._train_ids[order[start:start + config.batch_size]]
+                corrupted = batch.copy()
+                replace_head = rng.random(len(batch)) < 0.5
+                random_entities = rng.integers(0, n_entities, len(batch))
+                corrupted[replace_head, 0] = random_entities[replace_head]
+                corrupted[~replace_head, 2] = random_entities[~replace_head]
+                losses.append(self._sgd_step(batch, corrupted))
+            if log is not None:
+                log.append((epoch, float(np.mean(losses))))
+        return self
+
+    def _sgd_step(self, positive: np.ndarray, negative: np.ndarray) -> float:
+        config = self.config
+        e, r = self.entity_vectors, self.relation_vectors
+        pos_delta = e[positive[:, 0]] + r[positive[:, 1]] - e[positive[:, 2]]
+        neg_delta = e[negative[:, 0]] + r[negative[:, 1]] - e[negative[:, 2]]
+        pos_dist = self._distances(pos_delta)
+        neg_dist = self._distances(neg_delta)
+        violation = config.margin + pos_dist - neg_dist
+        active = violation > 0
+        if not active.any():
+            return 0.0
+        # Sub-gradients of the distance wrt the delta vector.
+        if config.norm == 1:
+            pos_grad = np.sign(pos_delta[active])
+            neg_grad = np.sign(neg_delta[active])
+        else:
+            pos_grad = pos_delta[active] / np.maximum(pos_dist[active, None], 1e-12)
+            neg_grad = neg_delta[active] / np.maximum(neg_dist[active, None], 1e-12)
+        lr = config.learning_rate
+        for row, grad_p, grad_n in zip(
+                np.flatnonzero(active), pos_grad, neg_grad):
+            h, rel, t = positive[row]
+            h2, _, t2 = negative[row]
+            e[h] -= lr * grad_p
+            r[rel] -= lr * grad_p
+            e[t] += lr * grad_p
+            e[h2] += lr * grad_n
+            r[rel] += lr * grad_n
+            e[t2] -= lr * grad_n
+        # Renormalize entities to the unit ball (the TransE constraint).
+        norms = np.linalg.norm(e, axis=1, keepdims=True)
+        np.divide(e, np.maximum(norms, 1.0), out=e)
+        return float(violation[active].mean())
+
+    # -- vocabulary ------------------------------------------------------------
+
+    def knows_triple(self, head: str, relation: str, tail: str) -> bool:
+        return (head, relation, tail) in self._known
+
+    def _require_entity(self, entity: str) -> int:
+        try:
+            return self._entity_index[entity]
+        except KeyError:
+            raise EstimationError(f"unknown entity {entity!r}") from None
+
+    def _require_relation(self, relation: str) -> int:
+        try:
+            return self._relation_index[relation]
+        except KeyError:
+            raise EstimationError(f"unknown relation {relation!r}") from None
+
+    def entity_vector(self, entity: str) -> np.ndarray:
+        return self.entity_vectors[self._require_entity(entity)].copy()
+
+    def nearest_entities(self, entity: str, k: int = 5) -> list[str]:
+        """The k entities with the closest embedding (cosine-free, by norm)."""
+        deltas = self.entity_vectors - self.entity_vector(entity)[None, :]
+        order = np.argsort(self._distances(deltas))
+        names = [self.entities[i] for i in order if self.entities[i] != entity]
+        return names[:k]
+
+
+def train_test_split(triples: Sequence[Triple], test_fraction: float = 0.2,
+                     rng: int | random.Random | None = 0,
+                     ) -> tuple[list[Triple], list[Triple]]:
+    """Split triples for link prediction, keeping every entity and relation
+    in the training side (standard protocol: unseen vocabulary is skipped
+    rather than scored)."""
+    rng = make_rng(rng)
+    shuffled = list(triples)
+    rng.shuffle(shuffled)
+    cut = max(1, int(len(shuffled) * test_fraction))
+    test = shuffled[:cut]
+    train = shuffled[cut:]
+    train_entities = {t.subject for t in train} | {t.object for t in train}
+    train_relations = {t.predicate for t in train}
+    usable_test = [t for t in test
+                   if t.subject in train_entities and t.object in train_entities
+                   and t.predicate in train_relations]
+    moved_back = [t for t in test if t not in usable_test]
+    return train + moved_back, usable_test

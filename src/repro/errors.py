@@ -1,0 +1,93 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one type to handle all library failures.  Specific
+subclasses mark the subsystem at fault, which keeps error handling in
+downstream code explicit.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the library."""
+
+
+class GraphError(ReproError):
+    """A graph model was used inconsistently (duplicate ids, missing nodes...)."""
+
+
+class UnknownNodeError(GraphError):
+    """An operation referenced a node id that is not in the graph."""
+
+    def __init__(self, node: object) -> None:
+        super().__init__(f"unknown node: {node!r}")
+        self.node = node
+
+
+class UnknownEdgeError(GraphError):
+    """An operation referenced an edge id that is not in the graph."""
+
+    def __init__(self, edge: object) -> None:
+        super().__init__(f"unknown edge: {edge!r}")
+        self.edge = edge
+
+
+class DuplicateIdError(GraphError):
+    """A node or edge id was added twice."""
+
+    def __init__(self, kind: str, identifier: object) -> None:
+        super().__init__(f"duplicate {kind} id: {identifier!r}")
+        self.kind = kind
+        self.identifier = identifier
+
+
+class ModelCapabilityError(ReproError):
+    """A test or query needs a capability the graph model does not have.
+
+    For example, a feature test ``(f_i = v)`` only makes sense on a
+    vector-labeled graph; evaluating it on a plain labeled graph raises
+    this error rather than silently returning ``False``.
+    """
+
+
+class ConversionError(ReproError):
+    """A conversion between graph data models could not be performed."""
+
+
+class RegexSyntaxError(ReproError):
+    """The textual form of a regular path query could not be parsed."""
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        location = "" if position is None else f" (at position {position})"
+        super().__init__(f"{message}{location}")
+        self.position = position
+
+
+class QuerySyntaxError(ReproError):
+    """A mini-SPARQL or mini-Cypher query could not be parsed."""
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        location = "" if position is None else f" (at position {position})"
+        super().__init__(f"{message}{location}")
+        self.position = position
+
+
+class QueryEvaluationError(ReproError):
+    """A query was well-formed but could not be evaluated."""
+
+
+class LogicError(ReproError):
+    """A logic formula was malformed or outside the supported fragment."""
+
+
+class BoundedVariableError(LogicError):
+    """A formula does not fit in the requested number of variables."""
+
+
+class EstimationError(ReproError):
+    """A randomized estimator could not produce a usable estimate."""
+
+
+class SchemaError(ReproError):
+    """A relational table or vector-graph schema was violated."""

@@ -1,0 +1,51 @@
+"""Graph data models from Section 3 of the paper.
+
+The paper presents a unifying view of four models, all built on the same
+notion of *multigraph* (nodes, edges, an incidence function rho):
+
+- :class:`MultiGraph` — the bare (N, E, rho) structure.
+- :class:`LabeledGraph` — adds lambda: (N u E) -> Const (Figure 2(a)).
+- :class:`RDFGraph` — triples (s, p, o); a labeled graph without edge ids.
+- :class:`PropertyGraph` — adds the partial sigma: (N u E) x Const -> Const
+  (Figure 2(b)).
+- :class:`VectorGraph` — lambda maps every node/edge to a d-dimensional
+  vector of constants, unifying labels and properties (Figure 2(c)).
+
+:mod:`repro.models.convert` provides the conversions that make Figure 2
+executable; :mod:`repro.models.figures` builds the figure's graphs.
+"""
+
+from repro.models.multigraph import MultiGraph
+from repro.models.labeled import LabeledGraph
+from repro.models.rdf import RDFGraph, Triple
+from repro.models.property import PropertyGraph
+from repro.models.vector import BOTTOM, VectorGraph, VectorSchema
+from repro.models.convert import (
+    labeled_to_property,
+    labeled_to_rdf,
+    property_to_labeled,
+    property_to_vector,
+    rdf_to_labeled,
+    vector_to_property,
+)
+from repro.models.figures import figure2_labeled, figure2_property, figure2_vector
+
+__all__ = [
+    "MultiGraph",
+    "LabeledGraph",
+    "RDFGraph",
+    "Triple",
+    "PropertyGraph",
+    "VectorGraph",
+    "VectorSchema",
+    "BOTTOM",
+    "labeled_to_property",
+    "labeled_to_rdf",
+    "property_to_labeled",
+    "property_to_vector",
+    "rdf_to_labeled",
+    "vector_to_property",
+    "figure2_labeled",
+    "figure2_property",
+    "figure2_vector",
+]

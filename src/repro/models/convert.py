@@ -1,0 +1,153 @@
+"""Conversions between the graph data models of Section 3.
+
+Figure 2 of the paper shows the *same* data as a labeled graph, a property
+graph and a vector-labeled graph.  These functions make that relationship
+executable, and the test suite checks the expected round-trips:
+
+- labeled -> property -> labeled is the identity (properties start empty);
+- property -> vector -> property is the identity given the derived schema;
+- labeled -> rdf -> labeled preserves the reachable structure (RDF has no
+  edge identifiers, so fresh ids are minted on the way back and parallel
+  same-label edges collapse — exactly the information RDF cannot express).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConversionError
+from repro.models.labeled import LabeledGraph
+from repro.models.multigraph import Const
+from repro.models.property import PropertyGraph
+from repro.models.rdf import RDF_TYPE, RDFGraph
+from repro.models.vector import BOTTOM, VectorGraph, VectorSchema
+
+
+def labeled_to_property(graph: LabeledGraph) -> PropertyGraph:
+    """Embed a labeled graph as a property graph with empty sigma."""
+    result = PropertyGraph()
+    for node in graph.nodes():
+        result.add_node(node, graph.node_label(node))
+    for edge in graph.edges():
+        source, target = graph.endpoints(edge)
+        result.add_edge(edge, source, target, graph.edge_label(edge))
+    return result
+
+
+def property_to_labeled(graph: PropertyGraph) -> LabeledGraph:
+    """Forget sigma, keeping the underlying labeled graph of Figure 2(a)."""
+    result = LabeledGraph()
+    for node in graph.nodes():
+        result.add_node(node, graph.node_label(node))
+    for edge in graph.edges():
+        source, target = graph.endpoints(edge)
+        result.add_edge(edge, source, target, graph.edge_label(edge))
+    return result
+
+
+def derive_schema(graph: PropertyGraph) -> VectorSchema:
+    """Schema used by :func:`property_to_vector`: label first, then sorted properties."""
+    names = sorted(str(p) for p in graph.property_names())
+    return VectorSchema.for_label_and_properties(names)
+
+
+def property_to_vector(graph: PropertyGraph,
+                       schema: VectorSchema | None = None) -> VectorGraph:
+    """Encode labels and properties as feature vectors, as in Figure 2(c).
+
+    Feature 1 holds the label; feature i > 1 holds the value of the i-th
+    schema property, or ``BOTTOM`` where sigma is undefined.
+    """
+    if schema is None:
+        schema = derive_schema(graph)
+    if not schema.feature_names or schema.feature_names[0] != "label":
+        raise ConversionError("vector schema for a property graph must start with 'label'")
+    result = VectorGraph(schema.dimension, schema)
+    props = schema.feature_names[1:]
+
+    def node_vec(node: Const) -> tuple[Const, ...]:
+        values = graph.node_properties(node)
+        return (graph.node_label(node),
+                *(values.get(p, BOTTOM) for p in props))
+
+    def edge_vec(edge: Const) -> tuple[Const, ...]:
+        values = graph.edge_properties(edge)
+        return (graph.edge_label(edge),
+                *(values.get(p, BOTTOM) for p in props))
+
+    for node in graph.nodes():
+        result.add_node(node, node_vec(node))
+    for edge in graph.edges():
+        source, target = graph.endpoints(edge)
+        result.add_edge(edge, source, target, edge_vec(edge))
+    return result
+
+
+def vector_to_property(graph: VectorGraph) -> PropertyGraph:
+    """Inverse of :func:`property_to_vector` for schema-carrying vector graphs."""
+    schema = graph.schema
+    if schema is None:
+        raise ConversionError("vector graph has no schema; cannot name properties")
+    if not schema.feature_names or schema.feature_names[0] != "label":
+        raise ConversionError("vector schema must start with 'label'")
+    props = schema.feature_names[1:]
+    result = PropertyGraph()
+    for node in graph.nodes():
+        vector = graph.node_vector(node)
+        values = {p: v for p, v in zip(props, vector[1:]) if v != BOTTOM}
+        result.add_node(node, vector[0], values)
+    for edge in graph.edges():
+        source, target = graph.endpoints(edge)
+        vector = graph.edge_vector(edge)
+        values = {p: v for p, v in zip(props, vector[1:]) if v != BOTTOM}
+        result.add_edge(edge, source, target, vector[0], values)
+    return result
+
+
+def labeled_to_rdf(graph: LabeledGraph) -> RDFGraph:
+    """Encode a labeled graph as RDF triples.
+
+    Node labels become ``(node, rdf:type, label)`` triples; each edge becomes
+    ``(source, label, target)``.  Edge identifiers are dropped — RDF replaces
+    identified edges by triples, as the paper points out — so parallel edges
+    with the same label collapse.
+    """
+    result = RDFGraph()
+    for node in graph.nodes():
+        result.add(str(node), RDF_TYPE, str(graph.node_label(node)))
+    for edge in graph.edges():
+        source, target = graph.endpoints(edge)
+        result.add(str(source), str(graph.edge_label(edge)), str(target))
+    return result
+
+
+def rdf_to_labeled(graph: RDFGraph, edge_prefix: str = "t") -> LabeledGraph:
+    """Decode RDF into a labeled graph, minting fresh edge identifiers.
+
+    ``rdf:type`` triples whose object does not itself appear as a subject or
+    an object of a data triple are read back as node labels; every other
+    triple becomes one labeled edge.
+    """
+    result = LabeledGraph()
+    data_triples = []
+    type_triples = []
+    for triple in graph.triples():
+        if triple.predicate == RDF_TYPE:
+            type_triples.append(triple)
+        else:
+            data_triples.append(triple)
+    entity_nodes = {t.subject for t in data_triples} | {t.object for t in data_triples}
+    entity_nodes.update(t.subject for t in type_triples)
+
+    labels: dict[str, str] = {}
+    for triple in type_triples:
+        if triple.subject in labels and labels[triple.subject] != triple.object:
+            raise ConversionError(
+                f"resource {triple.subject!r} has multiple rdf:type labels; "
+                "labeled graphs carry exactly one label per node")
+        labels[triple.subject] = triple.object
+
+    for node in sorted(entity_nodes):
+        result.add_node(node, labels.get(node, ""))
+    for counter, triple in enumerate(sorted(data_triples), start=1):
+        result.add_edge(f"{edge_prefix}{counter}", triple.subject, triple.object,
+                        triple.predicate)
+    return result

@@ -1,0 +1,65 @@
+"""The running-example graphs of Figure 2.
+
+The paper's Figure 2 shows one dataset — people, their contacts, the bus
+they ride, where they live and the company that owns the bus — in three
+models.  The construction below follows the textual description: the
+property graph adds "the name and age of a person, the zip code of the
+address for two people that live together, the date when someone rides a
+bus, and the date a contact between two people occurs"; the vector graph
+places the label in feature 1 and the contact date in feature 5, so the
+paper's rewritten regex ``(f1 = person)/(f1 = contact & f5 = 3/4/21)/?(f1 =
+infected)`` works verbatim.
+
+On this graph the paper's worked examples hold:
+
+- ``?person/contact/?infected`` (eq. 2) answers with the single path
+  ``n1 e3 n2``;
+- ``?person/(contact & date=3/4/21)/?infected`` (eq. 3) keeps that answer on
+  the property graph;
+- ``?person/rides/?bus/rides^-/?infected`` finds who shared bus n3 with the
+  infected person.
+"""
+
+from __future__ import annotations
+
+from repro.models.convert import property_to_vector
+from repro.models.property import PropertyGraph
+from repro.models.labeled import LabeledGraph
+from repro.models.vector import VectorGraph, VectorSchema
+
+#: Schema that matches the paper's feature numbering (f1=label ... f5=date).
+FIGURE2_SCHEMA = VectorSchema(("label", "name", "age", "zip", "date"))
+
+
+def figure2_property() -> PropertyGraph:
+    """Figure 2(b): the property graph."""
+    graph = PropertyGraph()
+    graph.add_node("n1", "person", {"name": "Julia", "age": "42"})
+    graph.add_node("n2", "infected", {"name": "Pedro", "age": "35"})
+    graph.add_node("n3", "bus")
+    graph.add_node("n4", "person", {"name": "Ana", "age": "27"})
+    graph.add_node("n5", "address", {"zip": "8320000"})
+    graph.add_node("n6", "company", {"name": "TransSur"})
+    graph.add_node("n7", "person", {"name": "Juan", "age": "60"})
+
+    graph.add_edge("e1", "n1", "n3", "rides", {"date": "3/3/21"})
+    graph.add_edge("e2", "n2", "n3", "rides", {"date": "3/3/21"})
+    graph.add_edge("e3", "n1", "n2", "contact", {"date": "3/4/21"})
+    graph.add_edge("e4", "n1", "n5", "lives")
+    graph.add_edge("e5", "n4", "n5", "lives")
+    graph.add_edge("e6", "n6", "n3", "owns")
+    graph.add_edge("e7", "n4", "n1", "contact", {"date": "3/5/21"})
+    graph.add_edge("e8", "n7", "n3", "rides", {"date": "3/6/21"})
+    return graph
+
+
+def figure2_labeled() -> LabeledGraph:
+    """Figure 2(a): the labeled graph (the property graph minus sigma)."""
+    from repro.models.convert import property_to_labeled
+
+    return property_to_labeled(figure2_property())
+
+
+def figure2_vector() -> VectorGraph:
+    """Figure 2(c): the vector-labeled graph of dimension 5."""
+    return property_to_vector(figure2_property(), FIGURE2_SCHEMA)

@@ -1,0 +1,116 @@
+"""JSON (de)serialization for the graph data models.
+
+A small, stable interchange format so examples and benchmarks can persist
+generated workloads.  Only property graphs and vector graphs need their own
+shapes; labeled graphs ride on the property-graph format with empty
+property maps.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.errors import ConversionError
+from repro.models.labeled import LabeledGraph
+from repro.models.property import PropertyGraph
+from repro.models.vector import VectorGraph, VectorSchema
+
+
+def property_graph_to_dict(graph: PropertyGraph) -> dict[str, Any]:
+    """Plain-dict form: {"nodes": [...], "edges": [...]}, sorted for stability."""
+    nodes = [
+        {"id": node, "label": graph.node_label(node),
+         "properties": graph.node_properties(node)}
+        for node in sorted(graph.nodes(), key=str)
+    ]
+    edges = []
+    for edge in sorted(graph.edges(), key=str):
+        source, target = graph.endpoints(edge)
+        edges.append({"id": edge, "source": source, "target": target,
+                      "label": graph.edge_label(edge),
+                      "properties": graph.edge_properties(edge)})
+    return {"model": "property", "nodes": nodes, "edges": edges}
+
+
+def property_graph_from_dict(data: dict[str, Any]) -> PropertyGraph:
+    if data.get("model") != "property":
+        raise ConversionError(f"not a property-graph document: {data.get('model')!r}")
+    graph = PropertyGraph()
+    for node in data["nodes"]:
+        graph.add_node(node["id"], node.get("label", ""), node.get("properties", {}))
+    for edge in data["edges"]:
+        graph.add_edge(edge["id"], edge["source"], edge["target"],
+                       edge.get("label", ""), edge.get("properties", {}))
+    return graph
+
+
+def labeled_graph_to_dict(graph: LabeledGraph) -> dict[str, Any]:
+    from repro.models.convert import labeled_to_property
+
+    document = property_graph_to_dict(labeled_to_property(graph))
+    document["model"] = "labeled"
+    return document
+
+
+def labeled_graph_from_dict(data: dict[str, Any]) -> LabeledGraph:
+    if data.get("model") != "labeled":
+        raise ConversionError(f"not a labeled-graph document: {data.get('model')!r}")
+    graph = LabeledGraph()
+    for node in data["nodes"]:
+        graph.add_node(node["id"], node.get("label", ""))
+    for edge in data["edges"]:
+        graph.add_edge(edge["id"], edge["source"], edge["target"],
+                       edge.get("label", ""))
+    return graph
+
+
+def vector_graph_to_dict(graph: VectorGraph) -> dict[str, Any]:
+    nodes = [{"id": node, "vector": list(graph.node_vector(node))}
+             for node in sorted(graph.nodes(), key=str)]
+    edges = []
+    for edge in sorted(graph.edges(), key=str):
+        source, target = graph.endpoints(edge)
+        edges.append({"id": edge, "source": source, "target": target,
+                      "vector": list(graph.edge_vector(edge))})
+    schema = list(graph.schema.feature_names) if graph.schema else None
+    return {"model": "vector", "dimension": graph.dimension, "schema": schema,
+            "nodes": nodes, "edges": edges}
+
+
+def vector_graph_from_dict(data: dict[str, Any]) -> VectorGraph:
+    if data.get("model") != "vector":
+        raise ConversionError(f"not a vector-graph document: {data.get('model')!r}")
+    schema = VectorSchema(tuple(data["schema"])) if data.get("schema") else None
+    graph = VectorGraph(data["dimension"], schema)
+    for node in data["nodes"]:
+        graph.add_node(node["id"], node["vector"])
+    for edge in data["edges"]:
+        graph.add_edge(edge["id"], edge["source"], edge["target"], edge["vector"])
+    return graph
+
+
+def dumps(graph: LabeledGraph | PropertyGraph | VectorGraph, indent: int = 0) -> str:
+    """Serialize any supported model to a JSON string."""
+    if isinstance(graph, VectorGraph):
+        document = vector_graph_to_dict(graph)
+    elif isinstance(graph, PropertyGraph):
+        document = property_graph_to_dict(graph)
+    elif isinstance(graph, LabeledGraph):
+        document = labeled_graph_to_dict(graph)
+    else:
+        raise ConversionError(f"unsupported graph type: {type(graph).__name__}")
+    return json.dumps(document, indent=indent or None, sort_keys=True)
+
+
+def loads(text: str) -> LabeledGraph | PropertyGraph | VectorGraph:
+    """Deserialize a JSON string produced by :func:`dumps`."""
+    data = json.loads(text)
+    model = data.get("model")
+    if model == "vector":
+        return vector_graph_from_dict(data)
+    if model == "property":
+        return property_graph_from_dict(data)
+    if model == "labeled":
+        return labeled_graph_from_dict(data)
+    raise ConversionError(f"unknown model tag: {model!r}")

@@ -1,0 +1,118 @@
+"""Labeled graphs: (N, E, rho, lambda) with lambda : N u E -> Const.
+
+Both nodes and edges carry exactly one label, as in Figure 2(a) of the
+paper ("heterogeneous graphs" in the literature; the paper prefers the plain
+term *labeled graph*).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.errors import GraphError
+from repro.models.multigraph import Const, MultiGraph
+
+DEFAULT_LABEL = ""
+
+
+class LabeledGraph(MultiGraph):
+    """A multigraph whose nodes and edges each carry one label."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._node_labels: dict[Const, Const] = {}
+        self._edge_labels: dict[Const, Const] = {}
+
+    # -- construction ------------------------------------------------------
+
+    def add_node(self, node: Const, label: Const | None = None) -> Const:
+        """Add a node with a label.
+
+        Re-adding an existing node with a *different* label is an error; with
+        the same label (or no label) it is a no-op, so graphs can be merged.
+        """
+        existing = self._node_labels.get(node)
+        if existing is not None and label is not None and existing != label:
+            raise GraphError(
+                f"node {node!r} already has label {existing!r}, not {label!r}")
+        super().add_node(node)
+        if node not in self._node_labels:
+            self._node_labels[node] = DEFAULT_LABEL if label is None else label
+        return node
+
+    def add_edge(self, edge: Const, source: Const, target: Const,
+                 label: Const | None = None) -> Const:
+        super().add_edge(edge, source, target)
+        self._edge_labels[edge] = DEFAULT_LABEL if label is None else label
+        return edge
+
+    def remove_edge(self, edge: Const) -> None:
+        super().remove_edge(edge)
+        del self._edge_labels[edge]
+
+    def remove_node(self, node: Const) -> None:
+        super().remove_node(node)
+        del self._node_labels[node]
+
+    # -- labels ------------------------------------------------------------
+
+    def node_label(self, node: Const) -> Const:
+        self._require_node(node)
+        return self._node_labels[node]
+
+    def edge_label(self, edge: Const) -> Const:
+        self.endpoints(edge)  # raises UnknownEdgeError if missing
+        return self._edge_labels[edge]
+
+    def set_node_label(self, node: Const, label: Const) -> None:
+        self._require_node(node)
+        self._node_labels[node] = label
+
+    def set_edge_label(self, edge: Const, label: Const) -> None:
+        self.endpoints(edge)
+        self._edge_labels[edge] = label
+
+    def nodes_with_label(self, label: Const) -> Iterator[Const]:
+        """All nodes n with lambda(n) = label (linear scan; stores index this)."""
+        return (n for n, l in self._node_labels.items() if l == label)
+
+    def edges_with_label(self, label: Const) -> Iterator[Const]:
+        return (e for e, l in self._edge_labels.items() if l == label)
+
+    def node_label_set(self) -> set[Const]:
+        return set(self._node_labels.values())
+
+    def edge_label_set(self) -> set[Const]:
+        return set(self._edge_labels.values())
+
+    # -- derived graphs ----------------------------------------------------
+
+    def copy(self) -> "LabeledGraph":
+        clone = type(self)()
+        clone._copy_structure_from(self)
+        return clone
+
+    def _copy_structure_from(self, other: MultiGraph) -> None:
+        if not isinstance(other, LabeledGraph):
+            super()._copy_structure_from(other)
+            return
+        for node in other.nodes():
+            self.add_node(node, other.node_label(node))
+        for edge in other.edges():
+            source, target = other.endpoints(edge)
+            self.add_edge(edge, source, target, other.edge_label(edge))
+
+    # -- bulk loading ------------------------------------------------------
+
+    @classmethod
+    def build(cls,
+              nodes: Iterable[tuple[Const, Const]],
+              edges: Iterable[tuple[Const, Const, Const, Const]],
+              ) -> "LabeledGraph":
+        """Build from (node, label) and (edge, source, target, label) rows."""
+        graph = cls()
+        for node, label in nodes:
+            graph.add_node(node, label)
+        for edge, source, target, label in edges:
+            graph.add_edge(edge, source, target, label)
+        return graph

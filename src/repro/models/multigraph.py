@@ -1,0 +1,203 @@
+"""The base multigraph model: a tuple (N, E, rho).
+
+Following the paper, nodes and edges are identified by constants (strings in
+practice, any hashable value in this implementation), multiple edges may
+connect the same pair of nodes, and ``rho`` maps each edge id to its ordered
+(source, target) pair.  All richer models in this package extend this class.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator
+
+from repro.errors import DuplicateIdError, UnknownEdgeError, UnknownNodeError
+
+Const = Hashable
+
+
+class MultiGraph:
+    """A directed multigraph (N, E, rho) with O(1) incidence lookups.
+
+    Adjacency is indexed in both directions, so ``out_edges`` / ``in_edges``
+    are cheap; this is the structural property the paper contrasts with the
+    relational "two-attribute edge table" encoding, where every hop is a join.
+    """
+
+    def __init__(self) -> None:
+        self._nodes: set[Const] = set()
+        self._edges: dict[Const, tuple[Const, Const]] = {}
+        self._out: dict[Const, list[Const]] = {}
+        self._in: dict[Const, list[Const]] = {}
+
+    # -- construction ------------------------------------------------------
+
+    def add_node(self, node: Const) -> Const:
+        """Add a node; adding an existing node is a no-op (graphs integrate)."""
+        if node not in self._nodes:
+            self._nodes.add(node)
+            self._out[node] = []
+            self._in[node] = []
+        return node
+
+    def add_edge(self, edge: Const, source: Const, target: Const) -> Const:
+        """Add edge ``edge`` with rho(edge) = (source, target).
+
+        Endpoints are created implicitly, matching the flexible grow-as-you-go
+        character of graph models the paper emphasizes.  Re-adding an existing
+        edge id raises :class:`DuplicateIdError`.
+        """
+        if edge in self._edges:
+            raise DuplicateIdError("edge", edge)
+        self.add_node(source)
+        self.add_node(target)
+        self._edges[edge] = (source, target)
+        self._out[source].append(edge)
+        self._in[target].append(edge)
+        return edge
+
+    def remove_edge(self, edge: Const) -> None:
+        """Remove an edge; endpoints stay in the graph."""
+        source, target = self.endpoints(edge)
+        del self._edges[edge]
+        self._out[source].remove(edge)
+        self._in[target].remove(edge)
+
+    def remove_node(self, node: Const) -> None:
+        """Remove a node and every edge incident to it."""
+        self._require_node(node)
+        for edge in list(self._out[node]) + list(self._in[node]):
+            if edge in self._edges:
+                self.remove_edge(edge)
+        self._nodes.discard(node)
+        del self._out[node]
+        del self._in[node]
+
+    # -- inspection --------------------------------------------------------
+
+    def nodes(self) -> Iterator[Const]:
+        return iter(self._nodes)
+
+    def edges(self) -> Iterator[Const]:
+        return iter(self._edges)
+
+    def has_node(self, node: Const) -> bool:
+        return node in self._nodes
+
+    def has_edge(self, edge: Const) -> bool:
+        return edge in self._edges
+
+    def endpoints(self, edge: Const) -> tuple[Const, Const]:
+        """Return rho(edge) = (source, target)."""
+        try:
+            return self._edges[edge]
+        except KeyError:
+            raise UnknownEdgeError(edge) from None
+
+    def source(self, edge: Const) -> Const:
+        return self.endpoints(edge)[0]
+
+    def target(self, edge: Const) -> Const:
+        return self.endpoints(edge)[1]
+
+    def out_edges(self, node: Const) -> list[Const]:
+        """Edge ids whose source is ``node``."""
+        self._require_node(node)
+        return list(self._out[node])
+
+    def in_edges(self, node: Const) -> list[Const]:
+        """Edge ids whose target is ``node``."""
+        self._require_node(node)
+        return list(self._in[node])
+
+    def incident_edges(self, node: Const) -> list[Const]:
+        """Outgoing then incoming edges (a self-loop appears in both halves)."""
+        return self.out_edges(node) + self.in_edges(node)
+
+    def out_degree(self, node: Const) -> int:
+        self._require_node(node)
+        return len(self._out[node])
+
+    def in_degree(self, node: Const) -> int:
+        self._require_node(node)
+        return len(self._in[node])
+
+    def degree(self, node: Const) -> int:
+        return self.out_degree(node) + self.in_degree(node)
+
+    def successors(self, node: Const) -> Iterator[Const]:
+        """Targets of outgoing edges (with multiplicity)."""
+        self._require_node(node)
+        return (self._edges[e][1] for e in self._out[node])
+
+    def predecessors(self, node: Const) -> Iterator[Const]:
+        """Sources of incoming edges (with multiplicity)."""
+        self._require_node(node)
+        return (self._edges[e][0] for e in self._in[node])
+
+    def neighbors(self, node: Const) -> set[Const]:
+        """All nodes adjacent to ``node`` in either direction, deduplicated."""
+        self._require_node(node)
+        result = {self._edges[e][1] for e in self._out[node]}
+        result.update(self._edges[e][0] for e in self._in[node])
+        return result
+
+    def edges_between(self, source: Const, target: Const) -> list[Const]:
+        """All parallel edges from ``source`` to ``target``."""
+        self._require_node(target)
+        return [e for e in self.out_edges(source) if self._edges[e][1] == target]
+
+    def node_count(self) -> int:
+        return len(self._nodes)
+
+    def edge_count(self) -> int:
+        return len(self._edges)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: Const) -> bool:
+        return node in self._nodes
+
+    def __repr__(self) -> str:
+        return (f"<{type(self).__name__} nodes={self.node_count()} "
+                f"edges={self.edge_count()}>")
+
+    # -- derived graphs ----------------------------------------------------
+
+    def copy(self) -> "MultiGraph":
+        """Structural copy (subclasses override to carry labels and more)."""
+        clone = type(self)()
+        clone._copy_structure_from(self)
+        return clone
+
+    def subgraph_without_node(self, node: Const) -> "MultiGraph":
+        """Copy of the graph with ``node`` (and its incident edges) removed.
+
+        Used by the exact regex-constrained betweenness algorithm, which
+        counts paths *avoiding* a node by deleting it.
+        """
+        clone = self.copy()
+        if clone.has_node(node):
+            clone.remove_node(node)
+        return clone
+
+    def _copy_structure_from(self, other: "MultiGraph") -> None:
+        for node in other.nodes():
+            self.add_node(node)
+        for edge in other.edges():
+            source, target = other.endpoints(edge)
+            self.add_edge(edge, source, target)
+
+    def _require_node(self, node: Const) -> None:
+        if node not in self._nodes:
+            raise UnknownNodeError(node)
+
+    # -- bulk loading ------------------------------------------------------
+
+    @classmethod
+    def from_edges(cls, edges: Iterable[tuple[Const, Const, Const]]) -> "MultiGraph":
+        """Build from (edge_id, source, target) triples."""
+        graph = cls()
+        for edge, source, target in edges:
+            graph.add_edge(edge, source, target)
+        return graph

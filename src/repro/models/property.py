@@ -1,0 +1,113 @@
+"""Property graphs: (N, E, rho, lambda, sigma).
+
+Extends labeled graphs with a partial function sigma mapping (object,
+property-name) pairs to values, where an object is a node or an edge.  Each
+object has values for finitely many properties.  This is the model of Neo4j
+/ Cypher-style graph databases and of Figure 2(b) in the paper.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from repro.models.labeled import LabeledGraph
+from repro.models.multigraph import Const, MultiGraph
+
+
+class PropertyGraph(LabeledGraph):
+    """A labeled graph whose nodes and edges carry property/value maps."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._node_props: dict[Const, dict[Const, Const]] = {}
+        self._edge_props: dict[Const, dict[Const, Const]] = {}
+
+    # -- construction ------------------------------------------------------
+
+    def add_node(self, node: Const, label: Const | None = None,
+                 properties: Mapping[Const, Const] | None = None) -> Const:
+        super().add_node(node, label)
+        store = self._node_props.setdefault(node, {})
+        if properties:
+            store.update(properties)
+        return node
+
+    def add_edge(self, edge: Const, source: Const, target: Const,
+                 label: Const | None = None,
+                 properties: Mapping[Const, Const] | None = None) -> Const:
+        super().add_edge(edge, source, target, label)
+        self._edge_props[edge] = dict(properties) if properties else {}
+        return edge
+
+    def remove_edge(self, edge: Const) -> None:
+        super().remove_edge(edge)
+        del self._edge_props[edge]
+
+    def remove_node(self, node: Const) -> None:
+        super().remove_node(node)
+        del self._node_props[node]
+
+    # -- sigma -------------------------------------------------------------
+
+    def set_node_property(self, node: Const, prop: Const, value: Const) -> None:
+        self._require_node(node)
+        self._node_props[node][prop] = value
+
+    def set_edge_property(self, edge: Const, prop: Const, value: Const) -> None:
+        self.endpoints(edge)
+        self._edge_props[edge][prop] = value
+
+    def node_property(self, node: Const, prop: Const) -> Const | None:
+        """sigma(node, prop), or None where sigma is undefined."""
+        self._require_node(node)
+        return self._node_props[node].get(prop)
+
+    def edge_property(self, edge: Const, prop: Const) -> Const | None:
+        """sigma(edge, prop), or None where sigma is undefined."""
+        self.endpoints(edge)
+        return self._edge_props[edge].get(prop)
+
+    def node_properties(self, node: Const) -> dict[Const, Const]:
+        self._require_node(node)
+        return dict(self._node_props[node])
+
+    def edge_properties(self, edge: Const) -> dict[Const, Const]:
+        self.endpoints(edge)
+        return dict(self._edge_props[edge])
+
+    def property_names(self) -> set[Const]:
+        """Every property name used anywhere in the graph (the sigma domain)."""
+        names: set[Const] = set()
+        for props in self._node_props.values():
+            names.update(props)
+        for props in self._edge_props.values():
+            names.update(props)
+        return names
+
+    # -- derived graphs ----------------------------------------------------
+
+    def _copy_structure_from(self, other: MultiGraph) -> None:
+        if not isinstance(other, PropertyGraph):
+            super()._copy_structure_from(other)
+            return
+        for node in other.nodes():
+            self.add_node(node, other.node_label(node), other.node_properties(node))
+        for edge in other.edges():
+            source, target = other.endpoints(edge)
+            self.add_edge(edge, source, target, other.edge_label(edge),
+                          other.edge_properties(edge))
+
+    # -- bulk loading ------------------------------------------------------
+
+    @classmethod
+    def build(cls,
+              nodes: Iterable[tuple],
+              edges: Iterable[tuple],
+              ) -> "PropertyGraph":
+        """Build from (node, label[, props]) and (edge, src, dst, label[, props])."""
+        graph = cls()
+        for row in nodes:
+            graph.add_node(*row)
+        for row in edges:
+            graph.add_edge(*row)
+        return graph

@@ -1,0 +1,139 @@
+"""RDF graphs: sets of triples (s, p, o) over constants/IRIs.
+
+As the paper notes, RDF differs from labeled graphs in two ways: edges are
+triples without identifiers, and constants are URIs/IRIs with a universal
+interpretation (the same constant in two graphs denotes the same resource,
+which makes set union a sound integration operation).
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Iterable, Iterator
+from typing import NamedTuple
+
+from repro.errors import ConversionError
+
+
+class Triple(NamedTuple):
+    """A single RDF statement (subject, predicate, object)."""
+
+    subject: str
+    predicate: str
+    object: str
+
+
+# The RDF vocabulary term the paper's labeled-graph node labels map onto.
+RDF_TYPE = "rdf:type"
+
+
+class RDFGraph:
+    """A set of triples with subject/object adjacency helpers.
+
+    The class is deliberately a thin wrapper over ``set[Triple]``: per the
+    universal-interpretation principle, merging two RDF graphs is plain set
+    union (:meth:`merge`).  Index-accelerated pattern matching lives in
+    :class:`repro.storage.TripleStore`; this class is the *model*.
+    """
+
+    def __init__(self, triples: Iterable[Triple | tuple[str, str, str]] = ()) -> None:
+        self._triples: set[Triple] = {Triple(*t) for t in triples}
+
+    def add(self, subject: str, predicate: str, obj: str) -> Triple:
+        triple = Triple(subject, predicate, obj)
+        self._triples.add(triple)
+        return triple
+
+    def discard(self, subject: str, predicate: str, obj: str) -> None:
+        self._triples.discard(Triple(subject, predicate, obj))
+
+    def triples(self) -> Iterator[Triple]:
+        return iter(self._triples)
+
+    def __len__(self) -> int:
+        return len(self._triples)
+
+    def __contains__(self, triple: object) -> bool:
+        if isinstance(triple, tuple) and len(triple) == 3:
+            return Triple(*triple) in self._triples
+        return False
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, RDFGraph) and self._triples == other._triples
+
+    def __hash__(self) -> int:  # pragma: no cover - sets of graphs are unusual
+        return hash(frozenset(self._triples))
+
+    def __repr__(self) -> str:
+        return f"<RDFGraph triples={len(self._triples)}>"
+
+    # -- graph views -------------------------------------------------------
+
+    def subjects(self) -> set[str]:
+        return {t.subject for t in self._triples}
+
+    def predicates(self) -> set[str]:
+        return {t.predicate for t in self._triples}
+
+    def objects(self) -> set[str]:
+        return {t.object for t in self._triples}
+
+    def resources(self) -> set[str]:
+        """Every constant appearing in subject or object position (the nodes)."""
+        return self.subjects() | self.objects()
+
+    def triples_from(self, subject: str) -> Iterator[Triple]:
+        return (t for t in self._triples if t.subject == subject)
+
+    def triples_to(self, obj: str) -> Iterator[Triple]:
+        return (t for t in self._triples if t.object == obj)
+
+    def merge(self, other: "RDFGraph") -> "RDFGraph":
+        """Set-union integration of two RDF graphs (universal interpretation)."""
+        return RDFGraph(self._triples | other._triples)
+
+    # -- N-Triples-style serialization --------------------------------------
+
+    def to_ntriples(self) -> str:
+        """Serialize to a simplified N-Triples form (one triple per line).
+
+        Constants containing whitespace are quoted as literals; everything
+        else is wrapped in angle brackets like an IRI.
+        """
+        lines = []
+        for t in sorted(self._triples):
+            lines.append(f"{_term(t.subject)} {_term(t.predicate)} {_term(t.object)} .")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    @classmethod
+    def from_ntriples(cls, text: str) -> "RDFGraph":
+        """Parse the simplified N-Triples form produced by :meth:`to_ntriples`."""
+        graph = cls()
+        for lineno, raw in enumerate(text.splitlines(), start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            match = _LINE_RE.match(line)
+            if not match:
+                raise ConversionError(f"bad N-Triples line {lineno}: {raw!r}")
+            parts = [_unterm(match.group(i)) for i in (1, 2, 3)]
+            graph.add(*parts)
+        return graph
+
+
+_TERM_PATTERN = r'(<[^>]*>|"(?:[^"\\]|\\.)*")'
+_LINE_RE = re.compile(rf"^{_TERM_PATTERN}\s+{_TERM_PATTERN}\s+{_TERM_PATTERN}\s*\.$")
+
+
+def _term(value: str) -> str:
+    if re.search(r"\s", value) or value == "":
+        escaped = value.replace("\\", "\\\\").replace('"', '\\"')
+        return f'"{escaped}"'
+    return f"<{value}>"
+
+
+def _unterm(token: str) -> str:
+    if token.startswith("<"):
+        return token[1:-1]
+    body = token[1:-1]
+    return body.replace('\\"', '"').replace("\\\\", "\\")

@@ -1,0 +1,171 @@
+"""Vector-labeled graphs: lambda maps every node and edge to a d-vector.
+
+The paper introduces this model to unify labels and properties and to feed
+message-passing algorithms (Weisfeiler-Lehman, graph neural networks).  A
+missing value in a coordinate is the distinguished constant ``BOTTOM``
+(rendered as the string "⊥" in Figure 2(c)).
+
+A :class:`VectorSchema` records what each coordinate means, which is what
+lets :func:`repro.models.convert.property_to_vector` and its inverse agree.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+from repro.errors import GraphError, SchemaError
+from repro.models.multigraph import Const, MultiGraph
+
+#: The "no value" constant of Figure 2(c).
+BOTTOM = "⊥"
+
+
+@dataclass(frozen=True)
+class VectorSchema:
+    """Names the coordinates of a vector-labeled graph.
+
+    By the paper's convention for Figure 2(c), feature 1 carries the label
+    and each further feature carries one property name.  Feature indices in
+    regex tests ``(f_i = v)`` are 1-based, matching the paper.
+    """
+
+    feature_names: tuple[str, ...] = field(default_factory=tuple)
+
+    @property
+    def dimension(self) -> int:
+        return len(self.feature_names)
+
+    def index_of(self, name: str) -> int:
+        """1-based index of a named feature."""
+        try:
+            return self.feature_names.index(name) + 1
+        except ValueError:
+            raise SchemaError(f"schema has no feature named {name!r}") from None
+
+    @classmethod
+    def for_label_and_properties(cls, properties: Sequence[str]) -> "VectorSchema":
+        return cls(("label", *properties))
+
+
+class VectorGraph(MultiGraph):
+    """A multigraph with a d-dimensional feature vector on every node and edge."""
+
+    def __init__(self, dimension: int, schema: VectorSchema | None = None) -> None:
+        if dimension < 1:
+            raise SchemaError("vector-labeled graphs need dimension >= 1")
+        if schema is not None and schema.dimension != dimension:
+            raise SchemaError(
+                f"schema has {schema.dimension} features, graph has {dimension}")
+        super().__init__()
+        self.dimension = dimension
+        self.schema = schema
+        self._node_vectors: dict[Const, tuple[Const, ...]] = {}
+        self._edge_vectors: dict[Const, tuple[Const, ...]] = {}
+
+    # -- construction ------------------------------------------------------
+
+    def add_node(self, node: Const,
+                 features: Sequence[Const] | None = None) -> Const:
+        vector = self._coerce(features)
+        existing = self._node_vectors.get(node)
+        if existing is not None and features is not None and existing != vector:
+            raise GraphError(f"node {node!r} already has a different vector")
+        super().add_node(node)
+        if node not in self._node_vectors:
+            self._node_vectors[node] = vector
+        return node
+
+    def add_edge(self, edge: Const, source: Const, target: Const,
+                 features: Sequence[Const] | None = None) -> Const:
+        super().add_edge(edge, source, target)
+        self._edge_vectors[edge] = self._coerce(features)
+        return edge
+
+    def remove_edge(self, edge: Const) -> None:
+        super().remove_edge(edge)
+        del self._edge_vectors[edge]
+
+    def remove_node(self, node: Const) -> None:
+        super().remove_node(node)
+        del self._node_vectors[node]
+
+    # -- lambda ------------------------------------------------------------
+
+    def node_vector(self, node: Const) -> tuple[Const, ...]:
+        self._require_node(node)
+        return self._node_vectors[node]
+
+    def edge_vector(self, edge: Const) -> tuple[Const, ...]:
+        self.endpoints(edge)
+        return self._edge_vectors[edge]
+
+    def node_feature(self, node: Const, index: int) -> Const:
+        """The i-th feature of lambda(node); ``index`` is 1-based as in the paper."""
+        return self.node_vector(node)[self._check_index(index) - 1]
+
+    def edge_feature(self, edge: Const, index: int) -> Const:
+        """The i-th feature of lambda(edge); ``index`` is 1-based as in the paper."""
+        return self.edge_vector(edge)[self._check_index(index) - 1]
+
+    def set_node_vector(self, node: Const, features: Sequence[Const]) -> None:
+        self._require_node(node)
+        self._node_vectors[node] = self._coerce(features)
+
+    def set_edge_vector(self, edge: Const, features: Sequence[Const]) -> None:
+        self.endpoints(edge)
+        self._edge_vectors[edge] = self._coerce(features)
+
+    # -- derived graphs ----------------------------------------------------
+
+    def copy(self) -> "VectorGraph":
+        clone = type(self)(self.dimension, self.schema)
+        clone._copy_structure_from(self)
+        return clone
+
+    def subgraph_without_node(self, node: Const) -> "VectorGraph":
+        clone = self.copy()
+        if clone.has_node(node):
+            clone.remove_node(node)
+        return clone
+
+    def _copy_structure_from(self, other: MultiGraph) -> None:
+        if not isinstance(other, VectorGraph):
+            super()._copy_structure_from(other)
+            return
+        for node in other.nodes():
+            self.add_node(node, other.node_vector(node))
+        for edge in other.edges():
+            source, target = other.endpoints(edge)
+            self.add_edge(edge, source, target, other.edge_vector(edge))
+
+    # -- helpers -----------------------------------------------------------
+
+    def _coerce(self, features: Sequence[Const] | None) -> tuple[Const, ...]:
+        if features is None:
+            return (BOTTOM,) * self.dimension
+        vector = tuple(features)
+        if len(vector) != self.dimension:
+            raise SchemaError(
+                f"expected a vector of dimension {self.dimension}, got {len(vector)}")
+        return vector
+
+    def _check_index(self, index: int) -> int:
+        if not 1 <= index <= self.dimension:
+            raise SchemaError(
+                f"feature index {index} out of range 1..{self.dimension}")
+        return index
+
+    # -- bulk loading ------------------------------------------------------
+
+    @classmethod
+    def build(cls, dimension: int,
+              nodes: Iterable[tuple[Const, Sequence[Const]]],
+              edges: Iterable[tuple[Const, Const, Const, Sequence[Const]]],
+              schema: VectorSchema | None = None) -> "VectorGraph":
+        graph = cls(dimension, schema)
+        for node, features in nodes:
+            graph.add_node(node, features)
+        for edge, source, target, features in edges:
+            graph.add_edge(edge, source, target, features)
+        return graph

@@ -1,0 +1,22 @@
+"""Declarative graph query languages (Sections 2.1 and 3 of the paper).
+
+Two hand-built engines, each with a lexer, a recursive-descent parser, a
+selectivity-ordered join evaluator and a small algebra:
+
+- :mod:`repro.query.sparql` — a mini-SPARQL for RDF/triple stores: basic
+  graph patterns, SPARQL 1.1-style property paths (the feature whose
+  counting semantics motivated [8]), FILTER, OPTIONAL, DISTINCT,
+  ORDER BY / LIMIT.
+- :mod:`repro.query.cypherish` — a mini-Cypher for property graphs: MATCH
+  patterns with labels, inline property maps and variable-length
+  relationships, WHERE, RETURN with aliases, DISTINCT, ORDER BY / LIMIT.
+
+Both evaluate over the indexed stores of :mod:`repro.storage`.
+"""
+
+from repro.query.sparql import SelectResult, run_sparql
+from repro.query.cypherish import CypherResult, run_cypher
+from repro.query.pathql import PathQueryResult, parse_pathql, run_pathql
+
+__all__ = ["run_sparql", "SelectResult", "run_cypher", "CypherResult",
+           "run_pathql", "parse_pathql", "PathQueryResult"]

@@ -1,0 +1,579 @@
+"""A mini-Cypher engine over :class:`repro.storage.PropertyGraphStore`.
+
+Supported grammar (a practical core of openCypher)::
+
+    query   := MATCH pattern (',' pattern)* [WHERE expr] RETURN [DISTINCT]
+               item (',' item)* [ORDER BY key [DESC]] [SKIP n] [LIMIT n]
+    pattern := node (rel node)*
+    node    := '(' [var] [':' label] [props] ')'
+    rel     := '-[' [var] [':' label] ['*' [min] '..' [max]] ']->'   (right)
+             | '<-[' ... ']-'                                        (left)
+             | '-[' ... ']-'                                         (either)
+    props   := '{' key ':' value (',' key ':' value)* '}'
+    expr    := disjunction of conjunctions of [NOT] comparisons
+    item    := value-expr [AS alias];  value-expr := var | var '.' prop
+
+Evaluation is backtracking pattern matching over the store's label and
+adjacency indexes, with variable-length relationships expanded breadth
+first between their bounds (binding the relationship variable to the edge
+list).  Comparisons are numeric when both sides look numeric, otherwise
+lexicographic, matching the string-valued property model.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import QueryEvaluationError, QuerySyntaxError
+from repro.storage.property_store import PropertyGraphStore
+
+_TOKEN_RE = re.compile(r"""
+    (?P<ws>\s+)
+  | (?P<keyword>(?i:MATCH|WHERE|RETURN|DISTINCT|ORDER|BY|LIMIT|SKIP|AS|AND|OR|NOT|DESC|ASC)\b)
+  | (?P<name>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<string>"(?:[^"\\]|\\.)*"|'(?:[^'\\]|\\.)*')
+  | (?P<number>\d+(?:\.\d+)?)
+  | (?P<op><=|>=|<>|<-|->|\.\.|[()\[\]{}:,.\-*=<>])
+""", re.VERBOSE)
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str
+    value: str
+    position: int
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if not match:
+            raise QuerySyntaxError(f"cannot read {text[position:position + 10]!r}",
+                                   position)
+        if match.lastgroup != "ws":
+            value = match.group()
+            kind = match.lastgroup
+            if kind == "keyword":
+                value = value.upper()
+            tokens.append(_Token(kind, value, position))
+        position = match.end()
+    return tokens
+
+
+# ---------------------------------------------------------------------------
+# AST
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class NodePattern:
+    var: str | None
+    label: str | None
+    properties: tuple[tuple[str, str], ...] = ()
+
+
+@dataclass(frozen=True)
+class RelPattern:
+    var: str | None
+    label: str | None
+    direction: str  # 'out', 'in', 'both'
+    min_hops: int = 1
+    max_hops: int = 1
+
+    @property
+    def variable_length(self) -> bool:
+        return (self.min_hops, self.max_hops) != (1, 1)
+
+
+@dataclass(frozen=True)
+class PathPattern:
+    nodes: tuple[NodePattern, ...]
+    rels: tuple[RelPattern, ...]
+
+
+@dataclass(frozen=True)
+class ValueExpr:
+    """``var`` (a node/edge id) or ``var.prop`` (a property lookup)."""
+
+    var: str
+    prop: str | None = None
+    constant: str | None = None
+
+    @classmethod
+    def const(cls, value: str) -> "ValueExpr":
+        return cls("", None, value)
+
+
+@dataclass(frozen=True)
+class Condition:
+    left: ValueExpr
+    op: str
+    right: ValueExpr
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class BoolExpr:
+    """Disjunction of conjunctions of conditions (no nested parentheses)."""
+
+    clauses: tuple[tuple[Condition, ...], ...]
+
+
+@dataclass(frozen=True)
+class ReturnItem:
+    expr: ValueExpr
+    alias: str
+
+
+@dataclass(frozen=True)
+class CypherQuery:
+    patterns: tuple[PathPattern, ...]
+    where: BoolExpr | None
+    items: tuple[ReturnItem, ...]
+    distinct: bool
+    order_by: str | None
+    descending: bool
+    skip: int
+    limit: int | None
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.tokens = _tokenize(text)
+        self.pos = 0
+
+    def _peek(self) -> _Token | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise QuerySyntaxError("unexpected end of query")
+        self.pos += 1
+        return token
+
+    def _accept(self, kind: str, value: str | None = None) -> _Token | None:
+        token = self._peek()
+        if token and token.kind == kind and (value is None or token.value == value):
+            self.pos += 1
+            return token
+        return None
+
+    def _expect(self, kind: str, value: str | None = None) -> _Token:
+        token = self._accept(kind, value)
+        if token is None:
+            found = self._peek()
+            shown = found.value if found else "end of query"
+            where = found.position if found else None
+            raise QuerySyntaxError(f"expected {value or kind}, found {shown!r}", where)
+        return token
+
+    def parse(self) -> CypherQuery:
+        self._expect("keyword", "MATCH")
+        patterns = [self._parse_path()]
+        while self._accept("op", ","):
+            patterns.append(self._parse_path())
+        where = None
+        if self._accept("keyword", "WHERE"):
+            where = self._parse_bool()
+        self._expect("keyword", "RETURN")
+        distinct = bool(self._accept("keyword", "DISTINCT"))
+        items = [self._parse_item()]
+        while self._accept("op", ","):
+            items.append(self._parse_item())
+        order_by = None
+        descending = False
+        if self._accept("keyword", "ORDER"):
+            self._expect("keyword", "BY")
+            order_by = self._parse_order_key(items)
+            if self._accept("keyword", "DESC"):
+                descending = True
+            else:
+                self._accept("keyword", "ASC")
+        skip = 0
+        if self._accept("keyword", "SKIP"):
+            skip = int(self._expect("number").value)
+        limit = None
+        if self._accept("keyword", "LIMIT"):
+            limit = int(self._expect("number").value)
+        if self._peek() is not None:
+            raise QuerySyntaxError(f"trailing input {self._peek().value!r}",
+                                   self._peek().position)
+        return CypherQuery(tuple(patterns), where, tuple(items), distinct,
+                           order_by, descending, skip, limit)
+
+    # -- patterns -------------------------------------------------------------
+
+    def _parse_path(self) -> PathPattern:
+        nodes = [self._parse_node()]
+        rels: list[RelPattern] = []
+        while True:
+            rel = self._try_parse_rel()
+            if rel is None:
+                return PathPattern(tuple(nodes), tuple(rels))
+            rels.append(rel)
+            nodes.append(self._parse_node())
+
+    def _parse_node(self) -> NodePattern:
+        self._expect("op", "(")
+        var = None
+        label = None
+        token = self._peek()
+        if token and token.kind == "name":
+            var = self._next().value
+        if self._accept("op", ":"):
+            label = self._expect("name").value
+        properties: list[tuple[str, str]] = []
+        if self._accept("op", "{"):
+            while True:
+                key = self._expect("name").value
+                self._expect("op", ":")
+                properties.append((key, self._parse_value()))
+                if not self._accept("op", ","):
+                    break
+            self._expect("op", "}")
+        self._expect("op", ")")
+        return NodePattern(var, label, tuple(properties))
+
+    def _try_parse_rel(self) -> RelPattern | None:
+        token = self._peek()
+        if token is None or token.kind != "op" or token.value not in ("-", "<-"):
+            return None
+        incoming = token.value == "<-"
+        self._next()
+        var = None
+        label = None
+        min_hops = max_hops = 1
+        if self._accept("op", "["):
+            name = self._accept("name")
+            if name:
+                var = name.value
+            if self._accept("op", ":"):
+                label = self._expect("name").value
+            if self._accept("op", "*"):
+                min_hops, max_hops = 1, _DEFAULT_MAX_HOPS
+                low = self._accept("number")
+                if low:
+                    min_hops = int(low.value)
+                    max_hops = min_hops
+                if self._accept("op", ".."):
+                    max_hops = _DEFAULT_MAX_HOPS
+                    high = self._accept("number")
+                    if high:
+                        max_hops = int(high.value)
+            self._expect("op", "]")
+        if incoming:
+            self._expect("op", "-")
+            direction = "in"
+        elif self._accept("op", "->"):
+            direction = "out"
+        else:
+            self._expect("op", "-")
+            direction = "both"
+        if min_hops > max_hops:
+            raise QuerySyntaxError("variable-length bounds are inverted")
+        return RelPattern(var, label, direction, min_hops, max_hops)
+
+    def _parse_value(self) -> str:
+        token = self._next()
+        if token.kind == "string":
+            return _unquote(token.value)
+        if token.kind == "number":
+            return token.value
+        raise QuerySyntaxError(f"expected a value, found {token.value!r}",
+                               token.position)
+
+    # -- expressions ------------------------------------------------------------
+
+    def _parse_bool(self) -> BoolExpr:
+        clauses = [self._parse_conjunction()]
+        while self._accept("keyword", "OR"):
+            clauses.append(self._parse_conjunction())
+        return BoolExpr(tuple(clauses))
+
+    def _parse_conjunction(self) -> tuple[Condition, ...]:
+        conditions = [self._parse_condition()]
+        while self._accept("keyword", "AND"):
+            conditions.append(self._parse_condition())
+        return tuple(conditions)
+
+    def _parse_condition(self) -> Condition:
+        negated = bool(self._accept("keyword", "NOT"))
+        left = self._parse_value_expr()
+        token = self._next()
+        if token.kind != "op" or token.value not in ("=", "<>", "<", ">", "<=", ">="):
+            raise QuerySyntaxError(f"expected a comparison, found {token.value!r}",
+                                   token.position)
+        right = self._parse_value_expr()
+        return Condition(left, token.value, right, negated)
+
+    def _parse_value_expr(self) -> ValueExpr:
+        token = self._next()
+        if token.kind == "name":
+            if self._accept("op", "."):
+                prop = self._expect("name").value
+                return ValueExpr(token.value, prop)
+            return ValueExpr(token.value)
+        if token.kind == "string":
+            return ValueExpr.const(_unquote(token.value))
+        if token.kind == "number":
+            return ValueExpr.const(token.value)
+        raise QuerySyntaxError(f"expected a value expression, found "
+                               f"{token.value!r}", token.position)
+
+    def _parse_item(self) -> ReturnItem:
+        expr = self._parse_value_expr()
+        if self._accept("keyword", "AS"):
+            alias = self._expect("name").value
+        elif expr.prop is not None:
+            alias = f"{expr.var}.{expr.prop}"
+        else:
+            alias = expr.var
+        return ReturnItem(expr, alias)
+
+    def _parse_order_key(self, items: list[ReturnItem]) -> str:
+        expr = self._parse_value_expr()
+        if expr.prop is not None:
+            return f"{expr.var}.{expr.prop}"
+        return expr.var
+
+
+_DEFAULT_MAX_HOPS = 8
+
+
+def _unquote(token: str) -> str:
+    body = token[1:-1]
+    return body.replace('\\"', '"').replace("\\'", "'").replace("\\\\", "\\")
+
+
+def parse_cypher(text: str) -> CypherQuery:
+    """Parse a mini-Cypher query."""
+    return _Parser(text).parse()
+
+
+# ---------------------------------------------------------------------------
+# Evaluation
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CypherResult:
+    """Query answer: column aliases plus rows."""
+
+    columns: tuple[str, ...]
+    rows: list[tuple]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def bindings(self):
+        for row in self.rows:
+            yield dict(zip(self.columns, row))
+
+
+def run_cypher(store: PropertyGraphStore, text: str) -> CypherResult:
+    """Parse and evaluate a query against a property-graph store."""
+    query = parse_cypher(text)
+    bindings = [{}]
+    for pattern in query.patterns:
+        bindings = _match_path(store, pattern, bindings)
+    if query.where is not None:
+        bindings = [b for b in bindings if _bool_holds(store, query.where, b)]
+
+    columns = tuple(item.alias for item in query.items)
+    rows = [tuple(_item_value(store, item.expr, binding) for item in query.items)
+            for binding in bindings]
+    if query.distinct:
+        seen = set()
+        unique = []
+        for row in rows:
+            if row not in seen:
+                seen.add(row)
+                unique.append(row)
+        rows = unique
+    if query.order_by is not None:
+        if query.order_by not in columns:
+            raise QueryEvaluationError(
+                f"ORDER BY key {query.order_by!r} is not returned")
+        index = columns.index(query.order_by)
+        rows.sort(key=lambda row: _comparable(row[index]),
+                  reverse=query.descending)
+    else:
+        rows.sort(key=lambda row: tuple(str(v) for v in row))
+    if query.skip:
+        rows = rows[query.skip:]
+    if query.limit is not None:
+        rows = rows[: query.limit]
+    return CypherResult(columns, rows)
+
+
+def _match_path(store: PropertyGraphStore, pattern: PathPattern,
+                bindings: list[dict]) -> list[dict]:
+    results: list[dict] = []
+    for binding in bindings:
+        results.extend(_match_from(store, pattern, 0, binding))
+    return results
+
+
+def _match_from(store: PropertyGraphStore, pattern: PathPattern,
+                position: int, binding: dict) -> list[dict]:
+    node_pattern = pattern.nodes[position]
+    candidates = _node_candidates(store, node_pattern, binding)
+    solutions: list[dict] = []
+    for node in candidates:
+        extended = _bind_node(node_pattern, node, binding, store)
+        if extended is None:
+            continue
+        solutions.extend(_match_tail(store, pattern, position, node, extended))
+    return solutions
+
+
+def _match_tail(store: PropertyGraphStore, pattern: PathPattern,
+                position: int, node, binding: dict) -> list[dict]:
+    if position == len(pattern.rels):
+        return [binding]
+    rel = pattern.rels[position]
+    solutions: list[dict] = []
+    for next_node, with_rel in _expand_rel(store, rel, node, binding):
+        next_pattern = pattern.nodes[position + 1]
+        target_check = _bind_node(next_pattern, next_node, with_rel, store)
+        if target_check is None:
+            continue
+        solutions.extend(_match_tail(store, pattern, position + 1,
+                                     next_node, target_check))
+    return solutions
+
+
+def _node_candidates(store: PropertyGraphStore, pattern: NodePattern,
+                     binding: dict):
+    if pattern.var and pattern.var in binding:
+        return [binding[pattern.var]]
+    graph = store.graph
+    if pattern.properties:
+        prop, value = pattern.properties[0]
+        candidates = store.nodes_with_property(prop, value)
+        if pattern.label is not None:
+            candidates &= store.nodes_with_label(pattern.label)
+        return sorted(candidates, key=str)
+    if pattern.label is not None:
+        return sorted(store.nodes_with_label(pattern.label), key=str)
+    return sorted(graph.nodes(), key=str)
+
+
+def _bind_node(pattern: NodePattern, node, binding: dict,
+               store: PropertyGraphStore) -> dict | None:
+    """Bind a node pattern, checking consistency, label and properties."""
+    if pattern.var and pattern.var in binding and binding[pattern.var] != node:
+        return None
+    if not _node_matches(store, pattern, node):
+        return None
+    extended = dict(binding)
+    if pattern.var:
+        extended[pattern.var] = node
+    return extended
+
+
+def _node_matches(store: PropertyGraphStore, pattern: NodePattern, node) -> bool:
+    graph = store.graph
+    if pattern.label is not None and graph.node_label(node) != pattern.label:
+        return False
+    for prop, value in pattern.properties:
+        if graph.node_property(node, prop) != value:
+            return False
+    return True
+
+
+def _expand_rel(store: PropertyGraphStore, rel: RelPattern, node, binding: dict):
+    """Yield (target node, binding-with-rel-var) for one relationship pattern."""
+    if not rel.variable_length:
+        for edge, neighbor in store.expand(node, rel.label, direction=rel.direction):
+            if rel.var and rel.var in binding and binding[rel.var] != edge:
+                continue
+            extended = dict(binding)
+            if rel.var:
+                extended[rel.var] = edge
+            yield neighbor, extended
+        return
+    # Variable-length: BFS between the bounds, binding the var to edge lists.
+    frontier = [(node, ())]
+    for depth in range(1, rel.max_hops + 1):
+        next_frontier = []
+        for current, edges in frontier:
+            for edge, neighbor in store.expand(current, rel.label,
+                                               direction=rel.direction):
+                next_frontier.append((neighbor, edges + (edge,)))
+        frontier = next_frontier
+        if depth >= rel.min_hops:
+            for target, edges in frontier:
+                extended = dict(binding)
+                if rel.var:
+                    extended[rel.var] = edges
+                yield target, extended
+        if not frontier:
+            return
+
+
+def _item_value(store: PropertyGraphStore, expr: ValueExpr, binding: dict):
+    if expr.constant is not None:
+        return expr.constant
+    if expr.var not in binding:
+        raise QueryEvaluationError(f"unbound variable {expr.var!r} in RETURN/WHERE")
+    value = binding[expr.var]
+    if expr.prop is None:
+        return value
+    graph = store.graph
+    if graph.has_node(value):
+        return graph.node_property(value, expr.prop)
+    if graph.has_edge(value):
+        return graph.edge_property(value, expr.prop)
+    raise QueryEvaluationError(
+        f"{expr.var!r} is bound to {value!r}, which has no properties")
+
+
+def _bool_holds(store: PropertyGraphStore, expr: BoolExpr, binding: dict) -> bool:
+    for clause in expr.clauses:
+        if all(_condition_holds(store, condition, binding) for condition in clause):
+            return True
+    return False
+
+
+def _condition_holds(store: PropertyGraphStore, condition: Condition,
+                     binding: dict) -> bool:
+    left = _item_value(store, condition.left, binding)
+    right = _item_value(store, condition.right, binding)
+    result = _compare_values(left, right, condition.op)
+    return (not result) if condition.negated else result
+
+
+def _compare_values(left, right, op: str) -> bool:
+    if op == "=":
+        return left == right
+    if op == "<>":
+        return left != right
+    if left is None or right is None:
+        return False
+    left_key, right_key = _comparable(left), _comparable(right)
+    if op == "<":
+        return left_key < right_key
+    if op == ">":
+        return left_key > right_key
+    if op == "<=":
+        return left_key <= right_key
+    return left_key >= right_key
+
+
+def _comparable(value):
+    if value is None:
+        return (2, 0.0, "")
+    try:
+        return (0, float(value), "")
+    except (TypeError, ValueError):
+        return (1, 0.0, str(value))

@@ -1,0 +1,226 @@
+"""PathQL: a tiny declarative language for the paper's path extraction modes.
+
+Section 4.1 presents three complementary ways to consume the (possibly
+huge) answer set of a regular path query: enumerate with small delay,
+count (exactly or within epsilon), and sample uniformly.  PathQL exposes
+exactly those as query modes over any graph model::
+
+    PATHS MATCHING ?person/rides/?bus/rides^-/?infected LENGTH 2 LIMIT 10
+    PATHS MATCHING (r + s)*/r LENGTH 5 COUNT
+    PATHS MATCHING (r + s)*/r LENGTH 5 COUNT APPROX 0.1 SEED 7
+    PATHS MATCHING (r + s)*/r LENGTH 4 SAMPLE 20 SEED 1
+    PATHS MATCHING contact* FROM n4 TO n2 SHORTEST LIMIT 5
+
+Clauses:
+
+- ``MATCHING <regex>`` — the paper's grammar (1), parsed by
+  :func:`repro.core.rpq.parse_regex`; everything up to the next keyword.
+- ``FROM <node>`` / ``TO <node>`` — endpoint restrictions.
+- ``LENGTH k`` (exact) or ``MAXLENGTH k`` (enumerate 0..k) or ``SHORTEST``
+  (the shortest conforming length between FROM and TO).
+- mode: ``LIMIT n`` (enumerate; default), ``COUNT`` (exact),
+  ``COUNT APPROX <eps>`` (FPRAS), ``SAMPLE n`` (uniform generation).
+- ``SEED s`` — determinism for the randomized modes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.rpq import (
+    ApproxPathCounter,
+    Path,
+    UniformPathSampler,
+    count_paths_exact,
+    enumerate_paths,
+    enumerate_paths_up_to,
+    parse_regex,
+)
+from repro.core.rpq.ast import Regex
+from repro.core.rpq.evaluate import shortest_conforming_length
+from repro.errors import QueryEvaluationError, QuerySyntaxError
+
+_KEYWORDS = {"FROM", "TO", "LENGTH", "MAXLENGTH", "SHORTEST", "COUNT",
+             "APPROX", "SAMPLE", "LIMIT", "SEED"}
+
+
+@dataclass
+class PathQuery:
+    """Parsed form of a PathQL statement."""
+
+    regex: Regex
+    source: str | None = None
+    target: str | None = None
+    length: int | None = None
+    max_length: int | None = None
+    shortest: bool = False
+    mode: str = "enumerate"  # 'enumerate' | 'count' | 'count-approx' | 'sample'
+    limit: int | None = None
+    samples: int = 0
+    epsilon: float = 0.1
+    seed: int | None = None
+
+
+@dataclass
+class PathQueryResult:
+    """Answer of a PathQL statement: paths and/or a count."""
+
+    mode: str
+    paths: list[Path] = field(default_factory=list)
+    count: float | None = None
+
+    def __len__(self) -> int:
+        return len(self.paths)
+
+
+def parse_pathql(text: str) -> PathQuery:
+    """Parse a PathQL statement."""
+    tokens = _tokenize(text)
+    if len(tokens) < 3 or tokens[0].upper() != "PATHS" or tokens[1].upper() != "MATCHING":
+        raise QuerySyntaxError("a PathQL query starts with 'PATHS MATCHING <regex>'")
+    position = 2
+    regex_parts = []
+    while position < len(tokens) and tokens[position] not in _KEYWORDS:
+        regex_parts.append(tokens[position])
+        position += 1
+    if not regex_parts:
+        raise QuerySyntaxError("MATCHING needs a regular expression")
+    query = PathQuery(regex=parse_regex(" ".join(regex_parts)))
+
+    def take_value(keyword: str) -> str:
+        nonlocal position
+        position += 1
+        if position >= len(tokens):
+            raise QuerySyntaxError(f"{keyword} needs a value")
+        value = tokens[position]
+        position += 1
+        return value
+
+    while position < len(tokens):
+        keyword = tokens[position]
+        if keyword == "FROM":
+            query.source = take_value("FROM")
+        elif keyword == "TO":
+            query.target = take_value("TO")
+        elif keyword == "LENGTH":
+            query.length = _int(take_value("LENGTH"), "LENGTH")
+        elif keyword == "MAXLENGTH":
+            query.max_length = _int(take_value("MAXLENGTH"), "MAXLENGTH")
+        elif keyword == "SHORTEST":
+            query.shortest = True
+            position += 1
+        elif keyword == "COUNT":
+            query.mode = "count"
+            position += 1
+            if position < len(tokens) and tokens[position] == "APPROX":
+                query.mode = "count-approx"
+                query.epsilon = _float(take_value("APPROX"), "APPROX")
+        elif keyword == "SAMPLE":
+            query.mode = "sample"
+            query.samples = _int(take_value("SAMPLE"), "SAMPLE")
+        elif keyword == "LIMIT":
+            query.limit = _int(take_value("LIMIT"), "LIMIT")
+        elif keyword == "SEED":
+            query.seed = _int(take_value("SEED"), "SEED")
+        else:
+            raise QuerySyntaxError(f"unexpected token {keyword!r}")
+    _validate(query)
+    return query
+
+
+def run_pathql(graph, text: str) -> PathQueryResult:
+    """Parse and execute a PathQL statement against any graph model."""
+    query = parse_pathql(text)
+    starts = [query.source] if query.source is not None else None
+    ends = [query.target] if query.target is not None else None
+
+    length = query.length
+    if query.shortest:
+        if query.source is None or query.target is None:
+            raise QueryEvaluationError("SHORTEST needs both FROM and TO")
+        length = shortest_conforming_length(graph, query.regex,
+                                            query.source, query.target)
+        if length is None:
+            return PathQueryResult(query.mode, [], 0)
+
+    if query.mode == "count":
+        count = count_paths_exact(graph, query.regex, length,
+                                  start_nodes=starts, end_nodes=ends)
+        return PathQueryResult("count", [], count)
+    if query.mode == "count-approx":
+        counter = ApproxPathCounter(graph, query.regex, length,
+                                    epsilon=query.epsilon, rng=query.seed,
+                                    start_nodes=starts, end_nodes=ends)
+        return PathQueryResult("count-approx", [], counter.estimate())
+    if query.mode == "sample":
+        sampler = UniformPathSampler(graph, query.regex, length,
+                                     start_nodes=starts, end_nodes=ends)
+        if sampler.count == 0:
+            return PathQueryResult("sample", [], 0)
+        paths = sampler.sample_many(query.samples, rng=query.seed)
+        return PathQueryResult("sample", paths, sampler.count)
+
+    # Enumeration (the default mode).
+    if length is not None:
+        iterator = enumerate_paths(graph, query.regex, length,
+                                   start_nodes=starts, end_nodes=ends)
+    else:
+        iterator = enumerate_paths_up_to(graph, query.regex, query.max_length,
+                                         start_nodes=starts, end_nodes=ends)
+    paths = []
+    for path in iterator:
+        paths.append(path)
+        if query.limit is not None and len(paths) >= query.limit:
+            break
+    return PathQueryResult("enumerate", paths, len(paths))
+
+
+def _validate(query: PathQuery) -> None:
+    if query.length is not None and query.max_length is not None:
+        raise QuerySyntaxError("LENGTH and MAXLENGTH are mutually exclusive")
+    if query.shortest and (query.length is not None or query.max_length is not None):
+        raise QuerySyntaxError("SHORTEST replaces LENGTH/MAXLENGTH")
+    needs_length = query.mode in ("count", "count-approx", "sample")
+    has_length = query.length is not None or query.shortest
+    if needs_length and not has_length:
+        raise QuerySyntaxError(f"{query.mode} needs LENGTH k or SHORTEST")
+    if query.mode == "enumerate" and not has_length and query.max_length is None:
+        raise QuerySyntaxError("enumeration needs LENGTH, MAXLENGTH or SHORTEST")
+    if query.mode == "sample" and query.samples < 1:
+        raise QuerySyntaxError("SAMPLE needs a positive count")
+
+
+def _tokenize(text: str) -> list[str]:
+    """Whitespace tokens, but double-quoted spans stay glued to their token."""
+    tokens: list[str] = []
+    current: list[str] = []
+    in_string = False
+    for ch in text:
+        if ch == '"':
+            in_string = not in_string
+            current.append(ch)
+        elif ch.isspace() and not in_string:
+            if current:
+                tokens.append("".join(current))
+                current = []
+        else:
+            current.append(ch)
+    if in_string:
+        raise QuerySyntaxError("unterminated string in PathQL query")
+    if current:
+        tokens.append("".join(current))
+    return tokens
+
+
+def _int(value: str, keyword: str) -> int:
+    try:
+        return int(value)
+    except ValueError:
+        raise QuerySyntaxError(f"{keyword} needs an integer, got {value!r}") from None
+
+
+def _float(value: str, keyword: str) -> float:
+    try:
+        return float(value)
+    except ValueError:
+        raise QuerySyntaxError(f"{keyword} needs a number, got {value!r}") from None

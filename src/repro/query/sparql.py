@@ -1,0 +1,645 @@
+"""A mini-SPARQL engine over :class:`repro.storage.TripleStore`.
+
+Supported grammar (a practical core of SPARQL 1.1)::
+
+    query    := SELECT [DISTINCT] (var+ | '*') WHERE '{' group '}' modifiers
+    group    := (triple '.' | FILTER '(' expr ')' | OPTIONAL '{' group '}')*
+    triple   := term path term
+    path     := step ('/' step)*           -- sequence
+    step     := alt ('|' alt)*  is folded inside: see _parse_path
+    atom     := '<'iri'>' | '^' atom | '(' path ')' ; postfix '*' '+'
+    term     := ?var | '<'iri'>' | '"literal"'
+    expr     := comparison (('&&' | '||') comparison)*
+    comparison := term op term,  op in = != < > <= >=
+    modifiers := [ORDER BY [DESC] var] [LIMIT n] [OFFSET n]
+
+Property paths are evaluated by translating the path operators into
+traversals over the store's indexes (star/plus via BFS closure); basic
+graph patterns are joined by backtracking with greedy selectivity
+ordering (cheapest pattern under current bindings first).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import QueryEvaluationError, QuerySyntaxError
+from repro.storage.triple_store import TripleStore
+
+# ---------------------------------------------------------------------------
+# Tokens
+# ---------------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(r"""
+    (?P<ws>\s+)
+  | (?P<keyword>(?i:SELECT|DISTINCT|WHERE|FILTER|OPTIONAL|UNION|ORDER|BY|LIMIT|OFFSET|ASC|DESC)\b)
+  | (?P<var>\?[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<iri><[^<>\s]*>)
+  | (?P<literal>"(?:[^"\\]|\\.)*")
+  | (?P<number>\d+)
+  | (?P<op><=|>=|!=|&&|\|\||[{}().|/*+^=<>])
+""", re.VERBOSE)
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str
+    value: str
+    position: int
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if not match:
+            raise QuerySyntaxError(f"cannot read {text[position:position + 10]!r}",
+                                   position)
+        kind = match.lastgroup
+        if kind != "ws":
+            value = match.group()
+            if kind == "keyword":
+                value = value.upper()
+            tokens.append(_Token(kind, value, position))
+        position = match.end()
+    return tokens
+
+
+# ---------------------------------------------------------------------------
+# AST
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Var:
+    name: str
+
+
+@dataclass(frozen=True)
+class Iri:
+    value: str
+
+
+@dataclass(frozen=True)
+class Literal:
+    value: str
+
+
+Term = Var | Iri | Literal
+
+
+@dataclass(frozen=True)
+class PIri:
+    iri: str
+
+
+@dataclass(frozen=True)
+class PVar:
+    """A variable in predicate position (a simple predicate, not a path)."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class PInverse:
+    inner: "PathExpr"
+
+
+@dataclass(frozen=True)
+class PSequence:
+    left: "PathExpr"
+    right: "PathExpr"
+
+
+@dataclass(frozen=True)
+class PAlternative:
+    left: "PathExpr"
+    right: "PathExpr"
+
+
+@dataclass(frozen=True)
+class PStar:
+    inner: "PathExpr"
+
+
+@dataclass(frozen=True)
+class PPlus:
+    inner: "PathExpr"
+
+
+PathExpr = PIri | PVar | PInverse | PSequence | PAlternative | PStar | PPlus
+
+
+@dataclass(frozen=True)
+class TriplePattern:
+    subject: Term
+    path: PathExpr
+    object: Term
+
+
+@dataclass(frozen=True)
+class Comparison:
+    left: Term
+    op: str
+    right: Term
+
+
+@dataclass(frozen=True)
+class FilterExpr:
+    comparisons: tuple[Comparison, ...]
+    connectives: tuple[str, ...]  # between consecutive comparisons
+
+
+@dataclass(frozen=True)
+class OptionalGroup:
+    patterns: tuple[TriplePattern, ...]
+    filters: tuple[FilterExpr, ...]
+
+
+@dataclass(frozen=True)
+class SelectQuery:
+    variables: tuple[str, ...] | None  # None = SELECT *
+    distinct: bool
+    patterns: tuple[TriplePattern, ...]
+    filters: tuple[FilterExpr, ...]
+    optionals: tuple[OptionalGroup, ...]
+    order_by: str | None
+    descending: bool
+    limit: int | None
+    offset: int
+    # Alternative branches from `{ g1 } UNION { g2 }`: each entry is a
+    # (patterns, filters, optionals) triple; when non-empty, `patterns`/
+    # `filters`/`optionals` above hold the FIRST branch.
+    union_branches: tuple = ()
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.tokens = _tokenize(text)
+        self.pos = 0
+
+    def _peek(self) -> _Token | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise QuerySyntaxError("unexpected end of query")
+        self.pos += 1
+        return token
+
+    def _accept(self, kind: str, value: str | None = None) -> _Token | None:
+        token = self._peek()
+        if token and token.kind == kind and (value is None or token.value == value):
+            self.pos += 1
+            return token
+        return None
+
+    def _expect(self, kind: str, value: str | None = None) -> _Token:
+        token = self._accept(kind, value)
+        if token is None:
+            found = self._peek()
+            where = found.position if found else None
+            shown = found.value if found else "end of query"
+            raise QuerySyntaxError(
+                f"expected {value or kind}, found {shown!r}", where)
+        return token
+
+    def parse(self) -> SelectQuery:
+        self._expect("keyword", "SELECT")
+        distinct = bool(self._accept("keyword", "DISTINCT"))
+        variables: tuple[str, ...] | None
+        if self._accept("op", "*"):
+            variables = None
+        else:
+            names = []
+            while (token := self._accept("var")) is not None:
+                names.append(token.value[1:])
+            if not names:
+                raise QuerySyntaxError("SELECT needs variables or '*'")
+            variables = tuple(names)
+        self._expect("keyword", "WHERE")
+        self._expect("op", "{")
+        union_branches: list = []
+        if self._peek() and self._peek().kind == "op" and self._peek().value == "{":
+            # Braced alternation: { g1 } UNION { g2 } UNION ...
+            while True:
+                self._expect("op", "{")
+                union_branches.append(self._parse_group(allow_optional=True))
+                self._expect("op", "}")
+                if not self._accept("keyword", "UNION"):
+                    break
+            patterns, filters, optionals = union_branches[0]
+        else:
+            patterns, filters, optionals = self._parse_group(allow_optional=True)
+        self._expect("op", "}")
+        order_by = None
+        descending = False
+        if self._accept("keyword", "ORDER"):
+            self._expect("keyword", "BY")
+            if self._accept("keyword", "DESC"):
+                descending = True
+            else:
+                self._accept("keyword", "ASC")
+            order_by = self._expect("var").value[1:]
+        limit = None
+        offset = 0
+        if self._accept("keyword", "LIMIT"):
+            limit = int(self._expect("number").value)
+        if self._accept("keyword", "OFFSET"):
+            offset = int(self._expect("number").value)
+        if self._peek() is not None:
+            raise QuerySyntaxError(f"trailing input {self._peek().value!r}",
+                                   self._peek().position)
+        return SelectQuery(variables, distinct, tuple(patterns), tuple(filters),
+                           tuple(optionals), order_by, descending, limit, offset,
+                           tuple((tuple(p), tuple(f), tuple(o))
+                                 for p, f, o in union_branches))
+
+    def _parse_group(self, allow_optional: bool):
+        patterns: list[TriplePattern] = []
+        filters: list[FilterExpr] = []
+        optionals: list[OptionalGroup] = []
+        while True:
+            token = self._peek()
+            if token is None or (token.kind == "op" and token.value == "}"):
+                return patterns, filters, optionals
+            if token.kind == "keyword" and token.value == "FILTER":
+                self._next()
+                self._expect("op", "(")
+                filters.append(self._parse_filter())
+                self._expect("op", ")")
+                self._accept("op", ".")
+                continue
+            if token.kind == "keyword" and token.value == "OPTIONAL":
+                if not allow_optional:
+                    raise QuerySyntaxError("nested OPTIONAL is not supported",
+                                           token.position)
+                self._next()
+                self._expect("op", "{")
+                inner_patterns, inner_filters, _ = self._parse_group(allow_optional=False)
+                self._expect("op", "}")
+                optionals.append(OptionalGroup(tuple(inner_patterns),
+                                               tuple(inner_filters)))
+                self._accept("op", ".")
+                continue
+            patterns.append(self._parse_triple())
+            self._accept("op", ".")
+
+    def _parse_triple(self) -> TriplePattern:
+        subject = self._parse_term()
+        variable = self._accept("var")
+        if variable is not None:
+            path: PathExpr = PVar(variable.value[1:])
+        else:
+            path = self._parse_path()
+        obj = self._parse_term()
+        return TriplePattern(subject, path, obj)
+
+    def _parse_term(self) -> Term:
+        token = self._next()
+        if token.kind == "var":
+            return Var(token.value[1:])
+        if token.kind == "iri":
+            return Iri(token.value[1:-1])
+        if token.kind == "literal":
+            return Literal(_unescape(token.value))
+        if token.kind == "number":
+            return Literal(token.value)
+        raise QuerySyntaxError(f"expected a term, found {token.value!r}",
+                               token.position)
+
+    def _parse_path(self) -> PathExpr:
+        return self._parse_path_alt()
+
+    def _parse_path_alt(self) -> PathExpr:
+        left = self._parse_path_seq()
+        while self._accept("op", "|"):
+            left = PAlternative(left, self._parse_path_seq())
+        return left
+
+    def _parse_path_seq(self) -> PathExpr:
+        left = self._parse_path_postfix()
+        while self._accept("op", "/"):
+            left = PSequence(left, self._parse_path_postfix())
+        return left
+
+    def _parse_path_postfix(self) -> PathExpr:
+        atom = self._parse_path_atom()
+        while True:
+            if self._accept("op", "*"):
+                atom = PStar(atom)
+            elif self._accept("op", "+"):
+                atom = PPlus(atom)
+            else:
+                return atom
+
+    def _parse_path_atom(self) -> PathExpr:
+        if self._accept("op", "^"):
+            return PInverse(self._parse_path_atom())
+        if self._accept("op", "("):
+            inner = self._parse_path_alt()
+            self._expect("op", ")")
+            return inner
+        token = self._expect("iri")
+        return PIri(token.value[1:-1])
+
+    def _parse_filter(self) -> FilterExpr:
+        comparisons = [self._parse_comparison()]
+        connectives: list[str] = []
+        while True:
+            token = self._peek()
+            if token and token.kind == "op" and token.value in ("&&", "||"):
+                self._next()
+                connectives.append(token.value)
+                comparisons.append(self._parse_comparison())
+            else:
+                return FilterExpr(tuple(comparisons), tuple(connectives))
+
+    def _parse_comparison(self) -> Comparison:
+        left = self._parse_term()
+        token = self._next()
+        if token.kind != "op" or token.value not in ("=", "!=", "<", ">", "<=", ">="):
+            raise QuerySyntaxError(f"expected a comparison operator, found "
+                                   f"{token.value!r}", token.position)
+        right = self._parse_term()
+        return Comparison(left, token.value, right)
+
+
+def _unescape(literal_token: str) -> str:
+    body = literal_token[1:-1]
+    return body.replace('\\"', '"').replace("\\\\", "\\")
+
+
+def parse_sparql(text: str) -> SelectQuery:
+    """Parse a mini-SPARQL SELECT query."""
+    return _Parser(text).parse()
+
+
+# ---------------------------------------------------------------------------
+# Evaluation
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SelectResult:
+    """Query answer: a header plus rows (None marks an unbound OPTIONAL var)."""
+
+    variables: tuple[str, ...]
+    rows: list[tuple]
+
+    def bindings(self):
+        """Iterate solutions as dicts, omitting unbound variables."""
+        for row in self.rows:
+            yield {var: value for var, value in zip(self.variables, row)
+                   if value is not None}
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+def run_sparql(store: TripleStore, text: str) -> SelectResult:
+    """Parse and evaluate a query against a triple store."""
+    query = parse_sparql(text)
+    if query.union_branches:
+        branches = query.union_branches
+    else:
+        branches = ((query.patterns, query.filters, query.optionals),)
+    solutions = []
+    for patterns, filters, optionals in branches:
+        branch_solutions = _solve_bgp(store, list(patterns), {})
+        branch_solutions = [s for s in branch_solutions
+                            if all(_filter_holds(f, s) for f in filters)]
+        for optional in optionals:
+            branch_solutions = _apply_optional(store, branch_solutions, optional)
+        solutions.extend(branch_solutions)
+
+    if query.variables is None:
+        names: list[str] = []
+        for patterns, _, _ in branches:
+            for pattern in patterns:
+                terms = [pattern.subject, pattern.object]
+                if isinstance(pattern.path, PVar):
+                    names_candidate = pattern.path.name
+                    if names_candidate not in names:
+                        names.append(names_candidate)
+                for term in terms:
+                    if isinstance(term, Var) and term.name not in names:
+                        names.append(term.name)
+        variables = tuple(names)
+    else:
+        variables = query.variables
+
+    rows = [tuple(solution.get(v) for v in variables) for solution in solutions]
+    if query.distinct:
+        seen = set()
+        unique = []
+        for row in rows:
+            if row not in seen:
+                seen.add(row)
+                unique.append(row)
+        rows = unique
+    if query.order_by is not None:
+        index = variables.index(query.order_by) if query.order_by in variables else None
+        if index is None:
+            raise QueryEvaluationError(
+                f"ORDER BY variable ?{query.order_by} is not selected")
+        rows.sort(key=lambda row: (row[index] is None, str(row[index])),
+                  reverse=query.descending)
+    else:
+        rows.sort(key=lambda row: tuple(str(v) for v in row))
+    if query.offset:
+        rows = rows[query.offset:]
+    if query.limit is not None:
+        rows = rows[: query.limit]
+    return SelectResult(variables, rows)
+
+
+def _solve_bgp(store: TripleStore, patterns: list[TriplePattern],
+               binding: dict) -> list[dict]:
+    """Backtracking join with greedy selectivity ordering."""
+    if not patterns:
+        return [dict(binding)]
+    index, best = min(enumerate(patterns),
+                      key=lambda item: _estimate(store, item[1], binding))
+    rest = patterns[:index] + patterns[index + 1:]
+    solutions: list[dict] = []
+    for extension in _match_pattern(store, best, binding):
+        solutions.extend(_solve_bgp(store, rest, extension))
+    return solutions
+
+
+def _estimate(store: TripleStore, pattern: TriplePattern, binding: dict) -> int:
+    subject = _resolve(pattern.subject, binding)
+    obj = _resolve(pattern.object, binding)
+    if isinstance(pattern.path, PIri):
+        return store.count(subject, pattern.path.iri, obj)
+    if isinstance(pattern.path, PVar):
+        return store.count(subject, binding.get(pattern.path.name), obj)
+    # Complex paths: prefer patterns with bound endpoints.
+    bound = (subject is not None) + (obj is not None)
+    return 10_000 // (1 + bound * 100)
+
+
+def _resolve(term: Term, binding: dict) -> str | None:
+    if isinstance(term, Var):
+        return binding.get(term.name)
+    return term.value
+
+
+def _match_pattern(store: TripleStore, pattern: TriplePattern, binding: dict):
+    subject = _resolve(pattern.subject, binding)
+    obj = _resolve(pattern.object, binding)
+    if isinstance(pattern.path, PVar):
+        predicate = binding.get(pattern.path.name)
+        for triple in store.match(subject, predicate, obj):
+            extension = dict(binding)
+            if isinstance(pattern.subject, Var):
+                extension[pattern.subject.name] = triple.subject
+            extension[pattern.path.name] = triple.predicate
+            if isinstance(pattern.object, Var):
+                extension[pattern.object.name] = triple.object
+            yield extension
+        return
+    for s, o in _eval_path(store, pattern.path, subject, obj):
+        extension = dict(binding)
+        if isinstance(pattern.subject, Var):
+            extension[pattern.subject.name] = s
+        if isinstance(pattern.object, Var):
+            extension[pattern.object.name] = o
+        yield extension
+
+
+def _eval_path(store: TripleStore, path: PathExpr,
+               subject: str | None, obj: str | None):
+    """Yield (s, o) pairs related by the path, honoring bound endpoints."""
+    if isinstance(path, PIri):
+        for triple in store.match(subject, path.iri, obj):
+            yield triple.subject, triple.object
+        return
+    if isinstance(path, PInverse):
+        for o, s in _eval_path(store, path.inner, obj, subject):
+            yield s, o
+        return
+    if isinstance(path, PSequence):
+        if subject is not None or obj is None:
+            for s, middle in _eval_path(store, path.left, subject, None):
+                for _, o in _eval_path(store, path.right, middle, obj):
+                    yield s, o
+        else:
+            for middle, o in _eval_path(store, path.right, None, obj):
+                for s, _ in _eval_path(store, path.left, subject, middle):
+                    yield s, o
+        return
+    if isinstance(path, PAlternative):
+        seen = set()
+        for pair in _eval_path(store, path.left, subject, obj):
+            if pair not in seen:
+                seen.add(pair)
+                yield pair
+        for pair in _eval_path(store, path.right, subject, obj):
+            if pair not in seen:
+                seen.add(pair)
+                yield pair
+        return
+    if isinstance(path, (PStar, PPlus)):
+        minimum = 0 if isinstance(path, PStar) else 1
+        yield from _eval_closure(store, path.inner, subject, obj, minimum)
+        return
+    raise QueryEvaluationError(f"unknown path node: {type(path).__name__}")
+
+
+def _eval_closure(store: TripleStore, inner: PathExpr,
+                  subject: str | None, obj: str | None, minimum: int):
+    """Reflexive/transitive closure with existential (set) semantics.
+
+    SPARQL 1.1 evaluates ZeroOrMorePath over *node pairs*, not paths —
+    precisely the design decision [8] traces to counting explosions.
+    """
+    def reachable_from(start: str):
+        seen = {start: 0}
+        frontier = [start]
+        depth = 0
+        while frontier:
+            depth += 1
+            next_frontier = []
+            for node in frontier:
+                for _, target in _eval_path(store, inner, node, None):
+                    if target not in seen:
+                        seen[target] = depth
+                        next_frontier.append(target)
+            frontier = next_frontier
+        return seen
+
+    if subject is not None:
+        for node, depth in reachable_from(subject).items():
+            if depth >= minimum and (obj is None or node == obj):
+                yield subject, node
+        return
+    starts = store.resources() if obj is None else store.resources()
+    emitted = set()
+    for start in sorted(starts):
+        for node, depth in reachable_from(start).items():
+            if depth >= minimum and (obj is None or node == obj):
+                if (start, node) not in emitted:
+                    emitted.add((start, node))
+                    yield start, node
+
+
+def _filter_holds(filter_expr: FilterExpr, binding: dict) -> bool:
+    values = [_compare(c, binding) for c in filter_expr.comparisons]
+    result = values[0]
+    for connective, value in zip(filter_expr.connectives, values[1:]):
+        if connective == "&&":
+            result = result and value
+        else:
+            result = result or value
+    return result
+
+
+def _compare(comparison: Comparison, binding: dict) -> bool:
+    left = _resolve(comparison.left, binding)
+    right = _resolve(comparison.right, binding)
+    if left is None or right is None:
+        return False
+    if comparison.op == "=":
+        return left == right
+    if comparison.op == "!=":
+        return left != right
+    left_key, right_key = _comparable(left), _comparable(right)
+    if comparison.op == "<":
+        return left_key < right_key
+    if comparison.op == ">":
+        return left_key > right_key
+    if comparison.op == "<=":
+        return left_key <= right_key
+    return left_key >= right_key
+
+
+def _comparable(value: str):
+    """Numeric comparison when both sides look numeric, else lexicographic."""
+    try:
+        return (0, float(value), "")
+    except ValueError:
+        return (1, 0.0, value)
+
+
+def _apply_optional(store: TripleStore, solutions: list[dict],
+                    optional: OptionalGroup) -> list[dict]:
+    extended: list[dict] = []
+    for solution in solutions:
+        matches = _solve_bgp(store, list(optional.patterns), solution)
+        matches = [m for m in matches
+                   if all(_filter_holds(f, m) for f in optional.filters)]
+        if matches:
+            extended.extend(matches)
+        else:
+            extended.append(solution)
+    return extended

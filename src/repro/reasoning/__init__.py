@@ -1,0 +1,29 @@
+"""Producing knowledge by deduction (Section 2.3).
+
+The paper: knowledge graphs "produce new knowledge ... deducing, e.g. by
+means of logical reasoners".  This package provides the two standard
+flavours over the RDF model:
+
+- :mod:`repro.reasoning.rules` — a Datalog-style rule engine over triple
+  patterns with semi-naive forward chaining (fixpoint materialization).
+- :mod:`repro.reasoning.rdfs` — the RDFS entailment rules (subclass,
+  subproperty, domain, range) expressed in that engine, i.e. the ontology
+  layer the paper calls "the main concepts ... ontologies to integrate
+  knowledge".
+"""
+
+from repro.reasoning.rules import Rule, RuleAtom, RuleEngine, Var
+from repro.reasoning.rdfs import (
+    RDFS_DOMAIN,
+    RDFS_RANGE,
+    RDFS_SUBCLASS,
+    RDFS_SUBPROPERTY,
+    rdfs_closure,
+    rdfs_rules,
+)
+
+__all__ = [
+    "Var", "RuleAtom", "Rule", "RuleEngine",
+    "rdfs_rules", "rdfs_closure",
+    "RDFS_SUBCLASS", "RDFS_SUBPROPERTY", "RDFS_DOMAIN", "RDFS_RANGE",
+]

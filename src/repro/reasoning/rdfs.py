@@ -1,0 +1,64 @@
+"""RDFS entailment as rules: the ontology layer of Section 2.3.
+
+Implements the core RDFS entailment patterns (the ones with visible effect
+on instance data) over the rule engine:
+
+- rdfs5  subPropertyOf transitivity
+- rdfs7  property inheritance: p1 subPropertyOf p2, (s p1 o) => (s p2 o)
+- rdfs9  type inheritance through subClassOf
+- rdfs11 subClassOf transitivity
+- rdfs2  domain:  p domain C, (s p o) => s rdf:type C
+- rdfs3  range:   p range C,  (s p o) => o rdf:type C
+
+This is what makes an RDF graph with an ontology a *knowledge graph* in the
+paper's sense: new facts are produced from old ones.
+"""
+
+from __future__ import annotations
+
+from repro.models.rdf import RDF_TYPE
+from repro.reasoning.rules import Rule, RuleAtom, RuleEngine, Var
+from repro.storage.triple_store import TripleStore
+
+RDFS_SUBCLASS = "rdfs:subClassOf"
+RDFS_SUBPROPERTY = "rdfs:subPropertyOf"
+RDFS_DOMAIN = "rdfs:domain"
+RDFS_RANGE = "rdfs:range"
+
+
+def rdfs_rules() -> list[Rule]:
+    """The RDFS entailment rules listed above."""
+    s, p, o = Var("s"), Var("p"), Var("o")
+    p1, p2, p3 = Var("p1"), Var("p2"), Var("p3")
+    c1, c2, c3 = Var("c1"), Var("c2"), Var("c3")
+    return [
+        # rdfs11: subclass transitivity
+        Rule(RuleAtom(c1, RDFS_SUBCLASS, c3),
+             [RuleAtom(c1, RDFS_SUBCLASS, c2),
+              RuleAtom(c2, RDFS_SUBCLASS, c3)]),
+        # rdfs9: instance type inheritance
+        Rule(RuleAtom(s, RDF_TYPE, c2),
+             [RuleAtom(s, RDF_TYPE, c1),
+              RuleAtom(c1, RDFS_SUBCLASS, c2)]),
+        # rdfs5: subproperty transitivity
+        Rule(RuleAtom(p1, RDFS_SUBPROPERTY, p3),
+             [RuleAtom(p1, RDFS_SUBPROPERTY, p2),
+              RuleAtom(p2, RDFS_SUBPROPERTY, p3)]),
+        # rdfs7: property inheritance
+        Rule(RuleAtom(s, p2, o),
+             [RuleAtom(s, p1, o),
+              RuleAtom(p1, RDFS_SUBPROPERTY, p2)]),
+        # rdfs2: domain
+        Rule(RuleAtom(s, RDF_TYPE, c1),
+             [RuleAtom(p, RDFS_DOMAIN, c1),
+              RuleAtom(s, p, o)]),
+        # rdfs3: range
+        Rule(RuleAtom(o, RDF_TYPE, c1),
+             [RuleAtom(p, RDFS_RANGE, c1),
+              RuleAtom(s, p, o)]),
+    ]
+
+
+def rdfs_closure(store: TripleStore) -> int:
+    """Materialize the RDFS closure in place; returns the number of new triples."""
+    return RuleEngine(rdfs_rules()).materialize(store)

@@ -1,0 +1,166 @@
+"""A Datalog-style rule engine over triples, with semi-naive evaluation.
+
+Rules have the shape ``head :- body1, body2, ...`` where head and body
+atoms are triple patterns mixing constants and variables::
+
+    Rule(RuleAtom(Var("x"), "rdf:type", Var("c2")),
+         [RuleAtom(Var("x"), "rdf:type", Var("c1")),
+          RuleAtom(Var("c1"), "rdfs:subClassOf", Var("c2"))])
+
+:class:`RuleEngine` materializes the least fixpoint into a
+:class:`repro.storage.TripleStore`.  Evaluation is semi-naive: each round
+only joins against the delta derived in the previous round, the classic
+optimization that keeps forward chaining from re-deriving everything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Iterable
+
+from repro.errors import LogicError
+from repro.models.rdf import Triple
+from repro.storage.triple_store import TripleStore
+
+
+@dataclass(frozen=True)
+class Var:
+    """A rule variable (distinct from constants by type, not by syntax)."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class RuleAtom:
+    """A triple pattern over constants and variables."""
+
+    subject: str | Var
+    predicate: str | Var
+    object: str | Var
+
+    def variables(self) -> set[str]:
+        return {t.name for t in (self.subject, self.predicate, self.object)
+                if isinstance(t, Var)}
+
+    def ground(self, binding: dict[str, str]) -> Triple:
+        return Triple(_resolve(self.subject, binding),
+                      _resolve(self.predicate, binding),
+                      _resolve(self.object, binding))
+
+    def match(self, triple: Triple, binding: dict[str, str]) -> dict[str, str] | None:
+        """Extend ``binding`` to match ``triple``, or None."""
+        extended = dict(binding)
+        for term, value in ((self.subject, triple.subject),
+                            (self.predicate, triple.predicate),
+                            (self.object, triple.object)):
+            if isinstance(term, Var):
+                bound = extended.get(term.name)
+                if bound is None:
+                    extended[term.name] = value
+                elif bound != value:
+                    return None
+            elif term != value:
+                return None
+        return extended
+
+
+def _resolve(term: str | Var, binding: dict[str, str]) -> str:
+    if isinstance(term, Var):
+        try:
+            return binding[term.name]
+        except KeyError:
+            raise LogicError(f"unbound rule variable ?{term.name}") from None
+    return term
+
+
+@dataclass(frozen=True)
+class Rule:
+    """``head :- body``.  Every head variable must occur in the body (safety)."""
+
+    head: RuleAtom
+    body: tuple[RuleAtom, ...]
+
+    def __init__(self, head: RuleAtom, body: Iterable[RuleAtom]) -> None:
+        object.__setattr__(self, "head", head)
+        object.__setattr__(self, "body", tuple(body))
+        if not self.body:
+            raise LogicError("rules need a non-empty body (facts go in the store)")
+        body_vars = set().union(*(atom.variables() for atom in self.body))
+        unsafe = self.head.variables() - body_vars
+        if unsafe:
+            raise LogicError(f"unsafe rule: head variables {sorted(unsafe)} "
+                             "not bound by the body")
+
+
+class RuleEngine:
+    """Semi-naive forward chaining to a fixpoint."""
+
+    def __init__(self, rules: Iterable[Rule]) -> None:
+        self.rules = list(rules)
+
+    def materialize(self, store: TripleStore, *,
+                    max_rounds: int | None = None) -> int:
+        """Add all derivable triples to ``store``; returns how many were new.
+
+        ``max_rounds`` bounds the iteration (None = run to fixpoint; the
+        fixpoint always exists because rules only add triples over the
+        finite vocabulary of the store plus rule constants).
+        """
+        total_new = 0
+        delta = list(store.triples())
+        rounds = 0
+        while delta:
+            rounds += 1
+            if max_rounds is not None and rounds > max_rounds:
+                break
+            # Compute the round's consequences first, then insert, so the
+            # store is never mutated while its indexes are being iterated.
+            facts: set[Triple] = set()
+            for rule in self.rules:
+                for binding in self._bindings_with_delta(rule, store, delta):
+                    facts.add(rule.head.ground(binding))
+            derived = [fact for fact in facts if store.add(*fact)]
+            total_new += len(derived)
+            delta = derived
+        return total_new
+
+    def _bindings_with_delta(self, rule: Rule, store: TripleStore,
+                             delta: list[Triple]):
+        """Join the body, requiring at least one atom to match the delta.
+
+        Semi-naive: for each position i, atom i ranges over the delta and
+        the remaining atoms over the full store.
+        """
+        delta_set = set(delta)
+        seen: set[tuple] = set()
+        for pivot in range(len(rule.body)):
+            for binding in self._join(rule.body, 0, {}, store, pivot, delta_set):
+                key = tuple(sorted(binding.items()))
+                if key not in seen:
+                    seen.add(key)
+                    yield binding
+
+    def _join(self, body: tuple[RuleAtom, ...], index: int,
+              binding: dict[str, str], store: TripleStore,
+              pivot: int, delta: set[Triple]):
+        if index == len(body):
+            yield binding
+            return
+        atom = body[index]
+        subject = _bound_or_none(atom.subject, binding)
+        predicate = _bound_or_none(atom.predicate, binding)
+        obj = _bound_or_none(atom.object, binding)
+        candidates = list(store.match(subject, predicate, obj))
+        for triple in candidates:
+            if index == pivot and triple not in delta:
+                continue
+            extended = atom.match(triple, binding)
+            if extended is not None:
+                yield from self._join(body, index + 1, extended, store,
+                                      pivot, delta)
+
+
+def _bound_or_none(term: str | Var, binding: dict[str, str]) -> str | None:
+    if isinstance(term, Var):
+        return binding.get(term.name)
+    return term

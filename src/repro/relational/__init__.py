@@ -1,0 +1,30 @@
+"""The relational baseline of Section 2.2.
+
+"Classical relational databases are flexible enough to represent a graph,
+e.g. by a two attribute relation storing its edges.  In this
+representation, nodes are entries and paths are constructed by successive
+joins.  Why then do we need graph databases?  ... joins are expensive and
+thus, reasoning about paths becomes very costly."
+
+This package makes that argument measurable: a miniature relational engine
+(tables, selection/projection, hash joins) storing a graph as edge and
+node-label relations, with path queries answered by iterated joins.
+Experiment D1 benchmarks it against adjacency traversal over
+:class:`repro.storage.PropertyGraphStore`.
+"""
+
+from repro.relational.table import Table
+from repro.relational.engine import (
+    graph_to_relations,
+    khop_pairs_by_joins,
+    khop_pairs_by_traversal,
+    label_filtered_khop_by_joins,
+)
+
+__all__ = [
+    "Table",
+    "graph_to_relations",
+    "khop_pairs_by_joins",
+    "khop_pairs_by_traversal",
+    "label_filtered_khop_by_joins",
+]

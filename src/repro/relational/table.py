@@ -1,0 +1,96 @@
+"""A miniature relational table with hash-join, selection and projection."""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Sequence
+
+from repro.errors import SchemaError
+
+
+class Table:
+    """A named relation: a tuple of column names and a list of row tuples.
+
+    Rows are bags (duplicates kept) — :meth:`distinct` removes them —
+    matching SQL semantics so the join-cost measurements are honest.
+    """
+
+    def __init__(self, name: str, columns: Sequence[str],
+                 rows: Iterable[tuple] = ()) -> None:
+        self.name = name
+        self.columns = tuple(columns)
+        if len(set(self.columns)) != len(self.columns):
+            raise SchemaError(f"duplicate column names in {name!r}")
+        self.rows = [tuple(row) for row in rows]
+        for row in self.rows:
+            if len(row) != len(self.columns):
+                raise SchemaError(
+                    f"row of width {len(row)} in table {name!r} of width "
+                    f"{len(self.columns)}")
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __repr__(self) -> str:
+        return f"<Table {self.name}({', '.join(self.columns)}) rows={len(self.rows)}>"
+
+    def column_index(self, column: str) -> int:
+        try:
+            return self.columns.index(column)
+        except ValueError:
+            raise SchemaError(f"table {self.name!r} has no column {column!r}") from None
+
+    # -- operators -----------------------------------------------------------
+
+    def select(self, predicate: Callable[[dict], bool], name: str | None = None) -> "Table":
+        """Row filter; the predicate sees a column->value dict."""
+        kept = [row for row in self.rows
+                if predicate(dict(zip(self.columns, row)))]
+        return Table(name or f"select({self.name})", self.columns, kept)
+
+    def select_eq(self, column: str, value, name: str | None = None) -> "Table":
+        """Equality selection (no dict construction; the common fast path)."""
+        index = self.column_index(column)
+        kept = [row for row in self.rows if row[index] == value]
+        return Table(name or f"{self.name}[{column}={value!r}]", self.columns, kept)
+
+    def project(self, columns: Sequence[str], name: str | None = None) -> "Table":
+        indexes = [self.column_index(c) for c in columns]
+        rows = [tuple(row[i] for i in indexes) for row in self.rows]
+        return Table(name or f"project({self.name})", columns, rows)
+
+    def rename(self, mapping: dict[str, str], name: str | None = None) -> "Table":
+        columns = [mapping.get(c, c) for c in self.columns]
+        return Table(name or self.name, columns, self.rows)
+
+    def distinct(self, name: str | None = None) -> "Table":
+        seen = set()
+        rows = []
+        for row in self.rows:
+            if row not in seen:
+                seen.add(row)
+                rows.append(row)
+        return Table(name or f"distinct({self.name})", self.columns, rows)
+
+    def join(self, other: "Table", name: str | None = None) -> "Table":
+        """Natural hash join on all shared column names."""
+        shared = [c for c in self.columns if c in other.columns]
+        left_idx = [self.column_index(c) for c in shared]
+        right_idx = [other.column_index(c) for c in shared]
+        right_extra = [i for i, c in enumerate(other.columns) if c not in shared]
+        columns = self.columns + tuple(other.columns[i] for i in right_extra)
+        build: dict = {}
+        for row in other.rows:
+            key = tuple(row[i] for i in right_idx)
+            build.setdefault(key, []).append(tuple(row[i] for i in right_extra))
+        rows = []
+        for row in self.rows:
+            key = tuple(row[i] for i in left_idx)
+            for extra in build.get(key, ()):
+                rows.append(row + extra)
+        return Table(name or f"join({self.name},{other.name})", columns, rows)
+
+    def union(self, other: "Table", name: str | None = None) -> "Table":
+        if self.columns != other.columns:
+            raise SchemaError("union requires identical column lists")
+        return Table(name or f"union({self.name},{other.name})",
+                     self.columns, self.rows + other.rows)

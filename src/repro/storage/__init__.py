@@ -1,0 +1,20 @@
+"""Graph database storage substrate (Section 2.2).
+
+The paper asks "why then do we need graph databases?" and answers: because
+adjacency should be a data-structure lookup, not a join.  This package
+provides the two store shapes that answer embodies:
+
+- :class:`TripleStore` — an RDF store with the classic SPO/POS/OSP index
+  permutations, giving index-backed pattern matching for every binding
+  shape of (s, p, o).
+- :class:`PropertyGraphStore` — a property-graph store with label and
+  property-value indexes plus per-label adjacency, the Neo4j-style layout.
+
+The relational counterexample (the graph as a two-attribute edge table,
+paths by iterated joins) lives in :mod:`repro.relational`.
+"""
+
+from repro.storage.triple_store import TripleStore
+from repro.storage.property_store import PropertyGraphStore
+
+__all__ = ["TripleStore", "PropertyGraphStore"]

@@ -1,0 +1,92 @@
+"""An indexed property-graph store (the Neo4j-style storage substrate).
+
+Wraps a :class:`repro.models.PropertyGraph` with the secondary indexes a
+graph database maintains: node/edge label indexes, a (property, value)
+index for nodes, and per-label adjacency lists so a Cypher-style hop
+``(a)-[:contact]->(b)`` is a dictionary lookup.  This is the storage layer
+under the mini-Cypher engine of :mod:`repro.query.cypherish`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.models.property import PropertyGraph
+
+
+class PropertyGraphStore:
+    """Index layer over a property graph (the graph itself stays the model)."""
+
+    def __init__(self, graph: PropertyGraph) -> None:
+        self.graph = graph
+        self._nodes_by_label: dict = {}
+        self._edges_by_label: dict = {}
+        self._nodes_by_property: dict = {}
+        self._out_by_label: dict = {}
+        self._in_by_label: dict = {}
+        self._rebuild()
+
+    def _rebuild(self) -> None:
+        graph = self.graph
+        self._nodes_by_label.clear()
+        self._edges_by_label.clear()
+        self._nodes_by_property.clear()
+        self._out_by_label.clear()
+        self._in_by_label.clear()
+        for node in graph.nodes():
+            self._nodes_by_label.setdefault(graph.node_label(node), set()).add(node)
+            for prop, value in graph.node_properties(node).items():
+                self._nodes_by_property.setdefault((prop, value), set()).add(node)
+        for edge in graph.edges():
+            label = graph.edge_label(edge)
+            source, target = graph.endpoints(edge)
+            self._edges_by_label.setdefault(label, set()).add(edge)
+            self._out_by_label.setdefault((source, label), []).append(edge)
+            self._in_by_label.setdefault((target, label), []).append(edge)
+
+    # -- index lookups ---------------------------------------------------------
+
+    def nodes_with_label(self, label) -> set:
+        return set(self._nodes_by_label.get(label, ()))
+
+    def edges_with_label(self, label) -> set:
+        return set(self._edges_by_label.get(label, ()))
+
+    def nodes_with_property(self, prop, value) -> set:
+        return set(self._nodes_by_property.get((prop, value), ()))
+
+    def out_edges_labeled(self, node, label) -> list:
+        """Outgoing edges of ``node`` with the given label (O(1) index hit)."""
+        return list(self._out_by_label.get((node, label), ()))
+
+    def in_edges_labeled(self, node, label) -> list:
+        return list(self._in_by_label.get((node, label), ()))
+
+    def expand(self, node, label=None, *, direction: str = "out",
+               ) -> Iterator[tuple]:
+        """Yield (edge, neighbor) pairs from ``node``.
+
+        ``label=None`` expands over every edge label.  This is the
+        traversal primitive whose cost the paper contrasts with join-based
+        relational expansion.
+        """
+        graph = self.graph
+        if direction in ("out", "both"):
+            edges = (graph.out_edges(node) if label is None
+                     else self.out_edges_labeled(node, label))
+            for edge in edges:
+                yield edge, graph.target(edge)
+        if direction in ("in", "both"):
+            edges = (graph.in_edges(node) if label is None
+                     else self.in_edges_labeled(node, label))
+            for edge in edges:
+                yield edge, graph.source(edge)
+
+    def node_count_for_label(self, label) -> int:
+        return len(self._nodes_by_label.get(label, ()))
+
+    def labels(self) -> set:
+        return set(self._nodes_by_label)
+
+    def edge_labels(self) -> set:
+        return set(self._edges_by_label)

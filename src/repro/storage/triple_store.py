@@ -1,0 +1,134 @@
+"""An indexed in-memory triple store (the RDF storage substrate).
+
+Maintains the three cyclic index permutations SPO, POS and OSP as nested
+dictionaries, so every triple-pattern shape — any subset of {s, p, o}
+bound — is answered by index lookup rather than a scan.  This is the
+storage layer under the mini-SPARQL engine of :mod:`repro.query.sparql`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.models.rdf import RDFGraph, Triple
+
+
+class TripleStore:
+    """Set-of-triples storage with SPO/POS/OSP indexes."""
+
+    def __init__(self, triples: Iterable[Triple | tuple[str, str, str]] = ()) -> None:
+        self._spo: dict[str, dict[str, set[str]]] = {}
+        self._pos: dict[str, dict[str, set[str]]] = {}
+        self._osp: dict[str, dict[str, set[str]]] = {}
+        self._size = 0
+        for triple in triples:
+            self.add(*triple)
+
+    @classmethod
+    def from_graph(cls, graph: RDFGraph) -> "TripleStore":
+        return cls(graph.triples())
+
+    def to_graph(self) -> RDFGraph:
+        return RDFGraph(self.triples())
+
+    # -- updates -------------------------------------------------------------
+
+    def add(self, subject: str, predicate: str, obj: str) -> bool:
+        """Insert a triple; returns False if it was already present."""
+        subjects = self._spo.setdefault(subject, {})
+        objects = subjects.setdefault(predicate, set())
+        if obj in objects:
+            return False
+        objects.add(obj)
+        self._pos.setdefault(predicate, {}).setdefault(obj, set()).add(subject)
+        self._osp.setdefault(obj, {}).setdefault(subject, set()).add(predicate)
+        self._size += 1
+        return True
+
+    def remove(self, subject: str, predicate: str, obj: str) -> bool:
+        """Delete a triple; returns False if it was not present."""
+        try:
+            self._spo[subject][predicate].remove(obj)
+        except KeyError:
+            return False
+        self._pos[predicate][obj].discard(subject)
+        self._osp[obj][subject].discard(predicate)
+        self._size -= 1
+        self._prune(self._spo, subject, predicate)
+        self._prune(self._pos, predicate, obj)
+        self._prune(self._osp, obj, subject)
+        return True
+
+    @staticmethod
+    def _prune(index: dict, first: str, second: str) -> None:
+        if not index[first][second]:
+            del index[first][second]
+        if not index[first]:
+            del index[first]
+
+    # -- lookups ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, triple: object) -> bool:
+        if not (isinstance(triple, tuple) and len(triple) == 3):
+            return False
+        s, p, o = triple
+        return o in self._spo.get(s, {}).get(p, ())
+
+    def triples(self) -> Iterator[Triple]:
+        for s, by_predicate in self._spo.items():
+            for p, objects in by_predicate.items():
+                for o in objects:
+                    yield Triple(s, p, o)
+
+    def match(self, subject: str | None = None, predicate: str | None = None,
+              obj: str | None = None) -> Iterator[Triple]:
+        """All triples matching the pattern; ``None`` is a wildcard.
+
+        Every binding shape is served by the best index permutation.
+        """
+        if subject is not None:
+            by_predicate = self._spo.get(subject, {})
+            predicates = [predicate] if predicate is not None else list(by_predicate)
+            for p in predicates:
+                objects = by_predicate.get(p, ())
+                if obj is not None:
+                    if obj in objects:
+                        yield Triple(subject, p, obj)
+                else:
+                    for o in objects:
+                        yield Triple(subject, p, o)
+            return
+        if predicate is not None:
+            by_object = self._pos.get(predicate, {})
+            objects = [obj] if obj is not None else list(by_object)
+            for o in objects:
+                for s in by_object.get(o, ()):
+                    yield Triple(s, predicate, o)
+            return
+        if obj is not None:
+            by_subject = self._osp.get(obj, {})
+            for s, predicates in by_subject.items():
+                for p in predicates:
+                    yield Triple(s, p, obj)
+            return
+        yield from self.triples()
+
+    def count(self, subject: str | None = None, predicate: str | None = None,
+              obj: str | None = None) -> int:
+        """Cardinality of a pattern (used by the BGP join planner)."""
+        return sum(1 for _ in self.match(subject, predicate, obj))
+
+    def subjects(self) -> set[str]:
+        return set(self._spo)
+
+    def predicates(self) -> set[str]:
+        return set(self._pos)
+
+    def objects(self) -> set[str]:
+        return set(self._osp)
+
+    def resources(self) -> set[str]:
+        return self.subjects() | self.objects()

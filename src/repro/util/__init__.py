@@ -1,0 +1,14 @@
+"""Shared utilities: deterministic RNG helpers, hashing, small statistics."""
+
+from repro.util.rng import make_rng
+from repro.util.stats import chi_square_uniform, mean, relative_error, stddev
+from repro.util.tables import format_table
+
+__all__ = [
+    "make_rng",
+    "mean",
+    "stddev",
+    "relative_error",
+    "chi_square_uniform",
+    "format_table",
+]

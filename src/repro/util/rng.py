@@ -1,0 +1,21 @@
+"""Deterministic random number generator helpers.
+
+All randomized algorithms in the library accept either an explicit
+:class:`random.Random` instance or an integer seed.  Centralizing the
+coercion keeps experiment scripts reproducible by construction.
+"""
+
+from __future__ import annotations
+
+import random
+
+
+def make_rng(seed: int | random.Random | None = None) -> random.Random:
+    """Return a :class:`random.Random` from a seed, an rng, or ``None``.
+
+    Passing an existing generator returns it unchanged, so library code can
+    thread a single generator through nested calls without reseeding.
+    """
+    if isinstance(seed, random.Random):
+        return seed
+    return random.Random(seed)

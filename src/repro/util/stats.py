@@ -1,0 +1,96 @@
+"""Small statistics helpers used by estimators, tests and benchmarks.
+
+These are intentionally dependency-light (no scipy needed at runtime) so the
+core library can report its own accuracy.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from collections.abc import Iterable, Sequence
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; raises ``ValueError`` on an empty sequence."""
+    if not values:
+        raise ValueError("mean of an empty sequence")
+    return sum(values) / len(values)
+
+
+def stddev(values: Sequence[float]) -> float:
+    """Sample standard deviation (n-1 denominator); 0.0 for length-1 input."""
+    if not values:
+        raise ValueError("stddev of an empty sequence")
+    if len(values) == 1:
+        return 0.0
+    m = mean(values)
+    return math.sqrt(sum((v - m) ** 2 for v in values) / (len(values) - 1))
+
+
+def relative_error(estimate: float, truth: float) -> float:
+    """|estimate - truth| / truth; infinite when the truth is zero but not the estimate."""
+    if truth == 0:
+        return 0.0 if estimate == 0 else math.inf
+    return abs(estimate - truth) / abs(truth)
+
+
+def chi_square_uniform(samples: Iterable[object], support_size: int) -> float:
+    """Chi-square statistic of observed samples against the uniform distribution.
+
+    ``support_size`` is the number of distinct outcomes that *should* be
+    possible.  Outcomes never observed still contribute their expected count.
+    The caller compares the statistic against a critical value for
+    ``support_size - 1`` degrees of freedom.
+    """
+    if support_size <= 0:
+        raise ValueError("support_size must be positive")
+    counts = Counter(samples)
+    total = sum(counts.values())
+    if total == 0:
+        raise ValueError("no samples provided")
+    expected = total / support_size
+    observed_stat = sum((c - expected) ** 2 / expected for c in counts.values())
+    unseen = support_size - len(counts)
+    return observed_stat + unseen * expected
+
+
+def chi_square_critical(df: int, alpha: float = 0.001) -> float:
+    """Approximate chi-square critical value via the Wilson-Hilferty transform.
+
+    Good to a few percent for df >= 3, which is all the uniformity tests
+    need; avoids a scipy dependency in the core library.
+    """
+    if df <= 0:
+        raise ValueError("degrees of freedom must be positive")
+    z = _normal_quantile(1.0 - alpha)
+    h = 2.0 / (9.0 * df)
+    return df * (1.0 - h + z * math.sqrt(h)) ** 3
+
+
+def _normal_quantile(p: float) -> float:
+    """Inverse standard normal CDF (Acklam's rational approximation)."""
+    if not 0.0 < p < 1.0:
+        raise ValueError("p must be in (0, 1)")
+    # Coefficients for the central and tail regions.
+    a = (-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+         1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00)
+    b = (-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+         6.680131188771972e+01, -1.328068155288572e+01)
+    c = (-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+         -2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00)
+    d = (7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+         3.754408661907416e+00)
+    p_low = 0.02425
+    if p < p_low:
+        q = math.sqrt(-2.0 * math.log(p))
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / \
+            ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0)
+    if p <= 1.0 - p_low:
+        q = p - 0.5
+        r = q * q
+        return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q / \
+            (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0)
+    q = math.sqrt(-2.0 * math.log(1.0 - p))
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / \
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0)

@@ -1,0 +1,47 @@
+"""Plain-text table formatting shared by benchmarks, examples and the harness."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: str | None = None) -> str:
+    """Render rows as an aligned monospace table.
+
+    Numbers are right-aligned, everything else left-aligned.  The output is
+    what the benchmark harness prints as the reproduction of a paper table.
+    """
+    cells = [[_fmt(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match header width")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    numeric = [all(_is_number(row[i]) for row in rows) if rows else False
+               for i in range(len(headers))]
+
+    def render_row(values: Sequence[str]) -> str:
+        parts = []
+        for i, value in enumerate(values):
+            parts.append(value.rjust(widths[i]) if numeric[i] else value.ljust(widths[i]))
+        return "  ".join(parts).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(render_row(row) for row in cells)
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def _is_number(value: object) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)

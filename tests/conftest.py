@@ -1,0 +1,34 @@
+"""Shared fixtures: the Figure 2 graphs and a small random-graph factory."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import generate_contact_graph, random_labeled_graph
+from repro.models import figure2_labeled, figure2_property, figure2_vector
+
+
+@pytest.fixture
+def fig2_labeled():
+    return figure2_labeled()
+
+
+@pytest.fixture
+def fig2_property():
+    return figure2_property()
+
+
+@pytest.fixture
+def fig2_vector():
+    return figure2_vector()
+
+
+@pytest.fixture
+def contact_graph():
+    return generate_contact_graph(25, 3, 8, 2, rng=7)
+
+
+@pytest.fixture
+def small_random_graph():
+    """A 10-node labeled multigraph with a/b node labels and r/s edges."""
+    return random_labeled_graph(10, 22, rng=3)

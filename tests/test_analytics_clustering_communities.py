@@ -1,0 +1,88 @@
+"""Clustering coefficients and label-propagation communities."""
+
+import pytest
+
+from repro.analytics import (
+    average_clustering,
+    global_clustering,
+    label_propagation,
+    local_clustering,
+)
+from repro.models import LabeledGraph
+
+
+def triangle_plus_tail() -> LabeledGraph:
+    graph = LabeledGraph()
+    graph.add_edge("e1", "a", "b", "r")
+    graph.add_edge("e2", "b", "c", "r")
+    graph.add_edge("e3", "c", "a", "r")
+    graph.add_edge("tail", "c", "d", "r")
+    return graph
+
+
+class TestClustering:
+    def test_triangle_nodes(self):
+        graph = triangle_plus_tail()
+        assert local_clustering(graph, "a") == 1.0
+        assert local_clustering(graph, "c") == pytest.approx(1.0 / 3.0)
+        assert local_clustering(graph, "d") == 0.0
+
+    def test_average(self):
+        graph = triangle_plus_tail()
+        expected = (1.0 + 1.0 + 1.0 / 3.0 + 0.0) / 4.0
+        assert average_clustering(graph) == pytest.approx(expected)
+
+    def test_global_transitivity(self):
+        graph = triangle_plus_tail()
+        # triples: a:1, b:1, c:3, d:0 => 5; closed corners: 3.
+        assert global_clustering(graph) == pytest.approx(3.0 / 5.0)
+
+    def test_empty_and_edgeless(self):
+        assert average_clustering(LabeledGraph()) == 0.0
+        graph = LabeledGraph()
+        graph.add_node("solo", "x")
+        assert global_clustering(graph) == 0.0
+
+    def test_direction_ignored(self):
+        directed = LabeledGraph()
+        directed.add_edge("e1", "a", "b", "r")
+        directed.add_edge("e2", "c", "b", "r")
+        directed.add_edge("e3", "a", "c", "r")
+        assert local_clustering(directed, "a") == 1.0
+
+
+class TestLabelPropagation:
+    def test_two_cliques_with_bridge(self):
+        graph = LabeledGraph()
+        members = {"left": ["l1", "l2", "l3", "l4"],
+                   "right": ["r1", "r2", "r3", "r4"]}
+        counter = 0
+        for side in members.values():
+            for i, u in enumerate(side):
+                for v in side[i + 1:]:
+                    graph.add_edge(f"e{counter}", u, v, "r")
+                    counter += 1
+        graph.add_edge("bridge", "l1", "r1", "r")
+        communities = label_propagation(graph, rng=0)
+        as_sets = sorted(map(frozenset, communities), key=len, reverse=True)
+        assert frozenset(members["left"]) in as_sets
+        assert frozenset(members["right"]) in as_sets
+
+    def test_partition_is_total(self, contact_graph):
+        communities = label_propagation(contact_graph, rng=1)
+        union = set().union(*communities)
+        assert union == set(contact_graph.nodes())
+        total = sum(len(c) for c in communities)
+        assert total == contact_graph.node_count()
+
+    def test_isolated_node_is_own_community(self):
+        graph = LabeledGraph()
+        graph.add_edge("e", "a", "b", "r")
+        graph.add_node("solo", "x")
+        communities = label_propagation(graph, rng=0)
+        assert {"solo"} in communities
+
+    def test_deterministic_given_seed(self, contact_graph):
+        first = label_propagation(contact_graph, rng=9)
+        second = label_propagation(contact_graph, rng=9)
+        assert sorted(map(sorted, first)) == sorted(map(sorted, second))

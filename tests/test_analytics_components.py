@@ -1,0 +1,85 @@
+"""Connected component tests (weak and strong)."""
+
+from repro.analytics import (
+    connected_components,
+    is_connected,
+    strongly_connected_components,
+)
+from repro.models import LabeledGraph
+
+
+def two_islands() -> LabeledGraph:
+    graph = LabeledGraph()
+    graph.add_edge("e1", "a", "b", "r")
+    graph.add_edge("e2", "b", "c", "r")
+    graph.add_edge("e3", "x", "y", "r")
+    return graph
+
+
+class TestWeakComponents:
+    def test_two_components(self):
+        components = connected_components(two_islands())
+        assert [len(c) for c in components] == [3, 2]
+        assert {"a", "b", "c"} in components
+
+    def test_direction_ignored(self):
+        graph = LabeledGraph()
+        graph.add_edge("e1", "a", "b", "r")
+        graph.add_edge("e2", "c", "b", "r")
+        assert len(connected_components(graph)) == 1
+
+    def test_isolated_nodes(self):
+        graph = LabeledGraph()
+        graph.add_node("solo", "x")
+        assert connected_components(graph) == [{"solo"}]
+
+    def test_empty_graph(self):
+        assert connected_components(LabeledGraph()) == []
+        assert is_connected(LabeledGraph())
+
+    def test_is_connected(self, fig2_labeled):
+        assert is_connected(fig2_labeled)
+        assert not is_connected(two_islands())
+
+
+class TestStrongComponents:
+    def test_cycle_is_one_scc(self):
+        graph = LabeledGraph()
+        graph.add_edge("e1", "a", "b", "r")
+        graph.add_edge("e2", "b", "c", "r")
+        graph.add_edge("e3", "c", "a", "r")
+        graph.add_edge("out", "c", "d", "r")
+        components = strongly_connected_components(graph)
+        assert {"a", "b", "c"} in components
+        assert {"d"} in components
+
+    def test_dag_gives_singletons(self):
+        graph = LabeledGraph()
+        graph.add_edge("e1", "a", "b", "r")
+        graph.add_edge("e2", "b", "c", "r")
+        components = strongly_connected_components(graph)
+        assert all(len(c) == 1 for c in components)
+        assert len(components) == 3
+
+    def test_two_cycles_bridged(self):
+        graph = LabeledGraph()
+        for i, (u, v) in enumerate([("a", "b"), ("b", "a"),
+                                    ("c", "d"), ("d", "c"), ("b", "c")]):
+            graph.add_edge(f"e{i}", u, v, "r")
+        components = strongly_connected_components(graph)
+        assert {"a", "b"} in components
+        assert {"c", "d"} in components
+
+    def test_self_loop_singleton(self):
+        graph = LabeledGraph()
+        graph.add_edge("loop", "a", "a", "r")
+        assert strongly_connected_components(graph) == [{"a"}]
+
+    def test_matches_weak_on_symmetric_graph(self, fig2_labeled):
+        symmetric = fig2_labeled.copy()
+        for i, edge in enumerate(list(symmetric.edges())):
+            source, target = symmetric.endpoints(edge)
+            symmetric.add_edge(f"rev{i}", target, source, "rev")
+        strong = strongly_connected_components(symmetric)
+        weak = connected_components(symmetric)
+        assert sorted(map(sorted, strong)) == sorted(map(sorted, weak))

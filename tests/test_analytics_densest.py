@@ -1,0 +1,97 @@
+"""Densest subgraph: Charikar peeling vs Goldberg's exact max-flow search."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analytics import (
+    charikar_peel,
+    densest_subgraph_exact,
+    subgraph_density,
+)
+from repro.analytics.densest import subgraph_density_exact
+from repro.datasets import random_labeled_graph
+from repro.models import LabeledGraph
+
+
+def clique_plus_path(k: int, tail: int) -> LabeledGraph:
+    graph = LabeledGraph()
+    counter = 0
+    members = [f"k{i}" for i in range(k)]
+    for i, u in enumerate(members):
+        for v in members[i + 1:]:
+            graph.add_edge(f"e{counter}", u, v, "r")
+            counter += 1
+    previous = members[0]
+    for i in range(tail):
+        node = f"p{i}"
+        graph.add_edge(f"t{i}", previous, node, "r")
+        previous = node
+    return graph
+
+
+class TestDensity:
+    def test_density_values(self):
+        graph = clique_plus_path(4, 0)
+        assert subgraph_density(graph, set(graph.nodes())) == pytest.approx(6 / 4)
+        assert subgraph_density(graph, set()) == 0.0
+        assert subgraph_density_exact(graph, {"k0", "k1"}) == Fraction(1, 2)
+
+    def test_parallel_edges_count(self):
+        graph = LabeledGraph()
+        graph.add_edge("e1", "a", "b", "r")
+        graph.add_edge("e2", "a", "b", "r")
+        assert subgraph_density(graph, {"a", "b"}) == 1.0
+
+
+class TestCharikar:
+    def test_finds_clique_in_clique_plus_path(self):
+        graph = clique_plus_path(5, 6)
+        result = charikar_peel(graph)
+        assert result == {f"k{i}" for i in range(5)}
+
+    def test_empty_graph(self):
+        assert charikar_peel(LabeledGraph()) == set()
+
+    def test_at_least_half_of_optimum(self):
+        for seed in (1, 2, 3, 4, 5):
+            graph = random_labeled_graph(9, 18, rng=seed, allow_parallel=False)
+            approx_set = charikar_peel(graph)
+            exact_set = densest_subgraph_exact(graph)
+            approx = subgraph_density_exact(graph, approx_set)
+            optimum = subgraph_density_exact(graph, exact_set)
+            assert approx * 2 >= optimum
+
+
+class TestGoldberg:
+    def test_exact_on_clique_plus_path(self):
+        graph = clique_plus_path(4, 5)
+        result = densest_subgraph_exact(graph)
+        assert result == {f"k{i}" for i in range(4)}
+
+    def test_exact_beats_or_matches_peeling(self):
+        for seed in (6, 7, 8):
+            graph = random_labeled_graph(8, 20, rng=seed)
+            exact_density = subgraph_density_exact(graph, densest_subgraph_exact(graph))
+            peel_density = subgraph_density_exact(graph, charikar_peel(graph))
+            assert exact_density >= peel_density
+
+    def test_exact_matches_bruteforce_on_tiny_graphs(self):
+        from itertools import combinations
+
+        for seed in (1, 2, 3):
+            graph = random_labeled_graph(6, 10, rng=seed, allow_parallel=False)
+            nodes = sorted(graph.nodes(), key=str)
+            best = max(
+                (subgraph_density_exact(graph, set(subset))
+                 for size in range(1, len(nodes) + 1)
+                 for subset in combinations(nodes, size)),
+                default=Fraction(0))
+            found = subgraph_density_exact(graph, densest_subgraph_exact(graph))
+            assert found == best
+
+    def test_edge_cases(self):
+        assert densest_subgraph_exact(LabeledGraph()) == set()
+        single = LabeledGraph()
+        single.add_node("a", "x")
+        assert densest_subgraph_exact(single) == {"a"}

@@ -1,0 +1,82 @@
+"""PageRank and HITS tests."""
+
+import pytest
+
+from repro.analytics import hits, pagerank
+from repro.models import LabeledGraph
+
+
+def cycle(n: int) -> LabeledGraph:
+    graph = LabeledGraph()
+    for i in range(n):
+        graph.add_edge(f"e{i}", f"v{i}", f"v{(i + 1) % n}", "r")
+    return graph
+
+
+class TestPageRank:
+    def test_sums_to_one(self, fig2_labeled):
+        assert sum(pagerank(fig2_labeled).values()) == pytest.approx(1.0)
+
+    def test_cycle_is_uniform(self):
+        ranks = pagerank(cycle(5))
+        assert all(value == pytest.approx(0.2) for value in ranks.values())
+
+    def test_sink_attracts_mass(self):
+        graph = LabeledGraph()
+        graph.add_edge("e1", "a", "sink", "r")
+        graph.add_edge("e2", "b", "sink", "r")
+        ranks = pagerank(graph)
+        assert ranks["sink"] > ranks["a"]
+
+    def test_dangling_nodes_handled(self):
+        graph = LabeledGraph()
+        graph.add_edge("e1", "a", "dangling", "r")
+        ranks = pagerank(graph)
+        assert sum(ranks.values()) == pytest.approx(1.0)
+
+    def test_damping_zero_is_uniform(self, fig2_labeled):
+        ranks = pagerank(fig2_labeled, damping=0.0)
+        n = fig2_labeled.node_count()
+        assert all(value == pytest.approx(1.0 / n) for value in ranks.values())
+
+    def test_invalid_damping(self, fig2_labeled):
+        with pytest.raises(ValueError):
+            pagerank(fig2_labeled, damping=1.0)
+
+    def test_empty_graph(self):
+        assert pagerank(LabeledGraph()) == {}
+
+    def test_parallel_edges_weight_transitions(self):
+        graph = LabeledGraph()
+        graph.add_edge("e1", "s", "heavy", "r")
+        graph.add_edge("e2", "s", "heavy", "r")
+        graph.add_edge("e3", "s", "light", "r")
+        # Keep scores flowing back so the difference persists.
+        graph.add_edge("back1", "heavy", "s", "r")
+        graph.add_edge("back2", "light", "s", "r")
+        ranks = pagerank(graph)
+        assert ranks["heavy"] > ranks["light"]
+
+
+class TestHits:
+    def test_bipartite_hubs_and_authorities(self):
+        graph = LabeledGraph()
+        for hub in ("h1", "h2"):
+            for authority in ("a1", "a2", "a3"):
+                graph.add_edge(f"{hub}->{authority}", hub, authority, "r")
+        hub_scores, authority_scores = hits(graph)
+        assert hub_scores["h1"] == pytest.approx(hub_scores["h2"])
+        assert authority_scores["a1"] > authority_scores.get("h1", 0.0)
+        assert hub_scores["h1"] > hub_scores["a1"]
+
+    def test_empty_graph(self):
+        assert hits(LabeledGraph()) == ({}, {})
+
+    def test_l2_normalized(self, fig2_labeled):
+        hub_scores, authority_scores = hits(fig2_labeled)
+        assert sum(v * v for v in hub_scores.values()) == pytest.approx(1.0)
+        assert sum(v * v for v in authority_scores.values()) == pytest.approx(1.0)
+
+    def test_bus_is_top_authority(self, fig2_labeled):
+        _, authority_scores = hits(fig2_labeled)
+        assert max(authority_scores, key=authority_scores.get) == "n3"

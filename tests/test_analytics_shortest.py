@@ -1,0 +1,88 @@
+"""Shortest paths, counts, diameter, and fixed-length walk counting."""
+
+import pytest
+
+from repro.analytics import (
+    all_pairs_shortest_lengths,
+    bfs_distances,
+    count_shortest_paths,
+    count_walks,
+    count_walks_between,
+    diameter,
+)
+from repro.models import LabeledGraph
+
+
+@pytest.fixture
+def diamond():
+    graph = LabeledGraph()
+    graph.add_edge("e1", "s", "a", "r")
+    graph.add_edge("e2", "s", "b", "r")
+    graph.add_edge("e3", "a", "t", "r")
+    graph.add_edge("e4", "b", "t", "r")
+    return graph
+
+
+class TestDistances:
+    def test_bfs_distances(self, diamond):
+        assert bfs_distances(diamond, "s") == {"s": 0, "a": 1, "b": 1, "t": 2}
+
+    def test_directed_vs_undirected(self, diamond):
+        assert "s" not in bfs_distances(diamond, "t", directed=True)
+        assert bfs_distances(diamond, "t", directed=False)["s"] == 2
+
+    def test_count_shortest_paths(self, diamond):
+        distances, sigma = count_shortest_paths(diamond, "s")
+        assert distances["t"] == 2
+        assert sigma["t"] == 2  # via a and via b
+
+    def test_all_pairs(self, diamond):
+        table = all_pairs_shortest_lengths(diamond)
+        assert table["s"]["t"] == 2
+        assert "s" not in table["t"]
+
+    def test_diameter(self, diamond, fig2_labeled):
+        assert diameter(diamond) == 2
+        assert diameter(fig2_labeled) == 3
+        assert diameter(LabeledGraph()) == 0
+
+
+class TestWalkCounting:
+    def test_walks_on_diamond(self, diamond):
+        assert count_walks_between(diamond, "s", "t", 2) == 2
+        assert count_walks_between(diamond, "s", "t", 1) == 0
+
+    def test_walks_with_cycle_grow(self):
+        graph = LabeledGraph()
+        graph.add_edge("e1", "a", "b", "r")
+        graph.add_edge("e2", "b", "a", "r")
+        assert count_walks_between(graph, "a", "a", 2) == 1
+        assert count_walks_between(graph, "a", "a", 4) == 1
+        assert count_walks_between(graph, "a", "b", 3) == 1
+
+    def test_parallel_edges_multiply(self):
+        graph = LabeledGraph()
+        graph.add_edge("e1", "a", "b", "r")
+        graph.add_edge("e2", "a", "b", "r")
+        graph.add_edge("e3", "b", "c", "r")
+        assert count_walks_between(graph, "a", "c", 2) == 2
+
+    def test_length_zero(self, diamond):
+        assert count_walks(diamond, "s", 0) == {"s": 1}
+
+    def test_negative_length_rejected(self, diamond):
+        with pytest.raises(ValueError):
+            count_walks(diamond, "s", -1)
+
+    def test_matches_unconstrained_regex_count(self, small_random_graph):
+        """The paper's tractability contrast: plain walk counting equals
+        Count with the trivial regex (any edge, any direction forward)."""
+        from repro.core.rpq import count_paths_exact, parse_regex
+
+        regex = parse_regex("true/true/true")
+        total = count_paths_exact(small_random_graph, regex, 3)
+        by_dp = sum(
+            count_walks_between(small_random_graph, source, target, 3)
+            for source in small_random_graph.nodes()
+            for target in small_random_graph.nodes())
+        assert total == by_dp

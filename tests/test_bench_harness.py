@@ -1,0 +1,55 @@
+"""Tests for the experiment harness used by the benchmark suite."""
+
+from repro.bench import Experiment, print_series, print_table, timed
+
+
+class TestExperiment:
+    def test_render_with_rows(self):
+        experiment = Experiment("X1", "demo", headers=["a", "b"])
+        experiment.add_row("left", 1)
+        experiment.add_row("right", 22)
+        text = experiment.render()
+        assert text.startswith("[X1] demo")
+        assert "left" in text and "22" in text
+
+    def test_render_without_headers(self):
+        experiment = Experiment("X2", "note only")
+        assert experiment.render() == "[X2] note only"
+
+    def test_show_prints(self, capsys):
+        experiment = Experiment("X3", "demo", headers=["c"])
+        experiment.add_row(3)
+        experiment.show()
+        assert "[X3]" in capsys.readouterr().out
+
+
+class TestTimed:
+    def test_returns_result_and_duration(self):
+        result, seconds = timed(sum, [1, 2, 3])
+        assert result == 6
+        assert seconds >= 0.0
+
+    def test_repeat_takes_best(self):
+        calls = []
+
+        def tracked():
+            calls.append(1)
+            return len(calls)
+
+        result, _ = timed(tracked, repeat=3)
+        assert result == 3
+        assert len(calls) == 3
+
+
+class TestPrinting:
+    def test_print_table(self, capsys):
+        print_table("T", ["x"], [[1]])
+        out = capsys.readouterr().out
+        assert "T" in out and "1" in out
+
+    def test_print_series_aligns_x_values(self, capsys):
+        print_series("S", {"a": {1: 10, 3: 30}, "b": {2: 20}})
+        out = capsys.readouterr().out
+        assert "series" in out
+        for column in ("1", "2", "3"):
+            assert column in out

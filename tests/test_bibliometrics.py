@@ -1,0 +1,71 @@
+"""Figure 1 pipeline tests: scanning rules and the paper's calibration."""
+
+import pytest
+
+from repro.bibliometrics import (
+    keyword_series,
+    kg_overlap_ratio,
+    publications_with_keyword,
+    title_contains,
+)
+from repro.datasets import generate_corpus
+from repro.datasets.dblp import KEYWORDS, YEARS, Publication
+
+
+class TestTitleContains:
+    def test_case_insensitive(self):
+        assert title_contains("Knowledge Graph Completion", "knowledge graph")
+        assert title_contains("A SPARQL benchmark", "sparql")
+
+    def test_word_boundaries(self):
+        assert not title_contains("wordfreq analysis", "rdf")
+        assert not title_contains("sparqling things", "sparql")
+
+    def test_plural_tolerance(self):
+        assert title_contains("Graph Databases in Practice", "graph database")
+        assert title_contains("Knowledge Graphs", "knowledge graph")
+
+    def test_multi_space_phrases(self):
+        assert title_contains("knowledge  graph systems", "knowledge graph")
+
+
+class TestSeries:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        return generate_corpus(rng=0)
+
+    def test_figure1_qualitative_shape(self, corpus):
+        series = keyword_series(corpus, KEYWORDS, YEARS)
+        kg = series["knowledge graph"]
+        # Takeoff after the 2012 announcement, dominance by 2020.
+        assert kg[2013] > 2 * kg[2012]
+        assert kg[2020] > 3 * kg[2016] > 0
+        assert kg[2020] > series["rdf"][2020]
+        # RDF stable within a band across the decade.
+        rdf_values = [series["rdf"][y] for y in YEARS]
+        assert max(rdf_values) < 1.5 * min(rdf_values)
+        # Graph database small and flat; property graph negligible.
+        assert max(series["graph database"][y] for y in YEARS) < 60
+        assert max(series["property graph"][y] for y in YEARS) < 15
+
+    def test_kg_dominates_only_late(self, corpus):
+        series = keyword_series(corpus, KEYWORDS, YEARS)
+        assert series["knowledge graph"][2010] < series["rdf"][2010]
+        assert series["knowledge graph"][2020] > series["rdf"][2020]
+
+    def test_overlap_ratios_match_paper(self, corpus):
+        assert kg_overlap_ratio(corpus, 2015) == pytest.approx(0.70, abs=0.05)
+        assert kg_overlap_ratio(corpus, 2020) == pytest.approx(0.14, abs=0.05)
+
+    def test_overlap_empty_year(self):
+        assert kg_overlap_ratio([], 2015) == 0.0
+
+    def test_publications_with_keyword(self):
+        corpus = [Publication(2020, "RDF Stores", "X"),
+                  Publication(2020, "Plain Databases", "X")]
+        assert len(publications_with_keyword(corpus, "rdf")) == 1
+
+    def test_series_ignores_out_of_range_years(self):
+        corpus = [Publication(1999, "RDF Ancient", "X")]
+        series = keyword_series(corpus, ["rdf"], YEARS)
+        assert all(v == 0 for v in series["rdf"].values())

@@ -1,0 +1,68 @@
+"""The randomized bc_r approximation against the exact algorithm."""
+
+import pytest
+
+from repro.core.centrality import (
+    approximate_regex_betweenness,
+    regex_betweenness,
+)
+from repro.core.rpq import parse_regex
+from repro.datasets import generate_contact_graph
+from repro.errors import EstimationError
+from repro.models import LabeledGraph
+
+
+class TestEstimator:
+    def test_exact_on_deterministic_instance(self, fig2_labeled):
+        # With a single shortest path per pair every sample is identical, so
+        # the estimator must equal the exact value regardless of seed.
+        regex = parse_regex("?person/rides/?bus/rides^-/?person")
+        exact = regex_betweenness(fig2_labeled, regex)
+        estimate = approximate_regex_betweenness(fig2_labeled, regex,
+                                                 samples_per_pair=5, rng=0)
+        for node in fig2_labeled.nodes():
+            assert abs(estimate[node] - exact[node]) < 1e-9
+
+    def test_close_on_branching_instance(self):
+        graph = LabeledGraph()
+        for mid in ("m1", "m2", "m3"):
+            graph.add_edge(f"in_{mid}", "a", mid, "r")
+            graph.add_edge(f"out_{mid}", mid, "b", "r")
+        regex = parse_regex("r/r")
+        exact = regex_betweenness(graph, regex)
+        estimate = approximate_regex_betweenness(graph, regex,
+                                                 samples_per_pair=600, rng=3)
+        for mid in ("m1", "m2", "m3"):
+            assert abs(estimate[mid] - exact[mid]) < 0.08
+
+    def test_candidates_restriction(self, fig2_labeled):
+        regex = parse_regex("?person/rides/?bus/rides^-/?person")
+        estimate = approximate_regex_betweenness(
+            fig2_labeled, regex, samples_per_pair=5, rng=0, candidates=["n3"])
+        assert set(estimate) == {"n3"}
+
+    def test_fpras_backend(self, fig2_labeled):
+        regex = parse_regex("?person/rides/?bus/rides^-/?person")
+        estimate = approximate_regex_betweenness(
+            fig2_labeled, regex, samples_per_pair=30, rng=2, method="fpras")
+        assert estimate["n3"] == pytest.approx(4.0, abs=0.5)
+
+    def test_invalid_parameters(self, fig2_labeled):
+        regex = parse_regex("contact")
+        with pytest.raises(ValueError):
+            approximate_regex_betweenness(fig2_labeled, regex,
+                                          samples_per_pair=0)
+        with pytest.raises(EstimationError):
+            approximate_regex_betweenness(fig2_labeled, regex,
+                                          samples_per_pair=1, method="nope")
+
+    def test_contact_graph_ranking_agrees(self):
+        graph = generate_contact_graph(12, 2, 5, 1, rng=4)
+        regex = parse_regex("?person/rides/?bus/rides^-/?person")
+        exact = regex_betweenness(graph, regex)
+        estimate = approximate_regex_betweenness(graph, regex,
+                                                 samples_per_pair=200, rng=8)
+        top_exact = max(exact, key=lambda n: (exact[n], str(n)))
+        if exact[top_exact] > 0:
+            top_estimate = max(estimate, key=lambda n: (estimate[n], str(n)))
+            assert exact[top_estimate] == exact[top_exact]

@@ -1,0 +1,93 @@
+"""Brandes betweenness against hand-computed values and a naive counter."""
+
+from itertools import permutations
+
+from repro.analytics import count_shortest_paths
+from repro.core.centrality import betweenness_centrality
+from repro.models import LabeledGraph
+
+
+def naive_betweenness(graph, *, directed: bool) -> dict:
+    """Directly evaluate Freeman's formula with BFS path counts."""
+    nodes = list(graph.nodes())
+    centrality = {x: 0.0 for x in nodes}
+    for a, b in permutations(nodes, 2):
+        distances, sigma = count_shortest_paths(graph, a, directed=directed)
+        if b not in distances or sigma[b] == 0:
+            continue
+        for x in nodes:
+            if x in (a, b):
+                continue
+            distances_x, sigma_x = count_shortest_paths(graph, a, directed=directed)
+            # sigma_ab(x) = sigma(a,x) * sigma(x,b) when d(a,x)+d(x,b)=d(a,b)
+            if x not in distances_x:
+                continue
+            d_xb, s_xb = count_shortest_paths(graph, x, directed=directed)
+            if b in d_xb and distances_x[x] + d_xb[b] == distances[b]:
+                centrality[x] += sigma_x[x] * s_xb[b] / sigma[b]
+    return centrality
+
+
+def build_path_graph() -> LabeledGraph:
+    graph = LabeledGraph()
+    for i in range(4):
+        graph.add_node(f"v{i}", "node")
+    graph.add_edge("e0", "v0", "v1", "r")
+    graph.add_edge("e1", "v1", "v2", "r")
+    graph.add_edge("e2", "v2", "v3", "r")
+    return graph
+
+
+class TestKnownValues:
+    def test_path_graph_directed(self):
+        bc = betweenness_centrality(build_path_graph(), directed=True)
+        # v1 lies on paths v0->v2, v0->v3; v2 on v0->v3, v1->v3.
+        assert bc == {"v0": 0.0, "v1": 2.0, "v2": 2.0, "v3": 0.0}
+
+    def test_star_graph_undirected(self):
+        graph = LabeledGraph()
+        for i in range(1, 5):
+            graph.add_edge(f"e{i}", "hub", f"leaf{i}", "r")
+        bc = betweenness_centrality(graph, directed=False)
+        # All 4*3 ordered leaf pairs route through the hub.
+        assert bc["hub"] == 12.0
+        assert all(bc[f"leaf{i}"] == 0.0 for i in range(1, 5))
+
+    def test_two_shortest_paths_share_credit(self):
+        graph = LabeledGraph()
+        graph.add_edge("e1", "s", "a", "r")
+        graph.add_edge("e2", "s", "b", "r")
+        graph.add_edge("e3", "a", "t", "r")
+        graph.add_edge("e4", "b", "t", "r")
+        bc = betweenness_centrality(graph, directed=True)
+        assert bc["a"] == 0.5
+        assert bc["b"] == 0.5
+
+    def test_normalization(self):
+        bc = betweenness_centrality(build_path_graph(), directed=True,
+                                    normalized=True)
+        assert bc["v1"] == 2.0 / (3 * 2)
+
+    def test_disconnected_pairs_contribute_zero(self):
+        graph = LabeledGraph()
+        graph.add_edge("e1", "a", "b", "r")
+        graph.add_node("island", "node")
+        bc = betweenness_centrality(graph, directed=True)
+        assert all(value == 0.0 for value in bc.values())
+
+
+class TestAgainstNaive:
+    def test_random_graphs_match(self):
+        from repro.datasets import random_labeled_graph
+
+        for seed in (1, 2, 3):
+            graph = random_labeled_graph(8, 16, rng=seed, allow_parallel=False,
+                                         allow_self_loops=False)
+            fast = betweenness_centrality(graph, directed=True)
+            slow = naive_betweenness(graph, directed=True)
+            for node in graph.nodes():
+                assert abs(fast[node] - slow[node]) < 1e-9
+
+    def test_figure2_bus_is_central_undirected(self, fig2_labeled):
+        bc = betweenness_centrality(fig2_labeled, directed=False)
+        assert bc["n3"] == max(bc.values())

@@ -1,0 +1,54 @@
+"""All-subgraphs centrality (the Riveros-Salas framework instance)."""
+
+import math
+
+from repro.core.centrality import all_subgraphs_centrality
+from repro.models import LabeledGraph
+
+
+def build_path3() -> LabeledGraph:
+    graph = LabeledGraph()
+    graph.add_edge("e1", "a", "b", "r")
+    graph.add_edge("e2", "b", "c", "r")
+    return graph
+
+
+class TestAllSubgraphs:
+    def test_path_graph_values(self):
+        # Connected edge subgraphs: {e1} (contains a,b), {e2} (b,c),
+        # {e1,e2} (a,b,c); plus the trivial one-node subgraph each.
+        centrality = all_subgraphs_centrality(build_path3())
+        assert centrality["a"] == math.log2(1 + 2)
+        assert centrality["b"] == math.log2(1 + 3)
+        assert centrality["c"] == math.log2(1 + 2)
+
+    def test_middle_node_is_most_central(self):
+        centrality = all_subgraphs_centrality(build_path3())
+        assert centrality["b"] > centrality["a"]
+
+    def test_isolated_node_gets_zero(self):
+        graph = build_path3()
+        graph.add_node("island", "node")
+        centrality = all_subgraphs_centrality(graph)
+        assert centrality["island"] == 0.0  # log2(1)
+
+    def test_triangle_symmetry(self):
+        graph = LabeledGraph()
+        graph.add_edge("e1", "a", "b", "r")
+        graph.add_edge("e2", "b", "c", "r")
+        graph.add_edge("e3", "c", "a", "r")
+        centrality = all_subgraphs_centrality(graph)
+        assert centrality["a"] == centrality["b"] == centrality["c"]
+
+    def test_max_edges_cap_monotone(self, fig2_labeled):
+        capped = all_subgraphs_centrality(fig2_labeled, max_edges=2)
+        fuller = all_subgraphs_centrality(fig2_labeled, max_edges=3)
+        assert all(fuller[n] >= capped[n] for n in fig2_labeled.nodes())
+
+    def test_direction_is_ignored(self):
+        forward = LabeledGraph()
+        forward.add_edge("e", "a", "b", "r")
+        backward = LabeledGraph()
+        backward.add_edge("e", "b", "a", "r")
+        assert (all_subgraphs_centrality(forward)["a"]
+                == all_subgraphs_centrality(backward)["a"])

@@ -1,0 +1,89 @@
+"""Exact bc_r tests — the paper's Section 4.2 story, verified numerically."""
+
+from repro.core.centrality import regex_betweenness
+from repro.core.centrality.regex_betweenness import conforming_shortest_profile
+from repro.core.rpq import parse_regex
+from repro.models import LabeledGraph
+
+
+class TestConformingShortestProfile:
+    def test_profile_distances_and_counts(self, fig2_labeled):
+        regex = parse_regex("?person/rides/?bus/rides^-/?person")
+        profile = conforming_shortest_profile(fig2_labeled, regex, "n1")
+        assert profile["n7"] == (2, 1)
+        assert profile["n1"] == (2, 1)  # out and back over e1 (walks may reuse edges)
+        assert "n2" not in profile  # infected, not person
+
+    def test_profile_empty_for_non_matching_source(self, fig2_labeled):
+        regex = parse_regex("?person/rides/?bus")
+        assert conforming_shortest_profile(fig2_labeled, regex, "n6") == {}
+
+
+class TestRegexBetweenness:
+    def test_paper_bus_example(self, fig2_labeled):
+        # Only the bus, used *as transport between persons*, is central.
+        regex = parse_regex("?person/rides/?bus/rides^-/?person")
+        bcr = regex_betweenness(fig2_labeled, regex)
+        assert bcr["n3"] == 4.0  # ordered pairs (n1,n1),(n1,n7),(n7,n1),(n7,n7)
+        assert all(value == 0.0 for node, value in bcr.items() if node != "n3")
+
+    def test_company_link_does_not_help_bus(self, fig2_labeled):
+        # Under plain betweenness the bus is central partly via the company
+        # edge; bc_r with the transport pattern ignores that connection.
+        from repro.core.centrality import betweenness_centrality
+
+        plain = betweenness_centrality(fig2_labeled, directed=False)
+        regex = parse_regex("?person/rides/?bus/rides^-/?person")
+        constrained = regex_betweenness(fig2_labeled, regex)
+        assert plain["n1"] > 0.0  # n1 is central in the label-blind measure
+        assert constrained["n1"] == 0.0  # but irrelevant to bus transport
+
+    def test_intermediate_node_counted(self):
+        # a -r-> m -r-> b: m is on the unique shortest conforming path.
+        graph = LabeledGraph()
+        graph.add_node("a", "start")
+        graph.add_node("m", "mid")
+        graph.add_node("b", "end")
+        graph.add_edge("e1", "a", "m", "r")
+        graph.add_edge("e2", "m", "b", "r")
+        bcr = regex_betweenness(graph, parse_regex("r/r"))
+        assert bcr["m"] == 1.0
+        assert bcr["a"] == bcr["b"] == 0.0
+
+    def test_split_credit_between_parallel_routes(self):
+        graph = LabeledGraph()
+        for mid in ("m1", "m2"):
+            graph.add_edge(f"in_{mid}", "a", mid, "r")
+            graph.add_edge(f"out_{mid}", mid, "b", "r")
+        bcr = regex_betweenness(graph, parse_regex("r/r"))
+        assert abs(bcr["m1"] - 0.5) < 1e-9
+        assert abs(bcr["m2"] - 0.5) < 1e-9
+
+    def test_longer_conforming_paths_ignored(self):
+        # Shortest conforming path has length 1; the detour through m of
+        # length 2 conforms but is not shortest, so m gets no credit.
+        graph = LabeledGraph()
+        graph.add_edge("direct", "a", "b", "r")
+        graph.add_edge("d1", "a", "m", "r")
+        graph.add_edge("d2", "m", "b", "r")
+        bcr = regex_betweenness(graph, parse_regex("r + r/r"))
+        assert bcr["m"] == 0.0
+
+    def test_walks_revisiting_nodes(self):
+        # r/r^- forces a -e-> m -e-> a style walks; the pair (a, a) counts m.
+        graph = LabeledGraph()
+        graph.add_edge("e", "a", "m", "r")
+        bcr = regex_betweenness(graph, parse_regex("r/r^-"))
+        assert bcr["m"] == 1.0
+
+    def test_candidates_restriction(self, fig2_labeled):
+        regex = parse_regex("?person/rides/?bus/rides^-/?person")
+        bcr = regex_betweenness(fig2_labeled, regex, candidates=["n3", "n5"])
+        assert set(bcr) == {"n3", "n5"}
+        assert bcr["n3"] == 4.0
+
+    def test_infection_pattern_runs(self, fig2_labeled):
+        regex = parse_regex(
+            "?infected/rides/?bus/rides^-/?person/(contact + contact^-)*/?person")
+        bcr = regex_betweenness(fig2_labeled, regex, candidates=["n3"])
+        assert bcr["n3"] > 0.0

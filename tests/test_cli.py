@@ -1,0 +1,105 @@
+"""CLI tests: every subcommand end to end, through main()."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.models.io import dumps, loads
+from repro.models import figure2_labeled, figure2_property
+
+
+@pytest.fixture
+def fig2_file(tmp_path):
+    path = tmp_path / "fig2.json"
+    path.write_text(dumps(figure2_property(), indent=2))
+    return str(path)
+
+
+@pytest.fixture
+def labeled_file(tmp_path):
+    path = tmp_path / "labeled.json"
+    path.write_text(dumps(figure2_labeled(), indent=2))
+    return str(path)
+
+
+class TestPathql:
+    def test_enumerate(self, fig2_file, capsys):
+        code = main(["pathql", fig2_file,
+                     "PATHS MATCHING ?person/contact/?infected LENGTH 1"])
+        assert code == 0
+        assert capsys.readouterr().out.strip() == "n1 -e3- n2"
+
+    def test_count(self, fig2_file, capsys):
+        code = main(["pathql", fig2_file,
+                     "PATHS MATCHING ?person/rides/?bus/rides^-/?infected "
+                     "LENGTH 2 COUNT"])
+        assert code == 0
+        assert capsys.readouterr().out.strip() == "2"
+
+    def test_sample_reports_support(self, fig2_file, capsys):
+        code = main(["pathql", fig2_file,
+                     "PATHS MATCHING ?person/rides/?bus LENGTH 1 "
+                     "SAMPLE 3 SEED 1"])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert len(captured.out.strip().splitlines()) == 3
+        assert "support size" in captured.err
+
+
+class TestSparqlAndCypher:
+    def test_sparql_on_labeled(self, labeled_file, capsys):
+        code = main(["sparql", labeled_file,
+                     "SELECT ?x WHERE { ?x <rdf:type> <bus> . }"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "?x" in out and "n3" in out
+
+    def test_sparql_on_property_converts(self, fig2_file, capsys):
+        code = main(["sparql", fig2_file,
+                     "SELECT ?x WHERE { ?x <rdf:type> <company> . }"])
+        assert code == 0
+        assert "n6" in capsys.readouterr().out
+
+    def test_cypher(self, fig2_file, capsys):
+        code = main(["cypher", fig2_file,
+                     'MATCH (p:person {name: "Julia"}) RETURN p'])
+        assert code == 0
+        assert "n1" in capsys.readouterr().out
+
+    def test_cypher_requires_property_graph(self, labeled_file, capsys):
+        code = main(["cypher", labeled_file, "MATCH (p) RETURN p"])
+        assert code == 2
+        assert "property graph" in capsys.readouterr().err
+
+
+class TestGenerators:
+    def test_fig2_round_trips(self, tmp_path, capsys):
+        out = tmp_path / "out.json"
+        assert main(["fig2", "--out", str(out)]) == 0
+        graph = loads(out.read_text())
+        assert graph.node_count() == 7
+
+    def test_fig2_to_stdout(self, capsys):
+        assert main(["fig2"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["model"] == "property"
+
+    def test_contact_generator(self, tmp_path):
+        out = tmp_path / "world.json"
+        assert main(["contact", "--people", "10", "--buses", "2",
+                     "--addresses", "4", "--companies", "1",
+                     "--seed", "3", "--out", str(out)]) == 0
+        graph = loads(out.read_text())
+        assert graph.node_count() == 10 + 2 + 4 + 1
+
+    def test_summary(self, fig2_file, capsys):
+        assert main(["summary", fig2_file]) == 0
+        out = capsys.readouterr().out
+        assert "nodes" in out and "label person" in out
+
+
+class TestParser:
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["not-a-command"])

@@ -1,0 +1,71 @@
+"""Cross-model consistency: the same query over converted models agrees.
+
+Figure 2's deeper point is that labels, properties and feature vectors are
+three encodings of one dataset; these tests quantify it by running the
+corresponding regexes over conversions of random property graphs.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.rpq import count_paths_exact, endpoint_pairs, parse_regex
+from repro.core.rpq.ast import Concat, EdgeAtom, FeatureTest, LabelTest, NodeTest
+from repro.datasets import generate_contact_graph
+from repro.models.convert import property_to_labeled, property_to_vector
+
+_LABEL_REGEXES = [
+    "?person/rides/?bus",
+    "?person/contact/?infected",
+    "rides/rides^-",
+    "?person/(contact + lives)",
+]
+
+
+def _to_feature_regex(regex):
+    """Rewrite LabelTest atoms as f1 tests (the Figure 2(c) encoding)."""
+    if isinstance(regex, NodeTest):
+        assert isinstance(regex.test, LabelTest)
+        return NodeTest(FeatureTest(1, regex.test.label))
+    if isinstance(regex, EdgeAtom):
+        assert isinstance(regex.test, LabelTest)
+        return EdgeAtom(FeatureTest(1, regex.test.label), regex.inverse)
+    if isinstance(regex, Concat):
+        return Concat(_to_feature_regex(regex.left), _to_feature_regex(regex.right))
+    from repro.core.rpq.ast import Star, Union
+
+    if isinstance(regex, Union):
+        return Union(_to_feature_regex(regex.left), _to_feature_regex(regex.right))
+    if isinstance(regex, Star):
+        return Star(_to_feature_regex(regex.inner))
+    raise AssertionError(f"unhandled node {regex!r}")
+
+
+class TestLabeledVsVector:
+    @settings(max_examples=12, deadline=None)
+    @given(seed=st.integers(0, 300),
+           regex_text=st.sampled_from(_LABEL_REGEXES),
+           k=st.integers(0, 3))
+    def test_counts_agree_across_encodings(self, seed, regex_text, k):
+        world = generate_contact_graph(12, 2, 5, 1, rng=seed)
+        labeled = property_to_labeled(world)
+        vector = property_to_vector(world)
+        assert vector.schema.feature_names[0] == "label"
+        label_regex = parse_regex(regex_text)
+        feature_regex = _to_feature_regex(label_regex)
+        assert (count_paths_exact(labeled, label_regex, k)
+                == count_paths_exact(vector, feature_regex, k))
+
+    def test_endpoint_pairs_agree(self):
+        world = generate_contact_graph(15, 3, 6, 1, rng=42, infection_rate=0.3)
+        labeled = property_to_labeled(world)
+        vector = property_to_vector(world)
+        label_regex = parse_regex("?person/rides/?bus/rides^-/?infected")
+        feature_regex = _to_feature_regex(label_regex)
+        assert (endpoint_pairs(labeled, label_regex)
+                == endpoint_pairs(vector, feature_regex))
+
+    def test_property_graph_answers_both_vocabularies(self):
+        """A property graph is labeled, so label regexes run directly on it."""
+        world = generate_contact_graph(10, 2, 4, 1, rng=7)
+        labeled = property_to_labeled(world)
+        regex = parse_regex("?person/rides/?bus")
+        assert (endpoint_pairs(world, regex) == endpoint_pairs(labeled, regex))

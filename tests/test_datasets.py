@@ -1,0 +1,123 @@
+"""Dataset generator tests: schema conformance and calibration."""
+
+from collections import Counter
+
+import pytest
+
+from repro.datasets import (
+    barabasi_albert,
+    erdos_renyi,
+    generate_contact_graph,
+    generate_corpus,
+    random_labeled_graph,
+    random_vector_graph,
+)
+from repro.datasets.dblp import KEYWORDS, YEARS
+
+
+class TestContactGraph:
+    def test_schema(self):
+        graph = generate_contact_graph(20, 3, 8, 2, rng=0)
+        labels = Counter(graph.node_label(n) for n in graph.nodes())
+        assert labels["bus"] == 3
+        assert labels["address"] == 8
+        assert labels["company"] == 2
+        assert labels["person"] + labels["infected"] == 20
+        edge_labels = {graph.edge_label(e) for e in graph.edges()}
+        assert edge_labels <= {"rides", "contact", "lives", "owns"}
+
+    def test_every_person_lives_somewhere(self):
+        graph = generate_contact_graph(15, 2, 5, 1, rng=1)
+        for node in graph.nodes():
+            if graph.node_label(node) in ("person", "infected"):
+                lives = [e for e in graph.out_edges(node)
+                         if graph.edge_label(e) == "lives"]
+                assert len(lives) == 1
+
+    def test_rides_have_dates(self):
+        graph = generate_contact_graph(10, 2, 4, 1, rng=2)
+        for edge in graph.edges():
+            if graph.edge_label(edge) in ("rides", "contact"):
+                assert graph.edge_property(edge, "date") is not None
+
+    def test_reproducible(self):
+        first = generate_contact_graph(12, 2, 4, 1, rng=5)
+        second = generate_contact_graph(12, 2, 4, 1, rng=5)
+        assert set(first.nodes()) == set(second.nodes())
+        assert set(first.edges()) == set(second.edges())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_contact_graph(0)
+
+    def test_paper_queries_are_nontrivial(self):
+        from repro.core.rpq import endpoint_pairs, parse_regex
+
+        graph = generate_contact_graph(30, 4, 10, 2, rng=3,
+                                       infection_rate=0.3)
+        regex = parse_regex("?person/rides/?bus/rides^-/?infected")
+        assert len(endpoint_pairs(graph, regex)) > 0
+
+
+class TestRandomGraphs:
+    def test_erdos_renyi_bounds(self):
+        graph = erdos_renyi(12, 0.3, rng=0)
+        assert graph.node_count() == 12
+        assert 0 < graph.edge_count() < 12 * 11
+
+    def test_erdos_renyi_validation(self):
+        with pytest.raises(ValueError):
+            erdos_renyi(5, 1.5)
+        with pytest.raises(ValueError):
+            erdos_renyi(-1, 0.5)
+
+    def test_barabasi_albert_degree_skew(self):
+        graph = barabasi_albert(60, 2, rng=1)
+        degrees = sorted((graph.degree(n) for n in graph.nodes()), reverse=True)
+        assert degrees[0] >= 3 * degrees[len(degrees) // 2]
+
+    def test_barabasi_albert_validation(self):
+        with pytest.raises(ValueError):
+            barabasi_albert(3, 3)
+
+    def test_random_labeled_graph_options(self):
+        simple = random_labeled_graph(8, 20, rng=0, allow_self_loops=False,
+                                      allow_parallel=False)
+        seen = set()
+        for edge in simple.edges():
+            source, target = simple.endpoints(edge)
+            assert source != target
+            assert (source, target) not in seen
+            seen.add((source, target))
+
+    def test_random_vector_graph(self):
+        graph = random_vector_graph(6, 10, 3, rng=0)
+        assert graph.dimension == 3
+        assert all(len(graph.node_vector(n)) == 3 for n in graph.nodes())
+
+
+class TestDblpCorpus:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        return generate_corpus(rng=0)
+
+    def test_years_covered(self, corpus):
+        assert {p.year for p in corpus} == set(YEARS)
+
+    def test_filler_present(self, corpus):
+        from repro.bibliometrics import title_contains
+
+        filler = [p for p in corpus
+                  if not any(title_contains(p.title, kw) for kw in KEYWORDS)]
+        assert len(filler) > 3000
+
+    def test_noise_zero_is_exact(self):
+        from repro.bibliometrics import keyword_series
+        from repro.datasets.dblp import _SERIES
+
+        corpus = generate_corpus(rng=1, noise=0.0, filler_per_year=0)
+        series = keyword_series(corpus, ["knowledge graph"], YEARS)
+        assert series["knowledge graph"] == _SERIES["knowledge graph"]
+
+    def test_reproducible(self):
+        assert generate_corpus(rng=3)[:50] == generate_corpus(rng=3)[:50]

@@ -1,0 +1,54 @@
+"""Stochastic block model tests, plus community recovery on planted data."""
+
+import pytest
+
+from repro.analytics import label_propagation
+from repro.datasets import partition_accuracy, stochastic_block_model
+
+
+class TestSbm:
+    def test_shapes_and_labels(self):
+        graph, blocks = stochastic_block_model([5, 7], 0.8, 0.05, rng=0)
+        assert graph.node_count() == 12
+        assert [len(b) for b in blocks] == [5, 7]
+        assert all(graph.node_label(n) == "person" for n in graph.nodes())
+
+    def test_density_contrast(self):
+        graph, blocks = stochastic_block_model([20, 20], 0.5, 0.02, rng=1)
+        within = across = 0
+        block_of = {}
+        for i, members in enumerate(blocks):
+            for node in members:
+                block_of[node] = i
+        for edge in graph.edges():
+            u, v = graph.endpoints(edge)
+            if block_of[u] == block_of[v]:
+                within += 1
+            else:
+                across += 1
+        # Expected within ~ 2*190*0.5 per block, across ~ 800*0.02.
+        assert within > 3 * across
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            stochastic_block_model([], 0.5, 0.1)
+        with pytest.raises(ValueError):
+            stochastic_block_model([3], 0.1, 0.5)  # p_out > p_in
+
+    def test_reproducible(self):
+        left, _ = stochastic_block_model([6, 6], 0.6, 0.05, rng=4)
+        right, _ = stochastic_block_model([6, 6], 0.6, 0.05, rng=4)
+        assert set(left.edges()) == set(right.edges())
+
+
+class TestRecovery:
+    def test_label_propagation_recovers_planted_blocks(self):
+        graph, blocks = stochastic_block_model([15, 15], 0.7, 0.02, rng=7)
+        found = label_propagation(graph, rng=3)
+        assert partition_accuracy(found, blocks) > 0.9
+
+    def test_partition_accuracy_bounds(self):
+        planted = [{"a", "b"}, {"c", "d"}]
+        assert partition_accuracy(planted, planted) == 1.0
+        assert partition_accuracy([{"a", "c"}, {"b", "d"}], planted) == 0.5
+        assert partition_accuracy([], []) == 1.0

@@ -1,0 +1,158 @@
+"""TransE embedding and link-prediction tests (Section 2.3 completion)."""
+
+import random
+
+import pytest
+
+from repro.embeddings import (
+    TrainConfig,
+    TransE,
+    complete,
+    evaluate_link_prediction,
+)
+from repro.embeddings.transe import train_test_split
+from repro.errors import EstimationError
+from repro.models.rdf import Triple
+
+
+def family_kg(n_families: int = 6, rng_seed: int = 0) -> list[Triple]:
+    """Clustered KG: families with parent/sibling relations plus cities."""
+    triples = []
+    for fam in range(n_families):
+        people = [f"f{fam}_p{i}" for i in range(5)]
+        parent = people[0]
+        for child in people[1:]:
+            triples.append(Triple(parent, "parent_of", child))
+        for i, a in enumerate(people[1:]):
+            for b in people[1 + i + 1:]:
+                triples.append(Triple(a, "sibling_of", b))
+        triples.append(Triple(parent, "lives_in", f"city{fam % 3}"))
+    return triples
+
+
+@pytest.fixture(scope="module")
+def trained_model():
+    triples = family_kg()
+    train, test = train_test_split(triples, 0.2, rng=1)
+    model = TransE(train, TrainConfig(dimension=20, epochs=150), rng=2).train()
+    return model, test
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(EstimationError):
+            TrainConfig(dimension=0)
+        with pytest.raises(EstimationError):
+            TrainConfig(norm=3)
+        with pytest.raises(EstimationError):
+            TransE([])
+
+    def test_vocabulary(self):
+        model = TransE([("a", "r", "b"), ("b", "r", "c")])
+        assert model.entities == ["a", "b", "c"]
+        assert model.relations == ["r"]
+        with pytest.raises(EstimationError):
+            model.score("zzz", "r", "a")
+        with pytest.raises(EstimationError):
+            model.score("a", "zzz", "b")
+
+
+class TestTraining:
+    def test_loss_decreases(self):
+        triples = family_kg(4)
+        log: list = []
+        TransE(triples, TrainConfig(dimension=16, epochs=80), rng=3).train(log=log)
+        first_ten = sum(loss for _, loss in log[:10]) / 10
+        last_ten = sum(loss for _, loss in log[-10:]) / 10
+        assert last_ten < first_ten * 0.7
+
+    def test_entity_norms_bounded(self, trained_model):
+        import numpy as np
+
+        model, _ = trained_model
+        norms = np.linalg.norm(model.entity_vectors, axis=1)
+        assert norms.max() <= 1.0 + 1e-9
+
+    def test_reproducible(self):
+        triples = family_kg(3)
+        a = TransE(triples, TrainConfig(dimension=8, epochs=20), rng=5).train()
+        b = TransE(triples, TrainConfig(dimension=8, epochs=20), rng=5).train()
+        assert a.score("f0_p0", "parent_of", "f0_p1") == \
+            b.score("f0_p0", "parent_of", "f0_p1")
+
+    def test_true_triples_score_above_random_pairs(self, trained_model):
+        model, _ = trained_model
+        rng = random.Random(0)
+        margin_wins = 0
+        trials = 50
+        for _ in range(trials):
+            true = rng.choice(model.triples)
+            fake_tail = rng.choice(model.entities)
+            true_score = model.score(true.subject, true.predicate, true.object)
+            fake_score = model.score(true.subject, true.predicate, fake_tail)
+            if true_score >= fake_score:
+                margin_wins += 1
+        assert margin_wins / trials > 0.8
+
+
+class TestLinkPrediction:
+    def test_report_beats_random_baseline(self, trained_model):
+        model, test = trained_model
+        report = evaluate_link_prediction(model, test)
+        n = len(model.entities)
+        random_mrr = sum(1.0 / r for r in range(1, n + 1)) / n
+        assert report.mean_reciprocal_rank > 3 * random_mrr
+        assert report.hits_at_10 > 0.5
+        assert report.mean_rank < n / 3
+
+    def test_vectorized_scores_match_pointwise(self, trained_model):
+        model, _ = trained_model
+        head, relation = model.triples[0].subject, model.triples[0].predicate
+        scores = model.score_all_tails(head, relation)
+        for i in (0, len(model.entities) // 2, len(model.entities) - 1):
+            assert scores[i] == pytest.approx(
+                model.score(head, relation, model.entities[i]))
+
+    def test_report_rows(self, trained_model):
+        model, test = trained_model
+        report = evaluate_link_prediction(model, test)
+        rows = report.as_rows()
+        assert rows[0] == ["test triples", len(test)]
+
+
+class TestCompletion:
+    def test_proposals_are_new_and_sorted(self, trained_model):
+        model, _ = trained_model
+        proposals = complete(model, "sibling_of", top_k=10)
+        assert len(proposals) == 10
+        scores = [score for *_, score in proposals]
+        assert scores == sorted(scores, reverse=True)
+        for head, relation, tail, _ in proposals:
+            assert not model.knows_triple(head, relation, tail)
+            assert head != tail
+
+    def test_completion_stays_in_cluster(self, trained_model):
+        """Most proposed siblings belong to the same family — the embedding
+        has learned the cluster structure."""
+        model, _ = trained_model
+        proposals = complete(model, "sibling_of", top_k=8)
+        same_family = sum(1 for head, _, tail, _ in proposals
+                          if head.split("_")[0] == tail.split("_")[0])
+        assert same_family >= len(proposals) * 0.6
+
+    def test_nearest_entities(self, trained_model):
+        model, _ = trained_model
+        nearest = model.nearest_entities("f0_p1", k=4)
+        assert "f0_p1" not in nearest
+        assert len(nearest) == 4
+
+
+class TestSplit:
+    def test_split_keeps_vocabulary_in_train(self):
+        triples = family_kg(4)
+        train, test = train_test_split(triples, 0.3, rng=0)
+        train_entities = {t.subject for t in train} | {t.object for t in train}
+        for t in test:
+            assert t.subject in train_entities
+            assert t.object in train_entities
+        assert len(train) + len(test) == len(triples)

@@ -1,0 +1,100 @@
+"""AC-GNN forward-pass mechanics and feature encoders."""
+
+import numpy as np
+import pytest
+
+from repro.core.gnn import ACGNN, Layer, clip01, random_acgnn
+from repro.core.gnn.acgnn import numeric_vector_features, one_hot_label_features
+from repro.datasets import random_vector_graph
+from repro.errors import SchemaError
+from repro.models import LabeledGraph, VectorGraph
+
+
+class TestClip01:
+    def test_truncation(self):
+        values = np.array([-1.0, 0.0, 0.4, 1.0, 3.0])
+        assert np.allclose(clip01(values), [0.0, 0.0, 0.4, 1.0, 1.0])
+
+    def test_zero_one_fixed_points(self):
+        assert clip01(np.array([0.0, 1.0])).tolist() == [0.0, 1.0]
+
+
+class TestLayer:
+    def test_shape_validation(self):
+        with pytest.raises(SchemaError):
+            Layer(np.zeros((2, 3)), np.zeros((2, 2)), np.zeros(3))
+        with pytest.raises(SchemaError):
+            Layer(np.zeros((2, 3)), np.zeros((2, 3)), np.zeros(2))
+
+
+class TestForward:
+    def test_sum_aggregation_counts_neighbors(self):
+        graph = LabeledGraph()
+        graph.add_node("hub", "h")
+        for i in range(3):
+            graph.add_edge(f"e{i}", "hub", f"t{i}", "r")
+        # One layer that writes the neighbor-sum of feature 0 into feature 0.
+        layer = Layer(np.zeros((1, 1)), np.ones((1, 1)), np.array([0.0]))
+        network = ACGNN([layer], direction="out")
+        features = {node: np.array([1.0]) for node in graph.nodes()}
+        out = network.node_embeddings(graph, features)
+        assert out["hub"][0] == 1.0  # clipped from 3.0
+        assert out["t0"][0] == 0.0
+
+    def test_parallel_edges_aggregate_with_multiplicity(self):
+        graph = LabeledGraph()
+        graph.add_edge("e1", "a", "b", "r")
+        graph.add_edge("e2", "a", "b", "r")
+        layer = Layer(np.zeros((1, 1)), np.array([[0.4]]), np.array([0.0]))
+        network = ACGNN([layer], direction="out")
+        features = {"a": np.array([0.0]), "b": np.array([1.0])}
+        out = network.node_embeddings(graph, features)
+        assert out["a"][0] == pytest.approx(0.8)
+
+    def test_empty_graph(self):
+        network = random_acgnn([2, 2], rng=0)
+        assert network.node_embeddings(LabeledGraph(), {}) == {}
+
+    def test_classify_threshold(self):
+        graph = LabeledGraph()
+        graph.add_node("a", "x")
+        identity = Layer(np.eye(1), np.zeros((1, 1)), np.zeros(1))
+        network = ACGNN([identity], readout_coordinate=0, threshold=0.5)
+        assert network.classify(graph, {"a": np.array([0.7])}) == {"a": True}
+        assert network.classify(graph, {"a": np.array([0.3])}) == {"a": False}
+
+
+class TestEncoders:
+    def test_one_hot_label_features(self, fig2_labeled):
+        features, order = one_hot_label_features(fig2_labeled)
+        assert len(order) == len(set(order))
+        person_index = order.index("person")
+        assert features["n1"][person_index] == 1.0
+        assert features["n3"][person_index] == 0.0
+        assert all(vec.sum() == 1.0 for vec in features.values())
+
+    def test_numeric_vector_features(self):
+        graph = random_vector_graph(5, 8, 3, values=("0", "1"), rng=1)
+        features = numeric_vector_features(graph)
+        assert all(vec.shape == (3,) for vec in features.values())
+
+    def test_numeric_features_reject_bottom(self):
+        graph = VectorGraph(2)
+        graph.add_node("a")  # all-BOTTOM vector
+        with pytest.raises(SchemaError):
+            numeric_vector_features(graph)
+
+
+class TestRandomNetwork:
+    def test_dimension_validation(self):
+        with pytest.raises(SchemaError):
+            random_acgnn([3])
+
+    def test_reproducible(self, fig2_labeled):
+        features, order = one_hot_label_features(fig2_labeled)
+        first = random_acgnn([len(order), 4], rng=5)
+        second = random_acgnn([len(order), 4], rng=5)
+        out1 = first.node_embeddings(fig2_labeled, features)
+        out2 = second.node_embeddings(fig2_labeled, features)
+        for node in fig2_labeled.nodes():
+            assert np.allclose(out1[node], out2[node])

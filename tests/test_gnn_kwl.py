@@ -1,0 +1,76 @@
+"""2-WL tests: strictly more powerful than 1-WL, consistent with it."""
+
+from repro.core.gnn import (
+    wl2_node_colors,
+    wl2_pair_colors,
+    wl2_test,
+    wl_node_colors,
+    wl_test,
+)
+from repro.models import LabeledGraph
+
+
+def cycle(n: int, prefix: str = "c") -> LabeledGraph:
+    graph = LabeledGraph()
+    for i in range(n):
+        graph.add_node(f"{prefix}{i}", "v")
+    for i in range(n):
+        graph.add_edge(f"{prefix}e{i}", f"{prefix}{i}", f"{prefix}{(i + 1) % n}", "r")
+    return graph
+
+
+def two_triangles() -> LabeledGraph:
+    graph = LabeledGraph()
+    for tri in (0, 1):
+        for i in range(3):
+            graph.add_node(f"t{tri}_{i}", "v")
+        for i in range(3):
+            graph.add_edge(f"t{tri}_e{i}", f"t{tri}_{i}",
+                           f"t{tri}_{(i + 1) % 3}", "r")
+    return graph
+
+
+class TestPairColors:
+    def test_diagonal_pairs_distinct_from_offdiagonal(self, fig2_labeled):
+        colors = wl2_pair_colors(fig2_labeled)
+        assert colors[("n1", "n1")] != colors[("n1", "n2")]
+
+    def test_edge_vs_non_edge_pairs_separated(self, fig2_labeled):
+        colors = wl2_pair_colors(fig2_labeled)
+        assert colors[("n1", "n2")] != colors[("n1", "n7")]  # contact vs none
+
+    def test_node_colors_refine_1wl(self):
+        graph = two_triangles()
+        graph.add_edge("bridge", "t0_0", "t1_0", "s")
+        one = wl_node_colors(graph, directed=False)
+        two = wl2_node_colors(graph)
+        # Any pair separated by 1-WL is separated by 2-WL.
+        for u in graph.nodes():
+            for v in graph.nodes():
+                if one[u] != one[v]:
+                    assert two[u] != two[v]
+
+
+class TestIsomorphismPower:
+    def test_graph_vs_itself(self, fig2_labeled):
+        assert wl2_test(fig2_labeled, fig2_labeled)
+
+    def test_triangles_vs_hexagon_refuted_by_2wl(self):
+        """The classic pair 1-WL cannot separate — 2-WL must."""
+        triangles = two_triangles()
+        hexagon = cycle(6, "h")
+        assert wl_test(triangles, hexagon, directed=False)  # 1-WL blind
+        assert not wl2_test(triangles, hexagon)  # 2-WL sees triangles
+
+    def test_different_cycle_lengths_refuted(self):
+        assert not wl2_test(cycle(4), cycle(5))
+
+    def test_isomorphic_relabeled_cycles_pass(self):
+        assert wl2_test(cycle(5, "a"), cycle(5, "b"))
+
+    def test_labels_participate(self):
+        left = cycle(4, "a")
+        right = cycle(4, "b")
+        right.set_node_label("b0", "special")
+        assert not wl2_test(left, right)
+        assert wl2_test(left, right, use_labels=False)

@@ -1,0 +1,122 @@
+"""Weisfeiler-Lehman tests, including the GNN-invariance corollary."""
+
+import numpy as np
+
+from repro.core.gnn import (
+    compile_modal_formula,
+    random_acgnn,
+    wl_distinguishes,
+    wl_node_colors,
+    wl_partition,
+    wl_test,
+)
+from repro.core.gnn.acgnn import one_hot_label_features
+from repro.core.logic import DiamondAtLeast, LabelProp, ModalAnd, ModalNot
+from repro.datasets import random_labeled_graph
+from repro.models import LabeledGraph
+
+
+def cycle_graph(n: int, label: str = "v") -> LabeledGraph:
+    graph = LabeledGraph()
+    for i in range(n):
+        graph.add_node(f"c{i}", label)
+    for i in range(n):
+        graph.add_edge(f"e{i}", f"c{i}", f"c{(i + 1) % n}", "r")
+    return graph
+
+
+class TestRefinement:
+    def test_cycle_is_color_uniform(self):
+        colors = wl_node_colors(cycle_graph(5))
+        assert len(set(colors.values())) == 1
+
+    def test_labels_seed_partition(self, fig2_labeled):
+        colors = wl_node_colors(fig2_labeled)
+        assert colors["n1"] != colors["n3"]
+
+    def test_structure_refines_equal_labels(self):
+        # Same label everywhere, but degree differences must split colors.
+        graph = LabeledGraph()
+        graph.add_edge("e1", "a", "b", "r")
+        graph.add_edge("e2", "a", "c", "r")
+        colors = wl_node_colors(graph)
+        assert colors["a"] != colors["b"]
+        assert colors["b"] == colors["c"]
+
+    def test_rounds_zero_is_initial_coloring(self, fig2_labeled):
+        colors = wl_node_colors(fig2_labeled, rounds=0)
+        assert colors["n1"] == colors["n4"]  # both 'person'
+
+    def test_partition_covers_graph(self, fig2_labeled):
+        partition = wl_partition(fig2_labeled)
+        union = set().union(*partition)
+        assert union == set(fig2_labeled.nodes())
+
+    def test_distinguishes(self, fig2_labeled):
+        assert wl_distinguishes(fig2_labeled, "n1", "n3")
+        # n1 rides and has contacts; n7 only rides — WL separates them.
+        assert wl_distinguishes(fig2_labeled, "n1", "n7")
+
+
+class TestIsomorphismTest:
+    def test_graph_vs_itself(self, fig2_labeled):
+        assert wl_test(fig2_labeled, fig2_labeled)
+
+    def test_relabeled_copy_possibly_isomorphic(self, fig2_labeled):
+        renamed = LabeledGraph()
+        for node in fig2_labeled.nodes():
+            renamed.add_node(f"x_{node}", fig2_labeled.node_label(node))
+        for edge in fig2_labeled.edges():
+            source, target = fig2_labeled.endpoints(edge)
+            renamed.add_edge(f"x_{edge}", f"x_{source}", f"x_{target}",
+                             fig2_labeled.edge_label(edge))
+        assert wl_test(fig2_labeled, renamed)
+
+    def test_different_sizes_refuted(self):
+        assert not wl_test(cycle_graph(4), cycle_graph(5))
+
+    def test_edge_labels_matter(self):
+        left = cycle_graph(4)
+        right = cycle_graph(4)
+        right.set_edge_label("e0", "different")
+        assert not wl_test(left, right)
+        assert wl_test(left, right, use_edge_labels=False)
+
+    def test_classic_wl_blind_spot(self):
+        # Two triangles vs one hexagon: 1-WL cannot tell them apart
+        # (undirected view, uniform labels) — the classic limitation that
+        # bounds GNN expressiveness.
+        two_triangles = LabeledGraph()
+        for tri in (0, 1):
+            for i in range(3):
+                two_triangles.add_node(f"t{tri}_{i}", "v")
+            for i in range(3):
+                two_triangles.add_edge(f"t{tri}_e{i}", f"t{tri}_{i}",
+                                       f"t{tri}_{(i + 1) % 3}", "r")
+        hexagon = cycle_graph(6)
+        assert wl_test(two_triangles, hexagon, directed=False)
+
+
+class TestGNNInvariance:
+    def test_random_gnn_constant_on_wl_classes(self):
+        graph = random_labeled_graph(12, 30, rng=6)
+        colors = wl_node_colors(graph, use_edge_labels=False, directed=True)
+        features, order = one_hot_label_features(graph)
+        network = random_acgnn([len(order), 5, 5], rng=9, direction="out")
+        embeddings = network.node_embeddings(graph, features)
+        for u in graph.nodes():
+            for v in graph.nodes():
+                if colors[u] == colors[v]:
+                    assert np.allclose(embeddings[u], embeddings[v])
+
+    def test_compiled_gnn_constant_on_wl_classes(self):
+        graph = random_labeled_graph(10, 24, rng=8)
+        colors = wl_node_colors(graph, use_edge_labels=False, directed=True)
+        formula = ModalAnd(DiamondAtLeast(1, LabelProp("a")),
+                           ModalNot(DiamondAtLeast(2, LabelProp("b"))))
+        compiled = compile_modal_formula(formula)
+        answers = compiled.satisfying_nodes(graph)
+        for u in graph.nodes():
+            for v in graph.nodes():
+                if colors[u] == colors[v]:
+                    assert (u in answers) == (v in answers)

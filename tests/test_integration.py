@@ -1,0 +1,116 @@
+"""Integration tests spanning subsystems, mirroring the paper's narrative."""
+
+import pytest
+
+from repro.core.centrality import regex_betweenness
+from repro.core.gnn import compile_modal_formula
+from repro.core.logic import (
+    DiamondAtLeast,
+    LabelProp,
+    ModalAnd,
+    answers_unary,
+    regex_to_fo2,
+)
+from repro.core.rpq import (
+    ApproxPathCounter,
+    UniformPathSampler,
+    count_paths_exact,
+    enumerate_paths,
+    nodes_matching,
+    parse_regex,
+)
+from repro.datasets import generate_contact_graph
+from repro.models.convert import (
+    labeled_to_rdf,
+    property_to_labeled,
+    property_to_vector,
+)
+from repro.query import run_cypher, run_sparql
+from repro.storage import PropertyGraphStore, TripleStore
+
+
+@pytest.fixture(scope="module")
+def world():
+    """One contact-tracing world shared by the cross-system checks."""
+    return generate_contact_graph(22, 3, 8, 2, rng=13, infection_rate=0.25)
+
+
+class TestOneWorldManyModels:
+    """The same question answered by every query system in the library."""
+
+    def test_rpq_fo_sparql_cypher_agree(self, world):
+        regex = parse_regex("?person/rides/?bus/rides^-/?infected")
+        by_rpq = nodes_matching(world, regex)
+
+        labeled = property_to_labeled(world)
+        by_fo = answers_unary(labeled, regex_to_fo2(regex), "x")
+
+        store = TripleStore.from_graph(labeled_to_rdf(labeled))
+        by_sparql = {row[0] for row in run_sparql(store, """
+            SELECT DISTINCT ?x WHERE {
+              ?x <rdf:type> <person> .
+              ?x <rides> ?b . ?b <rdf:type> <bus> .
+              ?z <rides> ?b . ?z <rdf:type> <infected> .
+            }""").rows}
+
+        cypher_store = PropertyGraphStore(world)
+        by_cypher = {row[0] for row in run_cypher(cypher_store, """
+            MATCH (x:person)-[:rides]->(b:bus)<-[:rides]-(z:infected)
+            RETURN DISTINCT x""").rows}
+
+        assert by_rpq == by_fo == by_sparql == by_cypher
+
+    def test_gnn_agrees_with_modal_query(self, world):
+        formula = ModalAnd(LabelProp("person"),
+                           DiamondAtLeast(1, LabelProp("bus")))
+        compiled = compile_modal_formula(formula)
+        from repro.core.logic import evaluate_modal
+
+        assert compiled.satisfying_nodes(world) == evaluate_modal(world, formula)
+
+    def test_vector_model_answers_same_regex(self, world):
+        vector = property_to_vector(world)
+        schema = vector.schema
+        label_index = schema.index_of("label")
+        assert label_index == 1
+        regex_v = parse_regex("?(f1=person)/(f1=rides)/?(f1=bus)")
+        regex_l = parse_regex("?person/rides/?bus")
+        assert (nodes_matching(vector, regex_v)
+                == nodes_matching(property_to_labeled(world), regex_l))
+
+
+class TestCountGenEnumerateConsistency:
+    def test_three_views_of_the_same_answer_set(self, world):
+        regex = parse_regex("?person/(contact + contact^-)/?person")
+        k = 1
+        exact = count_paths_exact(world, regex, k)
+        enumerated = list(enumerate_paths(world, regex, k))
+        assert len(enumerated) == exact
+        if exact:
+            sampler = UniformPathSampler(world, regex, k)
+            assert sampler.count == exact
+            assert sampler.sample(0) in set(enumerated)
+            counter = ApproxPathCounter(world, regex, k, epsilon=0.15, rng=3)
+            assert abs(counter.estimate() - exact) <= max(2.0, 0.15 * exact)
+
+    def test_centrality_built_on_counting(self, world):
+        regex = parse_regex("?person/rides/?bus/rides^-/?person")
+        scores = regex_betweenness(world, regex,
+                                   candidates=[n for n in world.nodes()
+                                               if world.node_label(n) == "bus"])
+        assert all(value >= 0 for value in scores.values())
+
+
+class TestStorageRoundTrips:
+    def test_property_world_through_json(self, world):
+        from repro.models.io import dumps, loads
+
+        back = loads(dumps(world))
+        assert back.node_count() == world.node_count()
+        assert back.edge_count() == world.edge_count()
+
+    def test_rdf_world_through_ntriples(self, world):
+        from repro.models import RDFGraph
+
+        rdf = labeled_to_rdf(property_to_labeled(world))
+        assert RDFGraph.from_ntriples(rdf.to_ntriples()) == rdf

@@ -1,0 +1,150 @@
+"""C2 (two-variable counting logic) and its WL connection."""
+
+import random
+
+import pytest
+
+from repro.core.gnn import wl_node_colors
+from repro.core.logic import (
+    And,
+    CountingExists,
+    EdgeRel,
+    Exists,
+    Label,
+    Not,
+    Or,
+    answers_unary,
+    evaluate,
+    evaluate_materialized,
+    is_c2,
+    modal_to_c2,
+)
+from repro.core.logic.modal import (
+    DiamondAtLeast,
+    LabelProp,
+    ModalAnd,
+    ModalNot,
+    evaluate_modal,
+)
+from repro.datasets import random_labeled_graph
+from repro.errors import LogicError
+from repro.models import LabeledGraph
+
+
+class TestCountingQuantifier:
+    def test_basic_counting(self):
+        graph = LabeledGraph()
+        graph.add_node("hub", "h")
+        for i in range(3):
+            graph.add_node(f"t{i}", "t")
+            graph.add_edge(f"e{i}", "hub", f"t{i}", "r")
+        formula = CountingExists("y", 2, EdgeRel("r", "x", "y"))
+        assert answers_unary(graph, formula, "x") == {"hub"}
+        formula4 = CountingExists("y", 4, EdgeRel("r", "x", "y"))
+        assert answers_unary(graph, formula4, "x") == set()
+
+    def test_count_one_equals_exists(self, fig2_labeled):
+        counting = CountingExists("y", 1, EdgeRel("rides", "x", "y"))
+        plain = Exists("y", EdgeRel("rides", "x", "y"))
+        assert (answers_unary(fig2_labeled, counting, "x")
+                == answers_unary(fig2_labeled, plain, "x"))
+
+    def test_counting_counts_distinct_nodes(self):
+        graph = LabeledGraph()
+        graph.add_edge("e1", "a", "b", "r")
+        graph.add_edge("e2", "a", "b", "r")  # parallel: same witness node
+        formula = CountingExists("y", 2, EdgeRel("r", "x", "y"))
+        assert answers_unary(graph, formula, "x") == set()
+
+    def test_materialized_agrees_with_tuple_at_a_time(self):
+        graph = random_labeled_graph(8, 20, rng=4)
+        formula = CountingExists("y", 2, And(EdgeRel("r", "x", "y"),
+                                             Label("a", "y")))
+        rows, columns, _ = evaluate_materialized(graph, formula)
+        assert columns == ("x",)
+        assert {row[0] for row in rows} == answers_unary(graph, formula, "x")
+
+    def test_vacuous_counting_variable(self, fig2_labeled):
+        # exists^{>=k} y (bus(x)) holds iff bus(x) and |N| >= k.
+        small = CountingExists("y", 2, Label("bus", "x"))
+        assert evaluate(fig2_labeled, small, {"x": "n3"})
+        too_big = CountingExists("y", 100, Label("bus", "x"))
+        assert not evaluate(fig2_labeled, too_big, {"x": "n3"})
+        rows, _, _ = evaluate_materialized(fig2_labeled, too_big)
+        assert rows == set()
+
+    def test_grade_validation(self):
+        with pytest.raises(LogicError):
+            CountingExists("y", 0, Label("a", "y"))
+
+
+class TestFragmentMembership:
+    def test_is_c2(self):
+        good = CountingExists("y", 2, And(EdgeRel("r", "x", "y"),
+                                          Label("a", "y")))
+        assert is_c2(good)
+        three_vars = Exists("y", Exists("z", And(EdgeRel("r", "x", "y"),
+                                                 EdgeRel("r", "y", "z"))))
+        assert not is_c2(three_vars)
+
+
+class TestModalToC2:
+    def test_translation_agrees_with_modal_semantics(self):
+        for seed in (1, 2, 3):
+            graph = random_labeled_graph(7, 14, rng=seed, allow_parallel=False)
+            labels = sorted(graph.edge_label_set())
+            formula = ModalAnd(LabelProp("a"),
+                               DiamondAtLeast(2, ModalNot(LabelProp("b"))))
+            translated = modal_to_c2(formula, labels)
+            assert is_c2(translated)
+            assert (answers_unary(graph, translated, "x")
+                    == evaluate_modal(graph, formula))
+
+    def test_nested_diamonds_reuse_variables(self):
+        graph = random_labeled_graph(7, 14, rng=9, allow_parallel=False)
+        labels = sorted(graph.edge_label_set())
+        formula = DiamondAtLeast(1, DiamondAtLeast(1, LabelProp("a")))
+        translated = modal_to_c2(formula, labels)
+        from repro.core.logic.fo import all_variables
+
+        assert all_variables(translated) == {"x", "y"}
+        assert (answers_unary(graph, translated, "x")
+                == evaluate_modal(graph, formula))
+
+    def test_needs_edge_labels(self):
+        with pytest.raises(LogicError):
+            modal_to_c2(LabelProp("a"), [])
+
+
+class TestWlConnection:
+    def _random_c2(self, rng: random.Random, var: str, other: str, depth: int):
+        """Random C2 formula with one free variable ``var``."""
+        if depth == 0 or rng.random() < 0.3:
+            return Label(rng.choice(["a", "b"]), var)
+        roll = rng.random()
+        if roll < 0.25:
+            return Not(self._random_c2(rng, var, other, depth - 1))
+        if roll < 0.5:
+            return And(self._random_c2(rng, var, other, depth - 1),
+                       self._random_c2(rng, var, other, depth - 1))
+        if roll < 0.7:
+            return Or(self._random_c2(rng, var, other, depth - 1),
+                      self._random_c2(rng, var, other, depth - 1))
+        edge = EdgeRel(rng.choice(["r", "s"]), var, other)
+        inner = self._random_c2(rng, other, var, depth - 1)
+        return CountingExists(other, rng.randint(1, 2), And(edge, inner))
+
+    def test_wl_equal_nodes_satisfy_same_c2_formulas(self):
+        """The Cai-Furer-Immerman direction, checked empirically: stable
+        WL colors refine C2 types (guarded fragment, out-direction)."""
+        rng = random.Random(0)
+        graph = random_labeled_graph(8, 18, rng=12, allow_parallel=False)
+        colors = wl_node_colors(graph, use_edge_labels=True, directed=True)
+        same_color_pairs = [(u, v)
+                            for u in graph.nodes() for v in graph.nodes()
+                            if u != v and colors[u] == colors[v]]
+        for _ in range(40):
+            formula = self._random_c2(rng, "x", "y", depth=2)
+            answers = answers_unary(graph, formula, "x")
+            for u, v in same_color_pairs:
+                assert (u in answers) == (v in answers), (formula, u, v)

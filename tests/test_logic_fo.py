@@ -1,0 +1,133 @@
+"""FO evaluation tests: tuple-at-a-time and materialized evaluators agree."""
+
+import pytest
+
+from repro.core.logic import (
+    And,
+    EdgeRel,
+    Equals,
+    Exists,
+    Forall,
+    Label,
+    Not,
+    Or,
+    Prop,
+    TrueFormula,
+    answers_unary,
+    evaluate,
+    evaluate_materialized,
+    free_variables,
+)
+from repro.errors import LogicError
+
+
+class TestFreeVariables:
+    def test_atoms(self):
+        assert free_variables(Label("person", "x")) == {"x"}
+        assert free_variables(EdgeRel("rides", "x", "y")) == {"x", "y"}
+        assert free_variables(Equals("x", "y")) == {"x", "y"}
+        assert free_variables(TrueFormula()) == frozenset()
+
+    def test_quantifier_binds(self):
+        formula = Exists("y", EdgeRel("rides", "x", "y"))
+        assert free_variables(formula) == {"x"}
+
+    def test_nested(self):
+        formula = Forall("x", Or(Label("bus", "x"), Exists("x", Label("person", "x"))))
+        assert free_variables(formula) == frozenset()
+
+
+class TestEvaluate:
+    def test_label_atom(self, fig2_labeled):
+        assert evaluate(fig2_labeled, Label("person", "x"), {"x": "n1"})
+        assert not evaluate(fig2_labeled, Label("person", "x"), {"x": "n3"})
+
+    def test_edge_atom(self, fig2_labeled):
+        assert evaluate(fig2_labeled, EdgeRel("contact", "x", "y"),
+                        {"x": "n1", "y": "n2"})
+        assert not evaluate(fig2_labeled, EdgeRel("contact", "x", "y"),
+                            {"x": "n2", "y": "n1"})
+
+    def test_prop_atom(self, fig2_property):
+        assert evaluate(fig2_property, Prop("name", "Julia", "x"), {"x": "n1"})
+
+    def test_connectives(self, fig2_labeled):
+        formula = And(Label("person", "x"), Not(Label("bus", "x")))
+        assert evaluate(fig2_labeled, formula, {"x": "n1"})
+
+    def test_quantifiers(self, fig2_labeled):
+        exists_bus = Exists("x", Label("bus", "x"))
+        assert evaluate(fig2_labeled, exists_bus)
+        all_people = Forall("x", Label("person", "x"))
+        assert not evaluate(fig2_labeled, all_people)
+
+    def test_equals(self, fig2_labeled):
+        assert evaluate(fig2_labeled, Equals("x", "y"), {"x": "n1", "y": "n1"})
+        assert not evaluate(fig2_labeled, Equals("x", "y"), {"x": "n1", "y": "n2"})
+
+    def test_missing_assignment_rejected(self, fig2_labeled):
+        with pytest.raises(LogicError):
+            evaluate(fig2_labeled, Label("person", "x"))
+
+    def test_answers_unary(self, fig2_labeled):
+        formula = Exists("y", EdgeRel("rides", "x", "y"))
+        assert answers_unary(fig2_labeled, formula) == {"n1", "n2", "n7"}
+
+    def test_answers_unary_arity_checks(self, fig2_labeled):
+        with pytest.raises(LogicError):
+            answers_unary(fig2_labeled, EdgeRel("rides", "x", "y"))
+
+
+class TestMaterialized:
+    def test_agrees_with_tuple_at_a_time(self, fig2_labeled):
+        formulas = [
+            Label("person", "x"),
+            Exists("y", And(EdgeRel("rides", "x", "y"), Label("bus", "y"))),
+            Not(Label("person", "x")),
+            Or(Label("bus", "x"), Label("company", "x")),
+            And(Label("person", "x"),
+                Not(Exists("y", EdgeRel("contact", "x", "y")))),
+        ]
+        for formula in formulas:
+            rows, columns, _ = evaluate_materialized(fig2_labeled, formula)
+            assert columns == ("x",)
+            assert {row[0] for row in rows} == answers_unary(fig2_labeled, formula)
+
+    def test_sentence_yields_nullary_relation(self, fig2_labeled):
+        rows, columns, _ = evaluate_materialized(
+            fig2_labeled, Exists("x", Label("bus", "x")))
+        assert columns == ()
+        assert rows == {()}
+
+    def test_forall_projection(self, fig2_labeled):
+        # Nodes x such that all nodes y with rides(y, x) are persons... true
+        # vacuously everywhere except targets of a non-person ride.
+        formula = Forall("y", Or(Not(EdgeRel("rides", "y", "x")),
+                                 Label("person", "y")))
+        rows, _, _ = evaluate_materialized(fig2_labeled, formula)
+        answers = {row[0] for row in rows}
+        assert "n3" not in answers  # n2 (infected) rides n3
+        assert "n5" in answers
+
+    def test_binary_relation_columns_sorted(self, fig2_labeled):
+        rows, columns, _ = evaluate_materialized(
+            fig2_labeled, EdgeRel("rides", "b", "a"))
+        assert columns == ("a", "b")
+        assert ("n3", "n1") in rows
+
+    def test_stats_track_width(self, fig2_labeled):
+        formula = Exists("z", Exists("y", And(
+            EdgeRel("rides", "x", "y"), EdgeRel("rides", "z", "y"))))
+        _, _, stats = evaluate_materialized(fig2_labeled, formula)
+        assert stats.max_width == 3
+        assert stats.relations_built > 3
+
+    def test_self_loop_edge_atom(self):
+        from repro.models import LabeledGraph
+
+        graph = LabeledGraph()
+        graph.add_edge("loop", "a", "a", "r")
+        graph.add_edge("e", "a", "b", "r")
+        rows, columns, _ = evaluate_materialized(graph, EdgeRel("r", "x", "x"))
+        assert columns == ("x",)
+        assert rows == {("a",)}

@@ -1,0 +1,61 @@
+"""Bounded-variable fragment tests: the paper's phi/psi equivalence and the
+width bound that makes FO^2 efficient."""
+
+import pytest
+
+from repro.core.logic import (
+    answers_unary,
+    count_distinct_variables,
+    evaluate_bounded,
+    evaluate_materialized,
+    is_bounded_variable,
+    paper_phi,
+    paper_psi,
+)
+from repro.datasets import generate_contact_graph
+from repro.errors import BoundedVariableError
+
+
+class TestVariableCounting:
+    def test_paper_formulas(self):
+        assert count_distinct_variables(paper_phi()) == 3
+        assert count_distinct_variables(paper_psi()) == 2
+
+    def test_bounds(self):
+        assert is_bounded_variable(paper_psi(), 2)
+        assert not is_bounded_variable(paper_phi(), 2)
+        assert is_bounded_variable(paper_phi(), 3)
+
+
+class TestPhiPsiEquivalence:
+    def test_on_figure2(self, fig2_labeled):
+        phi_answers = answers_unary(fig2_labeled, paper_phi())
+        psi_answers = answers_unary(fig2_labeled, paper_psi())
+        assert phi_answers == psi_answers == {"n1", "n7"}
+
+    def test_on_contact_graphs(self):
+        for seed in (1, 2, 3):
+            graph = generate_contact_graph(15, 2, 5, 1, rng=seed)
+            assert (answers_unary(graph, paper_phi())
+                    == answers_unary(graph, paper_psi()))
+
+
+class TestWidthBound:
+    def test_phi_materializes_ternary(self, fig2_labeled):
+        _, _, stats = evaluate_materialized(fig2_labeled, paper_phi())
+        assert stats.max_width == 3
+
+    def test_psi_stays_binary(self, fig2_labeled):
+        rows, columns, stats = evaluate_bounded(fig2_labeled, paper_psi(), 2)
+        assert stats.max_width <= 2
+        assert columns == ("x",)
+        assert {row[0] for row in rows} == {"n1", "n7"}
+
+    def test_bound_enforced(self, fig2_labeled):
+        with pytest.raises(BoundedVariableError):
+            evaluate_bounded(fig2_labeled, paper_phi(), 2)
+
+    def test_bound_three_accepts_phi(self, fig2_labeled):
+        rows, _, stats = evaluate_bounded(fig2_labeled, paper_phi(), 3)
+        assert {row[0] for row in rows} == {"n1", "n7"}
+        assert stats.max_width <= 3

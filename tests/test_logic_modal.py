@@ -1,0 +1,109 @@
+"""Graded modal logic semantics tests."""
+
+import pytest
+
+from repro.core.logic import (
+    DiamondAtLeast,
+    FeatureProp,
+    LabelProp,
+    ModalAnd,
+    ModalNot,
+    ModalOr,
+    ModalTrue,
+    evaluate_modal,
+    modal_depth,
+    modal_subformulas,
+)
+from repro.errors import LogicError, ModelCapabilityError
+from repro.models import LabeledGraph
+
+
+class TestAtoms:
+    def test_label_prop(self, fig2_labeled):
+        assert evaluate_modal(fig2_labeled, LabelProp("person")) == {"n1", "n4", "n7"}
+
+    def test_feature_prop(self, fig2_vector):
+        assert evaluate_modal(fig2_vector, FeatureProp(1, "bus")) == {"n3"}
+
+    def test_true(self, fig2_labeled):
+        assert evaluate_modal(fig2_labeled, ModalTrue()) == set(fig2_labeled.nodes())
+
+    def test_capability_errors(self, fig2_labeled, fig2_vector):
+        with pytest.raises(ModelCapabilityError):
+            evaluate_modal(fig2_vector, LabelProp("person"))
+        with pytest.raises(ModelCapabilityError):
+            evaluate_modal(fig2_labeled, FeatureProp(1, "person"))
+
+
+class TestConnectives:
+    def test_boolean_ops(self, fig2_labeled):
+        person = LabelProp("person")
+        bus = LabelProp("bus")
+        assert evaluate_modal(fig2_labeled, ModalAnd(person, ModalNot(bus))) == \
+            {"n1", "n4", "n7"}
+        assert evaluate_modal(fig2_labeled, ModalOr(person, bus)) == \
+            {"n1", "n3", "n4", "n7"}
+
+    def test_operator_sugar(self, fig2_labeled):
+        formula = LabelProp("person") & ~LabelProp("bus") | LabelProp("company")
+        result = evaluate_modal(fig2_labeled, formula)
+        assert "n6" in result and "n1" in result
+
+
+class TestDiamond:
+    def test_at_least_one_out_neighbor(self, fig2_labeled):
+        # Nodes with an out-edge to a bus: the riders.
+        formula = DiamondAtLeast(1, LabelProp("bus"))
+        assert evaluate_modal(fig2_labeled, formula) == {"n1", "n2", "n6", "n7"}
+
+    def test_grade_two(self):
+        graph = LabeledGraph()
+        graph.add_node("hub", "h")
+        for i in range(3):
+            graph.add_node(f"t{i}", "t")
+            graph.add_edge(f"e{i}", "hub", f"t{i}", "r")
+        graph.add_edge("single", "t0", "t1", "r")
+        formula = DiamondAtLeast(2, LabelProp("t"))
+        assert evaluate_modal(graph, formula) == {"hub"}
+
+    def test_multiplicity_counts(self):
+        graph = LabeledGraph()
+        graph.add_node("a", "x")
+        graph.add_node("b", "y")
+        graph.add_edge("e1", "a", "b", "r")
+        graph.add_edge("e2", "a", "b", "r")
+        assert evaluate_modal(graph, DiamondAtLeast(2, LabelProp("y"))) == {"a"}
+
+    def test_direction_modes(self, fig2_labeled):
+        formula = DiamondAtLeast(1, LabelProp("person"))
+        out_result = evaluate_modal(fig2_labeled, formula, direction="out")
+        in_result = evaluate_modal(fig2_labeled, formula, direction="in")
+        both_result = evaluate_modal(fig2_labeled, formula, direction="both")
+        assert "n4" in out_result  # contact to n1
+        assert "n3" in in_result  # persons ride into the bus
+        assert out_result | in_result <= both_result
+
+    def test_invalid_grade(self):
+        with pytest.raises(LogicError):
+            DiamondAtLeast(0, ModalTrue())
+
+    def test_nesting(self, fig2_labeled):
+        # "has an out-neighbor that itself has an out-neighbor labeled bus"
+        inner = DiamondAtLeast(1, LabelProp("bus"))
+        outer = DiamondAtLeast(1, inner)
+        result = evaluate_modal(fig2_labeled, outer)
+        assert "n4" in result  # n4 -contact-> n1 -rides-> n3
+
+
+class TestStructure:
+    def test_modal_depth(self):
+        formula = DiamondAtLeast(1, ModalAnd(LabelProp("a"),
+                                             DiamondAtLeast(2, LabelProp("b"))))
+        assert modal_depth(formula) == 2
+        assert modal_depth(LabelProp("a")) == 0
+
+    def test_subformulas_topological(self):
+        formula = ModalAnd(LabelProp("a"), DiamondAtLeast(1, LabelProp("a")))
+        order = modal_subformulas(formula)
+        assert order.index(LabelProp("a")) < order.index(formula)
+        assert len(order) == 3  # shared atom appears once

@@ -1,0 +1,82 @@
+"""Regex -> FO / FO2 translation tests.
+
+The key property: for star-free regexes, the FO translation, the FO2
+translation and the automaton-based node extraction all compute the same
+answer set.
+"""
+
+import pytest
+
+from repro.core.logic import (
+    answers_unary,
+    count_distinct_variables,
+    evaluate_materialized,
+    regex_to_fo,
+    regex_to_fo2,
+)
+from repro.core.rpq import nodes_matching, parse_regex
+from repro.datasets import generate_contact_graph, random_labeled_graph
+from repro.errors import LogicError
+
+_STAR_FREE = [
+    "?person/rides/?bus/rides^-/?infected",
+    "?person/contact/?infected",
+    "?person/(lives + contact)/?address + ?person/contact/?person",
+    "rides/rides^-",
+    "?person/contact/contact/?person",
+]
+
+
+class TestTranslationAgreement:
+    @pytest.mark.parametrize("regex_text", _STAR_FREE)
+    def test_fo_equals_fo2_equals_automaton(self, fig2_labeled, regex_text):
+        regex = parse_regex(regex_text)
+        expected = nodes_matching(fig2_labeled, regex)
+        assert answers_unary(fig2_labeled, regex_to_fo(regex), "x") == expected
+        assert answers_unary(fig2_labeled, regex_to_fo2(regex), "x") == expected
+
+    def test_on_random_graphs(self):
+        regex = parse_regex("?a/(r + s)/r^-/?b")
+        for seed in (1, 2, 3, 4):
+            graph = random_labeled_graph(8, 20, rng=seed)
+            expected = nodes_matching(graph, regex)
+            assert answers_unary(graph, regex_to_fo2(regex), "x") == expected
+
+    def test_on_contact_graph(self):
+        graph = generate_contact_graph(15, 2, 6, 1, rng=2)
+        regex = parse_regex("?person/rides/?bus/rides^-/?infected")
+        assert (answers_unary(graph, regex_to_fo2(regex), "x")
+                == nodes_matching(graph, regex))
+
+
+class TestVariableUsage:
+    def test_fo2_uses_two_variables(self):
+        regex = parse_regex("?person/rides/?bus/rides^-/?infected")
+        assert count_distinct_variables(regex_to_fo2(regex)) == 2
+
+    def test_fo_uses_fresh_variables(self):
+        regex = parse_regex("rides/rides/rides")
+        formula = regex_to_fo(regex)
+        assert count_distinct_variables(formula) == 4  # x plus v1..v3
+
+    def test_fo2_width_bound_holds(self, fig2_labeled):
+        regex = parse_regex("?person/rides/?bus/rides^-/?infected")
+        _, _, stats = evaluate_materialized(fig2_labeled, regex_to_fo2(regex))
+        assert stats.max_width <= 2
+
+
+class TestLimits:
+    def test_star_rejected(self):
+        with pytest.raises(LogicError):
+            regex_to_fo2(parse_regex("contact*"))
+        with pytest.raises(LogicError):
+            regex_to_fo(parse_regex("(a/b)*"))
+
+    def test_boolean_edge_test_rejected(self):
+        with pytest.raises(LogicError):
+            regex_to_fo2(parse_regex("(a & b)"))
+
+    def test_node_test_connectives_supported(self, fig2_labeled):
+        regex = parse_regex("?(person | infected)/rides/?bus")
+        expected = nodes_matching(fig2_labeled, regex)
+        assert answers_unary(fig2_labeled, regex_to_fo2(regex), "x") == expected

@@ -1,0 +1,141 @@
+"""Conversion tests, including hypothesis round-trips (the Figure 2 claim:
+the same data lives in all three models)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConversionError
+from repro.models import (
+    PropertyGraph,
+    RDFGraph,
+    labeled_to_property,
+    labeled_to_rdf,
+    property_to_labeled,
+    property_to_vector,
+    rdf_to_labeled,
+    vector_to_property,
+)
+from repro.models.convert import derive_schema
+from repro.models.vector import BOTTOM, VectorSchema
+
+
+# -- strategies -------------------------------------------------------------
+
+_names = st.text(alphabet="abcdefgh", min_size=1, max_size=4)
+_labels = st.sampled_from(["person", "bus", "infected", "address"])
+_props = st.dictionaries(st.sampled_from(["name", "age", "zip"]),
+                         st.sampled_from(["1", "2", "x", "y"]), max_size=3)
+
+
+@st.composite
+def property_graphs(draw) -> PropertyGraph:
+    graph = PropertyGraph()
+    node_ids = draw(st.lists(_names, min_size=1, max_size=6, unique=True))
+    for node in node_ids:
+        graph.add_node(node, draw(_labels), draw(_props))
+    n_edges = draw(st.integers(min_value=0, max_value=8))
+    for i in range(n_edges):
+        source = draw(st.sampled_from(node_ids))
+        target = draw(st.sampled_from(node_ids))
+        graph.add_edge(f"e{i}", source, target, draw(_labels), draw(_props))
+    return graph
+
+
+# -- labeled <-> property -----------------------------------------------------
+
+
+class TestLabeledProperty:
+    def test_labeled_to_property_has_empty_sigma(self, fig2_labeled):
+        pg = labeled_to_property(fig2_labeled)
+        assert pg.property_names() == set()
+        assert pg.node_label("n3") == "bus"
+
+    def test_round_trip_labeled(self, fig2_labeled):
+        back = property_to_labeled(labeled_to_property(fig2_labeled))
+        assert set(back.nodes()) == set(fig2_labeled.nodes())
+        assert set(back.edges()) == set(fig2_labeled.edges())
+        for node in fig2_labeled.nodes():
+            assert back.node_label(node) == fig2_labeled.node_label(node)
+
+    def test_property_to_labeled_drops_sigma(self, fig2_property):
+        lg = property_to_labeled(fig2_property)
+        assert not isinstance(lg, PropertyGraph)
+        assert not hasattr(lg, "node_property")
+
+
+# -- property <-> vector -------------------------------------------------------
+
+
+class TestPropertyVector:
+    def test_figure2_schema_positions(self, fig2_property):
+        vg = property_to_vector(fig2_property)
+        schema = derive_schema(fig2_property)
+        assert schema.feature_names[0] == "label"
+        assert vg.node_feature("n1", 1) == "person"
+
+    def test_bottom_fills_missing(self, fig2_property):
+        vg = property_to_vector(fig2_property)
+        schema = vg.schema
+        zip_index = schema.index_of("zip")
+        assert vg.node_feature("n1", zip_index) == BOTTOM
+        assert vg.node_feature("n5", zip_index) == "8320000"
+
+    def test_bad_schema_rejected(self, fig2_property):
+        with pytest.raises(ConversionError):
+            property_to_vector(fig2_property, VectorSchema(("name", "label")))
+
+    def test_vector_without_schema_rejected(self, fig2_property):
+        vg = property_to_vector(fig2_property)
+        vg.schema = None
+        with pytest.raises(ConversionError):
+            vector_to_property(vg)
+
+    @settings(max_examples=40, deadline=None)
+    @given(property_graphs())
+    def test_round_trip_property_vector(self, graph):
+        vg = property_to_vector(graph)
+        back = vector_to_property(vg)
+        assert set(back.nodes()) == set(graph.nodes())
+        assert set(back.edges()) == set(graph.edges())
+        for node in graph.nodes():
+            assert back.node_label(node) == graph.node_label(node)
+            assert back.node_properties(node) == graph.node_properties(node)
+        for edge in graph.edges():
+            assert back.edge_properties(edge) == graph.edge_properties(edge)
+            assert back.endpoints(edge) == graph.endpoints(edge)
+
+
+# -- labeled <-> rdf -----------------------------------------------------------
+
+
+class TestLabeledRdf:
+    def test_rdf_encoding_shapes(self, fig2_labeled):
+        rdf = labeled_to_rdf(fig2_labeled)
+        assert ("n1", "rdf:type", "person") in rdf
+        assert ("n1", "contact", "n2") in rdf
+
+    def test_round_trip_structure(self, fig2_labeled):
+        back = rdf_to_labeled(labeled_to_rdf(fig2_labeled))
+        assert set(back.nodes()) == set(fig2_labeled.nodes())
+        for node in fig2_labeled.nodes():
+            assert back.node_label(node) == fig2_labeled.node_label(node)
+        # Edge identifiers are minted fresh, but the labeled adjacency agrees.
+        original = {(fig2_labeled.source(e), fig2_labeled.edge_label(e),
+                     fig2_labeled.target(e)) for e in fig2_labeled.edges()}
+        recovered = {(back.source(e), back.edge_label(e), back.target(e))
+                     for e in back.edges()}
+        assert original == recovered
+
+    def test_parallel_same_label_edges_collapse(self):
+        from repro.models import LabeledGraph
+
+        graph = LabeledGraph()
+        graph.add_edge("e1", "a", "b", "r")
+        graph.add_edge("e2", "a", "b", "r")
+        back = rdf_to_labeled(labeled_to_rdf(graph))
+        assert back.edge_count() == 1  # RDF cannot express parallel edges
+
+    def test_conflicting_types_rejected(self):
+        rdf = RDFGraph([("n", "rdf:type", "a"), ("n", "rdf:type", "b")])
+        with pytest.raises(ConversionError):
+            rdf_to_labeled(rdf)

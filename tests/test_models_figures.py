@@ -1,0 +1,58 @@
+"""Tests pinning the Figure 2 graphs to the paper's textual description."""
+
+from repro.models import BOTTOM, figure2_labeled, figure2_property, figure2_vector
+from repro.models.figures import FIGURE2_SCHEMA
+
+
+class TestFigure2Property:
+    def test_entities_present(self, fig2_property):
+        labels = {fig2_property.node_label(n) for n in fig2_property.nodes()}
+        assert {"person", "infected", "bus", "address", "company"} <= labels
+
+    def test_person_properties(self, fig2_property):
+        assert fig2_property.node_property("n1", "name") == "Julia"
+        assert fig2_property.node_property("n1", "age") == "42"
+
+    def test_contact_date_matches_eq3(self, fig2_property):
+        # The date eq. (3) tests for: 3/4/21 on the contact edge.
+        assert fig2_property.edge_property("e3", "date") == "3/4/21"
+
+    def test_shared_address_zip(self, fig2_property):
+        assert fig2_property.node_property("n5", "zip") == "8320000"
+        livers = {fig2_property.source(e)
+                  for e in fig2_property.edges_with_label("lives")}
+        assert {"n1", "n4"} <= livers
+
+    def test_company_owns_bus(self, fig2_property):
+        assert fig2_property.edge_label("e6") == "owns"
+        assert fig2_property.endpoints("e6") == ("n6", "n3")
+
+
+class TestFigure2Labeled:
+    def test_same_structure_as_property(self):
+        lg, pg = figure2_labeled(), figure2_property()
+        assert set(lg.nodes()) == set(pg.nodes())
+        assert set(lg.edges()) == set(pg.edges())
+
+    def test_no_properties_on_labeled(self, fig2_labeled):
+        assert not hasattr(fig2_labeled, "node_property")
+
+
+class TestFigure2Vector:
+    def test_schema_matches_paper_feature_numbers(self):
+        # f1 = label and f5 = date, as in the paper's rewritten regex.
+        assert FIGURE2_SCHEMA.feature_names[0] == "label"
+        assert FIGURE2_SCHEMA.index_of("date") == 5
+
+    def test_feature_values(self, fig2_vector):
+        assert fig2_vector.node_feature("n1", 1) == "person"
+        assert fig2_vector.edge_feature("e3", 5) == "3/4/21"
+        assert fig2_vector.node_feature("n3", 2) == BOTTOM  # bus has no name
+
+    def test_dimension(self, fig2_vector):
+        assert fig2_vector.dimension == 5
+
+    def test_builders_are_fresh(self):
+        one, two = figure2_vector(), figure2_vector()
+        two.set_node_vector("n1", ("person", "X", "1", BOTTOM, BOTTOM))
+        assert one.node_feature("n1", 2) == "Julia"

@@ -1,0 +1,56 @@
+"""JSON serialization round trips for the three serializable models."""
+
+import pytest
+
+from repro.errors import ConversionError
+from repro.models import figure2_labeled, figure2_property, figure2_vector
+from repro.models.io import dumps, loads
+
+
+class TestRoundTrips:
+    def test_property_graph(self):
+        graph = figure2_property()
+        back = loads(dumps(graph))
+        assert set(back.nodes()) == set(graph.nodes())
+        for node in graph.nodes():
+            assert back.node_properties(node) == graph.node_properties(node)
+        for edge in graph.edges():
+            assert back.endpoints(edge) == graph.endpoints(edge)
+            assert back.edge_label(edge) == graph.edge_label(edge)
+
+    def test_labeled_graph(self):
+        graph = figure2_labeled()
+        back = loads(dumps(graph))
+        assert type(back).__name__ == "LabeledGraph"
+        assert {back.node_label(n) for n in back.nodes()} == \
+            {graph.node_label(n) for n in graph.nodes()}
+
+    def test_vector_graph(self):
+        graph = figure2_vector()
+        back = loads(dumps(graph))
+        assert back.dimension == graph.dimension
+        assert back.schema == graph.schema
+        for node in graph.nodes():
+            assert back.node_vector(node) == graph.node_vector(node)
+
+    def test_stable_output(self):
+        assert dumps(figure2_property()) == dumps(figure2_property())
+
+    def test_indent_option(self):
+        assert "\n" in dumps(figure2_property(), indent=2)
+
+
+class TestErrors:
+    def test_unknown_model_tag(self):
+        with pytest.raises(ConversionError):
+            loads('{"model": "hypergraph"}')
+
+    def test_wrong_document_shape(self):
+        from repro.models.io import property_graph_from_dict
+
+        with pytest.raises(ConversionError):
+            property_graph_from_dict({"model": "vector"})
+
+    def test_unsupported_type(self):
+        with pytest.raises(ConversionError):
+            dumps(object())  # type: ignore[arg-type]

@@ -1,0 +1,76 @@
+"""Unit tests for labeled graphs (lambda on nodes and edges)."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.models import LabeledGraph
+
+
+def build_sample() -> LabeledGraph:
+    return LabeledGraph.build(
+        nodes=[("a", "person"), ("b", "person"), ("c", "bus")],
+        edges=[("e1", "a", "b", "contact"), ("e2", "a", "c", "rides"),
+               ("e3", "b", "c", "rides")])
+
+
+class TestLabels:
+    def test_node_and_edge_labels(self):
+        graph = build_sample()
+        assert graph.node_label("a") == "person"
+        assert graph.edge_label("e2") == "rides"
+
+    def test_default_label_is_empty(self):
+        graph = LabeledGraph()
+        graph.add_node("a")
+        graph.add_edge("e", "a", "a")
+        assert graph.node_label("a") == ""
+        assert graph.edge_label("e") == ""
+
+    def test_readding_with_same_label_is_noop(self):
+        graph = build_sample()
+        graph.add_node("a", "person")
+        assert graph.node_count() == 3
+
+    def test_readding_with_conflicting_label_fails(self):
+        graph = build_sample()
+        with pytest.raises(GraphError):
+            graph.add_node("a", "bus")
+
+    def test_implicit_endpoint_gets_default_label(self):
+        graph = LabeledGraph()
+        graph.add_edge("e", "x", "y", "r")
+        assert graph.node_label("x") == ""
+
+    def test_set_labels(self):
+        graph = build_sample()
+        graph.set_node_label("c", "tram")
+        graph.set_edge_label("e1", "meets")
+        assert graph.node_label("c") == "tram"
+        assert graph.edge_label("e1") == "meets"
+
+    def test_label_queries(self):
+        graph = build_sample()
+        assert set(graph.nodes_with_label("person")) == {"a", "b"}
+        assert set(graph.edges_with_label("rides")) == {"e2", "e3"}
+        assert graph.node_label_set() == {"person", "bus"}
+        assert graph.edge_label_set() == {"contact", "rides"}
+
+
+class TestDerived:
+    def test_copy_preserves_labels(self):
+        graph = build_sample()
+        clone = graph.copy()
+        assert clone.node_label("c") == "bus"
+        assert clone.edge_label("e1") == "contact"
+
+    def test_remove_node_cleans_labels(self):
+        graph = build_sample()
+        graph.remove_node("c")
+        assert "c" not in set(graph.nodes_with_label("bus"))
+        assert graph.edge_count() == 1
+
+    def test_subgraph_without_node_keeps_labels(self):
+        graph = build_sample()
+        sub = graph.subgraph_without_node("b")
+        assert sub.node_label("a") == "person"
+        assert set(sub.edges()) == {"e2"}

@@ -1,0 +1,68 @@
+"""Unit tests for property graphs (the partial function sigma)."""
+
+from repro.models import PropertyGraph
+
+
+def build_sample() -> PropertyGraph:
+    graph = PropertyGraph()
+    graph.add_node("a", "person", {"name": "Julia", "age": "42"})
+    graph.add_node("b", "bus")
+    graph.add_edge("e", "a", "b", "rides", {"date": "3/3/21"})
+    return graph
+
+
+class TestSigma:
+    def test_node_properties(self):
+        graph = build_sample()
+        assert graph.node_property("a", "name") == "Julia"
+        assert graph.node_properties("a") == {"name": "Julia", "age": "42"}
+
+    def test_sigma_is_partial(self):
+        graph = build_sample()
+        assert graph.node_property("b", "name") is None
+        assert graph.edge_property("e", "color") is None
+
+    def test_edge_properties(self):
+        graph = build_sample()
+        assert graph.edge_property("e", "date") == "3/3/21"
+
+    def test_set_properties(self):
+        graph = build_sample()
+        graph.set_node_property("b", "line", "506")
+        graph.set_edge_property("e", "fare", "800")
+        assert graph.node_property("b", "line") == "506"
+        assert graph.edge_property("e", "fare") == "800"
+
+    def test_property_names_union(self):
+        graph = build_sample()
+        assert graph.property_names() == {"name", "age", "date"}
+
+    def test_readding_node_merges_properties(self):
+        graph = build_sample()
+        graph.add_node("a", "person", {"city": "Santiago"})
+        assert graph.node_property("a", "city") == "Santiago"
+        assert graph.node_property("a", "name") == "Julia"
+
+
+class TestLifecycle:
+    def test_copy_preserves_properties(self):
+        graph = build_sample()
+        clone = graph.copy()
+        clone.set_node_property("a", "name", "Other")
+        assert graph.node_property("a", "name") == "Julia"
+
+    def test_remove_node_cleans_properties(self):
+        graph = build_sample()
+        graph.remove_node("a")
+        assert graph.property_names() == set()
+
+    def test_remove_edge_cleans_properties(self):
+        graph = build_sample()
+        graph.remove_edge("e")
+        assert graph.property_names() == {"name", "age"}
+
+    def test_subgraph_without_node(self):
+        graph = build_sample()
+        sub = graph.subgraph_without_node("b")
+        assert sub.node_property("a", "age") == "42"
+        assert sub.edge_count() == 0

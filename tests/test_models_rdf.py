@@ -1,0 +1,79 @@
+"""Unit tests for RDF graphs and the N-Triples round trip."""
+
+import pytest
+
+from repro.errors import ConversionError
+from repro.models import RDFGraph, Triple
+
+
+def build_sample() -> RDFGraph:
+    return RDFGraph([
+        ("n1", "rdf:type", "person"),
+        ("n2", "rdf:type", "bus"),
+        ("n1", "rides", "n2"),
+    ])
+
+
+class TestBasics:
+    def test_membership_and_len(self):
+        graph = build_sample()
+        assert ("n1", "rides", "n2") in graph
+        assert ("n1", "rides", "n9") not in graph
+        assert len(graph) == 3
+
+    def test_add_is_set_like(self):
+        graph = build_sample()
+        graph.add("n1", "rides", "n2")
+        assert len(graph) == 3
+
+    def test_discard(self):
+        graph = build_sample()
+        graph.discard("n1", "rides", "n2")
+        assert len(graph) == 2
+        graph.discard("n1", "rides", "n2")  # absent: no error
+        assert len(graph) == 2
+
+    def test_views(self):
+        graph = build_sample()
+        assert graph.subjects() == {"n1", "n2"}
+        assert graph.predicates() == {"rdf:type", "rides"}
+        assert "person" in graph.objects()
+        assert graph.resources() >= {"n1", "n2", "person", "bus"}
+
+    def test_triples_from_to(self):
+        graph = build_sample()
+        assert {t.predicate for t in graph.triples_from("n1")} == {"rdf:type", "rides"}
+        assert {t.subject for t in graph.triples_to("n2")} == {"n1"}
+
+    def test_merge_is_set_union(self):
+        left = build_sample()
+        right = RDFGraph([("n1", "rides", "n2"), ("n3", "rdf:type", "person")])
+        merged = left.merge(right)
+        assert len(merged) == 4  # the shared triple merges, per universal interpretation
+
+    def test_equality(self):
+        assert build_sample() == build_sample()
+        assert build_sample() != RDFGraph()
+
+
+class TestNTriples:
+    def test_round_trip(self):
+        graph = build_sample()
+        assert RDFGraph.from_ntriples(graph.to_ntriples()) == graph
+
+    def test_literals_with_spaces_round_trip(self):
+        graph = RDFGraph([("n1", "name", "Julia Smith"), ("n1", "note", 'has "quotes"')])
+        assert RDFGraph.from_ntriples(graph.to_ntriples()) == graph
+
+    def test_comments_and_blank_lines_skipped(self):
+        text = '# comment\n\n<a> <b> <c> .\n'
+        graph = RDFGraph.from_ntriples(text)
+        assert ("a", "b", "c") in graph
+
+    def test_malformed_line_raises(self):
+        with pytest.raises(ConversionError):
+            RDFGraph.from_ntriples("<a> <b> .")
+
+    def test_triple_namedtuple_fields(self):
+        triple = Triple("s", "p", "o")
+        assert (triple.subject, triple.predicate, triple.object) == ("s", "p", "o")

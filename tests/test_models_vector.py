@@ -1,0 +1,93 @@
+"""Unit tests for vector-labeled graphs (lambda into Const^d)."""
+
+import pytest
+
+from repro.errors import GraphError, SchemaError
+from repro.models import BOTTOM, VectorGraph, VectorSchema
+
+
+def build_sample() -> VectorGraph:
+    schema = VectorSchema(("label", "name"))
+    graph = VectorGraph(2, schema)
+    graph.add_node("a", ("person", "Julia"))
+    graph.add_node("b", ("bus", BOTTOM))
+    graph.add_edge("e", "a", "b", ("rides", BOTTOM))
+    return graph
+
+
+class TestVectors:
+    def test_dimension_validation(self):
+        with pytest.raises(SchemaError):
+            VectorGraph(0)
+        with pytest.raises(SchemaError):
+            VectorGraph(3, VectorSchema(("label",)))
+
+    def test_vectors_and_features(self):
+        graph = build_sample()
+        assert graph.node_vector("a") == ("person", "Julia")
+        assert graph.node_feature("a", 1) == "person"  # 1-based, as in the paper
+        assert graph.node_feature("b", 2) == BOTTOM
+        assert graph.edge_feature("e", 1) == "rides"
+
+    def test_feature_index_bounds(self):
+        graph = build_sample()
+        with pytest.raises(SchemaError):
+            graph.node_feature("a", 0)
+        with pytest.raises(SchemaError):
+            graph.node_feature("a", 3)
+
+    def test_default_vector_is_all_bottom(self):
+        graph = VectorGraph(3)
+        graph.add_node("x")
+        assert graph.node_vector("x") == (BOTTOM, BOTTOM, BOTTOM)
+
+    def test_wrong_width_rejected(self):
+        graph = build_sample()
+        with pytest.raises(SchemaError):
+            graph.add_node("c", ("only-one",))
+
+    def test_conflicting_readd_rejected(self):
+        graph = build_sample()
+        with pytest.raises(GraphError):
+            graph.add_node("a", ("person", "Other"))
+
+    def test_set_vectors(self):
+        graph = build_sample()
+        graph.set_node_vector("b", ("bus", "506"))
+        graph.set_edge_vector("e", ("rides", "3/3/21"))
+        assert graph.node_feature("b", 2) == "506"
+        assert graph.edge_feature("e", 2) == "3/3/21"
+
+
+class TestSchema:
+    def test_schema_index_of(self):
+        schema = VectorSchema(("label", "name", "age"))
+        assert schema.index_of("age") == 3
+        with pytest.raises(SchemaError):
+            schema.index_of("zip")
+
+    def test_for_label_and_properties(self):
+        schema = VectorSchema.for_label_and_properties(["age", "name"])
+        assert schema.feature_names == ("label", "age", "name")
+        assert schema.dimension == 3
+
+
+class TestLifecycle:
+    def test_copy_preserves_vectors_and_schema(self):
+        graph = build_sample()
+        clone = graph.copy()
+        assert clone.schema == graph.schema
+        assert clone.node_vector("a") == ("person", "Julia")
+
+    def test_remove_cleans_vectors(self):
+        graph = build_sample()
+        graph.remove_edge("e")
+        graph.remove_node("a")
+        assert graph.node_count() == 1
+
+    def test_subgraph_without_node(self):
+        graph = build_sample()
+        sub = graph.subgraph_without_node("a")
+        assert sub.dimension == 2
+        assert not sub.has_node("a")
+        assert sub.edge_count() == 0

@@ -1,0 +1,171 @@
+"""Cross-cutting property-based invariants (hypothesis).
+
+Each class pins an algebraic law that ties two independent implementations
+together, so a bug in either side surfaces as a law violation rather than
+an unasserted wrong number.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analytics import pagerank
+from repro.core.rpq import (
+    Union,
+    count_paths_exact,
+    enumerate_paths,
+    evaluate_bruteforce,
+    parse_regex,
+)
+from repro.core.rpq.semantics import paths_of_length
+from repro.datasets import random_labeled_graph
+from repro.models.rdf import Triple
+from repro.reasoning import Rule, RuleAtom, RuleEngine, Var
+from repro.storage import TripleStore
+
+_REGEX_POOL = ["r", "s^-", "r/s", "(r + s)*", "?a/(r + s)", "(r/s) + s"]
+
+
+def _graph(seed: int):
+    return random_labeled_graph(6, 12, rng=seed)
+
+
+class TestRegexAlgebra:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 500), left=st.sampled_from(_REGEX_POOL),
+           right=st.sampled_from(_REGEX_POOL), k=st.integers(0, 3))
+    def test_union_is_set_union(self, seed, left, right, k):
+        graph = _graph(seed)
+        r_left = parse_regex(left)
+        r_right = parse_regex(right)
+        union_paths = set(enumerate_paths(graph, Union(r_left, r_right), k))
+        left_paths = set(enumerate_paths(graph, r_left, k))
+        right_paths = set(enumerate_paths(graph, r_right, k))
+        assert union_paths == left_paths | right_paths
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 500), regex_text=st.sampled_from(_REGEX_POOL),
+           k=st.integers(0, 3))
+    def test_count_splits_over_start_nodes(self, seed, regex_text, k):
+        graph = _graph(seed)
+        regex = parse_regex(regex_text)
+        total = count_paths_exact(graph, regex, k)
+        by_start = sum(count_paths_exact(graph, regex, k, start_nodes=[node])
+                       for node in graph.nodes())
+        assert total == by_start
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 500), regex_text=st.sampled_from(_REGEX_POOL),
+           k=st.integers(0, 3))
+    def test_enumerated_paths_conform_and_are_consistent(self, seed,
+                                                         regex_text, k):
+        graph = _graph(seed)
+        regex = parse_regex(regex_text)
+        reference = paths_of_length(evaluate_bruteforce(graph, regex, k), k)
+        for path in enumerate_paths(graph, regex, k):
+            assert path.is_consistent_with(graph)
+            assert path in reference
+
+
+class TestTripleStoreAgainstReference:
+    @settings(max_examples=40, deadline=None)
+    @given(operations=st.lists(
+        st.tuples(st.booleans(),
+                  st.sampled_from("abc"), st.sampled_from("pq"),
+                  st.sampled_from("xyz")),
+        max_size=40))
+    def test_random_operation_sequences(self, operations):
+        store = TripleStore()
+        reference: set = set()
+        for is_add, s, p, o in operations:
+            if is_add:
+                store.add(s, p, o)
+                reference.add((s, p, o))
+            else:
+                store.remove(s, p, o)
+                reference.discard((s, p, o))
+        assert {tuple(t) for t in store.triples()} == reference
+        assert len(store) == len(reference)
+        for s in "abc":
+            expected = {t for t in reference if t[0] == s}
+            assert {tuple(t) for t in store.match(subject=s)} == expected
+        for p in "pq":
+            expected = {t for t in reference if t[1] == p}
+            assert {tuple(t) for t in store.match(predicate=p)} == expected
+
+
+class TestReasoningInvariants:
+    _RULES = [Rule(RuleAtom(Var("x"), "reach", Var("y")),
+                   [RuleAtom(Var("x"), "next", Var("y"))]),
+              Rule(RuleAtom(Var("x"), "reach", Var("z")),
+                   [RuleAtom(Var("x"), "reach", Var("y")),
+                    RuleAtom(Var("y"), "reach", Var("z"))])]
+
+    @settings(max_examples=25, deadline=None)
+    @given(edges=st.lists(st.tuples(st.sampled_from("abcde"),
+                                    st.sampled_from("abcde")), max_size=12))
+    def test_closure_matches_reachability(self, edges):
+        store = TripleStore((s, "next", o) for s, o in edges)
+        RuleEngine(self._RULES).materialize(store)
+        # Reference: transitive closure by floyd-warshall over the edge set.
+        nodes = {n for pair in edges for n in pair}
+        reachable = {(s, o) for s, o in edges}
+        changed = True
+        while changed:
+            changed = False
+            for a, b in list(reachable):
+                for c, d in list(reachable):
+                    if b == c and (a, d) not in reachable:
+                        reachable.add((a, d))
+                        changed = True
+        derived = {(t.subject, t.object) for t in store.match(predicate="reach")}
+        assert derived == reachable
+        assert nodes or not derived
+
+    @settings(max_examples=15, deadline=None)
+    @given(edges=st.lists(st.tuples(st.sampled_from("abcd"),
+                                    st.sampled_from("abcd")), max_size=8))
+    def test_materialize_is_idempotent(self, edges):
+        store = TripleStore((s, "next", o) for s, o in edges)
+        engine = RuleEngine(self._RULES)
+        engine.materialize(store)
+        assert engine.materialize(store) == 0
+
+
+class TestAnalyticsInvariants:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 1000), n=st.integers(2, 12),
+           m=st.integers(0, 30))
+    def test_pagerank_is_a_distribution(self, seed, n, m):
+        graph = random_labeled_graph(n, m, rng=seed)
+        ranks = pagerank(graph)
+        assert abs(sum(ranks.values()) - 1.0) < 1e-6
+        assert all(value > 0 for value in ranks.values())
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 1000))
+    def test_betweenness_nonnegative_and_zero_on_leaves(self, seed):
+        from repro.core.centrality import betweenness_centrality
+
+        graph = random_labeled_graph(8, 14, rng=seed, allow_self_loops=False)
+        scores = betweenness_centrality(graph, directed=True)
+        assert all(value >= 0 for value in scores.values())
+        for node in graph.nodes():
+            if graph.in_degree(node) == 0 or graph.out_degree(node) == 0:
+                assert scores[node] == 0.0
+
+
+class TestEmbeddingInvariants:
+    def test_score_is_translation_consistent(self):
+        from repro.embeddings import TrainConfig, TransE
+
+        triples = [Triple(f"e{i}", "r", f"e{(i + 1) % 6}") for i in range(6)]
+        model = TransE(triples, TrainConfig(dimension=8, epochs=30), rng=0).train()
+        rng = random.Random(1)
+        for _ in range(20):
+            h = rng.choice(model.entities)
+            t = rng.choice(model.entities)
+            assert model.score(h, "r", t) <= 0.0  # negated distance
+            tail_scores = model.score_all_tails(h, "r")
+            index = model.entities.index(t)
+            assert abs(tail_scores[index] - model.score(h, "r", t)) < 1e-9

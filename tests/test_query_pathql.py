@@ -1,0 +1,123 @@
+"""PathQL tests: the Section 4.1 modes behind one declarative surface."""
+
+import pytest
+
+from repro.core.rpq import count_paths_exact, enumerate_paths, parse_regex
+from repro.errors import QueryEvaluationError, QuerySyntaxError
+from repro.query import parse_pathql, run_pathql
+
+
+class TestParsing:
+    def test_full_clause_set(self):
+        query = parse_pathql(
+            "PATHS MATCHING ?person/rides/?bus FROM n1 TO n3 LENGTH 1 "
+            "SAMPLE 5 SEED 7")
+        assert query.source == "n1"
+        assert query.target == "n3"
+        assert query.length == 1
+        assert query.mode == "sample"
+        assert query.samples == 5
+        assert query.seed == 7
+
+    def test_regex_stops_at_keywords(self):
+        query = parse_pathql("PATHS MATCHING contact* FROM n4 SHORTEST TO n2")
+        assert query.regex == parse_regex("contact*")
+        assert query.shortest
+
+    def test_quoted_values_survive_tokenization(self):
+        query = parse_pathql(
+            'PATHS MATCHING (contact & date="3/4/21") LENGTH 1 COUNT')
+        assert query.mode == "count"
+
+    @pytest.mark.parametrize("bad", [
+        "MATCHING a LENGTH 1 COUNT",
+        "PATHS MATCHING",
+        "PATHS MATCHING a COUNT",               # no LENGTH
+        "PATHS MATCHING a LENGTH 2 MAXLENGTH 3",
+        "PATHS MATCHING a SHORTEST LENGTH 2",
+        "PATHS MATCHING a LENGTH x COUNT",
+        "PATHS MATCHING a LENGTH 2 SAMPLE 0",
+        "PATHS MATCHING a LENGTH 2 BOGUS",
+        "PATHS MATCHING a",                      # no mode bound at all
+    ])
+    def test_syntax_errors(self, bad):
+        with pytest.raises(QuerySyntaxError):
+            parse_pathql(bad)
+
+
+class TestExecution:
+    def test_enumerate_mode(self, fig2_labeled):
+        result = run_pathql(fig2_labeled,
+                            "PATHS MATCHING ?person/contact/?infected LENGTH 1")
+        assert result.mode == "enumerate"
+        assert [p.to_text() for p in result.paths] == ["n1 -e3- n2"]
+
+    def test_limit(self, small_random_graph):
+        result = run_pathql(small_random_graph,
+                            "PATHS MATCHING (r + s)/(r + s) LENGTH 2 LIMIT 3")
+        assert len(result.paths) == 3
+
+    def test_maxlength_enumerates_all_lengths(self, fig2_labeled):
+        result = run_pathql(fig2_labeled,
+                            "PATHS MATCHING (rides + rides^-)* MAXLENGTH 2")
+        lengths = {p.length for p in result.paths}
+        assert lengths == {0, 1, 2}
+
+    def test_count_mode(self, small_random_graph):
+        result = run_pathql(small_random_graph,
+                            "PATHS MATCHING (r + s)* LENGTH 3 COUNT")
+        regex = parse_regex("(r + s)*")
+        assert result.count == count_paths_exact(small_random_graph, regex, 3)
+        assert result.paths == []
+
+    def test_count_approx_mode(self, small_random_graph):
+        result = run_pathql(small_random_graph,
+                            "PATHS MATCHING (r + s)* LENGTH 3 "
+                            "COUNT APPROX 0.15 SEED 3")
+        exact = count_paths_exact(small_random_graph, parse_regex("(r + s)*"), 3)
+        assert result.mode == "count-approx"
+        assert abs(result.count - exact) <= 0.15 * exact
+
+    def test_sample_mode(self, small_random_graph):
+        result = run_pathql(small_random_graph,
+                            "PATHS MATCHING (r + s)/(r + s) LENGTH 2 "
+                            "SAMPLE 10 SEED 1")
+        support = set(enumerate_paths(small_random_graph,
+                                      parse_regex("(r + s)/(r + s)"), 2))
+        assert len(result.paths) == 10
+        assert all(p in support for p in result.paths)
+        assert result.count == len(support)
+
+    def test_shortest_mode(self, fig2_labeled):
+        result = run_pathql(fig2_labeled,
+                            "PATHS MATCHING (contact + contact^-)* "
+                            "FROM n4 TO n2 SHORTEST LIMIT 10")
+        assert all(p.length == 2 for p in result.paths)
+        assert all(p.start == "n4" and p.end == "n2" for p in result.paths)
+
+    def test_shortest_unreachable(self, fig2_labeled):
+        result = run_pathql(fig2_labeled,
+                            "PATHS MATCHING contact FROM n7 TO n2 SHORTEST COUNT")
+        assert result.count == 0
+
+    def test_shortest_needs_endpoints(self, fig2_labeled):
+        with pytest.raises(QueryEvaluationError):
+            run_pathql(fig2_labeled, "PATHS MATCHING contact SHORTEST COUNT")
+
+    def test_endpoint_restrictions(self, fig2_labeled):
+        result = run_pathql(fig2_labeled,
+                            "PATHS MATCHING ?person/rides/?bus/rides^-/?infected "
+                            "FROM n7 LENGTH 2")
+        assert [p.start for p in result.paths] == ["n7"]
+
+    def test_property_test_on_property_graph(self, fig2_property):
+        result = run_pathql(fig2_property,
+                            'PATHS MATCHING ?person/(contact & date="3/4/21") '
+                            "LENGTH 1 COUNT")
+        assert result.count == 1
+
+    def test_sample_reproducible(self, small_random_graph):
+        text = ("PATHS MATCHING (r + s)/(r + s) LENGTH 2 SAMPLE 5 SEED 9")
+        first = run_pathql(small_random_graph, text)
+        second = run_pathql(small_random_graph, text)
+        assert first.paths == second.paths

@@ -1,0 +1,191 @@
+"""Mini-SPARQL engine tests over the Figure 2 data as RDF."""
+
+import pytest
+
+from repro.errors import QuerySyntaxError
+from repro.models.convert import labeled_to_rdf
+from repro.query import run_sparql
+from repro.storage import TripleStore
+
+
+@pytest.fixture
+def store(fig2_labeled) -> TripleStore:
+    return TripleStore.from_graph(labeled_to_rdf(fig2_labeled))
+
+
+class TestBasicGraphPatterns:
+    def test_single_pattern(self, store):
+        result = run_sparql(store, "SELECT ?x WHERE { ?x <rdf:type> <bus> . }")
+        assert result.rows == [("n3",)]
+
+    def test_join_two_patterns(self, store):
+        result = run_sparql(store, """
+            SELECT ?x ?b WHERE { ?x <rides> ?b . ?b <rdf:type> <bus> . }""")
+        assert set(result.rows) == {("n1", "n3"), ("n2", "n3"), ("n7", "n3")}
+
+    def test_paper_shared_bus_query(self, store):
+        result = run_sparql(store, """
+            SELECT DISTINCT ?x WHERE {
+              ?x <rdf:type> <person> .
+              ?x <rides> ?b .
+              ?b <rdf:type> <bus> .
+              ?z <rides> ?b .
+              ?z <rdf:type> <infected> .
+            }""")
+        assert set(result.rows) == {("n1",), ("n7",)}
+
+    def test_select_star(self, store):
+        result = run_sparql(store, "SELECT * WHERE { ?s <owns> ?o . }")
+        assert result.variables == ("s", "o")
+        assert result.rows == [("n6", "n3")]
+
+    def test_bound_constants(self, store):
+        result = run_sparql(store, 'SELECT ?p WHERE { <n1> ?p <n2> . }')
+        assert result.rows == [("contact",)]
+
+
+class TestFilters:
+    def test_inequality(self, store):
+        result = run_sparql(store, """
+            SELECT ?x ?y WHERE {
+              ?x <rides> ?b . ?y <rides> ?b . FILTER(?x != ?y)
+            }""")
+        assert all(x != y for x, y in result.rows)
+        assert len(result.rows) == 6
+
+    def test_conjunction_and_disjunction(self, store):
+        result = run_sparql(store, """
+            SELECT ?x WHERE {
+              ?x <rdf:type> ?t .
+              FILTER(?t = "person" || ?t = <infected>)
+            }""")
+        assert set(result.rows) == {("n1",), ("n4",), ("n7",), ("n2",)}
+
+    def test_numeric_comparison(self):
+        store = TripleStore([("a", "age", "9"), ("b", "age", "10")])
+        result = run_sparql(store, """
+            SELECT ?x WHERE { ?x <age> ?a . FILTER(?a < 10) }""")
+        assert result.rows == [("a",)]  # numeric, not lexicographic
+
+
+class TestPropertyPaths:
+    def test_sequence(self, store):
+        result = run_sparql(store,
+                            'SELECT ?y WHERE { <n1> <rides>/<rdf:type> ?y . }')
+        assert result.rows == [("bus",)]
+
+    def test_alternative(self, store):
+        result = run_sparql(store,
+                            'SELECT ?y WHERE { <n1> <contact>|<lives> ?y . }')
+        assert set(result.rows) == {("n2",), ("n5",)}
+
+    def test_inverse(self, store):
+        result = run_sparql(store, 'SELECT ?x WHERE { <n3> ^<rides> ?x . }')
+        assert set(result.rows) == {("n1",), ("n2",), ("n7",)}
+
+    def test_star_closure(self, store):
+        result = run_sparql(store,
+                            'SELECT ?y WHERE { <n4> (<contact>|<lives>)* ?y . }')
+        assert set(result.rows) == {("n4",), ("n1",), ("n2",), ("n5",)}
+
+    def test_plus_excludes_reflexive(self, store):
+        result = run_sparql(store, 'SELECT ?y WHERE { <n4> <contact>+ ?y . }')
+        assert set(result.rows) == {("n1",), ("n2",)}
+
+    def test_star_set_semantics(self):
+        # Two routes to the same node yield ONE pair: SPARQL 1.1 existential
+        # semantics (the design decision that avoids counting explosions).
+        store = TripleStore([("a", "p", "b"), ("a", "p", "c"),
+                             ("b", "p", "d"), ("c", "p", "d")])
+        result = run_sparql(store, 'SELECT ?y WHERE { <a> <p>* ?y . }')
+        assert sorted(result.rows) == [("a",), ("b",), ("c",), ("d",)]
+
+
+class TestSolutionModifiers:
+    def test_order_and_limit(self, store):
+        result = run_sparql(store, """
+            SELECT ?x WHERE { ?x <rides> ?b . } ORDER BY DESC ?x LIMIT 2""")
+        assert result.rows == [("n7",), ("n2",)]
+
+    def test_offset(self, store):
+        result = run_sparql(store, """
+            SELECT ?x WHERE { ?x <rides> ?b . } ORDER BY ?x LIMIT 1 OFFSET 1""")
+        assert result.rows == [("n2",)]
+
+    def test_distinct(self, store):
+        base = run_sparql(store, "SELECT ?b WHERE { ?x <rides> ?b . }")
+        deduped = run_sparql(store, "SELECT DISTINCT ?b WHERE { ?x <rides> ?b . }")
+        assert len(base.rows) == 3
+        assert deduped.rows == [("n3",)]
+
+
+class TestOptional:
+    def test_left_join_semantics(self, store):
+        result = run_sparql(store, """
+            SELECT ?x ?c WHERE {
+              ?x <rdf:type> <person> .
+              OPTIONAL { ?x <contact> ?c . }
+            } ORDER BY ?x""")
+        assert result.rows == [("n1", "n2"), ("n4", "n1"), ("n7", None)]
+
+    def test_bindings_omit_unbound(self, store):
+        result = run_sparql(store, """
+            SELECT ?x ?c WHERE {
+              ?x <rdf:type> <person> . OPTIONAL { ?x <contact> ?c . }
+            }""")
+        unbound = [b for b in result.bindings() if "c" not in b]
+        assert unbound == [{"x": "n7"}]
+
+
+class TestSyntaxErrors:
+    @pytest.mark.parametrize("bad", [
+        "SELECT WHERE { ?x <p> ?y . }",
+        "SELECT ?x { ?x <p> ?y . }",
+        "SELECT ?x WHERE { ?x <p> }",
+        "SELECT ?x WHERE { ?x <p> ?y . } LIMIT x",
+        "SELECT ?x WHERE { ?x <p> ?y . } trailing",
+        "SELECT ?x WHERE { FILTER() }",
+    ])
+    def test_rejected(self, store, bad):
+        with pytest.raises(QuerySyntaxError):
+            run_sparql(store, bad)
+
+
+class TestUnion:
+    def test_union_of_types(self, store):
+        result = run_sparql(store, """
+            SELECT DISTINCT ?x WHERE {
+              { ?x <rdf:type> <bus> . } UNION { ?x <rdf:type> <company> . }
+            }""")
+        assert set(result.rows) == {("n3",), ("n6",)}
+
+    def test_union_branches_keep_their_filters(self, store):
+        result = run_sparql(store, """
+            SELECT ?x ?y WHERE {
+              { ?x <contact> ?y . } UNION { ?x <lives> ?y . FILTER(?x != <n1>) }
+            } ORDER BY ?x""")
+        assert result.rows == [("n1", "n2"), ("n4", "n1"), ("n4", "n5")]
+
+    def test_three_way_union(self, store):
+        result = run_sparql(store, """
+            SELECT DISTINCT ?x WHERE {
+              { ?x <rdf:type> <bus> . } UNION { ?x <rdf:type> <company> . }
+              UNION { ?x <rdf:type> <address> . }
+            }""")
+        assert len(result.rows) == 3
+
+    def test_union_with_optional_in_branch(self, store):
+        result = run_sparql(store, """
+            SELECT ?x ?c WHERE {
+              { ?x <rdf:type> <person> . OPTIONAL { ?x <contact> ?c . } }
+              UNION { ?x <rdf:type> <infected> . }
+            } ORDER BY ?x""")
+        assert ("n2", None) in result.rows
+        assert ("n1", "n2") in result.rows
+
+    def test_select_star_collects_all_branch_variables(self, store):
+        result = run_sparql(store, """
+            SELECT * WHERE {
+              { ?a <owns> ?b . } UNION { ?c <rdf:type> <bus> . }
+            }""")
+        assert set(result.variables) == {"a", "b", "c"}

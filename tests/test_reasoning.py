@@ -1,0 +1,153 @@
+"""Rule engine and RDFS entailment tests (Section 2.3 deduction)."""
+
+import pytest
+
+from repro.errors import LogicError
+from repro.models.rdf import RDF_TYPE
+from repro.reasoning import (
+    RDFS_DOMAIN,
+    RDFS_RANGE,
+    RDFS_SUBCLASS,
+    RDFS_SUBPROPERTY,
+    Rule,
+    RuleAtom,
+    RuleEngine,
+    Var,
+    rdfs_closure,
+)
+from repro.storage import TripleStore
+
+
+class TestRuleBasics:
+    def test_safety_check(self):
+        with pytest.raises(LogicError):
+            Rule(RuleAtom(Var("x"), "p", Var("unbound")),
+                 [RuleAtom(Var("x"), "q", "c")])
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(LogicError):
+            Rule(RuleAtom("a", "p", "b"), [])
+
+    def test_atom_matching(self):
+        atom = RuleAtom(Var("x"), "knows", Var("y"))
+        from repro.models.rdf import Triple
+
+        binding = atom.match(Triple("a", "knows", "b"), {})
+        assert binding == {"x": "a", "y": "b"}
+        assert atom.match(Triple("a", "likes", "b"), {}) is None
+        assert atom.match(Triple("a", "knows", "b"), {"x": "z"}) is None
+
+    def test_repeated_variable_in_atom(self):
+        atom = RuleAtom(Var("x"), "knows", Var("x"))
+        from repro.models.rdf import Triple
+
+        assert atom.match(Triple("a", "knows", "a"), {}) == {"x": "a"}
+        assert atom.match(Triple("a", "knows", "b"), {}) is None
+
+
+class TestForwardChaining:
+    def test_transitive_closure(self):
+        store = TripleStore([("a", "next", "b"), ("b", "next", "c"),
+                             ("c", "next", "d")])
+        rule = Rule(RuleAtom(Var("x"), "reach", Var("z")),
+                    [RuleAtom(Var("x"), "next", Var("y")),
+                     RuleAtom(Var("y"), "reach", Var("z"))])
+        seed = Rule(RuleAtom(Var("x"), "reach", Var("y")),
+                    [RuleAtom(Var("x"), "next", Var("y"))])
+        engine = RuleEngine([seed, rule])
+        new = engine.materialize(store)
+        assert ("a", "reach", "d") in store
+        assert ("b", "reach", "d") in store
+        assert new == 6  # 3 seeded + a->c, b->d, a->d
+
+    def test_fixpoint_terminates_on_cycle(self):
+        store = TripleStore([("a", "next", "b"), ("b", "next", "a")])
+        rules = [Rule(RuleAtom(Var("x"), "reach", Var("y")),
+                      [RuleAtom(Var("x"), "next", Var("y"))]),
+                 Rule(RuleAtom(Var("x"), "reach", Var("z")),
+                      [RuleAtom(Var("x"), "reach", Var("y")),
+                       RuleAtom(Var("y"), "reach", Var("z"))])]
+        RuleEngine(rules).materialize(store)
+        assert ("a", "reach", "a") in store
+        assert ("b", "reach", "b") in store
+
+    def test_max_rounds_bound(self):
+        store = TripleStore([(f"n{i}", "next", f"n{i + 1}") for i in range(10)])
+        rules = [Rule(RuleAtom(Var("x"), "reach", Var("y")),
+                      [RuleAtom(Var("x"), "next", Var("y"))]),
+                 Rule(RuleAtom(Var("x"), "reach", Var("z")),
+                      [RuleAtom(Var("x"), "reach", Var("y")),
+                       RuleAtom(Var("y"), "next", Var("z"))])]
+        RuleEngine(rules).materialize(store, max_rounds=2)
+        assert ("n0", "reach", "n1") in store
+        assert ("n0", "reach", "n9") not in store
+
+    def test_constants_in_rules(self):
+        store = TripleStore([("n1", RDF_TYPE, "person"),
+                             ("n1", "age", "90")])
+        rule = Rule(RuleAtom(Var("x"), RDF_TYPE, "senior"),
+                    [RuleAtom(Var("x"), RDF_TYPE, "person"),
+                     RuleAtom(Var("x"), "age", "90")])
+        RuleEngine([rule]).materialize(store)
+        assert ("n1", RDF_TYPE, "senior") in store
+
+    def test_idempotent(self):
+        store = TripleStore([("a", "next", "b")])
+        rule = Rule(RuleAtom(Var("x"), "reach", Var("y")),
+                    [RuleAtom(Var("x"), "next", Var("y"))])
+        engine = RuleEngine([rule])
+        assert engine.materialize(store) == 1
+        assert engine.materialize(store) == 0
+
+
+class TestRdfs:
+    def build_ontology_store(self) -> TripleStore:
+        return TripleStore([
+            ("bus", RDFS_SUBCLASS, "vehicle"),
+            ("vehicle", RDFS_SUBCLASS, "thing"),
+            ("rides", RDFS_SUBPROPERTY, "uses"),
+            ("uses", RDFS_SUBPROPERTY, "relatedTo"),
+            ("rides", RDFS_DOMAIN, "person"),
+            ("rides", RDFS_RANGE, "vehicle"),
+            ("n3", RDF_TYPE, "bus"),
+            ("n1", "rides", "n3"),
+        ])
+
+    def test_subclass_transitivity_and_inheritance(self):
+        store = self.build_ontology_store()
+        rdfs_closure(store)
+        assert ("bus", RDFS_SUBCLASS, "thing") in store
+        assert ("n3", RDF_TYPE, "vehicle") in store
+        assert ("n3", RDF_TYPE, "thing") in store
+
+    def test_subproperty_inheritance(self):
+        store = self.build_ontology_store()
+        rdfs_closure(store)
+        assert ("n1", "uses", "n3") in store
+        assert ("n1", "relatedTo", "n3") in store
+
+    def test_domain_and_range(self):
+        store = self.build_ontology_store()
+        rdfs_closure(store)
+        assert ("n1", RDF_TYPE, "person") in store
+        assert ("n3", RDF_TYPE, "vehicle") in store
+
+    def test_closure_count_and_idempotence(self):
+        store = self.build_ontology_store()
+        first = rdfs_closure(store)
+        assert first > 0
+        assert rdfs_closure(store) == 0
+
+    def test_inference_feeds_queries(self):
+        """Deduction produces knowledge that declarative queries then see —
+        the Section 2.3 loop end to end."""
+        from repro.query import run_sparql
+
+        store = self.build_ontology_store()
+        before = run_sparql(store,
+                            "SELECT ?x WHERE { ?x <rdf:type> <vehicle> . }")
+        assert before.rows == []
+        rdfs_closure(store)
+        after = run_sparql(store,
+                           "SELECT ?x WHERE { ?x <rdf:type> <vehicle> . }")
+        assert after.rows == [("n3",)]

@@ -1,0 +1,95 @@
+"""Relational engine tests: the Section 2.2 joins-vs-adjacency equivalence."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational import (
+    Table,
+    graph_to_relations,
+    khop_pairs_by_joins,
+    khop_pairs_by_traversal,
+    label_filtered_khop_by_joins,
+)
+from repro.storage import PropertyGraphStore
+from repro.models.convert import labeled_to_property
+from repro.datasets import random_labeled_graph
+
+
+class TestTable:
+    def test_schema_validation(self):
+        with pytest.raises(SchemaError):
+            Table("t", ("a", "a"))
+        with pytest.raises(SchemaError):
+            Table("t", ("a", "b"), [(1,)])
+
+    def test_select_project_rename(self):
+        table = Table("t", ("a", "b"), [(1, "x"), (2, "y"), (1, "z")])
+        assert len(table.select_eq("a", 1)) == 2
+        assert table.project(("b",)).rows == [("x",), ("y",), ("z",)]
+        assert table.rename({"a": "c"}).columns == ("c", "b")
+        assert len(table.select(lambda row: row["b"] != "x")) == 2
+
+    def test_distinct_keeps_order(self):
+        table = Table("t", ("a",), [(1,), (2,), (1,)])
+        assert table.distinct().rows == [(1,), (2,)]
+
+    def test_hash_join(self):
+        left = Table("l", ("a", "b"), [(1, "x"), (2, "y")])
+        right = Table("r", ("b", "c"), [("x", 10), ("x", 11), ("z", 12)])
+        joined = left.join(right)
+        assert joined.columns == ("a", "b", "c")
+        assert sorted(joined.rows) == [(1, "x", 10), (1, "x", 11)]
+
+    def test_join_without_shared_columns_is_cross(self):
+        left = Table("l", ("a",), [(1,), (2,)])
+        right = Table("r", ("b",), [("x",)])
+        assert len(left.join(right)) == 2
+
+    def test_union_schema_check(self):
+        left = Table("l", ("a",), [(1,)])
+        right = Table("r", ("b",), [(2,)])
+        with pytest.raises(SchemaError):
+            left.union(right)
+        assert len(left.union(Table("r2", ("a",), [(2,)]))) == 2
+
+    def test_bag_semantics(self):
+        table = Table("t", ("a",), [(1,), (1,)])
+        assert len(table) == 2  # duplicates kept until distinct()
+
+
+class TestGraphEncoding:
+    def test_graph_to_relations(self, fig2_labeled):
+        node_table, edge_table = graph_to_relations(fig2_labeled)
+        assert len(node_table) == fig2_labeled.node_count()
+        assert len(edge_table) == fig2_labeled.edge_count()
+        assert ("n1", "n3", "rides") in edge_table.rows
+
+
+class TestPathQueries:
+    @pytest.mark.parametrize("k", [1, 2, 3, 4])
+    def test_joins_equal_traversal(self, k):
+        graph = random_labeled_graph(9, 20, rng=k)
+        _, edge_table = graph_to_relations(graph)
+        store = PropertyGraphStore(labeled_to_property(graph))
+        assert (khop_pairs_by_joins(edge_table, k)
+                == khop_pairs_by_traversal(store, k))
+
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_label_restricted_paths(self, k):
+        graph = random_labeled_graph(8, 18, rng=10 + k)
+        _, edge_table = graph_to_relations(graph)
+        store = PropertyGraphStore(labeled_to_property(graph))
+        assert (khop_pairs_by_joins(edge_table, k, edge_label="r")
+                == khop_pairs_by_traversal(store, k, edge_label="r"))
+
+    def test_label_filtered_endpoints(self, fig2_labeled):
+        node_table, edge_table = graph_to_relations(fig2_labeled)
+        pairs = label_filtered_khop_by_joins(node_table, edge_table, 1,
+                                             "person", "infected",
+                                             edge_label="contact")
+        assert pairs == {("n1", "n2")}
+
+    def test_k_validation(self, fig2_labeled):
+        _, edge_table = graph_to_relations(fig2_labeled)
+        with pytest.raises(ValueError):
+            khop_pairs_by_joins(edge_table, 0)

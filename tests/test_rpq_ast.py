@@ -1,0 +1,112 @@
+"""Unit tests for regex/test AST nodes and their evaluation on models."""
+
+import pytest
+
+from repro.core.rpq import (
+    AndTest,
+    Concat,
+    EdgeAtom,
+    FalseTest,
+    FeatureTest,
+    LabelTest,
+    NodeTest,
+    NotTest,
+    OrTest,
+    PropertyTest,
+    Star,
+    TrueTest,
+    Union,
+    concat,
+    optional,
+    plus,
+    star,
+    union,
+)
+from repro.errors import ModelCapabilityError
+
+
+class TestTestEvaluation:
+    def test_label_test_on_labeled_graph(self, fig2_labeled):
+        test = LabelTest("person")
+        assert test.matches_node(fig2_labeled, "n1")
+        assert not test.matches_node(fig2_labeled, "n3")
+        assert LabelTest("rides").matches_edge(fig2_labeled, "e1")
+
+    def test_property_test_on_property_graph(self, fig2_property):
+        assert PropertyTest("name", "Julia").matches_node(fig2_property, "n1")
+        assert not PropertyTest("name", "Julia").matches_node(fig2_property, "n2")
+        assert PropertyTest("date", "3/4/21").matches_edge(fig2_property, "e3")
+
+    def test_property_test_false_when_sigma_undefined(self, fig2_property):
+        assert not PropertyTest("zip", "1").matches_node(fig2_property, "n1")
+
+    def test_feature_test_on_vector_graph(self, fig2_vector):
+        assert FeatureTest(1, "person").matches_node(fig2_vector, "n1")
+        assert FeatureTest(5, "3/4/21").matches_edge(fig2_vector, "e3")
+
+    def test_capability_errors(self, fig2_labeled, fig2_vector):
+        with pytest.raises(ModelCapabilityError):
+            PropertyTest("name", "Julia").matches_node(fig2_labeled, "n1")
+        with pytest.raises(ModelCapabilityError):
+            FeatureTest(1, "person").matches_node(fig2_labeled, "n1")
+        with pytest.raises(ModelCapabilityError):
+            LabelTest("person").matches_node(fig2_vector, "n1")
+
+    def test_boolean_connectives(self, fig2_labeled):
+        rides_or_lives = OrTest(LabelTest("rides"), LabelTest("lives"))
+        assert rides_or_lives.matches_edge(fig2_labeled, "e1")
+        assert rides_or_lives.matches_edge(fig2_labeled, "e4")
+        assert not rides_or_lives.matches_edge(fig2_labeled, "e3")
+        not_owner = AndTest(NotTest(LabelTest("owns")), TrueTest())
+        assert not_owner.matches_edge(fig2_labeled, "e1")
+        assert not not_owner.matches_edge(fig2_labeled, "e6")
+        assert not FalseTest().matches_node(fig2_labeled, "n1")
+
+    def test_operator_sugar(self):
+        combined = LabelTest("a") & ~LabelTest("b") | TrueTest()
+        assert isinstance(combined, OrTest)
+        assert isinstance(combined.left, AndTest)
+        assert isinstance(combined.left.right, NotTest)
+
+
+class TestRegexConstruction:
+    def test_operator_sugar(self):
+        r = NodeTest(LabelTest("person")) / EdgeAtom(LabelTest("contact")) \
+            + NodeTest(LabelTest("bus"))
+        assert isinstance(r, Union)
+        assert isinstance(r.left, Concat)
+
+    def test_nary_helpers(self):
+        a, b, c = (EdgeAtom(LabelTest(x)) for x in "abc")
+        assert concat(a, b, c) == Concat(Concat(a, b), c)
+        assert union(a, b, c) == Union(Union(a, b), c)
+        assert star(a) == Star(a)
+        with pytest.raises(ValueError):
+            concat()
+        with pytest.raises(ValueError):
+            union()
+
+    def test_plus_and_optional_sugar(self):
+        a = EdgeAtom(LabelTest("a"))
+        assert plus(a) == Concat(a, Star(a))
+        opt = optional(a)
+        assert isinstance(opt, Union)
+        assert opt.left == NodeTest(TrueTest())
+
+
+class TestTextRendering:
+    def test_to_text_simple(self):
+        r = Concat(NodeTest(LabelTest("person")), EdgeAtom(LabelTest("contact")))
+        assert r.to_text() == "?person/contact"
+
+    def test_to_text_inverse_and_star(self):
+        r = Star(EdgeAtom(LabelTest("rides"), inverse=True))
+        assert r.to_text() == "(rides^-)*"
+
+    def test_to_text_quotes_reserved(self):
+        r = EdgeAtom(PropertyTest("date", "3/4/21"))
+        assert r.to_text() == '(date="3/4/21")'
+
+    def test_to_text_quotes_feature_like_labels(self):
+        assert LabelTest("f1").to_text() == '"f1"'
+        assert LabelTest("true").to_text() == '"true"'

@@ -1,0 +1,66 @@
+"""High-level evaluation helpers: pairs, node extraction, shortest lengths."""
+
+from repro.core.rpq import endpoint_pairs, nodes_matching, parse_regex, paths_matching
+from repro.core.rpq.evaluate import shortest_conforming_length
+
+
+class TestEndpointPairs:
+    def test_bus_sharing_pairs(self, fig2_labeled):
+        regex = parse_regex("?person/rides/?bus/rides^-/?infected")
+        assert endpoint_pairs(fig2_labeled, regex) == {("n1", "n2"), ("n7", "n2")}
+
+    def test_star_pairs_without_length_bound(self, fig2_labeled):
+        regex = parse_regex("(contact + lives)*")
+        pairs = endpoint_pairs(fig2_labeled, regex)
+        assert ("n4", "n2") in pairs  # n4 -contact-> n1 -contact-> n2
+        assert all(a in fig2_labeled for a, _ in pairs)
+
+    def test_restrictions(self, fig2_labeled):
+        regex = parse_regex("?person/rides/?bus")
+        assert endpoint_pairs(fig2_labeled, regex, start_nodes=["n1"]) == {("n1", "n3")}
+        assert endpoint_pairs(fig2_labeled, regex, end_nodes=["n3"]) == \
+            {("n1", "n3"), ("n7", "n3")}
+
+
+class TestNodeExtraction:
+    def test_possibly_infected_riders(self, fig2_labeled):
+        regex = parse_regex("?person/rides/?bus/rides^-/?infected")
+        assert nodes_matching(fig2_labeled, regex) == {"n1", "n7"}
+
+    def test_agrees_with_fo_translation(self, fig2_labeled):
+        from repro.core.logic import answers_unary, regex_to_fo2
+
+        regex = parse_regex("?person/rides/?bus/rides^-/?infected")
+        assert nodes_matching(fig2_labeled, regex) == \
+            answers_unary(fig2_labeled, regex_to_fo2(regex), "x")
+
+
+class TestPathsMatching:
+    def test_orders_by_length_and_is_complete(self, fig2_labeled):
+        regex = parse_regex("(rides + rides^-)*")
+        produced = list(paths_matching(fig2_labeled, regex, 2))
+        lengths = [p.length for p in produced]
+        assert lengths == sorted(lengths)
+        assert any(p.length == 2 for p in produced)
+
+
+class TestShortestConformingLength:
+    def test_direct_contact(self, fig2_labeled):
+        regex = parse_regex("?person/contact/?infected")
+        assert shortest_conforming_length(fig2_labeled, regex, "n1", "n2") == 1
+
+    def test_bus_route(self, fig2_labeled):
+        regex = parse_regex("?person/rides/?bus/rides^-/?infected")
+        assert shortest_conforming_length(fig2_labeled, regex, "n7", "n2") == 2
+
+    def test_unreachable_is_none(self, fig2_labeled):
+        regex = parse_regex("?person/contact/?infected")
+        assert shortest_conforming_length(fig2_labeled, regex, "n7", "n2") is None
+
+    def test_length_zero(self, fig2_labeled):
+        regex = parse_regex("?person")
+        assert shortest_conforming_length(fig2_labeled, regex, "n1", "n1") == 0
+
+    def test_star_prefers_shortest(self, fig2_labeled):
+        regex = parse_regex("(contact + contact^-)*")
+        assert shortest_conforming_length(fig2_labeled, regex, "n4", "n2") == 2

@@ -1,0 +1,80 @@
+"""FPRAS tests: the approximate counter stays near the exact count, and the
+approximate generator produces valid, well-spread paths."""
+
+import pytest
+
+from repro.core.rpq import (
+    ApproxPathCounter,
+    count_paths_exact,
+    enumerate_paths,
+    parse_regex,
+)
+from repro.datasets import random_labeled_graph
+from repro.errors import EstimationError
+from repro.util.stats import relative_error
+
+
+class TestEstimates:
+    @pytest.mark.parametrize("k", [2, 4, 6])
+    def test_relative_error_on_ambiguous_instance(self, k):
+        graph = random_labeled_graph(10, 30, rng=42)
+        regex = parse_regex("(r + s)*/r/(r + s)*")
+        exact = count_paths_exact(graph, regex, k)
+        assert exact > 0
+        counter = ApproxPathCounter(graph, regex, k, epsilon=0.1, rng=7)
+        assert relative_error(counter.estimate(), exact) < 0.1
+
+    def test_zero_count_detected(self, fig2_labeled):
+        counter = ApproxPathCounter(fig2_labeled, parse_regex("?bus/owns"), 1,
+                                    rng=0)
+        assert counter.estimate() == 0.0
+        with pytest.raises(EstimationError):
+            counter.sample()
+
+    def test_single_path_instance(self, fig2_labeled):
+        regex = parse_regex("?person/contact/?infected")
+        counter = ApproxPathCounter(fig2_labeled, regex, 1, rng=0)
+        assert relative_error(counter.estimate(), 1) < 0.01
+
+    def test_endpoint_restrictions(self, fig2_labeled):
+        regex = parse_regex("?person/rides/?bus/rides^-/?infected")
+        counter = ApproxPathCounter(fig2_labeled, regex, 2, rng=1,
+                                    start_nodes=["n1"], end_nodes=["n2"])
+        assert relative_error(counter.estimate(), 1) < 0.01
+
+    def test_invalid_parameters(self, fig2_labeled):
+        regex = parse_regex("contact")
+        with pytest.raises(ValueError):
+            ApproxPathCounter(fig2_labeled, regex, -1)
+        with pytest.raises(ValueError):
+            ApproxPathCounter(fig2_labeled, regex, 1, epsilon=0.0)
+        with pytest.raises(ValueError):
+            ApproxPathCounter(fig2_labeled, regex, 1, epsilon=1.5)
+
+
+class TestGeneration:
+    def test_samples_are_valid_conforming_paths(self):
+        graph = random_labeled_graph(8, 24, rng=5)
+        regex = parse_regex("(r + s)*/s")
+        k = 3
+        support = set(enumerate_paths(graph, regex, k))
+        counter = ApproxPathCounter(graph, regex, k, rng=11)
+        for path in counter.sample_many(200):
+            assert path in support
+
+    def test_samples_cover_support_reasonably(self):
+        graph = random_labeled_graph(7, 18, rng=9)
+        regex = parse_regex("(r + s)/(r + s)")
+        support = set(enumerate_paths(graph, regex, 2))
+        assert len(support) > 5
+        counter = ApproxPathCounter(graph, regex, 2, rng=13, pool_size=256)
+        seen = set(counter.sample_many(80 * len(support)))
+        # Near-uniform generation must reach the large majority of support.
+        assert len(seen) >= 0.9 * len(support)
+
+    def test_reproducible_given_seed(self):
+        graph = random_labeled_graph(6, 14, rng=1)
+        regex = parse_regex("(r + s)/r")
+        first = ApproxPathCounter(graph, regex, 2, rng=21).estimate()
+        second = ApproxPathCounter(graph, regex, 2, rng=21).estimate()
+        assert first == second

@@ -1,0 +1,89 @@
+"""Gen tests: the sampler is exactly uniform over [[r]] at length k."""
+
+from collections import Counter
+
+import pytest
+
+from repro.core.rpq import (
+    UniformPathSampler,
+    count_paths_exact,
+    enumerate_paths,
+    parse_regex,
+)
+from repro.datasets import random_labeled_graph
+from repro.errors import EstimationError
+from repro.util.stats import chi_square_uniform
+from repro.util.stats import chi_square_critical
+
+
+class TestSupport:
+    def test_count_matches_exact(self, small_random_graph):
+        regex = parse_regex("(r + s)*/r")
+        for k in (1, 2, 3):
+            sampler = UniformPathSampler(small_random_graph, regex, k)
+            assert sampler.count == count_paths_exact(small_random_graph, regex, k)
+
+    def test_samples_are_conforming_paths(self, small_random_graph):
+        regex = parse_regex("(r + s)/(r + s)")
+        sampler = UniformPathSampler(small_random_graph, regex, 2)
+        support = set(enumerate_paths(small_random_graph, regex, 2))
+        for path in sampler.sample_many(100, rng=1):
+            assert path in support
+            assert path.length == 2
+
+    def test_empty_support_raises(self, fig2_labeled):
+        sampler = UniformPathSampler(fig2_labeled, parse_regex("?bus/owns"), 1)
+        assert sampler.count == 0
+        with pytest.raises(EstimationError):
+            sampler.sample(0)
+
+    def test_endpoint_restrictions(self, fig2_labeled):
+        regex = parse_regex("?person/rides/?bus/rides^-/?infected")
+        sampler = UniformPathSampler(fig2_labeled, regex, 2, start_nodes=["n1"])
+        assert sampler.count == 1
+        assert sampler.sample(0).start == "n1"
+
+    def test_negative_k_rejected(self, fig2_labeled):
+        with pytest.raises(ValueError):
+            UniformPathSampler(fig2_labeled, parse_regex("contact"), -1)
+
+    def test_reproducible_given_seed(self, small_random_graph):
+        regex = parse_regex("(r + s)/(r + s)")
+        sampler = UniformPathSampler(small_random_graph, regex, 2)
+        assert sampler.sample_many(10, rng=42) == sampler.sample_many(10, rng=42)
+
+
+class TestUniformity:
+    def test_chi_square_on_full_support(self):
+        graph = random_labeled_graph(8, 20, rng=11)
+        regex = parse_regex("(r + s)/(r + s)")
+        sampler = UniformPathSampler(graph, regex, 2)
+        support = sampler.count
+        assert support > 10
+        draws = 200 * support
+        samples = sampler.sample_many(draws, rng=99)
+        statistic = chi_square_uniform(samples, support)
+        # alpha = 0.001: the test seed is fixed, so this cannot flake unless
+        # the sampler is genuinely biased.
+        assert statistic < chi_square_critical(support - 1, alpha=0.001)
+
+    def test_every_path_is_reachable(self):
+        graph = random_labeled_graph(6, 14, rng=2)
+        regex = parse_regex("(r + s)*/s")
+        sampler = UniformPathSampler(graph, regex, 3)
+        support = set(enumerate_paths(graph, regex, 3))
+        seen = set(sampler.sample_many(60 * max(len(support), 1), rng=5))
+        assert seen == support
+
+    def test_ambiguity_does_not_bias(self):
+        # Highly ambiguous regex: runs per path vary wildly, but sampling is
+        # over paths, so frequencies must still be flat.
+        graph = random_labeled_graph(6, 16, rng=3)
+        regex = parse_regex("(r + s + r/s + s/r)*")
+        sampler = UniformPathSampler(graph, regex, 3)
+        support = sampler.count
+        if support < 5:
+            pytest.skip("degenerate random instance")
+        counts = Counter(sampler.sample_many(300 * support, rng=7))
+        frequencies = [c / (300 * support) for c in counts.values()]
+        assert max(frequencies) < 2.0 / support

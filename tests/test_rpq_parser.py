@@ -1,0 +1,172 @@
+"""Parser tests, including a hypothesis parse/unparse round trip."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.rpq import (
+    AndTest,
+    Concat,
+    EdgeAtom,
+    FeatureTest,
+    LabelTest,
+    NodeTest,
+    NotTest,
+    OrTest,
+    PropertyTest,
+    Star,
+    TrueTest,
+    Union,
+    parse_regex,
+    parse_test,
+)
+from repro.errors import RegexSyntaxError
+
+
+class TestPaperExamples:
+    def test_eq2(self):
+        r = parse_regex("?person/contact/?infected")
+        assert r == Concat(Concat(NodeTest(LabelTest("person")),
+                                  EdgeAtom(LabelTest("contact"))),
+                           NodeTest(LabelTest("infected")))
+
+    def test_eq3_property(self):
+        r = parse_regex('?person/(contact & date="3/4/21")/?infected')
+        middle = r.left.right
+        assert middle == EdgeAtom(AndTest(LabelTest("contact"),
+                                          PropertyTest("date", "3/4/21")))
+
+    def test_eq3_vector(self):
+        r = parse_regex('?(f1=person)/(f1=contact & f5="3/4/21")/?(f1=infected)')
+        assert r.left.left == NodeTest(FeatureTest(1, "person"))
+        assert r.right == NodeTest(FeatureTest(1, "infected"))
+
+    def test_r1_infection_pattern(self):
+        r = parse_regex(
+            "?infected/rides/?bus/rides^-/(?person/(lives + contact))*/?person")
+        assert isinstance(r, Concat)
+        star_part = r.left.right
+        assert isinstance(star_part, Star)
+        assert isinstance(star_part.inner, Concat)
+
+    def test_negated_inverse_worked_example(self):
+        r = parse_regex("(!l1 & !l2)^-")
+        assert r == EdgeAtom(AndTest(NotTest(LabelTest("l1")),
+                                     NotTest(LabelTest("l2"))), inverse=True)
+
+
+class TestOperators:
+    def test_precedence_union_loosest(self):
+        r = parse_regex("a/b + c")
+        assert isinstance(r, Union)
+        assert isinstance(r.left, Concat)
+
+    def test_star_binds_to_atom(self):
+        r = parse_regex("a/b*")
+        assert isinstance(r, Concat)
+        assert isinstance(r.right, Star)
+
+    def test_star_on_group(self):
+        r = parse_regex("(a/b)*")
+        assert isinstance(r, Star)
+        assert isinstance(r.inner, Concat)
+
+    def test_inverse_on_group_test(self):
+        r = parse_regex("(a | b)^-")
+        assert r == EdgeAtom(OrTest(LabelTest("a"), LabelTest("b")), inverse=True)
+
+    def test_inverse_on_path_rejected(self):
+        with pytest.raises(RegexSyntaxError):
+            parse_regex("(a/b)^-")
+
+    def test_test_connectives_bind_tighter_than_concat(self):
+        r = parse_regex("a & b/c")
+        assert isinstance(r, Concat)
+        assert r.left == EdgeAtom(AndTest(LabelTest("a"), LabelTest("b")))
+
+    def test_group_continues_test_operators(self):
+        r = parse_regex('(contact & date="x") | lives')
+        assert r == EdgeAtom(OrTest(AndTest(LabelTest("contact"),
+                                            PropertyTest("date", "x")),
+                                    LabelTest("lives")))
+
+    def test_true_false_keywords(self):
+        r = parse_regex("?true/false")
+        assert r.left == NodeTest(TrueTest())
+
+    def test_quoted_strings(self):
+        r = parse_test('"f1"')
+        assert r == LabelTest("f1")
+        assert parse_test('name="Julia \\"J\\""') == \
+            PropertyTest("name", 'Julia "J"')
+
+
+class TestErrors:
+    @pytest.mark.parametrize("bad", [
+        "", "?", "a +", "(a", "a)", "a ^ b", "a=", "!(a/b)", '"unterminated',
+        "a b", "* a", "?p=",
+    ])
+    def test_syntax_errors(self, bad):
+        with pytest.raises(RegexSyntaxError):
+            parse_regex(bad)
+
+    def test_standalone_test_rejects_path_ops(self):
+        with pytest.raises(RegexSyntaxError):
+            parse_test("a/b")
+
+
+# -- round trip ---------------------------------------------------------------
+
+_labels = st.sampled_from(["person", "bus", "rides", "contact", "lives"])
+
+
+@st.composite
+def _test_exprs(draw, depth=2):
+    if depth == 0:
+        choice = draw(st.integers(0, 2))
+        if choice == 0:
+            return LabelTest(draw(_labels))
+        if choice == 1:
+            return PropertyTest(draw(_labels), draw(_labels))
+        return FeatureTest(draw(st.integers(1, 5)), draw(_labels))
+    choice = draw(st.integers(0, 3))
+    if choice == 0:
+        return NotTest(draw(_test_exprs(depth=depth - 1)))
+    if choice == 1:
+        return AndTest(draw(_test_exprs(depth=depth - 1)),
+                       draw(_test_exprs(depth=depth - 1)))
+    if choice == 2:
+        return OrTest(draw(_test_exprs(depth=depth - 1)),
+                      draw(_test_exprs(depth=depth - 1)))
+    return draw(_test_exprs(depth=0))
+
+
+@st.composite
+def regex_strategy(draw, depth=3):
+    if depth == 0:
+        choice = draw(st.integers(0, 2))
+        if choice == 0:
+            return NodeTest(draw(_test_exprs(depth=1)))
+        return EdgeAtom(draw(_test_exprs(depth=1)),
+                        inverse=bool(choice - 1))
+    choice = draw(st.integers(0, 3))
+    if choice == 0:
+        return Union(draw(regex_strategy(depth=depth - 1)),
+                     draw(regex_strategy(depth=depth - 1)))
+    if choice == 1:
+        return Concat(draw(regex_strategy(depth=depth - 1)),
+                      draw(regex_strategy(depth=depth - 1)))
+    if choice == 2:
+        return Star(draw(regex_strategy(depth=depth - 1)))
+    return draw(regex_strategy(depth=0))
+
+
+class TestRoundTrip:
+    @settings(max_examples=200, deadline=None)
+    @given(regex_strategy())
+    def test_parse_unparse_identity(self, regex):
+        assert parse_regex(regex.to_text()) == regex
+
+    @settings(max_examples=100, deadline=None)
+    @given(_test_exprs())
+    def test_test_round_trip(self, test):
+        assert parse_test(test.to_text()) == test

@@ -1,0 +1,72 @@
+"""Unit tests for the Path type and the cat(p, p') operation."""
+
+import pytest
+
+from repro.core.rpq import Path, cat
+from repro.errors import GraphError
+
+
+class TestPathBasics:
+    def test_single_node_path(self):
+        p = Path.single("n1")
+        assert p.start == p.end == "n1"
+        assert p.length == 0
+
+    def test_start_end_length(self):
+        p = Path(("a", "b", "c"), ("e1", "e2"))
+        assert p.start == "a"
+        assert p.end == "c"
+        assert p.length == 2
+
+    def test_arity_validation(self):
+        with pytest.raises(GraphError):
+            Path(("a", "b"), ())
+        with pytest.raises(GraphError):
+            Path((), ())
+
+    def test_from_steps(self):
+        p = Path.from_steps("a", [("e1", "b"), ("e2", "c")])
+        assert p == Path(("a", "b", "c"), ("e1", "e2"))
+
+    def test_visits(self):
+        p = Path(("a", "b", "a"), ("e1", "e2"))
+        assert p.visits("a") and p.visits("b")
+        assert not p.visits("c")
+
+    def test_to_text(self):
+        assert Path(("a", "b"), ("e1",)).to_text() == "a -e1- b"
+
+
+class TestCat:
+    def test_cat_joins_on_shared_node(self):
+        left = Path(("a", "b"), ("e1",))
+        right = Path(("b", "c"), ("e2",))
+        assert cat(left, right) == Path(("a", "b", "c"), ("e1", "e2"))
+
+    def test_cat_with_empty_paths(self):
+        p = Path(("a", "b"), ("e1",))
+        assert cat(Path.single("a"), p) == p
+        assert cat(p, Path.single("b")) == p
+
+    def test_cat_mismatch_rejected(self):
+        with pytest.raises(GraphError):
+            cat(Path.single("a"), Path.single("b"))
+
+
+class TestConsistency:
+    def test_consistent_forward_and_backward(self, fig2_labeled):
+        forward = Path(("n1", "n3"), ("e1",))
+        backward = Path(("n3", "n1"), ("e1",))
+        assert forward.is_consistent_with(fig2_labeled)
+        assert backward.is_consistent_with(fig2_labeled)
+
+    def test_inconsistent_edge(self, fig2_labeled):
+        wrong = Path(("n1", "n4"), ("e1",))
+        assert not wrong.is_consistent_with(fig2_labeled)
+
+    def test_unknown_edge(self, fig2_labeled):
+        assert not Path(("n1", "n3"), ("zzz",)).is_consistent_with(fig2_labeled)
+
+    def test_paths_are_hashable_values(self):
+        assert Path(("a",)) == Path(("a",))
+        assert len({Path(("a",)), Path(("a",))}) == 1

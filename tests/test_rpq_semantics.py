@@ -1,0 +1,103 @@
+"""Reference-semantics tests: the paper's worked examples, literally."""
+
+import pytest
+
+from repro.core.rpq import Path, evaluate_bruteforce, parse_regex
+from repro.core.rpq.semantics import paths_of_length
+from repro.models import LabeledGraph
+
+
+class TestPaperExamples:
+    def test_eq2_single_answer(self, fig2_labeled):
+        r = parse_regex("?person/contact/?infected")
+        answers = paths_of_length(evaluate_bruteforce(fig2_labeled, r, 1), 1)
+        assert answers == {Path(("n1", "n2"), ("e3",))}
+
+    def test_negated_inverse_example(self):
+        # [[ (!l1 & !l2)^- ]] = backward traversals of edges labeled
+        # neither l1 nor l2 (the worked example below eq. (2)).
+        graph = LabeledGraph()
+        graph.add_edge("e1", "a", "b", "l1")
+        graph.add_edge("e2", "a", "b", "l2")
+        graph.add_edge("e3", "a", "b", "l3")
+        r = parse_regex("(!l1 & !l2)^-")
+        answers = evaluate_bruteforce(graph, r, 1)
+        assert answers == {Path(("b", "a"), ("e3",))}
+
+    def test_bus_sharing(self, fig2_labeled):
+        r = parse_regex("?person/rides/?bus/rides^-/?infected")
+        answers = paths_of_length(evaluate_bruteforce(fig2_labeled, r, 2), 2)
+        assert answers == {Path(("n1", "n3", "n2"), ("e1", "e2")),
+                           Path(("n7", "n3", "n2"), ("e8", "e2"))}
+
+    def test_eq3_property_graph(self, fig2_property):
+        r = parse_regex('?person/(contact & date="3/4/21")/?infected')
+        answers = paths_of_length(evaluate_bruteforce(fig2_property, r, 1), 1)
+        assert answers == {Path(("n1", "n2"), ("e3",))}
+        # The later contact (different date) does not qualify.
+        r_other = parse_regex('?person/(contact & date="3/5/21")/?infected')
+        assert paths_of_length(evaluate_bruteforce(fig2_property, r_other, 1), 1) == set()
+
+    def test_eq3_vector_graph(self, fig2_vector):
+        r = parse_regex('?(f1=person)/(f1=contact & f5="3/4/21")/?(f1=infected)')
+        answers = paths_of_length(evaluate_bruteforce(fig2_vector, r, 1), 1)
+        assert answers == {Path(("n1", "n2"), ("e3",))}
+
+
+class TestOperatorSemantics:
+    @pytest.fixture
+    def chain(self):
+        graph = LabeledGraph()
+        graph.add_node("a", "start")
+        graph.add_node("b", "mid")
+        graph.add_node("c", "end")
+        graph.add_edge("e1", "a", "b", "r")
+        graph.add_edge("e2", "b", "c", "r")
+        graph.add_edge("e3", "c", "a", "s")
+        return graph
+
+    def test_node_test_yields_length_zero_paths(self, chain):
+        answers = evaluate_bruteforce(chain, parse_regex("?mid"), 3)
+        assert answers == {Path.single("b")}
+
+    def test_edge_atom_forward(self, chain):
+        answers = evaluate_bruteforce(chain, parse_regex("r"), 1)
+        assert answers == {Path(("a", "b"), ("e1",)), Path(("b", "c"), ("e2",))}
+
+    def test_edge_atom_inverse(self, chain):
+        answers = evaluate_bruteforce(chain, parse_regex("s^-"), 1)
+        assert answers == {Path(("a", "c"), ("e3",))}
+
+    def test_union(self, chain):
+        answers = evaluate_bruteforce(chain, parse_regex("r + s"), 1)
+        assert len(answers) == 3
+
+    def test_concat_requires_shared_endpoint(self, chain):
+        answers = evaluate_bruteforce(chain, parse_regex("r/r"), 2)
+        assert paths_of_length(answers, 2) == {Path(("a", "b", "c"), ("e1", "e2"))}
+
+    def test_star_includes_zero_iterations(self, chain):
+        answers = evaluate_bruteforce(chain, parse_regex("r*"), 2)
+        zero_length = paths_of_length(answers, 0)
+        assert zero_length == {Path.single(n) for n in ("a", "b", "c")}
+
+    def test_star_cycles(self, chain):
+        # (r + s)* contains the full cycle a -> b -> c -> a and longer walks.
+        answers = evaluate_bruteforce(chain, parse_regex("(r + s)*"), 4)
+        cycle = Path(("a", "b", "c", "a"), ("e1", "e2", "e3"))
+        assert cycle in answers
+        assert any(p.length == 4 for p in answers)
+
+    def test_max_length_bounds_results(self, chain):
+        answers = evaluate_bruteforce(chain, parse_regex("(r + s)*"), 2)
+        assert all(p.length <= 2 for p in answers)
+
+    def test_negative_max_length_rejected(self, chain):
+        with pytest.raises(ValueError):
+            evaluate_bruteforce(chain, parse_regex("r"), -1)
+
+    def test_self_loop_paths(self):
+        graph = LabeledGraph()
+        graph.add_edge("loop", "a", "a", "r")
+        answers = evaluate_bruteforce(graph, parse_regex("r/r"), 2)
+        assert Path(("a", "a", "a"), ("loop", "loop")) in answers

@@ -1,0 +1,55 @@
+"""Property-graph store tests: label/property indexes and expansion."""
+
+from repro.storage import PropertyGraphStore
+
+
+class TestIndexes:
+    def test_nodes_by_label(self, fig2_property):
+        store = PropertyGraphStore(fig2_property)
+        assert store.nodes_with_label("person") == {"n1", "n4", "n7"}
+        assert store.nodes_with_label("missing") == set()
+
+    def test_edges_by_label(self, fig2_property):
+        store = PropertyGraphStore(fig2_property)
+        assert store.edges_with_label("rides") == {"e1", "e2", "e8"}
+
+    def test_nodes_by_property(self, fig2_property):
+        store = PropertyGraphStore(fig2_property)
+        assert store.nodes_with_property("name", "Julia") == {"n1"}
+        assert store.nodes_with_property("zip", "8320000") == {"n5"}
+        assert store.nodes_with_property("name", "Nobody") == set()
+
+    def test_labeled_adjacency(self, fig2_property):
+        store = PropertyGraphStore(fig2_property)
+        assert store.out_edges_labeled("n1", "rides") == ["e1"]
+        assert set(store.in_edges_labeled("n3", "rides")) == {"e1", "e2", "e8"}
+        assert store.out_edges_labeled("n1", "owns") == []
+
+    def test_label_sets_and_counts(self, fig2_property):
+        store = PropertyGraphStore(fig2_property)
+        assert "bus" in store.labels()
+        assert "rides" in store.edge_labels()
+        assert store.node_count_for_label("person") == 3
+
+
+class TestExpand:
+    def test_expand_out(self, fig2_property):
+        store = PropertyGraphStore(fig2_property)
+        assert set(store.expand("n1", "rides")) == {("e1", "n3")}
+
+    def test_expand_in(self, fig2_property):
+        store = PropertyGraphStore(fig2_property)
+        results = set(store.expand("n3", "rides", direction="in"))
+        assert results == {("e1", "n1"), ("e2", "n2"), ("e8", "n7")}
+
+    def test_expand_both_and_unlabeled(self, fig2_property):
+        store = PropertyGraphStore(fig2_property)
+        both = set(store.expand("n1", direction="both"))
+        neighbors = {node for _, node in both}
+        assert neighbors == {"n2", "n3", "n5", "n4"}
+
+    def test_rebuild_after_mutation(self, fig2_property):
+        store = PropertyGraphStore(fig2_property)
+        fig2_property.add_node("n9", "person", {"name": "Zoe"})
+        store._rebuild()
+        assert "n9" in store.nodes_with_label("person")

@@ -1,0 +1,72 @@
+"""Triple store tests: index correctness for every binding shape."""
+
+from itertools import product
+
+from repro.models import RDFGraph
+from repro.models.convert import labeled_to_rdf
+from repro.storage import TripleStore
+
+
+def sample_store() -> TripleStore:
+    return TripleStore([
+        ("n1", "rdf:type", "person"),
+        ("n2", "rdf:type", "bus"),
+        ("n1", "rides", "n2"),
+        ("n3", "rides", "n2"),
+        ("n1", "contact", "n3"),
+    ])
+
+
+class TestUpdates:
+    def test_add_deduplicates(self):
+        store = sample_store()
+        assert not store.add("n1", "rides", "n2")
+        assert len(store) == 5
+
+    def test_remove(self):
+        store = sample_store()
+        assert store.remove("n1", "rides", "n2")
+        assert ("n1", "rides", "n2") not in store
+        assert len(store) == 4
+        assert not store.remove("n1", "rides", "n2")
+
+    def test_remove_prunes_indexes(self):
+        store = TripleStore([("a", "p", "b")])
+        store.remove("a", "p", "b")
+        assert store.count() == 0
+        assert list(store.match(predicate="p")) == []
+        assert list(store.match(obj="b")) == []
+
+    def test_roundtrip_with_rdf_graph(self, fig2_labeled):
+        rdf = labeled_to_rdf(fig2_labeled)
+        assert TripleStore.from_graph(rdf).to_graph() == rdf
+
+
+class TestMatch:
+    def test_every_binding_shape_agrees_with_scan(self):
+        store = sample_store()
+        triples = set(store.triples())
+        subjects = {None, "n1", "n2", "zzz"}
+        predicates = {None, "rides", "rdf:type", "zzz"}
+        objects = {None, "n2", "person", "zzz"}
+        for s, p, o in product(subjects, predicates, objects):
+            expected = {t for t in triples
+                        if (s is None or t.subject == s)
+                        and (p is None or t.predicate == p)
+                        and (o is None or t.object == o)}
+            assert set(store.match(s, p, o)) == expected, (s, p, o)
+
+    def test_count_matches_match(self):
+        store = sample_store()
+        assert store.count(predicate="rides") == 2
+        assert store.count(subject="n1") == 3
+        assert store.count() == 5
+
+    def test_views(self):
+        store = sample_store()
+        assert store.subjects() == {"n1", "n2", "n3"}
+        assert "rides" in store.predicates()
+        assert store.resources() >= {"n1", "n2", "n3", "person", "bus"}
+
+    def test_contains_non_tuple(self):
+        assert "nope" not in sample_store()

@@ -1,0 +1,92 @@
+"""Utility tests: statistics helpers and table formatting."""
+
+import math
+import random
+
+import pytest
+
+from repro.util import (
+    chi_square_uniform,
+    format_table,
+    make_rng,
+    mean,
+    relative_error,
+    stddev,
+)
+from repro.util.stats import chi_square_critical
+
+
+class TestRng:
+    def test_seed_gives_reproducible_rng(self):
+        assert make_rng(5).random() == make_rng(5).random()
+
+    def test_existing_rng_passes_through(self):
+        rng = random.Random(1)
+        assert make_rng(rng) is rng
+
+    def test_none_gives_fresh_rng(self):
+        assert isinstance(make_rng(None), random.Random)
+
+
+class TestStats:
+    def test_mean_and_stddev(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+        assert stddev([2.0, 4.0]) == pytest.approx(math.sqrt(2.0))
+        assert stddev([7.0]) == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean([])
+        with pytest.raises(ValueError):
+            stddev([])
+
+    def test_relative_error(self):
+        assert relative_error(11, 10) == pytest.approx(0.1)
+        assert relative_error(0, 0) == 0.0
+        assert relative_error(1, 0) == math.inf
+
+    def test_chi_square_uniform_flat_data(self):
+        samples = list(range(10)) * 50
+        statistic = chi_square_uniform(samples, 10)
+        assert statistic == 0.0
+
+    def test_chi_square_uniform_skewed_data(self):
+        samples = [0] * 500
+        statistic = chi_square_uniform(samples, 10)
+        assert statistic > chi_square_critical(9, alpha=0.001)
+
+    def test_chi_square_unseen_outcomes_counted(self):
+        statistic = chi_square_uniform([0, 1], 4)
+        assert statistic > 0
+
+    def test_chi_square_validation(self):
+        with pytest.raises(ValueError):
+            chi_square_uniform([1], 0)
+        with pytest.raises(ValueError):
+            chi_square_uniform([], 3)
+
+    def test_critical_value_reasonable(self):
+        # chi2(0.999, df=10) is about 29.6; Wilson-Hilferty within ~2%.
+        assert chi_square_critical(10, alpha=0.001) == pytest.approx(29.6, rel=0.03)
+        with pytest.raises(ValueError):
+            chi_square_critical(0)
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        text = format_table(["name", "count"], [["alpha", 10], ["b", 2]],
+                            title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert lines[3].startswith("alpha")
+        # Numeric column right-aligned: the 2 sits under the 10's digit.
+        assert lines[4].rstrip().endswith("2")
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [[1.23456789]])
+        assert "1.235" in text
