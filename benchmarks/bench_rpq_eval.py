@@ -1,15 +1,39 @@
-"""Experiments E2/E3 — the paper's worked regex queries.
+"""Experiments E2/E3 — the paper's worked regex queries, plus the RPQ
+evaluation speedup suite.
 
 Regenerates the answer sets of eq. (2) (labeled graph), eq. (3) (property
 graph and its vector-graph rewriting), and the worked negated-inverse
 example, then times regex evaluation on growing contact graphs.
+
+Run as a script to produce ``benchmarks/BENCH_rpq.json`` — machine-readable
+median wall times per query shape for three evaluation strategies:
+
+- ``seed_baseline``: the evaluation pipeline of the seed revision (eager
+  full-scan product construction + one DFS per start node), frozen below so
+  future revisions keep a fixed reference point;
+- ``fullscan``: the current pipeline with ``use_label_index=False`` (lazy
+  construction and single-sweep reachability, but full incidence scans);
+- ``indexed``: the current pipeline with the label index (the default).
+
+    PYTHONPATH=src python benchmarks/bench_rpq_eval.py [--quick] [--out PATH]
+
+The acceptance target tracked here: >= 3x median speedup over the seed
+baseline on label-selective shapes (single-label and concatenation) at seed
+benchmark scale.
 """
+
+import json
+import statistics
+import sys
+import time
 
 import pytest
 
 from repro.bench import Experiment
 from repro.core.rpq import endpoint_pairs, enumerate_paths, parse_regex
-from repro.datasets import generate_contact_graph
+from repro.core.rpq.nfa import compile_regex
+from repro.core.rpq.product import INITIAL, ProductNFA
+from repro.datasets import generate_contact_graph, random_labeled_graph
 from repro.models import figure2_labeled, figure2_property, figure2_vector
 
 EQ2 = "?person/contact/?infected"
@@ -64,3 +88,234 @@ def test_eval_speed(benchmark):
     regex = parse_regex(BUS_SHARE)
     pairs = benchmark(endpoint_pairs, world, regex)
     assert isinstance(pairs, set)
+
+
+# ---------------------------------------------------------------------------
+# The frozen seed baseline: eager full-scan product construction plus one
+# DFS per start node, exactly as evaluate.py/product.py did at the seed
+# revision.  Kept verbatim (modulo cosmetics) so BENCH_rpq.json always
+# measures against the same reference implementation.
+# ---------------------------------------------------------------------------
+
+
+def _seed_build_product(graph, nfa, start_nodes=None, end_nodes=None):
+    product = ProductNFA(graph, nfa)
+    end_filter = None if end_nodes is None else set(end_nodes)
+    closure_cache = {}
+
+    def closure(nfa_states, node):
+        result = set()
+        stack = list(nfa_states)
+        while stack:
+            q = stack.pop()
+            if q in result:
+                continue
+            result.add(q)
+            for guard, q2 in nfa.epsilon_transitions.get(q, ()):
+                if q2 not in result and (guard is None
+                                         or guard.matches_node(graph, node)):
+                    stack.append(q2)
+        return frozenset(result)
+
+    def cached_closure(q, node):
+        key = (q, node)
+        found = closure_cache.get(key)
+        if found is None:
+            found = closure((q,), node)
+            closure_cache[key] = found
+        return found
+
+    def intern(q, node):
+        key = (q, node)
+        index = product.state_index.get(key)
+        if index is None:
+            index = len(product.state_keys)
+            product.state_index[key] = index
+            product.state_keys.append(key)
+            product.state_node.append(node)
+            product.transitions.append({})
+        return index
+
+    accept_states, worklist, seen = set(), [], set()
+
+    def product_states_for(nfa_states, node):
+        states = []
+        for q in nfa_states:
+            index = intern(q, node)
+            states.append(index)
+            if q == nfa.accept and (end_filter is None or node in end_filter):
+                accept_states.add(index)
+            if index not in seen:
+                seen.add(index)
+                worklist.append(index)
+        return frozenset(states)
+
+    starts = (list(start_nodes) if start_nodes is not None
+              else list(graph.nodes()))
+    init_table = {}
+    for node in starts:
+        init_table[("init", node)] = product_states_for(
+            closure((nfa.start,), node), node)
+    product.transitions[INITIAL] = init_table
+
+    while worklist:
+        index = worklist.pop()
+        q, node = product.state_keys[index]
+        table = product.transitions[index]
+        for test, inverse, q2 in nfa.edge_transitions.get(q, ()):
+            candidates = graph.in_edges(node) if inverse else graph.out_edges(node)
+            for edge in candidates:
+                if not test.matches_edge(graph, edge):
+                    continue
+                source, target = graph.endpoints(edge)
+                next_node = source if inverse else target
+                direction = "+" if (not inverse or source == target) else "-"
+                symbol = ("edge", edge, direction)
+                successors = product_states_for(
+                    cached_closure(q2, next_node), next_node)
+                existing = table.get(symbol)
+                table[symbol] = (successors if existing is None
+                                 else existing | successors)
+    product.accepts = frozenset(accept_states)
+    return product
+
+
+def seed_endpoint_pairs(graph, regex):
+    """The seed revision's ``endpoint_pairs``: one product DFS per start."""
+    nfa = compile_regex(regex)
+    product = _seed_build_product(graph, nfa)
+    pairs = set()
+    for symbol, first_states in product.transitions[INITIAL].items():
+        start_node = symbol[1]
+        seen = set(first_states)
+        stack = list(first_states)
+        while stack:
+            state = stack.pop()
+            if state in product.accepts:
+                pairs.add((start_node, product.state_node[state]))
+            for targets in product.transitions[state].values():
+                for target in targets:
+                    if target not in seen:
+                        seen.add(target)
+                        stack.append(target)
+    return pairs
+
+
+# ---------------------------------------------------------------------------
+# The speedup suite behind BENCH_rpq.json.
+# ---------------------------------------------------------------------------
+
+#: (workload name, graph factory, [(regex, shape class), ...]).  Shapes
+#: classed "single-label" or "concatenation" are the label-selective ones
+#: the >= 3x acceptance bar applies to.
+def _workloads():
+    contact = generate_contact_graph(100, 4, 33, 2, rng=5, infection_rate=0.2)
+    labels = [f"L{i}" for i in range(24)]
+    selective = random_labeled_graph(300, 3000, node_labels=("a", "b"),
+                                    edge_labels=labels, rng=9)
+    return [
+        ("contact-100", contact, [
+            ("rides", "single-label"),
+            ("lives", "single-label"),
+            ("contact/lives", "concatenation"),
+            ("rides/rides^-", "concatenation"),
+            (BUS_SHARE, "node-test-anchored"),
+            ("(contact + lives)*", "star"),
+        ]),
+        ("label-selective-300", selective, [
+            ("L0", "single-label"),
+            ("(L0 + L1)", "single-label"),
+            ("L0/L1", "concatenation"),
+            ("L0/L1/L2", "concatenation"),
+            ("(L0 + L1)/L2", "concatenation"),
+            ("(L0 + L1)*", "star"),
+            ("true/L0", "wildcard"),
+        ]),
+    ]
+
+
+def _median_ms(fn, reps):
+    times = []
+    for _ in range(reps):
+        started = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - started)
+    return statistics.median(times) * 1000.0
+
+
+def run_speedup_suite(out_path, reps=30):
+    """Time every workload/shape under the three strategies, write JSON."""
+    report = {"reps": reps, "workloads": []}
+    failures = []
+    for name, graph, shapes in _workloads():
+        entry = {
+            "name": name,
+            "nodes": graph.node_count(),
+            "edges": graph.edge_count(),
+            "edge_labels": len(graph.edge_label_set()),
+            "queries": [],
+        }
+        for text, shape in shapes:
+            regex = parse_regex(text)
+            indexed = endpoint_pairs(graph, regex, use_label_index=True)
+            fullscan = endpoint_pairs(graph, regex, use_label_index=False)
+            baseline = seed_endpoint_pairs(graph, regex)
+            assert indexed == fullscan == baseline, text
+            medians = {
+                "seed_baseline": _median_ms(
+                    lambda: seed_endpoint_pairs(graph, regex), reps),
+                "fullscan": _median_ms(
+                    lambda: endpoint_pairs(graph, regex,
+                                           use_label_index=False), reps),
+                "indexed": _median_ms(
+                    lambda: endpoint_pairs(graph, regex,
+                                           use_label_index=True), reps),
+            }
+            query = {
+                "regex": text,
+                "shape": shape,
+                "answers": len(indexed),
+                "median_ms": medians,
+                "speedup_vs_seed": medians["seed_baseline"] / medians["indexed"],
+                "speedup_vs_fullscan": medians["fullscan"] / medians["indexed"],
+            }
+            entry["queries"].append(query)
+            if (shape in ("single-label", "concatenation")
+                    and query["speedup_vs_seed"] < 3.0):
+                failures.append((name, text, query["speedup_vs_seed"]))
+        report["workloads"].append(entry)
+    report["label_selective_target"] = "speedup_vs_seed >= 3.0"
+    report["label_selective_ok"] = not failures
+    with open(out_path, "w") as handle:
+        json.dump(report, handle, indent=2)
+    return report, failures
+
+
+def main(argv):
+    quick = "--quick" in argv
+    out_path = "benchmarks/BENCH_rpq.json"
+    if "--out" in argv:
+        out_path = argv[argv.index("--out") + 1]
+    report, failures = run_speedup_suite(out_path, reps=3 if quick else 30)
+    for workload in report["workloads"]:
+        print(f"== {workload['name']} ({workload['nodes']} nodes, "
+              f"{workload['edges']} edges, {workload['edge_labels']} labels)")
+        for query in workload["queries"]:
+            medians = query["median_ms"]
+            print(f"  {query['regex']:40s} [{query['shape']}] "
+                  f"seed={medians['seed_baseline']:8.3f}ms "
+                  f"fullscan={medians['fullscan']:8.3f}ms "
+                  f"indexed={medians['indexed']:8.3f}ms "
+                  f"speedup={query['speedup_vs_seed']:6.2f}x")
+    print(f"wrote {out_path}")
+    if failures and not quick:
+        for name, text, speedup in failures:
+            print(f"BELOW TARGET: {name} {text} {speedup:.2f}x < 3x")
+        return 1
+    print("label-selective shapes meet the >= 3x target"
+          if not failures else "quick mode: timings are indicative only")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

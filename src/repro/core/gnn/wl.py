@@ -72,16 +72,16 @@ def _refine_once(graph, colors: dict, use_edge_labels: bool, directed: bool,
     for node in graph.nodes():
         outgoing = sorted(
             (str(_edge_label(graph, e, use_edge_labels)), colors[graph.target(e)])
-            for e in graph.out_edges(node))
+            for e in graph.iter_out_edges(node))
         if directed:
             incoming = sorted(
                 (str(_edge_label(graph, e, use_edge_labels)), colors[graph.source(e)])
-                for e in graph.in_edges(node))
+                for e in graph.iter_in_edges(node))
             signatures[node] = (colors[node], tuple(outgoing), tuple(incoming))
         else:
             undirected = sorted(outgoing + [
                 (str(_edge_label(graph, e, use_edge_labels)), colors[graph.source(e)])
-                for e in graph.in_edges(node)])
+                for e in graph.iter_in_edges(node)])
             signatures[node] = (colors[node], tuple(undirected))
     palette = {signature: i for i, signature in
                enumerate(sorted(set(signatures.values()), key=str))}

@@ -48,7 +48,12 @@ from repro.core.rpq.ast import (
 )
 from repro.core.rpq.parser import parse_regex, parse_test
 from repro.core.rpq.paths import Path, cat
-from repro.core.rpq.nfa import NFA, compile_regex
+from repro.core.rpq.nfa import (
+    NFA,
+    clear_compile_cache,
+    compile_cache_info,
+    compile_regex,
+)
 from repro.core.rpq.product import ProductNFA, build_product
 from repro.core.rpq.semantics import evaluate_bruteforce
 from repro.core.rpq.evaluate import endpoint_pairs, nodes_matching, paths_matching
@@ -64,7 +69,7 @@ __all__ = [
     "union", "concat", "star", "plus", "optional",
     "parse_regex", "parse_test",
     "Path", "cat",
-    "NFA", "compile_regex",
+    "NFA", "compile_regex", "compile_cache_info", "clear_compile_cache",
     "ProductNFA", "build_product",
     "evaluate_bruteforce",
     "paths_matching", "endpoint_pairs", "nodes_matching",

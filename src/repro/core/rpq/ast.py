@@ -43,6 +43,36 @@ class Test(ABC):
     def to_text(self) -> str:
         """Parseable textual form (inverse of :func:`repro.core.rpq.parse_test`)."""
 
+    def label_candidates(self) -> frozenset | None:
+        """Edge labels this test could match, or ``None`` if unrestricted.
+
+        Sound over-approximation: on any edge-labeled graph, an edge whose
+        label is *not* in the returned set can never satisfy the test.  The
+        RPQ product uses this to pull candidate edges from the per-label
+        adjacency index instead of scanning every incident edge.
+        """
+        return None
+
+    def label_candidates_exact(self) -> bool:
+        """Whether :meth:`label_candidates` is also *complete*: on an
+        edge-labeled graph, label membership alone decides the test, so
+        ``matches_edge`` may be skipped for index-supplied candidates."""
+        return False
+
+    def feature_candidates(self) -> tuple[int, frozenset] | None:
+        """A ``(feature index, allowed values)`` restriction, or ``None``.
+
+        The vector-graph analogue of :meth:`label_candidates`: on a
+        vector-labeled graph, an edge whose feature ``index`` is outside
+        the value set can never satisfy the test.
+        """
+        return None
+
+    def feature_candidates_exact(self) -> bool:
+        """Whether :meth:`feature_candidates` alone decides the test on a
+        vector-labeled graph."""
+        return False
+
     def __and__(self, other: "Test") -> "Test":
         return AndTest(self, other)
 
@@ -77,6 +107,12 @@ class LabelTest(Test):
                 f"label test {self.label!r} needs a labeled graph, "
                 f"got {type(graph).__name__}")
         return lookup(edge) == self.label
+
+    def label_candidates(self) -> frozenset | None:
+        return frozenset((self.label,))
+
+    def label_candidates_exact(self) -> bool:
+        return True
 
     def to_text(self) -> str:
         return _quote_if_needed(self.label)
@@ -136,6 +172,12 @@ class FeatureTest(Test):
                 f"vector-labeled graph, got {type(graph).__name__}")
         return lookup(edge, self.index) == self.value
 
+    def feature_candidates(self) -> tuple[int, frozenset] | None:
+        return (self.index, frozenset((self.value,)))
+
+    def feature_candidates_exact(self) -> bool:
+        return True
+
     def to_text(self) -> str:
         return f"f{self.index}={_quote_if_needed(self.value)}"
 
@@ -163,6 +205,18 @@ class FalseTest(Test):
 
     def matches_edge(self, graph, edge) -> bool:
         return False
+
+    def label_candidates(self) -> frozenset | None:
+        return frozenset()
+
+    def label_candidates_exact(self) -> bool:
+        return True
+
+    def feature_candidates(self) -> tuple[int, frozenset] | None:
+        return (1, frozenset())
+
+    def feature_candidates_exact(self) -> bool:
+        return True
 
     def to_text(self) -> str:
         return "false"
@@ -197,6 +251,40 @@ class AndTest(Test):
     def matches_edge(self, graph, edge) -> bool:
         return self.left.matches_edge(graph, edge) and self.right.matches_edge(graph, edge)
 
+    def label_candidates(self) -> frozenset | None:
+        left = self.left.label_candidates()
+        right = self.right.label_candidates()
+        if left is None:
+            return right
+        if right is None:
+            return left
+        return left & right
+
+    def label_candidates_exact(self) -> bool:
+        return (self.left.label_candidates() is not None
+                and self.right.label_candidates() is not None
+                and self.left.label_candidates_exact()
+                and self.right.label_candidates_exact())
+
+    def feature_candidates(self) -> tuple[int, frozenset] | None:
+        left = self.left.feature_candidates()
+        right = self.right.feature_candidates()
+        if left is None:
+            return right
+        if right is None:
+            return left
+        if left[0] == right[0]:
+            return (left[0], left[1] & right[1])
+        # Conjuncts restrict different coordinates; either prunes soundly.
+        return left
+
+    def feature_candidates_exact(self) -> bool:
+        left = self.left.feature_candidates()
+        right = self.right.feature_candidates()
+        return (left is not None and right is not None and left[0] == right[0]
+                and self.left.feature_candidates_exact()
+                and self.right.feature_candidates_exact())
+
     def to_text(self) -> str:
         return f"{_wrap_test(self.left)}&{_wrap_test(self.right)}"
 
@@ -213,6 +301,30 @@ class OrTest(Test):
 
     def matches_edge(self, graph, edge) -> bool:
         return self.left.matches_edge(graph, edge) or self.right.matches_edge(graph, edge)
+
+    def label_candidates(self) -> frozenset | None:
+        left = self.left.label_candidates()
+        right = self.right.label_candidates()
+        if left is None or right is None:
+            return None
+        return left | right
+
+    def label_candidates_exact(self) -> bool:
+        return (self.label_candidates() is not None
+                and self.left.label_candidates_exact()
+                and self.right.label_candidates_exact())
+
+    def feature_candidates(self) -> tuple[int, frozenset] | None:
+        left = self.left.feature_candidates()
+        right = self.right.feature_candidates()
+        if left is None or right is None or left[0] != right[0]:
+            return None
+        return (left[0], left[1] | right[1])
+
+    def feature_candidates_exact(self) -> bool:
+        return (self.feature_candidates() is not None
+                and self.left.feature_candidates_exact()
+                and self.right.feature_candidates_exact())
 
     def to_text(self) -> str:
         return f"{_wrap_test(self.left)}|{_wrap_test(self.right)}"

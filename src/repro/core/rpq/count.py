@@ -69,16 +69,19 @@ def count_words_exact(product: ProductNFA, length: int, *,
 
 def count_paths_exact(graph, regex: Regex, k: int,
                       start_nodes: Iterable | None = None,
-                      end_nodes: Iterable | None = None) -> int:
+                      end_nodes: Iterable | None = None,
+                      *, use_label_index: bool = True) -> int:
     """Count(G, r, k): the number of paths p in [[r]] with |p| = k.
 
     Optionally restrict the start and end nodes of the counted paths (needed
     by the regex-constrained centrality of Section 4.2).
+    ``use_label_index=False`` forces the full-scan product construction.
     """
     if k < 0:
         raise ValueError("path length k must be non-negative")
     nfa = compile_regex(regex)
-    product = build_product(graph, nfa, start_nodes=start_nodes, end_nodes=end_nodes)
+    product = build_product(graph, nfa, start_nodes=start_nodes,
+                            end_nodes=end_nodes, use_label_index=use_label_index)
     return count_words_exact(product, k + 1)
 
 

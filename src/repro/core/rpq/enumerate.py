@@ -51,7 +51,8 @@ def enumerate_words(product: ProductNFA, length: int) -> Iterator[tuple]:
 
 def enumerate_paths(graph, regex: Regex, k: int,
                     start_nodes: Iterable | None = None,
-                    end_nodes: Iterable | None = None) -> Iterator[Path]:
+                    end_nodes: Iterable | None = None,
+                    *, use_label_index: bool = True) -> Iterator[Path]:
     """Enumerate the paths p in [[regex]] with |p| = k, one by one.
 
     The generator's construction cost is the preprocessing phase; iterating
@@ -60,19 +61,22 @@ def enumerate_paths(graph, regex: Regex, k: int,
     if k < 0:
         raise ValueError("path length k must be non-negative")
     nfa = compile_regex(regex)
-    product = build_product(graph, nfa, start_nodes=start_nodes, end_nodes=end_nodes)
+    product = build_product(graph, nfa, start_nodes=start_nodes,
+                            end_nodes=end_nodes, use_label_index=use_label_index)
     for word in enumerate_words(product, k + 1):
         yield product.word_to_path(word)
 
 
 def enumerate_paths_up_to(graph, regex: Regex, max_k: int,
                           start_nodes: Iterable | None = None,
-                          end_nodes: Iterable | None = None) -> Iterator[Path]:
+                          end_nodes: Iterable | None = None,
+                          *, use_label_index: bool = True) -> Iterator[Path]:
     """Enumerate conforming paths of every length 0..max_k, shortest first."""
     if max_k < 0:
         raise ValueError("max_k must be non-negative")
     nfa = compile_regex(regex)
-    product = build_product(graph, nfa, start_nodes=start_nodes, end_nodes=end_nodes)
+    product = build_product(graph, nfa, start_nodes=start_nodes,
+                            end_nodes=end_nodes, use_label_index=use_label_index)
     for k in range(max_k + 1):
         for word in enumerate_words(product, k + 1):
             yield product.word_to_path(word)

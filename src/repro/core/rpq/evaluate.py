@@ -11,17 +11,135 @@ discusses beyond raw path sets:
   bus" query shape).
 - :func:`paths_matching` — materialize conforming paths up to a length
   bound, via the poly-delay enumerator.
+
+Both reachability helpers run in a *single* sweep of the product automaton:
+one backward reachability pass from the accept states yields the alive
+states, and one forward fixpoint propagating start-node sets (as integer
+bit masks) over the alive states yields every (start, end) pair — instead
+of one DFS per start node (O(|starts|) traversals) as a naive
+implementation would do.  Regexes whose automaton is a pure chain of edge
+steps (edge atoms, concatenations and unions of them) bypass the product
+entirely and run as a frontier join over the label index.
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterable, Iterator
+from itertools import repeat
 
-from repro.core.rpq.ast import Regex
+from repro.core.rpq.ast import Regex, TrueTest
 from repro.core.rpq.enumerate import enumerate_paths_up_to
-from repro.core.rpq.nfa import compile_regex
+from repro.core.rpq.nfa import NFA, compile_regex
 from repro.core.rpq.paths import Path
-from repro.core.rpq.product import INITIAL, build_product
+from repro.core.rpq.product import INITIAL, _edge_fetchers, build_product
+
+
+def _decode_mask(mask: int, of_bit: list) -> list:
+    """The values whose bits are set in ``mask`` (start-set bit decoding)."""
+    values = []
+    while mask:
+        low = mask & -mask
+        values.append(of_bit[low.bit_length() - 1])
+        mask ^= low
+    return values
+
+
+def _chain_steps(nfa: NFA) -> list[list[tuple]] | None:
+    """Decompose a pure edge-step chain automaton into its steps, else None.
+
+    Matches automata that are a straight line of k >= 1 edge steps from the
+    start state to the accept state, with no epsilon moves and possibly
+    several parallel (test, inverse) alternatives per step — the compiled
+    shape of concatenations of edge atoms and unions thereof (``contact``,
+    ``rides^-``, ``L0/L1/L2``, ``(L0 + L1)/L2``).  For these, [[r]] is the
+    set of k-edge paths whose i-th edge passes one of step i's tests, so
+    evaluation is a frontier join — seeded by a global edge (or label-index)
+    scan and expanded through per-node candidate fetchers — with no product
+    automaton at all.
+    """
+    if nfa.epsilon_transitions:
+        return None
+    steps: list[list[tuple]] = []
+    state = nfa.start
+    visited = {state}
+    while state != nfa.accept:
+        transitions = nfa.edge_transitions.get(state)
+        if not transitions:
+            return None
+        targets = {target for _, _, target in transitions}
+        if len(targets) != 1:
+            return None
+        (state,) = targets
+        if state in visited:
+            return None
+        visited.add(state)
+        steps.append([(test, inverse) for test, inverse, _ in transitions])
+    # Every transition family must lie on the chain (no branches off it).
+    if len(steps) != len(nfa.edge_transitions):
+        return None
+    return steps
+
+
+def _edges_matching(graph, test, use_label_index: bool):
+    """All graph edges passing ``test``, through the global label index when
+    the test is label-restricted (mirrors the product's fetch planning,
+    including its error surface: non-exact candidates are re-checked with
+    ``matches_edge``, non-label tests scan and check every edge)."""
+    if use_label_index and getattr(graph, "label_adjacency_index", None) is not None:
+        labels = test.label_candidates()
+        if labels is not None:
+            candidates = (edge for label in sorted(labels, key=str)
+                          for edge in graph.edges_with_label(label))
+            if test.label_candidates_exact():
+                return candidates
+            return (e for e in candidates if test.matches_edge(graph, e))
+    if isinstance(test, TrueTest):
+        return iter(graph.edges())
+    return (e for e in graph.edges() if test.matches_edge(graph, e))
+
+
+def _chain_frontiers(graph, steps: list[list[tuple]], use_label_index: bool):
+    """Run a chain automaton as a frontier join; yields the final frontier.
+
+    Returns ``(start_of_bit, frontier)`` where ``frontier`` maps each node
+    reachable through the whole chain to the bit mask of start nodes (as
+    indexes into ``start_of_bit``) that reach it.  The first step seeds the
+    frontier from a global edge scan; each later step expands the current
+    frontier through the same per-node candidate fetchers the product
+    construction uses, so candidate sets — and hence the error surface —
+    are identical to the product path's.
+    """
+    endpoints = graph.endpoints
+    start_of_bit: list = []
+    bit_of_start: dict = {}
+    frontier: dict = {}
+    for test, inverse in steps[0]:
+        for edge in _edges_matching(graph, test, use_label_index):
+            source, target = endpoints(edge)
+            if inverse:
+                source, target = target, source
+            bit = bit_of_start.get(source)
+            if bit is None:
+                bit = bit_of_start[source] = 1 << len(start_of_bit)
+                start_of_bit.append(source)
+            frontier[target] = frontier.get(target, 0) | bit
+    plan = _edge_fetchers(graph, use_label_index)
+    for alternatives in steps[1:]:
+        if not frontier:
+            break
+        fetchers = [(plan(test, inverse), test, inverse)
+                    for test, inverse in alternatives]
+        next_frontier: dict = {}
+        for node, mask in frontier.items():
+            for (fetch, skip_test), test, inverse in fetchers:
+                for edge in fetch(node):
+                    if not skip_test and not test.matches_edge(graph, edge):
+                        continue
+                    source, target = endpoints(edge)
+                    next_node = source if inverse else target
+                    next_frontier[next_node] = next_frontier.get(next_node, 0) | mask
+        frontier = next_frontier
+    return start_of_bit, frontier
 
 
 def paths_matching(graph, regex: Regex, max_length: int,
@@ -34,36 +152,123 @@ def paths_matching(graph, regex: Regex, max_length: int,
 
 def endpoint_pairs(graph, regex: Regex,
                    start_nodes: Iterable | None = None,
-                   end_nodes: Iterable | None = None) -> set[tuple]:
+                   end_nodes: Iterable | None = None,
+                   *, use_label_index: bool = True) -> set[tuple]:
     """All (start(p), end(p)) for p in [[regex]] — finite, computed exactly.
 
-    Works by reachability in the product automaton: for each initial symbol
-    ('init', a), every accepting product state reachable from it contributes
-    the pair (a, node-of-that-state).
+    Chain-shaped regexes (pure sequences of edge steps, unrestricted
+    endpoints) run as a frontier join with no product at all.  Otherwise,
+    one backward sweep from the accept states prunes the product to its
+    alive states; one forward fixpoint then propagates, per alive state, the
+    set of start nodes that reach it, encoded as an integer bit mask so a
+    set union is one big-int OR.  Each accepting state (q, b) finally
+    contributes the pairs {(a, b) : a in its start set}.  The propagation is
+    monotone over subsets of the start nodes, so the worklist terminates,
+    and it traverses each deduplicated product edge a bounded number of
+    times instead of once per start node.
     """
     nfa = compile_regex(regex)
-    product = build_product(graph, nfa, start_nodes=start_nodes, end_nodes=end_nodes)
-    pairs: set[tuple] = set()
+    if start_nodes is None and end_nodes is None:
+        steps = _chain_steps(nfa)
+        if steps is not None:
+            # Pure edge-step chain: evaluate as a frontier join over the
+            # label index, with no product automaton at all.
+            start_of_bit, frontier = _chain_frontiers(graph, steps,
+                                                      use_label_index)
+            pairs: set[tuple] = set()
+            decoded: dict[int, list] = {}
+            for end_node, mask in frontier.items():
+                starts = decoded.get(mask)
+                if starts is None:
+                    starts = decoded[mask] = _decode_mask(mask, start_of_bit)
+                pairs.update(zip(starts, repeat(end_node)))
+            return pairs
+    product = build_product(graph, nfa, start_nodes=start_nodes,
+                            end_nodes=end_nodes, use_label_index=use_label_index)
+    alive = product.alive_states()
+    if not alive:
+        return set()
+
+    # Give each start node with an alive initial state one bit; the forward
+    # pass then propagates start *sets* as machine integers, so a union is
+    # a single big-int OR instead of a per-element set merge.
+    start_of_bit: list = []
+    n_states = product.n_states()
+    masks = [0] * n_states
+    worklist: list[int] = []
     for symbol, first_states in product.transitions[INITIAL].items():
-        start_node = symbol[1]
-        seen: set[int] = set(first_states)
-        stack = list(first_states)
-        while stack:
-            state = stack.pop()
-            if state in product.accepts:
-                pairs.add((start_node, product.state_node[state]))
-            for targets in product.transitions[state].values():
-                for target in targets:
-                    if target not in seen:
-                        seen.add(target)
-                        stack.append(target)
+        bit = 0
+        for state in first_states:
+            if state not in alive:
+                continue
+            if not bit:
+                bit = 1 << len(start_of_bit)
+                start_of_bit.append(symbol[1])
+            if not masks[state]:
+                worklist.append(state)
+            masks[state] |= bit
+    if not worklist:
+        return set()
+
+    # Deduplicated successors restricted to alive states, built on first
+    # visit — a requeued state then costs O(distinct successors), not a
+    # rescan of its per-symbol transition table.
+    succ = product.successor_sets()
+    adjacency: list[list[int] | None] = [None] * n_states
+    queued = [False] * n_states
+    for state in worklist:
+        queued[state] = True
+    while worklist:
+        state = worklist.pop()
+        queued[state] = False
+        mask = masks[state]
+        targets = adjacency[state]
+        if targets is None:
+            targets = adjacency[state] = [t for t in succ[state] if t in alive]
+        for target in targets:
+            if mask | masks[target] != masks[target]:
+                masks[target] |= mask
+                if not queued[target]:
+                    queued[target] = True
+                    worklist.append(target)
+
+    pairs = set()
+    decoded = {}
+    for state in product.accepts:
+        mask = masks[state]
+        if mask:
+            starts = decoded.get(mask)
+            if starts is None:
+                starts = decoded[mask] = _decode_mask(mask, start_of_bit)
+            pairs.update(zip(starts, repeat(product.state_node[state])))
     return pairs
 
 
 def nodes_matching(graph, regex: Regex,
-                   end_nodes: Iterable | None = None) -> set:
-    """Node extraction: nodes a with a conforming path from a to some b."""
-    return {a for a, _ in endpoint_pairs(graph, regex, end_nodes=end_nodes)}
+                   end_nodes: Iterable | None = None,
+                   *, use_label_index: bool = True) -> set:
+    """Node extraction: nodes a with a conforming path from a to some b.
+
+    Needs no forward pass at all: a start node has a conforming path iff
+    one of its initial product states is alive (can reach an accept state),
+    which the single backward sweep answers directly.
+    """
+    nfa = compile_regex(regex)
+    if end_nodes is None:
+        steps = _chain_steps(nfa)
+        if steps is not None:
+            start_of_bit, frontier = _chain_frontiers(graph, steps,
+                                                      use_label_index)
+            surviving = 0
+            for mask in frontier.values():
+                surviving |= mask
+            return set(_decode_mask(surviving, start_of_bit))
+    product = build_product(graph, nfa, end_nodes=end_nodes,
+                            use_label_index=use_label_index)
+    alive = product.alive_states()
+    return {symbol[1]
+            for symbol, first_states in product.transitions[INITIAL].items()
+            if not alive.isdisjoint(first_states)}
 
 
 def shortest_conforming_length(graph, regex: Regex, start_node, end_node) -> int | None:

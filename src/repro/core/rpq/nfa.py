@@ -7,10 +7,20 @@ concrete graph happens in :mod:`repro.core.rpq.product`.
 
 The construction is Thompson's, which keeps the automaton linear in the
 size of the regex and makes the correctness argument per-operator.
+
+Compilation results are memoized in a bounded LRU cache keyed on the regex
+AST (the AST nodes are frozen dataclasses, hence hashable): a workload that
+issues the same query shape repeatedly — the normal case for a query engine —
+pays the Thompson construction once.  Cached automata are shared, so
+callers must treat the returned :class:`NFA` as immutable; every caller in
+this package only reads it.  Hit/miss/eviction counters are exposed through
+:func:`compile_cache_info` so the cache is observable, and
+:func:`clear_compile_cache` resets it (tests and long-lived processes).
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from repro.core.rpq.ast import Concat, EdgeAtom, NodeTest, Regex, Star, Test, Union
@@ -48,11 +58,80 @@ class NFA:
         return sum(len(v) for v in self.edge_transitions.values())
 
 
-def compile_regex(regex: Regex) -> NFA:
-    """Compile a regex into an NFA with a single start and accept state."""
+class _CompileCache:
+    """A bounded LRU of compiled automata with observable counters."""
+
+    __slots__ = ("maxsize", "hits", "misses", "evictions", "_entries")
+
+    def __init__(self, maxsize: int) -> None:
+        if maxsize < 1:
+            raise ValueError("cache maxsize must be positive")
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._entries: OrderedDict[Regex, NFA] = OrderedDict()
+
+    def get(self, regex: Regex) -> NFA | None:
+        found = self._entries.get(regex)
+        if found is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._entries.move_to_end(regex)
+        return found
+
+    def put(self, regex: Regex, nfa: NFA) -> None:
+        self._entries[regex] = nfa
+        if len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+_DEFAULT_CACHE_SIZE = 256
+_cache = _CompileCache(_DEFAULT_CACHE_SIZE)
+
+
+def compile_regex(regex: Regex, *, cache: bool = True) -> NFA:
+    """Compile a regex into an NFA with a single start and accept state.
+
+    Results are memoized (bounded LRU keyed on the regex AST); pass
+    ``cache=False`` to force a private, freshly built automaton.  Cached
+    automata are shared and must not be mutated.
+    """
+    if cache:
+        found = _cache.get(regex)
+        if found is not None:
+            return found
     nfa = NFA()
     _build(nfa, regex, nfa.start, nfa.accept)
+    if cache:
+        _cache.put(regex, nfa)
     return nfa
+
+
+def compile_cache_info() -> dict[str, int]:
+    """Observable state of the regex-compilation cache."""
+    return {
+        "hits": _cache.hits,
+        "misses": _cache.misses,
+        "evictions": _cache.evictions,
+        "currsize": len(_cache),
+        "maxsize": _cache.maxsize,
+    }
+
+
+def clear_compile_cache(maxsize: int | None = None) -> None:
+    """Drop every cached automaton and reset counters.
+
+    ``maxsize`` optionally resizes the cache (default: keep the current
+    bound).
+    """
+    global _cache
+    _cache = _CompileCache(_cache.maxsize if maxsize is None else maxsize)
 
 
 def _build(nfa: NFA, regex: Regex, start: int, accept: int) -> None:

@@ -21,13 +21,17 @@ class MultiGraph:
     Adjacency is indexed in both directions, so ``out_edges`` / ``in_edges``
     are cheap; this is the structural property the paper contrasts with the
     relational "two-attribute edge table" encoding, where every hop is a join.
+
+    Per-node incidence is stored as insertion-ordered dicts keyed by edge id,
+    so ``remove_edge`` is O(1) while iteration order stays deterministic
+    (insertion order, exactly as the previous list-based representation).
     """
 
     def __init__(self) -> None:
         self._nodes: set[Const] = set()
         self._edges: dict[Const, tuple[Const, Const]] = {}
-        self._out: dict[Const, list[Const]] = {}
-        self._in: dict[Const, list[Const]] = {}
+        self._out: dict[Const, dict[Const, None]] = {}
+        self._in: dict[Const, dict[Const, None]] = {}
 
     # -- construction ------------------------------------------------------
 
@@ -35,8 +39,8 @@ class MultiGraph:
         """Add a node; adding an existing node is a no-op (graphs integrate)."""
         if node not in self._nodes:
             self._nodes.add(node)
-            self._out[node] = []
-            self._in[node] = []
+            self._out[node] = {}
+            self._in[node] = {}
         return node
 
     def add_edge(self, edge: Const, source: Const, target: Const) -> Const:
@@ -51,16 +55,16 @@ class MultiGraph:
         self.add_node(source)
         self.add_node(target)
         self._edges[edge] = (source, target)
-        self._out[source].append(edge)
-        self._in[target].append(edge)
+        self._out[source][edge] = None
+        self._in[target][edge] = None
         return edge
 
     def remove_edge(self, edge: Const) -> None:
-        """Remove an edge; endpoints stay in the graph."""
+        """Remove an edge in O(1); endpoints stay in the graph."""
         source, target = self.endpoints(edge)
         del self._edges[edge]
-        self._out[source].remove(edge)
-        self._in[target].remove(edge)
+        del self._out[source][edge]
+        del self._in[target][edge]
 
     def remove_node(self, node: Const) -> None:
         """Remove a node and every edge incident to it."""
@@ -100,14 +104,29 @@ class MultiGraph:
         return self.endpoints(edge)[1]
 
     def out_edges(self, node: Const) -> list[Const]:
-        """Edge ids whose source is ``node``."""
+        """Edge ids whose source is ``node`` (a fresh, caller-owned list)."""
         self._require_node(node)
         return list(self._out[node])
 
     def in_edges(self, node: Const) -> list[Const]:
-        """Edge ids whose target is ``node``."""
+        """Edge ids whose target is ``node`` (a fresh, caller-owned list)."""
         self._require_node(node)
         return list(self._in[node])
+
+    def iter_out_edges(self, node: Const) -> Iterable[Const]:
+        """Zero-copy view of the outgoing edge ids of ``node``.
+
+        Hot loops should prefer this over :meth:`out_edges`, which allocates
+        a defensive copy per call.  The view reflects the live graph: do not
+        add or remove edges at ``node`` while iterating it.
+        """
+        self._require_node(node)
+        return self._out[node].keys()
+
+    def iter_in_edges(self, node: Const) -> Iterable[Const]:
+        """Zero-copy view of the incoming edge ids of ``node``."""
+        self._require_node(node)
+        return self._in[node].keys()
 
     def incident_edges(self, node: Const) -> list[Const]:
         """Outgoing then incoming edges (a self-loop appears in both halves)."""
@@ -144,7 +163,8 @@ class MultiGraph:
     def edges_between(self, source: Const, target: Const) -> list[Const]:
         """All parallel edges from ``source`` to ``target``."""
         self._require_node(target)
-        return [e for e in self.out_edges(source) if self._edges[e][1] == target]
+        self._require_node(source)
+        return [e for e in self._out[source] if self._edges[e][1] == target]
 
     def node_count(self) -> int:
         return len(self._nodes)

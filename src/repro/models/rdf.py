@@ -37,15 +37,38 @@ class RDFGraph:
     """
 
     def __init__(self, triples: Iterable[Triple | tuple[str, str, str]] = ()) -> None:
-        self._triples: set[Triple] = {Triple(*t) for t in triples}
+        self._triples: set[Triple] = set()
+        # Subject/object adjacency indexes so triples_from / triples_to are
+        # O(result) instead of a scan over the whole graph — the same
+        # label-keyed access pattern the MultiGraph family maintains.
+        self._by_subject: dict[str, set[Triple]] = {}
+        self._by_object: dict[str, set[Triple]] = {}
+        for t in triples:
+            self.add(*t)
 
     def add(self, subject: str, predicate: str, obj: str) -> Triple:
         triple = Triple(subject, predicate, obj)
-        self._triples.add(triple)
+        if triple not in self._triples:
+            self._triples.add(triple)
+            self._by_subject.setdefault(subject, set()).add(triple)
+            self._by_object.setdefault(obj, set()).add(triple)
         return triple
 
     def discard(self, subject: str, predicate: str, obj: str) -> None:
-        self._triples.discard(Triple(subject, predicate, obj))
+        triple = Triple(subject, predicate, obj)
+        if triple in self._triples:
+            self._triples.discard(triple)
+            self._discard_indexed(self._by_subject, subject, triple)
+            self._discard_indexed(self._by_object, obj, triple)
+
+    @staticmethod
+    def _discard_indexed(index: dict[str, set[Triple]], key: str,
+                         triple: Triple) -> None:
+        bucket = index.get(key)
+        if bucket is not None:
+            bucket.discard(triple)
+            if not bucket:
+                del index[key]
 
     def triples(self) -> Iterator[Triple]:
         return iter(self._triples)
@@ -83,10 +106,10 @@ class RDFGraph:
         return self.subjects() | self.objects()
 
     def triples_from(self, subject: str) -> Iterator[Triple]:
-        return (t for t in self._triples if t.subject == subject)
+        return iter(self._by_subject.get(subject, ()))
 
     def triples_to(self, obj: str) -> Iterator[Triple]:
-        return (t for t in self._triples if t.object == obj)
+        return iter(self._by_object.get(obj, ()))
 
     def merge(self, other: "RDFGraph") -> "RDFGraph":
         """Set-union integration of two RDF graphs (universal interpretation)."""

@@ -62,6 +62,12 @@ class VectorGraph(MultiGraph):
         self.schema = schema
         self._node_vectors: dict[Const, tuple[Const, ...]] = {}
         self._edge_vectors: dict[Const, tuple[Const, ...]] = {}
+        # Feature-indexed adjacency: (node, 1-based index, value) -> {edge}.
+        # The vector-graph analogue of the label index on LabeledGraph; it
+        # is what makes feature tests ``(f_i = v)`` index-accelerable in the
+        # RPQ product.  Insertion-ordered for deterministic iteration.
+        self._out_by_feature: dict[tuple[Const, int, Const], dict[Const, None]] = {}
+        self._in_by_feature: dict[tuple[Const, int, Const], dict[Const, None]] = {}
 
     # -- construction ------------------------------------------------------
 
@@ -79,12 +85,37 @@ class VectorGraph(MultiGraph):
     def add_edge(self, edge: Const, source: Const, target: Const,
                  features: Sequence[Const] | None = None) -> Const:
         super().add_edge(edge, source, target)
-        self._edge_vectors[edge] = self._coerce(features)
+        vector = self._coerce(features)
+        self._edge_vectors[edge] = vector
+        self._index_edge_vector(edge, source, target, vector)
         return edge
 
     def remove_edge(self, edge: Const) -> None:
+        source, target = self.endpoints(edge)
+        vector = self._edge_vectors[edge]
         super().remove_edge(edge)
         del self._edge_vectors[edge]
+        self._unindex_edge_vector(edge, source, target, vector)
+
+    def _index_edge_vector(self, edge: Const, source: Const, target: Const,
+                           vector: tuple[Const, ...]) -> None:
+        for index, value in enumerate(vector, start=1):
+            self._out_by_feature.setdefault((source, index, value), {})[edge] = None
+            self._in_by_feature.setdefault((target, index, value), {})[edge] = None
+
+    def _unindex_edge_vector(self, edge: Const, source: Const, target: Const,
+                             vector: tuple[Const, ...]) -> None:
+        for index, value in enumerate(vector, start=1):
+            self._discard_entry(self._out_by_feature, (source, index, value), edge)
+            self._discard_entry(self._in_by_feature, (target, index, value), edge)
+
+    @staticmethod
+    def _discard_entry(index: dict, key, member) -> None:
+        bucket = index.get(key)
+        if bucket is not None:
+            bucket.pop(member, None)
+            if not bucket:
+                del index[key]
 
     def remove_node(self, node: Const) -> None:
         super().remove_node(node)
@@ -113,8 +144,57 @@ class VectorGraph(MultiGraph):
         self._node_vectors[node] = self._coerce(features)
 
     def set_edge_vector(self, edge: Const, features: Sequence[Const]) -> None:
-        self.endpoints(edge)
-        self._edge_vectors[edge] = self._coerce(features)
+        source, target = self.endpoints(edge)
+        old = self._edge_vectors[edge]
+        vector = self._coerce(features)
+        if old == vector:
+            return
+        self._edge_vectors[edge] = vector
+        self._unindex_edge_vector(edge, source, target, old)
+        self._index_edge_vector(edge, source, target, vector)
+
+    # -- feature-indexed adjacency -----------------------------------------
+
+    def out_edges_with_feature(self, node: Const, index: int,
+                               value: Const) -> list[Const]:
+        """Outgoing edges whose feature ``index`` equals ``value`` (fresh list)."""
+        self._require_node(node)
+        self._check_index(index)
+        return list(self._out_by_feature.get((node, index, value), ()))
+
+    def in_edges_with_feature(self, node: Const, index: int,
+                              value: Const) -> list[Const]:
+        """Incoming edges whose feature ``index`` equals ``value`` (fresh list)."""
+        self._require_node(node)
+        self._check_index(index)
+        return list(self._in_by_feature.get((node, index, value), ()))
+
+    def iter_out_edges_with_feature(self, node: Const, index: int,
+                                    value: Const) -> Iterable[Const]:
+        """Zero-copy view of outgoing feature-matching edges."""
+        self._require_node(node)
+        self._check_index(index)
+        bucket = self._out_by_feature.get((node, index, value))
+        return bucket.keys() if bucket is not None else ()
+
+    def iter_in_edges_with_feature(self, node: Const, index: int,
+                                   value: Const) -> Iterable[Const]:
+        """Zero-copy view of incoming feature-matching edges."""
+        self._require_node(node)
+        self._check_index(index)
+        bucket = self._in_by_feature.get((node, index, value))
+        return bucket.keys() if bucket is not None else ()
+
+    def feature_adjacency_index(self) -> tuple[dict, dict]:
+        """The raw ``(node, index, value) -> edge-bucket`` dicts, (out, in).
+
+        Read-only bulk-probe view for the product construction, mirroring
+        :meth:`LabeledGraph.label_adjacency_index`.  Feature indexes in the
+        keys are 1-based; callers are responsible for range-checking the
+        index (out-of-range probes simply find no bucket, whereas the
+        per-edge test raises ``SchemaError``).
+        """
+        return self._out_by_feature, self._in_by_feature
 
     # -- derived graphs ----------------------------------------------------
 

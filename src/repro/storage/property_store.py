@@ -1,9 +1,10 @@
 """An indexed property-graph store (the Neo4j-style storage substrate).
 
 Wraps a :class:`repro.models.PropertyGraph` with the secondary indexes a
-graph database maintains: node/edge label indexes, a (property, value)
-index for nodes, and per-label adjacency lists so a Cypher-style hop
-``(a)-[:contact]->(b)`` is a dictionary lookup.  This is the storage layer
+graph database maintains.  Label and per-label adjacency lookups delegate to
+the *live* indexes the labeled-graph model now maintains incrementally (so
+they never go stale under mutation); the store itself keeps only the
+(property, value) index the model does not have.  This is the storage layer
 under the mini-Cypher engine of :mod:`repro.query.cypherish`.
 """
 
@@ -19,48 +20,33 @@ class PropertyGraphStore:
 
     def __init__(self, graph: PropertyGraph) -> None:
         self.graph = graph
-        self._nodes_by_label: dict = {}
-        self._edges_by_label: dict = {}
         self._nodes_by_property: dict = {}
-        self._out_by_label: dict = {}
-        self._in_by_label: dict = {}
         self._rebuild()
 
     def _rebuild(self) -> None:
         graph = self.graph
-        self._nodes_by_label.clear()
-        self._edges_by_label.clear()
         self._nodes_by_property.clear()
-        self._out_by_label.clear()
-        self._in_by_label.clear()
         for node in graph.nodes():
-            self._nodes_by_label.setdefault(graph.node_label(node), set()).add(node)
             for prop, value in graph.node_properties(node).items():
                 self._nodes_by_property.setdefault((prop, value), set()).add(node)
-        for edge in graph.edges():
-            label = graph.edge_label(edge)
-            source, target = graph.endpoints(edge)
-            self._edges_by_label.setdefault(label, set()).add(edge)
-            self._out_by_label.setdefault((source, label), []).append(edge)
-            self._in_by_label.setdefault((target, label), []).append(edge)
 
     # -- index lookups ---------------------------------------------------------
 
     def nodes_with_label(self, label) -> set:
-        return set(self._nodes_by_label.get(label, ()))
+        return set(self.graph.nodes_with_label(label))
 
     def edges_with_label(self, label) -> set:
-        return set(self._edges_by_label.get(label, ()))
+        return set(self.graph.edges_with_label(label))
 
     def nodes_with_property(self, prop, value) -> set:
         return set(self._nodes_by_property.get((prop, value), ()))
 
     def out_edges_labeled(self, node, label) -> list:
         """Outgoing edges of ``node`` with the given label (O(1) index hit)."""
-        return list(self._out_by_label.get((node, label), ()))
+        return self.graph.out_edges_with_label(node, label)
 
     def in_edges_labeled(self, node, label) -> list:
-        return list(self._in_by_label.get((node, label), ()))
+        return self.graph.in_edges_with_label(node, label)
 
     def expand(self, node, label=None, *, direction: str = "out",
                ) -> Iterator[tuple]:
@@ -72,21 +58,21 @@ class PropertyGraphStore:
         """
         graph = self.graph
         if direction in ("out", "both"):
-            edges = (graph.out_edges(node) if label is None
-                     else self.out_edges_labeled(node, label))
+            edges = (graph.iter_out_edges(node) if label is None
+                     else graph.iter_out_edges_with_label(node, label))
             for edge in edges:
                 yield edge, graph.target(edge)
         if direction in ("in", "both"):
-            edges = (graph.in_edges(node) if label is None
-                     else self.in_edges_labeled(node, label))
+            edges = (graph.iter_in_edges(node) if label is None
+                     else graph.iter_in_edges_with_label(node, label))
             for edge in edges:
                 yield edge, graph.source(edge)
 
     def node_count_for_label(self, label) -> int:
-        return len(self._nodes_by_label.get(label, ()))
+        return sum(1 for _ in self.graph.nodes_with_label(label))
 
     def labels(self) -> set:
-        return set(self._nodes_by_label)
+        return self.graph.node_label_set()
 
     def edge_labels(self) -> set:
-        return set(self._edges_by_label)
+        return self.graph.edge_label_set()

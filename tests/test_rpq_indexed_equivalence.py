@@ -1,0 +1,191 @@
+"""Indexed evaluation must be indistinguishable from the full-scan fallback.
+
+Every query mode — ``endpoint_pairs``, ``nodes_matching``, ``count`` and
+``enumerate_paths_up_to`` — is run twice, once with the label-indexed
+product construction (the default) and once with ``use_label_index=False``
+(the reference full scan), over the seed regex corpus on the Figure 2
+graphs and over a pool of random graphs.  Results must be identical, path
+lists **in the same order** (the enumerator's output order is value-level
+deterministic, independent of product-internal state numbering).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.rpq import (
+    count_paths_exact,
+    endpoint_pairs,
+    enumerate_paths_up_to,
+    nodes_matching,
+    parse_regex,
+)
+from repro.datasets import random_labeled_graph, random_vector_graph
+from repro.models import figure2_labeled, figure2_property, figure2_vector
+
+# The seed corpus: the paper's worked queries plus shapes covering every
+# operator, inverses, negation, wildcards and the FalseTest short-circuit.
+SEED_CORPUS = [
+    "?person/contact/?infected",
+    '?person/(contact & date="3/4/21")/?infected',
+    "?person/rides/?bus/rides^-/?infected",
+    "(contact + lives)*",
+    "contact",
+    "rides^-",
+    "(contact + rides)/lives",
+    "(!contact)*",
+    "true*",
+    "false",
+    "?person/true/?bus",
+    "(contact & rides)",
+    "(contact | rides)",
+]
+
+# Corpus for random graphs labeled with r/s edges and a/b nodes.
+RANDOM_CORPUS = [
+    "r",
+    "s",
+    "r/s",
+    "r/r/s",
+    "(r + s)*",
+    "?a/r/?b",
+    "r^-",
+    "(r + s)/s^-",
+    "(!r)",
+    "(r & !s)",
+    "(r | s)/r",
+    "?a/(r/s^-)*",
+    "true/r",
+    "false/r",
+]
+
+VECTOR_CORPUS = [
+    "f1=0",
+    "(f1=0)^-",
+    "(f1=0 & f2=1)",
+    "(f1=0 | f1=1)",
+    "(f1=0)/(f2=1)",
+    "((f1=0) + (f1=1))*",
+    "?(f1=0)/(f2=1)",
+    "(f1=0 & !(f2=1))",
+]
+
+
+def assert_equivalent(graph, regex_text: str, max_k: int = 3) -> None:
+    regex = parse_regex(regex_text)
+    indexed_pairs = endpoint_pairs(graph, regex, use_label_index=True)
+    scanned_pairs = endpoint_pairs(graph, regex, use_label_index=False)
+    assert indexed_pairs == scanned_pairs, regex_text
+
+    assert (nodes_matching(graph, regex, use_label_index=True)
+            == nodes_matching(graph, regex, use_label_index=False)), regex_text
+
+    for k in range(max_k + 1):
+        assert (count_paths_exact(graph, regex, k, use_label_index=True)
+                == count_paths_exact(graph, regex, k, use_label_index=False)), \
+            (regex_text, k)
+
+    indexed_paths = list(enumerate_paths_up_to(graph, regex, max_k,
+                                               use_label_index=True))
+    scanned_paths = list(enumerate_paths_up_to(graph, regex, max_k,
+                                               use_label_index=False))
+    assert indexed_paths == scanned_paths, regex_text
+
+
+@pytest.mark.parametrize("regex_text", SEED_CORPUS)
+def test_seed_corpus_on_figure2_labeled(regex_text):
+    graph = figure2_labeled()
+    if "date=" in regex_text:
+        pytest.skip("property test needs a property graph")
+    assert_equivalent(graph, regex_text)
+
+
+@pytest.mark.parametrize("regex_text", SEED_CORPUS)
+def test_seed_corpus_on_figure2_property(regex_text):
+    assert_equivalent(figure2_property(), regex_text)
+
+
+@pytest.mark.parametrize("regex_text", VECTOR_CORPUS)
+def test_vector_corpus_on_figure2_vector(regex_text):
+    graph = figure2_vector()
+    if graph.dimension < 2:
+        pytest.skip("figure 2 vector graph is unexpectedly narrow")
+    assert_equivalent(graph, regex_text)
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_random_graphs_agree(seed):
+    """>= 20 random graphs of varying density, the full random corpus."""
+    n = 5 + (seed % 5)
+    graph = random_labeled_graph(n, 2 * n + seed % 7, rng=seed)
+    for regex_text in RANDOM_CORPUS:
+        assert_equivalent(graph, regex_text, max_k=3)
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_random_vector_graphs_agree(seed):
+    graph = random_vector_graph(6, 14, 3, rng=seed)
+    for regex_text in VECTOR_CORPUS:
+        assert_equivalent(graph, regex_text, max_k=3)
+
+
+def test_start_and_end_restrictions_agree():
+    graph = random_labeled_graph(8, 20, rng=42)
+    regex = parse_regex("r/(s + r)")
+    nodes = sorted(graph.nodes(), key=str)
+    starts, ends = nodes[:3], nodes[3:6]
+    assert (endpoint_pairs(graph, regex, start_nodes=starts, end_nodes=ends,
+                           use_label_index=True)
+            == endpoint_pairs(graph, regex, start_nodes=starts, end_nodes=ends,
+                              use_label_index=False))
+    assert (count_paths_exact(graph, regex, 2, start_nodes=starts,
+                              end_nodes=ends, use_label_index=True)
+            == count_paths_exact(graph, regex, 2, start_nodes=starts,
+                                 end_nodes=ends, use_label_index=False))
+    assert (list(enumerate_paths_up_to(graph, regex, 3, start_nodes=starts,
+                                       end_nodes=ends, use_label_index=True))
+            == list(enumerate_paths_up_to(graph, regex, 3, start_nodes=starts,
+                                          end_nodes=ends, use_label_index=False)))
+
+
+@pytest.mark.parametrize("regex_text", [
+    "r", "s", "r^-", "(r + s)", "(r + s^-)", "(!r)", "(r & !s)", "true", "false",
+    "r/s", "r/r/s", "(r + s)/s^-", "r^-/s", "(r & !s)/(r + s)", "true/r",
+    "false/r", "r/false",
+])
+def test_chain_fast_path_matches_the_product_path(regex_text):
+    """Pure edge-step chains take a frontier-join fast path when
+    unrestricted; passing ``start_nodes=all nodes`` forces the generic
+    product machinery, which must agree (with and without the index)."""
+    for seed in range(6):
+        graph = random_labeled_graph(6 + seed, 18 + seed, rng=30 + seed)
+        regex = parse_regex(regex_text)
+        everyone = list(graph.nodes())
+        for indexed in (True, False):
+            fast = endpoint_pairs(graph, regex, use_label_index=indexed)
+            generic = endpoint_pairs(graph, regex, start_nodes=everyone,
+                                     use_label_index=indexed)
+            assert fast == generic, (regex_text, seed, indexed)
+            assert (nodes_matching(graph, regex, use_label_index=indexed)
+                    == {a for a, _ in generic}), (regex_text, seed, indexed)
+
+
+def test_out_of_range_feature_test_still_raises():
+    """The feature fast path must not mask the per-edge SchemaError."""
+    from repro.errors import SchemaError
+
+    graph = random_vector_graph(4, 8, 2, rng=1)
+    regex = parse_regex("f9=0")
+    with pytest.raises(SchemaError):
+        endpoint_pairs(graph, regex, use_label_index=True)
+    with pytest.raises(SchemaError):
+        endpoint_pairs(graph, regex, use_label_index=False)
+
+
+def test_label_test_on_vector_graph_still_raises_capability_error():
+    from repro.errors import ModelCapabilityError
+
+    graph = random_vector_graph(4, 8, 2, rng=2)
+    regex = parse_regex("somelabel")
+    with pytest.raises(ModelCapabilityError):
+        endpoint_pairs(graph, regex, use_label_index=True)

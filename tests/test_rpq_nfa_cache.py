@@ -1,0 +1,89 @@
+"""Observability and boundedness of the regex-compilation LRU cache."""
+
+from __future__ import annotations
+
+from repro.core.rpq import (
+    clear_compile_cache,
+    compile_cache_info,
+    compile_regex,
+    endpoint_pairs,
+    parse_regex,
+)
+from repro.models import figure2_labeled
+
+
+def setup_function(_):
+    clear_compile_cache()
+
+
+def teardown_module(_):
+    clear_compile_cache()
+
+
+def test_repeat_compilation_hits_the_cache():
+    regex = parse_regex("contact/(rides + lives)*")
+    first = compile_regex(regex)
+    info = compile_cache_info()
+    assert info["misses"] == 1 and info["hits"] == 0 and info["currsize"] == 1
+    second = compile_regex(regex)
+    assert second is first  # shared automaton, no recompilation
+    info = compile_cache_info()
+    assert info["hits"] == 1 and info["misses"] == 1
+
+    # An equal-but-distinct AST is the same cache key (frozen dataclasses).
+    third = compile_regex(parse_regex("contact/(rides + lives)*"))
+    assert third is first
+    assert compile_cache_info()["hits"] == 2
+
+
+def test_cache_bypass_builds_a_private_automaton():
+    regex = parse_regex("contact")
+    cached = compile_regex(regex)
+    private = compile_regex(regex, cache=False)
+    assert private is not cached
+    # Bypassing touches neither counters nor contents.
+    assert compile_cache_info()["currsize"] == 1
+
+
+def test_cache_is_bounded_and_evicts_least_recently_used():
+    clear_compile_cache(maxsize=4)
+    regexes = [parse_regex(text) for text in ("r", "s", "r/s", "s/r", "r*")]
+    for regex in regexes:
+        compile_regex(regex)
+    info = compile_cache_info()
+    assert info["maxsize"] == 4
+    assert info["currsize"] == 4
+    assert info["evictions"] == 1  # "r" fell out
+    hits_before = info["hits"]
+    compile_regex(regexes[0])  # recompiles: a miss, and evicts "s"
+    info = compile_cache_info()
+    assert info["hits"] == hits_before
+    assert info["misses"] == 6
+    assert info["evictions"] == 2
+
+    # LRU, not FIFO: touching an old entry protects it from eviction.
+    clear_compile_cache(maxsize=2)
+    a, b, c = (parse_regex(t) for t in ("a1", "b1", "c1"))
+    first = compile_regex(a)
+    compile_regex(b)
+    assert compile_regex(a) is first  # refresh a; b is now least recent
+    compile_regex(c)  # evicts b
+    assert compile_regex(a) is first  # still cached
+    assert compile_cache_info()["evictions"] == 1
+
+    clear_compile_cache(maxsize=256)
+    info = compile_cache_info()
+    assert info == {"hits": 0, "misses": 0, "evictions": 0,
+                    "currsize": 0, "maxsize": 256}
+
+
+def test_evaluation_reuses_the_cached_automaton():
+    graph = figure2_labeled()
+    regex = parse_regex("?person/rides/?bus")
+    baseline = endpoint_pairs(graph, regex)
+    misses = compile_cache_info()["misses"]
+    for _ in range(3):
+        assert endpoint_pairs(graph, regex) == baseline
+    info = compile_cache_info()
+    assert info["misses"] == misses  # no recompilation across queries
+    assert info["hits"] >= 3
