@@ -7,10 +7,12 @@ import math
 
 
 def hits(graph, max_iterations: int = 100,
-         tolerance: float = 1e-10) -> tuple[dict, dict]:
+         tolerance: float = 1e-10, *, ctx=None) -> tuple[dict, dict]:
     """Return (hub, authority) scores, each L2-normalized.
 
-    Parallel edges count with multiplicity.
+    Parallel edges count with multiplicity.  Under an execution context the
+    mutual-recursion loop checkpoints once per sweep (site
+    ``hits.iteration``).
     """
     nodes = sorted(graph.nodes(), key=str)
     if not nodes:
@@ -18,6 +20,8 @@ def hits(graph, max_iterations: int = 100,
     hub = {node: 1.0 for node in nodes}
     authority = {node: 1.0 for node in nodes}
     for _ in range(max_iterations):
+        if ctx is not None:
+            ctx.checkpoint("hits.iteration")
         new_authority = {node: 0.0 for node in nodes}
         for node in nodes:
             for successor in graph.successors(node):

@@ -1,5 +1,12 @@
 """Experiment harness shared by benchmarks and examples."""
 
-from repro.bench.harness import Experiment, print_series, print_table, timed
+from repro.bench.harness import (
+    Experiment,
+    print_series,
+    print_table,
+    timed,
+    timed_governed,
+)
 
-__all__ = ["Experiment", "timed", "print_table", "print_series"]
+__all__ = ["Experiment", "timed", "timed_governed", "print_table",
+           "print_series"]

@@ -48,6 +48,24 @@ def timed(function: Callable, *args, repeat: int = 1, **kwargs) -> tuple[object,
     return result, best
 
 
+def timed_governed(function: Callable, budget, *args,
+                   **kwargs) -> tuple[object, float, object]:
+    """Run ``function(*args, ctx=Context(budget), **kwargs)`` once.
+
+    Returns ``(result, wall-clock seconds, stats)`` where ``stats`` is the
+    context's :class:`~repro.exec.ExecStats` — checkpoints hit, peak
+    frontier, degradation events — so governed experiments can report
+    result quality next to timing.
+    """
+    from repro.exec import Context
+
+    ctx = Context(budget)
+    start = time.perf_counter()
+    result = function(*args, ctx=ctx, **kwargs)
+    elapsed = time.perf_counter() - start
+    return result, elapsed, ctx.stats
+
+
 def print_table(title: str, headers: Sequence[str],
                 rows: Sequence[Sequence[object]]) -> None:
     print()

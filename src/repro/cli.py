@@ -19,6 +19,8 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.errors import BudgetExceeded
+from repro.exec import Budget, Context
 from repro.models import figure2_property
 from repro.models.convert import labeled_to_rdf, property_to_labeled
 from repro.models.io import dumps, loads
@@ -28,6 +30,36 @@ from repro.query import run_cypher, run_pathql, run_sparql
 from repro.storage import PropertyGraphStore, TripleStore
 from repro.util import format_table
 
+# Exit code for a query stopped by its execution budget (2 is argparse's).
+EXIT_BUDGET_EXCEEDED = 3
+
+
+def _make_context(args: argparse.Namespace) -> Context | None:
+    """Build an execution context from --timeout/--max-steps, if any.
+
+    ``--stats`` alone also creates a context (with an unlimited budget), so
+    per-query execution statistics can be collected without enforcing
+    limits.
+    """
+    if args.timeout is None and args.max_steps is None and not args.stats:
+        return None
+    budget = Budget(deadline=args.timeout, max_steps=args.max_steps)
+    return Context(budget)
+
+
+def _print_stats(ctx: Context | None, args: argparse.Namespace) -> None:
+    if ctx is None or not args.stats:
+        return
+    print(format_table(["statistic", "value"], ctx.stats.as_rows()),
+          file=sys.stderr)
+
+
+def _budget_exceeded(exceeded: BudgetExceeded, ctx: Context | None,
+                     args: argparse.Namespace) -> int:
+    print(f"budget exceeded: {exceeded}", file=sys.stderr)
+    _print_stats(ctx, args)
+    return EXIT_BUDGET_EXCEEDED
+
 
 def _load_graph(path: str):
     with open(path, encoding="utf-8") as handle:
@@ -36,7 +68,14 @@ def _load_graph(path: str):
 
 def _cmd_pathql(args: argparse.Namespace) -> int:
     graph = _load_graph(args.graph)
-    result = run_pathql(graph, args.query)
+    ctx = _make_context(args)
+    try:
+        result = run_pathql(graph, args.query, ctx=ctx)
+    except BudgetExceeded as exceeded:
+        return _budget_exceeded(exceeded, ctx, args)
+    if result.is_degraded:
+        steps = "; ".join(str(event) for event in result.degradations)
+        print(f"# DEGRADED ({result.quality}): {steps}", file=sys.stderr)
     if result.mode in ("count", "count-approx"):
         print(result.count)
     else:
@@ -44,6 +83,7 @@ def _cmd_pathql(args: argparse.Namespace) -> int:
             print(path.to_text())
         if result.mode == "sample" and result.count is not None:
             print(f"# support size: {result.count}", file=sys.stderr)
+    _print_stats(ctx, args)
     return 0
 
 
@@ -55,10 +95,15 @@ def _cmd_sparql(args: argparse.Namespace) -> int:
         print("sparql needs a labeled or property graph file", file=sys.stderr)
         return 2
     store = TripleStore.from_graph(labeled_to_rdf(graph))
-    result = run_sparql(store, args.query)
+    ctx = _make_context(args)
+    try:
+        result = run_sparql(store, args.query, ctx=ctx)
+    except BudgetExceeded as exceeded:
+        return _budget_exceeded(exceeded, ctx, args)
     print(format_table([f"?{v}" for v in result.variables],
                        [[v if v is not None else "" for v in row]
                         for row in result.rows]))
+    _print_stats(ctx, args)
     return 0
 
 
@@ -67,10 +112,15 @@ def _cmd_cypher(args: argparse.Namespace) -> int:
     if not isinstance(graph, PropertyGraph):
         print("cypher needs a property graph file", file=sys.stderr)
         return 2
-    result = run_cypher(PropertyGraphStore(graph), args.query)
+    ctx = _make_context(args)
+    try:
+        result = run_cypher(PropertyGraphStore(graph), args.query, ctx=ctx)
+    except BudgetExceeded as exceeded:
+        return _budget_exceeded(exceeded, ctx, args)
     print(format_table(result.columns,
                        [[v if v is not None else "" for v in row]
                         for row in result.rows]))
+    _print_stats(ctx, args)
     return 0
 
 
@@ -122,19 +172,35 @@ def build_parser() -> argparse.ArgumentParser:
         description="Query graph files (models of the SIGMOD'21 tutorial).")
     commands = parser.add_subparsers(dest="command", required=True)
 
+    def add_governor_flags(subparser: argparse.ArgumentParser) -> None:
+        subparser.add_argument(
+            "--timeout", type=float, default=None, metavar="SECONDS",
+            help="deadline for query evaluation; PathQL COUNT degrades "
+                 "gracefully, other modes exit with status "
+                 f"{EXIT_BUDGET_EXCEEDED} when the budget runs out")
+        subparser.add_argument(
+            "--max-steps", type=int, default=None, metavar="N",
+            help="cap on evaluation checkpoints (a deterministic work budget)")
+        subparser.add_argument(
+            "--stats", action="store_true",
+            help="print per-query execution statistics to stderr")
+
     pathql = commands.add_parser("pathql", help="run a PathQL statement")
     pathql.add_argument("graph")
     pathql.add_argument("query")
+    add_governor_flags(pathql)
     pathql.set_defaults(handler=_cmd_pathql)
 
     sparql = commands.add_parser("sparql", help="run a mini-SPARQL query")
     sparql.add_argument("graph")
     sparql.add_argument("query")
+    add_governor_flags(sparql)
     sparql.set_defaults(handler=_cmd_sparql)
 
     cypher = commands.add_parser("cypher", help="run a mini-Cypher query")
     cypher.add_argument("graph")
     cypher.add_argument("query")
+    add_governor_flags(cypher)
     cypher.set_defaults(handler=_cmd_cypher)
 
     summary = commands.add_parser("summary", help="print graph statistics")

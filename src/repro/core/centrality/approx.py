@@ -31,13 +31,16 @@ def approximate_regex_betweenness(graph, regex: Regex, *,
                                   samples_per_pair: int = 30,
                                   method: str = "exact",
                                   candidates: Iterable | None = None,
-                                  rng: int | random.Random | None = None) -> dict:
+                                  rng: int | random.Random | None = None,
+                                  ctx=None) -> dict:
     """Estimate bc_r(x) for every node (or the ``candidates``).
 
     ``method`` selects the Gen backend: ``"exact"`` uses the uniform sampler
     (exact preprocessing per pair), ``"fpras"`` the approximate-counting
     sketches (never determinizes, matching the paper's polynomial-time
-    story).
+    story).  Under an execution context the pair loop checkpoints once per
+    sampled (a, b) pair (site ``approx_bc.pair``) and the per-pair Gen
+    preprocessing inherits the same context.
     """
     if samples_per_pair <= 0:
         raise ValueError("samples_per_pair must be positive")
@@ -54,7 +57,10 @@ def approximate_regex_betweenness(graph, regex: Regex, *,
         for b, (length, _count) in profile.items():
             if length == 0:
                 continue  # a length-0 path contains only a itself, never an x != a
-            sampler = _make_sampler(graph, regex, length, a, b, method, rng)
+            if ctx is not None:
+                ctx.checkpoint("approx_bc.pair")
+            sampler = _make_sampler(graph, regex, length, a, b, method, rng,
+                                    ctx)
             if sampler is None:
                 continue
             hits = {x: 0 for x in candidate_set}
@@ -68,13 +74,14 @@ def approximate_regex_betweenness(graph, regex: Regex, *,
     return estimates
 
 
-def _make_sampler(graph, regex, length, a, b, method, rng):
+def _make_sampler(graph, regex, length, a, b, method, rng, ctx=None):
     if method == "exact":
         sampler = UniformPathSampler(graph, regex, length,
-                                     start_nodes=[a], end_nodes=[b])
+                                     start_nodes=[a], end_nodes=[b], ctx=ctx)
         return sampler if sampler.count else None
     counter = ApproxPathCounter(graph, regex, length, epsilon=0.3,
-                                rng=rng, start_nodes=[a], end_nodes=[b])
+                                rng=rng, start_nodes=[a], end_nodes=[b],
+                                ctx=ctx)
     try:
         counter.sample(rng)
     except EstimationError:

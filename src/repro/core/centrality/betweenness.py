@@ -12,15 +12,19 @@ from collections import deque
 
 
 def betweenness_centrality(graph, *, directed: bool = True,
-                           normalized: bool = False) -> dict:
+                           normalized: bool = False, ctx=None) -> dict:
     """Brandes' accumulation algorithm; O(|N| * |E|) for unweighted graphs.
 
     With ``normalized=True`` scores are divided by the number of ordered
-    node pairs excluding the node itself, (n-1)(n-2).
+    node pairs excluding the node itself, (n-1)(n-2).  Under an execution
+    context the outer loop checkpoints once per source node (site
+    ``betweenness.source``).
     """
     nodes = sorted(graph.nodes(), key=str)
     centrality = {node: 0.0 for node in nodes}
     for source in nodes:
+        if ctx is not None:
+            ctx.checkpoint("betweenness.source")
         # Single-source shortest paths with counts (BFS).
         order: list = []
         predecessors: dict = {node: [] for node in nodes}

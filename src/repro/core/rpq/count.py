@@ -12,6 +12,11 @@ validated against:
   pruned by "can an accept state still be reached in the remaining steps".
 - :func:`count_paths_bruteforce` — enumerate [[r]] by the reference
   semantics and filter; only usable on tiny instances, used in tests.
+
+Both accept an optional execution :class:`~repro.exec.Context` (``ctx``):
+the subset DP checkpoints once per expanded subset (site ``count.layer``)
+and reports the live-subset frontier, which is exactly where the
+exponential blow-up shows, so deadlines/step budgets interrupt it promptly.
 """
 
 from __future__ import annotations
@@ -22,10 +27,11 @@ from repro.core.rpq.ast import Regex
 from repro.core.rpq.nfa import compile_regex
 from repro.core.rpq.product import INITIAL, ProductNFA, build_product
 from repro.core.rpq.semantics import evaluate_bruteforce
+from repro.errors import InvalidLengthError
 
 
 def count_words_exact(product: ProductNFA, length: int, *,
-                      prune: bool = True) -> int:
+                      prune: bool = True, ctx=None) -> int:
     """Number of distinct accepted words of exactly ``length`` symbols.
 
     ``prune=True`` (the default) intersects every reached subset with the
@@ -35,7 +41,7 @@ def count_words_exact(product: ProductNFA, length: int, *,
     the ablation benchmark quantifies the difference.
     """
     if length < 0:
-        raise ValueError("length must be non-negative")
+        raise InvalidLengthError("length", length)
     back = product.back_layers(length)
     start = frozenset([INITIAL])
     if prune:
@@ -50,6 +56,8 @@ def count_words_exact(product: ProductNFA, length: int, *,
         survivors = back[remaining]
         following: dict[frozenset[int], int] = {}
         for subset, count in current.items():
+            if ctx is not None:
+                ctx.checkpoint("count.layer")
             for symbol in product.symbols_from(subset):
                 reached = product.delta(subset, symbol)
                 if prune:
@@ -57,6 +65,10 @@ def count_words_exact(product: ProductNFA, length: int, *,
                 if reached:
                     following[reached] = following.get(reached, 0) + count
         current = following
+        if ctx is not None and current:
+            # The distinct-subset frontier is the memory hot spot of the
+            # determinized DP: each key is a frozenset of product states.
+            ctx.note_frontier(len(current), "count.layer")
         if not current:
             return 0
     if prune:
@@ -70,7 +82,7 @@ def count_words_exact(product: ProductNFA, length: int, *,
 def count_paths_exact(graph, regex: Regex, k: int,
                       start_nodes: Iterable | None = None,
                       end_nodes: Iterable | None = None,
-                      *, use_label_index: bool = True) -> int:
+                      *, use_label_index: bool = True, ctx=None) -> int:
     """Count(G, r, k): the number of paths p in [[r]] with |p| = k.
 
     Optionally restrict the start and end nodes of the counted paths (needed
@@ -78,11 +90,12 @@ def count_paths_exact(graph, regex: Regex, k: int,
     ``use_label_index=False`` forces the full-scan product construction.
     """
     if k < 0:
-        raise ValueError("path length k must be non-negative")
+        raise InvalidLengthError("path length k", k)
     nfa = compile_regex(regex)
     product = build_product(graph, nfa, start_nodes=start_nodes,
-                            end_nodes=end_nodes, use_label_index=use_label_index)
-    return count_words_exact(product, k + 1)
+                            end_nodes=end_nodes, use_label_index=use_label_index,
+                            ctx=ctx)
+    return count_words_exact(product, k + 1, ctx=ctx)
 
 
 def count_paths_bruteforce(graph, regex: Regex, k: int,
@@ -90,7 +103,7 @@ def count_paths_bruteforce(graph, regex: Regex, k: int,
                            end_nodes: Iterable | None = None) -> int:
     """Reference implementation of Count by explicit path materialization."""
     if k < 0:
-        raise ValueError("path length k must be non-negative")
+        raise InvalidLengthError("path length k", k)
     start_filter = None if start_nodes is None else set(start_nodes)
     end_filter = None if end_nodes is None else set(end_nodes)
     total = 0

@@ -12,6 +12,11 @@ number of remaining answers.
 
 Each distinct path is emitted exactly once (words are determinized), in a
 deterministic order.
+
+Under an execution :class:`~repro.exec.Context` (``ctx``) the DFS
+checkpoints once per expanded stack frame (site ``enumerate.pop``) and
+counts every emitted answer against ``max_results``, so both runaway
+preprocessing and runaway answer sets stay within budget.
 """
 
 from __future__ import annotations
@@ -22,12 +27,14 @@ from repro.core.rpq.ast import Regex
 from repro.core.rpq.nfa import compile_regex
 from repro.core.rpq.paths import Path
 from repro.core.rpq.product import INITIAL, ProductNFA, build_product, symbol_sort_key
+from repro.errors import InvalidLengthError
 
 
-def enumerate_words(product: ProductNFA, length: int) -> Iterator[tuple]:
+def enumerate_words(product: ProductNFA, length: int, *,
+                    ctx=None) -> Iterator[tuple]:
     """Yield every accepted word of exactly ``length`` symbols, poly delay."""
     if length < 0:
-        raise ValueError("length must be non-negative")
+        raise InvalidLengthError("length", length)
     back = product.back_layers(length)
     start = frozenset([INITIAL]) & back[length]
     if not start:
@@ -35,9 +42,14 @@ def enumerate_words(product: ProductNFA, length: int) -> Iterator[tuple]:
     # Iterative DFS; each stack frame is (subset, word-so-far).
     stack: list[tuple[frozenset[int], tuple]] = [(start, ())]
     while stack:
+        if ctx is not None:
+            ctx.checkpoint("enumerate.pop")
+            ctx.note_frontier(len(stack), "enumerate.pop")
         subset, word = stack.pop()
         remaining = length - len(word)
         if remaining == 0:
+            if ctx is not None:
+                ctx.tick_results("enumerate.pop")
             yield word
             continue
         survivors = back[remaining - 1]
@@ -52,31 +64,34 @@ def enumerate_words(product: ProductNFA, length: int) -> Iterator[tuple]:
 def enumerate_paths(graph, regex: Regex, k: int,
                     start_nodes: Iterable | None = None,
                     end_nodes: Iterable | None = None,
-                    *, use_label_index: bool = True) -> Iterator[Path]:
+                    *, use_label_index: bool = True, ctx=None) -> Iterator[Path]:
     """Enumerate the paths p in [[regex]] with |p| = k, one by one.
 
     The generator's construction cost is the preprocessing phase; iterating
     it is the bounded-delay enumeration phase.
     """
     if k < 0:
-        raise ValueError("path length k must be non-negative")
+        raise InvalidLengthError("path length k", k)
     nfa = compile_regex(regex)
     product = build_product(graph, nfa, start_nodes=start_nodes,
-                            end_nodes=end_nodes, use_label_index=use_label_index)
-    for word in enumerate_words(product, k + 1):
+                            end_nodes=end_nodes, use_label_index=use_label_index,
+                            ctx=ctx)
+    for word in enumerate_words(product, k + 1, ctx=ctx):
         yield product.word_to_path(word)
 
 
 def enumerate_paths_up_to(graph, regex: Regex, max_k: int,
                           start_nodes: Iterable | None = None,
                           end_nodes: Iterable | None = None,
-                          *, use_label_index: bool = True) -> Iterator[Path]:
+                          *, use_label_index: bool = True,
+                          ctx=None) -> Iterator[Path]:
     """Enumerate conforming paths of every length 0..max_k, shortest first."""
     if max_k < 0:
-        raise ValueError("max_k must be non-negative")
+        raise InvalidLengthError("max_k", max_k)
     nfa = compile_regex(regex)
     product = build_product(graph, nfa, start_nodes=start_nodes,
-                            end_nodes=end_nodes, use_label_index=use_label_index)
+                            end_nodes=end_nodes, use_label_index=use_label_index,
+                            ctx=ctx)
     for k in range(max_k + 1):
-        for word in enumerate_words(product, k + 1):
+        for word in enumerate_words(product, k + 1, ctx=ctx):
             yield product.word_to_path(word)

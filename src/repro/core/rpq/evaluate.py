@@ -98,7 +98,8 @@ def _edges_matching(graph, test, use_label_index: bool):
     return (e for e in graph.edges() if test.matches_edge(graph, e))
 
 
-def _chain_frontiers(graph, steps: list[list[tuple]], use_label_index: bool):
+def _chain_frontiers(graph, steps: list[list[tuple]], use_label_index: bool,
+                     ctx=None):
     """Run a chain automaton as a frontier join; yields the final frontier.
 
     Returns ``(start_of_bit, frontier)`` where ``frontier`` maps each node
@@ -115,6 +116,8 @@ def _chain_frontiers(graph, steps: list[list[tuple]], use_label_index: bool):
     frontier: dict = {}
     for test, inverse in steps[0]:
         for edge in _edges_matching(graph, test, use_label_index):
+            if ctx is not None:
+                ctx.checkpoint("evaluate.chain")
             source, target = endpoints(edge)
             if inverse:
                 source, target = target, source
@@ -131,6 +134,9 @@ def _chain_frontiers(graph, steps: list[list[tuple]], use_label_index: bool):
                     for test, inverse in alternatives]
         next_frontier: dict = {}
         for node, mask in frontier.items():
+            if ctx is not None:
+                ctx.checkpoint("evaluate.chain")
+                ctx.note_frontier(len(frontier), "evaluate.chain")
             for (fetch, skip_test), test, inverse in fetchers:
                 for edge in fetch(node):
                     if not skip_test and not test.matches_edge(graph, edge):
@@ -144,16 +150,18 @@ def _chain_frontiers(graph, steps: list[list[tuple]], use_label_index: bool):
 
 def paths_matching(graph, regex: Regex, max_length: int,
                    start_nodes: Iterable | None = None,
-                   end_nodes: Iterable | None = None) -> Iterator[Path]:
+                   end_nodes: Iterable | None = None, *,
+                   ctx=None) -> Iterator[Path]:
     """All conforming paths with |p| <= max_length, shortest first."""
     return enumerate_paths_up_to(graph, regex, max_length,
-                                 start_nodes=start_nodes, end_nodes=end_nodes)
+                                 start_nodes=start_nodes, end_nodes=end_nodes,
+                                 ctx=ctx)
 
 
 def endpoint_pairs(graph, regex: Regex,
                    start_nodes: Iterable | None = None,
                    end_nodes: Iterable | None = None,
-                   *, use_label_index: bool = True) -> set[tuple]:
+                   *, use_label_index: bool = True, ctx=None) -> set[tuple]:
     """All (start(p), end(p)) for p in [[regex]] — finite, computed exactly.
 
     Chain-shaped regexes (pure sequences of edge steps, unrestricted
@@ -174,7 +182,7 @@ def endpoint_pairs(graph, regex: Regex,
             # Pure edge-step chain: evaluate as a frontier join over the
             # label index, with no product automaton at all.
             start_of_bit, frontier = _chain_frontiers(graph, steps,
-                                                      use_label_index)
+                                                      use_label_index, ctx)
             pairs: set[tuple] = set()
             decoded: dict[int, list] = {}
             for end_node, mask in frontier.items():
@@ -184,7 +192,8 @@ def endpoint_pairs(graph, regex: Regex,
                 pairs.update(zip(starts, repeat(end_node)))
             return pairs
     product = build_product(graph, nfa, start_nodes=start_nodes,
-                            end_nodes=end_nodes, use_label_index=use_label_index)
+                            end_nodes=end_nodes, use_label_index=use_label_index,
+                            ctx=ctx)
     alive = product.alive_states()
     if not alive:
         return set()
@@ -219,6 +228,9 @@ def endpoint_pairs(graph, regex: Regex,
     for state in worklist:
         queued[state] = True
     while worklist:
+        if ctx is not None:
+            ctx.checkpoint("evaluate.fixpoint")
+            ctx.note_frontier(len(worklist), "evaluate.fixpoint")
         state = worklist.pop()
         queued[state] = False
         mask = masks[state]
@@ -246,7 +258,7 @@ def endpoint_pairs(graph, regex: Regex,
 
 def nodes_matching(graph, regex: Regex,
                    end_nodes: Iterable | None = None,
-                   *, use_label_index: bool = True) -> set:
+                   *, use_label_index: bool = True, ctx=None) -> set:
     """Node extraction: nodes a with a conforming path from a to some b.
 
     Needs no forward pass at all: a start node has a conforming path iff
@@ -258,20 +270,21 @@ def nodes_matching(graph, regex: Regex,
         steps = _chain_steps(nfa)
         if steps is not None:
             start_of_bit, frontier = _chain_frontiers(graph, steps,
-                                                      use_label_index)
+                                                      use_label_index, ctx)
             surviving = 0
             for mask in frontier.values():
                 surviving |= mask
             return set(_decode_mask(surviving, start_of_bit))
     product = build_product(graph, nfa, end_nodes=end_nodes,
-                            use_label_index=use_label_index)
+                            use_label_index=use_label_index, ctx=ctx)
     alive = product.alive_states()
     return {symbol[1]
             for symbol, first_states in product.transitions[INITIAL].items()
             if not alive.isdisjoint(first_states)}
 
 
-def shortest_conforming_length(graph, regex: Regex, start_node, end_node) -> int | None:
+def shortest_conforming_length(graph, regex: Regex, start_node, end_node,
+                               *, ctx=None) -> int | None:
     """min{|p| : p in [[regex]], start(p)=start_node, end(p)=end_node}, or None.
 
     BFS over the product automaton (word length - 1 = path length); this is
@@ -279,11 +292,14 @@ def shortest_conforming_length(graph, regex: Regex, start_node, end_node) -> int
     """
     nfa = compile_regex(regex)
     product = build_product(graph, nfa, start_nodes=[start_node],
-                            end_nodes=[end_node])
+                            end_nodes=[end_node], ctx=ctx)
     frontier = set(product.transitions[INITIAL].get(("init", start_node), ()))
     seen = set(frontier)
     distance = 0
     while frontier:
+        if ctx is not None:
+            ctx.checkpoint("evaluate.bfs")
+            ctx.note_frontier(len(frontier), "evaluate.bfs")
         if any(state in product.accepts for state in frontier):
             return distance
         next_frontier: set[int] = set()

@@ -31,20 +31,35 @@ polynomial pool-size bounds guarantee (epsilon, delta) rigor but are
 astronomically conservative; pool and trial sizes here default to practical
 values derived from epsilon, and experiment C1 measures the achieved error
 empirically.
+
+Determinism: randomness is *never* drawn from the module-global
+:mod:`random` state.  An explicit :class:`random.Random` (or integer seed)
+can be passed; with ``rng=None`` the counter seeds itself from the library
+default seed (:data:`repro.util.rng.DEFAULT_SEED`), so an unseeded run —
+in particular a *degraded* answer produced by the execution governor — is
+reproducible run over run.
+
+Under an execution :class:`~repro.exec.Context` (``ctx``) sketch
+construction checkpoints once per Karp-Luby sampling attempt (site
+``fpras.sketch``), the final union estimate once per trial (site
+``fpras.estimate``), and every pooled word is charged against the byte
+budget — the FPRAS is polynomial, but on large products its constant factor
+still deserves a leash.
 """
 
 from __future__ import annotations
 
 import math
 import random
+import sys
 from collections.abc import Iterable
 
 from repro.core.rpq.ast import Regex
 from repro.core.rpq.nfa import compile_regex
 from repro.core.rpq.paths import Path
 from repro.core.rpq.product import INITIAL, ProductNFA, build_product
-from repro.errors import EstimationError
-from repro.util.rng import make_rng
+from repro.errors import EstimationError, InvalidLengthError
+from repro.util.rng import make_default_rng, make_rng
 
 
 class _PoolEntry:
@@ -71,22 +86,24 @@ class ApproxPathCounter:
                  trials_per_state: int | None = None,
                  rng: int | random.Random | None = None,
                  start_nodes: Iterable | None = None,
-                 end_nodes: Iterable | None = None) -> None:
+                 end_nodes: Iterable | None = None,
+                 ctx=None) -> None:
         if k < 0:
-            raise ValueError("path length k must be non-negative")
+            raise InvalidLengthError("path length k", k)
         if not 0 < epsilon < 1:
             raise ValueError("epsilon must be in (0, 1)")
         self.k = k
         self.epsilon = epsilon
         self._length = k + 1
-        self._rng = make_rng(rng)
+        self._rng = make_default_rng(rng)
+        self._ctx = ctx
         self._pool_size = pool_size if pool_size is not None else max(
             64, min(512, math.ceil(4.0 / epsilon)))
         self._trials = trials_per_state if trials_per_state is not None else max(
             128, min(8192, math.ceil(16.0 / (epsilon * epsilon))))
         nfa = compile_regex(regex)
         self._product: ProductNFA = build_product(
-            graph, nfa, start_nodes=start_nodes, end_nodes=end_nodes)
+            graph, nfa, start_nodes=start_nodes, end_nodes=end_nodes, ctx=ctx)
         self._estimates: list[dict[int, float]] = []
         self._pools: list[dict[int, list[_PoolEntry]]] = []
         self._build_sketches()
@@ -110,6 +127,7 @@ class ApproxPathCounter:
     def _build_sketches(self) -> None:
         product = self._product
         rng = self._rng
+        ctx = self._ctx
         alive = self._alive_layers()
         reverse = product.reverse_transitions()
         estimates: list[dict[int, float]] = [{} for _ in range(self._length + 1)]
@@ -140,6 +158,8 @@ class ApproxPathCounter:
                 while attempts < max_attempts and (
                         ratios_n < self._trials or len(pool) < self._pool_size):
                     attempts += 1
+                    if ctx is not None:
+                        ctx.checkpoint("fpras.sketch")
                     index = rng.choices(range(len(parts)), weights=weights)[0]
                     p, symbol = parts[index]
                     entry = rng.choice(previous_pools[p])
@@ -152,6 +172,12 @@ class ApproxPathCounter:
                             containing == 1 or rng.random() < 1.0 / containing):
                         reach = product.delta(entry.reach, symbol)
                         pool.append(_PoolEntry(entry.word + (symbol,), reach))
+                        if ctx is not None:
+                            # A pooled word stores i symbols plus its reach
+                            # set; charge the dominant parts.
+                            ctx.charge_bytes(
+                                sys.getsizeof(pool[-1].word)
+                                + sys.getsizeof(reach), "fpras.sketch")
                 if ratios_n == 0 or not pool:
                     continue
                 estimates[i][q] = total_weight * (ratios_sum / ratios_n)
@@ -172,8 +198,11 @@ class ApproxPathCounter:
         total_weight = sum(weights)
         accept_set = set(accept_parts)
         rng = self._rng
+        ctx = self._ctx
         ratios_sum = 0.0
         for _ in range(self._trials):
+            if ctx is not None:
+                ctx.checkpoint("fpras.estimate")
             index = rng.choices(range(len(accept_parts)), weights=weights)[0]
             entry = rng.choice(self._pools[self._length][accept_parts[index]])
             containing = len(accept_set & entry.reach)

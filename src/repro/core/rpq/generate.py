@@ -20,7 +20,7 @@ from repro.core.rpq.ast import Regex
 from repro.core.rpq.nfa import compile_regex
 from repro.core.rpq.paths import Path
 from repro.core.rpq.product import INITIAL, build_product, symbol_sort_key
-from repro.errors import EstimationError
+from repro.errors import EstimationError, InvalidLengthError
 from repro.util.rng import make_rng
 
 
@@ -35,21 +35,21 @@ class UniformPathSampler:
 
     def __init__(self, graph, regex: Regex, k: int,
                  start_nodes: Iterable | None = None,
-                 end_nodes: Iterable | None = None) -> None:
+                 end_nodes: Iterable | None = None, *, ctx=None) -> None:
         if k < 0:
-            raise ValueError("path length k must be non-negative")
+            raise InvalidLengthError("path length k", k)
         self.k = k
         self._length = k + 1
         nfa = compile_regex(regex)
-        self._product = build_product(graph, nfa,
-                                      start_nodes=start_nodes, end_nodes=end_nodes)
+        self._product = build_product(graph, nfa, start_nodes=start_nodes,
+                                      end_nodes=end_nodes, ctx=ctx)
         self._layers: list[dict[frozenset[int], dict[tuple, frozenset[int]]]] = []
         self._counts: list[dict[frozenset[int], int]] = []
-        self._preprocess()
+        self._preprocess(ctx)
 
     # -- preprocessing phase ----------------------------------------------
 
-    def _preprocess(self) -> None:
+    def _preprocess(self, ctx=None) -> None:
         product = self._product
         length = self._length
         back = product.back_layers(length)
@@ -61,6 +61,8 @@ class UniformPathSampler:
         for i in range(length):
             survivors = back[length - i - 1]
             for subset in layer_sets[i]:
+                if ctx is not None:
+                    ctx.checkpoint("generate.preprocess")
                 table: dict[tuple, frozenset[int]] = {}
                 for symbol in product.symbols_from(subset):
                     reached = product.delta(subset, symbol) & survivors

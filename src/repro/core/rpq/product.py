@@ -292,7 +292,7 @@ def _edge_fetchers(graph, use_label_index: bool):
 def build_product(graph, nfa: NFA,
                   start_nodes: Iterable | None = None,
                   end_nodes: Iterable | None = None,
-                  *, use_label_index: bool = True) -> ProductNFA:
+                  *, use_label_index: bool = True, ctx=None) -> ProductNFA:
     """Materialize the product automaton reachable from the initial state.
 
     ``start_nodes`` restricts where paths may begin (default: every node);
@@ -304,6 +304,11 @@ def build_product(graph, nfa: NFA,
     feature-restricted edge transitions through the graph's per-label
     adjacency index when one exists; ``False`` forces the full incidence
     scan (the reference path the equivalence tests compare against).
+
+    ``ctx`` (an execution :class:`~repro.exec.Context`) makes construction
+    cooperative: one checkpoint per expanded product state (site
+    ``product.expand``) and per scanned start node (site ``product.init``),
+    so adversarial products cannot be materialized past the budget.
     """
     product = ProductNFA(graph, nfa)
     end_filter = None if end_nodes is None else set(end_nodes)
@@ -424,6 +429,8 @@ def build_product(graph, nfa: NFA,
         state_index = product.state_index
         state_node = product.state_node
         for node in graph.nodes():
+            if ctx is not None:
+                ctx.checkpoint("product.init")
             table: dict = {}
             expand_state(table, node, start_transitions)
             is_accept = accepting and (end_filter is None or node in end_filter)
@@ -442,6 +449,8 @@ def build_product(graph, nfa: NFA,
         starts = (list(start_nodes) if start_nodes is not None
                   else list(graph.nodes()))
         for node in starts:
+            if ctx is not None:
+                ctx.checkpoint("product.init")
             if not graph.has_node(node):
                 raise GraphError(f"start node {node!r} is not in the graph")
             reached = cached_closure(nfa.start, node)
@@ -450,6 +459,9 @@ def build_product(graph, nfa: NFA,
 
     # Explore edge transitions from every reachable product state.
     while worklist:
+        if ctx is not None:
+            ctx.checkpoint("product.expand")
+            ctx.note_frontier(len(worklist), "product.expand")
         index = worklist.pop()
         q, node = state_keys[index]
         expand_state(tables[index], node, prepared[q])

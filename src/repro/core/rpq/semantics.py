@@ -12,13 +12,13 @@ from __future__ import annotations
 
 from repro.core.rpq.ast import Concat, EdgeAtom, NodeTest, Regex, Star, Union
 from repro.core.rpq.paths import Path, cat
-from repro.errors import LogicError
+from repro.errors import InvalidLengthError, LogicError
 
 
 def evaluate_bruteforce(graph, regex: Regex, max_length: int) -> set[Path]:
     """[[regex]]_graph restricted to paths with at most ``max_length`` edges."""
     if max_length < 0:
-        raise ValueError("max_length must be non-negative")
+        raise InvalidLengthError("max_length", max_length)
     if isinstance(regex, NodeTest):
         return {Path.single(n) for n in graph.nodes()
                 if regex.test.matches_node(graph, n)}

@@ -18,6 +18,7 @@ from repro.datasets.contact import generate_contact_graph
 from repro.datasets.dblp import Publication, generate_corpus, KEYWORDS, YEARS
 from repro.datasets.random_graphs import (
     barabasi_albert,
+    complete_multigraph,
     erdos_renyi,
     random_labeled_graph,
     random_vector_graph,
@@ -27,7 +28,7 @@ from repro.datasets.social import partition_accuracy, stochastic_block_model
 __all__ = [
     "generate_contact_graph",
     "Publication", "generate_corpus", "KEYWORDS", "YEARS",
-    "erdos_renyi", "barabasi_albert", "random_labeled_graph",
-    "random_vector_graph",
+    "erdos_renyi", "barabasi_albert", "complete_multigraph",
+    "random_labeled_graph", "random_vector_graph",
     "stochastic_block_model", "partition_accuracy",
 ]

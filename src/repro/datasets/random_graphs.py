@@ -88,6 +88,30 @@ def random_labeled_graph(n: int, n_edges: int, *,
     return graph
 
 
+def complete_multigraph(n: int,
+                        edge_labels: Sequence[str] = ("a", "b"),
+                        node_label: str = "node") -> LabeledGraph:
+    """Complete directed multigraph (with self-loops): every ordered node
+    pair carries one edge per label.
+
+    This is the adversarial substrate for exact path counting: every label
+    word over ``edge_labels`` is realized along every node sequence, so an
+    ambiguous regex like ``(a + b)*/a/(a + b)^m/(a + b)*`` drives the
+    determinized subset space to its worst case while staying tiny for the
+    (polynomial) FPRAS — the workload of the governor experiments.
+    """
+    graph = LabeledGraph()
+    for i in range(n):
+        graph.add_node(f"v{i}", node_label)
+    edge = 0
+    for i in range(n):
+        for j in range(n):
+            for label in edge_labels:
+                graph.add_edge(f"e{edge}", f"v{i}", f"v{j}", label)
+                edge += 1
+    return graph
+
+
 def random_vector_graph(n: int, n_edges: int, dimension: int, *,
                         values: Sequence[str] = ("0", "1"),
                         rng: int | random.Random | None = 0) -> VectorGraph:

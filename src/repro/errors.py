@@ -91,3 +91,65 @@ class EstimationError(ReproError):
 
 class SchemaError(ReproError):
     """A relational table or vector-graph schema was violated."""
+
+
+class InvalidLengthError(ReproError, ValueError):
+    """A path length / layer count parameter was outside its domain.
+
+    Also a :class:`ValueError`, so callers validating numeric arguments the
+    Python way keep working — but the library-wide "catch :class:`ReproError`"
+    contract now covers these too.
+    """
+
+    def __init__(self, name: str, value: object) -> None:
+        super().__init__(f"{name} must be non-negative, got {value!r}")
+        self.name = name
+        self.value = value
+
+
+class ExecutionError(ReproError):
+    """Base class for execution-governance outcomes (see :mod:`repro.exec`)."""
+
+
+class BudgetExceeded(ExecutionError):
+    """A governed computation ran out of one of its budgeted resources.
+
+    ``resource`` is one of ``'deadline'``, ``'steps'``, ``'frontier'``,
+    ``'bytes'`` or ``'results'``; ``site`` names the cooperative checkpoint
+    that observed the exhaustion; ``injected`` marks faults raised by the
+    deterministic fault-injection harness rather than a real limit.
+    """
+
+    def __init__(self, resource: str, limit: object, spent: object,
+                 site: str, *, injected: bool = False) -> None:
+        origin = " [injected]" if injected else ""
+        super().__init__(
+            f"{resource} budget exceeded at {site}: "
+            f"spent {spent!r} of {limit!r}{origin}")
+        self.resource = resource
+        self.limit = limit
+        self.spent = spent
+        self.site = site
+        self.injected = injected
+
+
+class Cancelled(ExecutionError):
+    """A governed computation observed a cooperative cancellation request."""
+
+    def __init__(self, site: str) -> None:
+        super().__init__(f"execution cancelled at {site}")
+        self.site = site
+
+
+class Degraded(ExecutionError):
+    """Degradation was required but the caller forbade degraded answers.
+
+    Raised by the degradation ladder when ``allow_degraded=False`` and the
+    exact computation exhausted its budget; carries the events describing
+    which rungs failed and why.
+    """
+
+    def __init__(self, events: tuple) -> None:
+        reasons = "; ".join(str(event) for event in events) or "budget exhausted"
+        super().__init__(f"exact answer unavailable within budget: {reasons}")
+        self.events = events

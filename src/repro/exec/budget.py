@@ -1,0 +1,275 @@
+"""Execution budgets and the cooperative checkpoint protocol.
+
+The paper's complexity results are the reason this module exists: Count is
+SpanL-complete, so the exact algorithms are *expected* to blow up on
+adversarial inputs, and nothing short of per-query resource governance
+makes them safe to run unattended.  The design follows the per-query
+resource managers of production RPQ engines (MillenniumDB's query
+deadlines/thread budgets):
+
+- a :class:`Budget` declares limits — wall-clock ``deadline`` (seconds),
+  ``max_steps`` (checkpoints), ``max_frontier`` (live states / DP subsets),
+  ``max_bytes`` (sample-pool / DP memory), ``max_results`` (emitted
+  answers);
+- a :class:`Context` carries the budget through a computation and accounts
+  against it.  Hot loops call :meth:`Context.checkpoint` (cheap: one dict
+  bump, one counter, one clock read) at every O(1)-amortized unit of work;
+  exceeding any limit raises :class:`~repro.errors.BudgetExceeded`, and a
+  cooperative :meth:`Context.cancel` from anywhere raises
+  :class:`~repro.errors.Cancelled` at the next checkpoint;
+- :class:`ExecStats` records, per checkpoint *site*, how often the site was
+  hit, plus peak frontier size, peak charged bytes and every degradation
+  event — the per-query observability the bench harness and CLI surface.
+
+Checkpoint placement rules (see DESIGN.md §4c): every loop whose trip count
+depends on the *input* (graph size, product size, number of subsets,
+sampling trials, join candidates, fixpoint iterations) checkpoints once per
+iteration under a stable dotted site name; loops bounded by a small
+constant do not.  Sites are the unit of fault injection and of the
+checkpoint-coverage assertions in the test suite.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.errors import BudgetExceeded, Cancelled
+
+
+@dataclass(frozen=True)
+class Budget:
+    """Declarative per-query resource limits; ``None`` means unlimited.
+
+    ``deadline`` is relative (seconds from the creation of the
+    :class:`Context`); the context turns it into an absolute monotonic
+    instant, so nested sub-budgets share one clock.
+    """
+
+    deadline: float | None = None
+    max_steps: int | None = None
+    max_frontier: int | None = None
+    max_bytes: int | None = None
+    max_results: int | None = None
+
+    def is_unlimited(self) -> bool:
+        return (self.deadline is None and self.max_steps is None
+                and self.max_frontier is None and self.max_bytes is None
+                and self.max_results is None)
+
+
+@dataclass
+class DegradationEvent:
+    """One rung of the degradation ladder giving up."""
+
+    from_quality: str
+    to_quality: str
+    resource: str
+    site: str
+
+    def __str__(self) -> str:
+        return (f"{self.from_quality} -> {self.to_quality} "
+                f"({self.resource} exhausted at {self.site})")
+
+
+@dataclass
+class ExecStats:
+    """Per-query execution statistics, shared by a context and its children."""
+
+    checkpoints: dict[str, int] = field(default_factory=dict)
+    peak_frontier: int = 0
+    peak_bytes: int = 0
+    results: int = 0
+    degradations: list[DegradationEvent] = field(default_factory=list)
+
+    @property
+    def total_checkpoints(self) -> int:
+        return sum(self.checkpoints.values())
+
+    def sites(self) -> set[str]:
+        """The checkpoint sites this query actually passed through."""
+        return set(self.checkpoints)
+
+    def as_rows(self) -> list[list[object]]:
+        """Table rows for the bench harness / CLI ``--stats`` output."""
+        rows: list[list[object]] = [
+            ["checkpoints (total)", self.total_checkpoints],
+            ["peak frontier", self.peak_frontier],
+            ["peak bytes (approx)", self.peak_bytes],
+            ["results emitted", self.results],
+            ["degradation events", len(self.degradations)],
+        ]
+        for site in sorted(self.checkpoints):
+            rows.append([f"site {site}", self.checkpoints[site]])
+        for event in self.degradations:
+            rows.append(["degraded", str(event)])
+        return rows
+
+
+class _Shared:
+    """Mutable accounting shared between a context and its sub-contexts.
+
+    Steps, the cancellation flag and the (fault-skewable) clock offset are
+    global to the whole query, so a degradation ladder cannot reset them by
+    creating a child context.
+    """
+
+    __slots__ = ("steps", "cancelled", "clock_offset")
+
+    def __init__(self) -> None:
+        self.steps = 0
+        self.cancelled = False
+        self.clock_offset = 0.0
+
+
+class Context:
+    """A budget in flight: accounting state + the checkpoint entry point.
+
+    Code under the governor receives a context through an optional ``ctx``
+    keyword; ``ctx=None`` (the default everywhere) keeps the ungoverned hot
+    paths entirely free of overhead.
+    """
+
+    __slots__ = ("budget", "stats", "faults", "_clock", "_shared",
+                 "_deadline", "_max_steps", "_bytes", "_results", "_parent")
+
+    def __init__(self, budget: Budget | None = None, *,
+                 clock: Callable[[], float] = time.monotonic,
+                 faults=None, stats: ExecStats | None = None) -> None:
+        self.budget = budget if budget is not None else Budget()
+        self.stats = stats if stats is not None else ExecStats()
+        self.faults = faults
+        self._clock = clock
+        self._shared = _Shared()
+        self._bytes = 0
+        self._results = 0
+        self._parent: Context | None = None
+        self._deadline = (None if self.budget.deadline is None
+                          else self.now() + self.budget.deadline)
+        self._max_steps = (None if self.budget.max_steps is None
+                           else self._shared.steps + self.budget.max_steps)
+
+    # -- clock ---------------------------------------------------------------
+
+    def now(self) -> float:
+        """Current monotonic time, including any injected clock skew."""
+        return self._clock() + self._shared.clock_offset
+
+    def skew_clock(self, seconds: float) -> None:
+        """Advance the virtual clock (fault injection: deterministic
+        deadline expiry without real sleeping)."""
+        self._shared.clock_offset += seconds
+
+    def time_left(self) -> float | None:
+        """Seconds until the deadline, or ``None`` when unbounded."""
+        if self._deadline is None:
+            return None
+        return self._deadline - self.now()
+
+    def steps_left(self) -> int | None:
+        if self._max_steps is None:
+            return None
+        return self._max_steps - self._shared.steps
+
+    # -- cancellation --------------------------------------------------------
+
+    def cancel(self) -> None:
+        """Request cooperative cancellation; the next checkpoint (of this
+        context or any relative) raises :class:`Cancelled`."""
+        self._shared.cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._shared.cancelled
+
+    # -- the checkpoint protocol ---------------------------------------------
+
+    def checkpoint(self, site: str) -> None:
+        """One unit of governed work at ``site``.
+
+        Order matters: the site counter bumps *first* (so coverage counters
+        see aborted loops), then injected faults fire, then cancellation,
+        then step / deadline limits.
+        """
+        stats = self.stats
+        stats.checkpoints[site] = stats.checkpoints.get(site, 0) + 1
+        shared = self._shared
+        shared.steps += 1
+        if self.faults is not None:
+            self.faults.on_checkpoint(self, site)
+        if shared.cancelled:
+            raise Cancelled(site)
+        if self._max_steps is not None and shared.steps > self._max_steps:
+            raise BudgetExceeded("steps", self.budget.max_steps,
+                                 shared.steps, site)
+        if self._deadline is not None:
+            now = self.now()
+            if now > self._deadline:
+                # ``spent`` reports the overshoot past the (absolute) deadline.
+                raise BudgetExceeded("deadline", self.budget.deadline,
+                                     f"+{now - self._deadline:.6f}s", site)
+
+    def note_frontier(self, size: int, site: str) -> None:
+        """Record a live-state / frontier size; enforce ``max_frontier``."""
+        if size > self.stats.peak_frontier:
+            self.stats.peak_frontier = size
+        limit = self.budget.max_frontier
+        if limit is not None and size > limit:
+            raise BudgetExceeded("frontier", limit, size, site)
+
+    def charge_bytes(self, amount: int, site: str) -> None:
+        """Charge an (approximate) allocation; enforce ``max_bytes``."""
+        if self.faults is not None:
+            amount = self.faults.on_allocation(amount)
+        self._bytes += amount
+        if self._bytes > self.stats.peak_bytes:
+            self.stats.peak_bytes = self._bytes
+        limit = self.budget.max_bytes
+        if limit is not None and self._bytes > limit:
+            raise BudgetExceeded("bytes", limit, self._bytes, site)
+
+    def release_bytes(self, amount: int) -> None:
+        """Return previously charged bytes (a pool or DP layer was freed)."""
+        self._bytes = max(0, self._bytes - amount)
+
+    def tick_results(self, site: str, n: int = 1) -> None:
+        """Count emitted answers; enforce ``max_results``."""
+        self._results += n
+        self.stats.results += n
+        limit = self.budget.max_results
+        if limit is not None and self._results > limit:
+            raise BudgetExceeded("results", limit, self._results, site)
+
+    # -- sub-budgets ----------------------------------------------------------
+
+    def fraction(self, share: float) -> "Context":
+        """A child context owning ``share`` of the remaining time and steps.
+
+        The child shares this context's stats, cancellation flag, step
+        counter, clock (including injected skew) and fault injector; only
+        its deadline and step ceiling are tightened.  Used by the
+        degradation ladder to give each rung a bounded slice while the
+        whole query stays under the original budget.
+        """
+        if not 0.0 < share <= 1.0:
+            raise ValueError("share must be in (0, 1]")
+        child = object.__new__(Context)
+        child.budget = self.budget
+        child.stats = self.stats
+        child.faults = self.faults
+        child._clock = self._clock
+        child._shared = self._shared
+        child._bytes = 0
+        child._results = 0
+        child._parent = self
+        left = self.time_left()
+        child._deadline = (self._deadline if left is None
+                           else self.now() + left * share)
+        steps_left = self.steps_left()
+        child._max_steps = (self._max_steps if steps_left is None
+                            else self._shared.steps + max(1, int(steps_left * share)))
+        return child
+
+    def record_degradation(self, event: DegradationEvent) -> None:
+        self.stats.degradations.append(event)

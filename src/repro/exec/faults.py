@@ -1,0 +1,130 @@
+"""Deterministic fault injection for the execution governor.
+
+Real timeouts make terrible tests: they are slow, flaky and rarely hit the
+code path you meant to exercise.  This harness makes every governed
+failure mode reproducible without sleeping:
+
+- **inject-at-Nth-checkpoint** — raise a typed fault (or request
+  cancellation) the N-th time a given site (or any site) checkpoints;
+- **clock skew** — advance the context's *virtual* clock by a fixed amount
+  per checkpoint, so a real ``deadline`` budget expires after a
+  deterministic number of checkpoints;
+- **allocation pressure** — multiply every charged byte count, so
+  ``max_bytes`` trips early and the memory-exhaustion paths run on tiny
+  inputs;
+- **seeded plans** — :meth:`FaultInjector.from_seed` draws the trigger
+  point from :mod:`repro.util.rng`, so randomized fault campaigns (CI) are
+  replayable from one integer.
+
+The injector also keeps its own per-site observation counters, which is
+what the checkpoint-coverage assertions in the test suite read: a loop that
+never checkpoints can never be faulted, so coverage of the injector *is*
+coverage of the governor.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import BudgetExceeded, Cancelled
+from repro.util.rng import make_default_rng
+
+#: Fault kinds an injector can raise at its trigger checkpoint.
+KINDS = ("deadline", "steps", "cancel", "frontier", "bytes")
+
+
+class FaultInjector:
+    """Deterministic fault plan attached to a :class:`~repro.exec.Context`.
+
+    Parameters
+    ----------
+    fail_at:
+        Trigger ordinal, 1-based.  With ``site=None`` it counts every
+        checkpoint globally; with a site it counts only that site's hits.
+        ``None`` disables the trigger (useful for pure skew/pressure runs).
+    site:
+        Checkpoint site the trigger counts, or ``None`` for all sites.
+    kind:
+        What happens at the trigger: ``'deadline'``/``'steps'``/
+        ``'frontier'``/``'bytes'`` raise the corresponding
+        :class:`BudgetExceeded` (marked ``injected=True``); ``'cancel'``
+        flips the context's cooperative cancellation flag, so the
+        checkpoint's own cancellation check raises :class:`Cancelled` —
+        exactly how an external cancel lands.
+    skew_per_checkpoint:
+        Seconds of virtual clock added at every checkpoint.
+    allocation_multiplier:
+        Factor applied to every ``charge_bytes`` amount.
+    """
+
+    def __init__(self, *, fail_at: int | None = None, site: str | None = None,
+                 kind: str = "deadline", skew_per_checkpoint: float = 0.0,
+                 allocation_multiplier: float = 1.0) -> None:
+        if kind not in KINDS:
+            raise ValueError(f"unknown fault kind {kind!r}; expected one of {KINDS}")
+        if fail_at is not None and fail_at < 1:
+            raise ValueError("fail_at is 1-based and must be >= 1")
+        self.fail_at = fail_at
+        self.site = site
+        self.kind = kind
+        self.skew_per_checkpoint = skew_per_checkpoint
+        self.allocation_multiplier = allocation_multiplier
+        self.observed: dict[str, int] = {}
+        self.fired = False
+
+    @classmethod
+    def from_seed(cls, seed: int | random.Random | None, *,
+                  max_ordinal: int = 64, site: str | None = None,
+                  kinds: tuple[str, ...] = ("deadline", "steps", "cancel")) -> "FaultInjector":
+        """A replayable randomized plan: the trigger ordinal and fault kind
+        are drawn from a seeded generator (``None`` = the library default
+        seed, still deterministic)."""
+        rng = make_default_rng(seed)
+        return cls(fail_at=rng.randint(1, max_ordinal),
+                   site=site, kind=rng.choice(list(kinds)))
+
+    # -- hooks called by Context ---------------------------------------------
+
+    def on_checkpoint(self, ctx, site: str) -> None:
+        self.observed[site] = self.observed.get(site, 0) + 1
+        if self.skew_per_checkpoint:
+            ctx.skew_clock(self.skew_per_checkpoint)
+        if self.fail_at is None or self.fired:
+            return
+        if self.site is not None:
+            if site != self.site:
+                return
+            ordinal = self.observed[site]
+        else:
+            ordinal = sum(self.observed.values())
+        if ordinal < self.fail_at:
+            return
+        self.fired = True
+        if self.kind == "cancel":
+            ctx.cancel()
+            return
+        raise BudgetExceeded(self.kind, "<injected>", ordinal, site,
+                             injected=True)
+
+    def on_allocation(self, amount: int) -> int:
+        if self.allocation_multiplier != 1.0:
+            return int(amount * self.allocation_multiplier)
+        return amount
+
+
+def run_with_fault(function, ctx_factory, injector: FaultInjector):
+    """Run ``function(ctx)`` under ``injector``; return the outcome.
+
+    Returns ``('ok', result)`` when the fault never fired (plan ordinal past
+    the end of the computation), ``('budget', error)`` for an injected or
+    real :class:`BudgetExceeded`, ``('cancelled', error)`` for
+    :class:`Cancelled`.  Test harness helper: campaigns sweep ``fail_at``
+    over 1..N and assert every outcome leaves the system consistent.
+    """
+    ctx = ctx_factory(injector)
+    try:
+        return "ok", function(ctx)
+    except BudgetExceeded as error:
+        return "budget", error
+    except Cancelled as error:
+        return "cancelled", error

@@ -379,12 +379,20 @@ class CypherResult:
             yield dict(zip(self.columns, row))
 
 
-def run_cypher(store: PropertyGraphStore, text: str) -> CypherResult:
-    """Parse and evaluate a query against a property-graph store."""
+def run_cypher(store: PropertyGraphStore, text: str, *,
+               ctx=None) -> CypherResult:
+    """Parse and evaluate a query against a property-graph store.
+
+    With an execution :class:`~repro.exec.Context` the backtracking matcher
+    checkpoints once per candidate node binding (site ``cypher.match``) and
+    once per relationship expansion (site ``cypher.expand``); budget
+    exhaustion raises :class:`~repro.errors.BudgetExceeded` — a truncated
+    match set would silently drop rows, so no partial answer is offered.
+    """
     query = parse_cypher(text)
     bindings = [{}]
     for pattern in query.patterns:
-        bindings = _match_path(store, pattern, bindings)
+        bindings = _match_path(store, pattern, bindings, ctx)
     if query.where is not None:
         bindings = [b for b in bindings if _bool_holds(store, query.where, b)]
 
@@ -416,39 +424,42 @@ def run_cypher(store: PropertyGraphStore, text: str) -> CypherResult:
 
 
 def _match_path(store: PropertyGraphStore, pattern: PathPattern,
-                bindings: list[dict]) -> list[dict]:
+                bindings: list[dict], ctx=None) -> list[dict]:
     results: list[dict] = []
     for binding in bindings:
-        results.extend(_match_from(store, pattern, 0, binding))
+        results.extend(_match_from(store, pattern, 0, binding, ctx))
     return results
 
 
 def _match_from(store: PropertyGraphStore, pattern: PathPattern,
-                position: int, binding: dict) -> list[dict]:
+                position: int, binding: dict, ctx=None) -> list[dict]:
     node_pattern = pattern.nodes[position]
     candidates = _node_candidates(store, node_pattern, binding)
     solutions: list[dict] = []
     for node in candidates:
+        if ctx is not None:
+            ctx.checkpoint("cypher.match")
         extended = _bind_node(node_pattern, node, binding, store)
         if extended is None:
             continue
-        solutions.extend(_match_tail(store, pattern, position, node, extended))
+        solutions.extend(_match_tail(store, pattern, position, node, extended,
+                                     ctx))
     return solutions
 
 
 def _match_tail(store: PropertyGraphStore, pattern: PathPattern,
-                position: int, node, binding: dict) -> list[dict]:
+                position: int, node, binding: dict, ctx=None) -> list[dict]:
     if position == len(pattern.rels):
         return [binding]
     rel = pattern.rels[position]
     solutions: list[dict] = []
-    for next_node, with_rel in _expand_rel(store, rel, node, binding):
+    for next_node, with_rel in _expand_rel(store, rel, node, binding, ctx):
         next_pattern = pattern.nodes[position + 1]
         target_check = _bind_node(next_pattern, next_node, with_rel, store)
         if target_check is None:
             continue
         solutions.extend(_match_tail(store, pattern, position + 1,
-                                     next_node, target_check))
+                                     next_node, target_check, ctx))
     return solutions
 
 
@@ -491,10 +502,13 @@ def _node_matches(store: PropertyGraphStore, pattern: NodePattern, node) -> bool
     return True
 
 
-def _expand_rel(store: PropertyGraphStore, rel: RelPattern, node, binding: dict):
+def _expand_rel(store: PropertyGraphStore, rel: RelPattern, node, binding: dict,
+                ctx=None):
     """Yield (target node, binding-with-rel-var) for one relationship pattern."""
     if not rel.variable_length:
         for edge, neighbor in store.expand(node, rel.label, direction=rel.direction):
+            if ctx is not None:
+                ctx.checkpoint("cypher.expand")
             if rel.var and rel.var in binding and binding[rel.var] != edge:
                 continue
             extended = dict(binding)
@@ -507,6 +521,9 @@ def _expand_rel(store: PropertyGraphStore, rel: RelPattern, node, binding: dict)
     for depth in range(1, rel.max_hops + 1):
         next_frontier = []
         for current, edges in frontier:
+            if ctx is not None:
+                ctx.checkpoint("cypher.expand")
+                ctx.note_frontier(len(frontier), "cypher.expand")
             for edge, neighbor in store.expand(current, rel.label,
                                                direction=rel.direction):
                 next_frontier.append((neighbor, edges + (edge,)))

@@ -38,7 +38,9 @@ from repro.core.rpq import (
 )
 from repro.core.rpq.ast import Regex
 from repro.core.rpq.evaluate import shortest_conforming_length
-from repro.errors import QueryEvaluationError, QuerySyntaxError
+from repro.errors import BudgetExceeded, QueryEvaluationError, QuerySyntaxError
+from repro.exec.budget import DegradationEvent
+from repro.exec.governor import count_paths_governed
 
 _KEYWORDS = {"FROM", "TO", "LENGTH", "MAXLENGTH", "SHORTEST", "COUNT",
              "APPROX", "SAMPLE", "LIMIT", "SEED"}
@@ -63,14 +65,30 @@ class PathQuery:
 
 @dataclass
 class PathQueryResult:
-    """Answer of a PathQL statement: paths and/or a count."""
+    """Answer of a PathQL statement: paths and/or a count.
+
+    ``quality`` records what the execution governor delivered relative to
+    what the query asked for: ``"exact"`` (the full-fidelity answer —
+    including an explicitly requested ``COUNT APPROX``), ``"approx"`` (an
+    exact count degraded to an FPRAS estimate), ``"lower-bound"`` (a count
+    degraded to a partial enumeration total), or ``"partial"`` (an
+    enumeration cut off by the budget).  ``degradations`` lists the
+    :class:`~repro.exec.DegradationEvent` steps that led there; empty for
+    ungoverned or within-budget runs.
+    """
 
     mode: str
     paths: list[Path] = field(default_factory=list)
     count: float | None = None
+    quality: str = "exact"
+    degradations: tuple = ()
 
     def __len__(self) -> int:
         return len(self.paths)
+
+    @property
+    def is_degraded(self) -> bool:
+        return bool(self.degradations)
 
 
 def parse_pathql(text: str) -> PathQuery:
@@ -128,8 +146,17 @@ def parse_pathql(text: str) -> PathQuery:
     return query
 
 
-def run_pathql(graph, text: str) -> PathQueryResult:
-    """Parse and execute a PathQL statement against any graph model."""
+def run_pathql(graph, text: str, *, ctx=None) -> PathQueryResult:
+    """Parse and execute a PathQL statement against any graph model.
+
+    With an execution :class:`~repro.exec.Context` every evaluation loop
+    checkpoints against the context's budget.  ``COUNT`` queries then run
+    through the degradation ladder (exact, then FPRAS, then a partial-
+    enumeration lower bound) instead of failing on budget exhaustion, and
+    enumeration queries return the paths emitted so far tagged
+    ``quality="partial"``.  ``COUNT APPROX`` and ``SAMPLE`` have no cheaper
+    fallback, so they propagate :class:`~repro.errors.BudgetExceeded`.
+    """
     query = parse_pathql(text)
     starts = [query.source] if query.source is not None else None
     ends = [query.target] if query.target is not None else None
@@ -139,22 +166,33 @@ def run_pathql(graph, text: str) -> PathQueryResult:
         if query.source is None or query.target is None:
             raise QueryEvaluationError("SHORTEST needs both FROM and TO")
         length = shortest_conforming_length(graph, query.regex,
-                                            query.source, query.target)
+                                            query.source, query.target,
+                                            ctx=ctx)
         if length is None:
             return PathQueryResult(query.mode, [], 0)
 
     if query.mode == "count":
+        if ctx is not None:
+            governed = count_paths_governed(graph, query.regex, length, ctx,
+                                            epsilon=query.epsilon,
+                                            rng=query.seed,
+                                            start_nodes=starts, end_nodes=ends)
+            return PathQueryResult("count", [], governed.value,
+                                   quality=governed.quality,
+                                   degradations=tuple(governed.degradations))
         count = count_paths_exact(graph, query.regex, length,
                                   start_nodes=starts, end_nodes=ends)
         return PathQueryResult("count", [], count)
     if query.mode == "count-approx":
         counter = ApproxPathCounter(graph, query.regex, length,
                                     epsilon=query.epsilon, rng=query.seed,
-                                    start_nodes=starts, end_nodes=ends)
+                                    start_nodes=starts, end_nodes=ends,
+                                    ctx=ctx)
         return PathQueryResult("count-approx", [], counter.estimate())
     if query.mode == "sample":
         sampler = UniformPathSampler(graph, query.regex, length,
-                                     start_nodes=starts, end_nodes=ends)
+                                     start_nodes=starts, end_nodes=ends,
+                                     ctx=ctx)
         if sampler.count == 0:
             return PathQueryResult("sample", [], 0)
         paths = sampler.sample_many(query.samples, rng=query.seed)
@@ -163,15 +201,25 @@ def run_pathql(graph, text: str) -> PathQueryResult:
     # Enumeration (the default mode).
     if length is not None:
         iterator = enumerate_paths(graph, query.regex, length,
-                                   start_nodes=starts, end_nodes=ends)
+                                   start_nodes=starts, end_nodes=ends, ctx=ctx)
     else:
         iterator = enumerate_paths_up_to(graph, query.regex, query.max_length,
-                                         start_nodes=starts, end_nodes=ends)
+                                         start_nodes=starts, end_nodes=ends,
+                                         ctx=ctx)
     paths = []
-    for path in iterator:
-        paths.append(path)
-        if query.limit is not None and len(paths) >= query.limit:
-            break
+    try:
+        for path in iterator:
+            paths.append(path)
+            if query.limit is not None and len(paths) >= query.limit:
+                break
+    except BudgetExceeded as exceeded:
+        if ctx is None:
+            raise
+        event = DegradationEvent("exact", "partial", exceeded.resource,
+                                 exceeded.site)
+        ctx.record_degradation(event)
+        return PathQueryResult("enumerate", paths, len(paths),
+                               quality="partial", degradations=(event,))
     return PathQueryResult("enumerate", paths, len(paths))
 
 

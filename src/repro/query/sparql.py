@@ -405,8 +405,16 @@ class SelectResult:
         return len(self.rows)
 
 
-def run_sparql(store: TripleStore, text: str) -> SelectResult:
-    """Parse and evaluate a query against a triple store."""
+def run_sparql(store: TripleStore, text: str, *, ctx=None) -> SelectResult:
+    """Parse and evaluate a query against a triple store.
+
+    With an execution :class:`~repro.exec.Context` the backtracking join
+    checkpoints once per produced binding extension (site ``sparql.join``)
+    and property-path closures once per BFS expansion (site
+    ``sparql.closure``); budget exhaustion raises
+    :class:`~repro.errors.BudgetExceeded` — set semantics admit no partial
+    answer that would not silently drop solutions.
+    """
     query = parse_sparql(text)
     if query.union_branches:
         branches = query.union_branches
@@ -414,11 +422,12 @@ def run_sparql(store: TripleStore, text: str) -> SelectResult:
         branches = ((query.patterns, query.filters, query.optionals),)
     solutions = []
     for patterns, filters, optionals in branches:
-        branch_solutions = _solve_bgp(store, list(patterns), {})
+        branch_solutions = _solve_bgp(store, list(patterns), {}, ctx)
         branch_solutions = [s for s in branch_solutions
                             if all(_filter_holds(f, s) for f in filters)]
         for optional in optionals:
-            branch_solutions = _apply_optional(store, branch_solutions, optional)
+            branch_solutions = _apply_optional(store, branch_solutions,
+                                               optional, ctx)
         solutions.extend(branch_solutions)
 
     if query.variables is None:
@@ -463,7 +472,7 @@ def run_sparql(store: TripleStore, text: str) -> SelectResult:
 
 
 def _solve_bgp(store: TripleStore, patterns: list[TriplePattern],
-               binding: dict) -> list[dict]:
+               binding: dict, ctx=None) -> list[dict]:
     """Backtracking join with greedy selectivity ordering."""
     if not patterns:
         return [dict(binding)]
@@ -471,8 +480,10 @@ def _solve_bgp(store: TripleStore, patterns: list[TriplePattern],
                       key=lambda item: _estimate(store, item[1], binding))
     rest = patterns[:index] + patterns[index + 1:]
     solutions: list[dict] = []
-    for extension in _match_pattern(store, best, binding):
-        solutions.extend(_solve_bgp(store, rest, extension))
+    for extension in _match_pattern(store, best, binding, ctx):
+        if ctx is not None:
+            ctx.checkpoint("sparql.join")
+        solutions.extend(_solve_bgp(store, rest, extension, ctx))
     return solutions
 
 
@@ -494,7 +505,8 @@ def _resolve(term: Term, binding: dict) -> str | None:
     return term.value
 
 
-def _match_pattern(store: TripleStore, pattern: TriplePattern, binding: dict):
+def _match_pattern(store: TripleStore, pattern: TriplePattern, binding: dict,
+                   ctx=None):
     subject = _resolve(pattern.subject, binding)
     obj = _resolve(pattern.object, binding)
     if isinstance(pattern.path, PVar):
@@ -508,7 +520,7 @@ def _match_pattern(store: TripleStore, pattern: TriplePattern, binding: dict):
                 extension[pattern.object.name] = triple.object
             yield extension
         return
-    for s, o in _eval_path(store, pattern.path, subject, obj):
+    for s, o in _eval_path(store, pattern.path, subject, obj, ctx):
         extension = dict(binding)
         if isinstance(pattern.subject, Var):
             extension[pattern.subject.name] = s
@@ -518,46 +530,47 @@ def _match_pattern(store: TripleStore, pattern: TriplePattern, binding: dict):
 
 
 def _eval_path(store: TripleStore, path: PathExpr,
-               subject: str | None, obj: str | None):
+               subject: str | None, obj: str | None, ctx=None):
     """Yield (s, o) pairs related by the path, honoring bound endpoints."""
     if isinstance(path, PIri):
         for triple in store.match(subject, path.iri, obj):
             yield triple.subject, triple.object
         return
     if isinstance(path, PInverse):
-        for o, s in _eval_path(store, path.inner, obj, subject):
+        for o, s in _eval_path(store, path.inner, obj, subject, ctx):
             yield s, o
         return
     if isinstance(path, PSequence):
         if subject is not None or obj is None:
-            for s, middle in _eval_path(store, path.left, subject, None):
-                for _, o in _eval_path(store, path.right, middle, obj):
+            for s, middle in _eval_path(store, path.left, subject, None, ctx):
+                for _, o in _eval_path(store, path.right, middle, obj, ctx):
                     yield s, o
         else:
-            for middle, o in _eval_path(store, path.right, None, obj):
-                for s, _ in _eval_path(store, path.left, subject, middle):
+            for middle, o in _eval_path(store, path.right, None, obj, ctx):
+                for s, _ in _eval_path(store, path.left, subject, middle, ctx):
                     yield s, o
         return
     if isinstance(path, PAlternative):
         seen = set()
-        for pair in _eval_path(store, path.left, subject, obj):
+        for pair in _eval_path(store, path.left, subject, obj, ctx):
             if pair not in seen:
                 seen.add(pair)
                 yield pair
-        for pair in _eval_path(store, path.right, subject, obj):
+        for pair in _eval_path(store, path.right, subject, obj, ctx):
             if pair not in seen:
                 seen.add(pair)
                 yield pair
         return
     if isinstance(path, (PStar, PPlus)):
         minimum = 0 if isinstance(path, PStar) else 1
-        yield from _eval_closure(store, path.inner, subject, obj, minimum)
+        yield from _eval_closure(store, path.inner, subject, obj, minimum, ctx)
         return
     raise QueryEvaluationError(f"unknown path node: {type(path).__name__}")
 
 
 def _eval_closure(store: TripleStore, inner: PathExpr,
-                  subject: str | None, obj: str | None, minimum: int):
+                  subject: str | None, obj: str | None, minimum: int,
+                  ctx=None):
     """Reflexive/transitive closure with existential (set) semantics.
 
     SPARQL 1.1 evaluates ZeroOrMorePath over *node pairs*, not paths —
@@ -571,7 +584,10 @@ def _eval_closure(store: TripleStore, inner: PathExpr,
             depth += 1
             next_frontier = []
             for node in frontier:
-                for _, target in _eval_path(store, inner, node, None):
+                if ctx is not None:
+                    ctx.checkpoint("sparql.closure")
+                    ctx.note_frontier(len(frontier), "sparql.closure")
+                for _, target in _eval_path(store, inner, node, None, ctx):
                     if target not in seen:
                         seen[target] = depth
                         next_frontier.append(target)
@@ -632,10 +648,10 @@ def _comparable(value: str):
 
 
 def _apply_optional(store: TripleStore, solutions: list[dict],
-                    optional: OptionalGroup) -> list[dict]:
+                    optional: OptionalGroup, ctx=None) -> list[dict]:
     extended: list[dict] = []
     for solution in solutions:
-        matches = _solve_bgp(store, list(optional.patterns), solution)
+        matches = _solve_bgp(store, list(optional.patterns), solution, ctx)
         matches = [m for m in matches
                    if all(_filter_holds(f, m) for f in optional.filters)]
         if matches:

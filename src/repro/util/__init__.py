@@ -1,10 +1,12 @@
 """Shared utilities: deterministic RNG helpers, hashing, small statistics."""
 
-from repro.util.rng import make_rng
+from repro.util.rng import DEFAULT_SEED, make_default_rng, make_rng
 from repro.util.stats import chi_square_uniform, mean, relative_error, stddev
 from repro.util.tables import format_table
 
 __all__ = [
+    "DEFAULT_SEED",
+    "make_default_rng",
     "make_rng",
     "mean",
     "stddev",

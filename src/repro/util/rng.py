@@ -9,13 +9,31 @@ from __future__ import annotations
 
 import random
 
+#: Seed used when a randomized algorithm must be deterministic *by default*
+#: (no seed supplied), e.g. degraded FPRAS answers under the execution
+#: governor: re-running the same degraded query reproduces the same estimate.
+DEFAULT_SEED = 0x5EED
+
 
 def make_rng(seed: int | random.Random | None = None) -> random.Random:
     """Return a :class:`random.Random` from a seed, an rng, or ``None``.
 
     Passing an existing generator returns it unchanged, so library code can
     thread a single generator through nested calls without reseeding.
+    ``None`` draws OS entropy; algorithms that must be reproducible without
+    an explicit seed use :func:`make_default_rng` instead.
     """
     if isinstance(seed, random.Random):
         return seed
     return random.Random(seed)
+
+
+def make_default_rng(seed: int | random.Random | None = None) -> random.Random:
+    """Like :func:`make_rng`, but ``None`` means :data:`DEFAULT_SEED`.
+
+    Used where an unseeded run must still be reproducible (FPRAS under the
+    governor, fault-injection plans).
+    """
+    if seed is None:
+        return random.Random(DEFAULT_SEED)
+    return make_rng(seed)

@@ -99,6 +99,75 @@ class TestGenerators:
         assert "nodes" in out and "label person" in out
 
 
+class TestGovernorFlags:
+    """--timeout / --max-steps / --stats on the query subcommands."""
+
+    def test_count_within_budget_stays_exact(self, fig2_file, capsys):
+        code = main(["pathql", fig2_file,
+                     "PATHS MATCHING ?person/rides/?bus/rides^-/?infected "
+                     "LENGTH 2 COUNT", "--timeout", "30"])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert captured.out.strip() == "2"
+        assert "DEGRADED" not in captured.err
+
+    def test_starved_count_prints_degraded_banner(self, fig2_file, capsys):
+        code = main(["pathql", fig2_file,
+                     "PATHS MATCHING ?person/rides/?bus/rides^-/?infected "
+                     "LENGTH 2 COUNT", "--max-steps", "3"])
+        assert code == 0  # degraded, not failed
+        captured = capsys.readouterr()
+        assert "DEGRADED" in captured.err
+        assert captured.out.strip() != ""  # still an answer (a lower bound)
+
+    def test_starved_enumeration_returns_partial(self, fig2_file, capsys):
+        code = main(["pathql", fig2_file,
+                     "PATHS MATCHING ?person/rides/?bus LENGTH 1",
+                     "--max-steps", "6"])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "DEGRADED (partial)" in captured.err
+
+    def test_stats_table_goes_to_stderr(self, fig2_file, capsys):
+        code = main(["pathql", fig2_file,
+                     "PATHS MATCHING ?person/rides/?bus LENGTH 1 COUNT",
+                     "--stats"])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "checkpoints (total)" in captured.err
+        assert "site product.init" in captured.err
+        assert "checkpoints" not in captured.out
+
+    def test_starved_sample_exits_3(self, fig2_file, capsys):
+        code = main(["pathql", fig2_file,
+                     "PATHS MATCHING ?person/rides/?bus LENGTH 1 "
+                     "SAMPLE 2 SEED 1", "--max-steps", "2"])
+        assert code == 3
+        assert "budget exceeded" in capsys.readouterr().err
+
+    def test_starved_sparql_exits_3(self, labeled_file, capsys):
+        code = main(["sparql", labeled_file,
+                     "SELECT ?x ?y WHERE { ?x <rides>* ?y . }",
+                     "--max-steps", "2"])
+        assert code == 3
+        assert "budget exceeded" in capsys.readouterr().err
+
+    def test_starved_cypher_exits_3_with_stats(self, fig2_file, capsys):
+        code = main(["cypher", fig2_file, "MATCH (p:person) RETURN p",
+                     "--max-steps", "1", "--stats"])
+        assert code == 3
+        err = capsys.readouterr().err
+        assert "budget exceeded" in err
+        assert "site cypher.match" in err
+
+    def test_sparql_within_budget_unchanged(self, labeled_file, capsys):
+        code = main(["sparql", labeled_file,
+                     "SELECT ?x WHERE { ?x <rdf:type> <bus> . }",
+                     "--timeout", "30", "--max-steps", "100000"])
+        assert code == 0
+        assert "n3" in capsys.readouterr().out
+
+
 class TestParser:
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):

@@ -1,0 +1,203 @@
+"""Budget/Context semantics: limits, accounting, sub-budgets, cancellation.
+
+All deadline behavior is tested against a fake clock — no sleeping, no
+flakiness; the wall-clock path is exercised by the governor tests.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    BudgetExceeded,
+    Cancelled,
+    ExecutionError,
+    InvalidLengthError,
+    ReproError,
+)
+from repro.exec import Budget, Context
+
+
+class FakeClock:
+    """A manually advanced monotonic clock."""
+
+    def __init__(self, start: float = 100.0) -> None:
+        self.t = start
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, seconds: float) -> None:
+        self.t += seconds
+
+
+class TestBudget:
+    def test_default_is_unlimited(self):
+        assert Budget().is_unlimited()
+        assert not Budget(max_steps=1).is_unlimited()
+
+    def test_unlimited_context_never_raises(self):
+        ctx = Context()
+        for _ in range(1000):
+            ctx.checkpoint("loop")
+        ctx.note_frontier(10**9, "loop")
+        ctx.charge_bytes(10**12, "loop")
+        ctx.tick_results("loop", 10**6)
+        assert ctx.stats.checkpoints["loop"] == 1000
+
+
+class TestDeadline:
+    def test_expires_on_fake_clock(self):
+        clock = FakeClock()
+        ctx = Context(Budget(deadline=5.0), clock=clock)
+        ctx.checkpoint("site")
+        clock.advance(4.9)
+        ctx.checkpoint("site")
+        clock.advance(0.2)
+        with pytest.raises(BudgetExceeded) as excinfo:
+            ctx.checkpoint("site")
+        assert excinfo.value.resource == "deadline"
+        assert excinfo.value.site == "site"
+        assert not excinfo.value.injected
+
+    def test_time_left(self):
+        clock = FakeClock()
+        ctx = Context(Budget(deadline=5.0), clock=clock)
+        clock.advance(2.0)
+        assert ctx.time_left() == pytest.approx(3.0)
+        assert Context(clock=clock).time_left() is None
+
+    def test_skew_counts_against_deadline(self):
+        clock = FakeClock()
+        ctx = Context(Budget(deadline=5.0), clock=clock)
+        ctx.skew_clock(6.0)  # virtual time, no real waiting
+        with pytest.raises(BudgetExceeded):
+            ctx.checkpoint("site")
+
+
+class TestSteps:
+    def test_step_budget_is_exact(self):
+        ctx = Context(Budget(max_steps=3))
+        for _ in range(3):
+            ctx.checkpoint("site")
+        with pytest.raises(BudgetExceeded) as excinfo:
+            ctx.checkpoint("site")
+        assert excinfo.value.resource == "steps"
+        assert excinfo.value.limit == 3
+        # The aborted checkpoint still shows up in the coverage counters.
+        assert ctx.stats.checkpoints["site"] == 4
+
+    def test_steps_left(self):
+        ctx = Context(Budget(max_steps=5))
+        ctx.checkpoint("site")
+        assert ctx.steps_left() == 4
+
+
+class TestFrontierBytesResults:
+    def test_frontier_limit_and_peak(self):
+        ctx = Context(Budget(max_frontier=10))
+        ctx.note_frontier(7, "site")
+        assert ctx.stats.peak_frontier == 7
+        with pytest.raises(BudgetExceeded) as excinfo:
+            ctx.note_frontier(11, "site")
+        assert excinfo.value.resource == "frontier"
+
+    def test_bytes_charge_and_release(self):
+        ctx = Context(Budget(max_bytes=100))
+        ctx.charge_bytes(60, "site")
+        ctx.release_bytes(30)
+        ctx.charge_bytes(60, "site")  # 90 live, still under the limit
+        assert ctx.stats.peak_bytes == 90
+        with pytest.raises(BudgetExceeded) as excinfo:
+            ctx.charge_bytes(20, "site")
+        assert excinfo.value.resource == "bytes"
+
+    def test_results_limit(self):
+        ctx = Context(Budget(max_results=2))
+        ctx.tick_results("site")
+        ctx.tick_results("site")
+        with pytest.raises(BudgetExceeded) as excinfo:
+            ctx.tick_results("site")
+        assert excinfo.value.resource == "results"
+        assert ctx.stats.results == 3
+
+
+class TestCancellation:
+    def test_cancel_raises_at_next_checkpoint(self):
+        ctx = Context()
+        ctx.checkpoint("site")
+        ctx.cancel()
+        assert ctx.cancelled
+        with pytest.raises(Cancelled) as excinfo:
+            ctx.checkpoint("site")
+        assert excinfo.value.site == "site"
+
+    def test_cancel_reaches_children(self):
+        ctx = Context(Budget(deadline=100.0), clock=FakeClock())
+        child = ctx.fraction(0.5)
+        ctx.cancel()
+        with pytest.raises(Cancelled):
+            child.checkpoint("site")
+
+
+class TestSubBudgets:
+    def test_child_deadline_is_a_slice(self):
+        clock = FakeClock()
+        ctx = Context(Budget(deadline=10.0), clock=clock)
+        child = ctx.fraction(0.5)
+        clock.advance(6.0)  # past the child's 5 s slice, inside the parent's
+        with pytest.raises(BudgetExceeded):
+            child.checkpoint("site")
+        ctx.checkpoint("site")  # parent still alive
+
+    def test_child_steps_share_the_global_counter(self):
+        ctx = Context(Budget(max_steps=10))
+        first = ctx.fraction(0.5)
+        for _ in range(5):
+            first.checkpoint("site")
+        with pytest.raises(BudgetExceeded):
+            first.checkpoint("site")
+        # The 6 steps spent (5 + the aborted one) are global: a second
+        # child's 80% share is 80% of what is *left*, not a fresh budget.
+        second = ctx.fraction(0.8)
+        assert second.steps_left() <= 4
+
+    def test_children_share_stats(self):
+        ctx = Context(Budget(deadline=50.0), clock=FakeClock())
+        ctx.fraction(0.5).checkpoint("a")
+        ctx.fraction(0.9).checkpoint("b")
+        assert ctx.stats.sites() == {"a", "b"}
+        assert ctx.stats.total_checkpoints == 2
+
+    def test_share_must_be_a_fraction(self):
+        with pytest.raises(ValueError):
+            Context().fraction(0.0)
+        with pytest.raises(ValueError):
+            Context().fraction(1.5)
+
+
+class TestStats:
+    def test_as_rows_lists_sites(self):
+        ctx = Context()
+        ctx.checkpoint("b.site")
+        ctx.checkpoint("a.site")
+        ctx.checkpoint("a.site")
+        rows = dict((row[0], row[1]) for row in ctx.stats.as_rows())
+        assert rows["checkpoints (total)"] == 3
+        assert rows["site a.site"] == 2
+        assert rows["site b.site"] == 1
+
+
+class TestErrorTaxonomy:
+    def test_execution_errors_are_repro_errors(self):
+        assert issubclass(BudgetExceeded, ExecutionError)
+        assert issubclass(Cancelled, ExecutionError)
+        assert issubclass(ExecutionError, ReproError)
+
+    def test_invalid_length_is_typed_and_compatible(self):
+        """The legacy bare ValueError became a ReproError subclass that
+        still satisfies existing ``except ValueError`` callers."""
+        error = InvalidLengthError("length", -3)
+        assert isinstance(error, ReproError)
+        assert isinstance(error, ValueError)
+        assert "length" in str(error) and "-3" in str(error)

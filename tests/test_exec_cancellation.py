@@ -1,0 +1,91 @@
+"""Cancellation safety: aborting an evaluation mid-flight leaves the
+PR-1 label-adjacency indexes (and the incidence lists) fully consistent.
+
+Governed evaluations are read-only over the graph, so a BudgetExceeded or
+Cancelled escaping from any checkpoint must leave no residue: the
+invariant checkers from ``test_label_index`` must pass after every abort,
+and a subsequent ungoverned evaluation must produce the same answer as if
+the aborts never happened — even when mutations are interleaved between
+the aborted runs.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.rpq import count_paths_exact, enumerate_paths, parse_regex
+from repro.core.rpq.evaluate import endpoint_pairs
+from repro.datasets import random_labeled_graph
+from repro.errors import BudgetExceeded, Cancelled
+from repro.exec import Context, FaultInjector
+from tests.test_label_index import (
+    EDGE_LABELS,
+    NODE_LABELS,
+    _random_mutation,
+    check_incidence_invariants,
+    check_label_index_invariants,
+)
+
+REGEX = parse_regex("(contact + rides)*/contact")
+
+
+def _abort_some_evaluations(graph, rng: random.Random) -> int:
+    """Run several governed evaluations, each faulted at a random ordinal;
+    return how many actually aborted."""
+    aborted = 0
+    evaluations = (
+        lambda ctx: count_paths_exact(graph, REGEX, 4, ctx=ctx),
+        lambda ctx: list(enumerate_paths(graph, REGEX, 3, ctx=ctx)),
+        lambda ctx: endpoint_pairs(graph, REGEX, ctx=ctx),
+    )
+    for evaluate in evaluations:
+        injector = FaultInjector(fail_at=rng.randint(1, 40),
+                                 kind=rng.choice(("steps", "cancel")))
+        try:
+            evaluate(Context(faults=injector))
+        except (BudgetExceeded, Cancelled):
+            aborted += 1
+    return aborted
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_aborts_leave_label_indexes_consistent(seed):
+    rng = random.Random(seed)
+    graph = random_labeled_graph(8, 18, node_labels=NODE_LABELS,
+                                 edge_labels=EDGE_LABELS, rng=seed)
+    counter = [0]
+    total_aborts = 0
+    for _ in range(5):
+        for _ in range(8):
+            _random_mutation(rng, graph, counter)
+        total_aborts += _abort_some_evaluations(graph, rng)
+        check_label_index_invariants(graph)
+        check_incidence_invariants(graph)
+    # The campaign must actually have exercised the abort paths.
+    assert total_aborts > 0
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_aborted_runs_do_not_change_answers(seed):
+    """Equality with a never-governed twin: aborts leave no residue that
+    could alter later results."""
+    rng = random.Random(1000 + seed)
+    graph = random_labeled_graph(8, 18, node_labels=NODE_LABELS,
+                                 edge_labels=EDGE_LABELS, rng=seed)
+    twin = random_labeled_graph(8, 18, node_labels=NODE_LABELS,
+                                edge_labels=EDGE_LABELS, rng=seed)
+    counter = [0]
+    twin_counter = [0]
+    for _ in range(20):
+        # Apply the *same* mutation to both graphs, then abort governed
+        # evaluations only on one of them.
+        mutation_seed = rng.randint(0, 2**31)
+        _random_mutation(random.Random(mutation_seed), graph, counter)
+        _random_mutation(random.Random(mutation_seed), twin, twin_counter)
+        _abort_some_evaluations(graph, rng)
+    assert count_paths_exact(graph, REGEX, 4) == count_paths_exact(twin, REGEX, 4)
+    assert endpoint_pairs(graph, REGEX) == endpoint_pairs(twin, REGEX)
+    assert ([p.nodes for p in enumerate_paths(graph, REGEX, 3)]
+            == [p.nodes for p in enumerate_paths(twin, REGEX, 3)])
