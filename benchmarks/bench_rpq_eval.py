@@ -29,8 +29,9 @@ import time
 
 import pytest
 
-from repro.bench import Experiment
+from repro.bench import Experiment, timed
 from repro.core.rpq import endpoint_pairs, enumerate_paths, parse_regex
+from repro.obs import Tracer
 from repro.core.rpq.nfa import compile_regex
 from repro.core.rpq.product import INITIAL, ProductNFA
 from repro.datasets import generate_contact_graph, random_labeled_graph
@@ -270,7 +271,19 @@ def run_speedup_suite(out_path, reps=30):
                 "indexed": _median_ms(
                     lambda: endpoint_pairs(graph, regex,
                                            use_label_index=True), reps),
+                # An *active* tracer per rep (allocation included) bounds
+                # the enabled-tracer overhead; tracer=None is the same code
+                # path as "indexed" above, so its overhead is structural 0.
+                "indexed_traced": _median_ms(
+                    lambda: endpoint_pairs(graph, regex, use_label_index=True,
+                                           tracer=Tracer()), reps),
             }
+            tracer = Tracer()
+            timed(endpoint_pairs, graph, regex, tracer=tracer)
+            strategy = next(
+                (span.attrs.get("strategy") for root in tracer.roots
+                 for span in (root, *root.children)
+                 if span.name == "evaluate"), None)
             query = {
                 "regex": text,
                 "shape": shape,
@@ -278,6 +291,10 @@ def run_speedup_suite(out_path, reps=30):
                 "median_ms": medians,
                 "speedup_vs_seed": medians["seed_baseline"] / medians["indexed"],
                 "speedup_vs_fullscan": medians["fullscan"] / medians["indexed"],
+                "strategy": strategy,
+                "trace": tracer.summary(),
+                "tracer_overhead_pct": 100.0 * (
+                    medians["indexed_traced"] / medians["indexed"] - 1.0),
             }
             entry["queries"].append(query)
             if (shape in ("single-label", "concatenation")
@@ -306,7 +323,9 @@ def main(argv):
                   f"seed={medians['seed_baseline']:8.3f}ms "
                   f"fullscan={medians['fullscan']:8.3f}ms "
                   f"indexed={medians['indexed']:8.3f}ms "
-                  f"speedup={query['speedup_vs_seed']:6.2f}x")
+                  f"speedup={query['speedup_vs_seed']:6.2f}x "
+                  f"traced={query['tracer_overhead_pct']:+5.1f}% "
+                  f"[{query['strategy']}]")
     print(f"wrote {out_path}")
     if failures and not quick:
         for name, text, speedup in failures:

@@ -37,8 +37,16 @@ class Experiment:
         print(self.render())
 
 
-def timed(function: Callable, *args, repeat: int = 1, **kwargs) -> tuple[object, float]:
-    """Run a callable, returning (last result, best wall-clock seconds)."""
+def timed(function: Callable, *args, repeat: int = 1, tracer=None,
+          **kwargs) -> tuple[object, float]:
+    """Run a callable, returning (last result, best wall-clock seconds).
+
+    With a :class:`~repro.obs.Tracer`, ``tracer=tracer`` is threaded into
+    the callable so its spans accumulate on the tracer; a BENCH JSON row
+    can then attach ``tracer.summary()`` next to the timing.
+    """
+    if tracer is not None:
+        kwargs["tracer"] = tracer
     best = float("inf")
     result = None
     for _ in range(max(repeat, 1)):
@@ -48,17 +56,20 @@ def timed(function: Callable, *args, repeat: int = 1, **kwargs) -> tuple[object,
     return result, best
 
 
-def timed_governed(function: Callable, budget, *args,
+def timed_governed(function: Callable, budget, *args, tracer=None,
                    **kwargs) -> tuple[object, float, object]:
     """Run ``function(*args, ctx=Context(budget), **kwargs)`` once.
 
     Returns ``(result, wall-clock seconds, stats)`` where ``stats`` is the
     context's :class:`~repro.exec.ExecStats` — checkpoints hit, peak
     frontier, degradation events — so governed experiments can report
-    result quality next to timing.
+    result quality next to timing.  A :class:`~repro.obs.Tracer` is
+    threaded through like in :func:`timed`.
     """
     from repro.exec import Context
 
+    if tracer is not None:
+        kwargs["tracer"] = tracer
     ctx = Context(budget)
     start = time.perf_counter()
     result = function(*args, ctx=ctx, **kwargs)

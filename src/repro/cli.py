@@ -26,6 +26,13 @@ from repro.models.convert import labeled_to_rdf, property_to_labeled
 from repro.models.io import dumps, loads
 from repro.models.labeled import LabeledGraph
 from repro.models.property import PropertyGraph
+from repro.obs import (
+    Metrics,
+    Tracer,
+    explain_cypher,
+    explain_pathql,
+    explain_sparql,
+)
 from repro.query import run_cypher, run_pathql, run_sparql
 from repro.storage import PropertyGraphStore, TripleStore
 from repro.util import format_table
@@ -45,6 +52,36 @@ def _make_context(args: argparse.Namespace) -> Context | None:
         return None
     budget = Budget(deadline=args.timeout, max_steps=args.max_steps)
     return Context(budget)
+
+
+def _make_tracer(args: argparse.Namespace) -> Tracer | None:
+    """Build a tracer when any observability output was requested.
+
+    ``tracer=None`` otherwise, so untraced CLI runs keep the library's
+    zero-overhead fast path (DESIGN.md §4d).
+    """
+    if args.trace or args.trace_out or args.metrics_out:
+        return Tracer()
+    return None
+
+
+def _print_explain(report, args: argparse.Namespace) -> int:
+    print(report.to_json() if args.explain_json else report.to_text())
+    return 0
+
+
+def _emit_obs(tracer: Tracer | None, args: argparse.Namespace) -> None:
+    """Emit the human-readable trace tree and/or JSON trace/metrics files."""
+    if tracer is None:
+        return
+    if args.trace:
+        print(tracer.format_tree(), file=sys.stderr)
+    if args.trace_out:
+        _write(args.trace_out, tracer.to_json())
+    if args.metrics_out:
+        metrics = Metrics()
+        metrics.observe_trace(tracer)
+        _write(args.metrics_out, metrics.to_json())
 
 
 def _print_stats(ctx: Context | None, args: argparse.Namespace) -> None:
@@ -69,9 +106,14 @@ def _load_graph(path: str):
 def _cmd_pathql(args: argparse.Namespace) -> int:
     graph = _load_graph(args.graph)
     ctx = _make_context(args)
+    if args.explain or args.explain_json:
+        return _print_explain(
+            explain_pathql(graph, args.query, governed=ctx is not None), args)
+    tracer = _make_tracer(args)
     try:
-        result = run_pathql(graph, args.query, ctx=ctx)
+        result = run_pathql(graph, args.query, ctx=ctx, tracer=tracer)
     except BudgetExceeded as exceeded:
+        _emit_obs(tracer, args)
         return _budget_exceeded(exceeded, ctx, args)
     if result.is_degraded:
         steps = "; ".join(str(event) for event in result.degradations)
@@ -83,6 +125,7 @@ def _cmd_pathql(args: argparse.Namespace) -> int:
             print(path.to_text())
         if result.mode == "sample" and result.count is not None:
             print(f"# support size: {result.count}", file=sys.stderr)
+    _emit_obs(tracer, args)
     _print_stats(ctx, args)
     return 0
 
@@ -96,13 +139,18 @@ def _cmd_sparql(args: argparse.Namespace) -> int:
         return 2
     store = TripleStore.from_graph(labeled_to_rdf(graph))
     ctx = _make_context(args)
+    if args.explain or args.explain_json:
+        return _print_explain(explain_sparql(store, args.query), args)
+    tracer = _make_tracer(args)
     try:
-        result = run_sparql(store, args.query, ctx=ctx)
+        result = run_sparql(store, args.query, ctx=ctx, tracer=tracer)
     except BudgetExceeded as exceeded:
+        _emit_obs(tracer, args)
         return _budget_exceeded(exceeded, ctx, args)
     print(format_table([f"?{v}" for v in result.variables],
                        [[v if v is not None else "" for v in row]
                         for row in result.rows]))
+    _emit_obs(tracer, args)
     _print_stats(ctx, args)
     return 0
 
@@ -113,13 +161,19 @@ def _cmd_cypher(args: argparse.Namespace) -> int:
         print("cypher needs a property graph file", file=sys.stderr)
         return 2
     ctx = _make_context(args)
+    store = PropertyGraphStore(graph)
+    if args.explain or args.explain_json:
+        return _print_explain(explain_cypher(store, args.query), args)
+    tracer = _make_tracer(args)
     try:
-        result = run_cypher(PropertyGraphStore(graph), args.query, ctx=ctx)
+        result = run_cypher(store, args.query, ctx=ctx, tracer=tracer)
     except BudgetExceeded as exceeded:
+        _emit_obs(tracer, args)
         return _budget_exceeded(exceeded, ctx, args)
     print(format_table(result.columns,
                        [[v if v is not None else "" for v in row]
                         for row in result.rows]))
+    _emit_obs(tracer, args)
     _print_stats(ctx, args)
     return 0
 
@@ -185,22 +239,44 @@ def build_parser() -> argparse.ArgumentParser:
             "--stats", action="store_true",
             help="print per-query execution statistics to stderr")
 
+    def add_obs_flags(subparser: argparse.ArgumentParser) -> None:
+        subparser.add_argument(
+            "--explain", action="store_true",
+            help="print the evaluation strategy (chain vs product, index "
+                 "plan, degradation ladder) instead of running the query")
+        subparser.add_argument(
+            "--explain-json", action="store_true",
+            help="like --explain, but as machine-readable JSON")
+        subparser.add_argument(
+            "--trace", action="store_true",
+            help="print a per-phase span tree (timings, steps, cache "
+                 "hits) to stderr after the query runs")
+        subparser.add_argument(
+            "--trace-out", default=None, metavar="FILE",
+            help="write the span tree as JSON to FILE ('-' for stdout)")
+        subparser.add_argument(
+            "--metrics-out", default=None, metavar="FILE",
+            help="write aggregated counters/histograms as JSON to FILE")
+
     pathql = commands.add_parser("pathql", help="run a PathQL statement")
     pathql.add_argument("graph")
     pathql.add_argument("query")
     add_governor_flags(pathql)
+    add_obs_flags(pathql)
     pathql.set_defaults(handler=_cmd_pathql)
 
     sparql = commands.add_parser("sparql", help="run a mini-SPARQL query")
     sparql.add_argument("graph")
     sparql.add_argument("query")
     add_governor_flags(sparql)
+    add_obs_flags(sparql)
     sparql.set_defaults(handler=_cmd_sparql)
 
     cypher = commands.add_parser("cypher", help="run a mini-Cypher query")
     cypher.add_argument("graph")
     cypher.add_argument("query")
     add_governor_flags(cypher)
+    add_obs_flags(cypher)
     cypher.set_defaults(handler=_cmd_cypher)
 
     summary = commands.add_parser("summary", help="print graph statistics")

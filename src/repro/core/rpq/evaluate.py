@@ -161,7 +161,8 @@ def paths_matching(graph, regex: Regex, max_length: int,
 def endpoint_pairs(graph, regex: Regex,
                    start_nodes: Iterable | None = None,
                    end_nodes: Iterable | None = None,
-                   *, use_label_index: bool = True, ctx=None) -> set[tuple]:
+                   *, use_label_index: bool = True, ctx=None,
+                   tracer=None) -> set[tuple]:
     """All (start(p), end(p)) for p in [[regex]] — finite, computed exactly.
 
     Chain-shaped regexes (pure sequences of edge steps, unrestricted
@@ -174,26 +175,69 @@ def endpoint_pairs(graph, regex: Regex,
     monotone over subsets of the start nodes, so the worklist terminates,
     and it traverses each deduplicated product edge a bounded number of
     times instead of once per start node.
+
+    With a :class:`~repro.obs.Tracer` the phases are recorded as nested
+    spans (``compile`` with cache hit/miss deltas, then ``evaluate`` tagged
+    with the chosen strategy, containing ``product`` for the non-chain
+    path); ``tracer=None`` adds no spans and no allocations.
     """
-    nfa = compile_regex(regex)
+    if tracer is None:
+        nfa = compile_regex(regex)
+    else:
+        with tracer.span("compile", cache=True) as span:
+            nfa = compile_regex(regex)
+            span.attrs["nfa_states"] = nfa.n_states
     if start_nodes is None and end_nodes is None:
         steps = _chain_steps(nfa)
         if steps is not None:
             # Pure edge-step chain: evaluate as a frontier join over the
             # label index, with no product automaton at all.
-            start_of_bit, frontier = _chain_frontiers(graph, steps,
-                                                      use_label_index, ctx)
-            pairs: set[tuple] = set()
-            decoded: dict[int, list] = {}
-            for end_node, mask in frontier.items():
-                starts = decoded.get(mask)
-                if starts is None:
-                    starts = decoded[mask] = _decode_mask(mask, start_of_bit)
-                pairs.update(zip(starts, repeat(end_node)))
-            return pairs
-    product = build_product(graph, nfa, start_nodes=start_nodes,
-                            end_nodes=end_nodes, use_label_index=use_label_index,
-                            ctx=ctx)
+            if tracer is None:
+                return _chain_pairs(graph, steps, use_label_index, ctx)
+            with tracer.span("evaluate", ctx=ctx,
+                             strategy="chain-frontier-join") as span:
+                pairs = _chain_pairs(graph, steps, use_label_index, ctx)
+                span.attrs["answers"] = len(pairs)
+                return pairs
+    if tracer is None:
+        return _product_pairs(graph, nfa, start_nodes, end_nodes,
+                              use_label_index, ctx)
+    with tracer.span("evaluate", ctx=ctx,
+                     strategy="product-fixpoint") as span:
+        pairs = _product_pairs(graph, nfa, start_nodes, end_nodes,
+                               use_label_index, ctx, tracer)
+        span.attrs["answers"] = len(pairs)
+        return pairs
+
+
+def _chain_pairs(graph, steps, use_label_index: bool, ctx=None) -> set[tuple]:
+    """The chain-frontier-join strategy body of :func:`endpoint_pairs`."""
+    start_of_bit, frontier = _chain_frontiers(graph, steps,
+                                              use_label_index, ctx)
+    pairs: set[tuple] = set()
+    decoded: dict[int, list] = {}
+    for end_node, mask in frontier.items():
+        starts = decoded.get(mask)
+        if starts is None:
+            starts = decoded[mask] = _decode_mask(mask, start_of_bit)
+        pairs.update(zip(starts, repeat(end_node)))
+    return pairs
+
+
+def _product_pairs(graph, nfa: NFA, start_nodes, end_nodes,
+                   use_label_index: bool, ctx=None,
+                   tracer=None) -> set[tuple]:
+    """The product-automaton strategy body of :func:`endpoint_pairs`."""
+    if tracer is None:
+        product = build_product(graph, nfa, start_nodes=start_nodes,
+                                end_nodes=end_nodes,
+                                use_label_index=use_label_index, ctx=ctx)
+    else:
+        with tracer.span("product", ctx=ctx) as span:
+            product = build_product(graph, nfa, start_nodes=start_nodes,
+                                    end_nodes=end_nodes,
+                                    use_label_index=use_label_index, ctx=ctx)
+            span.attrs["product_states"] = product.n_states()
     alive = product.alive_states()
     if not alive:
         return set()

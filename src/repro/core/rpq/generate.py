@@ -21,7 +21,7 @@ from repro.core.rpq.nfa import compile_regex
 from repro.core.rpq.paths import Path
 from repro.core.rpq.product import INITIAL, build_product, symbol_sort_key
 from repro.errors import EstimationError, InvalidLengthError
-from repro.util.rng import make_rng
+from repro.util.rng import make_default_rng, make_rng
 
 
 class UniformPathSampler:
@@ -35,10 +35,15 @@ class UniformPathSampler:
 
     def __init__(self, graph, regex: Regex, k: int,
                  start_nodes: Iterable | None = None,
-                 end_nodes: Iterable | None = None, *, ctx=None) -> None:
+                 end_nodes: Iterable | None = None, *, ctx=None,
+                 rng: int | random.Random | None = None) -> None:
         if k < 0:
             raise InvalidLengthError("path length k", k)
         self.k = k
+        # Seedless draws route through the library default seed, never the
+        # process-global random module: re-running an unseeded experiment
+        # reproduces the same paths (mirrors ApproxPathCounter).
+        self._rng = make_default_rng(rng)
         self._length = k + 1
         nfa = compile_regex(regex)
         self._product = build_product(graph, nfa, start_nodes=start_nodes,
@@ -92,10 +97,15 @@ class UniformPathSampler:
         return self._counts[0][self._start]
 
     def sample(self, rng: int | random.Random | None = None) -> Path:
-        """Draw one path uniformly at random among all conforming length-k paths."""
+        """Draw one path uniformly at random among all conforming length-k paths.
+
+        ``rng=None`` draws from the sampler's own deterministic generator
+        (seeded at construction; library default seed when unseeded), so
+        results are reproducible run over run by default.
+        """
         if self.count == 0:
             raise EstimationError("no conforming path of the requested length exists")
-        rng = make_rng(rng)
+        rng = self._rng if rng is None else make_rng(rng)
         subset = self._start
         word = []
         for i in range(self._length):
@@ -111,6 +121,10 @@ class UniformPathSampler:
 
     def sample_many(self, n: int,
                     rng: int | random.Random | None = None) -> list[Path]:
-        """Draw ``n`` independent uniform paths (one preprocessing, many draws)."""
-        rng = make_rng(rng)
+        """Draw ``n`` independent uniform paths (one preprocessing, many draws).
+
+        As for :meth:`sample`, ``rng=None`` uses the sampler's seeded
+        default generator instead of process-global randomness.
+        """
+        rng = self._rng if rng is None else make_rng(rng)
         return [self.sample(rng) for _ in range(n)]

@@ -13,6 +13,7 @@ deterministically testable.
 
 from repro.errors import BudgetExceeded, Cancelled, Degraded, ExecutionError
 from repro.exec.budget import (
+    MIN_FRACTION_SECONDS,
     Budget,
     Context,
     DegradationEvent,
@@ -22,6 +23,7 @@ from repro.exec.faults import FaultInjector, run_with_fault
 from repro.exec.governor import GovernedResult, QUALITIES, count_paths_governed
 
 __all__ = [
+    "MIN_FRACTION_SECONDS",
     "Budget",
     "Context",
     "ExecStats",

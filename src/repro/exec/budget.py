@@ -37,6 +37,14 @@ from dataclasses import dataclass, field
 
 from repro.errors import BudgetExceeded, Cancelled
 
+#: Minimum deadline slice (seconds) a :meth:`Context.fraction` child is
+#: granted.  Without a floor, a nearly exhausted parent hands a rung a
+#: share that rounds to ~0 and the rung dies at its *first* checkpoint
+#: before doing any work; with it, every rung of the degradation ladder
+#: gets at least epsilon seconds (and, symmetrically, at least 1 step) to
+#: produce its cheapest possible answer.
+MIN_FRACTION_SECONDS = 1e-3
+
 
 @dataclass(frozen=True)
 class Budget:
@@ -251,6 +259,14 @@ class Context:
         its deadline and step ceiling are tightened.  Used by the
         degradation ladder to give each rung a bounded slice while the
         whole query stays under the original budget.
+
+        Both slices are floored — at least 1 step and at least
+        :data:`MIN_FRACTION_SECONDS` of deadline — so a rung spawned from a
+        nearly (or fully) exhausted parent can still do a minimal unit of
+        work instead of raising :class:`~repro.errors.BudgetExceeded` at
+        its first checkpoint.  The ladder may therefore overshoot the
+        global deadline by at most epsilon per rung, which is the price of
+        guaranteeing every rung gets to run.
         """
         if not 0.0 < share <= 1.0:
             raise ValueError("share must be in (0, 1]")
@@ -265,7 +281,8 @@ class Context:
         child._parent = self
         left = self.time_left()
         child._deadline = (self._deadline if left is None
-                           else self.now() + left * share)
+                           else self.now() + max(left * share,
+                                                 MIN_FRACTION_SECONDS))
         steps_left = self.steps_left()
         child._max_steps = (self._max_steps if steps_left is None
                             else self._shared.steps + max(1, int(steps_left * share)))

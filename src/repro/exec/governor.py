@@ -63,7 +63,8 @@ def count_paths_governed(graph, regex, k: int, ctx: Context, *,
                          approx_share: float = 0.8,
                          allow_degraded: bool = True,
                          pool_size: int | None = None,
-                         trials_per_state: int | None = None) -> GovernedResult:
+                         trials_per_state: int | None = None,
+                         tracer=None) -> GovernedResult:
     """Count(G, r, k) under a budget, degrading instead of hanging.
 
     Rung 1 (``exact``) gets ``exact_share`` of the remaining time/steps;
@@ -72,19 +73,34 @@ def count_paths_governed(graph, regex, k: int, ctx: Context, *,
     default seed when ``rng`` is ``None``), so a degraded answer is
     reproducible run over run.  ``allow_degraded=False`` turns the first
     exhaustion into a :class:`~repro.errors.Degraded` error instead.
+
+    With a :class:`~repro.obs.Tracer` each rung is recorded as a
+    ``degrade:<rung>`` span carrying its checkpoint-step delta and how it
+    ended (``answered`` / the exhausted resource); ``tracer=None`` adds
+    nothing.
     """
     events: list[DegradationEvent] = []
+    span = (None if tracer is None
+            else tracer.start("degrade:exact", ctx=ctx))
     try:
         value = count_paths_exact(graph, regex, k, start_nodes, end_nodes,
                                   ctx=ctx.fraction(exact_share))
+        if span is not None:
+            span.attrs["outcome"] = "answered"
+            tracer.finish(span)
         return GovernedResult(value, "exact", events, ctx.stats)
     except BudgetExceeded as error:
         event = DegradationEvent("exact", "approx", error.resource, error.site)
+        if span is not None:
+            span.attrs["outcome"] = f"{error.resource} exhausted at {error.site}"
+            tracer.finish(span)
         events.append(event)
         ctx.record_degradation(event)
         if not allow_degraded:
             raise Degraded(tuple(events)) from error
 
+    span = (None if tracer is None
+            else tracer.start("degrade:approx", ctx=ctx))
     try:
         counter = ApproxPathCounter(graph, regex, k, epsilon=epsilon, rng=rng,
                                     pool_size=pool_size,
@@ -92,21 +108,33 @@ def count_paths_governed(graph, regex, k: int, ctx: Context, *,
                                     start_nodes=start_nodes,
                                     end_nodes=end_nodes,
                                     ctx=ctx.fraction(approx_share))
-        return GovernedResult(counter.estimate(), "approx", events, ctx.stats)
+        estimate = counter.estimate()
+        if span is not None:
+            span.attrs["outcome"] = "answered"
+            tracer.finish(span)
+        return GovernedResult(estimate, "approx", events, ctx.stats)
     except BudgetExceeded as error:
         event = DegradationEvent("approx", "lower-bound",
                                  error.resource, error.site)
+        if span is not None:
+            span.attrs["outcome"] = f"{error.resource} exhausted at {error.site}"
+            tracer.finish(span)
         events.append(event)
         ctx.record_degradation(event)
     except EstimationError:
         # Sketches built but too sparse to estimate: fall through to the
         # enumerator, which handles the empty answer set exactly.
         event = DegradationEvent("approx", "lower-bound", "estimate", "fpras")
+        if span is not None:
+            span.attrs["outcome"] = "estimate failed (sparse sketches)"
+            tracer.finish(span)
         events.append(event)
         ctx.record_degradation(event)
 
     # Rung 3 never raises BudgetExceeded: whatever the enumerator produced
     # before the budget died is a certified lower bound (possibly 0).
+    span = (None if tracer is None
+            else tracer.start("degrade:lower-bound", ctx=ctx))
     emitted = 0
     try:
         for _ in enumerate_paths(graph, regex, k, start_nodes=start_nodes,
@@ -114,4 +142,7 @@ def count_paths_governed(graph, regex, k: int, ctx: Context, *,
             emitted += 1
     except BudgetExceeded:
         pass
+    if span is not None:
+        span.attrs["outcome"] = f"emitted {emitted}"
+        tracer.finish(span)
     return GovernedResult(emitted, "lower-bound", events, ctx.stats)

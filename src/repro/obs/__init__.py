@@ -1,0 +1,50 @@
+"""Query observability: tracing, metrics, EXPLAIN (DESIGN.md §4d).
+
+Three pieces, all dependency-free and all zero-cost when unused:
+
+- :class:`Tracer` / :class:`Span` — per-query nested spans (``parse``,
+  ``compile``, ``product``, ``evaluate``, ``degrade:<rung>``) with wall and
+  monotonic timings, checkpoint-step deltas, frontier high-water marks and
+  compile-cache hit/miss counters.  Entry points take ``tracer=None`` and
+  guard every span, mirroring the governor's ``ctx=None`` convention: a
+  disabled tracer allocates nothing and adds only ``is None`` checks.
+- :class:`Metrics` — a counters + histograms registry aggregating traces
+  across queries for long-lived processes; exports plain dicts/JSON.
+- :func:`explain_pathql` / :func:`explain_sparql` / :func:`explain_cypher`
+  — static strategy reports (chain-frontier-join vs product automaton,
+  index-backed fetch plans, greedy join orders, degradation ladders).
+"""
+
+from repro.obs.explain import (
+    EXPLAIN_SCHEMA_VERSION,
+    ExplainReport,
+    explain_cypher,
+    explain_pathql,
+    explain_sparql,
+    regex_index_plan,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    METRICS_SCHEMA_VERSION,
+    Counter,
+    Histogram,
+    Metrics,
+)
+from repro.obs.tracer import TRACE_SCHEMA_VERSION, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "EXPLAIN_SCHEMA_VERSION",
+    "ExplainReport",
+    "Histogram",
+    "METRICS_SCHEMA_VERSION",
+    "Metrics",
+    "Span",
+    "TRACE_SCHEMA_VERSION",
+    "Tracer",
+    "explain_cypher",
+    "explain_pathql",
+    "explain_sparql",
+    "regex_index_plan",
+]

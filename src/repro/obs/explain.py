@@ -1,0 +1,329 @@
+"""EXPLAIN: report the evaluation strategy a query will use, without running it.
+
+Production graph engines expose plan inspection precisely because RPQ cost
+is shape-dependent (Count is SpanL-complete; a chain regex is a frontier
+join; a star forces the full product).  This module reproduces that for the
+three frontends:
+
+- :func:`explain_pathql` — regex shape (chain-frontier-join vs full
+  product-automaton), per-edge-test index plan (label/feature candidates
+  from PR 1's adjacency indexes vs full scans), automaton size, and — for
+  governed ``COUNT`` — the degradation ladder with each rung's budget share;
+- :func:`explain_sparql` — greedy-selectivity join order with per-pattern
+  cardinality estimates, plus property-path closure shapes;
+- :func:`explain_cypher` — per-pattern node candidate source (property
+  index / label index / full scan) and relationship expansion plans.
+
+All reports are static: built from the parsed query and the store's
+indexes/statistics, never by executing the query.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.core.rpq.ast import Concat, EdgeAtom, NodeTest, Regex, Star, Union
+from repro.core.rpq.evaluate import _chain_steps
+from repro.core.rpq.nfa import compile_regex
+
+#: Schema version stamped into every exported report.
+EXPLAIN_SCHEMA_VERSION = 1
+
+
+@dataclass
+class ExplainReport:
+    """A frontend-agnostic strategy report with dict/JSON/text forms."""
+
+    frontend: str
+    query: str
+    strategy: str
+    details: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": "repro.obs.explain",
+            "version": EXPLAIN_SCHEMA_VERSION,
+            "frontend": self.frontend,
+            "query": self.query,
+            "strategy": self.strategy,
+            "details": self.details,
+        }
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def to_text(self) -> str:
+        lines = [f"EXPLAIN [{self.frontend}] {self.query}",
+                 f"strategy: {self.strategy}"]
+        lines.extend(_render(self.details, 1))
+        return "\n".join(lines)
+
+
+def _render(value, depth: int) -> list[str]:
+    pad = "  " * depth
+    lines: list[str] = []
+    if isinstance(value, dict):
+        for key, inner in value.items():
+            if isinstance(inner, (dict, list)) and inner:
+                lines.append(f"{pad}{key}:")
+                lines.extend(_render(inner, depth + 1))
+            else:
+                lines.append(f"{pad}{key}: {_scalar(inner)}")
+    elif isinstance(value, list):
+        for inner in value:
+            if isinstance(inner, (dict, list)):
+                lines.append(f"{pad}-")
+                lines.extend(_render(inner, depth + 1))
+            else:
+                lines.append(f"{pad}- {_scalar(inner)}")
+    else:
+        lines.append(f"{pad}{_scalar(value)}")
+    return lines
+
+
+def _scalar(value) -> str:
+    if isinstance(value, (list, dict)) and not value:
+        return "(none)"
+    return str(value)
+
+
+# ---------------------------------------------------------------------------
+# PathQL
+# ---------------------------------------------------------------------------
+
+
+def _edge_atoms(regex: Regex):
+    if isinstance(regex, EdgeAtom):
+        yield regex
+    elif isinstance(regex, (Union, Concat)):
+        yield from _edge_atoms(regex.left)
+        yield from _edge_atoms(regex.right)
+    elif isinstance(regex, Star):
+        yield from _edge_atoms(regex.inner)
+    # NodeTest atoms consume no edge and need no fetch plan.
+
+
+def regex_index_plan(graph, regex: Regex) -> list[dict]:
+    """The fetch plan of every edge atom: index-backed or full scan.
+
+    Mirrors the planning of :func:`repro.core.rpq.product._edge_fetchers`:
+    a label-restricted test on a graph with a label adjacency index fetches
+    only its candidate buckets (skipping the per-edge re-check when the
+    candidate set is exact); everything else scans full incidence lists.
+    """
+    has_label_index = getattr(graph, "label_adjacency_index", None) is not None
+    has_feature_index = getattr(graph, "feature_adjacency_index", None) is not None
+    plan = []
+    for atom in _edge_atoms(regex):
+        labels = atom.test.label_candidates()
+        features = atom.test.feature_candidates()
+        if has_label_index and labels is not None:
+            backend = "label-index"
+            exact = atom.test.label_candidates_exact()
+            candidates = sorted(labels, key=str)
+        elif has_feature_index and features is not None:
+            backend = "feature-index"
+            exact = atom.test.feature_candidates_exact()
+            candidates = [f"f{features[0] + 1}={v}"
+                          for v in sorted(features[1], key=str)]
+        else:
+            backend = "full-scan"
+            exact = False
+            candidates = []
+        plan.append({
+            "test": atom.to_text(),
+            "backend": backend,
+            "candidates": candidates,
+            "exact": exact,
+            "recheck": not exact,
+        })
+    return plan
+
+
+_MODE_STRATEGIES = {
+    "enumerate": "product-automaton + polynomial-delay enumeration",
+    "count": "exact subset DP over the product automaton",
+    "count-approx": "FPRAS (Karp-Luby sampling over NFA sketches)",
+    "sample": "uniform generation over the determinized product",
+}
+
+
+def explain_pathql(graph, text: str, *, governed: bool = False,
+                   exact_share: float = 0.5,
+                   approx_share: float = 0.8) -> ExplainReport:
+    """Strategy report for a PathQL statement (parsed, not executed)."""
+    from repro.query.pathql import parse_pathql
+
+    query = parse_pathql(text)
+    nfa = compile_regex(query.regex)
+    chain = _chain_steps(nfa)
+    endpoint_free = query.source is None and query.target is None
+    if chain is not None and endpoint_free:
+        shape = f"chain({len(chain)} steps)"
+        reachability = "chain-frontier-join (no product automaton)"
+    else:
+        shape = "general (product automaton)"
+        reachability = "product-automaton fixpoint"
+
+    strategy = _MODE_STRATEGIES[query.mode]
+    details: dict = {
+        "mode": query.mode,
+        "regex": query.regex.to_text(),
+        "regex_shape": shape,
+        "reachability_strategy": reachability,
+        "nfa_states": nfa.n_states,
+        "nfa_edge_transitions": nfa.edge_transition_count(),
+        "length": ("shortest" if query.shortest else
+                   query.length if query.length is not None else
+                   f"<= {query.max_length}"),
+        "endpoints": {
+            "from": query.source if query.source is not None else "(any)",
+            "to": query.target if query.target is not None else "(any)",
+        },
+        "index_plan": regex_index_plan(graph, query.regex),
+    }
+    if query.mode == "count" and governed:
+        strategy = "governed degradation ladder (exact -> FPRAS -> lower bound)"
+        remainder_after_exact = 1.0 - exact_share
+        details["degradation_ladder"] = [
+            {"rung": "exact", "algorithm": _MODE_STRATEGIES["count"],
+             "budget_share": exact_share},
+            {"rung": "approx", "algorithm": _MODE_STRATEGIES["count-approx"],
+             "budget_share": round(remainder_after_exact * approx_share, 6)},
+            {"rung": "lower-bound",
+             "algorithm": "partial polynomial-delay enumeration",
+             "budget_share": round(remainder_after_exact * (1.0 - approx_share), 6)},
+        ]
+    return ExplainReport("pathql", text, strategy, details)
+
+
+# ---------------------------------------------------------------------------
+# SPARQL
+# ---------------------------------------------------------------------------
+
+
+def _path_shape(path) -> str:
+    from repro.query import sparql as s
+
+    if isinstance(path, s.PIri):
+        return f"<{path.iri}>"
+    if isinstance(path, s.PVar):
+        return f"?{path.name}"
+    if isinstance(path, s.PInverse):
+        return f"^({_path_shape(path.inner)})"
+    if isinstance(path, s.PSequence):
+        return f"{_path_shape(path.left)}/{_path_shape(path.right)}"
+    if isinstance(path, s.PAlternative):
+        return f"{_path_shape(path.left)}|{_path_shape(path.right)}"
+    if isinstance(path, s.PStar):
+        return f"({_path_shape(path.inner)})* [BFS closure]"
+    if isinstance(path, s.PPlus):
+        return f"({_path_shape(path.inner)})+ [BFS closure]"
+    return type(path).__name__
+
+
+def explain_sparql(store, text: str) -> ExplainReport:
+    """Strategy report for a mini-SPARQL query: join order + estimates."""
+    from repro.query.sparql import _estimate, parse_sparql
+
+    query = parse_sparql(text)
+    branches = (query.union_branches if query.union_branches
+                else ((query.patterns, query.filters, query.optionals),))
+    branch_reports = []
+    for patterns, filters, optionals in branches:
+        # Replay the evaluator's greedy selectivity ordering statically
+        # (estimates under the empty binding; at run time estimates shrink
+        # as variables bind, so this is the worst-case order).
+        remaining = list(patterns)
+        order = []
+        while remaining:
+            index, best = min(enumerate(remaining),
+                              key=lambda item: _estimate(store, item[1], {}))
+            remaining.pop(index)
+            order.append(best)
+        branch_reports.append({
+            "join_order": [{
+                "pattern": (f"{_term(p.subject)} {_path_shape(p.path)} "
+                            f"{_term(p.object)}"),
+                "estimated_matches": _estimate(store, p, {}),
+            } for p in order],
+            "filters": len(filters),
+            "optional_groups": len(optionals),
+        })
+    details = {
+        "triples": len(store),
+        "union_branches": len(branch_reports),
+        "branches": branch_reports,
+        "distinct": query.distinct,
+        "limit": query.limit if query.limit is not None else "(none)",
+    }
+    return ExplainReport(
+        "sparql", text,
+        "backtracking BGP join, greedy selectivity order (SPO/POS/OSP indexes)",
+        details)
+
+
+def _term(term) -> str:
+    from repro.query import sparql as s
+
+    if isinstance(term, s.Var):
+        return f"?{term.name}"
+    if isinstance(term, s.Iri):
+        return f"<{term.value}>"
+    return f'"{term.value}"'
+
+
+# ---------------------------------------------------------------------------
+# Cypher
+# ---------------------------------------------------------------------------
+
+
+def explain_cypher(store, text: str) -> ExplainReport:
+    """Strategy report for a mini-Cypher query: candidate sources + expansions."""
+    from repro.query.cypherish import parse_cypher
+
+    query = parse_cypher(text)
+    graph = store.graph
+    pattern_reports = []
+    for pattern in query.patterns:
+        nodes = []
+        for node_pattern in pattern.nodes:
+            if node_pattern.properties:
+                prop, value = node_pattern.properties[0]
+                source = f"property-index({prop}={value})"
+                estimate = len(store.nodes_with_property(prop, value))
+            elif node_pattern.label is not None:
+                source = f"label-index(:{node_pattern.label})"
+                estimate = len(store.nodes_with_label(node_pattern.label))
+            else:
+                source = "full-scan"
+                estimate = graph.node_count()
+            nodes.append({
+                "var": node_pattern.var if node_pattern.var else "(anon)",
+                "candidate_source": source,
+                "estimated_candidates": estimate,
+            })
+        rels = []
+        for rel in pattern.rels:
+            expansion = (f"bfs({rel.min_hops}..{rel.max_hops})"
+                         if rel.variable_length else "adjacency")
+            rels.append({
+                "var": rel.var if rel.var else "(anon)",
+                "label": rel.label if rel.label is not None else "(any)",
+                "direction": rel.direction,
+                "expansion": expansion,
+            })
+        pattern_reports.append({"nodes": nodes, "rels": rels})
+    details = {
+        "nodes": graph.node_count(),
+        "edges": graph.edge_count(),
+        "patterns": pattern_reports,
+        "where": query.where is not None,
+        "distinct": query.distinct,
+        "limit": query.limit if query.limit is not None else "(none)",
+    }
+    return ExplainReport(
+        "cypher", text,
+        "backtracking pattern match over label/property indexes",
+        details)

@@ -1,0 +1,180 @@
+"""Process-wide metrics: counters and histograms, no third-party deps.
+
+Where a :class:`~repro.obs.tracer.Tracer` describes *one* query in depth, a
+:class:`Metrics` registry aggregates *across* queries for long-lived
+processes: how many queries ran, how span durations distribute, cumulative
+compile-cache hits.  Everything exports as plain dicts/JSON so dashboards
+and the CLI ``--metrics-out`` need no client library.
+
+The histogram keeps fixed cumulative-style buckets (geometric bounds
+spanning microseconds to minutes by default) plus exact count/sum/min/max,
+so merging and percentile estimation stay O(#buckets).
+"""
+
+from __future__ import annotations
+
+import json
+
+#: Geometric default bucket upper bounds (seconds): 1-2.5-5 per decade.
+DEFAULT_BUCKETS = tuple(mantissa * 10.0 ** exponent
+                        for exponent in range(-6, 3)
+                        for mantissa in (1.0, 2.5, 5.0))
+
+#: Schema version stamped into every exported snapshot.
+METRICS_SCHEMA_VERSION = 1
+
+
+class Counter:
+    """A monotonically increasing numeric counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+    def as_dict(self) -> dict:
+        return {"type": "counter", "value": self.value}
+
+
+class Histogram:
+    """A fixed-bucket histogram with exact count/sum/min/max."""
+
+    __slots__ = ("name", "bounds", "bucket_counts", "count", "total",
+                 "minimum", "maximum")
+
+    def __init__(self, name: str, bounds: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        self.name = name
+        self.bounds = tuple(sorted(bounds))
+        self.bucket_counts = [0] * (len(self.bounds) + 1)  # +overflow
+        self.count = 0
+        self.total = 0.0
+        self.minimum: float | None = None
+        self.maximum: float | None = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.bucket_counts[index] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    @property
+    def mean(self) -> float | None:
+        return None if not self.count else self.total / self.count
+
+    def quantile(self, q: float) -> float | None:
+        """Bucket-resolution quantile estimate (upper bound of the bucket
+        holding the q-th observation), or ``None`` when empty."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if not self.count:
+            return None
+        rank = q * self.count
+        running = 0
+        for index, bucket_count in enumerate(self.bucket_counts):
+            running += bucket_count
+            if running >= rank and bucket_count:
+                if index < len(self.bounds):
+                    return self.bounds[index]
+                return self.maximum
+        return self.maximum
+
+    def as_dict(self) -> dict:
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "sum": self.total,
+            "min": self.minimum,
+            "max": self.maximum,
+            "mean": self.mean,
+            "p50": self.quantile(0.5),
+            "p99": self.quantile(0.99),
+            "buckets": {
+                **{f"le_{bound:g}": self.bucket_counts[index]
+                   for index, bound in enumerate(self.bounds)
+                   if self.bucket_counts[index]},
+                **({"overflow": self.bucket_counts[-1]}
+                   if self.bucket_counts[-1] else {}),
+            },
+        }
+
+
+class Metrics:
+    """A named registry of counters and histograms.
+
+    ``counter(name)`` / ``histogram(name)`` create-or-get, so call sites
+    never race on registration order.  :meth:`observe_trace` folds one
+    finished :class:`~repro.obs.tracer.Tracer` into the registry — per-span
+    duration histograms, step totals, cache hit/miss counters — which is how
+    the CLI turns ``--trace`` data into ``--metrics-out`` aggregates.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Counter | Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = self._instruments[name] = Counter(name)
+        elif not isinstance(instrument, Counter):
+            raise TypeError(f"{name!r} is already a {type(instrument).__name__}")
+        return instrument
+
+    def histogram(self, name: str,
+                  bounds: tuple[float, ...] = DEFAULT_BUCKETS) -> Histogram:
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = self._instruments[name] = Histogram(name, bounds)
+        elif not isinstance(instrument, Histogram):
+            raise TypeError(f"{name!r} is already a {type(instrument).__name__}")
+        return instrument
+
+    def observe_trace(self, tracer) -> None:
+        """Fold every span of a tracer into per-span-name aggregates."""
+        def visit(span) -> None:
+            self.counter(f"span.{span.name}.count").inc()
+            if span.duration is not None:
+                self.histogram(f"span.{span.name}.seconds").observe(span.duration)
+            if span.status != "ok":
+                self.counter(f"span.{span.name}.errors").inc()
+            steps = span.attrs.get("steps")
+            if steps:
+                self.counter(f"span.{span.name}.steps").inc(steps)
+            for key in ("cache_hits", "cache_misses"):
+                delta = span.attrs.get(key)
+                if delta:
+                    self.counter(f"compile.{key.removeprefix('cache_')}").inc(delta)
+            strategy = span.attrs.get("strategy")
+            if strategy:
+                self.counter(f"strategy.{strategy}").inc()
+            for child in span.children:
+                visit(child)
+        for root in tracer.roots:
+            visit(root)
+        self.counter("queries.observed").inc()
+
+    # -- export --------------------------------------------------------------
+
+    def as_dict(self) -> dict:
+        return {
+            "schema": "repro.obs.metrics",
+            "version": METRICS_SCHEMA_VERSION,
+            "instruments": {name: instrument.as_dict()
+                            for name, instrument
+                            in sorted(self._instruments.items())},
+        }
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent)

@@ -1,0 +1,213 @@
+"""Structured tracing for query evaluation: nested spans, zero cost off.
+
+The governor (DESIGN.md §4c) made queries *interruptible*; this module makes
+them *observable*.  A :class:`Tracer` records a tree of :class:`Span` objects
+— ``parse``, ``compile``, ``product``, ``evaluate``, ``degrade:<rung>`` —
+each carrying wall-clock start, monotonic duration, free-form attributes,
+and (when handed an execution :class:`~repro.exec.Context`) the checkpoint
+steps and frontier high-water mark spent inside the span, plus compile-cache
+hit/miss deltas from :func:`repro.core.rpq.nfa.compile_cache_info`.
+
+The integration contract mirrors the governor's ``ctx=None`` convention
+exactly (the *dual-None* convention, DESIGN.md §4d): every traced entry
+point takes ``tracer=None`` and guards each span with ``if tracer is not
+None``.  Spans wrap whole evaluation phases, never hot-loop iterations, so a
+disabled tracer costs a handful of ``is None`` checks per *query* — not per
+step — and allocates no :class:`Span` objects at all (the overhead-guard
+test asserts this literally).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from repro.core.rpq.nfa import compile_cache_info
+
+#: Schema version stamped into every exported trace.
+TRACE_SCHEMA_VERSION = 1
+
+
+class Span:
+    """One timed phase of a query: name, timings, attributes, children."""
+
+    __slots__ = ("name", "attrs", "children", "wall_start", "duration",
+                 "status", "error", "_mono_start", "_ctx", "_steps_before",
+                 "_cache_before")
+
+    def __init__(self, name: str, *, ctx=None, cache: bool = False,
+                 **attrs) -> None:
+        self.name = name
+        self.attrs = attrs
+        self.children: list[Span] = []
+        self.wall_start = time.time()
+        self.duration: float | None = None
+        self.status = "ok"
+        self.error: str | None = None
+        self._ctx = ctx
+        self._steps_before = (None if ctx is None
+                              else ctx.stats.total_checkpoints)
+        self._cache_before = compile_cache_info() if cache else None
+        self._mono_start = time.perf_counter()
+
+    def _finish(self, error: BaseException | None = None) -> None:
+        self.duration = time.perf_counter() - self._mono_start
+        if error is not None:
+            self.status = "error"
+            self.error = f"{type(error).__name__}: {error}"
+        ctx = self._ctx
+        if ctx is not None:
+            self.attrs["steps"] = (ctx.stats.total_checkpoints
+                                   - self._steps_before)
+            self.attrs["frontier_hwm"] = ctx.stats.peak_frontier
+        if self._cache_before is not None:
+            after = compile_cache_info()
+            before = self._cache_before
+            self.attrs["cache_hits"] = after["hits"] - before["hits"]
+            self.attrs["cache_misses"] = after["misses"] - before["misses"]
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (round-trips through ``json.loads``)."""
+        return {
+            "name": self.name,
+            "wall_start": self.wall_start,
+            "duration_s": self.duration,
+            "status": self.status,
+            "error": self.error,
+            "attrs": {key: _jsonable(value)
+                      for key, value in sorted(self.attrs.items())},
+            "children": [child.to_dict() for child in self.children],
+        }
+
+
+def _jsonable(value):
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    return str(value)
+
+
+class _SpanContext:
+    """Context-manager handle returned by :meth:`Tracer.span`."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._tracer.finish(self._span, error=exc)
+        return False
+
+
+class Tracer:
+    """Collects a forest of spans for one (or several) queries.
+
+    Use either the context-manager form::
+
+        with tracer.span("evaluate", ctx=ctx, strategy="product") as span:
+            span.attrs["answers"] = len(pairs)
+
+    or the explicit ``start``/``finish`` pair when the phase does not nest
+    lexically.  Spans started while another span is open become its
+    children.
+    """
+
+    __slots__ = ("roots", "_stack")
+
+    def __init__(self) -> None:
+        self.roots: list[Span] = []
+        self._stack: list[Span] = []
+
+    # -- recording -----------------------------------------------------------
+
+    def start(self, name: str, *, ctx=None, cache: bool = False,
+              **attrs) -> Span:
+        span = Span(name, ctx=ctx, cache=cache, **attrs)
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+        return span
+
+    def finish(self, span: Span, *, error: BaseException | None = None) -> None:
+        span._finish(error)
+        # Pop through abandoned children too, so an exception that skips
+        # explicit finishes cannot corrupt later nesting.
+        while self._stack:
+            popped = self._stack.pop()
+            if popped is span:
+                break
+            popped._finish(error)
+
+    def span(self, name: str, *, ctx=None, cache: bool = False,
+             **attrs) -> _SpanContext:
+        return _SpanContext(self, self.start(name, ctx=ctx, cache=cache,
+                                             **attrs))
+
+    def annotate(self, **attrs) -> None:
+        """Attach attributes to the innermost open span (no-op when idle)."""
+        if self._stack:
+            self._stack[-1].attrs.update(attrs)
+
+    @property
+    def current(self) -> Span | None:
+        return self._stack[-1] if self._stack else None
+
+    # -- export --------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": "repro.obs.trace",
+            "version": TRACE_SCHEMA_VERSION,
+            "spans": [span.to_dict() for span in self.roots],
+        }
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def summary(self) -> dict[str, dict]:
+        """Per-span-name aggregate: count, total/max seconds, total steps.
+
+        This is the compact form the bench harness attaches to BENCH JSON
+        rows (one dict per query, no nesting).
+        """
+        totals: dict[str, dict] = {}
+        def visit(span: Span) -> None:
+            entry = totals.setdefault(span.name, {
+                "count": 0, "total_s": 0.0, "max_s": 0.0, "steps": 0})
+            entry["count"] += 1
+            if span.duration is not None:
+                entry["total_s"] += span.duration
+                entry["max_s"] = max(entry["max_s"], span.duration)
+            entry["steps"] += span.attrs.get("steps", 0) or 0
+            for child in span.children:
+                visit(child)
+        for root in self.roots:
+            visit(root)
+        return totals
+
+    def format_tree(self) -> str:
+        """Human-readable indented span tree (the CLI ``--trace`` output)."""
+        lines: list[str] = []
+        def visit(span: Span, depth: int) -> None:
+            duration = ("?" if span.duration is None
+                        else f"{span.duration * 1000.0:.3f}ms")
+            attrs = " ".join(f"{key}={span.attrs[key]}"
+                             for key in sorted(span.attrs))
+            flag = "" if span.status == "ok" else f" !{span.error}"
+            lines.append(f"{'  ' * depth}{span.name:<18s} {duration:>10s}"
+                         f"{'  ' + attrs if attrs else ''}{flag}")
+            for child in span.children:
+                visit(child, depth + 1)
+        for root in self.roots:
+            visit(root, 0)
+        return "\n".join(lines)

@@ -380,7 +380,7 @@ class CypherResult:
 
 
 def run_cypher(store: PropertyGraphStore, text: str, *,
-               ctx=None) -> CypherResult:
+               ctx=None, tracer=None) -> CypherResult:
     """Parse and evaluate a query against a property-graph store.
 
     With an execution :class:`~repro.exec.Context` the backtracking matcher
@@ -388,8 +388,27 @@ def run_cypher(store: PropertyGraphStore, text: str, *,
     once per relationship expansion (site ``cypher.expand``); budget
     exhaustion raises :class:`~repro.errors.BudgetExceeded` — a truncated
     match set would silently drop rows, so no partial answer is offered.
+
+    With a :class:`~repro.obs.Tracer` the run records ``parse`` and
+    ``evaluate`` spans (strategy, pattern counts, rows returned);
+    ``tracer=None`` takes the exact pre-tracing code path.
     """
-    query = parse_cypher(text)
+    if tracer is None:
+        return _run_cypher(store, text, ctx)
+    with tracer.span("parse", frontend="cypher"):
+        query = parse_cypher(text)
+    with tracer.span("evaluate", ctx=ctx,
+                     strategy="backtracking-match") as span:
+        span.attrs["patterns"] = len(query.patterns)
+        result = _run_cypher(store, text, ctx, query=query)
+        span.attrs["rows"] = len(result.rows)
+        return result
+
+
+def _run_cypher(store: PropertyGraphStore, text: str, ctx=None, *,
+                query: CypherQuery | None = None) -> CypherResult:
+    if query is None:
+        query = parse_cypher(text)
     bindings = [{}]
     for pattern in query.patterns:
         bindings = _match_path(store, pattern, bindings, ctx)

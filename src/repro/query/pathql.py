@@ -38,6 +38,7 @@ from repro.core.rpq import (
 )
 from repro.core.rpq.ast import Regex
 from repro.core.rpq.evaluate import shortest_conforming_length
+from repro.core.rpq.nfa import compile_regex
 from repro.errors import BudgetExceeded, QueryEvaluationError, QuerySyntaxError
 from repro.exec.budget import DegradationEvent
 from repro.exec.governor import count_paths_governed
@@ -146,7 +147,7 @@ def parse_pathql(text: str) -> PathQuery:
     return query
 
 
-def run_pathql(graph, text: str, *, ctx=None) -> PathQueryResult:
+def run_pathql(graph, text: str, *, ctx=None, tracer=None) -> PathQueryResult:
     """Parse and execute a PathQL statement against any graph model.
 
     With an execution :class:`~repro.exec.Context` every evaluation loop
@@ -156,8 +157,32 @@ def run_pathql(graph, text: str, *, ctx=None) -> PathQueryResult:
     enumeration queries return the paths emitted so far tagged
     ``quality="partial"``.  ``COUNT APPROX`` and ``SAMPLE`` have no cheaper
     fallback, so they propagate :class:`~repro.errors.BudgetExceeded`.
+
+    With a :class:`~repro.obs.Tracer` the run is recorded as ``parse``,
+    ``compile`` (with compile-cache hit/miss deltas) and ``evaluate`` spans
+    — the latter nesting the governor's ``degrade:<rung>`` spans for
+    governed ``COUNT`` queries; ``tracer=None`` takes the exact pre-tracing
+    code path.
     """
-    query = parse_pathql(text)
+    if tracer is None:
+        return _run_pathql(graph, text, ctx)
+    with tracer.span("parse", frontend="pathql"):
+        query = parse_pathql(text)
+    with tracer.span("compile", cache=True):
+        compile_regex(query.regex)
+    with tracer.span("evaluate", ctx=ctx, mode=query.mode) as span:
+        result = _run_pathql(graph, text, ctx, query=query, tracer=tracer)
+        span.attrs["quality"] = result.quality
+        if result.count is not None:
+            span.attrs["count"] = result.count
+        span.attrs["paths"] = len(result.paths)
+        return result
+
+
+def _run_pathql(graph, text: str, ctx=None, *, query: PathQuery | None = None,
+                tracer=None) -> PathQueryResult:
+    if query is None:
+        query = parse_pathql(text)
     starts = [query.source] if query.source is not None else None
     ends = [query.target] if query.target is not None else None
 
@@ -176,7 +201,8 @@ def run_pathql(graph, text: str, *, ctx=None) -> PathQueryResult:
             governed = count_paths_governed(graph, query.regex, length, ctx,
                                             epsilon=query.epsilon,
                                             rng=query.seed,
-                                            start_nodes=starts, end_nodes=ends)
+                                            start_nodes=starts, end_nodes=ends,
+                                            tracer=tracer)
             return PathQueryResult("count", [], governed.value,
                                    quality=governed.quality,
                                    degradations=tuple(governed.degradations))

@@ -405,7 +405,8 @@ class SelectResult:
         return len(self.rows)
 
 
-def run_sparql(store: TripleStore, text: str, *, ctx=None) -> SelectResult:
+def run_sparql(store: TripleStore, text: str, *, ctx=None,
+               tracer=None) -> SelectResult:
     """Parse and evaluate a query against a triple store.
 
     With an execution :class:`~repro.exec.Context` the backtracking join
@@ -414,8 +415,30 @@ def run_sparql(store: TripleStore, text: str, *, ctx=None) -> SelectResult:
     ``sparql.closure``); budget exhaustion raises
     :class:`~repro.errors.BudgetExceeded` — set semantics admit no partial
     answer that would not silently drop solutions.
+
+    With a :class:`~repro.obs.Tracer` the run records ``parse`` and
+    ``evaluate`` spans (strategy, branch/pattern counts, rows returned);
+    ``tracer=None`` takes the exact pre-tracing code path.
     """
-    query = parse_sparql(text)
+    if tracer is None:
+        return _run_sparql(store, text, ctx)
+    with tracer.span("parse", frontend="sparql"):
+        query = parse_sparql(text)
+    with tracer.span("evaluate", ctx=ctx,
+                     strategy="bgp-backtracking-join") as span:
+        branches = (query.union_branches if query.union_branches
+                    else ((query.patterns, query.filters, query.optionals),))
+        span.attrs["branches"] = len(branches)
+        span.attrs["patterns"] = sum(len(p) for p, _, _ in branches)
+        result = _run_sparql(store, text, ctx, query=query)
+        span.attrs["rows"] = len(result.rows)
+        return result
+
+
+def _run_sparql(store: TripleStore, text: str, ctx=None, *,
+                query: SelectQuery | None = None) -> SelectResult:
+    if query is None:
+        query = parse_sparql(text)
     if query.union_branches:
         branches = query.union_branches
     else:

@@ -209,3 +209,102 @@ def test_rdf_subject_object_indexes_after_mutation():
     merged = graph.merge(RDFGraph([("d", "p", "a")]))
     assert set(merged.triples_to("a")) == {
         t for t in merged.triples() if t.object == "a"}
+
+
+# ---------------------------------------------------------------------------
+# Parallel-edge multisets (PR 3 audit).
+#
+# Several edges may share one (src, dst, label) triple; removing one of them
+# must evict exactly that edge's index entries and keep every surviving
+# duplicate reachable through the label index.  The maintenance code keys
+# all index buckets by *edge id*, so the audit found no eviction bug — these
+# tests pin that behaviour down so a future "optimized" rewrite keyed by
+# (src, dst, label) cannot regress it silently.
+# ---------------------------------------------------------------------------
+
+
+def test_removing_one_parallel_edge_keeps_duplicates_indexed():
+    graph = LabeledGraph()
+    graph.add_node("a", "person")
+    graph.add_node("b", "person")
+    for name in ("e1", "e2", "e3"):
+        graph.add_edge(name, "a", "b", "contact")
+    graph.remove_edge("e2")
+    assert set(graph.out_edges_with_label("a", "contact")) == {"e1", "e3"}
+    assert set(graph.in_edges_with_label("b", "contact")) == {"e1", "e3"}
+    assert set(graph.edges_with_label("contact")) == {"e1", "e3"}
+    check_label_index_invariants(graph)
+    check_incidence_invariants(graph)
+    # Remove down to one survivor, then to none.
+    graph.remove_edge("e1")
+    assert set(graph.edges_with_label("contact")) == {"e3"}
+    graph.remove_edge("e3")
+    assert set(graph.edges_with_label("contact")) == set()
+    check_label_index_invariants(graph)
+
+
+def test_parallel_self_loops_survive_partial_removal():
+    graph = LabeledGraph()
+    graph.add_node("a", "person")
+    graph.add_edge("l1", "a", "a", "contact")
+    graph.add_edge("l2", "a", "a", "contact")
+    graph.remove_edge("l1")
+    assert set(graph.out_edges_with_label("a", "contact")) == {"l2"}
+    assert set(graph.in_edges_with_label("a", "contact")) == {"l2"}
+    check_label_index_invariants(graph)
+
+
+def test_parallel_edges_still_answer_rpq_after_removal():
+    """End to end: the index-backed fetch plan still sees the survivor."""
+    from repro.core.rpq import endpoint_pairs, parse_regex
+
+    graph = LabeledGraph()
+    for name in ("a", "b", "c"):
+        graph.add_node(name, "person")
+    graph.add_edge("e1", "a", "b", "contact")
+    graph.add_edge("e2", "a", "b", "contact")  # exact duplicate of e1
+    graph.add_edge("e3", "b", "c", "lives")
+    graph.remove_edge("e1")
+    assert endpoint_pairs(graph, parse_regex("contact")) == {("a", "b")}
+    assert endpoint_pairs(graph, parse_regex("contact/lives")) == {("a", "c")}
+
+
+def _parallel_biased_mutation(rng: random.Random, graph: LabeledGraph,
+                              counter: list[int]) -> None:
+    """Like _random_mutation, but half of all insertions duplicate an
+    existing edge's exact (src, dst, label) triple."""
+    nodes = sorted(graph.nodes(), key=str)
+    edges = sorted(graph.edges(), key=str)
+    op = rng.random()
+    if op < 0.5 or not edges:
+        counter[0] += 1
+        if edges and rng.random() < 0.5:
+            template = rng.choice(edges)
+            source, target = graph.endpoints(template)
+            label = graph.edge_label(template)
+        else:
+            source = rng.choice(nodes) if nodes else f"x{counter[0]}"
+            target = rng.choice(nodes) if nodes else f"y{counter[0]}"
+            label = rng.choice(EDGE_LABELS)
+        graph.add_edge(f"p{counter[0]}", source, target, label)
+    elif op < 0.8:
+        graph.remove_edge(rng.choice(edges))
+    elif op < 0.9 and nodes:
+        graph.remove_node(rng.choice(nodes))
+    else:
+        graph.set_edge_label(rng.choice(edges), rng.choice(EDGE_LABELS))
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_label_index_survives_parallel_edge_fuzz(seed):
+    rng = random.Random(1000 + seed)
+    graph = random_labeled_graph(5, 10, node_labels=NODE_LABELS,
+                                 edge_labels=EDGE_LABELS, rng=seed)
+    counter = [0]
+    for step in range(80):
+        _parallel_biased_mutation(rng, graph, counter)
+        if step % 20 == 19:
+            check_label_index_invariants(graph)
+            check_incidence_invariants(graph)
+    check_label_index_invariants(graph)
+    check_incidence_invariants(graph)

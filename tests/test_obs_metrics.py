@@ -1,0 +1,156 @@
+"""Unit tests for the metrics registry (counters, histograms, trace folding)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exec import Budget, Context
+from repro.models import figure2_labeled
+from repro.obs import DEFAULT_BUCKETS, Counter, Histogram, Metrics, Tracer
+from repro.query import run_pathql
+
+
+# -- counters -----------------------------------------------------------------
+
+def test_counter_increments_and_rejects_negatives():
+    counter = Counter("queries")
+    counter.inc()
+    counter.inc(4)
+    assert counter.value == 5
+    with pytest.raises(ValueError):
+        counter.inc(-1)
+    assert counter.value == 5
+    assert counter.as_dict() == {"type": "counter", "value": 5}
+
+
+# -- histograms ---------------------------------------------------------------
+
+def test_histogram_tracks_count_sum_min_max_mean():
+    hist = Histogram("latency", bounds=(0.1, 1.0, 10.0))
+    for value in (0.05, 0.5, 5.0, 50.0):
+        hist.observe(value)
+    assert hist.count == 4
+    assert hist.total == pytest.approx(55.55)
+    assert hist.minimum == 0.05 and hist.maximum == 50.0
+    assert hist.mean == pytest.approx(55.55 / 4)
+    assert hist.bucket_counts == [1, 1, 1, 1]  # one per bucket + overflow
+
+
+def test_empty_histogram_exports_cleanly():
+    hist = Histogram("empty")
+    assert hist.mean is None and hist.quantile(0.5) is None
+    exported = hist.as_dict()
+    assert exported["count"] == 0 and exported["buckets"] == {}
+
+
+def test_quantile_returns_bucket_upper_bounds():
+    hist = Histogram("latency", bounds=(1.0, 2.0, 4.0))
+    for value in [0.5] * 50 + [1.5] * 40 + [3.0] * 10:
+        hist.observe(value)
+    assert hist.quantile(0.25) == 1.0   # inside the first bucket
+    assert hist.quantile(0.9) == 2.0
+    assert hist.quantile(1.0) == 4.0
+    with pytest.raises(ValueError):
+        hist.quantile(1.5)
+
+
+def test_overflow_quantile_falls_back_to_observed_max():
+    hist = Histogram("latency", bounds=(1.0,))
+    hist.observe(100.0)
+    assert hist.quantile(0.99) == 100.0
+    assert hist.as_dict()["buckets"] == {"overflow": 1}
+
+
+def test_default_buckets_are_sorted_geometric():
+    assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+    assert DEFAULT_BUCKETS[0] == pytest.approx(1e-6)
+    assert DEFAULT_BUCKETS[-1] == pytest.approx(500.0)
+
+
+def test_histogram_buckets_key_format():
+    hist = Histogram("latency", bounds=(0.0025,))
+    hist.observe(0.001)
+    assert hist.as_dict()["buckets"] == {"le_0.0025": 1}
+
+
+# -- registry -----------------------------------------------------------------
+
+def test_registry_create_or_get_is_idempotent():
+    metrics = Metrics()
+    assert metrics.counter("a") is metrics.counter("a")
+    assert metrics.histogram("b") is metrics.histogram("b")
+
+
+def test_registry_rejects_kind_mismatch():
+    metrics = Metrics()
+    metrics.counter("x")
+    with pytest.raises(TypeError):
+        metrics.histogram("x")
+    metrics.histogram("y")
+    with pytest.raises(TypeError):
+        metrics.counter("y")
+
+
+def test_as_dict_round_trips_through_json():
+    metrics = Metrics()
+    metrics.counter("queries").inc(3)
+    metrics.histogram("latency").observe(0.25)
+    payload = json.loads(metrics.to_json())
+    assert payload["schema"] == "repro.obs.metrics"
+    assert payload["version"] == 1
+    assert payload["instruments"]["queries"]["value"] == 3
+    assert payload["instruments"]["latency"]["count"] == 1
+
+
+# -- folding a trace ----------------------------------------------------------
+
+def test_observe_trace_aggregates_spans():
+    tracer = Tracer()
+    with tracer.span("evaluate", strategy="chain-frontier-join"):
+        with tracer.span("compile"):
+            tracer.annotate(cache_hits=2, cache_misses=1)
+        tracer.annotate(steps=40)
+    with pytest.raises(RuntimeError):
+        with tracer.span("evaluate"):
+            raise RuntimeError("abort")
+
+    metrics = Metrics()
+    metrics.observe_trace(tracer)
+    exported = metrics.as_dict()["instruments"]
+    assert exported["span.evaluate.count"]["value"] == 2
+    assert exported["span.evaluate.seconds"]["count"] == 2
+    assert exported["span.evaluate.errors"]["value"] == 1
+    assert exported["span.evaluate.steps"]["value"] == 40
+    assert exported["span.compile.count"]["value"] == 1
+    assert exported["compile.hits"]["value"] == 2
+    assert exported["compile.misses"]["value"] == 1
+    assert exported["strategy.chain-frontier-join"]["value"] == 1
+    assert exported["queries.observed"]["value"] == 1
+
+
+def test_observe_trace_accumulates_across_queries():
+    metrics = Metrics()
+    graph = figure2_labeled()
+    for _ in range(3):
+        tracer = Tracer()
+        run_pathql(graph, "PATHS MATCHING contact LENGTH 1", tracer=tracer)
+        metrics.observe_trace(tracer)
+    exported = metrics.as_dict()["instruments"]
+    assert exported["queries.observed"]["value"] == 3
+    assert exported["span.parse.count"]["value"] == 3
+    assert exported["span.evaluate.seconds"]["count"] == 3
+
+
+def test_observe_trace_counts_degradation_rungs():
+    tracer = Tracer()
+    run_pathql(figure2_labeled(),
+               "PATHS MATCHING (contact + lives)* LENGTH 3 COUNT",
+               ctx=Context(Budget(max_steps=3)), tracer=tracer)
+    metrics = Metrics()
+    metrics.observe_trace(tracer)
+    exported = metrics.as_dict()["instruments"]
+    assert exported["span.degrade:exact.count"]["value"] == 1
+    assert any(name.startswith("span.degrade:") and name != "span.degrade:exact.count"
+               for name in exported)

@@ -1,0 +1,235 @@
+"""Unit tests for the tracing layer (DESIGN.md §4d).
+
+Covers span nesting, timing, error capture, execution-context snapshots
+(steps / frontier high-water mark), compile-cache deltas, the JSON export
+round-trip, summaries, and — crucially — the zero-overhead guard: with
+``tracer=None`` the query entry points must allocate no Span objects.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro.obs.tracer as tracer_mod
+from repro.core.rpq import clear_compile_cache, endpoint_pairs, parse_regex
+from repro.datasets import random_labeled_graph
+from repro.exec import Budget, Context
+from repro.models import figure2_labeled, figure2_property
+from repro.models.convert import labeled_to_rdf
+from repro.obs import Span, Tracer
+from repro.query import run_cypher, run_pathql, run_sparql
+from repro.storage import PropertyGraphStore, TripleStore
+
+
+# -- span mechanics ----------------------------------------------------------
+
+def test_spans_nest_under_the_open_span():
+    tracer = Tracer()
+    with tracer.span("outer"):
+        with tracer.span("inner-1"):
+            pass
+        with tracer.span("inner-2"):
+            with tracer.span("leaf"):
+                pass
+    assert [s.name for s in tracer.roots] == ["outer"]
+    outer = tracer.roots[0]
+    assert [s.name for s in outer.children] == ["inner-1", "inner-2"]
+    assert [s.name for s in outer.children[1].children] == ["leaf"]
+    assert tracer.current is None  # everything closed
+
+
+def test_sibling_roots_form_a_forest():
+    tracer = Tracer()
+    with tracer.span("first"):
+        pass
+    with tracer.span("second"):
+        pass
+    assert [s.name for s in tracer.roots] == ["first", "second"]
+
+
+def test_span_records_duration_and_status():
+    tracer = Tracer()
+    with tracer.span("work") as span:
+        assert span.duration is None  # not finished yet
+    assert span.duration is not None and span.duration >= 0.0
+    assert span.status == "ok" and span.error is None
+    assert span.wall_start > 0
+
+
+def test_exception_marks_span_as_error_and_propagates():
+    tracer = Tracer()
+    with pytest.raises(ValueError, match="boom"):
+        with tracer.span("explodes"):
+            raise ValueError("boom")
+    span = tracer.roots[0]
+    assert span.status == "error"
+    assert span.error == "ValueError: boom"
+    assert span.duration is not None
+
+
+def test_exception_finishes_abandoned_children_too():
+    tracer = Tracer()
+    outer = tracer.start("outer")
+    tracer.start("abandoned")  # never explicitly finished
+    tracer.finish(outer, error=RuntimeError("late"))
+    assert tracer.current is None
+    abandoned = outer.children[0]
+    assert abandoned.status == "error" and abandoned.duration is not None
+
+
+def test_annotate_targets_the_innermost_span():
+    tracer = Tracer()
+    with tracer.span("outer"):
+        with tracer.span("inner"):
+            tracer.annotate(rows=7)
+    assert tracer.roots[0].children[0].attrs["rows"] == 7
+    assert "rows" not in tracer.roots[0].attrs
+    tracer.annotate(ignored=True)  # idle tracer: silently dropped
+    assert "ignored" not in tracer.roots[0].attrs
+
+
+def test_context_snapshot_records_steps_and_frontier():
+    ctx = Context(Budget())
+    ctx.checkpoint("before-span")  # steps before the span must not count
+    tracer = Tracer()
+    with tracer.span("evaluate", ctx=ctx):
+        for _ in range(5):
+            ctx.checkpoint("inside")
+        ctx.note_frontier(123, "inside")
+    span = tracer.roots[0]
+    assert span.attrs["steps"] == 5
+    assert span.attrs["frontier_hwm"] == 123
+
+
+def test_cache_span_records_hit_and_miss_deltas():
+    clear_compile_cache()
+    tracer = Tracer()
+    regex = parse_regex("a/b*")
+    with tracer.span("compile", cache=True):
+        endpoint_pairs(random_labeled_graph(4, 6, rng=0), regex)
+    first = tracer.roots[0]
+    assert first.attrs["cache_misses"] >= 1  # cold cache
+    with tracer.span("compile", cache=True):
+        endpoint_pairs(random_labeled_graph(4, 6, rng=0), regex)
+    second = tracer.roots[1]
+    assert second.attrs["cache_hits"] >= 1 and second.attrs["cache_misses"] == 0
+
+
+# -- export -------------------------------------------------------------------
+
+def test_to_json_round_trips_with_schema_stamp():
+    tracer = Tracer()
+    with tracer.span("evaluate", strategy="product-fixpoint", answers=3):
+        with tracer.span("product"):
+            tracer.annotate(weird=object())  # stringified, not a crash
+    payload = json.loads(tracer.to_json())
+    assert payload["schema"] == "repro.obs.trace"
+    assert payload["version"] == 1
+    (root,) = payload["spans"]
+    assert root["name"] == "evaluate"
+    assert root["attrs"]["strategy"] == "product-fixpoint"
+    assert root["attrs"]["answers"] == 3
+    assert isinstance(root["children"][0]["attrs"]["weird"], str)
+    assert root["duration_s"] >= 0 and root["status"] == "ok"
+
+
+def test_summary_aggregates_by_span_name():
+    tracer = Tracer()
+    for _ in range(3):
+        with tracer.span("evaluate"):
+            with tracer.span("product"):
+                pass
+    summary = tracer.summary()
+    assert summary["evaluate"]["count"] == 3
+    assert summary["product"]["count"] == 3
+    assert summary["evaluate"]["total_s"] >= summary["evaluate"]["max_s"] > 0
+
+
+def test_format_tree_is_indented_and_flags_errors():
+    tracer = Tracer()
+    with pytest.raises(KeyError):
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                raise KeyError("gone")
+    tree = tracer.format_tree()
+    outer_line, inner_line = tree.splitlines()
+    assert outer_line.startswith("outer")
+    assert inner_line.startswith("  inner")
+    assert "!KeyError" in inner_line
+
+
+# -- integration: the frontends emit the documented span shapes ---------------
+
+def test_run_pathql_emits_parse_compile_evaluate():
+    tracer = Tracer()
+    run_pathql(figure2_labeled(), "PATHS MATCHING contact LENGTH 1",
+               tracer=tracer)
+    assert [s.name for s in tracer.roots] == ["parse", "compile", "evaluate"]
+    compile_span = tracer.roots[1]
+    assert "cache_hits" in compile_span.attrs  # cache deltas recorded
+    evaluate = tracer.roots[2]
+    assert evaluate.attrs["mode"] == "enumerate"
+    assert evaluate.attrs["paths"] >= 1
+
+
+def test_governed_count_emits_degrade_rungs():
+    tracer = Tracer()
+    result = run_pathql(figure2_labeled(),
+                        "PATHS MATCHING (contact + lives)* LENGTH 3 COUNT",
+                        ctx=Context(Budget(max_steps=3)), tracer=tracer)
+    evaluate = next(s for s in tracer.roots if s.name == "evaluate")
+    rungs = [s.name for s in evaluate.children if s.name.startswith("degrade:")]
+    assert rungs[0] == "degrade:exact"
+    assert len(rungs) >= 2  # the tiny budget forced degradation
+    assert result.quality != "exact"
+    for rung in evaluate.children:
+        if rung.name.startswith("degrade:"):
+            assert "outcome" in rung.attrs
+
+
+def test_run_sparql_and_cypher_emit_spans():
+    store = TripleStore.from_graph(labeled_to_rdf(figure2_labeled()))
+    tracer = Tracer()
+    run_sparql(store, "SELECT ?x WHERE { ?x <rdf:type> <bus> . }",
+               tracer=tracer)
+    assert [s.name for s in tracer.roots] == ["parse", "evaluate"]
+    assert tracer.roots[1].attrs["strategy"] == "bgp-backtracking-join"
+
+    pg_store = PropertyGraphStore(figure2_property())
+    tracer = Tracer()
+    run_cypher(pg_store, "MATCH (p:person) RETURN p.name", tracer=tracer)
+    assert [s.name for s in tracer.roots] == ["parse", "evaluate"]
+    assert tracer.roots[1].attrs["strategy"] == "backtracking-match"
+    assert tracer.roots[1].attrs["rows"] >= 1
+
+
+# -- the zero-overhead guard --------------------------------------------------
+
+def test_disabled_tracer_allocates_no_spans(monkeypatch):
+    """``tracer=None`` paths must never construct a Span (DESIGN.md §4d)."""
+    allocations = []
+
+    class CountingSpan(Span):
+        def __init__(self, *args, **kwargs):
+            allocations.append(args)
+            super().__init__(*args, **kwargs)
+
+    monkeypatch.setattr(tracer_mod, "Span", CountingSpan)
+
+    graph = figure2_labeled()
+    run_pathql(graph, "PATHS MATCHING contact LENGTH 1")
+    run_pathql(graph, "PATHS MATCHING (contact + lives)* LENGTH 3 COUNT",
+               ctx=Context(Budget(max_steps=3)))
+    endpoint_pairs(graph, parse_regex("contact/lives"))
+    store = TripleStore.from_graph(labeled_to_rdf(graph))
+    run_sparql(store, "SELECT ?x WHERE { ?x <rdf:type> <bus> . }")
+    run_cypher(PropertyGraphStore(figure2_property()),
+               "MATCH (p:person) RETURN p.name")
+    assert allocations == []
+
+    # Sanity: the patch does observe traced runs.
+    tracer = Tracer()
+    run_pathql(graph, "PATHS MATCHING contact LENGTH 1", tracer=tracer)
+    assert allocations

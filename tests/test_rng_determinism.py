@@ -1,0 +1,89 @@
+"""Seedless randomized algorithms must still be reproducible (PR 3 bugfix).
+
+``UniformPathSampler.sample``/``sample_many`` used to route ``rng=None``
+through OS entropy (``random.Random(None)``), so re-running the same
+unseeded experiment produced different paths and tests could order-couple
+through the process-global ``random`` state.  Every ``rng=None`` path now
+goes through ``util.rng.make_default_rng`` (the library default seed),
+matching ``ApproxPathCounter``.  These are the regression tests that fail
+on the pre-fix code.
+"""
+
+from __future__ import annotations
+
+from repro.core.rpq import (
+    ApproxPathCounter,
+    UniformPathSampler,
+    parse_regex,
+)
+from repro.datasets import random_labeled_graph
+from repro.query import run_pathql
+from repro.util.rng import DEFAULT_SEED, make_default_rng
+
+REGEX = "(a + b)/(a + b)/(a + b)"
+K = 3
+
+
+def _graph():
+    return random_labeled_graph(10, 45, node_labels=("x", "y"),
+                                edge_labels=("a", "b"), rng=3)
+
+
+def _texts(paths):
+    return [p.to_text() for p in paths]
+
+
+def test_unseeded_sampler_is_reproducible_across_instances():
+    """The pre-fix code drew OS entropy here: two fresh samplers disagreed."""
+    graph = _graph()
+    regex = parse_regex(REGEX)
+    first = UniformPathSampler(graph, regex, K)
+    second = UniformPathSampler(graph, regex, K)
+    assert first.count > 50  # enough support that a mismatch would show
+    assert _texts(first.sample_many(8)) == _texts(second.sample_many(8))
+
+
+def test_unseeded_single_draws_are_reproducible():
+    graph = _graph()
+    regex = parse_regex(REGEX)
+    first = UniformPathSampler(graph, regex, K)
+    second = UniformPathSampler(graph, regex, K)
+    assert _texts([first.sample() for _ in range(5)]) == \
+        _texts([second.sample() for _ in range(5)])
+
+
+def test_unseeded_draws_match_the_library_default_seed():
+    """``rng=None`` must mean DEFAULT_SEED, not process-global randomness."""
+    graph = _graph()
+    regex = parse_regex(REGEX)
+    unseeded = UniformPathSampler(graph, regex, K)
+    explicit = UniformPathSampler(graph, regex, K,
+                                  rng=make_default_rng(DEFAULT_SEED))
+    assert _texts(unseeded.sample_many(6)) == _texts(explicit.sample_many(6))
+
+
+def test_explicit_seed_still_overrides_the_default():
+    graph = _graph()
+    regex = parse_regex(REGEX)
+    sampler = UniformPathSampler(graph, regex, K)
+    per_call_a = _texts(sampler.sample_many(6, rng=7))
+    per_call_b = _texts(sampler.sample_many(6, rng=7))
+    assert per_call_a == per_call_b  # same explicit seed, same draws
+    assert per_call_a == _texts(
+        UniformPathSampler(graph, regex, K).sample_many(6, rng=7))
+
+
+def test_unseeded_fpras_estimate_is_reproducible():
+    graph = _graph()
+    regex = parse_regex(REGEX)
+    first = ApproxPathCounter(graph, regex, K, epsilon=0.3)
+    second = ApproxPathCounter(graph, regex, K, epsilon=0.3)
+    assert first.estimate() == second.estimate()
+
+
+def test_unseeded_pathql_sample_is_reproducible_end_to_end():
+    graph = _graph()
+    query = f"PATHS MATCHING {REGEX} LENGTH {K} SAMPLE 6"
+    first = run_pathql(graph, query)
+    second = run_pathql(graph, query)
+    assert _texts(first.paths) == _texts(second.paths)

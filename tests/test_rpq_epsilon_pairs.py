@@ -1,0 +1,107 @@
+"""`endpoint_pairs` on epsilon-accepting regexes: (v, v) pairs must appear.
+
+A regex accepting the empty path (pure ``?test`` queries, ``r*``, unions
+with an epsilon branch) has zero-length conforming paths, so every node
+``v`` passing the epsilon guard must contribute the pair ``(v, v)`` — the
+backward-alive sweep prunes to states that can reach an accept state, and a
+zero-length acceptance means the *initial* closure already contains one.
+
+The PR 3 audit of the sweep found it correct (the product's lazy
+initial-state fast path can never apply to an epsilon-accepting Thompson
+automaton, whose start state always carries epsilon transitions); these
+tests pin the equivalence against the brute-force evaluator so the
+invariant survives future fast-path extensions.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.rpq import endpoint_pairs, parse_regex
+from repro.core.rpq.semantics import evaluate_bruteforce
+from repro.datasets import random_labeled_graph
+from repro.models import LabeledGraph
+
+EPSILON_SHAPES = [
+    "?person",                # pure node test: every matching node, length 0
+    "?true",                  # every node
+    "contact*",               # star: epsilon branch plus closures
+    "(contact + lives)*",     # union under star
+    "contact*/lives*",        # concatenation of two epsilon-accepting parts
+    "?person/contact*",       # guarded epsilon into a star
+    "(?person + contact)",    # union of a node test and an edge atom
+]
+
+
+def _world() -> LabeledGraph:
+    graph = LabeledGraph()
+    for i, label in enumerate(["person", "person", "bus", "person", "stop"]):
+        graph.add_node(f"n{i}", label)
+    graph.add_edge("e0", "n0", "n1", "contact")
+    graph.add_edge("e1", "n1", "n2", "rides")
+    graph.add_edge("e2", "n1", "n3", "contact")
+    graph.add_edge("e3", "n3", "n4", "lives")
+    graph.add_edge("e4", "n4", "n4", "contact")  # self loop
+    graph.add_node("isolated", "person")         # no incident edges at all
+    return graph
+
+
+def _brute_pairs(graph, regex, max_length: int) -> set[tuple]:
+    return {(path.start, path.end)
+            for path in evaluate_bruteforce(graph, regex, max_length)}
+
+
+@pytest.mark.parametrize("text", EPSILON_SHAPES)
+@pytest.mark.parametrize("use_label_index", [True, False])
+def test_epsilon_accepting_pairs_match_bruteforce(text, use_label_index):
+    graph = _world()
+    regex = parse_regex(text)
+    # Long enough for reachability on this graph to have converged.
+    expected = _brute_pairs(graph, regex, graph.node_count() + 2)
+    got = endpoint_pairs(graph, regex, use_label_index=use_label_index)
+    assert got == expected, text
+
+
+def test_pure_node_test_yields_exactly_matching_nodes():
+    graph = _world()
+    pairs = endpoint_pairs(graph, parse_regex("?person"))
+    people = {n for n in graph.nodes() if graph.node_label(n) == "person"}
+    assert pairs == {(n, n) for n in people}
+    assert ("isolated", "isolated") in pairs  # no edges needed for length 0
+
+
+def test_star_includes_reflexive_pairs_for_every_node():
+    graph = _world()
+    pairs = endpoint_pairs(graph, parse_regex("contact*"))
+    for node in graph.nodes():
+        assert (node, node) in pairs
+
+
+@pytest.mark.parametrize("text", ["contact*", "?person"])
+def test_epsilon_pairs_respect_endpoint_restrictions(text):
+    graph = _world()
+    regex = parse_regex(text)
+    unrestricted = endpoint_pairs(graph, regex)
+    for start in ("n0", "isolated"):
+        restricted = endpoint_pairs(graph, regex, start_nodes=[start])
+        assert restricted == {p for p in unrestricted if p[0] == start}
+    restricted = endpoint_pairs(graph, regex, start_nodes=["n1"],
+                                end_nodes=["n1"])
+    assert restricted == {p for p in unrestricted if p == ("n1", "n1")}
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_epsilon_fuzz_matches_bruteforce(seed):
+    rng = random.Random(seed)
+    graph = random_labeled_graph(6, 9, node_labels=("person", "bus"),
+                                 edge_labels=("contact", "rides"), rng=seed)
+    shapes = ["?person", "contact*", "(contact + rides)*",
+              "rides*/contact*", "?bus/rides*"]
+    text = rng.choice(shapes)
+    regex = parse_regex(text)
+    expected = _brute_pairs(graph, regex, graph.node_count() + 2)
+    for use_label_index in (True, False):
+        assert endpoint_pairs(graph, regex,
+                              use_label_index=use_label_index) == expected, text
