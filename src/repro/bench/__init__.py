@@ -1,12 +1,14 @@
 """Experiment harness shared by benchmarks and examples."""
 
 from repro.bench.harness import (
+    BENCH_SCHEMA_VERSION,
     Experiment,
     print_series,
     print_table,
+    report_metadata,
     timed,
     timed_governed,
 )
 
-__all__ = ["Experiment", "timed", "timed_governed", "print_table",
-           "print_series"]
+__all__ = ["BENCH_SCHEMA_VERSION", "Experiment", "report_metadata",
+           "timed", "timed_governed", "print_table", "print_series"]

@@ -7,11 +7,33 @@ EXPERIMENTS.md can quote them directly.
 
 from __future__ import annotations
 
+import os
 import time
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 
 from repro.util.tables import format_table
+
+#: Version stamped into every BENCH_*.json artifact.  History:
+#: 1 (implicit) — unversioned single-process timings;
+#: 2 — adds explicit ``schema``/``version``/``workers``/``cpus`` metadata,
+#:     so a timing row can no longer silently imply a single process.
+BENCH_SCHEMA_VERSION = 2
+
+
+def report_metadata(*, workers: int = 1) -> dict:
+    """The metadata header every BENCH JSON report embeds.
+
+    ``workers`` declares how many processes produced the *headline* rows
+    (scaling sections annotate their own per-row worker counts); ``cpus``
+    records the machine, without which a scaling column is uninterpretable.
+    """
+    return {
+        "schema": "repro.bench",
+        "version": BENCH_SCHEMA_VERSION,
+        "workers": workers,
+        "cpus": os.cpu_count() or 1,
+    }
 
 
 @dataclass

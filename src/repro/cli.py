@@ -12,14 +12,24 @@ Usage (after ``pip install -e .``, or via ``python -m repro.cli``)::
 Graph files use the JSON interchange format of :mod:`repro.models.io`;
 ``sparql`` loads a labeled/property graph by converting it to RDF triples
 first (node labels become rdf:type).
+
+``batch`` runs many queries from a JSON (or JSON-lines) file over one
+graph, optionally across worker processes::
+
+    python -m repro.cli batch graph.json queries.json --workers 4 --json
+
+where each batch entry is ``{"language": "pathql"|"sparql"|"cypher",
+"query": "..."}``.  Exit status: 0 all ok, 3 if any query degraded or ran
+out of budget, 1 if any query failed outright.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
-from repro.errors import BudgetExceeded
+from repro.errors import BudgetExceeded, ReproError
 from repro.exec import Budget, Context
 from repro.models import figure2_property
 from repro.models.convert import labeled_to_rdf, property_to_labeled
@@ -103,18 +113,44 @@ def _load_graph(path: str):
         return loads(handle.read())
 
 
+def _validate_workers(args: argparse.Namespace) -> int | None:
+    """Reject nonsensical --workers values; ``None`` means valid."""
+    if args.workers is not None and args.workers < 1:
+        print(f"--workers must be a positive integer, got {args.workers}",
+              file=sys.stderr)
+        return 2
+    return None
+
+
+def _make_pool(graph, args: argparse.Namespace):
+    """A WorkerPool when --workers asks for one, else None (serial path)."""
+    if args.workers is None or args.workers == 1:
+        return None
+    from repro.exec import WorkerPool
+
+    return WorkerPool(graph, args.workers)
+
+
 def _cmd_pathql(args: argparse.Namespace) -> int:
+    invalid = _validate_workers(args)
+    if invalid is not None:
+        return invalid
     graph = _load_graph(args.graph)
     ctx = _make_context(args)
     if args.explain or args.explain_json:
         return _print_explain(
             explain_pathql(graph, args.query, governed=ctx is not None), args)
     tracer = _make_tracer(args)
+    pool = _make_pool(graph, args)
     try:
-        result = run_pathql(graph, args.query, ctx=ctx, tracer=tracer)
+        result = run_pathql(graph, args.query, ctx=ctx, tracer=tracer,
+                            pool=pool)
     except BudgetExceeded as exceeded:
         _emit_obs(tracer, args)
         return _budget_exceeded(exceeded, ctx, args)
+    finally:
+        if pool is not None:
+            pool.close()
     if result.is_degraded:
         steps = "; ".join(str(event) for event in result.degradations)
         print(f"# DEGRADED ({result.quality}): {steps}", file=sys.stderr)
@@ -175,6 +211,85 @@ def _cmd_cypher(args: argparse.Namespace) -> int:
                         for row in result.rows]))
     _emit_obs(tracer, args)
     _print_stats(ctx, args)
+    return 0
+
+
+def _load_batch_queries(path: str) -> list[dict]:
+    """Parse a batch file: a JSON array, or one JSON object per line."""
+    with open(path, encoding="utf-8") as handle:
+        text = handle.read()
+    stripped = text.lstrip()
+    if stripped.startswith("["):
+        entries = json.loads(text)
+    else:
+        entries = [json.loads(line) for line in text.splitlines()
+                   if line.strip()]
+    if not isinstance(entries, list):
+        raise ValueError("batch file must hold a JSON array or JSON lines")
+    for entry in entries:
+        if not isinstance(entry, dict) or "language" not in entry \
+                or ("query" not in entry and "text" not in entry):
+            raise ValueError(
+                f"each batch entry needs 'language' and 'query' keys, "
+                f"got {entry!r}")
+    return entries
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    invalid = _validate_workers(args)
+    if invalid is not None:
+        return invalid
+    from repro.exec import BatchSession, batch_exit_status
+
+    graph = _load_graph(args.graph)
+    try:
+        entries = _load_batch_queries(args.queries)
+    except (OSError, ValueError, json.JSONDecodeError) as error:
+        print(f"cannot read batch file: {error}", file=sys.stderr)
+        return 2
+    ctx = _make_context(args)
+    tracer = _make_tracer(args)
+    try:
+        with BatchSession(graph, args.workers) as session:
+            results = session.run_batch(entries, ctx=ctx, tracer=tracer)
+    except BudgetExceeded as exceeded:
+        _emit_obs(tracer, args)
+        return _budget_exceeded(exceeded, ctx, args)
+    except ReproError as error:
+        print(f"batch failed: {error}", file=sys.stderr)
+        _emit_obs(tracer, args)
+        return 1
+    if args.json:
+        print(json.dumps({"schema": "repro.batch", "version": 1,
+                          "workers": session.workers,
+                          "results": [r.to_dict() for r in results]},
+                         indent=2))
+    else:
+        for result in results:
+            if not result.ok:
+                print(f"[{result.index}] {result.language} "
+                      f"{result.status.upper()}: {result.error}")
+                continue
+            value = result.value
+            tag = (f" ({result.status})" if result.status != "ok" else "")
+            if result.language == "pathql":
+                body = (str(value["count"]) if value["count"] is not None
+                        and not value["paths"] else "; ".join(value["paths"]))
+            else:
+                body = f"{len(value['rows'])} rows"
+            print(f"[{result.index}] {result.language}{tag}: {body}")
+    _emit_obs(tracer, args)
+    _print_stats(ctx, args)
+    status = batch_exit_status(results)
+    if status == "error":
+        return 1
+    if status == "degraded":
+        for result in results:
+            if result.status in ("degraded", "budget"):
+                detail = result.error or "; ".join(result.degradations)
+                print(f"# DEGRADED [{result.index}]: {detail}",
+                      file=sys.stderr)
+        return EXIT_BUDGET_EXCEEDED
     return 0
 
 
@@ -258,11 +373,18 @@ def build_parser() -> argparse.ArgumentParser:
             "--metrics-out", default=None, metavar="FILE",
             help="write aggregated counters/histograms as JSON to FILE")
 
+    def add_workers_flag(subparser: argparse.ArgumentParser) -> None:
+        subparser.add_argument(
+            "--workers", type=int, default=None, metavar="N",
+            help="evaluate across N worker processes (fork-shared graph); "
+                 "1 or unset runs serially")
+
     pathql = commands.add_parser("pathql", help="run a PathQL statement")
     pathql.add_argument("graph")
     pathql.add_argument("query")
     add_governor_flags(pathql)
     add_obs_flags(pathql)
+    add_workers_flag(pathql)
     pathql.set_defaults(handler=_cmd_pathql)
 
     sparql = commands.add_parser("sparql", help="run a mini-SPARQL query")
@@ -278,6 +400,28 @@ def build_parser() -> argparse.ArgumentParser:
     add_governor_flags(cypher)
     add_obs_flags(cypher)
     cypher.set_defaults(handler=_cmd_cypher)
+
+    batch = commands.add_parser(
+        "batch", help="run a file of PathQL/SPARQL/Cypher queries, "
+                      "optionally across worker processes")
+    batch.add_argument("graph")
+    batch.add_argument("queries",
+                       help="JSON array (or JSON lines) of "
+                            '{"language": ..., "query": ...} entries')
+    batch.add_argument("--json", action="store_true",
+                       help="print the full batch result as one JSON document")
+    add_governor_flags(batch)
+    add_workers_flag(batch)
+    batch.add_argument(
+        "--trace", action="store_true",
+        help="print the merged span tree (all workers) to stderr")
+    batch.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="write the merged span tree as JSON to FILE ('-' for stdout)")
+    batch.add_argument(
+        "--metrics-out", default=None, metavar="FILE",
+        help="write aggregated counters/histograms as JSON to FILE")
+    batch.set_defaults(handler=_cmd_batch)
 
     summary = commands.add_parser("summary", help="print graph statistics")
     summary.add_argument("graph")

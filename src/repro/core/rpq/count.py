@@ -82,15 +82,27 @@ def count_words_exact(product: ProductNFA, length: int, *,
 def count_paths_exact(graph, regex: Regex, k: int,
                       start_nodes: Iterable | None = None,
                       end_nodes: Iterable | None = None,
-                      *, use_label_index: bool = True, ctx=None) -> int:
+                      *, use_label_index: bool = True, ctx=None,
+                      pool=None) -> int:
     """Count(G, r, k): the number of paths p in [[r]] with |p| = k.
 
     Optionally restrict the start and end nodes of the counted paths (needed
     by the regex-constrained centrality of Section 4.2).
     ``use_label_index=False`` forces the full-scan product construction.
+
+    With a :class:`~repro.exec.parallel.WorkerPool` bound to this graph
+    (``pool=``), the start-node set is sharded across workers and the shard
+    counts are summed — exact, because distinct paths have distinct start
+    nodes within exactly one shard (pinned by the differential harness).
     """
     if k < 0:
         raise InvalidLengthError("path length k", k)
+    if pool is not None:
+        from repro.exec.parallel import sharded_count_paths
+
+        return sharded_count_paths(pool, graph, regex, k, start_nodes,
+                                   end_nodes, use_label_index=use_label_index,
+                                   ctx=ctx)
     nfa = compile_regex(regex)
     product = build_product(graph, nfa, start_nodes=start_nodes,
                             end_nodes=end_nodes, use_label_index=use_label_index,

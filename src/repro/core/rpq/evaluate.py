@@ -162,7 +162,7 @@ def endpoint_pairs(graph, regex: Regex,
                    start_nodes: Iterable | None = None,
                    end_nodes: Iterable | None = None,
                    *, use_label_index: bool = True, ctx=None,
-                   tracer=None) -> set[tuple]:
+                   tracer=None, pool=None) -> set[tuple]:
     """All (start(p), end(p)) for p in [[regex]] — finite, computed exactly.
 
     Chain-shaped regexes (pure sequences of edge steps, unrestricted
@@ -180,7 +180,20 @@ def endpoint_pairs(graph, regex: Regex,
     spans (``compile`` with cache hit/miss deltas, then ``evaluate`` tagged
     with the chosen strategy, containing ``product`` for the non-chain
     path); ``tracer=None`` adds no spans and no allocations.
+
+    With a :class:`~repro.exec.parallel.WorkerPool` bound to this graph
+    (``pool=``), the start-node set is sharded across the pool's workers and
+    the per-shard answers are unioned — exactly equivalent (every conforming
+    path lives in the shard of its start node; the differential harness
+    certifies this), with budgets subdivided and worker stats/traces merged
+    by the pool.
     """
+    if pool is not None:
+        from repro.exec.parallel import sharded_endpoint_pairs
+
+        return sharded_endpoint_pairs(pool, graph, regex, start_nodes,
+                                      end_nodes, use_label_index=use_label_index,
+                                      ctx=ctx, tracer=tracer)
     if tracer is None:
         nfa = compile_regex(regex)
     else:

@@ -18,6 +18,7 @@ from repro.datasets.contact import generate_contact_graph
 from repro.datasets.dblp import Publication, generate_corpus, KEYWORDS, YEARS
 from repro.datasets.random_graphs import (
     barabasi_albert,
+    clustered_labeled_graph,
     complete_multigraph,
     erdos_renyi,
     random_labeled_graph,
@@ -28,7 +29,8 @@ from repro.datasets.social import partition_accuracy, stochastic_block_model
 __all__ = [
     "generate_contact_graph",
     "Publication", "generate_corpus", "KEYWORDS", "YEARS",
-    "erdos_renyi", "barabasi_albert", "complete_multigraph",
+    "erdos_renyi", "barabasi_albert", "clustered_labeled_graph",
+    "complete_multigraph",
     "random_labeled_graph", "random_vector_graph",
     "stochastic_block_model", "partition_accuracy",
 ]

@@ -88,6 +88,37 @@ def random_labeled_graph(n: int, n_edges: int, *,
     return graph
 
 
+def clustered_labeled_graph(n_clusters: int, cluster_size: int,
+                            edges_per_cluster: int, *,
+                            node_labels: Sequence[str] = ("a", "b"),
+                            edge_labels: Sequence[str] = ("r", "s"),
+                            rng: int | random.Random | None = 0) -> LabeledGraph:
+    """Disjoint union of ``n_clusters`` dense random multigraphs.
+
+    Every edge stays inside its cluster, so any path-shaped computation
+    seeded at a node explores only that node's cluster.  This is the
+    substrate for the parallel scaling benchmarks: sharding work by start
+    node then partitions the graph's clusters across workers with no
+    shared exploration, isolating the harness overhead from the
+    (workload-dependent) cost of overlapping neighborhoods.
+    """
+    if n_clusters < 1 or cluster_size < 1:
+        raise ValueError("need at least one cluster of at least one node")
+    rng = make_rng(rng)
+    graph = LabeledGraph()
+    edge = 0
+    for cluster in range(n_clusters):
+        base = cluster * cluster_size
+        for i in range(cluster_size):
+            graph.add_node(f"v{base + i}", rng.choice(list(node_labels)))
+        for _ in range(edges_per_cluster):
+            i, j = rng.randrange(cluster_size), rng.randrange(cluster_size)
+            graph.add_edge(f"e{edge}", f"v{base + i}", f"v{base + j}",
+                           rng.choice(list(edge_labels)))
+            edge += 1
+    return graph
+
+
 def complete_multigraph(n: int,
                         edge_labels: Sequence[str] = ("a", "b"),
                         node_label: str = "node") -> LabeledGraph:

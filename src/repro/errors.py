@@ -141,6 +141,21 @@ class Cancelled(ExecutionError):
         self.site = site
 
 
+class WorkerFailed(ExecutionError):
+    """A parallel worker died or raised a non-budget error.
+
+    Budget exhaustion and cancellation inside a worker re-raise as their own
+    typed errors in the parent; everything else — a worker process that
+    exited without reporting, an unpicklable result, an unexpected exception
+    in a task — surfaces as this, tagged with the worker index.
+    """
+
+    def __init__(self, worker: int, reason: str) -> None:
+        super().__init__(f"worker {worker} failed: {reason}")
+        self.worker = worker
+        self.reason = reason
+
+
 class Degraded(ExecutionError):
     """Degradation was required but the caller forbade degraded answers.
 

@@ -11,7 +11,13 @@ instead of failures.  :class:`FaultInjector` makes every one of those paths
 deterministically testable.
 """
 
-from repro.errors import BudgetExceeded, Cancelled, Degraded, ExecutionError
+from repro.errors import (
+    BudgetExceeded,
+    Cancelled,
+    Degraded,
+    ExecutionError,
+    WorkerFailed,
+)
 from repro.exec.budget import (
     MIN_FRACTION_SECONDS,
     Budget,
@@ -21,6 +27,20 @@ from repro.exec.budget import (
 )
 from repro.exec.faults import FaultInjector, run_with_fault
 from repro.exec.governor import GovernedResult, QUALITIES, count_paths_governed
+from repro.exec.parallel import (
+    WorkerPool,
+    default_worker_count,
+    fork_available,
+    register_task,
+    sharded_count_paths,
+    sharded_endpoint_pairs,
+)
+from repro.exec.batch import (
+    BatchQuery,
+    BatchResult,
+    BatchSession,
+    batch_exit_status,
+)
 
 __all__ = [
     "MIN_FRACTION_SECONDS",
@@ -33,8 +53,19 @@ __all__ = [
     "GovernedResult",
     "QUALITIES",
     "count_paths_governed",
+    "WorkerPool",
+    "default_worker_count",
+    "fork_available",
+    "register_task",
+    "sharded_endpoint_pairs",
+    "sharded_count_paths",
+    "BatchQuery",
+    "BatchResult",
+    "BatchSession",
+    "batch_exit_status",
     "ExecutionError",
     "BudgetExceeded",
     "Cancelled",
     "Degraded",
+    "WorkerFailed",
 ]

@@ -64,7 +64,7 @@ def count_paths_governed(graph, regex, k: int, ctx: Context, *,
                          allow_degraded: bool = True,
                          pool_size: int | None = None,
                          trials_per_state: int | None = None,
-                         tracer=None) -> GovernedResult:
+                         tracer=None, pool=None) -> GovernedResult:
     """Count(G, r, k) under a budget, degrading instead of hanging.
 
     Rung 1 (``exact``) gets ``exact_share`` of the remaining time/steps;
@@ -78,13 +78,18 @@ def count_paths_governed(graph, regex, k: int, ctx: Context, *,
     ``degrade:<rung>`` span carrying its checkpoint-step delta and how it
     ended (``answered`` / the exhausted resource); ``tracer=None`` adds
     nothing.
+
+    With a :class:`~repro.exec.parallel.WorkerPool` (``pool=``) only the
+    exact rung shards across workers (it dominates the ladder's cost and
+    shards exactly); the FPRAS and enumeration fallbacks stay serial —
+    their sampling/emission order is part of their seeded determinism.
     """
     events: list[DegradationEvent] = []
     span = (None if tracer is None
             else tracer.start("degrade:exact", ctx=ctx))
     try:
         value = count_paths_exact(graph, regex, k, start_nodes, end_nodes,
-                                  ctx=ctx.fraction(exact_share))
+                                  ctx=ctx.fraction(exact_share), pool=pool)
         if span is not None:
             span.attrs["outcome"] = "answered"
             tracer.finish(span)

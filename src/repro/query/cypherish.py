@@ -613,3 +613,20 @@ def _comparable(value):
         return (0, float(value), "")
     except (TypeError, ValueError):
         return (1, 0.0, str(value))
+
+
+def store_for_graph(graph) -> PropertyGraphStore:
+    """Build the indexed :class:`PropertyGraphStore` this engine queries.
+
+    Cypher's data model *is* the property graph, so no conversion is
+    offered: anything else raises
+    :class:`~repro.errors.ConversionError`.  Shared by the CLI and the
+    batch engine so both reject the same inputs with the same error.
+    """
+    from repro.errors import ConversionError
+    from repro.models import PropertyGraph
+
+    if not isinstance(graph, PropertyGraph):
+        raise ConversionError(
+            f"cypher needs a property graph, got {type(graph).__name__}")
+    return PropertyGraphStore(graph)

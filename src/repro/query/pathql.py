@@ -147,7 +147,8 @@ def parse_pathql(text: str) -> PathQuery:
     return query
 
 
-def run_pathql(graph, text: str, *, ctx=None, tracer=None) -> PathQueryResult:
+def run_pathql(graph, text: str, *, ctx=None, tracer=None,
+               pool=None) -> PathQueryResult:
     """Parse and execute a PathQL statement against any graph model.
 
     With an execution :class:`~repro.exec.Context` every evaluation loop
@@ -163,15 +164,21 @@ def run_pathql(graph, text: str, *, ctx=None, tracer=None) -> PathQueryResult:
     — the latter nesting the governor's ``degrade:<rung>`` spans for
     governed ``COUNT`` queries; ``tracer=None`` takes the exact pre-tracing
     code path.
+
+    With a :class:`~repro.exec.parallel.WorkerPool` bound to this graph
+    (``pool=``), ``COUNT`` queries shard their exact count across the
+    pool's workers; enumeration and sampling stay serial — their emission
+    order and seeded randomness are part of the answer.
     """
     if tracer is None:
-        return _run_pathql(graph, text, ctx)
+        return _run_pathql(graph, text, ctx, pool=pool)
     with tracer.span("parse", frontend="pathql"):
         query = parse_pathql(text)
     with tracer.span("compile", cache=True):
         compile_regex(query.regex)
     with tracer.span("evaluate", ctx=ctx, mode=query.mode) as span:
-        result = _run_pathql(graph, text, ctx, query=query, tracer=tracer)
+        result = _run_pathql(graph, text, ctx, query=query, tracer=tracer,
+                             pool=pool)
         span.attrs["quality"] = result.quality
         if result.count is not None:
             span.attrs["count"] = result.count
@@ -180,7 +187,7 @@ def run_pathql(graph, text: str, *, ctx=None, tracer=None) -> PathQueryResult:
 
 
 def _run_pathql(graph, text: str, ctx=None, *, query: PathQuery | None = None,
-                tracer=None) -> PathQueryResult:
+                tracer=None, pool=None) -> PathQueryResult:
     if query is None:
         query = parse_pathql(text)
     starts = [query.source] if query.source is not None else None
@@ -202,12 +209,13 @@ def _run_pathql(graph, text: str, ctx=None, *, query: PathQuery | None = None,
                                             epsilon=query.epsilon,
                                             rng=query.seed,
                                             start_nodes=starts, end_nodes=ends,
-                                            tracer=tracer)
+                                            tracer=tracer, pool=pool)
             return PathQueryResult("count", [], governed.value,
                                    quality=governed.quality,
                                    degradations=tuple(governed.degradations))
         count = count_paths_exact(graph, query.regex, length,
-                                  start_nodes=starts, end_nodes=ends)
+                                  start_nodes=starts, end_nodes=ends,
+                                  pool=pool)
         return PathQueryResult("count", [], count)
     if query.mode == "count-approx":
         counter = ApproxPathCounter(graph, query.regex, length,

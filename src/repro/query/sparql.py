@@ -614,6 +614,11 @@ def _eval_closure(store: TripleStore, inner: PathExpr,
                     if target not in seen:
                         seen[target] = depth
                         next_frontier.append(target)
+                    elif target == start and seen[start] == 0:
+                        # The start was seeded at depth 0; re-reaching it
+                        # proves a >= 1-step cycle, which OneOrMorePath
+                        # must report as (start, start).
+                        seen[start] = depth
             frontier = next_frontier
         return seen
 
@@ -682,3 +687,33 @@ def _apply_optional(store: TripleStore, solutions: list[dict],
         else:
             extended.append(solution)
     return extended
+
+
+def store_for_graph(graph) -> TripleStore:
+    """Build the indexed :class:`TripleStore` this engine queries from any
+    RDF-convertible graph model.
+
+    Property graphs are flattened to labeled graphs first (property values
+    become label annotations the conversion defines), labeled graphs become
+    RDF triples with node labels as ``rdf:type``, and RDF graphs load
+    directly.  One conversion point shared by the CLI and the batch engine,
+    so "the same graph file" means the same triples everywhere.
+    """
+    from repro.errors import ConversionError
+    from repro.models import (
+        LabeledGraph,
+        PropertyGraph,
+        RDFGraph,
+        labeled_to_rdf,
+        property_to_labeled,
+    )
+
+    if isinstance(graph, PropertyGraph):
+        graph = property_to_labeled(graph)
+    if isinstance(graph, LabeledGraph):
+        graph = labeled_to_rdf(graph)
+    if not isinstance(graph, RDFGraph):
+        raise ConversionError(
+            f"sparql needs a labeled, property or RDF graph, "
+            f"got {type(graph).__name__}")
+    return TripleStore.from_graph(graph)

@@ -1,0 +1,207 @@
+"""Cross-frontend equivalence: one logical query, three languages.
+
+Each shape states the same endpoint-pair question in PathQL, mini-SPARQL
+and mini-Cypher; projected to DISTINCT (start, end) node pairs, the three
+answers must be identical sets.  The shapes run over the Figure 2 graph
+and a seeded random contact world, so both the worked examples and
+unstaged topology are covered; a final test pushes every shape through a
+parallel :class:`~repro.exec.BatchSession` and checks the same sets come
+back through the batch path.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import generate_contact_graph
+from repro.exec import BatchSession
+from repro.models import figure2_property
+from repro.query.cypherish import run_cypher
+from repro.query.cypherish import store_for_graph as cypher_store_for_graph
+from repro.query.pathql import run_pathql
+from repro.query.sparql import run_sparql
+from repro.query.sparql import store_for_graph as sparql_store_for_graph
+
+# (name, graph key, PathQL, SPARQL, Cypher) — all three compute the same
+# DISTINCT (x, y) endpoint-pair set.
+SHAPES = [
+    ("person-contact-any", "contact",
+     "PATHS MATCHING ?person/contact LENGTH 1 LIMIT 100000",
+     "SELECT DISTINCT ?x ?y WHERE { ?x <rdf:type> <person> . "
+     "?x <contact> ?y . }",
+     "MATCH (x:person)-[:contact]->(y) RETURN DISTINCT x, y"),
+    ("person-contact-infected", "contact",
+     "PATHS MATCHING ?person/contact/?infected LENGTH 1 LIMIT 100000",
+     "SELECT DISTINCT ?x ?y WHERE { ?x <rdf:type> <person> . "
+     "?x <contact> ?y . ?y <rdf:type> <infected> . }",
+     "MATCH (x:person)-[:contact]->(y:infected) RETURN DISTINCT x, y"),
+    ("person-rides-bus", "contact",
+     "PATHS MATCHING ?person/rides/?bus LENGTH 1 LIMIT 100000",
+     "SELECT DISTINCT ?x ?y WHERE { ?x <rdf:type> <person> . "
+     "?x <rides> ?y . ?y <rdf:type> <bus> . }",
+     "MATCH (x:person)-[:rides]->(y:bus) RETURN DISTINCT x, y"),
+    ("any-rides-any", "contact",
+     "PATHS MATCHING rides LENGTH 1 LIMIT 100000",
+     "SELECT DISTINCT ?x ?y WHERE { ?x <rides> ?y . }",
+     "MATCH (x)-[:rides]->(y) RETURN DISTINCT x, y"),
+    ("contact-inverse", "contact",
+     "PATHS MATCHING contact^- LENGTH 1 LIMIT 100000",
+     "SELECT DISTINCT ?x ?y WHERE { ?x ^<contact> ?y . }",
+     "MATCH (x)<-[:contact]-(y) RETURN DISTINCT x, y"),
+    ("lives-inverse", "contact",
+     "PATHS MATCHING lives^- LENGTH 1 LIMIT 100000",
+     "SELECT DISTINCT ?x ?y WHERE { ?x ^<lives> ?y . }",
+     "MATCH (x)<-[:lives]-(y) RETURN DISTINCT x, y"),
+    ("shared-bus", "contact",
+     "PATHS MATCHING rides/rides^- LENGTH 2 LIMIT 100000",
+     "SELECT DISTINCT ?x ?y WHERE { ?x <rides>/^<rides> ?y . }",
+     "MATCH (x)-[:rides]->(b)<-[:rides]-(y) RETURN DISTINCT x, y"),
+    ("roommates", "contact",
+     "PATHS MATCHING lives/lives^- LENGTH 2 LIMIT 100000",
+     "SELECT DISTINCT ?x ?y WHERE { ?x <lives>/^<lives> ?y . }",
+     "MATCH (x)-[:lives]->(a)<-[:lives]-(y) RETURN DISTINCT x, y"),
+    ("contact-squared", "contact",
+     "PATHS MATCHING contact/contact LENGTH 2 LIMIT 100000",
+     "SELECT DISTINCT ?x ?y WHERE { ?x <contact>/<contact> ?y . }",
+     "MATCH (x)-[:contact]->(m)-[:contact]->(y) RETURN DISTINCT x, y"),
+    ("contact-then-lives", "contact",
+     "PATHS MATCHING contact/lives LENGTH 2 LIMIT 100000",
+     "SELECT DISTINCT ?x ?y WHERE { ?x <contact>/<lives> ?y . }",
+     "MATCH (x)-[:contact]->(m)-[:lives]->(y) RETURN DISTINCT x, y"),
+    ("bus-shared-rider", "contact",
+     "PATHS MATCHING rides^-/rides LENGTH 2 LIMIT 100000",
+     "SELECT DISTINCT ?x ?y WHERE { ?x ^<rides>/<rides> ?y . }",
+     "MATCH (x)<-[:rides]-(p)-[:rides]->(y) RETURN DISTINCT x, y"),
+    ("paper-bus-exposure", "contact",
+     "PATHS MATCHING ?person/rides/?bus/rides^-/?infected LENGTH 2 "
+     "LIMIT 100000",
+     "SELECT DISTINCT ?x ?y WHERE { ?x <rdf:type> <person> . "
+     "?x <rides>/^<rides> ?y . ?y <rdf:type> <infected> . }",
+     "MATCH (x:person)-[:rides]->(b:bus)<-[:rides]-(y:infected) "
+     "RETURN DISTINCT x, y"),
+    ("person-contact-contact", "contact",
+     "PATHS MATCHING ?person/contact/contact LENGTH 2 LIMIT 100000",
+     "SELECT DISTINCT ?x ?y WHERE { ?x <rdf:type> <person> . "
+     "?x <contact>/<contact> ?y . }",
+     "MATCH (x:person)-[:contact]->(m)-[:contact]->(y) "
+     "RETURN DISTINCT x, y"),
+    ("contact-cubed", "contact",
+     "PATHS MATCHING contact/contact/contact LENGTH 3 LIMIT 100000",
+     "SELECT DISTINCT ?x ?y WHERE { ?x <contact>/<contact>/<contact> ?y . }",
+     "MATCH (x)-[:contact]->(m)-[:contact]->(n)-[:contact]->(y) "
+     "RETURN DISTINCT x, y"),
+    ("rides-roundtrip-rides", "contact",
+     "PATHS MATCHING rides/rides^-/rides LENGTH 3 LIMIT 100000",
+     "SELECT DISTINCT ?x ?y WHERE { ?x <rides>/^<rides>/<rides> ?y . }",
+     "MATCH (x)-[:rides]->(b)<-[:rides]-(p)-[:rides]->(y) "
+     "RETURN DISTINCT x, y"),
+    ("roommate-chain", "contact",
+     "PATHS MATCHING lives/lives^-/lives LENGTH 3 LIMIT 100000",
+     "SELECT DISTINCT ?x ?y WHERE { ?x <lives>/^<lives>/<lives> ?y . }",
+     "MATCH (x)-[:lives]->(a)<-[:lives]-(p)-[:lives]->(y) "
+     "RETURN DISTINCT x, y"),
+    ("person-lives", "contact",
+     "PATHS MATCHING ?person/lives LENGTH 1 LIMIT 100000",
+     "SELECT DISTINCT ?x ?y WHERE { ?x <rdf:type> <person> . "
+     "?x <lives> ?y . }",
+     "MATCH (x:person)-[:lives]->(y) RETURN DISTINCT x, y"),
+    ("infected-contacted-by", "contact",
+     "PATHS MATCHING ?infected/contact^- LENGTH 1 LIMIT 100000",
+     "SELECT DISTINCT ?x ?y WHERE { ?x <rdf:type> <infected> . "
+     "?y <contact> ?x . }",
+     "MATCH (x:infected)<-[:contact]-(y) RETURN DISTINCT x, y"),
+    ("company-owns-bus", "fig2",
+     "PATHS MATCHING ?company/owns/?bus LENGTH 1 LIMIT 100000",
+     "SELECT DISTINCT ?x ?y WHERE { ?x <rdf:type> <company> . "
+     "?x <owns> ?y . ?y <rdf:type> <bus> . }",
+     "MATCH (x:company)-[:owns]->(y:bus) RETURN DISTINCT x, y"),
+    ("company-riders", "fig2",
+     "PATHS MATCHING owns/rides^- LENGTH 2 LIMIT 100000",
+     "SELECT DISTINCT ?x ?y WHERE { ?x <owns>/^<rides> ?y . }",
+     "MATCH (x)-[:owns]->(b)<-[:rides]-(y) RETURN DISTINCT x, y"),
+    ("contact-plus", "fig2",
+     "PATHS MATCHING contact/contact* MAXLENGTH 6 LIMIT 100000",
+     "SELECT DISTINCT ?x ?y WHERE { ?x <contact>+ ?y . }",
+     "MATCH (x)-[:contact*1..6]->(y) RETURN DISTINCT x, y"),
+    ("rides-then-back-plus", "fig2",
+     "PATHS MATCHING (rides/rides^-)/(rides/rides^-)* MAXLENGTH 6 "
+     "LIMIT 100000",
+     "SELECT DISTINCT ?x ?y WHERE { ?x (<rides>/^<rides>)+ ?y . }",
+     "MATCH (x)-[:rides]->(b)<-[:rides]-(y) RETURN DISTINCT x, y"),
+]
+
+SHAPE_IDS = [shape[0] for shape in SHAPES]
+
+
+def test_shape_catalogue_is_large_enough():
+    assert len(SHAPES) >= 20
+    assert len(set(SHAPE_IDS)) == len(SHAPES)
+
+
+@pytest.fixture(scope="module")
+def worlds():
+    """graph key -> (graph, sparql store, cypher store), built once."""
+    built = {}
+    for key, graph in (("contact",
+                        generate_contact_graph(14, 3, 6, 2, rng=5)),
+                       ("fig2", figure2_property())):
+        built[key] = (graph, sparql_store_for_graph(graph),
+                      cypher_store_for_graph(graph))
+    return built
+
+
+def _pathql_pairs(graph, query: str) -> set[tuple]:
+    result = run_pathql(graph, query)
+    assert result.quality == "exact"
+    return {(path.start, path.end) for path in result.paths}
+
+
+def _table_pairs(rows) -> set[tuple]:
+    return {tuple(row) for row in rows}
+
+
+class TestCrossFrontendEquivalence:
+    @pytest.mark.parametrize("name,world,pathql,sparql,cypher", SHAPES,
+                             ids=SHAPE_IDS)
+    def test_three_frontends_agree(self, worlds, name, world, pathql,
+                                   sparql, cypher):
+        graph, sparql_store, cypher_store = worlds[world]
+        from_pathql = _pathql_pairs(graph, pathql)
+        from_sparql = _table_pairs(run_sparql(sparql_store, sparql).rows)
+        from_cypher = _table_pairs(run_cypher(cypher_store, cypher).rows)
+        assert from_pathql == from_sparql, name
+        assert from_pathql == from_cypher, name
+
+    @pytest.mark.parametrize("name,world,pathql,sparql,cypher",
+                             [s for s in SHAPES if s[1] == "contact"][:3],
+                             ids=[s[0] for s in SHAPES
+                                  if s[1] == "contact"][:3])
+    def test_answers_are_nonempty(self, worlds, name, world, pathql,
+                                  sparql, cypher):
+        """Equivalence tests prove nothing if every side is empty; pin the
+        headline shapes to non-trivial answers on the seeded world."""
+        graph, _, _ = worlds[world]
+        assert _pathql_pairs(graph, pathql)
+
+
+class TestBatchMatchesDirect:
+    @pytest.mark.parametrize("workers", [1, 3])
+    def test_batch_session_returns_the_same_sets(self, worlds, workers):
+        """The three frontends stay equivalent *through the batch path*:
+        SPARQL/Cypher answers crossing the worker boundary equal the
+        direct in-process answers."""
+        graph, sparql_store, cypher_store = worlds["contact"]
+        shapes = [s for s in SHAPES if s[1] == "contact"]
+        queries = []
+        for _, _, _, sparql, cypher in shapes:
+            queries.append(("sparql", sparql))
+            queries.append(("cypher", cypher))
+        with BatchSession(graph, workers) as session:
+            results = session.run_batch(queries)
+        assert all(result.status == "ok" for result in results)
+        for shape_index, (name, _, pathql, _, _) in enumerate(shapes):
+            expected = _pathql_pairs(graph, pathql)
+            sparql_result = results[2 * shape_index]
+            cypher_result = results[2 * shape_index + 1]
+            assert _table_pairs(sparql_result.value["rows"]) == expected, name
+            assert _table_pairs(cypher_result.value["rows"]) == expected, name

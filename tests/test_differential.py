@@ -1,0 +1,268 @@
+"""Differential harness: parallel == serial == brute-force, at scale.
+
+Every instance is a seeded random (graph, regex) pair checked three ways:
+
+1. **serial** — ``endpoint_pairs`` / ``count_paths_exact`` as shipped
+   (product-automaton machinery, label indexes, interning);
+2. **parallel** — the same query through a :class:`WorkerPool` with 2 and
+   with 4 workers (forked processes where the platform has ``fork``, the
+   inline path otherwise);
+3. **reference** — implementations written to be *obviously* correct and
+   sharing no code with the engine: endpoint pairs by relational algebra
+   over the regex AST (edge relations, joins, unions, Warshall closure),
+   path counts by the exhaustive enumerator ``count_paths_bruteforce``.
+
+With the default seeds the harness covers
+``len(SEEDS) * GRAPHS_PER_SEED * REGEXES_PER_GRAPH`` > 1000 instances;
+``REPRO_FUZZ_SEEDS=4,5,6`` (comma-separated integers) re-aims the whole
+harness at fresh instances without touching the file — CI's fuzz job uses
+exactly that.  Every assertion message carries (seed, graph, regex) so a
+failure is replayable in isolation.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+import pytest
+
+from repro.core.rpq import count_paths_exact, endpoint_pairs, parse_regex
+from repro.core.rpq.ast import Concat, EdgeAtom, NodeTest, Star, Union
+from repro.core.rpq.count import count_paths_bruteforce
+from repro.datasets import (
+    clustered_labeled_graph,
+    erdos_renyi,
+    random_labeled_graph,
+)
+from repro.errors import BudgetExceeded
+from repro.exec import Budget, Context, WorkerPool
+from repro.exec.parallel import sharded_count_paths, sharded_endpoint_pairs
+
+SEEDS = tuple(int(seed) for seed in
+              os.environ.get("REPRO_FUZZ_SEEDS", "0,1,2").split(","))
+GRAPHS_PER_SEED = 12
+REGEXES_PER_GRAPH = 28
+WORKER_COUNTS = (2, 4)
+
+#: Enumeration is exponential; keep the brute-force count cross-check on
+#: graphs it can exhaust quickly.
+BRUTE_FORCE_MAX_NODES = 7
+BRUTE_FORCE_MAX_K = 3
+
+NODE_LABELS = ("a", "b")
+EDGE_LABELS = ("r", "s", "t")
+
+
+def make_graphs(seed: int) -> list[tuple[str, object]]:
+    """Twelve structurally varied graphs, deterministic in ``seed``."""
+    graphs = [
+        ("uniform-6", random_labeled_graph(
+            6, 12, node_labels=NODE_LABELS, edge_labels=EDGE_LABELS,
+            rng=10 * seed)),
+        ("uniform-9", random_labeled_graph(
+            9, 24, node_labels=NODE_LABELS, edge_labels=EDGE_LABELS,
+            rng=10 * seed + 1)),
+        ("uniform-13", random_labeled_graph(
+            13, 40, node_labels=NODE_LABELS, edge_labels=EDGE_LABELS,
+            rng=10 * seed + 2)),
+        ("sparse-12", random_labeled_graph(
+            12, 10, node_labels=NODE_LABELS, edge_labels=EDGE_LABELS,
+            rng=10 * seed + 3)),
+        ("simple-8", random_labeled_graph(
+            8, 16, node_labels=NODE_LABELS, edge_labels=EDGE_LABELS,
+            rng=10 * seed + 4, allow_self_loops=False, allow_parallel=False)),
+        ("dense-5", random_labeled_graph(
+            5, 18, node_labels=NODE_LABELS, edge_labels=EDGE_LABELS,
+            rng=10 * seed + 5)),
+        ("one-label-7", random_labeled_graph(
+            7, 14, node_labels=("a",), edge_labels=("r",),
+            rng=10 * seed + 6)),
+        ("clustered-3x4", clustered_labeled_graph(
+            3, 4, 8, node_labels=NODE_LABELS, edge_labels=EDGE_LABELS,
+            rng=10 * seed + 7)),
+        ("er-10", erdos_renyi(
+            10, 0.2, node_labels=NODE_LABELS, edge_labels=EDGE_LABELS,
+            rng=10 * seed + 8)),
+        ("er-14-sparse", erdos_renyi(
+            14, 0.08, node_labels=NODE_LABELS, edge_labels=EDGE_LABELS,
+            rng=10 * seed + 9)),
+        ("tiny-3", random_labeled_graph(
+            3, 6, node_labels=NODE_LABELS, edge_labels=EDGE_LABELS,
+            rng=10 * seed + 10)),
+        ("edgeless-5", random_labeled_graph(
+            5, 0, node_labels=NODE_LABELS, edge_labels=EDGE_LABELS,
+            rng=10 * seed + 11)),
+    ]
+    assert len(graphs) == GRAPHS_PER_SEED
+    return graphs
+
+
+def random_regex_text(rng: random.Random, depth: int = 3) -> str:
+    """A random regex over the shared label pools, in the repo's grammar
+    (union ``+``, concat ``/``, star ``*``, inverse ``^-``, node test
+    ``?l``)."""
+    roll = rng.random()
+    if depth <= 0 or roll < 0.30:
+        label = rng.choice(EDGE_LABELS)
+        return label + ("^-" if rng.random() < 0.3 else "")
+    if roll < 0.42:
+        return "?" + rng.choice(NODE_LABELS)
+    if roll < 0.70:
+        return (f"{random_regex_text(rng, depth - 1)}"
+                f"/{random_regex_text(rng, depth - 1)}")
+    if roll < 0.88:
+        return (f"({random_regex_text(rng, depth - 1)}"
+                f" + {random_regex_text(rng, depth - 1)})")
+    return f"({random_regex_text(rng, depth - 1)})*"
+
+
+# ---------------------------------------------------------------------------
+# The independent reference: relational algebra over the AST
+# ---------------------------------------------------------------------------
+
+
+def _edge_relation(graph, atom: EdgeAtom) -> set[tuple]:
+    pairs = set()
+    for edge in graph.edges():
+        if not atom.test.matches_edge(graph, edge):
+            continue
+        source, target = graph.endpoints(edge)
+        pairs.add((target, source) if atom.inverse else (source, target))
+    return pairs
+
+
+def _compose(left: set[tuple], right: set[tuple]) -> set[tuple]:
+    by_start: dict = {}
+    for mid, end in right:
+        by_start.setdefault(mid, []).append(end)
+    return {(start, end)
+            for start, mid in left
+            for end in by_start.get(mid, ())}
+
+
+def _closure(pairs: set[tuple], nodes: list) -> set[tuple]:
+    """Reflexive-transitive closure by fixpoint iteration."""
+    closure = {(node, node) for node in nodes} | set(pairs)
+    while True:
+        extended = closure | _compose(closure, closure)
+        if extended == closure:
+            return closure
+        closure = extended
+
+
+def reference_pairs(graph, regex) -> set[tuple]:
+    """Denotational endpoint-pair semantics, computed structurally.
+
+    No NFA, no product automaton, no label index: each AST node maps to a
+    binary relation and the combinators are plain relational algebra, so a
+    disagreement with the engine cannot share a root cause with it.
+    """
+    if isinstance(regex, EdgeAtom):
+        return _edge_relation(graph, regex)
+    if isinstance(regex, NodeTest):
+        return {(node, node) for node in graph.nodes()
+                if regex.test.matches_node(graph, node)}
+    if isinstance(regex, Concat):
+        return _compose(reference_pairs(graph, regex.left),
+                        reference_pairs(graph, regex.right))
+    if isinstance(regex, Union):
+        return (reference_pairs(graph, regex.left)
+                | reference_pairs(graph, regex.right))
+    if isinstance(regex, Star):
+        return _closure(reference_pairs(graph, regex.inner),
+                        list(graph.nodes()))
+    raise AssertionError(f"generator produced unhandled node {regex!r}")
+
+
+# ---------------------------------------------------------------------------
+# The harness
+# ---------------------------------------------------------------------------
+
+
+def test_default_configuration_exceeds_thousand_instances():
+    """The acceptance floor: with the checked-in seeds the harness runs
+    more than 1000 (graph, regex) instances."""
+    assert 3 * GRAPHS_PER_SEED * REGEXES_PER_GRAPH > 1000
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_parallel_equals_serial_equals_bruteforce(seed):
+    rng = random.Random(900_000 + seed)
+    instances = 0
+    for name, graph in make_graphs(seed):
+        pools = [WorkerPool(graph, workers) for workers in WORKER_COUNTS]
+        try:
+            for _ in range(REGEXES_PER_GRAPH):
+                text = random_regex_text(rng)
+                where = f"seed={seed} graph={name} regex={text!r}"
+                regex = parse_regex(text)
+
+                serial_pairs = endpoint_pairs(graph, regex)
+                assert serial_pairs == reference_pairs(graph, regex), where
+                for pool in pools:
+                    pooled = sharded_endpoint_pairs(pool, graph, regex)
+                    assert pooled == serial_pairs, \
+                        f"{where} workers={pool.workers}"
+
+                k = rng.randint(0, BRUTE_FORCE_MAX_K)
+                serial_count = count_paths_exact(graph, regex, k)
+                for pool in pools:
+                    pooled_count = sharded_count_paths(pool, graph, regex, k)
+                    assert pooled_count == serial_count, \
+                        f"{where} k={k} workers={pool.workers}"
+                if len(list(graph.nodes())) <= BRUTE_FORCE_MAX_NODES:
+                    assert (serial_count
+                            == count_paths_bruteforce(graph, regex, k)), \
+                        f"{where} k={k}"
+                instances += 1
+        finally:
+            for pool in pools:
+                pool.close()
+    assert instances == GRAPHS_PER_SEED * REGEXES_PER_GRAPH
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_restricted_endpoints_differential(seed):
+    """Start/end-node restrictions shard differently (fewer, uneven
+    shards); pin them against the serial engine on every seed."""
+    rng = random.Random(700_000 + seed)
+    name, graph = make_graphs(seed)[2]  # the largest uniform family
+    nodes = sorted(graph.nodes(), key=str)
+    with WorkerPool(graph, 3) as pool:
+        for _ in range(10):
+            text = random_regex_text(rng)
+            regex = parse_regex(text)
+            starts = rng.sample(nodes, rng.randint(1, len(nodes)))
+            ends = (None if rng.random() < 0.5
+                    else rng.sample(nodes, rng.randint(1, len(nodes))))
+            where = f"seed={seed} regex={text!r} starts={starts} ends={ends}"
+            serial = endpoint_pairs(graph, regex, start_nodes=starts,
+                                    end_nodes=ends)
+            assert sharded_endpoint_pairs(
+                pool, graph, regex, start_nodes=starts,
+                end_nodes=ends) == serial, where
+            serial_count = count_paths_exact(graph, regex, 2,
+                                             start_nodes=starts,
+                                             end_nodes=ends)
+            assert sharded_count_paths(
+                pool, graph, regex, 2, start_nodes=starts,
+                end_nodes=ends) == serial_count, where
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_budget_exhaustion_is_clean_and_recoverable(seed):
+    """Exhaustion through the pool is the same typed error as serial
+    exhaustion, and the pool answers correctly right after — no poisoned
+    events, no stuck workers."""
+    _, graph = make_graphs(seed)[2]
+    regex = parse_regex("(r + s + t)*")
+    with pytest.raises(BudgetExceeded) as serial_exc:
+        count_paths_exact(graph, regex, 4, ctx=Context(Budget(max_steps=5)))
+    with WorkerPool(graph, 2) as pool:
+        with pytest.raises(BudgetExceeded) as pooled_exc:
+            sharded_count_paths(pool, graph, regex, 4,
+                                ctx=Context(Budget(max_steps=5)))
+        assert pooled_exc.value.resource == serial_exc.value.resource
+        assert (sharded_count_paths(pool, graph, regex, 4)
+                == count_paths_exact(graph, regex, 4))

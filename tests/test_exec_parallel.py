@@ -1,0 +1,489 @@
+"""WorkerPool semantics: sharding, budgets, faults, traces, batch sessions.
+
+The differential harness (test_differential.py) pins *equivalence* at
+scale; this file pins the pool's contracts one by one — partitioning,
+budget subdivision and global binding, two-way cancellation, per-worker
+fault targeting, deterministic trace merging, and the BatchSession's
+per-query error isolation.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analytics import hits, pagerank
+from repro.core.rpq import count_paths_exact, endpoint_pairs, parse_regex
+from repro.datasets import clustered_labeled_graph, random_labeled_graph
+from repro.errors import BudgetExceeded, Cancelled, WorkerFailed
+from repro.exec import (
+    BatchQuery,
+    BatchSession,
+    Budget,
+    Context,
+    FaultInjector,
+    WorkerPool,
+    batch_exit_status,
+    fork_available,
+)
+from repro.exec.budget import MIN_FRACTION_SECONDS
+from repro.exec.parallel import (
+    partition_chunks,
+    partition_ranges,
+    register_task,
+    sharded_count_paths,
+    sharded_endpoint_pairs,
+)
+from repro.models import figure2_labeled, figure2_property
+from repro.obs import Tracer
+
+
+@register_task("test.echo")
+def _task_echo(state, payload, ctx, tracer):
+    return {"payload": payload, "worker": state["index"]}
+
+
+@register_task("test.boom")
+def _task_boom(state, payload, ctx, tracer):
+    raise ValueError(payload["message"])
+
+
+@register_task("test.unpicklable")
+def _task_unpicklable(state, payload, ctx, tracer):
+    return lambda: None
+
+
+@register_task("test.spin")
+def _task_spin(state, payload, ctx, tracer):
+    for _ in range(payload["steps"]):
+        ctx.checkpoint("test.spin")
+    return payload["steps"]
+
+
+@pytest.fixture
+def graph():
+    return random_labeled_graph(12, 30, rng=5)
+
+
+@pytest.fixture
+def inline_pool(graph):
+    with WorkerPool(graph, 1) as pool:
+        yield pool
+
+
+@pytest.fixture
+def forked_pool(graph):
+    if not fork_available():
+        pytest.skip("platform has no fork start method")
+    with WorkerPool(graph, 2) as pool:
+        yield pool
+
+
+class TestPartitioning:
+    def test_chunks_are_contiguous_and_cover(self):
+        items = list(range(10))
+        shards = partition_chunks(items, 3)
+        assert [list(s) for s in shards] == [[0, 1, 2, 3], [4, 5, 6, 7],
+                                             [8, 9]]
+        assert sum(len(s) for s in shards) == len(items)
+
+    def test_more_shards_than_items_drops_empties(self):
+        assert partition_chunks([1, 2], 5) == [(1,), (2,)]
+        assert partition_chunks([], 3) == []
+
+    def test_single_shard_is_identity(self):
+        assert partition_chunks([3, 1, 2], 1) == [(3, 1, 2)]
+
+    def test_zero_shards_rejected(self):
+        with pytest.raises(ValueError):
+            partition_chunks([1], 0)
+        with pytest.raises(ValueError):
+            partition_ranges(4, 0)
+
+    def test_ranges_tile_the_interval(self):
+        ranges = partition_ranges(10, 4)
+        assert ranges[0][0] == 0 and ranges[-1][1] == 10
+        for (_, hi), (lo, _) in zip(ranges, ranges[1:]):
+            assert hi == lo
+
+
+class TestSubdivide:
+    def test_no_context_means_no_budget(self):
+        assert WorkerPool.subdivide(None, 4) is None
+
+    def test_steps_and_bytes_split_deadline_passes_whole(self):
+        ctx = Context(Budget(deadline=60.0, max_steps=100, max_frontier=7,
+                             max_bytes=1000, max_results=9))
+        deadline, steps, frontier, max_bytes, results = WorkerPool.subdivide(
+            ctx, 4)
+        assert steps == 25
+        assert max_bytes == 250
+        assert frontier == 7  # size caps bind each worker independently
+        assert results == 9
+        assert deadline == pytest.approx(60.0, abs=1.0)
+
+    def test_floors_keep_every_shard_runnable(self):
+        ctx = Context(Budget(max_steps=3, max_bytes=2))
+        _, steps, _, max_bytes, _ = WorkerPool.subdivide(ctx, 8)
+        assert steps == 1
+        assert max_bytes == 1
+
+    def test_exhausted_deadline_floors_at_min_fraction(self):
+        ctx = Context(Budget(deadline=1e-12))
+        deadline, *_ = WorkerPool.subdivide(ctx, 2)
+        assert deadline >= MIN_FRACTION_SECONDS
+
+    def test_unlimited_stays_unlimited(self):
+        assert WorkerPool.subdivide(Context(), 4) == (None,) * 5
+
+
+class TestPoolLifecycle:
+    def test_workers_below_one_rejected(self, graph):
+        with pytest.raises(ValueError):
+            WorkerPool(graph, 0)
+
+    def test_single_worker_is_inline(self, inline_pool):
+        assert inline_pool.is_inline
+        assert inline_pool.n_shards == 1
+
+    def test_forked_pool_is_not_inline(self, forked_pool):
+        assert not forked_pool.is_inline
+        assert forked_pool.n_shards == 2
+
+    def test_close_is_idempotent_and_degrades_to_inline(self, graph):
+        pool = WorkerPool(graph, 2)
+        pool.close()
+        pool.close()
+        assert pool.is_inline
+        # A closed pool still answers, through the inline path.
+        assert pool.run_tasks([("test.echo", {"n": 1})]) == [
+            {"payload": {"n": 1}, "worker": 0}]
+
+    def test_empty_task_list(self, inline_pool):
+        assert inline_pool.run_tasks([]) == []
+
+    def test_results_come_back_in_task_order(self, forked_pool):
+        tasks = [("test.echo", {"n": n}) for n in range(7)]
+        results = forked_pool.run_tasks(tasks)
+        assert [r["payload"]["n"] for r in results] == list(range(7))
+        # Deterministic round-robin placement: task i on worker i % 2.
+        assert [r["worker"] for r in results] == [0, 1, 0, 1, 0, 1, 0]
+
+
+class TestShardedEquivalence:
+    REGEXES = ["(r + s)*", "r/s", "?a/r/(r + s)*", "s^-/r", "(r/s)*+r"]
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    @pytest.mark.parametrize("regex_text", REGEXES)
+    def test_endpoint_pairs_match_serial(self, graph, workers, regex_text):
+        regex = parse_regex(regex_text)
+        serial = endpoint_pairs(graph, regex)
+        with WorkerPool(graph, workers) as pool:
+            assert sharded_endpoint_pairs(pool, graph, regex) == serial
+
+    @pytest.mark.parametrize("workers", [1, 3])
+    @pytest.mark.parametrize("regex_text", REGEXES)
+    def test_count_paths_match_serial(self, graph, workers, regex_text):
+        regex = parse_regex(regex_text)
+        serial = count_paths_exact(graph, regex, 3)
+        with WorkerPool(graph, workers) as pool:
+            assert sharded_count_paths(pool, graph, regex, 3) == serial
+
+    def test_restricted_and_duplicated_start_nodes(self, graph):
+        regex = parse_regex("r/(r + s)")
+        starts = ["v1", "v3", "v5", "v3", "v1"]  # duplicates must not double
+        serial = endpoint_pairs(graph, regex, start_nodes=set(starts))
+        with WorkerPool(graph, 2) as pool:
+            assert sharded_endpoint_pairs(pool, graph, regex,
+                                          start_nodes=starts) == serial
+            assert (sharded_count_paths(pool, graph, regex, 2,
+                                        start_nodes=starts)
+                    == count_paths_exact(graph, regex, 2,
+                                         start_nodes=set(starts)))
+
+    def test_end_node_restriction(self, graph):
+        regex = parse_regex("(r + s)/(r + s)")
+        ends = ["v0", "v2"]
+        serial = endpoint_pairs(graph, regex, end_nodes=ends)
+        with WorkerPool(graph, 2) as pool:
+            assert sharded_endpoint_pairs(pool, graph, regex,
+                                          end_nodes=ends) == serial
+
+    def test_pool_keyword_on_serial_entry_points(self, graph):
+        """endpoint_pairs/count_paths_exact grow a pool= that delegates."""
+        regex = parse_regex("(r + s)*/r")
+        with WorkerPool(graph, 2) as pool:
+            assert (endpoint_pairs(graph, regex, pool=pool)
+                    == endpoint_pairs(graph, regex))
+            assert (count_paths_exact(graph, regex, 2, pool=pool)
+                    == count_paths_exact(graph, regex, 2))
+
+    def test_pool_bound_to_other_graph_rejected(self, graph):
+        other = figure2_labeled()
+        with WorkerPool(other, 2) as pool:
+            with pytest.raises(ValueError, match="different graph"):
+                sharded_endpoint_pairs(pool, graph, parse_regex("r"))
+
+
+class TestBudgetsAcrossWorkers:
+    def test_worker_steps_charge_the_parent_counter(self, forked_pool):
+        ctx = Context(Budget(max_steps=1000))
+        results = forked_pool.run_tasks(
+            [("test.spin", {"steps": 40}), ("test.spin", {"steps": 27})],
+            ctx=ctx)
+        assert results == [40, 27]
+        # 1 parent submit checkpoint + the workers' 67, all on one counter.
+        assert ctx.stats.total_checkpoints == 68
+        assert ctx._shared.steps == 68
+        assert ctx.stats.checkpoints["test.spin"] == 67
+        assert ctx.stats.checkpoints["parallel.submit"] == 1
+
+    def test_global_step_budget_binds_through_the_pool(self, graph):
+        regex = parse_regex("(r + s)*")
+        with WorkerPool(graph, 2) as pool:
+            ctx = Context(Budget(max_steps=5))
+            with pytest.raises(BudgetExceeded) as excinfo:
+                sharded_count_paths(pool, graph, regex, 4, ctx=ctx)
+            assert excinfo.value.resource == "steps"
+            # The pool survives the failure and still answers.
+            assert (sharded_count_paths(pool, graph, regex, 4, ctx=Context())
+                    == count_paths_exact(graph, regex, 4))
+
+    def test_inline_and_forked_agree_on_exhaustion(self, graph):
+        regex = parse_regex("(r + s)*")
+        outcomes = []
+        for workers in (1, 2):
+            with WorkerPool(graph, workers) as pool:
+                try:
+                    sharded_count_paths(pool, graph, regex, 4,
+                                        ctx=Context(Budget(max_steps=5)))
+                    outcomes.append("ok")
+                except BudgetExceeded as exceeded:
+                    outcomes.append(exceeded.resource)
+        assert outcomes == ["steps", "steps"]
+
+    def test_degradations_merge_back(self, forked_pool, graph):
+        """Worker-side stats (checkpoint sites) reach the parent stats."""
+        regex = parse_regex("(r + s)*")
+        ctx = Context(Budget(max_steps=100_000))
+        sharded_endpoint_pairs(forked_pool, graph, regex, ctx=ctx)
+        sites = set(ctx.stats.checkpoints)
+        assert "parallel.submit" in sites
+        assert any(site != "parallel.submit" for site in sites)
+
+
+class TestCancellation:
+    def test_pre_cancelled_context_stops_at_submit(self, forked_pool):
+        ctx = Context()
+        ctx.cancel()
+        with pytest.raises(Cancelled) as excinfo:
+            forked_pool.run_tasks([("test.echo", {})], ctx=ctx)
+        assert excinfo.value.site == "parallel.submit"
+
+    def test_injected_cancel_reaches_the_parent(self, graph):
+        faults = FaultInjector(fail_at=3, kind="cancel")
+        with WorkerPool(graph, 2, fault_plans={0: faults, 1: faults}) as pool:
+            with pytest.raises(Cancelled):
+                sharded_count_paths(pool, graph, parse_regex("(r + s)*"), 4,
+                                    ctx=Context())
+
+    def test_event_clears_between_runs(self, graph):
+        """A cancelled run must not poison the next one (event reset)."""
+        faults = FaultInjector(fail_at=3, kind="cancel")
+        with WorkerPool(graph, 2, fault_plans={0: faults}) as pool:
+            with pytest.raises((Cancelled, BudgetExceeded)):
+                sharded_count_paths(pool, graph, parse_regex("(r + s)*"), 4,
+                                    ctx=Context())
+            # The injector is one-shot (fired=True persists in the worker),
+            # so a clean event means this run completes.
+            assert (sharded_endpoint_pairs(pool, graph, parse_regex("r"))
+                    == endpoint_pairs(graph, parse_regex("r")))
+
+
+class TestFaultTargeting:
+    def test_fault_plan_targets_one_worker(self, graph):
+        """An injected deadline on worker 1 surfaces as injected=True."""
+        plans = {1: FaultInjector(fail_at=1, kind="deadline")}
+        with WorkerPool(graph, 2, fault_plans=plans) as pool:
+            with pytest.raises(BudgetExceeded) as excinfo:
+                sharded_count_paths(pool, graph, parse_regex("(r + s)*"), 3,
+                                    ctx=Context())
+            assert excinfo.value.injected
+
+    def test_budget_error_outranks_sibling_cancellations(self, graph):
+        """Whichever shard order the errors land in, the cause wins."""
+        plans = {0: FaultInjector(fail_at=2, kind="steps")}
+        with WorkerPool(graph, 2, fault_plans=plans) as pool:
+            with pytest.raises(BudgetExceeded) as excinfo:
+                sharded_count_paths(pool, graph, parse_regex("(r + s)*"), 3,
+                                    ctx=Context())
+            assert excinfo.value.resource == "steps"
+
+    def test_unplanned_worker_exception_raises_worker_failed(self,
+                                                             forked_pool):
+        with pytest.raises(WorkerFailed) as excinfo:
+            forked_pool.run_tasks([("test.boom", {"message": "kapow"})])
+        assert "kapow" in str(excinfo.value)
+
+    def test_unpicklable_result_is_reported_not_fatal(self, forked_pool):
+        with pytest.raises(WorkerFailed):
+            forked_pool.run_tasks([("test.unpicklable", {})])
+        # The worker survived the pickling failure.
+        assert forked_pool.run_tasks([("test.echo", {"n": 1})]) == [
+            {"payload": {"n": 1}, "worker": 0}]
+
+
+def _strip_timing(span: dict) -> dict:
+    return {
+        "name": span["name"],
+        "status": span["status"],
+        "error": span["error"],
+        "attrs": span["attrs"],
+        "children": [_strip_timing(child) for child in span["children"]],
+    }
+
+
+class TestTraceMerging:
+    def _trace(self, pool, graph) -> dict:
+        tracer = Tracer()
+        sharded_endpoint_pairs(pool, graph, parse_regex("(r + s)*/r"),
+                               ctx=Context(), tracer=tracer)
+        return tracer.to_dict()
+
+    def test_merged_shape(self, forked_pool, graph):
+        trace = self._trace(forked_pool, graph)
+        assert [span["name"] for span in trace["spans"]] == ["parallel"]
+        parallel = trace["spans"][0]
+        assert parallel["attrs"] == {"workers": 2, "tasks": 2,
+                                     "inline": False}
+        workers = [child["name"] for child in parallel["children"]]
+        assert workers == ["worker:0", "worker:1"]
+        for worker, span in enumerate(parallel["children"]):
+            for child in span["children"]:
+                assert child["attrs"]["task"] == worker  # task i on worker i
+
+    def test_two_runs_identical_modulo_timing(self, graph):
+        if not fork_available():
+            pytest.skip("platform has no fork start method")
+        with WorkerPool(graph, 2) as pool:
+            first = self._trace(pool, graph)
+            second = self._trace(pool, graph)
+        stripped = [json.dumps([_strip_timing(s) for s in t["spans"]],
+                               sort_keys=True)
+                    for t in (first, second)]
+        assert stripped[0] == stripped[1]
+
+    def test_inline_trace_has_same_span_names(self, inline_pool, graph):
+        trace = self._trace(inline_pool, graph)
+        assert [span["name"] for span in trace["spans"]] == ["parallel"]
+        parallel = trace["spans"][0]
+        assert parallel["attrs"]["inline"] is True
+        assert [c["name"] for c in parallel["children"]] == ["worker:0"]
+
+
+class TestAnalyticsSharding:
+    @pytest.fixture
+    def analytics_graph(self):
+        return clustered_labeled_graph(6, 8, 20, rng=3)
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_pagerank_matches_serial(self, analytics_graph, workers):
+        serial = pagerank(analytics_graph)
+        with WorkerPool(analytics_graph, workers) as pool:
+            pooled = pagerank(analytics_graph, pool=pool)
+        assert pooled.keys() == serial.keys()
+        for node, score in serial.items():
+            assert pooled[node] == pytest.approx(score, abs=1e-9)
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_hits_matches_serial(self, analytics_graph, workers):
+        serial_hub, serial_auth = hits(analytics_graph)
+        with WorkerPool(analytics_graph, workers) as pool:
+            hub, auth = hits(analytics_graph, pool=pool)
+        for node in serial_hub:
+            assert hub[node] == pytest.approx(serial_hub[node], abs=1e-9)
+            assert auth[node] == pytest.approx(serial_auth[node], abs=1e-9)
+
+    def test_pagerank_rejects_foreign_pool(self, analytics_graph):
+        with WorkerPool(figure2_labeled(), 2) as pool:
+            with pytest.raises(ValueError):
+                pagerank(analytics_graph, pool=pool)
+
+
+class TestBatchSession:
+    QUERIES = [
+        BatchQuery("pathql",
+                   "PATHS MATCHING ?person/contact/?infected LENGTH 1 COUNT"),
+        BatchQuery("sparql",
+                   "SELECT ?x WHERE { ?x <rdf:type> <person> . }"),
+        BatchQuery("cypher", "MATCH (p:person) RETURN p.name"),
+    ]
+
+    @pytest.mark.parametrize("workers", [1, 3])
+    def test_mixed_batch_in_submission_order(self, workers):
+        with BatchSession(figure2_property(), workers) as session:
+            results = session.run_batch(self.QUERIES)
+        assert [r.index for r in results] == [0, 1, 2]
+        assert [r.language for r in results] == ["pathql", "sparql", "cypher"]
+        assert all(r.status == "ok" for r in results)
+        assert results[0].value["count"] == 1  # the Figure 2 worked example
+        assert ["n1"] in results[1].value["rows"]
+        assert batch_exit_status(results) == "ok"
+
+    def test_parallel_batch_matches_serial_batch(self):
+        with BatchSession(figure2_property(), 1) as serial_session:
+            serial = serial_session.run_batch(self.QUERIES)
+        with BatchSession(figure2_property(), 3) as session:
+            parallel = session.run_batch(self.QUERIES)
+        assert [r.to_dict() for r in parallel] == [r.to_dict()
+                                                  for r in serial]
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_per_query_error_isolation(self, workers):
+        queries = [
+            ("pathql", "PATHS MATCHING ?person/contact LENGTH 1 COUNT"),
+            ("pathql", "PATHS MATCHING ((( LENGTH 1"),  # parse error
+            ("cypher", "MATCH (p:person) RETURN p.name"),
+        ]
+        with BatchSession(figure2_property(), workers) as session:
+            results = session.run_batch(queries)
+        assert [r.status for r in results] == ["ok", "error", "ok"]
+        assert "SyntaxError" in results[1].error
+        assert batch_exit_status(results) == "error"
+
+    def test_degraded_query_reports_degraded(self):
+        queries = [("pathql",
+                    "PATHS MATCHING (contact + rides)* LENGTH 4 COUNT")]
+        with BatchSession(figure2_property(), 1) as session:
+            results = session.run_batch(queries,
+                                        ctx=Context(Budget(max_steps=6)))
+        assert results[0].status in ("degraded", "budget")
+        assert results[0].ok or results[0].status == "budget"
+        assert batch_exit_status(results) == "degraded"
+
+    def test_accepts_dicts_tuples_and_objects(self):
+        with BatchSession(figure2_property(), 1) as session:
+            results = session.run_batch([
+                {"language": "cypher",
+                 "query": "MATCH (p:person) RETURN p.name"},
+                ("sparql", "SELECT ?x WHERE { ?x <rdf:type> <bus> . }"),
+                BatchQuery("pathql", "PATHS MATCHING rides LENGTH 1 COUNT"),
+            ])
+        assert [r.status for r in results] == ["ok"] * 3
+
+    def test_unknown_language_rejected(self):
+        with pytest.raises(ValueError, match="unknown query language"):
+            BatchQuery("gremlin", "g.V()")
+
+    def test_store_conversion_failure_is_isolated(self):
+        """Cypher needs a property graph; on a labeled graph it errors,
+        while the PathQL half of the batch still answers."""
+        with BatchSession(figure2_labeled(), 1) as session:
+            results = session.run_batch([
+                ("pathql", "PATHS MATCHING contact LENGTH 1 COUNT"),
+                ("cypher", "MATCH (p:person) RETURN p"),
+            ])
+        assert results[0].status == "ok"
+        assert results[1].status == "error"
+        assert "ConversionError" in results[1].error

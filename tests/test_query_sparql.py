@@ -92,6 +92,18 @@ class TestPropertyPaths:
         result = run_sparql(store, 'SELECT ?y WHERE { <n4> <contact>+ ?y . }')
         assert set(result.rows) == {("n1",), ("n2",)}
 
+    def test_plus_reports_cycles_back_to_the_start(self):
+        # OneOrMorePath includes (x, x) when x reaches itself in >= 1 step
+        # (SPARQL 1.1 ALP), even though the start seeds the closure at
+        # depth 0 — found by the cross-frontend differential suite.
+        store = TripleStore([("a", "p", "b"), ("b", "p", "a"),
+                             ("b", "p", "c")])
+        result = run_sparql(store, 'SELECT ?y WHERE { <a> <p>+ ?y . }')
+        assert set(result.rows) == {("a",), ("b",), ("c",)}
+        both_ways = run_sparql(store,
+                               'SELECT ?x ?y WHERE { ?x <p>+ ?y . }')
+        assert ("a", "a") in set(both_ways.rows)
+
     def test_star_set_semantics(self):
         # Two routes to the same node yield ONE pair: SPARQL 1.1 existential
         # semantics (the design decision that avoids counting explosions).
