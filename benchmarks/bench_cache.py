@@ -1,0 +1,225 @@
+"""Experiment R4 — query-cache hit rate and speedup vs mutation rate.
+
+A repeated-query workload over a contact graph: a small pool of regex
+queries is evaluated round after round while mutations are interleaved at a
+configurable rate.  The same deterministic schedule runs twice — once
+through a shared :class:`~repro.cache.QueryCache`, once without — so the
+cached run's answers can be checked against the cache-less ones while both
+are timed.
+
+The mutation pool mixes footprint-hitting writes (new ``contact``/``rides``
+edges) with writes no query footprint reads (address ``zip`` updates), so
+the hit-rate curve reflects the label-footprint invalidation rule rather
+than blanket version checks.
+
+Run as a script to produce ``benchmarks/BENCH_cache.json``:
+
+    PYTHONPATH=src python benchmarks/bench_cache.py [--quick] [--out PATH]
+
+The acceptance target tracked here: >= 5x wall-clock speedup on the
+repeated-query workload at mutation rate 0.0, with the hit rate recorded
+alongside every timing row.
+"""
+
+import json
+import random
+import sys
+import time
+
+from repro.bench import Experiment, report_metadata
+from repro.cache import QueryCache
+from repro.core.rpq import endpoint_pairs, parse_regex
+from repro.core.rpq.count import count_paths_exact
+from repro.datasets import generate_contact_graph
+
+#: The repeated pool.  Chains, inverses, a star and node tests — shapes
+#: whose footprints read different label subsets, so partial invalidation
+#: is observable.
+QUERY_POOL = (
+    "?person/contact/?infected",
+    "contact/contact",
+    "rides/rides^-",
+    "lives/lives^-",
+    "(contact + rides)*",
+    "?infected/(contact)*",
+)
+
+MUTATION_RATES = (0.0, 0.1, 0.3, 0.5)
+COUNT_K = 2
+
+
+def build_graph(n_people: int):
+    return generate_contact_graph(n_people=n_people, rng=0)
+
+
+def _mutation_specs(graph, rng: random.Random, count: int) -> list[tuple]:
+    """Precompute ``count`` concrete mutations against ``graph``'s nodes.
+
+    Precomputing keeps the cached and cache-less runs byte-identical: both
+    replay the same (op, ids, label/value) tuples in the same order.
+    """
+    people = sorted(n for n in graph.nodes()
+                    if graph.node_label(n) in ("person", "infected"))
+    addresses = sorted(n for n in graph.nodes()
+                       if graph.node_label(n) == "address")
+    specs = []
+    for index in range(count):
+        roll = rng.random()
+        if roll < 0.4:
+            specs.append(("add_edge", f"mc{index}", rng.choice(people),
+                          rng.choice(people), "contact"))
+        elif roll < 0.6:
+            specs.append(("add_edge", f"mr{index}", rng.choice(people),
+                          rng.choice(people), "rides"))
+        else:
+            # Outside every pool query's footprint: entries survive this.
+            specs.append(("set_prop", rng.choice(addresses), "zip",
+                          str(9000000 + index)))
+    return specs
+
+
+def build_schedule(graph, mutation_rate: float, rounds: int,
+                   seed: int) -> list[tuple]:
+    """A deterministic interleaving of ("query", index) and mutation ops."""
+    rng = random.Random(seed)
+    specs = iter(_mutation_specs(graph, rng, rounds * len(QUERY_POOL)))
+    schedule = []
+    for _ in range(rounds):
+        for index in range(len(QUERY_POOL)):
+            if rng.random() < mutation_rate:
+                schedule.append(("mutate", next(specs)))
+            schedule.append(("query", index))
+    return schedule
+
+
+def run_workload(n_people: int, schedule: list[tuple],
+                 cache: QueryCache | None) -> tuple[list, float]:
+    """Replay ``schedule`` on a fresh graph; return (answers, seconds)."""
+    graph = build_graph(n_people)
+    pool = [parse_regex(text) for text in QUERY_POOL]
+    answers = []
+    start = time.perf_counter()
+    for op, payload in schedule:
+        if op == "mutate":
+            if payload[0] == "add_edge":
+                _, edge, src, dst, label = payload
+                graph.add_edge(edge, src, dst, label)
+            else:
+                _, node, prop, value = payload
+                graph.set_node_property(node, prop, value)
+            continue
+        regex = pool[payload]
+        pairs = endpoint_pairs(graph, regex, cache=cache)
+        count = count_paths_exact(graph, regex, COUNT_K, cache=cache)
+        answers.append((payload, frozenset(pairs), count))
+    return answers, time.perf_counter() - start
+
+
+def run_rate(n_people: int, mutation_rate: float, rounds: int,
+             reps: int) -> dict:
+    """Time the workload cached and cache-less; verify answer equality."""
+    schedule = build_schedule(build_graph(n_people), mutation_rate, rounds,
+                              seed=41)
+    best_cached = best_plain = float("inf")
+    stats = {}
+    for _ in range(max(reps, 1)):
+        cache = QueryCache()
+        cached_answers, cached_s = run_workload(n_people, schedule, cache)
+        plain_answers, plain_s = run_workload(n_people, schedule, None)
+        assert cached_answers == plain_answers, \
+            f"cache-on diverged from cache-off at rate {mutation_rate}"
+        best_cached = min(best_cached, cached_s)
+        best_plain = min(best_plain, plain_s)
+        stats = cache.stats()
+    lookups = stats["hits"] + stats["misses"]
+    return {
+        "mutation_rate": mutation_rate,
+        "queries": sum(1 for op, _ in schedule if op == "query"),
+        "mutations": sum(1 for op, _ in schedule if op == "mutate"),
+        "cached_s": best_cached,
+        "uncached_s": best_plain,
+        "speedup": best_plain / best_cached,
+        "hits": stats["hits"],
+        "misses": stats["misses"],
+        "stale": stats["stale"],
+        "hit_rate": stats["hits"] / lookups if lookups else 0.0,
+    }
+
+
+def run_suite(out_path: str, *, n_people: int, rounds: int,
+              reps: int) -> dict:
+    report = report_metadata()
+    report["workload"] = {
+        "dataset": f"generate_contact_graph(n_people={n_people}, rng=0)",
+        "query_pool": list(QUERY_POOL),
+        "count_k": COUNT_K,
+        "rounds": rounds,
+        "reps": reps,
+    }
+    report["rates"] = [run_rate(n_people, rate, rounds, reps)
+                      for rate in MUTATION_RATES]
+    baseline = report["rates"][0]
+    report["repeated_query_target"] = "speedup >= 5.0 at mutation_rate 0.0"
+    report["repeated_query_speedup"] = baseline["speedup"]
+    report["repeated_query_ok"] = baseline["speedup"] >= 5.0
+    with open(out_path, "w") as handle:
+        json.dump(report, handle, indent=2)
+    return report
+
+
+# ---------------------------------------------------------------------------
+# pytest entry point: the R4 table for EXPERIMENTS.md
+# ---------------------------------------------------------------------------
+
+
+def test_cache_hit_rate_vs_mutation_rate(record_experiment):
+    experiment = Experiment(
+        "R4", "query-cache hit rate and speedup vs mutation rate",
+        headers=["mutation rate", "hit rate", "stale", "speedup"])
+    rows = [run_rate(n_people=40, mutation_rate=rate, rounds=10, reps=1)
+            for rate in MUTATION_RATES]
+    for row in rows:
+        experiment.add_row(f"{row['mutation_rate']:.1f}",
+                           f"{row['hit_rate']:.2f}", row["stale"],
+                           f"{row['speedup']:.1f}x")
+    # The invalidation rule, not the clock, is what the test pins: an
+    # unmutated workload hits on every repeat, and hit rate decays as the
+    # mutation rate grows but stays positive thanks to footprint misses.
+    assert rows[0]["hit_rate"] > 0.8
+    assert rows[0]["stale"] == 0
+    assert rows[-1]["hit_rate"] < rows[0]["hit_rate"]
+    assert all(row["hit_rate"] > 0.0 for row in rows)
+    assert all(row["stale"] > 0 for row in rows[1:])
+    record_experiment(experiment)
+
+
+def main(argv):
+    quick = "--quick" in argv
+    out_path = "benchmarks/BENCH_cache.json"
+    if "--out" in argv:
+        out_path = argv[argv.index("--out") + 1]
+    report = run_suite(out_path,
+                       n_people=40 if quick else 80,
+                       rounds=8 if quick else 30,
+                       reps=1 if quick else 3)
+    for row in report["rates"]:
+        print(f"  rate={row['mutation_rate']:.1f} "
+              f"queries={row['queries']:4d} "
+              f"hits={row['hits']:4d} misses={row['misses']:3d} "
+              f"stale={row['stale']:3d} hit_rate={row['hit_rate']:.2f} "
+              f"cached={row['cached_s'] * 1000:8.1f}ms "
+              f"uncached={row['uncached_s'] * 1000:8.1f}ms "
+              f"speedup={row['speedup']:5.1f}x")
+    print(f"wrote {out_path}")
+    if not report["repeated_query_ok"] and not quick:
+        print(f"BELOW TARGET: {report['repeated_query_speedup']:.1f}x < 5x "
+              "at mutation rate 0.0")
+        return 1
+    print("repeated-query workload meets the >= 5x target at rate 0.0"
+          if report["repeated_query_ok"]
+          else "quick mode: timings are indicative only")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,43 @@
+"""Query result caching with versioned, label-footprint invalidation.
+
+Three pieces:
+
+- :mod:`repro.cache.versioning` — the per-graph :class:`MutationLog` every
+  model maintains (a monotonically increasing ``version`` plus bounded
+  records of which labels/properties/features each mutation touched);
+- :mod:`repro.cache.footprint` — :class:`Footprint` and the
+  :func:`label_footprint` / :func:`sparql_footprint` /
+  :func:`cypher_footprint` visitors computing what a query *reads*;
+- :mod:`repro.cache.result_cache` — :class:`QueryCache`, the LRU memo
+  serving a cached result iff no intersecting mutation occurred since it
+  was stored.
+
+The invalidation rule (sound, per the footprint test suite): a cached
+answer survives a mutation exactly when the mutation's record is disjoint
+from the query's footprint.  Everything else — re-evaluation, refresh,
+metrics — follows from that single predicate.
+"""
+
+from repro.cache.footprint import (
+    Footprint,
+    cypher_footprint,
+    label_footprint,
+    pathql_footprint,
+    sparql_footprint,
+    test_footprint,
+)
+from repro.cache.result_cache import MISS, QueryCache
+from repro.cache.versioning import MutationLog, MutationRecord
+
+__all__ = [
+    "Footprint",
+    "MISS",
+    "MutationLog",
+    "MutationRecord",
+    "QueryCache",
+    "cypher_footprint",
+    "label_footprint",
+    "pathql_footprint",
+    "sparql_footprint",
+    "test_footprint",
+]

@@ -1,0 +1,321 @@
+"""Label footprints: which mutations can change a query's answer.
+
+A :class:`Footprint` is a sound over-approximation of everything a query
+*reads* from a graph, at the same granularity the mutation log records
+writes (:mod:`repro.cache.versioning`): edge labels, node labels, property
+names, feature indices, plus ``all_*`` escape hatches for queries whose
+dependence cannot be bounded by a finite label set (wildcards, negations,
+nullable expressions whose answer contains ``(n, n)`` for every node).
+
+Soundness contract — the property the footprint test suite pins per AST
+node: if ``not footprint.intersects(record)`` for every mutation record
+between two versions, the query's answer is identical at both versions.
+The converse need not hold; an intersecting mutation is merely *allowed*
+to change the answer, and the cache then re-evaluates.
+
+The visitors live here rather than on the AST classes so the cache layer
+stays a leaf: model modules import :mod:`repro.cache.versioning`, and this
+module imports the query ASTs lazily inside the visitor functions, so no
+import cycle can form through the package ``__init__``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cache.versioning import MutationRecord
+
+
+@dataclass(frozen=True)
+class Footprint:
+    """The set of graph aspects a query depends on."""
+
+    edge_labels: frozenset = frozenset()
+    node_labels: frozenset = frozenset()
+    properties: frozenset = frozenset()
+    features: frozenset = frozenset()
+    all_edges: bool = False
+    all_nodes: bool = False
+    all_properties: bool = False
+    all_features: bool = False
+
+    def __or__(self, other: "Footprint") -> "Footprint":
+        return Footprint(
+            edge_labels=self.edge_labels | other.edge_labels,
+            node_labels=self.node_labels | other.node_labels,
+            properties=self.properties | other.properties,
+            features=self.features | other.features,
+            all_edges=self.all_edges or other.all_edges,
+            all_nodes=self.all_nodes or other.all_nodes,
+            all_properties=self.all_properties or other.all_properties,
+            all_features=self.all_features or other.all_features,
+        )
+
+    def intersects(self, record: "MutationRecord") -> bool:
+        """Could a mutation with this record change the query's answer?
+
+        ``all_edges`` / ``all_nodes`` depend on the element *sets* and their
+        labels (wildcards and negations read every element), so they fire on
+        structural changes and on any relabel — but deliberately not on pure
+        property/feature writes, which leave the element sets untouched.
+        """
+        if self.all_edges and (record.structural_edges or record.edge_labels):
+            return True
+        if self.all_nodes and (record.structural_nodes or record.node_labels):
+            return True
+        if self.all_properties and record.properties:
+            return True
+        if self.all_features and record.features:
+            return True
+        if not self.edge_labels.isdisjoint(record.edge_labels):
+            return True
+        if not self.node_labels.isdisjoint(record.node_labels):
+            return True
+        if not self.properties.isdisjoint(record.properties):
+            return True
+        if not self.features.isdisjoint(record.features):
+            return True
+        return False
+
+    def to_dict(self) -> dict:
+        """JSON-friendly form for EXPLAIN output (sorted, deterministic)."""
+        return {
+            "edge_labels": sorted(map(str, self.edge_labels)),
+            "node_labels": sorted(map(str, self.node_labels)),
+            "properties": sorted(map(str, self.properties)),
+            "features": sorted(self.features),
+            "all_edges": self.all_edges,
+            "all_nodes": self.all_nodes,
+            "all_properties": self.all_properties,
+            "all_features": self.all_features,
+        }
+
+    @classmethod
+    def everything(cls) -> "Footprint":
+        """The footprint that intersects every mutation (never-valid cache)."""
+        return cls(all_edges=True, all_nodes=True,
+                   all_properties=True, all_features=True)
+
+
+EMPTY = Footprint()
+
+
+# ---------------------------------------------------------------------------
+# RPQ regexes
+# ---------------------------------------------------------------------------
+
+
+def test_footprint(test, position: str) -> Footprint:
+    """Footprint of a :class:`~repro.core.rpq.ast.Test` applied to nodes
+    (``position="node"``) or edges (``position="edge"``).
+
+    A negation reads the *whole* population of its position: ``!l`` matches
+    every edge except ``l``-labeled ones, so adding any edge at all can grow
+    the answer.  Conjunction and disjunction both take the union of their
+    children — for AND this is coarser than necessary but sound (a superset
+    of reads never misses an invalidation).
+    """
+    from repro.core.rpq import ast
+
+    if isinstance(test, ast.LabelTest):
+        if position == "edge":
+            return Footprint(edge_labels=frozenset((test.label,)))
+        return Footprint(node_labels=frozenset((test.label,)))
+    if isinstance(test, ast.PropertyTest):
+        return Footprint(properties=frozenset((test.prop,)))
+    if isinstance(test, ast.FeatureTest):
+        return Footprint(features=frozenset((test.index,)))
+    if isinstance(test, ast.TrueTest):
+        return (Footprint(all_edges=True) if position == "edge"
+                else Footprint(all_nodes=True))
+    if isinstance(test, ast.FalseTest):
+        return EMPTY
+    if isinstance(test, ast.NotTest):
+        base = (Footprint(all_edges=True) if position == "edge"
+                else Footprint(all_nodes=True))
+        return base | test_footprint(test.inner, position)
+    if isinstance(test, (ast.AndTest, ast.OrTest)):
+        return (test_footprint(test.left, position)
+                | test_footprint(test.right, position))
+    raise TypeError(f"unknown test node {type(test).__name__}")
+
+
+def _nullable(regex) -> bool:
+    """Does the regex match some length-0 path?  (``r*`` always does; a node
+    test does too, but only at nodes passing the test, which the test's own
+    footprint already covers — so only Star forces the all-nodes term.)"""
+    from repro.core.rpq import ast
+
+    if isinstance(regex, ast.Star):
+        return True
+    if isinstance(regex, ast.NodeTest):
+        return False
+    if isinstance(regex, ast.EdgeAtom):
+        return False
+    if isinstance(regex, ast.Union):
+        return _nullable(regex.left) or _nullable(regex.right)
+    if isinstance(regex, ast.Concat):
+        return _nullable(regex.left) and _nullable(regex.right)
+    raise TypeError(f"unknown regex node {type(regex).__name__}")
+
+
+def label_footprint(regex) -> Footprint:
+    """Footprint of an RPQ regex (the visitor named in the design docs).
+
+    Structurally: atoms contribute their test's footprint in the matching
+    position; the combinators take unions.  On top of that, a *nullable*
+    regex (one matching the empty path unconditionally, i.e. containing a
+    top-level ``r*`` component) answers ``(n, n)`` for **every** node, so
+    adding or removing any node changes its endpoint relation — hence the
+    ``all_nodes`` term.
+    """
+    from repro.core.rpq import ast
+
+    def visit(node) -> Footprint:
+        if isinstance(node, ast.NodeTest):
+            return test_footprint(node.test, "node")
+        if isinstance(node, ast.EdgeAtom):
+            # Direction is irrelevant to invalidation: an inverse atom reads
+            # the same edges, just traversed backwards.
+            return test_footprint(node.test, "edge")
+        if isinstance(node, (ast.Union, ast.Concat)):
+            return visit(node.left) | visit(node.right)
+        if isinstance(node, ast.Star):
+            return visit(node.inner)
+        raise TypeError(f"unknown regex node {type(node).__name__}")
+
+    footprint = visit(regex)
+    if _nullable(regex):
+        footprint = replace(footprint, all_nodes=True)
+    return footprint
+
+
+# ---------------------------------------------------------------------------
+# PathQL
+# ---------------------------------------------------------------------------
+
+
+def pathql_footprint(query) -> Footprint:
+    """Footprint of a parsed :class:`~repro.query.pathql.PathQuery`.
+
+    Everything a PathQL query reads flows through its regex; FROM/TO
+    restrict to fixed node ids whose membership only changes through
+    structural mutations, which the regex footprint's terms (or the
+    all-nodes nullability term) already cover for any query whose answer
+    those nodes can reach.  SHORTEST adds a length minimization over the
+    same path set, introducing no new reads.
+    """
+    footprint = label_footprint(query.regex)
+    if query.source is not None or query.target is not None:
+        # A pinned endpoint makes the answer depend on that node existing
+        # at all, which no label can witness: cover it structurally.
+        footprint = replace(footprint, all_nodes=True)
+    return footprint
+
+
+# ---------------------------------------------------------------------------
+# SPARQL
+# ---------------------------------------------------------------------------
+
+
+def _path_expr_footprint(path) -> Footprint:
+    from repro.models.rdf import RDF_TYPE
+    from repro.query import sparql as s
+
+    if isinstance(path, s.PIri):
+        if path.iri == RDF_TYPE:
+            # rdf:type triples are how labeled-graph node labels surface in
+            # RDF; with a variable/any object the dependence is on the whole
+            # label map, i.e. every node.
+            return Footprint(all_nodes=True)
+        return Footprint(edge_labels=frozenset((path.iri,)))
+    if isinstance(path, s.PVar):
+        # A predicate variable ranges over every predicate, including
+        # rdf:type: the query reads the full triple set.
+        return Footprint.everything()
+    if isinstance(path, s.PInverse):
+        return _path_expr_footprint(path.inner)
+    if isinstance(path, (s.PSequence, s.PAlternative)):
+        return _path_expr_footprint(path.left) | _path_expr_footprint(path.right)
+    if isinstance(path, s.PStar):
+        # Zero-length paths relate every resource to itself.
+        return replace(_path_expr_footprint(path.inner), all_nodes=True)
+    if isinstance(path, s.PPlus):
+        return _path_expr_footprint(path.inner)
+    raise TypeError(f"unknown path expression {type(path).__name__}")
+
+
+def _pattern_footprint(pattern) -> Footprint:
+    from repro.models.rdf import RDF_TYPE
+    from repro.query import sparql as s
+
+    path = pattern.path
+    if isinstance(path, s.PIri) and path.iri == RDF_TYPE and \
+            not isinstance(pattern.object, s.Var):
+        # ``?x rdf:type <l>`` reads exactly the ``l``-labeled node set.
+        return Footprint(node_labels=frozenset((pattern.object.value,)))
+    return _path_expr_footprint(path)
+
+
+def sparql_footprint(query) -> Footprint:
+    """Footprint of a parsed :class:`~repro.query.sparql.SelectQuery`.
+
+    The union over every triple pattern in every UNION branch and OPTIONAL
+    group.  FILTERs compare already-bound values and add no reads.
+    """
+    branches = query.union_branches or \
+        ((query.patterns, query.filters, query.optionals),)
+    footprint = EMPTY
+    for patterns, _filters, optionals in branches:
+        for pattern in patterns:
+            footprint = footprint | _pattern_footprint(pattern)
+        for group in optionals:
+            for pattern in group.patterns:
+                footprint = footprint | _pattern_footprint(pattern)
+    return footprint
+
+
+# ---------------------------------------------------------------------------
+# Cypher
+# ---------------------------------------------------------------------------
+
+
+def cypher_footprint(query) -> Footprint:
+    """Footprint of a parsed :class:`~repro.query.cypherish.CypherQuery`.
+
+    Node patterns read a label bucket (or, unlabeled, the whole node set);
+    relationship patterns a label bucket or the whole edge set; property
+    maps, WHERE comparisons and RETURN projections read property names.
+    """
+    footprint = EMPTY
+    for path in query.patterns:
+        for node in path.nodes:
+            if node.label is not None:
+                footprint = footprint | Footprint(
+                    node_labels=frozenset((node.label,)))
+            else:
+                footprint = footprint | Footprint(all_nodes=True)
+            if node.properties:
+                footprint = footprint | Footprint(
+                    properties=frozenset(key for key, _ in node.properties))
+        for rel in path.rels:
+            if rel.label is not None:
+                footprint = footprint | Footprint(
+                    edge_labels=frozenset((rel.label,)))
+            else:
+                footprint = footprint | Footprint(all_edges=True)
+    props: set = set()
+    if query.where is not None:
+        for clause in query.where.clauses:
+            for condition in clause:
+                for side in (condition.left, condition.right):
+                    if side.prop is not None:
+                        props.add(side.prop)
+    for item in query.items:
+        if item.expr.prop is not None:
+            props.add(item.expr.prop)
+    if props:
+        footprint = footprint | Footprint(properties=frozenset(props))
+    return footprint

@@ -1,0 +1,160 @@
+"""The query result cache: memoization with label-footprint invalidation.
+
+A :class:`QueryCache` maps ``(graph identity, canonical query key)`` to a
+previously computed result, remembering the graph version the result was
+computed at and the query's :class:`~repro.cache.footprint.Footprint`.  On
+lookup against a newer graph version, the entry is served only if no
+mutation recorded since its version intersects its footprint (the sound
+invalidation rule); otherwise it counts as *stale*, is evicted, and the
+caller re-evaluates and refreshes.
+
+Graphs are identified by identity, held through a weak reference so a cache
+never keeps a dead graph's entries alive as false hits for a recycled
+``id()``.  Any object carrying a ``mutation_log`` attribute (the
+:class:`~repro.cache.versioning.MutationLog` protocol: the MultiGraph
+family, :class:`~repro.models.rdf.RDFGraph`,
+:class:`~repro.storage.triple_store.TripleStore`, and
+:class:`~repro.storage.property_store.PropertyGraphStore` by delegation)
+is cacheable; anything else is a permanent miss.
+
+Thread/process notes: a cache is plain in-process state with no locks —
+use one per worker (as :class:`~repro.exec.batch.BatchSession` does) rather
+than sharing across threads.  Entries hold weakrefs, so caches are
+deliberately not picklable; create them on the worker side of a fork.
+"""
+
+from __future__ import annotations
+
+import weakref
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.cache.footprint import Footprint
+
+#: Sentinel distinguishing "no cached value" from a cached ``None``.
+MISS = object()
+
+DEFAULT_MAX_ENTRIES = 512
+
+
+def nodes_key(nodes):
+    """Canonical, hashable form of a start/end-node restriction.
+
+    ``None`` (unrestricted) stays ``None``; any iterable becomes a sorted
+    tuple, so ``{1, 2}``, ``[2, 1]`` and ``(1, 2)`` key identically.  The
+    result is itself a valid ``start_nodes``/``end_nodes`` argument.
+    """
+    if nodes is None:
+        return None
+    return tuple(sorted(nodes, key=repr))
+
+
+@dataclass
+class _Entry:
+    ref: weakref.ref
+    version: int
+    footprint: Footprint
+    value: object
+
+
+class QueryCache:
+    """LRU result cache keyed by (graph identity, canonical query form)."""
+
+    def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES,
+                 metrics=None) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self._entries: OrderedDict[tuple, _Entry] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._stale = 0
+        self._metrics = metrics
+
+    def attach_metrics(self, metrics) -> None:
+        """Mirror hit/miss/stale counts into an :class:`~repro.obs.Metrics`
+        registry (counters ``cache.hits`` / ``cache.misses`` /
+        ``cache.stale``) from now on."""
+        self._metrics = metrics
+
+    # -- core protocol -----------------------------------------------------
+
+    def lookup(self, target, key):
+        """Return the cached value for ``key`` on ``target``, or :data:`MISS`.
+
+        A hit requires the stored entry to be provably current: either the
+        target's version is unchanged, or every mutation since lies outside
+        the entry's footprint (in which case the entry is re-stamped at the
+        current version, so the next lookup is O(1) again).
+        """
+        log = getattr(target, "mutation_log", None)
+        if log is None:
+            return self._miss()
+        full_key = (id(target), key)
+        entry = self._entries.get(full_key)
+        if entry is None or entry.ref() is not target:
+            if entry is not None:  # id() reuse after gc: drop the corpse
+                del self._entries[full_key]
+            return self._miss()
+        version = log.version
+        if entry.version != version:
+            if log.intersects_since(entry.version, entry.footprint):
+                del self._entries[full_key]
+                return self._stale_miss()
+            entry.version = version
+        self._entries.move_to_end(full_key)
+        return self._hit(entry.value)
+
+    def store(self, target, key, footprint: Footprint, value) -> None:
+        """Remember ``value`` for ``key`` at the target's current version."""
+        log = getattr(target, "mutation_log", None)
+        if log is None:
+            return
+        full_key = (id(target), key)
+        self._entries[full_key] = _Entry(
+            ref=weakref.ref(target), version=log.version,
+            footprint=footprint, value=value)
+        self._entries.move_to_end(full_key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    # -- accounting --------------------------------------------------------
+
+    def _hit(self, value):
+        self._hits += 1
+        if self._metrics is not None:
+            self._metrics.counter("cache.hits").inc()
+        return value
+
+    def _miss(self):
+        self._misses += 1
+        if self._metrics is not None:
+            self._metrics.counter("cache.misses").inc()
+        return MISS
+
+    def _stale_miss(self):
+        self._stale += 1
+        if self._metrics is not None:
+            self._metrics.counter("cache.stale").inc()
+        return self._miss()
+
+    def stats(self) -> dict:
+        """Counts for ``--cache-stats`` and the bench harness.  ``stale`` is
+        a subset cause of ``misses`` (every stale lookup is also a miss)."""
+        return {
+            "hits": self._hits,
+            "misses": self._misses,
+            "stale": self._stale,
+            "entries": len(self._entries),
+            "max_entries": self.max_entries,
+        }
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return (f"<QueryCache entries={len(self._entries)} "
+                f"hits={self._hits} misses={self._misses} stale={self._stale}>")

@@ -1,0 +1,141 @@
+"""Versioned mutation logs for the graph models.
+
+Every mutable model (the :class:`~repro.models.multigraph.MultiGraph`
+family, :class:`~repro.models.rdf.RDFGraph`, and the
+:class:`~repro.storage.triple_store.TripleStore`) owns a
+:class:`MutationLog`: a monotonically increasing ``version`` counter plus a
+bounded record of *what kind of thing* each mutation touched — edge labels,
+node labels, property names, feature indices, and whether the node/edge
+*structure* changed at all.
+
+The log deliberately does not store node or edge identities.  Invalidation
+(:meth:`MutationLog.intersects_since`) is decided purely on the label level,
+matching the theory: an RPQ's answer can only change when a mutation touches
+a label in the expression's *label footprint* (see
+:mod:`repro.cache.footprint`).  Identities would buy little extra precision
+for typical footprints and would make records unboundedly large.
+
+A logical mutation may append more than one record — each layer of the model
+hierarchy logs the part it owns (structure at the base, labels in
+``LabeledGraph``, properties in ``PropertyGraph``, features in
+``VectorGraph``) — so ``version`` advances at least once per mutation but is
+not a mutation *count*.  Only monotonicity matters to consumers.
+
+The log keeps at most ``capacity`` records.  Once truncation discards
+history, questions about versions older than the retained window are
+answered conservatively: :meth:`intersects_since` returns ``True`` ("assume
+invalidated"), never a false "still valid".
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.cache.footprint import Footprint
+
+#: Default number of retained mutation records per graph.
+DEFAULT_LOG_CAPACITY = 1024
+
+
+@dataclass(frozen=True)
+class MutationRecord:
+    """What one mutation touched, at label granularity.
+
+    ``structural_edges`` / ``structural_nodes`` flag that the *set* of edges
+    or nodes changed (add/remove), as opposed to an in-place relabel or
+    property write.  The label sets carry everything the mutated object wore:
+    removing an edge records its label, its property names, and (for vector
+    graphs) every feature index, because any query reading those could see a
+    different answer afterwards.
+    """
+
+    kind: str
+    version: int
+    edge_labels: frozenset = frozenset()
+    node_labels: frozenset = frozenset()
+    properties: frozenset = frozenset()
+    features: frozenset = frozenset()
+    structural_edges: bool = False
+    structural_nodes: bool = False
+
+
+_EMPTY: frozenset = frozenset()
+
+
+class MutationLog:
+    """Append-only, bounded log of :class:`MutationRecord` entries.
+
+    ``version`` starts at 0 (a freshly built graph) and increases by one per
+    appended record.  Records hold the contiguous version range
+    ``(horizon, version]``; ``horizon`` is the newest version *not*
+    retained, so a cache entry stored at or before it can no longer be
+    validated and must be treated as stale.
+    """
+
+    __slots__ = ("capacity", "_version", "_records")
+
+    def __init__(self, capacity: int = DEFAULT_LOG_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError("log capacity must be positive")
+        self.capacity = capacity
+        self._version = 0
+        self._records: deque = deque(maxlen=capacity)
+
+    @property
+    def version(self) -> int:
+        """The current version: the number of mutations recorded so far."""
+        return self._version
+
+    @property
+    def horizon(self) -> int:
+        """Newest discarded version (0 while no truncation has happened)."""
+        return self._version - len(self._records)
+
+    def record(self, kind: str, *,
+               edge_labels: Iterable = (),
+               node_labels: Iterable = (),
+               properties: Iterable = (),
+               features: Iterable = (),
+               structural_edges: bool = False,
+               structural_nodes: bool = False) -> int:
+        """Append one record, bump the version, and return the new version."""
+        self._version += 1
+        self._records.append(MutationRecord(
+            kind=kind,
+            version=self._version,
+            edge_labels=frozenset(edge_labels) if edge_labels else _EMPTY,
+            node_labels=frozenset(node_labels) if node_labels else _EMPTY,
+            properties=frozenset(properties) if properties else _EMPTY,
+            features=frozenset(features) if features else _EMPTY,
+            structural_edges=structural_edges,
+            structural_nodes=structural_nodes,
+        ))
+        return self._version
+
+    def records_since(self, version: int) -> list[MutationRecord] | None:
+        """Records strictly newer than ``version``, or ``None`` if that part
+        of the history has been truncated (caller must assume the worst)."""
+        if version < self.horizon:
+            return None
+        return [r for r in self._records if r.version > version]
+
+    def intersects_since(self, version: int, footprint: "Footprint") -> bool:
+        """Did any mutation after ``version`` intersect ``footprint``?
+
+        ``True`` is the conservative answer: it is returned both for a real
+        intersection and for a truncated history.  ``False`` is a proof that
+        a result computed at ``version`` is still current.
+        """
+        if version >= self._version:
+            return False
+        records = self.records_since(version)
+        if records is None:
+            return True
+        return any(footprint.intersects(record) for record in records)
+
+    def __len__(self) -> int:
+        return len(self._records)

@@ -80,7 +80,24 @@ def _print_explain(report, args: argparse.Namespace) -> int:
     return 0
 
 
-def _emit_obs(tracer: Tracer | None, args: argparse.Namespace) -> None:
+def _make_cache(args: argparse.Namespace):
+    """A QueryCache when --cache/--cache-stats asks for one, else None."""
+    if getattr(args, "cache", False) or getattr(args, "cache_stats", False):
+        from repro.cache import QueryCache
+
+        return QueryCache()
+    return None
+
+
+def _print_cache_stats(cache, args: argparse.Namespace) -> None:
+    if cache is None or not getattr(args, "cache_stats", False):
+        return
+    rows = [[name, value] for name, value in cache.stats().items()]
+    print(format_table(["cache statistic", "value"], rows), file=sys.stderr)
+
+
+def _emit_obs(tracer: Tracer | None, args: argparse.Namespace,
+              cache=None) -> None:
     """Emit the human-readable trace tree and/or JSON trace/metrics files."""
     if tracer is None:
         return
@@ -91,6 +108,11 @@ def _emit_obs(tracer: Tracer | None, args: argparse.Namespace) -> None:
     if args.metrics_out:
         metrics = Metrics()
         metrics.observe_trace(tracer)
+        if cache is not None:
+            stats = cache.stats()
+            metrics.counter("cache.hits").inc(stats["hits"])
+            metrics.counter("cache.misses").inc(stats["misses"])
+            metrics.counter("cache.stale").inc(stats["stale"])
         _write(args.metrics_out, metrics.to_json())
 
 
@@ -142,11 +164,12 @@ def _cmd_pathql(args: argparse.Namespace) -> int:
             explain_pathql(graph, args.query, governed=ctx is not None), args)
     tracer = _make_tracer(args)
     pool = _make_pool(graph, args)
+    cache = _make_cache(args)
     try:
         result = run_pathql(graph, args.query, ctx=ctx, tracer=tracer,
-                            pool=pool)
+                            pool=pool, cache=cache)
     except BudgetExceeded as exceeded:
-        _emit_obs(tracer, args)
+        _emit_obs(tracer, args, cache)
         return _budget_exceeded(exceeded, ctx, args)
     finally:
         if pool is not None:
@@ -161,7 +184,8 @@ def _cmd_pathql(args: argparse.Namespace) -> int:
             print(path.to_text())
         if result.mode == "sample" and result.count is not None:
             print(f"# support size: {result.count}", file=sys.stderr)
-    _emit_obs(tracer, args)
+    _emit_obs(tracer, args, cache)
+    _print_cache_stats(cache, args)
     _print_stats(ctx, args)
     return 0
 
@@ -178,15 +202,18 @@ def _cmd_sparql(args: argparse.Namespace) -> int:
     if args.explain or args.explain_json:
         return _print_explain(explain_sparql(store, args.query), args)
     tracer = _make_tracer(args)
+    cache = _make_cache(args)
     try:
-        result = run_sparql(store, args.query, ctx=ctx, tracer=tracer)
+        result = run_sparql(store, args.query, ctx=ctx, tracer=tracer,
+                            cache=cache)
     except BudgetExceeded as exceeded:
-        _emit_obs(tracer, args)
+        _emit_obs(tracer, args, cache)
         return _budget_exceeded(exceeded, ctx, args)
     print(format_table([f"?{v}" for v in result.variables],
                        [[v if v is not None else "" for v in row]
                         for row in result.rows]))
-    _emit_obs(tracer, args)
+    _emit_obs(tracer, args, cache)
+    _print_cache_stats(cache, args)
     _print_stats(ctx, args)
     return 0
 
@@ -201,15 +228,18 @@ def _cmd_cypher(args: argparse.Namespace) -> int:
     if args.explain or args.explain_json:
         return _print_explain(explain_cypher(store, args.query), args)
     tracer = _make_tracer(args)
+    cache = _make_cache(args)
     try:
-        result = run_cypher(store, args.query, ctx=ctx, tracer=tracer)
+        result = run_cypher(store, args.query, ctx=ctx, tracer=tracer,
+                            cache=cache)
     except BudgetExceeded as exceeded:
-        _emit_obs(tracer, args)
+        _emit_obs(tracer, args, cache)
         return _budget_exceeded(exceeded, ctx, args)
     print(format_table(result.columns,
                        [[v if v is not None else "" for v in row]
                         for row in result.rows]))
-    _emit_obs(tracer, args)
+    _emit_obs(tracer, args, cache)
+    _print_cache_stats(cache, args)
     _print_stats(ctx, args)
     return 0
 
@@ -249,9 +279,13 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         return 2
     ctx = _make_context(args)
     tracer = _make_tracer(args)
+    cache_stats = None
     try:
-        with BatchSession(graph, args.workers) as session:
+        with BatchSession(graph, args.workers,
+                          cache=not args.no_cache) as session:
             results = session.run_batch(entries, ctx=ctx, tracer=tracer)
+            if args.cache_stats:
+                cache_stats = session.cache_stats()
     except BudgetExceeded as exceeded:
         _emit_obs(tracer, args)
         return _budget_exceeded(exceeded, ctx, args)
@@ -260,10 +294,12 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         _emit_obs(tracer, args)
         return 1
     if args.json:
-        print(json.dumps({"schema": "repro.batch", "version": 1,
-                          "workers": session.workers,
-                          "results": [r.to_dict() for r in results]},
-                         indent=2))
+        payload = {"schema": "repro.batch", "version": 1,
+                   "workers": session.workers,
+                   "results": [r.to_dict() for r in results]}
+        if cache_stats is not None:
+            payload["cache"] = cache_stats
+        print(json.dumps(payload, indent=2))
     else:
         for result in results:
             if not result.ok:
@@ -278,6 +314,11 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             else:
                 body = f"{len(value['rows'])} rows"
             print(f"[{result.index}] {result.language}{tag}: {body}")
+    if cache_stats is not None and not args.json:
+        rows = [[name, value] for name, value in cache_stats.items()
+                if name != "workers"]
+        print(format_table(["cache statistic", "value"], rows),
+              file=sys.stderr)
     _emit_obs(tracer, args)
     _print_stats(ctx, args)
     status = batch_exit_status(results)
@@ -379,12 +420,24 @@ def build_parser() -> argparse.ArgumentParser:
             help="evaluate across N worker processes (fork-shared graph); "
                  "1 or unset runs serially")
 
+    def add_cache_flags(subparser: argparse.ArgumentParser) -> None:
+        subparser.add_argument(
+            "--cache", action="store_true",
+            help="memoize results in a version-checked query cache (one "
+                 "process = one query, so this mostly exercises/diagnoses "
+                 "the cache path; batch mode caches by default)")
+        subparser.add_argument(
+            "--cache-stats", action="store_true",
+            help="print cache hit/miss/stale counters to stderr "
+                 "(implies --cache)")
+
     pathql = commands.add_parser("pathql", help="run a PathQL statement")
     pathql.add_argument("graph")
     pathql.add_argument("query")
     add_governor_flags(pathql)
     add_obs_flags(pathql)
     add_workers_flag(pathql)
+    add_cache_flags(pathql)
     pathql.set_defaults(handler=_cmd_pathql)
 
     sparql = commands.add_parser("sparql", help="run a mini-SPARQL query")
@@ -392,6 +445,7 @@ def build_parser() -> argparse.ArgumentParser:
     sparql.add_argument("query")
     add_governor_flags(sparql)
     add_obs_flags(sparql)
+    add_cache_flags(sparql)
     sparql.set_defaults(handler=_cmd_sparql)
 
     cypher = commands.add_parser("cypher", help="run a mini-Cypher query")
@@ -399,6 +453,7 @@ def build_parser() -> argparse.ArgumentParser:
     cypher.add_argument("query")
     add_governor_flags(cypher)
     add_obs_flags(cypher)
+    add_cache_flags(cypher)
     cypher.set_defaults(handler=_cmd_cypher)
 
     batch = commands.add_parser(
@@ -421,6 +476,14 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument(
         "--metrics-out", default=None, metavar="FILE",
         help="write aggregated counters/histograms as JSON to FILE")
+    batch.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the per-worker query cache (on by default: the "
+             "batch graph is frozen for the session, so caching is free)")
+    batch.add_argument(
+        "--cache-stats", action="store_true",
+        help="print aggregated per-worker cache counters to stderr "
+             "(or under 'cache' with --json)")
     batch.set_defaults(handler=_cmd_batch)
 
     summary = commands.add_parser("summary", help="print graph statistics")

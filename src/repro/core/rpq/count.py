@@ -83,7 +83,7 @@ def count_paths_exact(graph, regex: Regex, k: int,
                       start_nodes: Iterable | None = None,
                       end_nodes: Iterable | None = None,
                       *, use_label_index: bool = True, ctx=None,
-                      pool=None) -> int:
+                      pool=None, cache=None) -> int:
     """Count(G, r, k): the number of paths p in [[r]] with |p| = k.
 
     Optionally restrict the start and end nodes of the counted paths (needed
@@ -94,9 +94,29 @@ def count_paths_exact(graph, regex: Regex, k: int,
     (``pool=``), the start-node set is sharded across workers and the shard
     counts are summed — exact, because distinct paths have distinct start
     nodes within exactly one shard (pinned by the differential harness).
+
+    With a :class:`~repro.cache.QueryCache` (``cache=``), the count is
+    memoized under (graph, regex text, k, endpoint restrictions) with the
+    regex's label footprint — the same key family the governor's exact rung
+    consults, so the two share entries.  A hit spends no budget.
     """
     if k < 0:
         raise InvalidLengthError("path length k", k)
+    if cache is not None:
+        from repro.cache import MISS, label_footprint
+        from repro.cache.result_cache import nodes_key
+
+        start_nodes = nodes_key(start_nodes)
+        end_nodes = nodes_key(end_nodes)
+        key = ("count_paths", regex.to_text(), k, start_nodes, end_nodes)
+        hit = cache.lookup(graph, key)
+        if hit is not MISS:
+            return hit
+        count = count_paths_exact(graph, regex, k, start_nodes, end_nodes,
+                                  use_label_index=use_label_index, ctx=ctx,
+                                  pool=pool)
+        cache.store(graph, key, label_footprint(regex), count)
+        return count
     if pool is not None:
         from repro.exec.parallel import sharded_count_paths
 

@@ -162,7 +162,7 @@ def endpoint_pairs(graph, regex: Regex,
                    start_nodes: Iterable | None = None,
                    end_nodes: Iterable | None = None,
                    *, use_label_index: bool = True, ctx=None,
-                   tracer=None, pool=None) -> set[tuple]:
+                   tracer=None, pool=None, cache=None) -> set[tuple]:
     """All (start(p), end(p)) for p in [[regex]] — finite, computed exactly.
 
     Chain-shaped regexes (pure sequences of edge steps, unrestricted
@@ -187,7 +187,29 @@ def endpoint_pairs(graph, regex: Regex,
     path lives in the shard of its start node; the differential harness
     certifies this), with budgets subdivided and worker stats/traces merged
     by the pool.
+
+    With a :class:`~repro.cache.QueryCache` (``cache=``), the answer is
+    memoized under the canonical key (graph, regex text, endpoint
+    restrictions) with the regex's label footprint; a hit returns without
+    compiling, evaluating, or spending a single budget checkpoint, and
+    survives any interleaved mutations whose log records stay outside the
+    footprint.  The cached value is frozen; callers get a fresh set.
     """
+    if cache is not None:
+        from repro.cache import MISS, label_footprint
+        from repro.cache.result_cache import nodes_key
+
+        start_nodes = nodes_key(start_nodes)
+        end_nodes = nodes_key(end_nodes)
+        key = ("endpoint_pairs", regex.to_text(), start_nodes, end_nodes)
+        hit = cache.lookup(graph, key)
+        if hit is not MISS:
+            return set(hit)
+        pairs = endpoint_pairs(graph, regex, start_nodes, end_nodes,
+                               use_label_index=use_label_index, ctx=ctx,
+                               tracer=tracer, pool=pool)
+        cache.store(graph, key, label_footprint(regex), frozenset(pairs))
+        return pairs
     if pool is not None:
         from repro.exec.parallel import sharded_endpoint_pairs
 

@@ -23,7 +23,14 @@ it, one query per task descriptor.  The session guarantees:
 - **store reuse** — each worker lazily builds the SPARQL triple store /
   Cypher property store for the shared graph once, in its ``caches`` dict,
   so a thousand-query batch pays the conversion per *worker*, not per
-  query.
+  query;
+- **result reuse** — each worker also keeps one
+  :class:`~repro.cache.QueryCache` in its ``caches`` dict (``cache=True``,
+  the default), so a query repeated within a session answers from the
+  cache.  This is always sound here: the pool's contract freezes the graph
+  for the session's lifetime, so no invalidating mutation can occur — but
+  the cache still carries the full version/footprint machinery, which is
+  what :meth:`BatchSession.cache_stats` reports.
 
 Results carry JSON-ready payloads (paths as text, rows as lists) rather
 than live result objects: they crossed a process boundary, and the CLI
@@ -115,13 +122,21 @@ def _task_batch_query(state, payload, ctx, tracer):
     language = payload["language"]
     text = payload["text"]
     graph = state["graph"]
+    query_cache = None
+    if payload.get("cache", True):
+        query_cache = state["caches"].get("query_cache")
+        if query_cache is None:
+            from repro.cache import QueryCache
+
+            query_cache = state["caches"]["query_cache"] = QueryCache()
     outcome = {"status": "ok", "value": None, "error": None,
                "degradations": []}
     try:
         if language == "pathql":
             from repro.query.pathql import run_pathql
 
-            result = run_pathql(graph, text, ctx=ctx, tracer=tracer)
+            result = run_pathql(graph, text, ctx=ctx, tracer=tracer,
+                                cache=query_cache)
             outcome["value"] = _pathql_value(result)
             if result.is_degraded:
                 outcome["status"] = "degraded"
@@ -135,7 +150,8 @@ def _task_batch_query(state, payload, ctx, tracer):
                 store = state["caches"]["sparql_store"] = store_for_graph(graph)
             from repro.query.sparql import run_sparql
 
-            result = run_sparql(store, text, ctx=ctx, tracer=tracer)
+            result = run_sparql(store, text, ctx=ctx, tracer=tracer,
+                                cache=query_cache)
             outcome["value"] = _table_value(
                 [f"?{v}" for v in result.variables], result.rows)
         else:
@@ -146,7 +162,8 @@ def _task_batch_query(state, payload, ctx, tracer):
                 store = state["caches"]["cypher_store"] = store_for_graph(graph)
             from repro.query.cypherish import run_cypher
 
-            result = run_cypher(store, text, ctx=ctx, tracer=tracer)
+            result = run_cypher(store, text, ctx=ctx, tracer=tracer,
+                                cache=query_cache)
             outcome["value"] = _table_value(result.columns, result.rows)
     except Cancelled:
         raise
@@ -157,6 +174,16 @@ def _task_batch_query(state, payload, ctx, tracer):
         outcome["status"] = "error"
         outcome["error"] = f"{type(error).__name__}: {error}"
     return outcome
+
+
+@register_task("batch.cache_stats")
+def _task_cache_stats(state, payload, ctx, tracer):
+    """Report this worker's query-cache counters (zeros if it has none)."""
+    query_cache = state["caches"].get("query_cache")
+    if query_cache is None:
+        return {"hits": 0, "misses": 0, "stale": 0, "entries": 0,
+                "max_entries": 0}
+    return query_cache.stats()
 
 
 class BatchSession:
@@ -178,9 +205,10 @@ class BatchSession:
     """
 
     def __init__(self, graph, workers: int | None = None, *,
-                 fault_plans: dict | None = None) -> None:
+                 fault_plans: dict | None = None, cache: bool = True) -> None:
         self.pool = WorkerPool(graph, workers, fault_plans=fault_plans)
         self.graph = graph
+        self.cache = cache
 
     def __enter__(self) -> "BatchSession":
         return self
@@ -208,7 +236,8 @@ class BatchSession:
         """
         batch = [self._coerce(query) for query in queries]
         tasks = [("batch.query", {"language": query.language,
-                                  "text": query.text})
+                                  "text": query.text,
+                                  "cache": self.cache})
                  for query in batch]
         outcomes = self.pool.run_tasks(tasks, ctx=ctx, tracer=tracer)
         results = []
@@ -219,6 +248,24 @@ class BatchSession:
                 error=outcome["error"],
                 degradations=tuple(outcome["degradations"])))
         return results
+
+    def cache_stats(self) -> dict:
+        """Aggregate query-cache counters across every worker.
+
+        Sends one ``batch.cache_stats`` probe per worker (task *i* lands on
+        worker ``i % workers``, so ``workers`` probes cover the pool) and
+        sums the counters.  Returns ``{"hits": ..., "misses": ...,
+        "stale": ..., "entries": ..., "workers": [...]}`` where ``workers``
+        holds the per-worker dicts in worker order.
+        """
+        tasks = [("batch.cache_stats", {})] * self.pool.workers
+        per_worker = self.pool.run_tasks(tasks)
+        totals = {"hits": 0, "misses": 0, "stale": 0, "entries": 0}
+        for stats in per_worker:
+            for field in totals:
+                totals[field] += stats[field]
+        totals["workers"] = per_worker
+        return totals
 
     @staticmethod
     def _coerce(query) -> BatchQuery:

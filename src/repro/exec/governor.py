@@ -64,7 +64,7 @@ def count_paths_governed(graph, regex, k: int, ctx: Context, *,
                          allow_degraded: bool = True,
                          pool_size: int | None = None,
                          trials_per_state: int | None = None,
-                         tracer=None, pool=None) -> GovernedResult:
+                         tracer=None, pool=None, cache=None) -> GovernedResult:
     """Count(G, r, k) under a budget, degrading instead of hanging.
 
     Rung 1 (``exact``) gets ``exact_share`` of the remaining time/steps;
@@ -83,8 +83,27 @@ def count_paths_governed(graph, regex, k: int, ctx: Context, *,
     exact rung shards across workers (it dominates the ladder's cost and
     shards exactly); the FPRAS and enumeration fallbacks stay serial —
     their sampling/emission order is part of their seeded determinism.
+
+    With a :class:`~repro.cache.QueryCache` (``cache=``), a previously
+    computed *exact* count — stored by this function or by a plain
+    :func:`count_paths_exact` call, which shares the key family — returns
+    immediately without touching the ladder: zero checkpoints, zero budget
+    spend, quality ``exact``.  Degraded answers are never cached (they
+    reflect this run's budget, not the graph).
     """
     events: list[DegradationEvent] = []
+    cache_key = None
+    if cache is not None:
+        from repro.cache import MISS, label_footprint
+        from repro.cache.result_cache import nodes_key
+
+        start_nodes = nodes_key(start_nodes)
+        end_nodes = nodes_key(end_nodes)
+        cache_key = ("count_paths", regex.to_text(), k,
+                     start_nodes, end_nodes)
+        hit = cache.lookup(graph, cache_key)
+        if hit is not MISS:
+            return GovernedResult(hit, "exact", events, ctx.stats)
     span = (None if tracer is None
             else tracer.start("degrade:exact", ctx=ctx))
     try:
@@ -93,6 +112,10 @@ def count_paths_governed(graph, regex, k: int, ctx: Context, *,
         if span is not None:
             span.attrs["outcome"] = "answered"
             tracer.finish(span)
+        if cache is not None:
+            from repro.cache import label_footprint
+
+            cache.store(graph, cache_key, label_footprint(regex), value)
         return GovernedResult(value, "exact", events, ctx.stats)
     except BudgetExceeded as error:
         event = DegradationEvent("exact", "approx", error.resource, error.site)

@@ -4,6 +4,12 @@ A small, stable interchange format so examples and benchmarks can persist
 generated workloads.  Only property graphs and vector graphs need their own
 shapes; labeled graphs ride on the property-graph format with empty
 property maps.
+
+The format serializes graph *content* only: the version counter and
+mutation log (:mod:`repro.cache.versioning`) are deliberately excluded.
+They describe one in-process object's history, not the graph, so a loaded
+graph always starts at a fresh version with an empty log — ``loads(dumps(g))
+== g`` compares structure and data, never histories.
 """
 
 from __future__ import annotations

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from collections.abc import Hashable, Iterable, Iterator
 
+from repro.cache.versioning import MutationLog
 from repro.errors import DuplicateIdError, UnknownEdgeError, UnknownNodeError
 
 Const = Hashable
@@ -25,6 +26,16 @@ class MultiGraph:
     Per-node incidence is stored as insertion-ordered dicts keyed by edge id,
     so ``remove_edge`` is O(1) while iteration order stays deterministic
     (insertion order, exactly as the previous list-based representation).
+
+    Every graph owns a :class:`~repro.cache.versioning.MutationLog`: a
+    monotonically increasing :attr:`version` plus label-granular records of
+    what each mutation touched, which is what lets
+    :class:`~repro.cache.QueryCache` prove cached answers still current.
+    Each layer of the model hierarchy records the aspect it owns (structure
+    here, labels/properties/features in subclasses), so one logical mutation
+    may append several records.  The log never participates in equality or
+    serialization: two structurally identical graphs with different
+    histories compare equal.
     """
 
     def __init__(self) -> None:
@@ -32,6 +43,12 @@ class MultiGraph:
         self._edges: dict[Const, tuple[Const, Const]] = {}
         self._out: dict[Const, dict[Const, None]] = {}
         self._in: dict[Const, dict[Const, None]] = {}
+        self.mutation_log = MutationLog()
+
+    @property
+    def version(self) -> int:
+        """Monotonically increasing mutation counter (0 for a fresh graph)."""
+        return self.mutation_log.version
 
     # -- construction ------------------------------------------------------
 
@@ -41,6 +58,7 @@ class MultiGraph:
             self._nodes.add(node)
             self._out[node] = {}
             self._in[node] = {}
+            self.mutation_log.record("add_node", structural_nodes=True)
         return node
 
     def add_edge(self, edge: Const, source: Const, target: Const) -> Const:
@@ -57,6 +75,7 @@ class MultiGraph:
         self._edges[edge] = (source, target)
         self._out[source][edge] = None
         self._in[target][edge] = None
+        self.mutation_log.record("add_edge", structural_edges=True)
         return edge
 
     def remove_edge(self, edge: Const) -> None:
@@ -65,6 +84,7 @@ class MultiGraph:
         del self._edges[edge]
         del self._out[source][edge]
         del self._in[target][edge]
+        self.mutation_log.record("remove_edge", structural_edges=True)
 
     def remove_node(self, node: Const) -> None:
         """Remove a node and every edge incident to it."""
@@ -75,6 +95,7 @@ class MultiGraph:
         self._nodes.discard(node)
         del self._out[node]
         del self._in[node]
+        self.mutation_log.record("remove_node", structural_nodes=True)
 
     # -- inspection --------------------------------------------------------
 
@@ -181,6 +202,28 @@ class MultiGraph:
     def __repr__(self) -> str:
         return (f"<{type(self).__name__} nodes={self.node_count()} "
                 f"edges={self.edge_count()}>")
+
+    # -- equality ----------------------------------------------------------
+
+    def _eq_signature(self) -> tuple:
+        """The structural content compared by ``==`` (subclasses extend).
+
+        Versions, mutation logs and secondary indexes are deliberately
+        absent: equality is about the graph the paper's definitions see,
+        not about how it was built.
+        """
+        return (self._nodes, self._edges)
+
+    def __eq__(self, other: object) -> bool:
+        if other is self:
+            return True
+        if type(other) is not type(self):
+            return NotImplemented
+        return self._eq_signature() == other._eq_signature()
+
+    # Structural equality with identity hashing: graphs are mutable, so a
+    # content hash would silently corrupt any set/dict they already sit in.
+    __hash__ = object.__hash__
 
     # -- derived graphs ----------------------------------------------------
 

@@ -30,6 +30,8 @@ class PropertyGraph(LabeledGraph):
         store = self._node_props.setdefault(node, {})
         if properties:
             store.update(properties)
+            self.mutation_log.record("add_node.props",
+                                     properties=tuple(properties))
         return node
 
     def add_edge(self, edge: Const, source: Const, target: Const,
@@ -37,25 +39,44 @@ class PropertyGraph(LabeledGraph):
                  properties: Mapping[Const, Const] | None = None) -> Const:
         super().add_edge(edge, source, target, label)
         self._edge_props[edge] = dict(properties) if properties else {}
+        if properties:
+            self.mutation_log.record("add_edge.props",
+                                     properties=tuple(properties))
         return edge
 
     def remove_edge(self, edge: Const) -> None:
+        props = self._edge_props[edge] if edge in self._edge_props else {}
         super().remove_edge(edge)
         del self._edge_props[edge]
+        if props:
+            self.mutation_log.record("remove_edge.props",
+                                     properties=tuple(props))
 
     def remove_node(self, node: Const) -> None:
+        props = self._node_props.get(node, {})
         super().remove_node(node)
         del self._node_props[node]
+        if props:
+            self.mutation_log.record("remove_node.props",
+                                     properties=tuple(props))
 
     # -- sigma -------------------------------------------------------------
 
     def set_node_property(self, node: Const, prop: Const, value: Const) -> None:
         self._require_node(node)
-        self._node_props[node][prop] = value
+        store = self._node_props[node]
+        if prop in store and store[prop] == value:
+            return
+        store[prop] = value
+        self.mutation_log.record("set_node_property", properties=(prop,))
 
     def set_edge_property(self, edge: Const, prop: Const, value: Const) -> None:
         self.endpoints(edge)
-        self._edge_props[edge][prop] = value
+        store = self._edge_props[edge]
+        if prop in store and store[prop] == value:
+            return
+        store[prop] = value
+        self.mutation_log.record("set_edge_property", properties=(prop,))
 
     def node_property(self, node: Const, prop: Const) -> Const | None:
         """sigma(node, prop), or None where sigma is undefined."""
@@ -83,6 +104,11 @@ class PropertyGraph(LabeledGraph):
         for props in self._edge_props.values():
             names.update(props)
         return names
+
+    # -- equality ----------------------------------------------------------
+
+    def _eq_signature(self) -> tuple:
+        return super()._eq_signature() + (self._node_props, self._edge_props)
 
     # -- derived graphs ----------------------------------------------------
 

@@ -12,6 +12,7 @@ import re
 from collections.abc import Iterable, Iterator
 from typing import NamedTuple
 
+from repro.cache.versioning import MutationLog
 from repro.errors import ConversionError
 
 
@@ -25,6 +26,20 @@ class Triple(NamedTuple):
 
 # The RDF vocabulary term the paper's labeled-graph node labels map onto.
 RDF_TYPE = "rdf:type"
+
+
+def _triple_record_fields(predicate: str, obj: str) -> dict:
+    """Mutation-log fields for one triple change.
+
+    Under the paper's RDF <-> labeled-graph correspondence a triple is an
+    edge labeled by its predicate — except ``rdf:type`` triples, which carry
+    node labels.  Subjects/objects are the resources (nodes), and a triple
+    change can create or retire resources, hence the structural flags.
+    """
+    if predicate == RDF_TYPE:
+        return {"node_labels": (obj,), "structural_nodes": True}
+    return {"edge_labels": (predicate,),
+            "structural_edges": True, "structural_nodes": True}
 
 
 class RDFGraph:
@@ -43,8 +58,15 @@ class RDFGraph:
         # label-keyed access pattern the MultiGraph family maintains.
         self._by_subject: dict[str, set[Triple]] = {}
         self._by_object: dict[str, set[Triple]] = {}
+        self.mutation_log = MutationLog()
         for t in triples:
             self.add(*t)
+
+    @property
+    def version(self) -> int:
+        """Monotonically increasing mutation counter (see the MultiGraph
+        family); excluded from equality, hashing and serialization."""
+        return self.mutation_log.version
 
     def add(self, subject: str, predicate: str, obj: str) -> Triple:
         triple = Triple(subject, predicate, obj)
@@ -52,6 +74,8 @@ class RDFGraph:
             self._triples.add(triple)
             self._by_subject.setdefault(subject, set()).add(triple)
             self._by_object.setdefault(obj, set()).add(triple)
+            self.mutation_log.record("add_triple",
+                                     **_triple_record_fields(predicate, obj))
         return triple
 
     def discard(self, subject: str, predicate: str, obj: str) -> None:
@@ -60,6 +84,8 @@ class RDFGraph:
             self._triples.discard(triple)
             self._discard_indexed(self._by_subject, subject, triple)
             self._discard_indexed(self._by_object, obj, triple)
+            self.mutation_log.record("discard_triple",
+                                     **_triple_record_fields(predicate, obj))
 
     @staticmethod
     def _discard_indexed(index: dict[str, set[Triple]], key: str,

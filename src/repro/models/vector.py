@@ -48,6 +48,12 @@ class VectorSchema:
         return cls(("label", *properties))
 
 
+def _changed_indices(old: tuple, new: tuple) -> tuple[int, ...]:
+    """1-based coordinates where two equal-length vectors differ."""
+    return tuple(i for i, (a, b) in enumerate(zip(old, new), start=1)
+                 if a != b)
+
+
 class VectorGraph(MultiGraph):
     """A multigraph with a d-dimensional feature vector on every node and edge."""
 
@@ -80,6 +86,8 @@ class VectorGraph(MultiGraph):
         super().add_node(node)
         if node not in self._node_vectors:
             self._node_vectors[node] = vector
+            self.mutation_log.record("add_node.features",
+                                     features=self._all_features())
         return node
 
     def add_edge(self, edge: Const, source: Const, target: Const,
@@ -88,6 +96,8 @@ class VectorGraph(MultiGraph):
         vector = self._coerce(features)
         self._edge_vectors[edge] = vector
         self._index_edge_vector(edge, source, target, vector)
+        self.mutation_log.record("add_edge.features",
+                                 features=self._all_features())
         return edge
 
     def remove_edge(self, edge: Const) -> None:
@@ -96,6 +106,8 @@ class VectorGraph(MultiGraph):
         super().remove_edge(edge)
         del self._edge_vectors[edge]
         self._unindex_edge_vector(edge, source, target, vector)
+        self.mutation_log.record("remove_edge.features",
+                                 features=self._all_features())
 
     def _index_edge_vector(self, edge: Const, source: Const, target: Const,
                            vector: tuple[Const, ...]) -> None:
@@ -120,6 +132,13 @@ class VectorGraph(MultiGraph):
     def remove_node(self, node: Const) -> None:
         super().remove_node(node)
         del self._node_vectors[node]
+        self.mutation_log.record("remove_node.features",
+                                 features=self._all_features())
+
+    def _all_features(self) -> range:
+        """Every 1-based coordinate — an added/removed element carries a
+        value (possibly ``BOTTOM``) in all of them."""
+        return range(1, self.dimension + 1)
 
     # -- lambda ------------------------------------------------------------
 
@@ -141,7 +160,13 @@ class VectorGraph(MultiGraph):
 
     def set_node_vector(self, node: Const, features: Sequence[Const]) -> None:
         self._require_node(node)
-        self._node_vectors[node] = self._coerce(features)
+        old = self._node_vectors[node]
+        vector = self._coerce(features)
+        if old == vector:
+            return
+        self._node_vectors[node] = vector
+        self.mutation_log.record("set_node_vector",
+                                 features=_changed_indices(old, vector))
 
     def set_edge_vector(self, edge: Const, features: Sequence[Const]) -> None:
         source, target = self.endpoints(edge)
@@ -152,6 +177,8 @@ class VectorGraph(MultiGraph):
         self._edge_vectors[edge] = vector
         self._unindex_edge_vector(edge, source, target, old)
         self._index_edge_vector(edge, source, target, vector)
+        self.mutation_log.record("set_edge_vector",
+                                 features=_changed_indices(old, vector))
 
     # -- feature-indexed adjacency -----------------------------------------
 
@@ -195,6 +222,13 @@ class VectorGraph(MultiGraph):
         per-edge test raises ``SchemaError``).
         """
         return self._out_by_feature, self._in_by_feature
+
+    # -- equality ----------------------------------------------------------
+
+    def _eq_signature(self) -> tuple:
+        return super()._eq_signature() + (
+            self.dimension, self.schema,
+            self._node_vectors, self._edge_vectors)
 
     # -- derived graphs ----------------------------------------------------
 

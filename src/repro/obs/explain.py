@@ -28,7 +28,9 @@ from repro.core.rpq.evaluate import _chain_steps
 from repro.core.rpq.nfa import compile_regex
 
 #: Schema version stamped into every exported report.
-EXPLAIN_SCHEMA_VERSION = 1
+#: v2 added the ``cache`` details section (key family, label footprint,
+#: target version) for every frontend.
+EXPLAIN_SCHEMA_VERSION = 2
 
 
 @dataclass
@@ -86,6 +88,24 @@ def _scalar(value) -> str:
     if isinstance(value, (list, dict)) and not value:
         return "(none)"
     return str(value)
+
+
+def _cache_section(key_family: str, footprint, target) -> dict:
+    """The ``cache`` details block shared by all three frontends.
+
+    Reports the canonical key family a :class:`~repro.cache.QueryCache`
+    would file this query under, the label footprint that decides
+    invalidation (a mutation record intersecting it evicts the entry), and
+    the target's current version — the stamp a stored result would carry.
+    Targets without a mutation log (version ``None``) are never cached.
+    """
+    return {
+        "key_family": key_family,
+        "footprint": footprint.to_dict(),
+        "target_version": getattr(target, "version", None),
+        "policy": "store exact-quality results; hit while no "
+                  "footprint-intersecting mutation is logged",
+    }
 
 
 # ---------------------------------------------------------------------------
@@ -183,6 +203,9 @@ def explain_pathql(graph, text: str, *, governed: bool = False,
         },
         "index_plan": regex_index_plan(graph, query.regex),
     }
+    from repro.cache import pathql_footprint
+
+    details["cache"] = _cache_section("pathql", pathql_footprint(query), graph)
     if query.mode == "count" and governed:
         strategy = "governed degradation ladder (exact -> FPRAS -> lower bound)"
         remainder_after_exact = 1.0 - exact_share
@@ -258,6 +281,9 @@ def explain_sparql(store, text: str) -> ExplainReport:
         "distinct": query.distinct,
         "limit": query.limit if query.limit is not None else "(none)",
     }
+    from repro.cache import sparql_footprint
+
+    details["cache"] = _cache_section("sparql", sparql_footprint(query), store)
     return ExplainReport(
         "sparql", text,
         "backtracking BGP join, greedy selectivity order (SPO/POS/OSP indexes)",
@@ -323,6 +349,9 @@ def explain_cypher(store, text: str) -> ExplainReport:
         "distinct": query.distinct,
         "limit": query.limit if query.limit is not None else "(none)",
     }
+    from repro.cache import cypher_footprint
+
+    details["cache"] = _cache_section("cypher", cypher_footprint(query), store)
     return ExplainReport(
         "cypher", text,
         "backtracking pattern match over label/property indexes",

@@ -380,7 +380,7 @@ class CypherResult:
 
 
 def run_cypher(store: PropertyGraphStore, text: str, *,
-               ctx=None, tracer=None) -> CypherResult:
+               ctx=None, tracer=None, cache=None) -> CypherResult:
     """Parse and evaluate a query against a property-graph store.
 
     With an execution :class:`~repro.exec.Context` the backtracking matcher
@@ -392,23 +392,43 @@ def run_cypher(store: PropertyGraphStore, text: str, *,
     With a :class:`~repro.obs.Tracer` the run records ``parse`` and
     ``evaluate`` spans (strategy, pattern counts, rows returned);
     ``tracer=None`` takes the exact pre-tracing code path.
+
+    With a :class:`~repro.cache.QueryCache` (``cache=``), results are
+    memoized under the parsed query (a frozen AST, so formatting variants
+    share an entry) against the store's *live* property graph — the store
+    delegates its version to the graph, so any intersecting graph mutation
+    invalidates the entry.  The footprint covers pattern labels (or the
+    whole node/edge set for unlabeled patterns) plus every property name
+    read by property maps, WHERE, or RETURN.
     """
     if tracer is None:
-        return _run_cypher(store, text, ctx)
+        return _run_cypher(store, text, ctx, cache=cache)
     with tracer.span("parse", frontend="cypher"):
         query = parse_cypher(text)
     with tracer.span("evaluate", ctx=ctx,
                      strategy="backtracking-match") as span:
         span.attrs["patterns"] = len(query.patterns)
-        result = _run_cypher(store, text, ctx, query=query)
+        result = _run_cypher(store, text, ctx, query=query, cache=cache)
         span.attrs["rows"] = len(result.rows)
         return result
 
 
 def _run_cypher(store: PropertyGraphStore, text: str, ctx=None, *,
-                query: CypherQuery | None = None) -> CypherResult:
+                query: CypherQuery | None = None, cache=None) -> CypherResult:
     if query is None:
         query = parse_cypher(text)
+    if cache is not None:
+        from repro.cache import MISS, cypher_footprint
+
+        key = ("cypher", query)
+        hit = cache.lookup(store, key)
+        if hit is not MISS:
+            columns, rows = hit
+            return CypherResult(columns, list(rows))
+        result = _run_cypher(store, text, ctx, query=query)
+        cache.store(store, key, cypher_footprint(query),
+                    (result.columns, tuple(result.rows)))
+        return result
     bindings = [{}]
     for pattern in query.patterns:
         bindings = _match_path(store, pattern, bindings, ctx)

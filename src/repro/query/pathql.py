@@ -148,7 +148,7 @@ def parse_pathql(text: str) -> PathQuery:
 
 
 def run_pathql(graph, text: str, *, ctx=None, tracer=None,
-               pool=None) -> PathQueryResult:
+               pool=None, cache=None) -> PathQueryResult:
     """Parse and execute a PathQL statement against any graph model.
 
     With an execution :class:`~repro.exec.Context` every evaluation loop
@@ -169,16 +169,24 @@ def run_pathql(graph, text: str, *, ctx=None, tracer=None,
     (``pool=``), ``COUNT`` queries shard their exact count across the
     pool's workers; enumeration and sampling stay serial — their emission
     order and seeded randomness are part of the answer.
+
+    With a :class:`~repro.cache.QueryCache` (``cache=``), full-fidelity
+    results (``quality == "exact"``, which includes seeded ``COUNT APPROX``
+    and ``SAMPLE`` answers — their randomness is keyed by the query's SEED)
+    are memoized under the query's canonical form and the regex's label
+    footprint.  A hit re-runs nothing: no parse of the regex semantics, no
+    governor rungs, no budget checkpoints.  Degraded/partial results are
+    never cached — they reflect this run's budget, not the graph.
     """
     if tracer is None:
-        return _run_pathql(graph, text, ctx, pool=pool)
+        return _run_pathql(graph, text, ctx, pool=pool, cache=cache)
     with tracer.span("parse", frontend="pathql"):
         query = parse_pathql(text)
     with tracer.span("compile", cache=True):
         compile_regex(query.regex)
     with tracer.span("evaluate", ctx=ctx, mode=query.mode) as span:
         result = _run_pathql(graph, text, ctx, query=query, tracer=tracer,
-                             pool=pool)
+                             pool=pool, cache=cache)
         span.attrs["quality"] = result.quality
         if result.count is not None:
             span.attrs["count"] = result.count
@@ -186,10 +194,33 @@ def run_pathql(graph, text: str, *, ctx=None, tracer=None,
         return result
 
 
+def _canonical_key(query: PathQuery) -> tuple:
+    """The canonical query form: every semantic field, with the regex in
+    its textual normal form, so syntactic variants key identically."""
+    return ("pathql", query.regex.to_text(), query.source, query.target,
+            query.length, query.max_length, query.shortest, query.mode,
+            query.limit, query.samples, query.epsilon, query.seed)
+
+
 def _run_pathql(graph, text: str, ctx=None, *, query: PathQuery | None = None,
-                tracer=None, pool=None) -> PathQueryResult:
+                tracer=None, pool=None, cache=None) -> PathQueryResult:
     if query is None:
         query = parse_pathql(text)
+    if cache is not None:
+        from repro.cache import MISS, pathql_footprint
+
+        key = _canonical_key(query)
+        hit = cache.lookup(graph, key)
+        if hit is not MISS:
+            mode, paths, count, quality = hit
+            return PathQueryResult(mode, list(paths), count, quality=quality)
+        result = _run_pathql(graph, text, ctx, query=query, tracer=tracer,
+                             pool=pool)
+        if result.quality == "exact":
+            cache.store(graph, key, pathql_footprint(query),
+                        (result.mode, tuple(result.paths), result.count,
+                         result.quality))
+        return result
     starts = [query.source] if query.source is not None else None
     ends = [query.target] if query.target is not None else None
 

@@ -406,7 +406,7 @@ class SelectResult:
 
 
 def run_sparql(store: TripleStore, text: str, *, ctx=None,
-               tracer=None) -> SelectResult:
+               tracer=None, cache=None) -> SelectResult:
     """Parse and evaluate a query against a triple store.
 
     With an execution :class:`~repro.exec.Context` the backtracking join
@@ -419,9 +419,16 @@ def run_sparql(store: TripleStore, text: str, *, ctx=None,
     With a :class:`~repro.obs.Tracer` the run records ``parse`` and
     ``evaluate`` spans (strategy, branch/pattern counts, rows returned);
     ``tracer=None`` takes the exact pre-tracing code path.
+
+    With a :class:`~repro.cache.QueryCache` (``cache=``), results are
+    memoized against the *store* (which keeps its own mutation log) under
+    the parsed query — a frozen AST, so formatting variants of the same
+    query share one entry — with the query's label footprint: rdf:type
+    patterns depend on node labels, IRI predicates on edge labels, variable
+    predicates on everything.  A hit evaluates nothing and spends no budget.
     """
     if tracer is None:
-        return _run_sparql(store, text, ctx)
+        return _run_sparql(store, text, ctx, cache=cache)
     with tracer.span("parse", frontend="sparql"):
         query = parse_sparql(text)
     with tracer.span("evaluate", ctx=ctx,
@@ -430,15 +437,27 @@ def run_sparql(store: TripleStore, text: str, *, ctx=None,
                     else ((query.patterns, query.filters, query.optionals),))
         span.attrs["branches"] = len(branches)
         span.attrs["patterns"] = sum(len(p) for p, _, _ in branches)
-        result = _run_sparql(store, text, ctx, query=query)
+        result = _run_sparql(store, text, ctx, query=query, cache=cache)
         span.attrs["rows"] = len(result.rows)
         return result
 
 
 def _run_sparql(store: TripleStore, text: str, ctx=None, *,
-                query: SelectQuery | None = None) -> SelectResult:
+                query: SelectQuery | None = None, cache=None) -> SelectResult:
     if query is None:
         query = parse_sparql(text)
+    if cache is not None:
+        from repro.cache import MISS, sparql_footprint
+
+        key = ("sparql", query)
+        hit = cache.lookup(store, key)
+        if hit is not MISS:
+            variables, rows = hit
+            return SelectResult(variables, list(rows))
+        result = _run_sparql(store, text, ctx, query=query)
+        cache.store(store, key, sparql_footprint(query),
+                    (result.variables, tuple(result.rows)))
+        return result
     if query.union_branches:
         branches = query.union_branches
     else:

@@ -16,16 +16,34 @@ from repro.models.property import PropertyGraph
 
 
 class PropertyGraphStore:
-    """Index layer over a property graph (the graph itself stays the model)."""
+    """Index layer over a property graph (the graph itself stays the model).
+
+    The store wraps the *live* graph, so versioning delegates straight to
+    it: query results cached against a store are invalidated by mutations
+    of the underlying :class:`PropertyGraph`.  The (property, value) index —
+    the one piece of state the store owns — is rebuilt lazily whenever the
+    graph's version has moved since it was last built, so it can no longer
+    serve stale nodes after a mutation.
+    """
 
     def __init__(self, graph: PropertyGraph) -> None:
         self.graph = graph
         self._nodes_by_property: dict = {}
+        self._indexed_version = -1
         self._rebuild()
+
+    @property
+    def version(self) -> int:
+        return self.graph.version
+
+    @property
+    def mutation_log(self):
+        return self.graph.mutation_log
 
     def _rebuild(self) -> None:
         graph = self.graph
         self._nodes_by_property.clear()
+        self._indexed_version = graph.version
         for node in graph.nodes():
             for prop, value in graph.node_properties(node).items():
                 self._nodes_by_property.setdefault((prop, value), set()).add(node)
@@ -39,6 +57,8 @@ class PropertyGraphStore:
         return set(self.graph.edges_with_label(label))
 
     def nodes_with_property(self, prop, value) -> set:
+        if self._indexed_version != self.graph.version:
+            self._rebuild()
         return set(self._nodes_by_property.get((prop, value), ()))
 
     def out_edges_labeled(self, node, label) -> list:

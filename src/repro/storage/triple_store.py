@@ -10,19 +10,33 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Iterator
 
-from repro.models.rdf import RDFGraph, Triple
+from repro.cache.versioning import MutationLog
+from repro.models.rdf import RDFGraph, Triple, _triple_record_fields
 
 
 class TripleStore:
-    """Set-of-triples storage with SPO/POS/OSP indexes."""
+    """Set-of-triples storage with SPO/POS/OSP indexes.
+
+    Like the model classes, the store keeps a
+    :class:`~repro.cache.versioning.MutationLog` of its own: it is built by
+    copying triples out of an :class:`RDFGraph` (it holds no reference back),
+    so SPARQL results cached against a store are versioned against the
+    store's mutations, not the source graph's.
+    """
 
     def __init__(self, triples: Iterable[Triple | tuple[str, str, str]] = ()) -> None:
         self._spo: dict[str, dict[str, set[str]]] = {}
         self._pos: dict[str, dict[str, set[str]]] = {}
         self._osp: dict[str, dict[str, set[str]]] = {}
         self._size = 0
+        self.mutation_log = MutationLog()
         for triple in triples:
             self.add(*triple)
+
+    @property
+    def version(self) -> int:
+        """Monotonically increasing mutation counter for this store."""
+        return self.mutation_log.version
 
     @classmethod
     def from_graph(cls, graph: RDFGraph) -> "TripleStore":
@@ -43,6 +57,8 @@ class TripleStore:
         self._pos.setdefault(predicate, {}).setdefault(obj, set()).add(subject)
         self._osp.setdefault(obj, {}).setdefault(subject, set()).add(predicate)
         self._size += 1
+        self.mutation_log.record("add_triple",
+                                 **_triple_record_fields(predicate, obj))
         return True
 
     def remove(self, subject: str, predicate: str, obj: str) -> bool:
@@ -57,6 +73,8 @@ class TripleStore:
         self._prune(self._spo, subject, predicate)
         self._prune(self._pos, predicate, obj)
         self._prune(self._osp, obj, subject)
+        self.mutation_log.record("remove_triple",
+                                 **_triple_record_fields(predicate, obj))
         return True
 
     @staticmethod

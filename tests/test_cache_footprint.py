@@ -1,0 +1,266 @@
+"""Footprint soundness, pinned per RPQ AST node type.
+
+The contract under test (``repro.cache.footprint``): if no mutation record
+between two graph versions intersects ``label_footprint(regex)``, the
+regex's answer — endpoint pairs by the engine, path counts by the
+independent brute-force enumerator — is identical at both versions.
+
+Each test drives one AST node type through a pool of mutations.  For every
+mutation the harness checks the *conditional*: non-intersecting implies
+answer-unchanged.  Each node type's pool is arranged so at least one
+mutation actually lands outside the footprint, keeping the implication
+non-vacuous (asserted via ``checked_disjoint``).
+"""
+
+from __future__ import annotations
+
+import copy
+
+import pytest
+
+from repro.cache import Footprint, label_footprint
+from repro.cache import test_footprint as atom_test_footprint
+from repro.core.rpq import endpoint_pairs, parse_regex
+from repro.core.rpq.ast import (
+    AndTest,
+    Concat,
+    EdgeAtom,
+    FalseTest,
+    FeatureTest,
+    LabelTest,
+    NodeTest,
+    NotTest,
+    OrTest,
+    PropertyTest,
+    Star,
+    TrueTest,
+    Union,
+)
+from repro.core.rpq.count import count_paths_bruteforce
+from repro.models.labeled import LabeledGraph
+from repro.models.property import PropertyGraph
+from repro.models.vector import VectorGraph
+
+MAX_COUNT_K = 2
+
+
+def labeled_fixture() -> LabeledGraph:
+    graph = LabeledGraph()
+    for node, label in [("n1", "a"), ("n2", "a"), ("n3", "b"), ("n4", "b")]:
+        graph.add_node(node, label)
+    for edge, src, dst, label in [("e1", "n1", "n2", "r"),
+                                  ("e2", "n2", "n3", "s"),
+                                  ("e3", "n3", "n1", "r"),
+                                  ("e4", "n3", "n4", "t")]:
+        graph.add_edge(edge, src, dst, label)
+    return graph
+
+
+#: Mutations over the labeled fixture, spanning every record channel the
+#: labeled layers emit.  Each entry is (name, function(graph)).
+LABELED_MUTATIONS = [
+    ("add-node-a", lambda g: g.add_node("fresh", "a")),
+    ("add-node-b", lambda g: g.add_node("fresh", "b")),
+    ("add-edge-r", lambda g: g.add_edge("fresh", "n1", "n3", "r")),
+    ("add-edge-s", lambda g: g.add_edge("fresh", "n4", "n1", "s")),
+    ("add-edge-t", lambda g: g.add_edge("fresh", "n2", "n4", "t")),
+    ("remove-edge-r", lambda g: g.remove_edge("e1")),
+    ("remove-edge-t", lambda g: g.remove_edge("e4")),
+    ("relabel-node", lambda g: g.set_node_label("n4", "a")),
+    ("relabel-edge", lambda g: g.set_edge_label("e4", "r")),
+    ("remove-node", lambda g: g.remove_node("n4")),
+]
+
+
+def answers(graph, regex):
+    """The engine's endpoint pairs plus independent brute-force counts."""
+    counts = tuple(count_paths_bruteforce(graph, regex, k)
+                   for k in range(MAX_COUNT_K + 1))
+    return endpoint_pairs(graph, regex), counts
+
+
+def check_soundness(make_graph, regex, mutations) -> int:
+    """Assert non-intersecting implies answer-unchanged for every mutation;
+    return how many mutations were provably disjoint (must be > 0)."""
+    footprint = label_footprint(regex)
+    checked_disjoint = 0
+    for name, mutate in mutations:
+        graph = make_graph()
+        before = answers(graph, regex)
+        version = graph.version
+        mutate(graph)
+        if graph.mutation_log.intersects_since(version, footprint):
+            continue
+        checked_disjoint += 1
+        assert answers(graph, regex) == before, \
+            f"mutation {name} escaped footprint {footprint} of " \
+            f"{regex.to_text()!r}"
+    return checked_disjoint
+
+
+class TestLabeledNodes:
+    """One test per AST node type over edge/node label channels."""
+
+    @pytest.mark.parametrize("regex, min_disjoint", [
+        (EdgeAtom(LabelTest("r")), 3),             # edge atom
+        (EdgeAtom(LabelTest("r"), inverse=True), 3),  # inverse edge atom
+        (NodeTest(LabelTest("a")), 4),             # node test
+        (Star(EdgeAtom(LabelTest("r"))), 2),       # star (nullable)
+        (Union(EdgeAtom(LabelTest("r")),
+               EdgeAtom(LabelTest("s"))), 2),      # union
+        (Concat(EdgeAtom(LabelTest("r")),
+                EdgeAtom(LabelTest("s"))), 2),     # concat
+        (EdgeAtom(NotTest(LabelTest("r"))), 1),    # negation (reads all edges)
+        (EdgeAtom(AndTest(LabelTest("r"), LabelTest("s"))), 2),  # conjunction
+        (EdgeAtom(OrTest(LabelTest("r"), LabelTest("s"))), 2),   # disjunction
+        (EdgeAtom(FalseTest()), 5),                # false: empty footprint
+        (EdgeAtom(TrueTest()), 1),                 # wildcard (reads all edges)
+        (NodeTest(TrueTest()), 1),                 # node wildcard
+        (Concat(NodeTest(LabelTest("a")),
+                EdgeAtom(LabelTest("r"))), 3),     # mixed positions
+    ])
+    def test_mutation_outside_footprint_preserves_answer(
+            self, regex, min_disjoint):
+        disjoint = check_soundness(labeled_fixture, regex, LABELED_MUTATIONS)
+        assert disjoint >= min_disjoint, \
+            f"vacuous soundness check for {regex.to_text()!r}: " \
+            f"only {disjoint} disjoint mutations"
+
+    def test_parser_and_constructed_footprints_agree(self):
+        for text in ["r", "r^-", "?a", "(r)*", "r + s", "r/s", "?a/r"]:
+            regex = parse_regex(text)
+            assert label_footprint(regex) == label_footprint(
+                parse_regex(regex.to_text()))
+
+    def test_nullable_star_reads_all_nodes(self):
+        assert label_footprint(parse_regex("(r)*")).all_nodes
+        assert not label_footprint(parse_regex("r")).all_nodes
+        # Union with a star branch is nullable; concat of nullables too.
+        assert label_footprint(parse_regex("(r)* + s")).all_nodes
+        assert label_footprint(
+            Concat(Star(EdgeAtom(LabelTest("r"))),
+                   Star(EdgeAtom(LabelTest("s"))))).all_nodes
+        # Concat with one non-nullable side is not nullable.
+        assert not label_footprint(parse_regex("(r)*/s")).all_nodes
+
+    def test_star_soundness_catches_node_additions(self):
+        """The regression the all-nodes term exists for: ``r*`` answers
+        ``(n, n)`` at a brand-new node, so add-node must invalidate."""
+        graph = labeled_fixture()
+        regex = Star(EdgeAtom(LabelTest("r")))
+        footprint = label_footprint(regex)
+        before = endpoint_pairs(graph, regex)
+        version = graph.version
+        graph.add_node("fresh", "b")
+        assert graph.mutation_log.intersects_since(version, footprint)
+        assert endpoint_pairs(graph, regex) != before
+
+
+def property_fixture() -> PropertyGraph:
+    graph = PropertyGraph()
+    graph.add_node("n1", "a", {"age": 30, "city": "x"})
+    graph.add_node("n2", "a", {"age": 40, "city": "y"})
+    graph.add_node("n3", "b", {"age": 30})
+    graph.add_edge("e1", "n1", "n2", "r", {"w": 1})
+    graph.add_edge("e2", "n2", "n3", "s", {"w": 2})
+    return graph
+
+
+PROPERTY_MUTATIONS = [
+    ("set-age", lambda g: g.set_node_property("n1", "age", 31)),
+    ("set-city", lambda g: g.set_node_property("n2", "city", "z")),
+    ("set-weight", lambda g: g.set_edge_property("e1", "w", 9)),
+    ("add-node", lambda g: g.add_node("fresh", "a", {"age": 50})),
+    ("add-edge", lambda g: g.add_edge("fresh", "n3", "n1", "r", {"w": 3})),
+    ("remove-edge", lambda g: g.remove_edge("e2")),
+]
+
+
+class TestPropertyNodes:
+    def test_property_test_footprint_is_property_named(self):
+        fp = atom_test_footprint(PropertyTest("age", 30), "node")
+        assert fp == Footprint(properties=frozenset(("age",)))
+
+    def test_property_node_test_soundness(self):
+        regex = NodeTest(PropertyTest("age", 30))
+        disjoint = check_soundness(property_fixture, regex,
+                                   PROPERTY_MUTATIONS)
+        # set-city and set-weight write properties the regex never reads.
+        assert disjoint >= 2
+
+    def test_property_edge_test_soundness(self):
+        regex = EdgeAtom(PropertyTest("w", 1))
+        disjoint = check_soundness(property_fixture, regex,
+                                   PROPERTY_MUTATIONS)
+        assert disjoint >= 2
+
+    def test_unrelated_property_write_keeps_answer(self):
+        graph = property_fixture()
+        regex = NodeTest(PropertyTest("age", 30))
+        before = endpoint_pairs(graph, regex)
+        version = graph.version
+        graph.set_node_property("n1", "city", "moved")
+        footprint = label_footprint(regex)
+        assert not graph.mutation_log.intersects_since(version, footprint)
+        assert endpoint_pairs(graph, regex) == before
+
+    def test_matching_property_write_invalidates(self):
+        graph = property_fixture()
+        regex = NodeTest(PropertyTest("age", 30))
+        footprint = label_footprint(regex)
+        version = graph.version
+        graph.set_node_property("n3", "age", 99)
+        assert graph.mutation_log.intersects_since(version, footprint)
+
+
+def vector_fixture() -> VectorGraph:
+    graph = VectorGraph(2)
+    graph.add_node("n1", (1.0, 0.0))
+    graph.add_node("n2", (0.0, 1.0))
+    graph.add_edge("e1", "n1", "n2", (1.0, 1.0))
+    graph.add_edge("e2", "n2", "n1", (0.0, 1.0))
+    return graph
+
+
+VECTOR_MUTATIONS = [
+    ("set-node-f1", lambda g: g.set_node_vector("n1", (5.0, 0.0))),
+    ("set-node-f2", lambda g: g.set_node_vector("n1", (1.0, 5.0))),
+    ("set-edge-f1", lambda g: g.set_edge_vector("e1", (5.0, 1.0))),
+    ("set-edge-f2", lambda g: g.set_edge_vector("e1", (1.0, 5.0))),
+]
+
+
+class TestFeatureNodes:
+    def test_feature_test_footprint_is_index_named(self):
+        fp = atom_test_footprint(FeatureTest(2, 1.0), "edge")
+        assert fp == Footprint(features=frozenset((2,)))
+
+    def test_feature_node_test_soundness(self):
+        regex = NodeTest(FeatureTest(1, 1.0))
+        disjoint = check_soundness(vector_fixture, regex, VECTOR_MUTATIONS)
+        # All f2-only writes are disjoint from an f1 footprint.
+        assert disjoint >= 2
+
+    def test_feature_edge_test_soundness(self):
+        regex = EdgeAtom(FeatureTest(2, 1.0))
+        disjoint = check_soundness(vector_fixture, regex, VECTOR_MUTATIONS)
+        assert disjoint >= 2
+
+    def test_changed_feature_invalidates_only_its_index(self):
+        graph = vector_fixture()
+        f1 = label_footprint(EdgeAtom(FeatureTest(1, 1.0)))
+        f2 = label_footprint(EdgeAtom(FeatureTest(2, 1.0)))
+        version = graph.version
+        graph.set_edge_vector("e1", (1.0, 7.0))  # only feature 2 changes
+        assert not graph.mutation_log.intersects_since(version, f1)
+        assert graph.mutation_log.intersects_since(version, f2)
+
+
+class TestCopySemantics:
+    def test_deepcopy_gets_an_independent_log(self):
+        graph = labeled_fixture()
+        clone = copy.deepcopy(graph)
+        assert clone == graph
+        clone.add_edge("fresh", "n1", "n4", "r")
+        assert clone.version != graph.version
+        assert clone != graph

@@ -1,0 +1,260 @@
+"""Metamorphic cache consistency: cache-on == cache-off under mutation.
+
+The invariant: at *every* step of an interleaved schedule of mutations and
+queries, a query evaluated through a shared :class:`~repro.cache.QueryCache`
+returns exactly what a fresh cache-less evaluation returns.  Any unsound
+footprint, missed mutation record, or stale-entry bug shows up as a
+divergence at the first query after the offending mutation.
+
+Conventions mirror ``tests/test_differential.py``: the seed pool comes from
+``REPRO_FUZZ_SEEDS`` (comma-separated integers, default ``0,1,2``), so CI's
+fuzz job can re-aim the whole suite at fresh interleavings without touching
+the file, and every assertion message carries (seed, interleaving, step) for
+isolated replay.  With the default seeds the suite runs
+``len(SEEDS) * (RPQ_INTERLEAVINGS + FRONTEND_INTERLEAVINGS +
+SPARQL_INTERLEAVINGS)`` >= 500 interleavings.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+import pytest
+
+from repro.cache import QueryCache
+from repro.core.rpq import count_paths_exact, endpoint_pairs, parse_regex
+from repro.models.property import PropertyGraph
+from repro.query.cypherish import run_cypher
+from repro.query.pathql import run_pathql
+from repro.query.sparql import run_sparql
+from repro.storage import PropertyGraphStore, TripleStore
+
+SEEDS = tuple(int(seed) for seed in
+              os.environ.get("REPRO_FUZZ_SEEDS", "0,1,2").split(","))
+RPQ_INTERLEAVINGS = 100
+FRONTEND_INTERLEAVINGS = 40
+SPARQL_INTERLEAVINGS = 30
+STEPS_PER_INTERLEAVING = 8
+
+NODE_LABELS = ("a", "b")
+EDGE_LABELS = ("r", "s", "t")
+PROP_NAMES = ("age", "city")
+
+
+def total_interleavings() -> int:
+    return len(SEEDS) * (RPQ_INTERLEAVINGS + FRONTEND_INTERLEAVINGS
+                         + SPARQL_INTERLEAVINGS)
+
+
+def test_default_configuration_reaches_five_hundred_interleavings():
+    """The acceptance floor: >= 500 seeded interleavings by default."""
+    assert 3 * (RPQ_INTERLEAVINGS + FRONTEND_INTERLEAVINGS
+                + SPARQL_INTERLEAVINGS) >= 500
+
+
+# ---------------------------------------------------------------------------
+# Random material
+# ---------------------------------------------------------------------------
+
+
+def random_property_graph(rng: random.Random) -> PropertyGraph:
+    graph = PropertyGraph()
+    n_nodes = rng.randint(3, 6)
+    for index in range(n_nodes):
+        props = {prop: rng.randint(0, 2) for prop in PROP_NAMES
+                 if rng.random() < 0.7}
+        graph.add_node(f"n{index}", rng.choice(NODE_LABELS), props)
+    nodes = sorted(graph.nodes(), key=str)
+    for index in range(rng.randint(2, 10)):
+        props = ({"w": rng.randint(0, 2)} if rng.random() < 0.5 else {})
+        graph.add_edge(f"e{index}", rng.choice(nodes), rng.choice(nodes),
+                       rng.choice(EDGE_LABELS), props)
+    return graph
+
+
+def random_regex_text(rng: random.Random, depth: int = 2) -> str:
+    roll = rng.random()
+    if depth <= 0 or roll < 0.35:
+        return rng.choice(EDGE_LABELS) + ("^-" if rng.random() < 0.25 else "")
+    if roll < 0.45:
+        return "?" + rng.choice(NODE_LABELS)
+    if roll < 0.70:
+        return (f"{random_regex_text(rng, depth - 1)}"
+                f"/{random_regex_text(rng, depth - 1)}")
+    if roll < 0.88:
+        return (f"({random_regex_text(rng, depth - 1)}"
+                f" + {random_regex_text(rng, depth - 1)})")
+    return f"({random_regex_text(rng, depth - 1)})*"
+
+
+def random_mutation(rng: random.Random, graph: PropertyGraph, tag: str):
+    """Apply one random mutation; return its name (for failure messages)."""
+    nodes = sorted(graph.nodes(), key=str)
+    edges = sorted(graph.edges(), key=str)
+    moves = ["add_edge", "add_node", "set_node_property"]
+    if edges:
+        moves += ["remove_edge", "set_edge_property", "set_edge_label"]
+    if nodes:
+        moves += ["set_node_label"]
+    move = rng.choice(moves)
+    if move == "add_edge" and nodes:
+        graph.add_edge(f"m{tag}", rng.choice(nodes), rng.choice(nodes),
+                       rng.choice(EDGE_LABELS))
+    elif move == "add_node":
+        graph.add_node(f"m{tag}", rng.choice(NODE_LABELS),
+                       {rng.choice(PROP_NAMES): rng.randint(0, 2)})
+    elif move == "remove_edge":
+        graph.remove_edge(rng.choice(edges))
+    elif move == "set_node_property" and nodes:
+        graph.set_node_property(rng.choice(nodes), rng.choice(PROP_NAMES),
+                                rng.randint(0, 3))
+    elif move == "set_edge_property":
+        graph.set_edge_property(rng.choice(edges), "w", rng.randint(0, 3))
+    elif move == "set_node_label":
+        graph.set_node_label(rng.choice(nodes), rng.choice(NODE_LABELS))
+    elif move == "set_edge_label":
+        graph.set_edge_label(rng.choice(edges), rng.choice(EDGE_LABELS))
+    return move
+
+
+# ---------------------------------------------------------------------------
+# RPQ core: endpoint_pairs / count_paths_exact
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_rpq_cache_metamorphic(seed):
+    rng = random.Random(310_000 + seed)
+    hits = 0
+    for interleaving in range(RPQ_INTERLEAVINGS):
+        graph = random_property_graph(rng)
+        cache = QueryCache()
+        # A small per-interleaving query pool makes repeats (and therefore
+        # genuine cache hits that must survive interleaved mutations) likely.
+        pool = [parse_regex(random_regex_text(rng)) for _ in range(3)]
+        for step in range(STEPS_PER_INTERLEAVING):
+            where = f"seed={seed} interleaving={interleaving} step={step}"
+            if rng.random() < 0.45:
+                move = random_mutation(rng, graph, f"{interleaving}.{step}")
+                where += f" after={move}"
+                continue
+            regex = rng.choice(pool)
+            cached = endpoint_pairs(graph, regex, cache=cache)
+            fresh = endpoint_pairs(graph, regex)
+            assert cached == fresh, f"{where} regex={regex.to_text()!r}"
+            k = rng.randint(0, 2)
+            cached_count = count_paths_exact(graph, regex, k, cache=cache)
+            fresh_count = count_paths_exact(graph, regex, k)
+            assert cached_count == fresh_count, \
+                f"{where} regex={regex.to_text()!r} k={k}"
+        hits += cache.stats()["hits"]
+    # The schedules must actually exercise the hit path, not just miss
+    # through: across a seed's interleavings many repeats stay valid.
+    assert hits > RPQ_INTERLEAVINGS / 10, f"suspiciously few hits: {hits}"
+
+
+# ---------------------------------------------------------------------------
+# Frontends: PathQL over the live graph, Cypher over its store
+# ---------------------------------------------------------------------------
+
+CYPHER_TEMPLATES = (
+    "MATCH (p:a) RETURN p.age",
+    "MATCH (p:b) RETURN p.city",
+    "MATCH (p)-[:r]->(q) RETURN p.age, q.age",
+    "MATCH (p:a)-[:s]->(q) RETURN q.city",
+    "MATCH (p {age: 1}) RETURN p.city",
+)
+
+
+def _pathql_text(rng: random.Random) -> str:
+    regex = random_regex_text(rng)
+    length = rng.randint(0, 3)
+    mode = " COUNT" if rng.random() < 0.5 else ""
+    return f"PATHS MATCHING {regex} LENGTH {length}{mode}"
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_frontend_cache_metamorphic(seed):
+    rng = random.Random(520_000 + seed)
+    hits = 0
+    for interleaving in range(FRONTEND_INTERLEAVINGS):
+        graph = random_property_graph(rng)
+        store = PropertyGraphStore(graph)
+        cache = QueryCache()
+        pathql_pool = [_pathql_text(rng) for _ in range(2)]
+        cypher_pool = [rng.choice(CYPHER_TEMPLATES) for _ in range(2)]
+        for step in range(STEPS_PER_INTERLEAVING):
+            where = f"seed={seed} interleaving={interleaving} step={step}"
+            roll = rng.random()
+            if roll < 0.4:
+                move = random_mutation(rng, graph, f"{interleaving}.{step}")
+                where += f" after={move}"
+                continue
+            if roll < 0.7:
+                text = rng.choice(pathql_pool)
+                cached = run_pathql(graph, text, cache=cache)
+                fresh = run_pathql(graph, text)
+                assert (cached.mode, cached.paths, cached.count,
+                        cached.quality) == (fresh.mode, fresh.paths,
+                                            fresh.count, fresh.quality), \
+                    f"{where} pathql={text!r}"
+            else:
+                text = rng.choice(cypher_pool)
+                cached = run_cypher(store, text, cache=cache)
+                fresh = run_cypher(store, text)
+                assert (cached.columns, cached.rows) == \
+                    (fresh.columns, fresh.rows), f"{where} cypher={text!r}"
+        hits += cache.stats()["hits"]
+    assert hits > FRONTEND_INTERLEAVINGS / 10, \
+        f"suspiciously few hits: {hits}"
+
+
+# ---------------------------------------------------------------------------
+# SPARQL: the TripleStore is its own mutable target
+# ---------------------------------------------------------------------------
+
+SPARQL_TEMPLATES = (
+    "SELECT ?x ?y WHERE { ?x <r> ?y . }",
+    "SELECT ?x WHERE { ?x <rdf:type> <a> . }",
+    "SELECT ?x ?y WHERE { ?x <r> ?y . ?y <rdf:type> <b> . }",
+    "SELECT ?x ?z WHERE { ?x <r>/<s> ?z . }",
+    "SELECT ?x ?y WHERE { ?x (<r>)* ?y . }",
+)
+
+SUBJECTS = ("u0", "u1", "u2", "u3")
+
+
+def _random_triple(rng: random.Random) -> tuple[str, str, str]:
+    if rng.random() < 0.3:
+        return (rng.choice(SUBJECTS), "rdf:type", rng.choice(NODE_LABELS))
+    return (rng.choice(SUBJECTS), rng.choice(EDGE_LABELS),
+            rng.choice(SUBJECTS))
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_sparql_cache_metamorphic(seed):
+    rng = random.Random(730_000 + seed)
+    hits = 0
+    for interleaving in range(SPARQL_INTERLEAVINGS):
+        store = TripleStore()
+        for _ in range(rng.randint(3, 8)):
+            store.add(*_random_triple(rng))
+        cache = QueryCache()
+        pool = [rng.choice(SPARQL_TEMPLATES) for _ in range(2)]
+        for step in range(STEPS_PER_INTERLEAVING):
+            where = f"seed={seed} interleaving={interleaving} step={step}"
+            if rng.random() < 0.4:
+                triple = _random_triple(rng)
+                if rng.random() < 0.3:
+                    store.remove(*triple)
+                else:
+                    store.add(*triple)
+                continue
+            text = rng.choice(pool)
+            cached = run_sparql(store, text, cache=cache)
+            fresh = run_sparql(store, text)
+            assert (cached.variables, cached.rows) == \
+                (fresh.variables, fresh.rows), f"{where} sparql={text!r}"
+        hits += cache.stats()["hits"]
+    assert hits > SPARQL_INTERLEAVINGS / 10, f"suspiciously few hits: {hits}"

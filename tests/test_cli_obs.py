@@ -48,9 +48,10 @@ class TestExplain:
         assert main([command, fig2_file, query, "--explain-json"]) == 0
         payload = json.loads(capsys.readouterr().out)
         assert payload["schema"] == "repro.obs.explain"
-        assert payload["version"] == 1
+        assert payload["version"] == 2
         assert payload["frontend"] == command
         assert payload["query"] == query
+        assert payload["details"]["cache"]["key_family"] == command
 
     def test_governed_pathql_explain_shows_ladder(self, fig2_file, capsys):
         assert main(["pathql", fig2_file, f"{PATHQL} COUNT",

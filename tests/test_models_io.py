@@ -1,10 +1,15 @@
 """JSON serialization round trips for the three serializable models."""
 
+import random
+
 import pytest
 
 from repro.errors import ConversionError
 from repro.models import figure2_labeled, figure2_property, figure2_vector
 from repro.models.io import dumps, loads
+from repro.models.labeled import LabeledGraph
+from repro.models.property import PropertyGraph
+from repro.models.vector import VectorGraph
 
 
 class TestRoundTrips:
@@ -38,6 +43,111 @@ class TestRoundTrips:
 
     def test_indent_option(self):
         assert "\n" in dumps(figure2_property(), indent=2)
+
+
+#: Property values must round-trip through JSON unchanged, so the random
+#: generator draws from JSON-faithful types (no tuples, no sets).
+def _random_prop_value(rng: random.Random):
+    return rng.choice([
+        "text", 17, 3.5, True, False, None, [1, "two", 3.0],
+    ])
+
+
+def _random_labeled(rng: random.Random) -> LabeledGraph:
+    graph = LabeledGraph()
+    nodes = [f"n{i}" for i in range(rng.randint(1, 8))]
+    for node in nodes:
+        graph.add_node(node, rng.choice(("a", "b", "")))
+    for index in range(rng.randint(0, 12)):
+        graph.add_edge(f"e{index}", rng.choice(nodes), rng.choice(nodes),
+                       rng.choice(("r", "s")))
+    return graph
+
+
+def _random_property(rng: random.Random) -> PropertyGraph:
+    graph = PropertyGraph()
+    nodes = [f"n{i}" for i in range(rng.randint(1, 6))]
+    for node in nodes:
+        props = {f"p{i}": _random_prop_value(rng)
+                 for i in range(rng.randint(0, 3))}
+        graph.add_node(node, rng.choice(("a", "b")), props)
+    for index in range(rng.randint(0, 10)):
+        props = {f"q{i}": _random_prop_value(rng)
+                 for i in range(rng.randint(0, 2))}
+        graph.add_edge(f"e{index}", rng.choice(nodes), rng.choice(nodes),
+                       rng.choice(("r", "s")), props)
+    return graph
+
+
+def _random_vector(rng: random.Random) -> VectorGraph:
+    dimension = rng.randint(1, 3)
+    graph = VectorGraph(dimension)
+    nodes = [f"n{i}" for i in range(rng.randint(1, 6))]
+    for node in nodes:
+        graph.add_node(node, [rng.randint(0, 5) * 1.0
+                              for _ in range(dimension)])
+    for index in range(rng.randint(0, 8)):
+        graph.add_edge(f"e{index}", rng.choice(nodes), rng.choice(nodes),
+                       [rng.randint(0, 5) * 1.0 for _ in range(dimension)])
+    return graph
+
+
+class TestRandomRoundTripEquality:
+    """Seeded random graphs satisfy ``loads(dumps(g)) == g`` structurally."""
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_labeled(self, seed):
+        graph = _random_labeled(random.Random(1000 + seed))
+        assert loads(dumps(graph)) == graph
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_property(self, seed):
+        graph = _random_property(random.Random(2000 + seed))
+        assert loads(dumps(graph)) == graph
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_vector(self, seed):
+        graph = _random_vector(random.Random(3000 + seed))
+        assert loads(dumps(graph)) == graph
+
+    def test_empty_graphs(self):
+        assert loads(dumps(LabeledGraph())) == LabeledGraph()
+        assert loads(dumps(PropertyGraph())) == PropertyGraph()
+        assert loads(dumps(VectorGraph(2))) == VectorGraph(2)
+
+    def test_parallel_edges_survive(self):
+        graph = PropertyGraph()
+        graph.add_node("a", "x")
+        graph.add_node("b", "x")
+        graph.add_edge("e1", "a", "b", "r")
+        graph.add_edge("e2", "a", "b", "r")  # parallel, same label
+        graph.add_edge("loop", "a", "a", "s")  # self-loop
+        back = loads(dumps(graph))
+        assert back == graph
+        assert back.edge_count() == 3
+
+    def test_non_string_property_values_survive(self):
+        graph = PropertyGraph()
+        graph.add_node("a", "x", {"count": 3, "score": 2.5, "flag": True,
+                                  "missing": None, "tags": [1, "two"]})
+        back = loads(dumps(graph))
+        assert back == graph
+        assert back.node_properties("a")["count"] == 3
+        assert back.node_properties("a")["tags"] == [1, "two"]
+
+    def test_version_and_mutation_log_excluded_from_serialization(self):
+        graph = PropertyGraph()
+        graph.add_node("a", "x", {"p": 1})
+        graph.set_node_property("a", "p", 2)
+        graph.set_node_property("a", "p", 1)  # back to the original value
+        assert graph.version > 2
+        text = dumps(graph)
+        assert "version" not in text and "mutation" not in text
+        back = loads(text)
+        # Same content, fresh history: a loaded graph starts unmutated.
+        assert back == graph
+        assert back.version < graph.version
+        assert len(back.mutation_log.records_since(0)) == back.version
 
 
 class TestErrors:

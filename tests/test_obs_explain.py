@@ -1,7 +1,7 @@
 """EXPLAIN reports: golden-file JSON schema tests for all three frontends.
 
-The goldens under ``tests/golden/`` freeze the ``repro.obs.explain`` v1
-schema.  EXPLAIN never executes the query, so its output is fully
+The goldens under ``tests/golden/`` freeze the ``repro.obs.explain`` v2
+schema (v2 added the per-frontend ``cache`` section).  EXPLAIN never executes the query, so its output is fully
 deterministic and compared byte-for-byte (as parsed JSON).  If a change is
 *meant* to alter the plan format, regenerate the goldens and bump
 ``EXPLAIN_SCHEMA_VERSION``.
@@ -66,7 +66,7 @@ def test_explain_json_round_trips(name):
     report = _reports()[name]
     payload = json.loads(report.to_json())
     assert payload["schema"] == "repro.obs.explain"
-    assert payload["version"] == 1
+    assert payload["version"] == 2
     assert payload == report.to_dict()
 
 
@@ -107,6 +107,23 @@ def test_index_plan_backends():
     missing = regex_index_plan(graph, parse_regex("no_such_label"))
     assert missing[0]["backend"] == "label-index"
     assert missing[0]["candidates"] == ["no_such_label"]
+
+
+def test_explain_cache_section_present_for_all_frontends():
+    for report in _reports().values():
+        section = report.details["cache"]
+        assert section["key_family"] == report.frontend
+        assert isinstance(section["footprint"], dict)
+        # Every report target in _reports() carries a mutation log.
+        assert isinstance(section["target_version"], int)
+
+
+def test_explain_cache_footprint_reflects_query_labels():
+    graph = figure2_labeled()
+    report = explain_pathql(graph, "PATHS MATCHING contact/lives LENGTH 2")
+    footprint = report.details["cache"]["footprint"]
+    assert footprint["edge_labels"] == ["contact", "lives"]
+    assert not footprint["all_edges"]
 
 
 def test_sparql_explain_reports_greedy_join_order():
