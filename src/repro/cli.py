@@ -161,13 +161,14 @@ def _cmd_pathql(args: argparse.Namespace) -> int:
     ctx = _make_context(args)
     if args.explain or args.explain_json:
         return _print_explain(
-            explain_pathql(graph, args.query, governed=ctx is not None), args)
+            explain_pathql(graph, args.query, governed=ctx is not None,
+                           engine=args.engine), args)
     tracer = _make_tracer(args)
     pool = _make_pool(graph, args)
     cache = _make_cache(args)
     try:
         result = run_pathql(graph, args.query, ctx=ctx, tracer=tracer,
-                            pool=pool, cache=cache)
+                            pool=pool, cache=cache, engine=args.engine)
     except BudgetExceeded as exceeded:
         _emit_obs(tracer, args, cache)
         return _budget_exceeded(exceeded, ctx, args)
@@ -200,12 +201,13 @@ def _cmd_sparql(args: argparse.Namespace) -> int:
     store = TripleStore.from_graph(labeled_to_rdf(graph))
     ctx = _make_context(args)
     if args.explain or args.explain_json:
-        return _print_explain(explain_sparql(store, args.query), args)
+        return _print_explain(
+            explain_sparql(store, args.query, engine=args.engine), args)
     tracer = _make_tracer(args)
     cache = _make_cache(args)
     try:
         result = run_sparql(store, args.query, ctx=ctx, tracer=tracer,
-                            cache=cache)
+                            cache=cache, engine=args.engine)
     except BudgetExceeded as exceeded:
         _emit_obs(tracer, args, cache)
         return _budget_exceeded(exceeded, ctx, args)
@@ -226,12 +228,13 @@ def _cmd_cypher(args: argparse.Namespace) -> int:
     ctx = _make_context(args)
     store = PropertyGraphStore(graph)
     if args.explain or args.explain_json:
-        return _print_explain(explain_cypher(store, args.query), args)
+        return _print_explain(
+            explain_cypher(store, args.query, engine=args.engine), args)
     tracer = _make_tracer(args)
     cache = _make_cache(args)
     try:
         result = run_cypher(store, args.query, ctx=ctx, tracer=tracer,
-                            cache=cache)
+                            cache=cache, engine=args.engine)
     except BudgetExceeded as exceeded:
         _emit_obs(tracer, args, cache)
         return _budget_exceeded(exceeded, ctx, args)
@@ -281,8 +284,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     tracer = _make_tracer(args)
     cache_stats = None
     try:
-        with BatchSession(graph, args.workers,
-                          cache=not args.no_cache) as session:
+        with BatchSession(graph, args.workers, cache=not args.no_cache,
+                          engine=args.engine) as session:
             results = session.run_batch(entries, ctx=ctx, tracer=tracer)
             if args.cache_stats:
                 cache_stats = session.cache_stats()
@@ -414,6 +417,14 @@ def build_parser() -> argparse.ArgumentParser:
             "--metrics-out", default=None, metavar="FILE",
             help="write aggregated counters/histograms as JSON to FILE")
 
+    def add_engine_flag(subparser: argparse.ArgumentParser) -> None:
+        subparser.add_argument(
+            "--engine", choices=("auto", "scalar", "vector"), default="auto",
+            help="evaluation engine: 'scalar' runs the per-node loops, "
+                 "'vector' forces the numpy kernel (errors if numpy is "
+                 "missing), 'auto' (default) picks by graph size; the "
+                 "chosen engine shows up in --stats and --trace output")
+
     def add_workers_flag(subparser: argparse.ArgumentParser) -> None:
         subparser.add_argument(
             "--workers", type=int, default=None, metavar="N",
@@ -436,6 +447,7 @@ def build_parser() -> argparse.ArgumentParser:
     pathql.add_argument("query")
     add_governor_flags(pathql)
     add_obs_flags(pathql)
+    add_engine_flag(pathql)
     add_workers_flag(pathql)
     add_cache_flags(pathql)
     pathql.set_defaults(handler=_cmd_pathql)
@@ -445,6 +457,7 @@ def build_parser() -> argparse.ArgumentParser:
     sparql.add_argument("query")
     add_governor_flags(sparql)
     add_obs_flags(sparql)
+    add_engine_flag(sparql)
     add_cache_flags(sparql)
     sparql.set_defaults(handler=_cmd_sparql)
 
@@ -453,6 +466,7 @@ def build_parser() -> argparse.ArgumentParser:
     cypher.add_argument("query")
     add_governor_flags(cypher)
     add_obs_flags(cypher)
+    add_engine_flag(cypher)
     add_cache_flags(cypher)
     cypher.set_defaults(handler=_cmd_cypher)
 
@@ -466,6 +480,7 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--json", action="store_true",
                        help="print the full batch result as one JSON document")
     add_governor_flags(batch)
+    add_engine_flag(batch)
     add_workers_flag(batch)
     batch.add_argument(
         "--trace", action="store_true",

@@ -31,7 +31,7 @@ from repro.errors import InvalidLengthError
 
 
 def count_words_exact(product: ProductNFA, length: int, *,
-                      prune: bool = True, ctx=None) -> int:
+                      prune: bool = True, ctx=None, back=None) -> int:
     """Number of distinct accepted words of exactly ``length`` symbols.
 
     ``prune=True`` (the default) intersects every reached subset with the
@@ -39,10 +39,17 @@ def count_words_exact(product: ProductNFA, length: int, *,
     reduction of the determinized state space (merged subsets have equal
     accepted-completion counts).  ``prune=False`` runs the plain subset DP;
     the ablation benchmark quantifies the difference.
+
+    ``back`` optionally supplies precomputed backward layers (``back[j]``
+    = states reaching acceptance in exactly ``j`` steps, ``len(back) >
+    length``) — the vector engine passes its array-swept layers here; the
+    sets are identical to :meth:`ProductNFA.back_layers`, so the DP is
+    unchanged.
     """
     if length < 0:
         raise InvalidLengthError("length", length)
-    back = product.back_layers(length)
+    if back is None:
+        back = product.back_layers(length)
     start = frozenset([INITIAL])
     if prune:
         start &= back[length]
@@ -82,8 +89,8 @@ def count_words_exact(product: ProductNFA, length: int, *,
 def count_paths_exact(graph, regex: Regex, k: int,
                       start_nodes: Iterable | None = None,
                       end_nodes: Iterable | None = None,
-                      *, use_label_index: bool = True, ctx=None,
-                      pool=None, cache=None) -> int:
+                      *, use_label_index: bool = True, engine: str = "auto",
+                      ctx=None, pool=None, cache=None) -> int:
     """Count(G, r, k): the number of paths p in [[r]] with |p| = k.
 
     Optionally restrict the start and end nodes of the counted paths (needed
@@ -99,6 +106,11 @@ def count_paths_exact(graph, regex: Regex, k: int,
     memoized under (graph, regex text, k, endpoint restrictions) with the
     regex's label footprint — the same key family the governor's exact rung
     consults, so the two share entries.  A hit spends no budget.
+
+    ``engine="vector"`` (or an ``"auto"`` resolution to it) sweeps the
+    backward layers with the numpy kernel; the subset DP itself stays
+    scalar — exact counting is SpanL-complete and its bigint counts over
+    an ambiguous NFA do not vectorize, the layers do.
     """
     if k < 0:
         raise InvalidLengthError("path length k", k)
@@ -113,8 +125,8 @@ def count_paths_exact(graph, regex: Regex, k: int,
         if hit is not MISS:
             return hit
         count = count_paths_exact(graph, regex, k, start_nodes, end_nodes,
-                                  use_label_index=use_label_index, ctx=ctx,
-                                  pool=pool)
+                                  use_label_index=use_label_index,
+                                  engine=engine, ctx=ctx, pool=pool)
         cache.store(graph, key, label_footprint(regex), count)
         return count
     if pool is not None:
@@ -122,12 +134,27 @@ def count_paths_exact(graph, regex: Regex, k: int,
 
         return sharded_count_paths(pool, graph, regex, k, start_nodes,
                                    end_nodes, use_label_index=use_label_index,
-                                   ctx=ctx)
+                                   engine=engine, ctx=ctx)
+    from repro.core.rpq.evaluate import footprint_edge_count
+    from repro.core.rpq.vectorized.engine import resolve_engine
+
     nfa = compile_regex(regex)
+    footprint = (footprint_edge_count(graph, nfa)
+                 if engine == "auto" else None)
+    resolved, reason = resolve_engine(engine, graph,
+                                      footprint_edges=footprint)
+    if ctx is not None:
+        ctx.stats.notes["engine"] = resolved
+        ctx.stats.notes["engine_reason"] = reason
     product = build_product(graph, nfa, start_nodes=start_nodes,
                             end_nodes=end_nodes, use_label_index=use_label_index,
                             ctx=ctx)
-    return count_words_exact(product, k + 1, ctx=ctx)
+    back = None
+    if resolved == "vector":
+        from repro.core.rpq.vectorized import back_layers_vectorized
+
+        back = back_layers_vectorized(product, k + 1, ctx=ctx)
+    return count_words_exact(product, k + 1, ctx=ctx, back=back)
 
 
 def count_paths_bruteforce(graph, regex: Regex, k: int,

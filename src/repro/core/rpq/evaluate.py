@@ -32,6 +32,36 @@ from repro.core.rpq.enumerate import enumerate_paths_up_to
 from repro.core.rpq.nfa import NFA, compile_regex
 from repro.core.rpq.paths import Path
 from repro.core.rpq.product import INITIAL, _edge_fetchers, build_product
+from repro.core.rpq.vectorized.engine import resolve_engine
+
+
+def _note_engine(ctx, engine: str, reason: str) -> None:
+    """Record the resolved engine where ``--stats`` / traces surface it."""
+    if ctx is not None:
+        ctx.stats.notes["engine"] = engine
+        ctx.stats.notes["engine_reason"] = reason
+
+
+def footprint_edge_count(graph, nfa: NFA) -> int | None:
+    """How many graph edges the automaton's label footprint can touch.
+
+    The density signal of the ``auto`` engine heuristic: the sum of the
+    label-index bucket sizes over every transition's label candidates.
+    ``None`` means "unknown or unrestricted" — the graph has no label
+    index, or some transition accepts edges regardless of label, so the
+    whole edge set participates and density is just ``m/n``.
+    """
+    if getattr(graph, "label_adjacency_index", None) is None:
+        return None
+    labels: set = set()
+    for transitions in nfa.edge_transitions.values():
+        for test, _, _ in transitions:
+            candidates = test.label_candidates()
+            if candidates is None:
+                return None
+            labels |= candidates
+    return sum(sum(1 for _ in graph.edges_with_label(label))
+               for label in labels)
 
 
 def _decode_mask(mask: int, of_bit: list) -> list:
@@ -161,8 +191,9 @@ def paths_matching(graph, regex: Regex, max_length: int,
 def endpoint_pairs(graph, regex: Regex,
                    start_nodes: Iterable | None = None,
                    end_nodes: Iterable | None = None,
-                   *, use_label_index: bool = True, ctx=None,
-                   tracer=None, pool=None, cache=None) -> set[tuple]:
+                   *, use_label_index: bool = True, engine: str = "auto",
+                   ctx=None, tracer=None, pool=None,
+                   cache=None) -> set[tuple]:
     """All (start(p), end(p)) for p in [[regex]] — finite, computed exactly.
 
     Chain-shaped regexes (pure sequences of edge steps, unrestricted
@@ -194,6 +225,14 @@ def endpoint_pairs(graph, regex: Regex,
     compiling, evaluating, or spending a single budget checkpoint, and
     survives any interleaved mutations whose log records stay outside the
     footprint.  The cached value is frozen; callers get a fresh set.
+
+    ``engine`` selects the evaluation kernel: ``"scalar"`` is the
+    per-node Python engine above, ``"vector"`` forces the numpy fixpoint
+    kernel of :mod:`repro.core.rpq.vectorized` (identical answers — the
+    differential harness pins scalar == vector), and ``"auto"`` (the
+    default) picks by graph size, keeping the chain fast path where it
+    applies.  The engines share the cache key family: answers are
+    engine-independent, so a cache entry serves both.
     """
     if cache is not None:
         from repro.cache import MISS, label_footprint
@@ -206,7 +245,8 @@ def endpoint_pairs(graph, regex: Regex,
         if hit is not MISS:
             return set(hit)
         pairs = endpoint_pairs(graph, regex, start_nodes, end_nodes,
-                               use_label_index=use_label_index, ctx=ctx,
+                               use_label_index=use_label_index,
+                               engine=engine, ctx=ctx,
                                tracer=tracer, pool=pool)
         cache.store(graph, key, label_footprint(regex), frozenset(pairs))
         return pairs
@@ -215,30 +255,59 @@ def endpoint_pairs(graph, regex: Regex,
 
         return sharded_endpoint_pairs(pool, graph, regex, start_nodes,
                                       end_nodes, use_label_index=use_label_index,
-                                      ctx=ctx, tracer=tracer)
+                                      engine=engine, ctx=ctx, tracer=tracer)
     if tracer is None:
         nfa = compile_regex(regex)
     else:
         with tracer.span("compile", cache=True) as span:
             nfa = compile_regex(regex)
             span.attrs["nfa_states"] = nfa.n_states
-    if start_nodes is None and end_nodes is None:
+    footprint = (footprint_edge_count(graph, nfa)
+                 if engine == "auto" else None)
+    resolved, reason = resolve_engine(engine, graph,
+                                      footprint_edges=footprint)
+    if (start_nodes is None and end_nodes is None
+            and (resolved == "scalar" or engine == "auto")):
         steps = _chain_steps(nfa)
         if steps is not None:
             # Pure edge-step chain: evaluate as a frontier join over the
-            # label index, with no product automaton at all.
+            # label index, with no product automaton at all.  ``auto``
+            # prefers this even where the size heuristic says vector —
+            # the join touches only matching edges, the kernel touches
+            # every node.
+            if resolved == "vector":
+                resolved = "scalar"
+                reason = ("auto: chain-shaped query "
+                          "(label-index frontier join preferred)")
+            _note_engine(ctx, resolved, reason)
             if tracer is None:
                 return _chain_pairs(graph, steps, use_label_index, ctx)
             with tracer.span("evaluate", ctx=ctx,
-                             strategy="chain-frontier-join") as span:
+                             strategy="chain-frontier-join",
+                             engine="scalar") as span:
                 pairs = _chain_pairs(graph, steps, use_label_index, ctx)
                 span.attrs["answers"] = len(pairs)
                 return pairs
+    _note_engine(ctx, resolved, reason)
+    if resolved == "vector":
+        from repro.core.rpq.vectorized import vector_endpoint_pairs
+
+        if tracer is None:
+            return vector_endpoint_pairs(graph, nfa, start_nodes, end_nodes,
+                                         use_label_index=use_label_index,
+                                         ctx=ctx)
+        with tracer.span("evaluate", ctx=ctx, strategy="vector-fixpoint",
+                         engine="vector") as span:
+            pairs = vector_endpoint_pairs(graph, nfa, start_nodes, end_nodes,
+                                          use_label_index=use_label_index,
+                                          ctx=ctx, tracer=tracer)
+            span.attrs["answers"] = len(pairs)
+            return pairs
     if tracer is None:
         return _product_pairs(graph, nfa, start_nodes, end_nodes,
                               use_label_index, ctx)
     with tracer.span("evaluate", ctx=ctx,
-                     strategy="product-fixpoint") as span:
+                     strategy="product-fixpoint", engine="scalar") as span:
         pairs = _product_pairs(graph, nfa, start_nodes, end_nodes,
                                use_label_index, ctx, tracer)
         span.attrs["answers"] = len(pairs)

@@ -1,0 +1,192 @@
+"""Array-ified graph snapshots for the vector kernel, cached per version.
+
+:class:`GraphArrays` freezes one graph into the index form every vector
+evaluation needs: a node order (id ↔ dense index remap — node ids may be
+arbitrary hashable objects), int32 endpoint arrays over the edge list, and
+per-label edge-position arrays mirroring the scalar label index.
+
+Builds are cached per *(graph identity, version)* in a small LRU keyed by
+``id(graph)`` and guarded by a weakref (the
+:class:`~repro.cache.QueryCache` corpse-check idiom: an entry whose graph
+died can never be served to an ``id()``-reusing successor).  Invalidation
+rides the PR-5 :class:`~repro.cache.versioning.MutationLog`: an entry is
+reused iff no record since its build touched the node/edge *structure* or
+an edge label — exactly what the arrays encode.  Property, feature and
+node-label writes leave the entry valid (guards and non-label tests are
+evaluated live against the graph), and the entry is re-stamped to the
+current version so the next check is O(new records) again.  A truncated
+log answers conservatively: rebuild.
+"""
+
+from __future__ import annotations
+
+import weakref
+from collections import OrderedDict
+
+from repro.core.rpq.ast import TrueTest
+from repro.core.rpq.vectorized.engine import numpy_or_none
+
+#: Default number of graphs whose arrays are retained.
+_DEFAULT_CACHE_SIZE = 8
+
+
+class GraphArrays:
+    """One graph flattened to numpy index arrays (read-only snapshot)."""
+
+    __slots__ = ("nodes", "index", "n", "m", "edges", "src", "dst",
+                 "label_positions", "version")
+
+    def __init__(self, graph) -> None:
+        np = numpy_or_none()
+        self.nodes = list(graph.nodes())
+        self.index = {node: i for i, node in enumerate(self.nodes)}
+        self.n = len(self.nodes)
+        self.edges = list(graph.edges())
+        self.m = len(self.edges)
+        src = np.empty(self.m, dtype=np.int32)
+        dst = np.empty(self.m, dtype=np.int32)
+        index = self.index
+        endpoints = graph.endpoints
+        for position, edge in enumerate(self.edges):
+            source, target = endpoints(edge)
+            src[position] = index[source]
+            dst[position] = index[target]
+        self.src = src
+        self.dst = dst
+        # Per-label edge positions, mirroring the scalar label index; None
+        # when the model has no edge labels (every mask then re-checks).
+        label_of = getattr(graph, "edge_label", None)
+        positions = None
+        if label_of is not None:
+            buckets: dict = {}
+            for position, edge in enumerate(self.edges):
+                buckets.setdefault(label_of(edge), []).append(position)
+            positions = {label: np.asarray(bucket, dtype=np.int32)
+                         for label, bucket in buckets.items()}
+        self.label_positions = positions
+        self.version = getattr(graph, "version", None)
+
+    def edge_mask(self, graph, test, use_label_index: bool = True):
+        """Boolean mask over edge positions: which edges pass ``test``.
+
+        Planning mirrors the scalar fetchers (`product._edge_fetchers`):
+        a label-restricted test reads the label-position arrays, with a
+        per-candidate ``matches_edge`` re-check unless the restriction is
+        exact; everything else scans and tests every edge, so the error
+        surface of exotic tests is identical to the scalar engine's.
+        """
+        np = numpy_or_none()
+        if use_label_index and self.label_positions is not None:
+            labels = test.label_candidates()
+            if labels is not None:
+                mask = np.zeros(self.m, dtype=bool)
+                empty = np.empty(0, dtype=np.int32)
+                for label in sorted(labels, key=str):
+                    mask[self.label_positions.get(label, empty)] = True
+                if not test.label_candidates_exact():
+                    edges = self.edges
+                    for position in np.flatnonzero(mask):
+                        if not test.matches_edge(graph, edges[position]):
+                            mask[position] = False
+                return mask
+        if isinstance(test, TrueTest):
+            return np.ones(self.m, dtype=bool)
+        mask = np.empty(self.m, dtype=bool)
+        for position, edge in enumerate(self.edges):
+            mask[position] = test.matches_edge(graph, edge)
+        return mask
+
+    def node_mask(self, graph, guard):
+        """Boolean mask over node indices: which nodes satisfy ``guard``."""
+        np = numpy_or_none()
+        mask = np.empty(self.n, dtype=bool)
+        for i, node in enumerate(self.nodes):
+            mask[i] = guard.matches_node(graph, node)
+        return mask
+
+
+class _ArraysCache:
+    """Bounded LRU of :class:`GraphArrays`, invalidated by mutation logs."""
+
+    def __init__(self, maxsize: int = _DEFAULT_CACHE_SIZE) -> None:
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.rebuilds = 0
+        self._entries: OrderedDict = OrderedDict()
+
+    def lookup(self, graph) -> GraphArrays:
+        key = id(graph)
+        entry = self._entries.get(key)
+        if entry is not None:
+            ref, arrays = entry
+            if ref() is not graph:
+                # The graph this entry was built for died; ``id()`` reuse
+                # must not serve its arrays to a different graph.
+                del self._entries[key]
+            elif self._still_valid(graph, arrays):
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return arrays
+            else:
+                del self._entries[key]
+                self.rebuilds += 1
+        self.misses += 1
+        arrays = GraphArrays(graph)
+        try:
+            ref = weakref.ref(graph)
+        except TypeError:
+            return arrays  # not weakref-able: build fresh, never cache
+        self._entries[key] = (ref, arrays)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        return arrays
+
+    @staticmethod
+    def _still_valid(graph, arrays: GraphArrays) -> bool:
+        version = getattr(graph, "version", None)
+        if version is None or arrays.version is None:
+            return False
+        if version == arrays.version:
+            return True
+        log = getattr(graph, "mutation_log", None)
+        if log is None:
+            return False
+        records = log.records_since(arrays.version)
+        if records is None:  # history truncated: assume the worst
+            return False
+        for record in records:
+            if (record.structural_edges or record.structural_nodes
+                    or record.edge_labels):
+                return False
+        # Only property/feature/node-label writes landed; the arrays do
+        # not encode those, so re-stamp and keep the entry.
+        arrays.version = version
+        return True
+
+    def info(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions, "rebuilds": self.rebuilds,
+                "currsize": len(self._entries), "maxsize": self.maxsize}
+
+
+_CACHE = _ArraysCache()
+
+
+def graph_arrays(graph) -> GraphArrays:
+    """The (possibly cached) :class:`GraphArrays` snapshot of ``graph``."""
+    return _CACHE.lookup(graph)
+
+
+def adjacency_cache_info() -> dict:
+    """Counters of the process-wide arrays cache (mirrors
+    :func:`~repro.core.rpq.nfa.compile_cache_info`)."""
+    return _CACHE.info()
+
+
+def clear_adjacency_cache(maxsize: int | None = None) -> None:
+    """Drop every cached snapshot; optionally resize the cache."""
+    global _CACHE
+    _CACHE = _ArraysCache(_CACHE.maxsize if maxsize is None else maxsize)

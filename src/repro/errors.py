@@ -55,6 +55,15 @@ class ConversionError(ReproError):
     """A conversion between graph data models could not be performed."""
 
 
+class EngineUnavailableError(ReproError):
+    """An explicitly requested evaluation engine cannot run here.
+
+    Raised when ``engine="vector"`` is forced but numpy is not importable;
+    ``engine="auto"`` never raises this — it falls back to the scalar
+    engine instead.
+    """
+
+
 class RegexSyntaxError(ReproError):
     """The textual form of a regular path query could not be parsed."""
 

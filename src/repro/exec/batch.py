@@ -121,6 +121,7 @@ def _task_batch_query(state, payload, ctx, tracer):
     """
     language = payload["language"]
     text = payload["text"]
+    engine = payload.get("engine", "auto")
     graph = state["graph"]
     query_cache = None
     if payload.get("cache", True):
@@ -136,7 +137,7 @@ def _task_batch_query(state, payload, ctx, tracer):
             from repro.query.pathql import run_pathql
 
             result = run_pathql(graph, text, ctx=ctx, tracer=tracer,
-                                cache=query_cache)
+                                cache=query_cache, engine=engine)
             outcome["value"] = _pathql_value(result)
             if result.is_degraded:
                 outcome["status"] = "degraded"
@@ -151,7 +152,7 @@ def _task_batch_query(state, payload, ctx, tracer):
             from repro.query.sparql import run_sparql
 
             result = run_sparql(store, text, ctx=ctx, tracer=tracer,
-                                cache=query_cache)
+                                cache=query_cache, engine=engine)
             outcome["value"] = _table_value(
                 [f"?{v}" for v in result.variables], result.rows)
         else:
@@ -163,7 +164,7 @@ def _task_batch_query(state, payload, ctx, tracer):
             from repro.query.cypherish import run_cypher
 
             result = run_cypher(store, text, ctx=ctx, tracer=tracer,
-                                cache=query_cache)
+                                cache=query_cache, engine=engine)
             outcome["value"] = _table_value(result.columns, result.rows)
     except Cancelled:
         raise
@@ -202,13 +203,24 @@ class BatchSession:
     (query *i* on worker ``i % workers`` — deterministic, so fault
     campaigns can target the worker a specific query runs on) and returns
     one :class:`BatchResult` per query, in order.
+
+    ``engine`` is the session-wide evaluation-engine selector
+    (``auto``/``scalar``/``vector``), forwarded to every frontend runner;
+    the answer payloads are engine-independent.
     """
 
     def __init__(self, graph, workers: int | None = None, *,
-                 fault_plans: dict | None = None, cache: bool = True) -> None:
+                 fault_plans: dict | None = None, cache: bool = True,
+                 engine: str = "auto") -> None:
+        from repro.core.rpq.vectorized.engine import ENGINES
+
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; "
+                             f"expected one of {ENGINES}")
         self.pool = WorkerPool(graph, workers, fault_plans=fault_plans)
         self.graph = graph
         self.cache = cache
+        self.engine = engine
 
     def __enter__(self) -> "BatchSession":
         return self
@@ -237,7 +249,8 @@ class BatchSession:
         batch = [self._coerce(query) for query in queries]
         tasks = [("batch.query", {"language": query.language,
                                   "text": query.text,
-                                  "cache": self.cache})
+                                  "cache": self.cache,
+                                  "engine": self.engine})
                  for query in batch]
         outcomes = self.pool.run_tasks(tasks, ctx=ctx, tracer=tracer)
         results = []

@@ -90,6 +90,10 @@ class ExecStats:
     peak_bytes: int = 0
     results: int = 0
     degradations: list[DegradationEvent] = field(default_factory=list)
+    #: Free-form per-query annotations (e.g. ``engine``/``engine_reason``
+    #: from the RPQ engine selector) surfaced by ``--stats`` and merged
+    #: last-writer-wins across workers.
+    notes: dict[str, object] = field(default_factory=dict)
 
     @property
     def total_checkpoints(self) -> int:
@@ -112,6 +116,8 @@ class ExecStats:
             rows.append([f"site {site}", self.checkpoints[site]])
         for event in self.degradations:
             rows.append(["degraded", str(event)])
+        for name in sorted(self.notes):
+            rows.append([f"note {name}", self.notes[name]])
         return rows
 
 
@@ -193,17 +199,23 @@ class Context:
 
     # -- the checkpoint protocol ---------------------------------------------
 
-    def checkpoint(self, site: str) -> None:
-        """One unit of governed work at ``site``.
+    def checkpoint(self, site: str, steps: int = 1) -> None:
+        """One governed unit of work at ``site``, charging ``steps`` steps.
 
         Order matters: the site counter bumps *first* (so coverage counters
         see aborted loops), then injected faults fire, then cancellation,
         then step / deadline limits.
+
+        ``steps`` lets block-granular callers (the vectorized RPQ kernel,
+        which does a whole frontier sweep per numpy call) keep step
+        accounting equivalent to the scalar per-element loops: one
+        checkpoint *call* per block, with the block's element count charged
+        in bulk against ``max_steps``.
         """
         stats = self.stats
         stats.checkpoints[site] = stats.checkpoints.get(site, 0) + 1
         shared = self._shared
-        shared.steps += 1
+        shared.steps += steps
         if self.faults is not None:
             self.faults.on_checkpoint(self, site)
         if shared.cancelled:

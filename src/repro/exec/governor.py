@@ -64,6 +64,7 @@ def count_paths_governed(graph, regex, k: int, ctx: Context, *,
                          allow_degraded: bool = True,
                          pool_size: int | None = None,
                          trials_per_state: int | None = None,
+                         engine: str = "auto",
                          tracer=None, pool=None, cache=None) -> GovernedResult:
     """Count(G, r, k) under a budget, degrading instead of hanging.
 
@@ -83,6 +84,8 @@ def count_paths_governed(graph, regex, k: int, ctx: Context, *,
     exact rung shards across workers (it dominates the ladder's cost and
     shards exactly); the FPRAS and enumeration fallbacks stay serial —
     their sampling/emission order is part of their seeded determinism.
+    ``engine`` is likewise forwarded only to the exact rung — the fallback
+    rungs are scalar by construction (seeded sampling / ordered emission).
 
     With a :class:`~repro.cache.QueryCache` (``cache=``), a previously
     computed *exact* count — stored by this function or by a plain
@@ -108,6 +111,7 @@ def count_paths_governed(graph, regex, k: int, ctx: Context, *,
             else tracer.start("degrade:exact", ctx=ctx))
     try:
         value = count_paths_exact(graph, regex, k, start_nodes, end_nodes,
+                                  engine=engine,
                                   ctx=ctx.fraction(exact_share), pool=pool)
         if span is not None:
             span.attrs["outcome"] = "answered"

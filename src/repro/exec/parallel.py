@@ -199,14 +199,20 @@ def _make_task_context(budget_fields, event, faults) -> Context:
     return ctx
 
 
-def _encode_stats(stats) -> dict:
+def _encode_stats(task_ctx: Context) -> dict:
+    stats = task_ctx.stats
     return {
         "checkpoints": dict(stats.checkpoints),
+        # The true step spend: with block-granular checkpoints (the
+        # vectorized RPQ kernel charges ``steps=n`` per call) the per-site
+        # call counts no longer sum to the steps consumed.
+        "steps": task_ctx._shared.steps,
         "peak_frontier": stats.peak_frontier,
         "peak_bytes": stats.peak_bytes,
         "results": stats.results,
         "degradations": [(e.from_quality, e.to_quality, e.resource, e.site)
                          for e in stats.degradations],
+        "notes": dict(stats.notes),
     }
 
 
@@ -220,12 +226,14 @@ def _merge_stats(ctx: Context, encoded: dict) -> None:
     stats = ctx.stats
     for site, count in encoded["checkpoints"].items():
         stats.checkpoints[site] = stats.checkpoints.get(site, 0) + count
-    ctx._shared.steps += sum(encoded["checkpoints"].values())
+    ctx._shared.steps += encoded.get(
+        "steps", sum(encoded["checkpoints"].values()))
     stats.peak_frontier = max(stats.peak_frontier, encoded["peak_frontier"])
     stats.peak_bytes = max(stats.peak_bytes, encoded["peak_bytes"])
     stats.results += encoded["results"]
     for fields in encoded["degradations"]:
         stats.degradations.append(DegradationEvent(*fields))
+    stats.notes.update(encoded.get("notes", ()))
 
 
 def _encode_error(error: BaseException) -> dict:
@@ -269,7 +277,7 @@ def _execute_task(state: dict, item: tuple, event, faults) -> bytes:
         result = function(state, payload, ctx, tracer)
     except BaseException as exc:  # isolation: report, never crash the worker
         status, error = "failed", _encode_error(exc)
-    stats = _encode_stats(ctx.stats) if ctx is not None else None
+    stats = _encode_stats(ctx) if ctx is not None else None
     spans = tracer.to_dict()["spans"] if tracer is not None else None
     message = (task_id, state["index"], status, result, error, stats, spans)
     try:
@@ -598,12 +606,13 @@ def _task_endpoint_pairs(state, payload, ctx, tracer):
                           start_nodes=payload["starts"],
                           end_nodes=payload["ends"],
                           use_label_index=payload["use_label_index"],
+                          engine=payload.get("engine", "auto"),
                           ctx=ctx, tracer=tracer)
 
 
 def sharded_endpoint_pairs(pool: WorkerPool, graph, regex,
                            start_nodes=None, end_nodes=None, *,
-                           use_label_index: bool = True,
+                           use_label_index: bool = True, engine: str = "auto",
                            ctx=None, tracer=None) -> set[tuple]:
     """:func:`~repro.core.rpq.evaluate.endpoint_pairs` sharded by start node.
 
@@ -615,7 +624,7 @@ def sharded_endpoint_pairs(pool: WorkerPool, graph, regex,
     ends = None if end_nodes is None else tuple(sorted(set(end_nodes), key=str))
     tasks = [("rpq.endpoint_pairs",
               {"regex": regex, "starts": shard, "ends": ends,
-               "use_label_index": use_label_index})
+               "use_label_index": use_label_index, "engine": engine})
              for shard in partition_chunks(starts, pool.n_shards)]
     pairs: set[tuple] = set()
     for shard_pairs in pool.run_tasks(tasks, ctx=ctx, tracer=tracer):
@@ -631,13 +640,14 @@ def _task_count_paths(state, payload, ctx, tracer):
                              start_nodes=payload["starts"],
                              end_nodes=payload["ends"],
                              use_label_index=payload["use_label_index"],
+                             engine=payload.get("engine", "auto"),
                              ctx=ctx)
 
 
 def sharded_count_paths(pool: WorkerPool, graph, regex, k: int,
                         start_nodes=None, end_nodes=None, *,
-                        use_label_index: bool = True, ctx=None,
-                        tracer=None) -> int:
+                        use_label_index: bool = True, engine: str = "auto",
+                        ctx=None, tracer=None) -> int:
     """Count(G, r, k) sharded by start node; the shard counts sum exactly.
 
     Distinct paths have distinct (start node, word) encodings and the start
@@ -647,7 +657,7 @@ def sharded_count_paths(pool: WorkerPool, graph, regex, k: int,
     ends = None if end_nodes is None else tuple(sorted(set(end_nodes), key=str))
     tasks = [("rpq.count_paths",
               {"regex": regex, "k": k, "starts": shard, "ends": ends,
-               "use_label_index": use_label_index})
+               "use_label_index": use_label_index, "engine": engine})
              for shard in partition_chunks(starts, pool.n_shards)]
     return sum(pool.run_tasks(tasks, ctx=ctx, tracer=tracer))
 

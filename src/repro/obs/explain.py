@@ -29,7 +29,9 @@ from repro.core.rpq.nfa import compile_regex
 
 #: Schema version stamped into every exported report.
 #: v2 added the ``cache`` details section (key family, label footprint,
-#: target version) for every frontend.
+#: target version) for every frontend; the ``engine`` details section
+#: (requested/chosen engine, reason, kernel layout) is additive within v2 —
+#: readers that ignore unknown detail keys keep working.
 EXPLAIN_SCHEMA_VERSION = 2
 
 
@@ -113,6 +115,39 @@ def _cache_section(key_family: str, footprint, target) -> dict:
 # ---------------------------------------------------------------------------
 
 
+def _engine_section(engine: str, graph=None, *, n_nodes: int | None = None,
+                    footprint_edges: int | None = None,
+                    scalar_reason: str | None = None) -> dict:
+    """The ``engine`` details block: requested vs chosen engine and why.
+
+    ``scalar_reason`` short-circuits resolution for evaluation modes that
+    are scalar by construction.  A forced ``engine="vector"`` without
+    numpy reports ``chosen: "unavailable"`` instead of raising — EXPLAIN
+    never executes, so it describes the failure the run would hit.
+    """
+    from repro.core.rpq.vectorized.engine import pick_layout, resolve_engine
+    from repro.errors import EngineUnavailableError
+
+    section: dict = {"requested": engine}
+    if scalar_reason is not None:
+        section["chosen"] = "scalar"
+        section["reason"] = scalar_reason
+        return section
+    try:
+        chosen, reason = resolve_engine(engine, graph, n_nodes=n_nodes,
+                                        footprint_edges=footprint_edges)
+    except EngineUnavailableError as error:
+        section["chosen"] = "unavailable"
+        section["reason"] = str(error)
+        return section
+    section["chosen"] = chosen
+    section["reason"] = reason
+    if chosen == "vector":
+        count = n_nodes if n_nodes is not None else graph.node_count()
+        section["layout"] = pick_layout(count)
+    return section
+
+
 def _edge_atoms(regex: Regex):
     if isinstance(regex, EdgeAtom):
         yield regex
@@ -171,7 +206,8 @@ _MODE_STRATEGIES = {
 
 def explain_pathql(graph, text: str, *, governed: bool = False,
                    exact_share: float = 0.5,
-                   approx_share: float = 0.8) -> ExplainReport:
+                   approx_share: float = 0.8,
+                   engine: str = "auto") -> ExplainReport:
     """Strategy report for a PathQL statement (parsed, not executed)."""
     from repro.query.pathql import parse_pathql
 
@@ -203,6 +239,19 @@ def explain_pathql(graph, text: str, *, governed: bool = False,
         },
         "index_plan": regex_index_plan(graph, query.regex),
     }
+    if query.mode == "count":
+        from repro.core.rpq.evaluate import footprint_edge_count
+
+        details["engine"] = _engine_section(
+            engine, graph,
+            footprint_edges=(footprint_edge_count(graph, nfa)
+                             if engine == "auto" else None))
+    else:
+        details["engine"] = _engine_section(
+            engine, graph,
+            scalar_reason=(f"mode {query.mode!r} is scalar by construction "
+                           "(emission order and seeded randomness are part "
+                           "of the answer)"))
     from repro.cache import pathql_footprint
 
     details["cache"] = _cache_section("pathql", pathql_footprint(query), graph)
@@ -246,7 +295,7 @@ def _path_shape(path) -> str:
     return type(path).__name__
 
 
-def explain_sparql(store, text: str) -> ExplainReport:
+def explain_sparql(store, text: str, *, engine: str = "auto") -> ExplainReport:
     """Strategy report for a mini-SPARQL query: join order + estimates."""
     from repro.query.sparql import _estimate, parse_sparql
 
@@ -280,6 +329,7 @@ def explain_sparql(store, text: str) -> ExplainReport:
         "branches": branch_reports,
         "distinct": query.distinct,
         "limit": query.limit if query.limit is not None else "(none)",
+        "engine": _engine_section(engine, n_nodes=len(store.resources())),
     }
     from repro.cache import sparql_footprint
 
@@ -305,7 +355,7 @@ def _term(term) -> str:
 # ---------------------------------------------------------------------------
 
 
-def explain_cypher(store, text: str) -> ExplainReport:
+def explain_cypher(store, text: str, *, engine: str = "auto") -> ExplainReport:
     """Strategy report for a mini-Cypher query: candidate sources + expansions."""
     from repro.query.cypherish import parse_cypher
 
@@ -349,6 +399,15 @@ def explain_cypher(store, text: str) -> ExplainReport:
         "distinct": query.distinct,
         "limit": query.limit if query.limit is not None else "(none)",
     }
+    engine_section = _engine_section(engine, graph)
+    if engine_section.get("chosen") == "vector" and not query.distinct:
+        # Mirror the evaluator: the set-semantics expansion would collapse
+        # walk multiplicities a non-DISTINCT answer must keep.
+        engine_section.pop("layout", None)
+        engine_section["chosen"] = "scalar"
+        engine_section["reason"] = ("vector demoted: non-DISTINCT query "
+                                    "returns walk multiplicities")
+    details["engine"] = engine_section
     from repro.cache import cypher_footprint
 
     details["cache"] = _cache_section("cypher", cypher_footprint(query), store)

@@ -380,7 +380,8 @@ class CypherResult:
 
 
 def run_cypher(store: PropertyGraphStore, text: str, *,
-               ctx=None, tracer=None, cache=None) -> CypherResult:
+               ctx=None, tracer=None, cache=None,
+               engine: str = "auto") -> CypherResult:
     """Parse and evaluate a query against a property-graph store.
 
     With an execution :class:`~repro.exec.Context` the backtracking matcher
@@ -400,21 +401,31 @@ def run_cypher(store: PropertyGraphStore, text: str, *,
     invalidates the entry.  The footprint covers pattern labels (or the
     whole node/edge set for unlabeled patterns) plus every property name
     read by property maps, WHERE, or RETURN.
+
+    ``engine`` selects how *variable-length* relationships are expanded.
+    The scalar expansion enumerates walks (each distinct edge sequence is
+    one match); the vector expansion tracks per-depth *node sets* instead,
+    which collapses walk multiplicities — sound exactly for ``RETURN
+    DISTINCT`` patterns that do not bind the relationship variable, so
+    anything else (including a forced ``engine="vector"``) is demoted to
+    scalar with the demotion recorded in the stats notes.
     """
     if tracer is None:
-        return _run_cypher(store, text, ctx, cache=cache)
+        return _run_cypher(store, text, ctx, cache=cache, engine=engine)
     with tracer.span("parse", frontend="cypher"):
         query = parse_cypher(text)
     with tracer.span("evaluate", ctx=ctx,
                      strategy="backtracking-match") as span:
         span.attrs["patterns"] = len(query.patterns)
-        result = _run_cypher(store, text, ctx, query=query, cache=cache)
+        result = _run_cypher(store, text, ctx, query=query, cache=cache,
+                             engine=engine)
         span.attrs["rows"] = len(result.rows)
         return result
 
 
 def _run_cypher(store: PropertyGraphStore, text: str, ctx=None, *,
-                query: CypherQuery | None = None, cache=None) -> CypherResult:
+                query: CypherQuery | None = None, cache=None,
+                engine: str = "auto") -> CypherResult:
     if query is None:
         query = parse_cypher(text)
     if cache is not None:
@@ -425,13 +436,25 @@ def _run_cypher(store: PropertyGraphStore, text: str, ctx=None, *,
         if hit is not MISS:
             columns, rows = hit
             return CypherResult(columns, list(rows))
-        result = _run_cypher(store, text, ctx, query=query)
+        result = _run_cypher(store, text, ctx, query=query, engine=engine)
         cache.store(store, key, cypher_footprint(query),
                     (result.columns, tuple(result.rows)))
         return result
+    from repro.core.rpq.vectorized.engine import resolve_engine
+
+    resolved, reason = resolve_engine(engine, store.graph)
+    if resolved == "vector" and not query.distinct:
+        # Walk multiplicities are part of a non-DISTINCT answer; the
+        # set-semantics expansion would silently collapse them.
+        resolved = "scalar"
+        reason = ("vector demoted: non-DISTINCT query returns walk "
+                  "multiplicities (set-semantics expansion would drop rows)")
+    if ctx is not None:
+        ctx.stats.notes["engine"] = resolved
+        ctx.stats.notes["engine_reason"] = reason
     bindings = [{}]
     for pattern in query.patterns:
-        bindings = _match_path(store, pattern, bindings, ctx)
+        bindings = _match_path(store, pattern, bindings, ctx, engine=resolved)
     if query.where is not None:
         bindings = [b for b in bindings if _bool_holds(store, query.where, b)]
 
@@ -463,15 +486,18 @@ def _run_cypher(store: PropertyGraphStore, text: str, ctx=None, *,
 
 
 def _match_path(store: PropertyGraphStore, pattern: PathPattern,
-                bindings: list[dict], ctx=None) -> list[dict]:
+                bindings: list[dict], ctx=None, *,
+                engine: str = "scalar") -> list[dict]:
     results: list[dict] = []
     for binding in bindings:
-        results.extend(_match_from(store, pattern, 0, binding, ctx))
+        results.extend(_match_from(store, pattern, 0, binding, ctx,
+                                   engine=engine))
     return results
 
 
 def _match_from(store: PropertyGraphStore, pattern: PathPattern,
-                position: int, binding: dict, ctx=None) -> list[dict]:
+                position: int, binding: dict, ctx=None, *,
+                engine: str = "scalar") -> list[dict]:
     node_pattern = pattern.nodes[position]
     candidates = _node_candidates(store, node_pattern, binding)
     solutions: list[dict] = []
@@ -482,23 +508,26 @@ def _match_from(store: PropertyGraphStore, pattern: PathPattern,
         if extended is None:
             continue
         solutions.extend(_match_tail(store, pattern, position, node, extended,
-                                     ctx))
+                                     ctx, engine=engine))
     return solutions
 
 
 def _match_tail(store: PropertyGraphStore, pattern: PathPattern,
-                position: int, node, binding: dict, ctx=None) -> list[dict]:
+                position: int, node, binding: dict, ctx=None, *,
+                engine: str = "scalar") -> list[dict]:
     if position == len(pattern.rels):
         return [binding]
     rel = pattern.rels[position]
     solutions: list[dict] = []
-    for next_node, with_rel in _expand_rel(store, rel, node, binding, ctx):
+    for next_node, with_rel in _expand_rel(store, rel, node, binding, ctx,
+                                           engine=engine):
         next_pattern = pattern.nodes[position + 1]
         target_check = _bind_node(next_pattern, next_node, with_rel, store)
         if target_check is None:
             continue
         solutions.extend(_match_tail(store, pattern, position + 1,
-                                     next_node, target_check, ctx))
+                                     next_node, target_check, ctx,
+                                     engine=engine))
     return solutions
 
 
@@ -542,7 +571,7 @@ def _node_matches(store: PropertyGraphStore, pattern: NodePattern, node) -> bool
 
 
 def _expand_rel(store: PropertyGraphStore, rel: RelPattern, node, binding: dict,
-                ctx=None):
+                ctx=None, *, engine: str = "scalar"):
     """Yield (target node, binding-with-rel-var) for one relationship pattern."""
     if not rel.variable_length:
         for edge, neighbor in store.expand(node, rel.label, direction=rel.direction):
@@ -554,6 +583,9 @@ def _expand_rel(store: PropertyGraphStore, rel: RelPattern, node, binding: dict,
             if rel.var:
                 extended[rel.var] = edge
             yield neighbor, extended
+        return
+    if engine == "vector" and rel.var is None:
+        yield from _expand_rel_dedup(store, rel, node, binding, ctx)
         return
     # Variable-length: BFS between the bounds, binding the var to edge lists.
     frontier = [(node, ())]
@@ -573,6 +605,41 @@ def _expand_rel(store: PropertyGraphStore, rel: RelPattern, node, binding: dict,
                 if rel.var:
                     extended[rel.var] = edges
                 yield target, extended
+        if not frontier:
+            return
+
+
+def _expand_rel_dedup(store: PropertyGraphStore, rel: RelPattern, node,
+                      binding: dict, ctx=None):
+    """Variable-length expansion over per-depth *node sets* (vector engine).
+
+    ``frontier`` holds the nodes reachable by some walk of exactly the
+    current depth — bounded by the node count, where the walk enumeration
+    is bounded by the walk count.  Per-depth sets (rather than a
+    visited-once BFS) matter for correctness: a node whose shortest walk
+    is below ``min_hops`` may still be reachable by a longer, eligible
+    walk through a cycle.  Each eligible target is emitted once, in
+    sorted order at its first eligible depth; the caller guaranteed
+    DISTINCT semantics, so the collapsed multiplicities are unobservable.
+    Checkpoints land per depth (site ``cypher.expand``), charged with the
+    frontier size.
+    """
+    frontier = {node}
+    emitted = set()
+    for depth in range(1, rel.max_hops + 1):
+        if ctx is not None:
+            ctx.checkpoint("cypher.expand", steps=max(1, len(frontier)))
+            ctx.note_frontier(len(frontier), "cypher.expand")
+        next_frontier = set()
+        for current in frontier:
+            for _, neighbor in store.expand(current, rel.label,
+                                            direction=rel.direction):
+                next_frontier.add(neighbor)
+        frontier = next_frontier
+        if depth >= rel.min_hops:
+            for target in sorted(frontier - emitted, key=str):
+                emitted.add(target)
+                yield target, dict(binding)
         if not frontier:
             return
 

@@ -148,7 +148,8 @@ def parse_pathql(text: str) -> PathQuery:
 
 
 def run_pathql(graph, text: str, *, ctx=None, tracer=None,
-               pool=None, cache=None) -> PathQueryResult:
+               pool=None, cache=None,
+               engine: str = "auto") -> PathQueryResult:
     """Parse and execute a PathQL statement against any graph model.
 
     With an execution :class:`~repro.exec.Context` every evaluation loop
@@ -177,16 +178,22 @@ def run_pathql(graph, text: str, *, ctx=None, tracer=None,
     footprint.  A hit re-runs nothing: no parse of the regex semantics, no
     governor rungs, no budget checkpoints.  Degraded/partial results are
     never cached — they reflect this run's budget, not the graph.
+
+    ``engine`` selects the evaluation engine for ``COUNT`` queries (the
+    backward-layer sweep vectorizes); enumeration, sampling and the FPRAS
+    are scalar by construction — their emission order and seeded
+    randomness are part of the answer — so the flag is a no-op there.
     """
     if tracer is None:
-        return _run_pathql(graph, text, ctx, pool=pool, cache=cache)
+        return _run_pathql(graph, text, ctx, pool=pool, cache=cache,
+                           engine=engine)
     with tracer.span("parse", frontend="pathql"):
         query = parse_pathql(text)
     with tracer.span("compile", cache=True):
         compile_regex(query.regex)
     with tracer.span("evaluate", ctx=ctx, mode=query.mode) as span:
         result = _run_pathql(graph, text, ctx, query=query, tracer=tracer,
-                             pool=pool, cache=cache)
+                             pool=pool, cache=cache, engine=engine)
         span.attrs["quality"] = result.quality
         if result.count is not None:
             span.attrs["count"] = result.count
@@ -203,7 +210,8 @@ def _canonical_key(query: PathQuery) -> tuple:
 
 
 def _run_pathql(graph, text: str, ctx=None, *, query: PathQuery | None = None,
-                tracer=None, pool=None, cache=None) -> PathQueryResult:
+                tracer=None, pool=None, cache=None,
+                engine: str = "auto") -> PathQueryResult:
     if query is None:
         query = parse_pathql(text)
     if cache is not None:
@@ -215,7 +223,7 @@ def _run_pathql(graph, text: str, ctx=None, *, query: PathQuery | None = None,
             mode, paths, count, quality = hit
             return PathQueryResult(mode, list(paths), count, quality=quality)
         result = _run_pathql(graph, text, ctx, query=query, tracer=tracer,
-                             pool=pool)
+                             pool=pool, engine=engine)
         if result.quality == "exact":
             cache.store(graph, key, pathql_footprint(query),
                         (result.mode, tuple(result.paths), result.count,
@@ -240,13 +248,14 @@ def _run_pathql(graph, text: str, ctx=None, *, query: PathQuery | None = None,
                                             epsilon=query.epsilon,
                                             rng=query.seed,
                                             start_nodes=starts, end_nodes=ends,
+                                            engine=engine,
                                             tracer=tracer, pool=pool)
             return PathQueryResult("count", [], governed.value,
                                    quality=governed.quality,
                                    degradations=tuple(governed.degradations))
         count = count_paths_exact(graph, query.regex, length,
                                   start_nodes=starts, end_nodes=ends,
-                                  pool=pool)
+                                  engine=engine, pool=pool)
         return PathQueryResult("count", [], count)
     if query.mode == "count-approx":
         counter = ApproxPathCounter(graph, query.regex, length,

@@ -406,7 +406,7 @@ class SelectResult:
 
 
 def run_sparql(store: TripleStore, text: str, *, ctx=None,
-               tracer=None, cache=None) -> SelectResult:
+               tracer=None, cache=None, engine: str = "auto") -> SelectResult:
     """Parse and evaluate a query against a triple store.
 
     With an execution :class:`~repro.exec.Context` the backtracking join
@@ -426,9 +426,16 @@ def run_sparql(store: TripleStore, text: str, *, ctx=None,
     query share one entry — with the query's label footprint: rdf:type
     patterns depend on node labels, IRI predicates on edge labels, variable
     predicates on everything.  A hit evaluates nothing and spends no budget.
+
+    ``engine`` selects how closures (``*``/``+`` paths) with an unbound
+    subject are evaluated: ``"scalar"`` runs the per-start BFS, ``"vector"``
+    materializes the inner relation once and closes it by boolean matrix
+    squaring, and ``"auto"`` (the default) picks by resource count.  The
+    answer multiset is engine-independent; only the evaluation strategy
+    (and its checkpoint granularity) changes.
     """
     if tracer is None:
-        return _run_sparql(store, text, ctx, cache=cache)
+        return _run_sparql(store, text, ctx, cache=cache, engine=engine)
     with tracer.span("parse", frontend="sparql"):
         query = parse_sparql(text)
     with tracer.span("evaluate", ctx=ctx,
@@ -437,13 +444,15 @@ def run_sparql(store: TripleStore, text: str, *, ctx=None,
                     else ((query.patterns, query.filters, query.optionals),))
         span.attrs["branches"] = len(branches)
         span.attrs["patterns"] = sum(len(p) for p, _, _ in branches)
-        result = _run_sparql(store, text, ctx, query=query, cache=cache)
+        result = _run_sparql(store, text, ctx, query=query, cache=cache,
+                             engine=engine)
         span.attrs["rows"] = len(result.rows)
         return result
 
 
 def _run_sparql(store: TripleStore, text: str, ctx=None, *,
-                query: SelectQuery | None = None, cache=None) -> SelectResult:
+                query: SelectQuery | None = None, cache=None,
+                engine: str = "auto") -> SelectResult:
     if query is None:
         query = parse_sparql(text)
     if cache is not None:
@@ -454,22 +463,30 @@ def _run_sparql(store: TripleStore, text: str, ctx=None, *,
         if hit is not MISS:
             variables, rows = hit
             return SelectResult(variables, list(rows))
-        result = _run_sparql(store, text, ctx, query=query)
+        result = _run_sparql(store, text, ctx, query=query, engine=engine)
         cache.store(store, key, sparql_footprint(query),
                     (result.variables, tuple(result.rows)))
         return result
+    from repro.core.rpq.vectorized.engine import resolve_engine
+
+    resolved, reason = resolve_engine(engine,
+                                      n_nodes=len(store.resources()))
+    if ctx is not None:
+        ctx.stats.notes["engine"] = resolved
+        ctx.stats.notes["engine_reason"] = reason
     if query.union_branches:
         branches = query.union_branches
     else:
         branches = ((query.patterns, query.filters, query.optionals),)
     solutions = []
     for patterns, filters, optionals in branches:
-        branch_solutions = _solve_bgp(store, list(patterns), {}, ctx)
+        branch_solutions = _solve_bgp(store, list(patterns), {}, ctx,
+                                      engine=resolved)
         branch_solutions = [s for s in branch_solutions
                             if all(_filter_holds(f, s) for f in filters)]
         for optional in optionals:
             branch_solutions = _apply_optional(store, branch_solutions,
-                                               optional, ctx)
+                                               optional, ctx, engine=resolved)
         solutions.extend(branch_solutions)
 
     if query.variables is None:
@@ -514,7 +531,7 @@ def _run_sparql(store: TripleStore, text: str, ctx=None, *,
 
 
 def _solve_bgp(store: TripleStore, patterns: list[TriplePattern],
-               binding: dict, ctx=None) -> list[dict]:
+               binding: dict, ctx=None, *, engine: str = "scalar") -> list[dict]:
     """Backtracking join with greedy selectivity ordering."""
     if not patterns:
         return [dict(binding)]
@@ -522,10 +539,11 @@ def _solve_bgp(store: TripleStore, patterns: list[TriplePattern],
                       key=lambda item: _estimate(store, item[1], binding))
     rest = patterns[:index] + patterns[index + 1:]
     solutions: list[dict] = []
-    for extension in _match_pattern(store, best, binding, ctx):
+    for extension in _match_pattern(store, best, binding, ctx, engine=engine):
         if ctx is not None:
             ctx.checkpoint("sparql.join")
-        solutions.extend(_solve_bgp(store, rest, extension, ctx))
+        solutions.extend(_solve_bgp(store, rest, extension, ctx,
+                                    engine=engine))
     return solutions
 
 
@@ -548,7 +566,7 @@ def _resolve(term: Term, binding: dict) -> str | None:
 
 
 def _match_pattern(store: TripleStore, pattern: TriplePattern, binding: dict,
-                   ctx=None):
+                   ctx=None, *, engine: str = "scalar"):
     subject = _resolve(pattern.subject, binding)
     obj = _resolve(pattern.object, binding)
     if isinstance(pattern.path, PVar):
@@ -562,7 +580,8 @@ def _match_pattern(store: TripleStore, pattern: TriplePattern, binding: dict,
                 extension[pattern.object.name] = triple.object
             yield extension
         return
-    for s, o in _eval_path(store, pattern.path, subject, obj, ctx):
+    for s, o in _eval_path(store, pattern.path, subject, obj, ctx,
+                           engine=engine):
         extension = dict(binding)
         if isinstance(pattern.subject, Var):
             extension[pattern.subject.name] = s
@@ -572,52 +591,70 @@ def _match_pattern(store: TripleStore, pattern: TriplePattern, binding: dict,
 
 
 def _eval_path(store: TripleStore, path: PathExpr,
-               subject: str | None, obj: str | None, ctx=None):
+               subject: str | None, obj: str | None, ctx=None, *,
+               engine: str = "scalar"):
     """Yield (s, o) pairs related by the path, honoring bound endpoints."""
     if isinstance(path, PIri):
         for triple in store.match(subject, path.iri, obj):
             yield triple.subject, triple.object
         return
     if isinstance(path, PInverse):
-        for o, s in _eval_path(store, path.inner, obj, subject, ctx):
+        for o, s in _eval_path(store, path.inner, obj, subject, ctx,
+                               engine=engine):
             yield s, o
         return
     if isinstance(path, PSequence):
         if subject is not None or obj is None:
-            for s, middle in _eval_path(store, path.left, subject, None, ctx):
-                for _, o in _eval_path(store, path.right, middle, obj, ctx):
+            for s, middle in _eval_path(store, path.left, subject, None, ctx,
+                                        engine=engine):
+                for _, o in _eval_path(store, path.right, middle, obj, ctx,
+                                       engine=engine):
                     yield s, o
         else:
-            for middle, o in _eval_path(store, path.right, None, obj, ctx):
-                for s, _ in _eval_path(store, path.left, subject, middle, ctx):
+            for middle, o in _eval_path(store, path.right, None, obj, ctx,
+                                        engine=engine):
+                for s, _ in _eval_path(store, path.left, subject, middle, ctx,
+                                       engine=engine):
                     yield s, o
         return
     if isinstance(path, PAlternative):
         seen = set()
-        for pair in _eval_path(store, path.left, subject, obj, ctx):
+        for pair in _eval_path(store, path.left, subject, obj, ctx,
+                               engine=engine):
             if pair not in seen:
                 seen.add(pair)
                 yield pair
-        for pair in _eval_path(store, path.right, subject, obj, ctx):
+        for pair in _eval_path(store, path.right, subject, obj, ctx,
+                               engine=engine):
             if pair not in seen:
                 seen.add(pair)
                 yield pair
         return
     if isinstance(path, (PStar, PPlus)):
         minimum = 0 if isinstance(path, PStar) else 1
-        yield from _eval_closure(store, path.inner, subject, obj, minimum, ctx)
+        yield from _eval_closure(store, path.inner, subject, obj, minimum,
+                                 ctx, engine=engine)
         return
     raise QueryEvaluationError(f"unknown path node: {type(path).__name__}")
 
 
 def _eval_closure(store: TripleStore, inner: PathExpr,
                   subject: str | None, obj: str | None, minimum: int,
-                  ctx=None):
+                  ctx=None, *, engine: str = "scalar"):
     """Reflexive/transitive closure with existential (set) semantics.
 
     SPARQL 1.1 evaluates ZeroOrMorePath over *node pairs*, not paths —
     precisely the design decision [8] traces to counting explosions.
+
+    With ``engine="vector"`` and an *unbound* subject — the whole-relation
+    case where the per-start BFS degenerates to |resources| traversals —
+    the inner relation is materialized once and closed by boolean matrix
+    squaring instead (:func:`_closure_matrix`).  A bound subject keeps the
+    single-source BFS: one traversal is already the cheap case.
     """
+    if subject is None and engine == "vector":
+        yield from _closure_matrix(store, inner, obj, minimum, ctx)
+        return
     def reachable_from(start: str):
         seen = {start: 0}
         frontier = [start]
@@ -629,7 +666,8 @@ def _eval_closure(store: TripleStore, inner: PathExpr,
                 if ctx is not None:
                     ctx.checkpoint("sparql.closure")
                     ctx.note_frontier(len(frontier), "sparql.closure")
-                for _, target in _eval_path(store, inner, node, None, ctx):
+                for _, target in _eval_path(store, inner, node, None, ctx,
+                                            engine=engine):
                     if target not in seen:
                         seen[target] = depth
                         next_frontier.append(target)
@@ -654,6 +692,58 @@ def _eval_closure(store: TripleStore, inner: PathExpr,
                 if (start, node) not in emitted:
                     emitted.add((start, node))
                     yield start, node
+
+
+def _closure_matrix(store: TripleStore, inner: PathExpr,
+                    obj: str | None, minimum: int, ctx=None):
+    """Whole-relation closure by boolean matrix squaring (vector engine).
+
+    Materializes the inner relation once as a boolean adjacency matrix over
+    the store's resources and iterates ``T <- T | T.T`` to the fixpoint —
+    O(log diameter) squarings instead of |resources| BFS traversals.  The
+    emitted *pair set* is identical to the scalar BFS (existential
+    semantics make depths irrelevant beyond the ``minimum`` bound, and the
+    closure matrix knows ``start`` reaches itself in >= 1 steps exactly
+    when it lies on a cycle); only emission order differs, which the
+    final sort in ``_run_sparql`` normalizes away.  Checkpoints land at
+    per-block granularity: one ``sparql.closure`` checkpoint per squaring,
+    charged with the matrix dimension.
+    """
+    from repro.core.rpq.vectorized.engine import numpy_or_none
+
+    np = numpy_or_none()
+    resources = sorted(store.resources())
+    n = len(resources)
+    if n == 0:
+        return
+    index = {resource: i for i, resource in enumerate(resources)}
+    adjacency = np.zeros((n, n), dtype=bool)
+    for s, o in _eval_path(store, inner, None, None, ctx, engine="vector"):
+        source, target = index.get(s), index.get(o)
+        if source is not None and target is not None:
+            adjacency[source, target] = True
+    closure = adjacency  # pairs related by >= 1 inner steps
+    while True:
+        if ctx is not None:
+            ctx.checkpoint("sparql.closure", steps=max(1, n))
+            ctx.note_frontier(int(closure.sum()), "sparql.closure")
+        grown = closure | (
+            (closure.astype(np.float32) @ closure.astype(np.float32)) > 0.0)
+        if bool((grown == closure).all()):
+            break
+        closure = grown
+    for i, start in enumerate(resources):
+        if minimum == 0 or closure[i, i]:
+            # Depth 0 (PStar) or a cycle through start (PPlus): the scalar
+            # BFS yields the seeded start first, so mirror that here.
+            if obj is None or start == obj:
+                yield start, start
+        for j in np.flatnonzero(closure[i]).tolist():
+            if j == i:
+                continue
+            node = resources[j]
+            if obj is None or node == obj:
+                yield start, node
 
 
 def _filter_holds(filter_expr: FilterExpr, binding: dict) -> bool:
@@ -695,10 +785,12 @@ def _comparable(value: str):
 
 
 def _apply_optional(store: TripleStore, solutions: list[dict],
-                    optional: OptionalGroup, ctx=None) -> list[dict]:
+                    optional: OptionalGroup, ctx=None, *,
+                    engine: str = "scalar") -> list[dict]:
     extended: list[dict] = []
     for solution in solutions:
-        matches = _solve_bgp(store, list(optional.patterns), solution, ctx)
+        matches = _solve_bgp(store, list(optional.patterns), solution, ctx,
+                             engine=engine)
         matches = [m for m in matches
                    if all(_filter_holds(f, m) for f in optional.filters)]
         if matches:

@@ -184,6 +184,56 @@ class TestCrossFrontendEquivalence:
         assert _pathql_pairs(graph, pathql)
 
 
+class TestEngineEquivalence:
+    """Scalar vs forced-vector engine on every shape, per frontend.
+
+    The worlds here sit below the ``auto`` size threshold, so the vector
+    engine must be *forced* — that is the point: the full 22-shape matrix
+    exercises the kernel on exactly the queries the frontends agree on.
+    """
+
+    @pytest.mark.parametrize("name,world,pathql,sparql,cypher", SHAPES,
+                             ids=SHAPE_IDS)
+    def test_vector_engine_matches_scalar(self, worlds, name, world, pathql,
+                                          sparql, cypher):
+        from repro.core.rpq import endpoint_pairs
+        from repro.query.pathql import parse_pathql
+
+        graph, sparql_store, cypher_store = worlds[world]
+        # The regex behind the PathQL shape, through the kernel proper.
+        regex = parse_pathql(pathql).regex
+        assert endpoint_pairs(graph, regex, engine="vector") \
+            == endpoint_pairs(graph, regex, engine="scalar"), name
+        # The frontends themselves, engine-forced end to end.
+        scalar_result = run_pathql(graph, pathql, engine="scalar")
+        vector_result = run_pathql(graph, pathql, engine="vector")
+        assert ([(p.start, p.end) for p in vector_result.paths]
+                == [(p.start, p.end) for p in scalar_result.paths]), name
+        assert run_sparql(sparql_store, sparql, engine="vector").rows \
+            == run_sparql(sparql_store, sparql, engine="scalar").rows, name
+        assert run_cypher(cypher_store, cypher, engine="vector").rows \
+            == run_cypher(cypher_store, cypher, engine="scalar").rows, name
+
+    @pytest.mark.parametrize("workers", [1, 3])
+    def test_batch_vector_engine_matches_scalar(self, worlds, workers):
+        """The session-wide engine selector crosses the worker boundary
+        without changing any payload."""
+        graph, _, _ = worlds["contact"]
+        shapes = [s for s in SHAPES if s[1] == "contact"]
+        queries = []
+        for _, _, _, sparql, cypher in shapes:
+            queries.append(("sparql", sparql))
+            queries.append(("cypher", cypher))
+        with BatchSession(graph, workers, engine="vector") as session:
+            vector_results = session.run_batch(queries)
+        with BatchSession(graph, workers, engine="scalar") as session:
+            scalar_results = session.run_batch(queries)
+        assert all(result.status == "ok" for result in vector_results)
+        for vector_result, scalar_result in zip(vector_results,
+                                                scalar_results):
+            assert vector_result.value == scalar_result.value
+
+
 class TestBatchMatchesDirect:
     @pytest.mark.parametrize("workers", [1, 3])
     def test_batch_session_returns_the_same_sets(self, worlds, workers):

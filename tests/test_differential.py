@@ -1,13 +1,17 @@
-"""Differential harness: parallel == serial == brute-force, at scale.
+"""Differential harness: parallel == serial == vector == brute-force.
 
-Every instance is a seeded random (graph, regex) pair checked three ways:
+Every instance is a seeded random (graph, regex) pair checked four ways:
 
 1. **serial** — ``endpoint_pairs`` / ``count_paths_exact`` as shipped
    (product-automaton machinery, label indexes, interning);
 2. **parallel** — the same query through a :class:`WorkerPool` with 2 and
    with 4 workers (forked processes where the platform has ``fork``, the
    inline path otherwise);
-3. **reference** — implementations written to be *obviously* correct and
+3. **vector** — the numpy kernel, forced through ``engine="vector"`` *and*
+   invoked directly in both layouts (``dense`` matmul and ``bitset``
+   OR-reduce), so the layout switch cannot hide a divergence; vector
+   counts re-sweep the backward layers through the array path;
+4. **reference** — implementations written to be *obviously* correct and
    sharing no code with the engine: endpoint pairs by relational algebra
    over the regex AST (edge relations, joins, unions, Warshall closure),
    path counts by the exhaustive enumerator ``count_paths_bruteforce``.
@@ -30,6 +34,8 @@ import pytest
 from repro.core.rpq import count_paths_exact, endpoint_pairs, parse_regex
 from repro.core.rpq.ast import Concat, EdgeAtom, NodeTest, Star, Union
 from repro.core.rpq.count import count_paths_bruteforce
+from repro.core.rpq.nfa import compile_regex
+from repro.core.rpq.vectorized import vector_endpoint_pairs
 from repro.datasets import (
     clustered_labeled_graph,
     erdos_renyi,
@@ -198,15 +204,24 @@ def test_parallel_equals_serial_equals_bruteforce(seed):
                 where = f"seed={seed} graph={name} regex={text!r}"
                 regex = parse_regex(text)
 
-                serial_pairs = endpoint_pairs(graph, regex)
+                serial_pairs = endpoint_pairs(graph, regex, engine="scalar")
                 assert serial_pairs == reference_pairs(graph, regex), where
+                assert endpoint_pairs(graph, regex, engine="vector") \
+                    == serial_pairs, f"{where} engine=vector"
+                nfa = compile_regex(regex)
+                for layout in ("dense", "bitset"):
+                    assert vector_endpoint_pairs(graph, nfa, layout=layout) \
+                        == serial_pairs, f"{where} layout={layout}"
                 for pool in pools:
                     pooled = sharded_endpoint_pairs(pool, graph, regex)
                     assert pooled == serial_pairs, \
                         f"{where} workers={pool.workers}"
 
                 k = rng.randint(0, BRUTE_FORCE_MAX_K)
-                serial_count = count_paths_exact(graph, regex, k)
+                serial_count = count_paths_exact(graph, regex, k,
+                                                 engine="scalar")
+                assert count_paths_exact(graph, regex, k, engine="vector") \
+                    == serial_count, f"{where} k={k} engine=vector"
                 for pool in pools:
                     pooled_count = sharded_count_paths(pool, graph, regex, k)
                     assert pooled_count == serial_count, \
@@ -238,13 +253,19 @@ def test_restricted_endpoints_differential(seed):
                     else rng.sample(nodes, rng.randint(1, len(nodes))))
             where = f"seed={seed} regex={text!r} starts={starts} ends={ends}"
             serial = endpoint_pairs(graph, regex, start_nodes=starts,
-                                    end_nodes=ends)
+                                    end_nodes=ends, engine="scalar")
+            assert endpoint_pairs(graph, regex, start_nodes=starts,
+                                  end_nodes=ends, engine="vector") \
+                == serial, f"{where} engine=vector"
             assert sharded_endpoint_pairs(
                 pool, graph, regex, start_nodes=starts,
                 end_nodes=ends) == serial, where
             serial_count = count_paths_exact(graph, regex, 2,
                                              start_nodes=starts,
-                                             end_nodes=ends)
+                                             end_nodes=ends, engine="scalar")
+            assert count_paths_exact(graph, regex, 2, start_nodes=starts,
+                                     end_nodes=ends, engine="vector") \
+                == serial_count, f"{where} engine=vector"
             assert sharded_count_paths(
                 pool, graph, regex, 2, start_nodes=starts,
                 end_nodes=ends) == serial_count, where
