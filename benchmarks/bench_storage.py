@@ -1,0 +1,258 @@
+"""Experiment R6 — durability overhead and recovery cost of the WAL store.
+
+A deterministic mutation workload (node/edge inserts and property writes
+against a property graph) is replayed four ways: straight into an
+in-memory :class:`~repro.models.property.PropertyGraph`, and through a
+:class:`~repro.storage.DurableGraph` at each fsync policy (``never``,
+``batch``, ``always``).  Every durable run must end bit-for-bit equal to
+the in-memory replay — the timing rows are only reported once that
+equivalence holds.
+
+Recovery cost is measured separately on the stores the write phase left
+behind: a WAL-only store (full log replay) and a checkpointed store
+(snapshot load + short WAL tail), each opened read-only and timed.
+
+Run as a script to produce ``benchmarks/BENCH_storage.json``:
+
+    PYTHONPATH=src python benchmarks/bench_storage.py [--quick] [--out PATH]
+
+The table tracked here: mutations/s per fsync policy with the overhead
+factor relative to the in-memory baseline, plus recovery wall-clock for
+the replay-everything and snapshot+tail paths.
+"""
+
+import json
+import random
+import sys
+import tempfile
+import time
+
+from repro.bench import Experiment, report_metadata
+from repro.models.property import PropertyGraph
+from repro.storage import DurableGraph
+
+FSYNC_MODES = ("never", "batch", "always")
+
+#: Label/property pools sized so the workload mixes fresh inserts with
+#: updates of existing state (the update paths exercise no-op elision).
+NODE_LABELS = ("person", "place", "thing")
+EDGE_LABELS = ("r", "s", "knows")
+PROP_KEYS = ("score", "zip", "tag")
+
+
+def make_ops(rng: random.Random, count: int) -> list[tuple]:
+    """A deterministic list of *effective* mutations: each op, applied in
+    order to a fresh graph, bumps the version (no-ops are filtered out so
+    every op corresponds to exactly one WAL append)."""
+    scratch = PropertyGraph()
+    ops: list[tuple] = []
+    serial = 0
+    while len(ops) < count:
+        serial += 1
+        nodes = list(scratch.nodes())
+        roll = rng.random()
+        if not nodes or roll < 0.3:
+            op = ("add_node", (f"n{serial}", rng.choice(NODE_LABELS),
+                               {"score": rng.randint(0, 9)}))
+        elif roll < 0.6:
+            op = ("add_edge", (f"e{serial}", rng.choice(nodes),
+                               rng.choice(nodes), rng.choice(EDGE_LABELS)))
+        elif roll < 0.8:
+            op = ("set_node_property", (rng.choice(nodes),
+                                        rng.choice(PROP_KEYS),
+                                        rng.randint(0, 99)))
+        else:
+            edges = list(scratch.edges())
+            if not edges:
+                continue
+            op = ("set_edge_property", (rng.choice(edges),
+                                        rng.choice(PROP_KEYS),
+                                        rng.randint(0, 99)))
+        before = scratch.version
+        getattr(scratch, op[0])(*op[1])
+        if scratch.version != before:
+            ops.append(op)
+    return ops
+
+
+def run_in_memory(ops: list[tuple]) -> tuple[PropertyGraph, float]:
+    graph = PropertyGraph()
+    start = time.perf_counter()
+    for name, args in ops:
+        getattr(graph, name)(*args)
+    return graph, time.perf_counter() - start
+
+
+def run_durable(ops: list[tuple], directory: str, fsync: str) -> dict:
+    """Apply the workload through a durable store; return timings + stats."""
+    store = DurableGraph.open(directory, fsync=fsync)
+    start = time.perf_counter()
+    for name, args in ops:
+        getattr(store, name)(*args)
+    seconds = time.perf_counter() - start
+    stats = store.stats()
+    graph = store.graph
+    store.close()
+    return {"seconds": seconds, "graph": graph,
+            "fsyncs": stats["wal"]["fsyncs"],
+            "appended": stats["wal"]["appended"]}
+
+
+def time_recovery(directory: str) -> dict:
+    start = time.perf_counter()
+    with DurableGraph.open(directory, read_only=True) as store:
+        seconds = time.perf_counter() - start
+        return {"seconds": seconds,
+                "clean": store.recovery.clean,
+                "entries_replayed": store.recovery.entries_replayed,
+                "snapshot_version": store.recovery.snapshot_version,
+                "final_version": store.recovery.final_version}
+
+
+def run_suite(out_path: str, *, n_ops: int, reps: int) -> dict:
+    ops = make_ops(random.Random(61), n_ops)
+    report = report_metadata()
+    report["workload"] = {
+        "generator": "make_ops(random.Random(61))",
+        "ops": len(ops),
+        "reps": reps,
+    }
+
+    baseline_graph, best_memory = None, float("inf")
+    for _ in range(max(reps, 1)):
+        baseline_graph, seconds = run_in_memory(ops)
+        best_memory = min(best_memory, seconds)
+    report["in_memory"] = {"seconds": best_memory,
+                           "ops_per_s": len(ops) / best_memory}
+
+    report["fsync"] = []
+    stores = {}
+    for mode in FSYNC_MODES:
+        best, row = float("inf"), {}
+        for rep in range(max(reps, 1)):
+            with tempfile.TemporaryDirectory() as scratch:
+                result = run_durable(ops, scratch, mode)
+                assert result["graph"] == baseline_graph, \
+                    f"durable replay diverged at fsync={mode}"
+                if result["seconds"] < best:
+                    best, row = result["seconds"], result
+        report["fsync"].append({
+            "mode": mode,
+            "seconds": best,
+            "ops_per_s": len(ops) / best,
+            "overhead_vs_memory": best / best_memory,
+            "fsyncs": row["fsyncs"],
+            "wal_appends": row["appended"],
+        })
+
+    # Recovery: a WAL-only store (replay everything) and a checkpointed one
+    # (snapshot + tail of n_ops // 10 trailing records).
+    report["recovery"] = {}
+    with tempfile.TemporaryDirectory() as scratch:
+        run_durable(ops, scratch, "never")
+        report["recovery"]["wal_only"] = time_recovery(scratch)
+    with tempfile.TemporaryDirectory() as scratch:
+        tail = max(len(ops) // 10, 1)
+        store = DurableGraph.open(scratch, fsync="never")
+        for name, args in ops[:-tail]:
+            getattr(store, name)(*args)
+        store.checkpoint()
+        for name, args in ops[-tail:]:
+            getattr(store, name)(*args)
+        store.close()
+        report["recovery"]["snapshot_plus_tail"] = time_recovery(scratch)
+
+    for key in ("wal_only", "snapshot_plus_tail"):
+        entry = report["recovery"][key]
+        assert entry["clean"], f"{key} recovery reported loss"
+        assert entry["final_version"] == baseline_graph.version
+    report["recovery"]["wal_only"]["entries_expected"] = len(ops)
+
+    with open(out_path, "w") as handle:
+        json.dump(report, handle, indent=2)
+    return report
+
+
+# ---------------------------------------------------------------------------
+# pytest entry point: the R6 table for EXPERIMENTS.md
+# ---------------------------------------------------------------------------
+
+
+def test_durability_overhead_table(record_experiment):
+    experiment = Experiment(
+        "R6", "durable-store write overhead and recovery cost",
+        headers=["mode", "ops/s", "overhead", "fsyncs"])
+    ops = make_ops(random.Random(61), 300)
+    baseline_graph, memory_s = run_in_memory(ops)
+    experiment.add_row("in-memory", f"{len(ops) / memory_s:,.0f}", "1.0x", 0)
+    for mode in FSYNC_MODES:
+        with tempfile.TemporaryDirectory() as scratch:
+            result = run_durable(ops, scratch, mode)
+            assert result["graph"] == baseline_graph, mode
+            experiment.add_row(
+                f"fsync={mode}", f"{len(ops) / result['seconds']:,.0f}",
+                f"{result['seconds'] / memory_s:.1f}x", result["fsyncs"])
+    # What the test pins is equivalence and accounting, not wall-clock:
+    # every durable replay equals the in-memory graph (asserted above),
+    # and the fsync counters reflect the policies (always >= one per op).
+    with tempfile.TemporaryDirectory() as scratch:
+        always = run_durable(ops, scratch, "always")
+        never = run_durable(ops, scratch + "/n", "never")
+    assert always["fsyncs"] >= len(ops)
+    assert never["fsyncs"] <= 1
+    assert always["appended"] == never["appended"] == len(ops)
+    record_experiment(experiment)
+
+
+def test_recovery_replays_to_the_same_version(record_experiment):
+    experiment = Experiment(
+        "R6b", "recovery wall-clock: full replay vs snapshot + tail",
+        headers=["path", "entries replayed", "ms"])
+    ops = make_ops(random.Random(61), 300)
+    with tempfile.TemporaryDirectory() as scratch:
+        run_durable(ops, scratch, "never")
+        wal_only = time_recovery(scratch)
+    with tempfile.TemporaryDirectory() as scratch:
+        store = DurableGraph.open(scratch, fsync="never")
+        for name, args in ops[:-30]:
+            getattr(store, name)(*args)
+        store.checkpoint()
+        for name, args in ops[-30:]:
+            getattr(store, name)(*args)
+        store.close()
+        snap_tail = time_recovery(scratch)
+    experiment.add_row("WAL-only", wal_only["entries_replayed"],
+                       f"{wal_only['seconds'] * 1000:.1f}")
+    experiment.add_row("snapshot+tail", snap_tail["entries_replayed"],
+                       f"{snap_tail['seconds'] * 1000:.1f}")
+    assert wal_only["clean"] and snap_tail["clean"]
+    assert wal_only["final_version"] == snap_tail["final_version"]
+    assert wal_only["entries_replayed"] == 300
+    assert snap_tail["entries_replayed"] == 30
+    assert snap_tail["snapshot_version"] is not None
+    record_experiment(experiment)
+
+
+def main(argv):
+    quick = "--quick" in argv
+    out_path = "benchmarks/BENCH_storage.json"
+    if "--out" in argv:
+        out_path = argv[argv.index("--out") + 1]
+    report = run_suite(out_path,
+                       n_ops=300 if quick else 2000,
+                       reps=1 if quick else 3)
+    memory = report["in_memory"]
+    print(f"  in-memory       {memory['ops_per_s']:12,.0f} ops/s")
+    for row in report["fsync"]:
+        print(f"  fsync={row['mode']:<6}    {row['ops_per_s']:12,.0f} ops/s "
+              f"overhead={row['overhead_vs_memory']:5.1f}x "
+              f"fsyncs={row['fsyncs']}")
+    for key, entry in report["recovery"].items():
+        print(f"  recover {key:<18} {entry['seconds'] * 1000:8.1f}ms "
+              f"replayed={entry['entries_replayed']}")
+    print(f"wrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

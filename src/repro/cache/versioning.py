@@ -29,6 +29,7 @@ invalidated"), never a false "still valid".
 
 from __future__ import annotations
 
+import os
 from collections import deque
 from collections.abc import Iterable
 from dataclasses import dataclass
@@ -37,8 +38,37 @@ from typing import TYPE_CHECKING
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.cache.footprint import Footprint
 
-#: Default number of retained mutation records per graph.
+#: Default number of retained mutation records per graph (used when neither
+#: the constructor argument nor ``REPRO_LOG_HORIZON`` overrides it).
 DEFAULT_LOG_CAPACITY = 1024
+
+#: Environment variable overriding the default retained-record horizon.
+LOG_HORIZON_ENV = "REPRO_LOG_HORIZON"
+
+
+def default_log_capacity() -> int:
+    """The capacity a :class:`MutationLog` gets when none is passed.
+
+    ``REPRO_LOG_HORIZON`` (a positive integer) overrides the built-in
+    :data:`DEFAULT_LOG_CAPACITY`, so long-running mutation-heavy processes
+    can widen the invalidation window — or shrink it to stress the
+    conservative-truncation path — without touching call sites.  A
+    malformed value raises :class:`ValueError` rather than being silently
+    ignored: a typo here would invisibly change cache behavior.
+    """
+    raw = os.environ.get(LOG_HORIZON_ENV)
+    if raw is None or not raw.strip():
+        return DEFAULT_LOG_CAPACITY
+    try:
+        capacity = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"{LOG_HORIZON_ENV} must be a positive integer, got {raw!r}"
+        ) from None
+    if capacity < 1:
+        raise ValueError(
+            f"{LOG_HORIZON_ENV} must be a positive integer, got {raw!r}")
+    return capacity
 
 
 @dataclass(frozen=True)
@@ -74,11 +104,25 @@ class MutationLog:
     ``(horizon, version]``; ``horizon`` is the newest version *not*
     retained, so a cache entry stored at or before it can no longer be
     validated and must be treated as stale.
+
+    **Bounded horizon and conservative truncation.**  The log is a
+    ``deque(maxlen=capacity)``: appending past ``capacity`` silently drops
+    the oldest record, moving ``horizon`` forward.  Truncation never makes
+    the log *lie* — every question about a version older than the retained
+    window is answered pessimistically (:meth:`records_since` returns
+    ``None``, :meth:`intersects_since` returns ``True``, "assume
+    invalidated"), so consumers re-compute rather than serve a possibly
+    stale answer.  The cost of a too-small capacity is therefore wasted
+    work, never wrong answers.  ``capacity`` defaults to
+    :func:`default_log_capacity`, which honors the ``REPRO_LOG_HORIZON``
+    environment variable.
     """
 
     __slots__ = ("capacity", "_version", "_records")
 
-    def __init__(self, capacity: int = DEFAULT_LOG_CAPACITY) -> None:
+    def __init__(self, capacity: int | None = None) -> None:
+        if capacity is None:
+            capacity = default_log_capacity()
         if capacity < 1:
             raise ValueError("log capacity must be positive")
         self.capacity = capacity
@@ -115,6 +159,25 @@ class MutationLog:
             structural_nodes=structural_nodes,
         ))
         return self._version
+
+    def fast_forward(self, version: int) -> None:
+        """Adopt ``version`` as the current version, dropping all records.
+
+        Used by storage recovery: a graph rebuilt from a snapshot taken at
+        version ``V`` must rejoin the versioning timeline at ``V`` — WAL
+        entries, cache stamps and adjacency-array snapshots all carry
+        absolute versions — but its in-process history is gone, so the
+        retained window collapses to nothing (``horizon == version``).
+        Every validity question about the pre-recovery past then gets the
+        conservative "assume invalidated" answer, exactly as if the window
+        had been truncated away.  Rewinding is refused: versions are
+        monotonic by contract.
+        """
+        if version < self._version:
+            raise ValueError(
+                f"cannot fast-forward backwards: {self._version} -> {version}")
+        self._version = version
+        self._records.clear()
 
     def records_since(self, version: int) -> list[MutationRecord] | None:
         """Records strictly newer than ``version``, or ``None`` if that part

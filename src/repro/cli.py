@@ -21,6 +21,19 @@ graph, optionally across worker processes::
 where each batch entry is ``{"language": "pathql"|"sparql"|"cypher",
 "query": "..."}``.  Exit status: 0 all ok, 3 if any query degraded or ran
 out of budget, 1 if any query failed outright.
+
+``checkpoint`` and ``recover`` manage *durable stores* — directories
+holding a write-ahead log plus snapshots (DESIGN.md §4h)::
+
+    python -m repro.cli checkpoint store/ --ingest graph.json
+    python -m repro.cli recover store/ --json
+    python -m repro.cli cypher --durable store/ "MATCH (p:person) RETURN p"
+
+``--durable`` makes the query commands treat their graph argument as a
+store directory (opened read-only; recovery happens in memory, nothing on
+disk is repaired).  Exit status: 4 for an unusable store, and ``recover``
+exits 5 when the store was recovered but needed repairs (torn tail
+truncated, segments quarantined, or a corrupt snapshot skipped).
 """
 
 from __future__ import annotations
@@ -29,7 +42,7 @@ import argparse
 import json
 import sys
 
-from repro.errors import BudgetExceeded, ReproError
+from repro.errors import BudgetExceeded, ReproError, StorageError
 from repro.exec import Budget, Context
 from repro.models import figure2_property
 from repro.models.convert import labeled_to_rdf, property_to_labeled
@@ -49,6 +62,10 @@ from repro.util import format_table
 
 # Exit code for a query stopped by its execution budget (2 is argparse's).
 EXIT_BUDGET_EXCEEDED = 3
+# A durable store that could not be opened at all.
+EXIT_STORAGE_ERROR = 4
+# ``recover`` succeeded but had to repair (truncate/quarantine/skip) state.
+EXIT_RECOVERED_WITH_LOSS = 5
 
 
 def _make_context(args: argparse.Namespace) -> Context | None:
@@ -135,6 +152,27 @@ def _load_graph(path: str):
         return loads(handle.read())
 
 
+def _resolve_graph(args: argparse.Namespace):
+    """The query-command graph: a JSON file, or a durable store directory.
+
+    With ``--durable`` the graph argument names a store; it is opened
+    read-only (recovery runs in memory, nothing on disk is modified) and
+    the recovered in-memory graph is returned.  A non-clean recovery is
+    noted on stderr but still served — the recovered prefix is consistent.
+    """
+    if getattr(args, "durable", False):
+        from repro.storage import DurableGraph
+
+        store = DurableGraph.open(args.graph, read_only=True)
+        report = store.recovery
+        if not report.clean:
+            print(f"# store recovered with repairs pending: "
+                  f"{report.truncated_reason or 'corrupt snapshot skipped'} "
+                  f"(run 'recover' to repair on disk)", file=sys.stderr)
+        return store.graph
+    return _load_graph(args.graph)
+
+
 def _validate_workers(args: argparse.Namespace) -> int | None:
     """Reject nonsensical --workers values; ``None`` means valid."""
     if args.workers is not None and args.workers < 1:
@@ -157,7 +195,7 @@ def _cmd_pathql(args: argparse.Namespace) -> int:
     invalid = _validate_workers(args)
     if invalid is not None:
         return invalid
-    graph = _load_graph(args.graph)
+    graph = _resolve_graph(args)
     ctx = _make_context(args)
     if args.explain or args.explain_json:
         return _print_explain(
@@ -192,7 +230,7 @@ def _cmd_pathql(args: argparse.Namespace) -> int:
 
 
 def _cmd_sparql(args: argparse.Namespace) -> int:
-    graph = _load_graph(args.graph)
+    graph = _resolve_graph(args)
     if isinstance(graph, PropertyGraph):
         graph = property_to_labeled(graph)
     if not isinstance(graph, LabeledGraph):
@@ -221,7 +259,7 @@ def _cmd_sparql(args: argparse.Namespace) -> int:
 
 
 def _cmd_cypher(args: argparse.Namespace) -> int:
-    graph = _load_graph(args.graph)
+    graph = _resolve_graph(args)
     if not isinstance(graph, PropertyGraph):
         print("cypher needs a property graph file", file=sys.stderr)
         return 2
@@ -338,7 +376,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 
 
 def _cmd_summary(args: argparse.Namespace) -> int:
-    graph = _load_graph(args.graph)
+    graph = _resolve_graph(args)
     from repro.analytics import connected_components, diameter
 
     rows = [["nodes", graph.node_count()],
@@ -354,6 +392,65 @@ def _cmd_summary(args: argparse.Namespace) -> int:
             rows.append([f"label {label or '(none)'!s}", count])
     print(format_table(["statistic", "value"], rows))
     return 0
+
+
+def _cmd_checkpoint(args: argparse.Namespace) -> int:
+    """Open (recovering) a store, optionally ingest a graph, snapshot it."""
+    from repro.storage import DurableGraph
+
+    with DurableGraph.open(args.store, model=args.model,
+                           fsync=args.fsync) as store:
+        report = store.recovery
+        if not report.clean:
+            print(f"# recovered with repairs: "
+                  f"{report.truncated_reason or 'corrupt snapshot skipped'}",
+                  file=sys.stderr)
+        if args.ingest:
+            applied = store.ingest(_load_graph(args.ingest))
+            print(f"# ingested {applied} mutations "
+                  f"(version {store.version})", file=sys.stderr)
+        path = store.checkpoint()
+    print(path)
+    return 0
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    """Recover a store, repairing on disk unless --dry-run.
+
+    Exit status 0 for a clean recovery, {EXIT_RECOVERED_WITH_LOSS} when the
+    store came back but repairs were needed, {EXIT_STORAGE_ERROR} when it
+    could not be opened at all (the latter handled in :func:`main`).
+    """
+    import os
+
+    from repro.storage import DurableGraph
+
+    if not os.path.isdir(args.store):
+        # Recovering a path that holds nothing must not conjure an empty
+        # store and report it "clean" — that is how data loss gets missed.
+        raise StorageError(f"no durable store at {args.store}")
+    with DurableGraph.open(args.store, read_only=args.dry_run) as store:
+        report = store.recovery
+        stats = store.stats()
+    if args.json:
+        print(json.dumps({"schema": "repro.storage.recovery", "version": 1,
+                          "dry_run": args.dry_run,
+                          "report": report.to_dict(),
+                          "nodes": stats["nodes"], "edges": stats["edges"]},
+                         indent=2))
+    else:
+        rows = [[key, value] for key, value in report.to_dict().items()
+                if key not in ("snapshots_rejected", "quarantined")]
+        rows.append(["snapshots rejected", len(report.snapshots_rejected)])
+        rows.append(["segments quarantined", len(report.quarantined)])
+        rows.append(["nodes", stats["nodes"]])
+        rows.append(["edges", stats["edges"]])
+        print(format_table(["recovery", "value"], rows))
+        for path, reason in report.snapshots_rejected:
+            print(f"# rejected snapshot {path}: {reason}", file=sys.stderr)
+        for path in report.quarantined:
+            print(f"# quarantined segment {path}", file=sys.stderr)
+    return 0 if report.clean else EXIT_RECOVERED_WITH_LOSS
 
 
 def _cmd_fig2(args: argparse.Namespace) -> int:
@@ -431,6 +528,13 @@ def build_parser() -> argparse.ArgumentParser:
             help="evaluate across N worker processes (fork-shared graph); "
                  "1 or unset runs serially")
 
+    def add_durable_flag(subparser: argparse.ArgumentParser) -> None:
+        subparser.add_argument(
+            "--durable", action="store_true",
+            help="treat GRAPH as a durable store directory (WAL + "
+                 "snapshots); recovery runs in memory, read-only — exit "
+                 f"status {EXIT_STORAGE_ERROR} if the store is unusable")
+
     def add_cache_flags(subparser: argparse.ArgumentParser) -> None:
         subparser.add_argument(
             "--cache", action="store_true",
@@ -450,6 +554,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_engine_flag(pathql)
     add_workers_flag(pathql)
     add_cache_flags(pathql)
+    add_durable_flag(pathql)
     pathql.set_defaults(handler=_cmd_pathql)
 
     sparql = commands.add_parser("sparql", help="run a mini-SPARQL query")
@@ -459,6 +564,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_obs_flags(sparql)
     add_engine_flag(sparql)
     add_cache_flags(sparql)
+    add_durable_flag(sparql)
     sparql.set_defaults(handler=_cmd_sparql)
 
     cypher = commands.add_parser("cypher", help="run a mini-Cypher query")
@@ -468,6 +574,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_obs_flags(cypher)
     add_engine_flag(cypher)
     add_cache_flags(cypher)
+    add_durable_flag(cypher)
     cypher.set_defaults(handler=_cmd_cypher)
 
     batch = commands.add_parser(
@@ -503,7 +610,41 @@ def build_parser() -> argparse.ArgumentParser:
 
     summary = commands.add_parser("summary", help="print graph statistics")
     summary.add_argument("graph")
+    add_durable_flag(summary)
     summary.set_defaults(handler=_cmd_summary)
+
+    checkpoint = commands.add_parser(
+        "checkpoint",
+        help="snapshot a durable store (creating it if missing), "
+             "optionally ingesting a graph file first")
+    checkpoint.add_argument("store",
+                            help="durable store directory (WAL + snapshots)")
+    checkpoint.add_argument(
+        "--ingest", default=None, metavar="FILE",
+        help="graph JSON file whose content is loaded into the store as "
+             "durable mutations before the snapshot")
+    checkpoint.add_argument(
+        "--model", choices=("labeled", "property"), default=None,
+        help="graph model for a new store (default: property); an "
+             "existing store's model cannot be changed")
+    checkpoint.add_argument(
+        "--fsync", choices=("always", "batch", "never"), default="batch",
+        help="WAL fsync policy while ingesting (default: batch)")
+    checkpoint.set_defaults(handler=_cmd_checkpoint)
+
+    recover = commands.add_parser(
+        "recover",
+        help="recover a durable store, repairing torn WAL tails on disk; "
+             f"exit {EXIT_RECOVERED_WITH_LOSS} if repairs were needed, "
+             f"{EXIT_STORAGE_ERROR} if the store is unusable")
+    recover.add_argument("store",
+                         help="durable store directory (WAL + snapshots)")
+    recover.add_argument("--json", action="store_true",
+                         help="print the recovery report as JSON")
+    recover.add_argument(
+        "--dry-run", action="store_true",
+        help="report what recovery would do without modifying the store")
+    recover.set_defaults(handler=_cmd_recover)
 
     fig2 = commands.add_parser("fig2", help="write the Figure 2 property graph")
     fig2.add_argument("--out", default="-")
@@ -526,7 +667,11 @@ def main(argv: list[str] | None = None) -> int:
     """Entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.handler(args)
+    try:
+        return args.handler(args)
+    except StorageError as error:
+        print(f"storage error: {error}", file=sys.stderr)
+        return EXIT_STORAGE_ERROR
 
 
 if __name__ == "__main__":

@@ -55,6 +55,64 @@ class ConversionError(ReproError):
     """A conversion between graph data models could not be performed."""
 
 
+class GraphDecodeError(ConversionError):
+    """A serialized graph document was malformed.
+
+    Distinguishes *corrupt or hand-mangled input* from library bugs: the
+    decoder never lets a raw :class:`KeyError`/:class:`TypeError`/
+    :class:`ValueError` escape.  ``field`` names the offending location in
+    document coordinates (``"edges[3].source"``); ``line``/``column`` are
+    set when the failure happened at the JSON layer.  Storage recovery
+    (:mod:`repro.storage`) keys off this type to classify a snapshot as
+    corrupt (fall back to an older one) rather than crashing.
+    """
+
+    def __init__(self, message: str, *, field: str | None = None,
+                 line: int | None = None, column: int | None = None) -> None:
+        where = ""
+        if field is not None:
+            where = f" (at {field})"
+        elif line is not None:
+            where = f" (at line {line}, column {column})"
+        super().__init__(f"{message}{where}")
+        self.field = field
+        self.line = line
+        self.column = column
+
+
+class StorageError(ReproError):
+    """Base class for durable-storage failures (see :mod:`repro.storage`)."""
+
+
+class WalWriteError(StorageError):
+    """A WAL append could not be made durable.
+
+    Raised after the write/fsync retry-with-backoff loop is exhausted;
+    ``attempts`` records how many times the operation was tried.  The
+    in-memory graph may be *ahead* of the log when this escapes — callers
+    that need strict write-ahead semantics should treat the store as
+    failed and reopen (recovery replays only acknowledged entries).
+    """
+
+    def __init__(self, reason: str, attempts: int) -> None:
+        super().__init__(f"WAL write failed after {attempts} attempts: {reason}")
+        self.attempts = attempts
+
+
+class WalCorruptionError(StorageError):
+    """A WAL file was unusable beyond tail-truncation repair.
+
+    Torn or bit-flipped *tail* records are expected after a crash and are
+    silently truncated during recovery; this error is reserved for
+    structural damage recovery cannot scope — a bad file magic, or
+    corruption in the *middle* of the acknowledged history.
+    """
+
+
+class SnapshotError(StorageError):
+    """No usable snapshot/metadata could be read or written."""
+
+
 class EngineUnavailableError(ReproError):
     """An explicitly requested evaluation engine cannot run here.
 

@@ -25,7 +25,15 @@ from repro.exec.budget import (
     DegradationEvent,
     ExecStats,
 )
-from repro.exec.faults import FaultInjector, run_with_fault
+from repro.exec.faults import (
+    BufferedDiskIO,
+    FaultInjector,
+    FlakyIO,
+    StorageIO,
+    TornWriteIO,
+    WriteCrash,
+    run_with_fault,
+)
 from repro.exec.governor import GovernedResult, QUALITIES, count_paths_governed
 from repro.exec.parallel import (
     WorkerPool,
@@ -50,6 +58,11 @@ __all__ = [
     "DegradationEvent",
     "FaultInjector",
     "run_with_fault",
+    "StorageIO",
+    "TornWriteIO",
+    "BufferedDiskIO",
+    "FlakyIO",
+    "WriteCrash",
     "GovernedResult",
     "QUALITIES",
     "count_paths_governed",

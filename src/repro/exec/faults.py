@@ -24,7 +24,10 @@ coverage of the governor.
 
 from __future__ import annotations
 
+import errno
+import os
 import random
+import signal
 
 from repro.errors import BudgetExceeded, Cancelled
 from repro.util.rng import make_default_rng
@@ -110,6 +113,213 @@ class FaultInjector:
         if self.allocation_multiplier != 1.0:
             return int(amount * self.allocation_multiplier)
         return amount
+
+
+# ---------------------------------------------------------------------------
+# Storage crash faults: the IO plane the WAL writes through
+# ---------------------------------------------------------------------------
+#
+# The governor faults above interrupt *computation* at cooperative
+# checkpoints.  Durable storage needs the complementary harness: faults on
+# the *IO plane* — a process killed halfway through an append, a page cache
+# that never reached the platter, an fsync that returns EIO.  Real crashes
+# make terrible tests for the same reason real timeouts do, so
+# :class:`~repro.storage.wal.WalWriter` routes every byte through a
+# :class:`StorageIO` object, and the subclasses here make each failure mode
+# deterministic:
+#
+# - :class:`TornWriteIO` — kill-at-Nth-write: the N-th write persists only
+#   its first B bytes, then the "process" dies (a :class:`WriteCrash`
+#   escape, or a literal SIGKILL for forked campaign children).  Sweeping
+#   (N, B) visits every record and byte boundary a crash can tear at.
+# - :class:`BufferedDiskIO` — OS-crash emulation: writes land in a shadow
+#   buffer (the page cache) and reach the file only on fsync, so the
+#   difference between fsync policies ``always``/``batch``/``never``
+#   becomes observable in a unit test.
+# - :class:`FlakyIO` — transient EIO from write/fsync, exercising the
+#   writer's retry-with-backoff loop and its give-up error.
+
+
+class WriteCrash(BaseException):
+    """Simulated process death during a storage write.
+
+    Deliberately *not* a :class:`~repro.errors.ReproError` — nothing in the
+    library may catch and survive it, exactly as nothing survives SIGKILL.
+    Test harnesses catch it at top level, then reopen the store from disk.
+    """
+
+
+class StorageIO:
+    """Default IO plane: direct ``os.write``/``os.fsync`` passthrough.
+
+    The WAL writer performs *every* data-plane operation through one of
+    these, so a fault subclass can intercept any byte.  ``write`` loops
+    until the whole buffer is accepted, as a partial ``os.write`` return is
+    not an error.
+    """
+
+    def write(self, fd: int, data: bytes) -> int:
+        view = memoryview(data)
+        written = 0
+        while written < len(view):
+            written += os.write(fd, view[written:])
+        return written
+
+    def fsync(self, fd: int) -> None:
+        os.fsync(fd)
+
+    def truncate(self, fd: int, size: int) -> None:
+        os.ftruncate(fd, size)
+
+
+class TornWriteIO(StorageIO):
+    """Crash mid-write: the ``crash_at_write``-th write call (1-based)
+    persists only its first ``crash_at_byte`` bytes, then the process dies.
+
+    ``signal_kill=True`` delivers a real ``SIGKILL`` to the calling process
+    (for forked campaign children); otherwise a :class:`WriteCrash`
+    escapes.  After the crash point every further operation also "fails
+    dead" — a killed process writes nothing more — so an in-process harness
+    that accidentally keeps using the writer cannot leak post-crash bytes.
+    """
+
+    def __init__(self, crash_at_write: int, crash_at_byte: int = 0, *,
+                 signal_kill: bool = False) -> None:
+        if crash_at_write < 1:
+            raise ValueError("crash_at_write is 1-based and must be >= 1")
+        if crash_at_byte < 0:
+            raise ValueError("crash_at_byte must be >= 0")
+        self.crash_at_write = crash_at_write
+        self.crash_at_byte = crash_at_byte
+        self.signal_kill = signal_kill
+        self.writes = 0
+        self.crashed = False
+
+    def _die(self):
+        self.crashed = True
+        if self.signal_kill:
+            os.kill(os.getpid(), signal.SIGKILL)
+        raise WriteCrash(
+            f"torn write at call {self.writes}, byte {self.crash_at_byte}")
+
+    def write(self, fd: int, data: bytes) -> int:
+        if self.crashed:
+            raise WriteCrash("process already dead")
+        self.writes += 1
+        if self.writes == self.crash_at_write:
+            kept = data[:self.crash_at_byte]
+            if kept:
+                super().write(fd, kept)
+            self._die()
+        return super().write(fd, data)
+
+    def fsync(self, fd: int) -> None:
+        if self.crashed:
+            raise WriteCrash("process already dead")
+        super().fsync(fd)
+
+    def truncate(self, fd: int, size: int) -> None:
+        if self.crashed:
+            raise WriteCrash("process already dead")
+        super().truncate(fd, size)
+
+
+class BufferedDiskIO(StorageIO):
+    """OS-crash emulation: unsynced writes live in a volatile page cache.
+
+    ``write`` appends to an in-memory shadow buffer per fd; only ``fsync``
+    moves the buffer to the real file (and syncs it).  :meth:`crash`
+    discards everything unsynced — precisely what a machine losing power
+    does to its page cache — after which all further operations fail dead.
+    ``crash_at_write=N`` arms an automatic crash on the N-th write that
+    instead models the kernel having written back everything pending plus
+    the first ``flushed_bytes_of_crashing_write`` bytes of that write
+    (writeback is sequential, so what survives is always a prefix) — the
+    torn sector a real power cut can leave.
+    """
+
+    def __init__(self, crash_at_write: int | None = None,
+                 flushed_bytes_of_crashing_write: int = 0) -> None:
+        self.crash_at_write = crash_at_write
+        self.flushed_partial = flushed_bytes_of_crashing_write
+        self._pending: dict[int, bytearray] = {}
+        self._synced: dict[int, int] = {}
+        self.writes = 0
+        self.crashed = False
+
+    def _check_alive(self) -> None:
+        if self.crashed:
+            raise WriteCrash("process already dead")
+
+    def write(self, fd: int, data: bytes) -> int:
+        self._check_alive()
+        self.writes += 1
+        pending = self._pending.setdefault(fd, bytearray())
+        if self.crash_at_write is not None and \
+                self.writes == self.crash_at_write:
+            pending.extend(data[:self.flushed_partial])
+            if pending:
+                super().write(fd, bytes(pending))
+            self._lose_power()
+        pending.extend(data)
+        return len(data)
+
+    def fsync(self, fd: int) -> None:
+        self._check_alive()
+        pending = self._pending.get(fd)
+        if pending:
+            super().write(fd, bytes(pending))
+            self._pending[fd] = bytearray()
+        super().fsync(fd)
+        self._synced[fd] = os.fstat(fd).st_size
+
+    def truncate(self, fd: int, size: int) -> None:
+        self._check_alive()
+        flushed = os.fstat(fd).st_size
+        pending = self._pending.setdefault(fd, bytearray())
+        if size >= flushed:
+            del pending[size - flushed:]
+        else:
+            super().truncate(fd, size)
+            self._pending[fd] = bytearray()
+
+    def crash(self, fd: int | None = None) -> None:
+        """Lose the page cache right now: every unsynced byte vanishes."""
+        self._lose_power()
+
+    def _lose_power(self) -> None:
+        self._pending = {}
+        self.crashed = True
+        raise WriteCrash(f"simulated power loss at write {self.writes}")
+
+
+class FlakyIO(StorageIO):
+    """Transient IO errors: the first ``fail_fsyncs`` fsync calls and the
+    first ``fail_writes`` write calls raise ``EIO``, then the plane heals.
+
+    Exercises the WAL writer's bounded retry-with-backoff: with failures
+    below the retry budget an append succeeds (slowly); above it, the
+    writer surfaces :class:`~repro.errors.WalWriteError` and the store must
+    still recover to the acknowledged prefix.
+    """
+
+    def __init__(self, *, fail_fsyncs: int = 0, fail_writes: int = 0) -> None:
+        self.fail_fsyncs = fail_fsyncs
+        self.fail_writes = fail_writes
+        self.fsync_calls = 0
+        self.write_calls = 0
+
+    def write(self, fd: int, data: bytes) -> int:
+        self.write_calls += 1
+        if self.write_calls <= self.fail_writes:
+            raise OSError(errno.EIO, "injected write failure")
+        return super().write(fd, data)
+
+    def fsync(self, fd: int) -> None:
+        self.fsync_calls += 1
+        if self.fsync_calls <= self.fail_fsyncs:
+            raise OSError(errno.EIO, "injected fsync failure")
+        super().fsync(fd)
 
 
 def run_with_fault(function, ctx_factory, injector: FaultInjector):

@@ -15,12 +15,45 @@ graph always starts at a fresh version with an empty log — ``loads(dumps(g))
 from __future__ import annotations
 
 import json
+from contextlib import contextmanager
 from typing import Any
 
-from repro.errors import ConversionError
+from repro.errors import ConversionError, GraphDecodeError, GraphError
 from repro.models.labeled import LabeledGraph
 from repro.models.property import PropertyGraph
 from repro.models.vector import VectorGraph, VectorSchema
+
+
+@contextmanager
+def _decoding(field: str):
+    """Convert raw decode-time failures into :class:`GraphDecodeError`.
+
+    A malformed document raises ``KeyError`` (missing key), ``TypeError``
+    (a list where a dict belongs), ``ValueError`` (bad scalar) or
+    :class:`GraphError` (ids that contradict each other, e.g. a duplicate
+    edge) somewhere deep in graph construction.  Callers — WAL/snapshot
+    recovery above all — need to tell *corrupt input* apart from library
+    bugs, so every such escape is re-raised as a typed error carrying the
+    document coordinate it happened at.
+    """
+    try:
+        yield
+    except GraphDecodeError:
+        raise
+    except KeyError as error:
+        raise GraphDecodeError(f"missing key {error.args[0]!r}",
+                               field=field) from error
+    except (TypeError, ValueError, AttributeError, GraphError) as error:
+        raise GraphDecodeError(str(error), field=field) from error
+
+
+def _items(data: dict[str, Any], key: str, field: str) -> list:
+    with _decoding(field):
+        items = data[key]
+        if not isinstance(items, list):
+            raise TypeError(f"{key!r} must be a list, "
+                            f"got {type(items).__name__}")
+    return items
 
 
 def property_graph_to_dict(graph: PropertyGraph) -> dict[str, Any]:
@@ -43,11 +76,14 @@ def property_graph_from_dict(data: dict[str, Any]) -> PropertyGraph:
     if data.get("model") != "property":
         raise ConversionError(f"not a property-graph document: {data.get('model')!r}")
     graph = PropertyGraph()
-    for node in data["nodes"]:
-        graph.add_node(node["id"], node.get("label", ""), node.get("properties", {}))
-    for edge in data["edges"]:
-        graph.add_edge(edge["id"], edge["source"], edge["target"],
-                       edge.get("label", ""), edge.get("properties", {}))
+    for index, node in enumerate(_items(data, "nodes", "nodes")):
+        with _decoding(f"nodes[{index}]"):
+            graph.add_node(node["id"], node.get("label", ""),
+                           node.get("properties", {}))
+    for index, edge in enumerate(_items(data, "edges", "edges")):
+        with _decoding(f"edges[{index}]"):
+            graph.add_edge(edge["id"], edge["source"], edge["target"],
+                           edge.get("label", ""), edge.get("properties", {}))
     return graph
 
 
@@ -63,11 +99,13 @@ def labeled_graph_from_dict(data: dict[str, Any]) -> LabeledGraph:
     if data.get("model") != "labeled":
         raise ConversionError(f"not a labeled-graph document: {data.get('model')!r}")
     graph = LabeledGraph()
-    for node in data["nodes"]:
-        graph.add_node(node["id"], node.get("label", ""))
-    for edge in data["edges"]:
-        graph.add_edge(edge["id"], edge["source"], edge["target"],
-                       edge.get("label", ""))
+    for index, node in enumerate(_items(data, "nodes", "nodes")):
+        with _decoding(f"nodes[{index}]"):
+            graph.add_node(node["id"], node.get("label", ""))
+    for index, edge in enumerate(_items(data, "edges", "edges")):
+        with _decoding(f"edges[{index}]"):
+            graph.add_edge(edge["id"], edge["source"], edge["target"],
+                           edge.get("label", ""))
     return graph
 
 
@@ -87,12 +125,16 @@ def vector_graph_to_dict(graph: VectorGraph) -> dict[str, Any]:
 def vector_graph_from_dict(data: dict[str, Any]) -> VectorGraph:
     if data.get("model") != "vector":
         raise ConversionError(f"not a vector-graph document: {data.get('model')!r}")
-    schema = VectorSchema(tuple(data["schema"])) if data.get("schema") else None
-    graph = VectorGraph(data["dimension"], schema)
-    for node in data["nodes"]:
-        graph.add_node(node["id"], node["vector"])
-    for edge in data["edges"]:
-        graph.add_edge(edge["id"], edge["source"], edge["target"], edge["vector"])
+    with _decoding("dimension"):
+        schema = VectorSchema(tuple(data["schema"])) if data.get("schema") else None
+        graph = VectorGraph(data["dimension"], schema)
+    for index, node in enumerate(_items(data, "nodes", "nodes")):
+        with _decoding(f"nodes[{index}]"):
+            graph.add_node(node["id"], node["vector"])
+    for index, edge in enumerate(_items(data, "edges", "edges")):
+        with _decoding(f"edges[{index}]"):
+            graph.add_edge(edge["id"], edge["source"], edge["target"],
+                           edge["vector"])
     return graph
 
 
@@ -110,8 +152,23 @@ def dumps(graph: LabeledGraph | PropertyGraph | VectorGraph, indent: int = 0) ->
 
 
 def loads(text: str) -> LabeledGraph | PropertyGraph | VectorGraph:
-    """Deserialize a JSON string produced by :func:`dumps`."""
-    data = json.loads(text)
+    """Deserialize a JSON string produced by :func:`dumps`.
+
+    Malformed input — invalid JSON, a non-object document, missing or
+    ill-typed fields — raises :class:`GraphDecodeError` (a
+    :class:`ConversionError`) carrying line/field context, never a raw
+    ``KeyError``/``ValueError``.
+    """
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise GraphDecodeError(f"invalid JSON: {error.msg}",
+                               line=error.lineno,
+                               column=error.colno) from error
+    if not isinstance(data, dict):
+        raise GraphDecodeError(
+            f"graph document must be a JSON object, "
+            f"got {type(data).__name__}", field="$")
     model = data.get("model")
     if model == "vector":
         return vector_graph_from_dict(data)

@@ -12,9 +12,60 @@ provides the two store shapes that answer embodies:
 
 The relational counterexample (the graph as a two-attribute edge table,
 paths by iterated joins) lives in :mod:`repro.relational`.
+
+The *durable* substrate (DESIGN.md §4h) lives alongside: a checksummed
+write-ahead log (:mod:`repro.storage.wal`), atomic snapshots
+(:mod:`repro.storage.snapshot`) and the :class:`DurableGraph` adapter that
+recovers a crash-interrupted store to a consistent prefix of its
+acknowledged mutations.
 """
 
 from repro.storage.triple_store import TripleStore
 from repro.storage.property_store import PropertyGraphStore
+from repro.storage.durable import (
+    MODELS,
+    REPLAYABLE_OPS,
+    DurableGraph,
+    RecoveryReport,
+)
+from repro.storage.snapshot import (
+    SnapshotLoad,
+    list_snapshots,
+    load_latest_snapshot,
+    prune_snapshots,
+    write_snapshot,
+)
+from repro.storage.wal import (
+    FSYNC_POLICIES,
+    WalEntry,
+    WalScan,
+    WalWriter,
+    encode_entry,
+    list_segments,
+    read_wal,
+    repair,
+    segment_name,
+)
 
-__all__ = ["TripleStore", "PropertyGraphStore"]
+__all__ = [
+    "TripleStore",
+    "PropertyGraphStore",
+    "DurableGraph",
+    "RecoveryReport",
+    "MODELS",
+    "REPLAYABLE_OPS",
+    "SnapshotLoad",
+    "write_snapshot",
+    "load_latest_snapshot",
+    "list_snapshots",
+    "prune_snapshots",
+    "FSYNC_POLICIES",
+    "WalEntry",
+    "WalScan",
+    "WalWriter",
+    "encode_entry",
+    "read_wal",
+    "repair",
+    "list_segments",
+    "segment_name",
+]

@@ -1,0 +1,156 @@
+"""Checksummed, atomically-renamed graph snapshots.
+
+A snapshot is one JSON document wrapping the :mod:`repro.models.io`
+serialization of the graph (stored as the exact string :func:`~repro.models.io.dumps`
+produced, so the CRC32 is computed over canonical bytes, not a re-encoding)
+plus the ``graph_version`` it was taken at — the version the recovered
+:class:`~repro.cache.versioning.MutationLog` fast-forwards to before WAL
+replay resumes.
+
+**Crash safety.**  A snapshot is written to ``<name>.tmp`` in the same
+directory, flushed and fsynced, then atomically renamed into place and the
+directory fsynced.  A crash at any point leaves either the old state (tmp
+junk is ignored and swept by the next checkpoint) or the complete new
+snapshot — never a half-written file under the real name.  Validation on
+load (format tag, CRC, decode) means even a bit-flipped snapshot is
+*skipped*, falling back to the next-newest valid one, rather than trusted.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import zlib
+from dataclasses import dataclass, field
+
+from repro.errors import GraphDecodeError, ReproError, SnapshotError
+from repro.models.io import dumps, loads
+from repro.storage.wal import fsync_directory
+
+SNAPSHOT_FORMAT = "repro.storage.snapshot"
+SNAPSHOT_VERSION = 1
+
+_SNAPSHOT_RE = re.compile(r"^snapshot-(\d+)\.json$")
+
+
+def snapshot_name(version: int) -> str:
+    return f"snapshot-{version}.json"
+
+
+def list_snapshots(directory: str) -> list[tuple[int, str]]:
+    """``(graph_version, path)`` for every snapshot file, newest first."""
+    found = []
+    for name in os.listdir(directory):
+        match = _SNAPSHOT_RE.match(name)
+        if match:
+            found.append((int(match.group(1)),
+                          os.path.join(directory, name)))
+    found.sort(reverse=True)
+    return found
+
+
+def write_snapshot(directory: str, graph, version: int) -> str:
+    """Atomically persist ``graph`` at ``version``; returns the final path."""
+    graph_text = dumps(graph)
+    document = {
+        "format": SNAPSHOT_FORMAT,
+        "version": SNAPSHOT_VERSION,
+        "graph_version": version,
+        "crc32": zlib.crc32(graph_text.encode("utf-8")),
+        "graph": graph_text,
+    }
+    final_path = os.path.join(directory, snapshot_name(version))
+    tmp_path = final_path + ".tmp"
+    try:
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            json.dump(document, handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.rename(tmp_path, final_path)
+    except OSError as error:
+        raise SnapshotError(
+            f"cannot write snapshot {final_path}: {error}") from error
+    fsync_directory(directory)
+    return final_path
+
+
+@dataclass
+class SnapshotLoad:
+    """The newest valid snapshot, plus every newer one that failed checks."""
+
+    graph: object
+    version: int
+    path: str
+    rejected: list[tuple[str, str]] = field(default_factory=list)
+
+
+def load_latest_snapshot(directory: str) -> SnapshotLoad | None:
+    """Newest snapshot that passes format, CRC and decode validation.
+
+    Invalid candidates are skipped (recorded in ``rejected``) — corruption
+    in the latest snapshot degrades recovery to the previous one plus a
+    longer WAL replay, never to a crash.  ``None`` when no snapshot is
+    usable (a WAL-only or fresh store).
+    """
+    rejected: list[tuple[str, str]] = []
+    for version, path in list_snapshots(directory):
+        try:
+            with open(path, encoding="utf-8") as handle:
+                document = json.load(handle)
+        except (OSError, json.JSONDecodeError) as error:
+            rejected.append((path, f"unreadable: {error}"))
+            continue
+        reason = _validate(document, version)
+        if reason is not None:
+            rejected.append((path, reason))
+            continue
+        try:
+            graph = loads(document["graph"])
+        except (GraphDecodeError, ReproError) as error:
+            rejected.append((path, f"graph decode failed: {error}"))
+            continue
+        return SnapshotLoad(graph=graph, version=version, path=path,
+                            rejected=rejected)
+    return None
+
+
+def _validate(document, version_from_name: int) -> str | None:
+    if not isinstance(document, dict):
+        return "not a JSON object"
+    if document.get("format") != SNAPSHOT_FORMAT:
+        return f"wrong format tag: {document.get('format')!r}"
+    if document.get("version") != SNAPSHOT_VERSION:
+        return f"unsupported snapshot version: {document.get('version')!r}"
+    if document.get("graph_version") != version_from_name:
+        return (f"version mismatch: file says {document.get('graph_version')!r}, "
+                f"name says {version_from_name}")
+    graph_text = document.get("graph")
+    if not isinstance(graph_text, str):
+        return "graph body missing or not a string"
+    if zlib.crc32(graph_text.encode("utf-8")) != document.get("crc32"):
+        return "graph checksum mismatch"
+    return None
+
+
+def prune_snapshots(directory: str, keep: int = 2) -> list[str]:
+    """Delete all but the ``keep`` newest snapshots; sweep stale tmp files.
+
+    Returns the removed paths.  Best-effort: an unremovable file is left
+    for the next checkpoint rather than failing the current one.
+    """
+    removed = []
+    for _, path in list_snapshots(directory)[keep:]:
+        try:
+            os.remove(path)
+            removed.append(path)
+        except OSError:  # pragma: no cover - permission oddities
+            pass
+    for name in os.listdir(directory):
+        if name.endswith(".json.tmp"):
+            try:
+                os.remove(os.path.join(directory, name))
+                removed.append(os.path.join(directory, name))
+            except OSError:  # pragma: no cover
+                pass
+    return removed

@@ -1,0 +1,334 @@
+"""The write-ahead log: length-prefixed, CRC32-checksummed mutation records.
+
+The on-disk entry type is the PR-5 mutation record made *replayable*: each
+entry carries the monotonic post-mutation ``graph.version`` stamp plus the
+operation name and its arguments, so recovery can regenerate both the graph
+and its :class:`~repro.cache.versioning.MutationLog` timeline by replaying
+the ops in order (each op re-appends exactly the label-granular records it
+appended the first time).
+
+**Framing.**  A segment file starts with the 8-byte magic ``b"RWAL1\\n\\r\\n"``
+followed by records::
+
+    <u32 payload-length> <u32 crc32(payload)> <payload bytes>
+
+with the payload the canonical JSON array ``[version, op, args]`` (UTF-8,
+no whitespace, sorted keys).  Little-endian fixed-width framing means a
+scan needs no record separator, and the CRC covers the payload so any torn
+or bit-flipped tail is detected at the first bad record.
+
+**Torn tails are normal, not fatal.**  :func:`read_wal` stops at the first
+frame it cannot validate — a short header, an implausible length, a short
+payload, a checksum mismatch, an undecodable payload — and reports how
+many bytes *were* valid; recovery truncates there and carries on.  Only
+structural damage (a bad file magic) raises.
+
+**Durability policy.**  :class:`WalWriter` appends through an injectable
+:class:`~repro.exec.faults.StorageIO` plane and syncs per its fsync policy:
+``always`` (fsync after every append — an acknowledged write survives
+power loss), ``batch`` (fsync every ``batch_size`` appends and at every
+explicit :meth:`WalWriter.flush`/checkpoint — bounded loss window), or
+``never`` (the OS decides — process crashes lose nothing, power cuts may
+lose everything since the last checkpoint).  Transient ``OSError`` from
+the IO plane is retried with exponential backoff; exhaustion surfaces as
+:class:`~repro.errors.WalWriteError` and the writer rewinds the file to
+the last record boundary so a failed append can never leave a torn frame
+in the *middle* of the log.
+
+**Segments.**  One WAL is a directory of segment files
+``wal-<seq>-from-<version>.log``: ``seq`` orders them, ``from-<version>``
+records the snapshot version at whose checkpoint the segment was started
+(entries inside have strictly greater versions).  The ``from`` stamp is
+advisory — replay filters by each entry's own version — but lets
+checkpoint pruning drop fully-superseded segments without scanning them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import struct
+import time
+import zlib
+from dataclasses import dataclass
+
+from repro.errors import WalCorruptionError, WalWriteError
+from repro.exec.faults import StorageIO
+
+MAGIC = b"RWAL1\n\r\n"
+_HEADER = struct.Struct("<II")
+
+#: Fsync policies accepted by :class:`WalWriter`.
+FSYNC_POLICIES = ("always", "batch", "never")
+
+#: Appends between fsyncs under the ``batch`` policy.
+DEFAULT_BATCH_SIZE = 64
+
+#: Retry budget and first-retry backoff for transient IO errors.
+DEFAULT_IO_RETRIES = 4
+DEFAULT_IO_BACKOFF = 0.002
+
+#: Any framed length beyond this is treated as tail corruption, not a
+#: record — a torn header can otherwise ask the reader to allocate gigabytes.
+MAX_RECORD_BYTES = 1 << 26
+
+_SEGMENT_RE = re.compile(r"^wal-(\d{8})-from-(\d+)\.log$")
+
+
+def segment_name(seq: int, from_version: int) -> str:
+    return f"wal-{seq:08d}-from-{from_version}.log"
+
+
+def list_segments(directory: str) -> list[tuple[int, int, str]]:
+    """Sorted ``(seq, from_version, path)`` for every segment in ``directory``."""
+    found = []
+    for name in os.listdir(directory):
+        match = _SEGMENT_RE.match(name)
+        if match:
+            found.append((int(match.group(1)), int(match.group(2)),
+                          os.path.join(directory, name)))
+    found.sort()
+    return found
+
+
+def encode_entry(version: int, op: str, args: list) -> bytes:
+    """One framed record: header + canonical-JSON payload."""
+    payload = json.dumps([version, op, args], sort_keys=True,
+                         separators=(",", ":")).encode("utf-8")
+    return _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+@dataclass(frozen=True)
+class WalEntry:
+    """One decoded WAL record: the version stamp and the replayable op."""
+
+    version: int
+    op: str
+    args: list
+
+
+@dataclass
+class WalScan:
+    """Result of scanning one segment file.
+
+    ``valid_bytes`` is the boundary after the last validated record;
+    ``truncated`` is ``None`` for a clean scan, else a human-readable
+    reason why the scan stopped early (the tail past ``valid_bytes`` is
+    torn or corrupt).
+    """
+
+    entries: list[WalEntry]
+    valid_bytes: int
+    total_bytes: int
+    truncated: str | None = None
+
+
+def read_wal(path: str) -> WalScan:
+    """Scan a segment, validating every frame; never raises on a torn tail.
+
+    A missing file scans as empty.  A present file whose magic is wrong
+    raises :class:`WalCorruptionError` — that is not a torn tail but a file
+    that was never (or is no longer) a WAL segment.
+    """
+    try:
+        with open(path, "rb") as handle:
+            data = handle.read()
+    except FileNotFoundError:
+        return WalScan(entries=[], valid_bytes=0, total_bytes=0)
+    if len(data) < len(MAGIC):
+        if MAGIC.startswith(data):
+            # A creation crash tore the magic itself: nothing was ever
+            # acknowledged through this segment, so it is empty, not sick.
+            # valid_bytes is 0 (not len(data)) so repair rewinds the file
+            # to empty and a future writer re-lays the magic whole.
+            return WalScan(entries=[], valid_bytes=0,
+                           total_bytes=len(data),
+                           truncated="torn file magic" if data else None)
+        raise WalCorruptionError(f"{path}: not a WAL segment (bad magic)")
+    if data[:len(MAGIC)] != MAGIC:
+        raise WalCorruptionError(f"{path}: not a WAL segment (bad magic)")
+
+    entries: list[WalEntry] = []
+    offset = len(MAGIC)
+    truncated = None
+    while offset < len(data):
+        if offset + _HEADER.size > len(data):
+            truncated = "torn record header"
+            break
+        length, checksum = _HEADER.unpack_from(data, offset)
+        if length > MAX_RECORD_BYTES:
+            truncated = f"implausible record length {length}"
+            break
+        start = offset + _HEADER.size
+        end = start + length
+        if end > len(data):
+            truncated = "torn record payload"
+            break
+        payload = data[start:end]
+        if zlib.crc32(payload) != checksum:
+            truncated = "record checksum mismatch"
+            break
+        try:
+            decoded = json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            truncated = "undecodable record payload"
+            break
+        if (not isinstance(decoded, list) or len(decoded) != 3
+                or not isinstance(decoded[0], int)
+                or not isinstance(decoded[1], str)
+                or not isinstance(decoded[2], list)):
+            truncated = "malformed record shape"
+            break
+        entries.append(WalEntry(decoded[0], decoded[1], decoded[2]))
+        offset = end
+    return WalScan(entries=entries, valid_bytes=offset,
+                   total_bytes=len(data), truncated=truncated)
+
+
+def repair(path: str, scan: WalScan) -> int:
+    """Physically truncate a torn tail so future appends extend a valid log.
+
+    Returns the number of bytes discarded.  A no-op for clean scans.
+    """
+    lost = scan.total_bytes - scan.valid_bytes
+    if lost > 0:
+        with open(path, "r+b") as handle:
+            handle.truncate(scan.valid_bytes)
+            handle.flush()
+            os.fsync(handle.fileno())
+    return lost
+
+
+def fsync_directory(directory: str) -> None:
+    """Make a rename/creation in ``directory`` durable (best effort)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - exotic filesystems
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - directories unsyncable here
+        pass
+    finally:
+        os.close(fd)
+
+
+class WalWriter:
+    """Appends framed records to one segment file under an fsync policy.
+
+    All data-plane operations go through ``io`` (a
+    :class:`~repro.exec.faults.StorageIO`), which is where the crash-fault
+    harness hooks in.  Transient ``OSError`` is retried up to ``retries``
+    times with exponential backoff starting at ``backoff`` seconds; a
+    write that keeps failing is rolled back to the previous record
+    boundary and surfaced as :class:`WalWriteError`.
+    """
+
+    def __init__(self, path: str, *, fsync: str = "batch",
+                 batch_size: int = DEFAULT_BATCH_SIZE,
+                 io: StorageIO | None = None,
+                 retries: int = DEFAULT_IO_RETRIES,
+                 backoff: float = DEFAULT_IO_BACKOFF) -> None:
+        if fsync not in FSYNC_POLICIES:
+            raise ValueError(
+                f"unknown fsync policy {fsync!r}; expected one of "
+                f"{FSYNC_POLICIES}")
+        if batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        self.path = path
+        self.fsync_policy = fsync
+        self.batch_size = batch_size
+        self._io = io if io is not None else StorageIO()
+        self.retries = retries
+        self.backoff = backoff
+        self._fd = os.open(path, os.O_CREAT | os.O_RDWR | os.O_APPEND, 0o644)
+        self._closed = False
+        self._pending = 0
+        self.appended = 0
+        self.fsyncs = 0
+        self.io_retries = 0
+        self._offset = os.fstat(self._fd).st_size
+        if self._offset == 0:
+            self._write_frame(MAGIC)
+            self._fsync_retrying()
+
+    # -- retry plumbing ----------------------------------------------------
+
+    def _retrying(self, operation, what: str):
+        attempt = 0
+        while True:
+            try:
+                return operation()
+            except OSError as error:
+                attempt += 1
+                self.io_retries += 1
+                if attempt > self.retries:
+                    raise WalWriteError(f"{what}: {error}", attempt) from error
+                if self.backoff:
+                    time.sleep(self.backoff * (2 ** (attempt - 1)))
+
+    def _write_frame(self, data: bytes) -> None:
+        """Append ``data``, rewinding to the record boundary on failure."""
+        def attempt():
+            try:
+                self._io.write(self._fd, data)
+            except OSError:
+                # A partial write followed by a full retry would corrupt
+                # the *middle* of the log; rewind so corruption can only
+                # ever be a tail.  Roll the rollback itself into the retry
+                # loop: if it raises too, the next attempt repeats it.
+                self._io.truncate(self._fd, self._offset)
+                raise
+        self._retrying(attempt, f"append to {self.path}")
+        self._offset += len(data)
+
+    def _fsync_retrying(self) -> None:
+        self._retrying(lambda: self._io.fsync(self._fd),
+                       f"fsync of {self.path}")
+        self.fsyncs += 1
+        self._pending = 0
+
+    # -- public API --------------------------------------------------------
+
+    def append(self, version: int, op: str, args: list) -> None:
+        """Durably (per policy) append one record; raises on give-up."""
+        if self._closed:
+            raise WalWriteError(f"writer for {self.path} is closed", 0)
+        self._write_frame(encode_entry(version, op, args))
+        self.appended += 1
+        self._pending += 1
+        if self.fsync_policy == "always" or (
+                self.fsync_policy == "batch"
+                and self._pending >= self.batch_size):
+            self._fsync_retrying()
+
+    def flush(self) -> None:
+        """Force an fsync regardless of policy (checkpoint durability point)."""
+        if not self._closed:
+            self._fsync_retrying()
+
+    def close(self, flush: bool = True) -> None:
+        if self._closed:
+            return
+        try:
+            if flush:
+                self._fsync_retrying()
+        finally:
+            self._closed = True
+            os.close(self._fd)
+
+    @property
+    def offset(self) -> int:
+        """Bytes successfully appended so far (including the file magic)."""
+        return self._offset
+
+    def stats(self) -> dict:
+        return {
+            "path": self.path,
+            "fsync_policy": self.fsync_policy,
+            "appended": self.appended,
+            "fsyncs": self.fsyncs,
+            "io_retries": self.io_retries,
+            "offset": self._offset,
+        }

@@ -14,7 +14,11 @@ import pytest
 
 from repro.cache import Footprint, MISS, MutationLog, QueryCache
 from repro.cache.result_cache import nodes_key
-from repro.cache.versioning import DEFAULT_LOG_CAPACITY
+from repro.cache.versioning import (
+    DEFAULT_LOG_CAPACITY,
+    LOG_HORIZON_ENV,
+    default_log_capacity,
+)
 from repro.models.labeled import LabeledGraph
 from repro.models.multigraph import MultiGraph
 from repro.models.property import PropertyGraph
@@ -72,6 +76,52 @@ class TestMutationLog:
 
     def test_default_capacity(self):
         assert MutationLog().capacity == DEFAULT_LOG_CAPACITY
+
+    def test_capacity_from_environment(self, monkeypatch):
+        monkeypatch.setenv(LOG_HORIZON_ENV, "7")
+        assert default_log_capacity() == 7
+        assert MutationLog().capacity == 7
+        # An explicit constructor argument still wins.
+        assert MutationLog(capacity=3).capacity == 3
+
+    def test_environment_capacity_must_be_a_positive_integer(
+            self, monkeypatch):
+        for bad in ("zero", "0", "-5", "1.5"):
+            monkeypatch.setenv(LOG_HORIZON_ENV, bad)
+            with pytest.raises(ValueError):
+                default_log_capacity()
+        monkeypatch.setenv(LOG_HORIZON_ENV, "  ")
+        assert default_log_capacity() == DEFAULT_LOG_CAPACITY
+
+    def test_environment_truncation_stays_conservative(self, monkeypatch):
+        monkeypatch.setenv(LOG_HORIZON_ENV, "2")
+        log = MutationLog()
+        for _ in range(5):
+            log.record("tick", properties=("p",))
+        assert log.horizon == 3
+        assert log.intersects_since(2, Footprint(edge_labels=frozenset("z")))
+
+    def test_fast_forward_rejoins_a_version_timeline(self):
+        log = MutationLog()
+        log.record("old", properties=("p",))
+        log.fast_forward(10)
+        assert log.version == 10
+        assert log.horizon == 10
+        # Everything before the horizon is unanswerable, hence stale.
+        assert log.records_since(3) is None
+        assert log.intersects_since(3, Footprint(edge_labels=frozenset("z")))
+        # From the horizon forward, normal operation resumes.
+        assert log.records_since(10) == []
+        log.record("new", properties=("q",))
+        assert log.version == 11
+        assert [r.kind for r in log.records_since(10)] == ["new"]
+
+    def test_fast_forward_backwards_is_an_error(self):
+        log = MutationLog()
+        log.fast_forward(5)
+        with pytest.raises(ValueError):
+            log.fast_forward(4)
+        log.fast_forward(5)  # idempotent at the same version
 
 
 class TestFootprintAlgebra:

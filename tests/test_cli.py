@@ -172,3 +172,78 @@ class TestParser:
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):
             main(["not-a-command"])
+
+
+class TestDurableStoreCommands:
+    """checkpoint / recover / --durable, with their distinct exit codes."""
+
+    @pytest.fixture
+    def store_dir(self, tmp_path, fig2_file):
+        directory = str(tmp_path / "store")
+        assert main(["checkpoint", directory, "--ingest", fig2_file]) == 0
+        return directory
+
+    def test_checkpoint_prints_snapshot_path(self, tmp_path, fig2_file,
+                                             capsys):
+        directory = str(tmp_path / "store")
+        code = main(["checkpoint", directory, "--ingest", fig2_file])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "snapshot-" in captured.out
+        assert "ingested" in captured.err
+
+    def test_durable_flag_queries_the_store(self, store_dir, capsys):
+        code = main(["cypher", "--durable", store_dir,
+                     "MATCH (p:person) RETURN p.name"])
+        assert code == 0
+        assert "Ana" in capsys.readouterr().out
+        code = main(["pathql", "--durable", store_dir,
+                     "PATHS MATCHING ?person/contact/?infected LENGTH 1"])
+        assert code == 0
+        assert capsys.readouterr().out.strip() == "n1 -e3- n2"
+        code = main(["summary", "--durable", store_dir])
+        assert code == 0
+        assert "nodes" in capsys.readouterr().out
+
+    def test_recover_clean_exits_0(self, store_dir, capsys):
+        assert main(["recover", store_dir]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_recover_torn_store_exits_5_then_0(self, store_dir, capsys):
+        import os
+
+        from repro.storage import list_segments
+
+        segment = list_segments(store_dir)[-1][2]
+        with open(segment, "ab") as handle:
+            handle.write(b"\x30\x00\x00\x00\xaa")  # torn frame
+        code = main(["recover", store_dir, "--json"])
+        assert code == 5
+        report = json.loads(capsys.readouterr().out)
+        assert report["report"]["clean"] is False
+        assert report["report"]["truncated_bytes"] > 0
+        # The repair stuck: a second recovery is clean.
+        assert main(["recover", store_dir]) == 0
+
+    def test_recover_dry_run_leaves_the_tear(self, store_dir, capsys):
+        from repro.storage import list_segments
+
+        segment = list_segments(store_dir)[-1][2]
+        with open(segment, "ab") as handle:
+            handle.write(b"\x30\x00\x00\x00\xaa")
+        assert main(["recover", store_dir, "--dry-run", "--json"]) == 5
+        capsys.readouterr()
+        # Not repaired, so a second dry run still reports the tear.
+        assert main(["recover", store_dir, "--dry-run", "--json"]) == 5
+
+    def test_missing_store_exits_4(self, tmp_path, capsys):
+        code = main(["recover", str(tmp_path / "nowhere")])
+        assert code == 4
+        assert "storage error" in capsys.readouterr().err
+        code = main(["summary", "--durable", str(tmp_path / "nowhere")])
+        assert code == 4
+
+    def test_model_conflict_exits_4(self, store_dir, capsys):
+        code = main(["checkpoint", store_dir, "--model", "labeled"])
+        assert code == 4
+        assert "storage error" in capsys.readouterr().err

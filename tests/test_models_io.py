@@ -4,7 +4,7 @@ import random
 
 import pytest
 
-from repro.errors import ConversionError
+from repro.errors import ConversionError, GraphDecodeError
 from repro.models import figure2_labeled, figure2_property, figure2_vector
 from repro.models.io import dumps, loads
 from repro.models.labeled import LabeledGraph
@@ -164,3 +164,61 @@ class TestErrors:
     def test_unsupported_type(self):
         with pytest.raises(ConversionError):
             dumps(object())  # type: ignore[arg-type]
+
+
+class TestGraphDecodeError:
+    """Malformed documents surface as typed errors with location context,
+    not raw ``KeyError``/``ValueError`` escaping from deep inside a loop."""
+
+    def test_invalid_json_reports_line_and_column(self):
+        with pytest.raises(GraphDecodeError) as excinfo:
+            loads('{"model": "labeled",\n  "nodes": [}')
+        message = str(excinfo.value)
+        assert "invalid JSON" in message
+        assert excinfo.value.line == 2
+        assert "line 2" in message and "column" in message
+
+    def test_non_object_document(self):
+        with pytest.raises(GraphDecodeError) as excinfo:
+            loads('[1, 2, 3]')
+        assert excinfo.value.field == "$"
+
+    def test_missing_node_key_names_the_element(self):
+        with pytest.raises(GraphDecodeError) as excinfo:
+            loads('{"model": "labeled", '
+                  '"nodes": [{"id": "a"}, {"label": "x"}], "edges": []}')
+        assert excinfo.value.field == "nodes[1]"
+        assert "nodes[1]" in str(excinfo.value)
+        assert "missing key" in str(excinfo.value)
+
+    def test_missing_edge_key_names_the_element(self):
+        with pytest.raises(GraphDecodeError) as excinfo:
+            loads('{"model": "labeled", "nodes": [{"id": "a"}], '
+                  '"edges": [{"id": "e", "source": "a"}]}')
+        assert excinfo.value.field == "edges[0]"
+
+    def test_non_dict_element_is_decode_error(self):
+        with pytest.raises(GraphDecodeError) as excinfo:
+            loads('{"model": "labeled", "nodes": ["just-a-string"], '
+                  '"edges": []}')
+        assert excinfo.value.field == "nodes[0]"
+
+    def test_bad_vector_dimension(self):
+        with pytest.raises(GraphDecodeError) as excinfo:
+            loads('{"model": "vector", "dimension": "three", '
+                  '"nodes": [], "edges": []}')
+        assert excinfo.value.field == "dimension"
+
+    def test_semantic_graph_error_keeps_element_context(self):
+        # A duplicate edge id fails the model's own validation; the decoder
+        # wraps it with the index of the offending element.
+        with pytest.raises(GraphDecodeError) as excinfo:
+            loads('{"model": "labeled", "nodes": [{"id": "a"}], "edges": '
+                  '[{"id": "e", "source": "a", "target": "a"}, '
+                  '{"id": "e", "source": "a", "target": "a"}]}')
+        assert excinfo.value.field == "edges[1]"
+
+    def test_decode_error_is_still_a_conversion_error(self):
+        # Callers that caught ConversionError before the split keep working.
+        with pytest.raises(ConversionError):
+            loads("not json")

@@ -1,0 +1,385 @@
+"""Crash-fault campaigns: kill the store mid-write, recover, compare.
+
+The property under test (the issue's acceptance bar): for every seeded
+(mutation-sequence x crash-point) case, the recovered store equals the
+scalar in-memory replay of some *prefix* of the issued mutations, and
+under ``fsync=always`` that prefix contains every acknowledged mutation —
+a ``kill -9`` mid-append loses nothing that was acked.
+
+Three fidelity levels, same invariant:
+
+- **In-process** (:class:`~repro.exec.faults.TornWriteIO`): the bulk
+  ``>= 500`` seeded campaign — deterministic crash at the Nth write, torn
+  at byte B, cheap enough to sweep densely.
+- **Forked** (``fork`` + real ``SIGKILL`` mid-append): a handful of crash
+  points with nothing simulated about the death.
+- **Power loss** (:class:`~repro.exec.faults.BufferedDiskIO`): the page
+  cache vanishes, making the fsync policies' different guarantees
+  observable.
+
+Conventions mirror ``tests/test_differential.py``: the seed pool comes
+from ``REPRO_FUZZ_SEEDS`` (comma-separated, default ``0,1,2``), and every
+assertion carries (seed, workload, crash point, byte) for isolated replay.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import signal
+
+import pytest
+
+from repro.errors import ReproError, WalWriteError
+from repro.exec.faults import BufferedDiskIO, FlakyIO, TornWriteIO, WriteCrash
+from repro.models.property import PropertyGraph
+from repro.storage import DurableGraph
+from repro.storage.wal import encode_entry
+
+SEEDS = tuple(int(seed) for seed in
+              os.environ.get("REPRO_FUZZ_SEEDS", "0,1,2").split(","))
+WORKLOADS_PER_SEED = 4
+OPS_PER_WORKLOAD = 14
+#: Torn-byte offsets swept per crash point: clean boundary, torn header,
+#: torn payload, and "the whole frame made it but the ack didn't".
+CRASH_BYTES = (0, 3, 20, 10 ** 6)
+NODE_LABELS = ("a", "b")
+EDGE_LABELS = ("r", "s")
+
+
+def total_cases() -> int:
+    return (len(SEEDS) * WORKLOADS_PER_SEED * OPS_PER_WORKLOAD
+            * len(CRASH_BYTES))
+
+
+def test_default_configuration_reaches_five_hundred_cases():
+    """The acceptance floor: >= 500 seeded crash cases by default."""
+    assert 3 * WORKLOADS_PER_SEED * OPS_PER_WORKLOAD * len(CRASH_BYTES) >= 500
+
+
+# ---------------------------------------------------------------------------
+# Workload material
+# ---------------------------------------------------------------------------
+
+
+def make_workload(rng: random.Random,
+                  count: int = OPS_PER_WORKLOAD) -> list[tuple[str, list]]:
+    """``count`` valid, *effective* mutations (each bumps the version, so
+    acked ops map 1:1 onto WAL appends and crash-at-write-N is exact)."""
+    scratch = PropertyGraph()
+    ops: list[tuple[str, list]] = []
+    next_node = 0
+    next_edge = 0
+    while len(ops) < count:
+        nodes = sorted(scratch.nodes(), key=str)
+        edges = sorted(scratch.edges(), key=str)
+        roll = rng.random()
+        if roll < 0.35 or not nodes:
+            props = ({"p": rng.randint(0, 9)} if rng.random() < 0.5
+                     else None)
+            op = ("add_node", [f"n{next_node}", rng.choice(NODE_LABELS),
+                               props])
+            next_node += 1
+        elif roll < 0.60:
+            props = ({"w": rng.randint(0, 9)} if rng.random() < 0.4
+                     else None)
+            op = ("add_edge", [f"e{next_edge}", rng.choice(nodes),
+                               rng.choice(nodes), rng.choice(EDGE_LABELS),
+                               props])
+            next_edge += 1
+        elif roll < 0.75:
+            op = ("set_node_property", [rng.choice(nodes), "p",
+                                        rng.randint(0, 9)])
+        elif roll < 0.85 and edges:
+            op = ("remove_edge", [rng.choice(edges)])
+        elif roll < 0.95:
+            op = ("set_node_label", [rng.choice(nodes),
+                                     rng.choice(NODE_LABELS + ("c",))])
+        elif nodes:
+            op = ("remove_node", [rng.choice(nodes)])
+        else:
+            continue
+        before = scratch.version
+        try:
+            getattr(scratch, op[0])(*op[1])
+        except ReproError:
+            continue
+        if scratch.version == before:
+            continue
+        ops.append(op)
+    return ops
+
+
+def replay_reference(ops: list[tuple[str, list]], k: int) -> PropertyGraph:
+    """The scalar in-memory oracle: the first ``k`` ops, no storage."""
+    graph = PropertyGraph()
+    for op, args in ops[:k]:
+        getattr(graph, op)(*args)
+    return graph
+
+
+def matching_prefix_length(recovered, ops) -> int | None:
+    """The k with ``replay_reference(ops, k) == recovered``, else None.
+
+    Versions grow monotonically with each effective op, so the version of
+    the recovered graph pins the only candidate k.
+    """
+    graph = PropertyGraph()
+    if graph.version == recovered.version:
+        return 0 if graph == recovered else None
+    for k, (op, args) in enumerate(ops, start=1):
+        getattr(graph, op)(*args)
+        if graph.version == recovered.version:
+            return k if graph == recovered else None
+        if graph.version > recovered.version:
+            return None
+    return None
+
+
+def run_crash_case(directory: str, ops, crash_at_write: int,
+                   crash_at_byte: int, *, fsync: str = "always"):
+    """Run ops until the injected crash; returns (acked count, io)."""
+    io = TornWriteIO(crash_at_write, crash_at_byte)
+    store = DurableGraph.open(directory, fsync=fsync, io=io)
+    acked = 0
+    try:
+        for op, args in ops:
+            getattr(store, op)(*args)
+            acked += 1
+    except WriteCrash:
+        pass
+    store.abort()
+    return acked, io
+
+
+def recover(directory: str, read_only: bool = True) -> PropertyGraph:
+    store = DurableGraph.open(directory, read_only=read_only)
+    graph = store.graph
+    store.close()
+    return graph
+
+
+# ---------------------------------------------------------------------------
+# The bulk campaign
+# ---------------------------------------------------------------------------
+
+
+class TestKillAtNthWriteCampaign:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_recovery_equals_acknowledged_prefix(self, tmp_path, seed):
+        """The >= 500-case sweep: every workload x crash write x torn byte.
+
+        Write 1 is the segment magic, so op k is write k+1; sweeping
+        crash_at_write over 2..OPS+1 crashes inside every single append.
+        """
+        cases = 0
+        for workload_index in range(WORKLOADS_PER_SEED):
+            rng = random.Random(10_000 * seed + workload_index)
+            ops = make_workload(rng)
+            for crash_at_write in range(2, OPS_PER_WORKLOAD + 2):
+                for crash_at_byte in CRASH_BYTES:
+                    tag = (f"seed={seed} workload={workload_index} "
+                           f"write={crash_at_write} byte={crash_at_byte}")
+                    directory = str(tmp_path / f"c{cases}")
+                    acked, io = run_crash_case(directory, ops,
+                                               crash_at_write, crash_at_byte)
+                    assert io.crashed, tag
+                    assert acked == crash_at_write - 2, tag
+                    recovered = recover(directory)
+                    prefix = matching_prefix_length(recovered, ops)
+                    assert prefix is not None, \
+                        f"{tag}: recovered state is not a prefix replay"
+                    assert prefix >= acked, \
+                        f"{tag}: lost acknowledged ops ({prefix} < {acked})"
+                    # The crashing (unacked) append is the only op that may
+                    # ride along, and only when its frame landed whole.
+                    assert prefix <= acked + 1, tag
+                    if crash_at_byte == 0:
+                        assert prefix == acked, tag
+                    cases += 1
+        assert cases == WORKLOADS_PER_SEED * OPS_PER_WORKLOAD \
+            * len(CRASH_BYTES)
+
+    def test_campaign_is_large_enough(self):
+        assert total_cases() >= 500 or len(SEEDS) != 3  # re-aimed pools may differ
+
+
+class TestEveryByteBoundary:
+    def test_torn_write_truncation_at_every_byte_of_the_frame(self,
+                                                              tmp_path):
+        """One append, torn at *every* byte offset of its frame: recovery
+        always lands on the acked prefix, and the full-frame case alone
+        may carry the in-flight op."""
+        ops = make_workload(random.Random(777), count=6)
+        victim = 4  # ops[3] is the append being torn (write 5)
+        version = replay_reference(ops, victim).version
+        frame = encode_entry(version, ops[victim - 1][0], ops[victim - 1][1])
+        for byte in range(len(frame) + 1):
+            directory = str(tmp_path / f"b{byte}")
+            acked, _ = run_crash_case(directory, ops, victim + 1, byte)
+            assert acked == victim - 1
+            recovered = recover(directory)
+            prefix = matching_prefix_length(recovered, ops)
+            expected = victim if byte == len(frame) else victim - 1
+            assert prefix == expected, f"byte={byte}"
+
+    def test_repair_after_torn_write_reopens_writable(self, tmp_path):
+        """Recovery with repair truncates the torn tail on disk and the
+        store keeps accepting (and re-persisting) mutations."""
+        ops = make_workload(random.Random(3), count=8)
+        directory = str(tmp_path / "s")
+        acked, _ = run_crash_case(directory, ops, 6, 11)
+        with DurableGraph.open(directory, fsync="always") as store:
+            assert not store.recovery.clean
+            store.add_node("post-crash", "a", None)
+            expected = store.graph.copy()
+        assert recover(directory) == expected
+
+
+# ---------------------------------------------------------------------------
+# Forked children, real SIGKILL
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.skipif(not hasattr(os, "fork"),
+                    reason="fork-based kill campaign needs POSIX fork")
+class TestForkSigkill:
+    def test_killed_child_loses_no_acknowledged_write(self, tmp_path):
+        ops = make_workload(random.Random(99), count=10)
+        for crash_at_write in range(2, len(ops) + 2):
+            directory = str(tmp_path / f"kill{crash_at_write}")
+            ack_path = directory + ".acked"
+            pid = os.fork()
+            if pid == 0:  # child: run until the armed write delivers SIGKILL
+                try:
+                    io = TornWriteIO(crash_at_write, 7, signal_kill=True)
+                    store = DurableGraph.open(directory, fsync="always",
+                                              io=io)
+                    acked = 0
+                    for op, args in ops:
+                        getattr(store, op)(*args)
+                        acked += 1
+                        with open(ack_path, "w") as handle:
+                            handle.write(str(acked))
+                            handle.flush()
+                            os.fsync(handle.fileno())
+                    store.close()
+                finally:
+                    os._exit(0)
+            _, status = os.waitpid(pid, 0)
+            assert os.WIFSIGNALED(status), crash_at_write
+            assert os.WTERMSIG(status) == signal.SIGKILL, crash_at_write
+            acked = 0
+            if os.path.exists(ack_path):
+                with open(ack_path) as handle:
+                    acked = int(handle.read())
+            assert acked == crash_at_write - 2, crash_at_write
+            recovered = recover(directory, read_only=False)
+            prefix = matching_prefix_length(recovered, ops)
+            assert prefix is not None, crash_at_write
+            assert acked <= prefix <= acked + 1, \
+                f"write={crash_at_write}: acked={acked} prefix={prefix}"
+
+
+# ---------------------------------------------------------------------------
+# Power loss: the page cache vanishes
+# ---------------------------------------------------------------------------
+
+
+class TestPowerLossPolicies:
+    def test_fsync_always_survives_power_loss_completely(self, tmp_path):
+        ops = make_workload(random.Random(5), count=10)
+        directory = str(tmp_path / "s")
+        io = BufferedDiskIO()
+        store = DurableGraph.open(directory, fsync="always", io=io)
+        for op, args in ops:
+            getattr(store, op)(*args)
+        with pytest.raises(WriteCrash):
+            io.crash()
+        store.abort()
+        assert matching_prefix_length(recover(directory), ops) == len(ops)
+
+    def test_fsync_batch_loses_at_most_a_batch(self, tmp_path):
+        ops = make_workload(random.Random(6), count=10)
+        directory = str(tmp_path / "s")
+        io = BufferedDiskIO()
+        store = DurableGraph.open(directory, fsync="batch", batch_size=3,
+                                  io=io)
+        for op, args in ops:
+            getattr(store, op)(*args)
+        with pytest.raises(WriteCrash):
+            io.crash()
+        store.abort()
+        prefix = matching_prefix_length(recover(directory), ops)
+        # Synced after appends 3, 6 and 9: the durable prefix is the last
+        # completed batch.
+        assert prefix == 9
+
+    def test_fsync_never_is_a_consistent_prefix_maybe_empty(self, tmp_path):
+        ops = make_workload(random.Random(7), count=10)
+        directory = str(tmp_path / "s")
+        io = BufferedDiskIO()
+        store = DurableGraph.open(directory, fsync="never", io=io)
+        for op, args in ops:
+            getattr(store, op)(*args)
+        with pytest.raises(WriteCrash):
+            io.crash()
+        store.abort()
+        prefix = matching_prefix_length(recover(directory), ops)
+        assert prefix == 0  # nothing synced, nothing durable — but consistent
+
+    def test_armed_partial_writeback_is_still_a_prefix(self, tmp_path):
+        """The kernel flushed everything pending plus a torn piece of the
+        crashing write: recovery truncates the tear."""
+        ops = make_workload(random.Random(8), count=10)
+        for crash_at_write in (4, 7, 10):
+            directory = str(tmp_path / f"s{crash_at_write}")
+            io = BufferedDiskIO(crash_at_write=crash_at_write,
+                                flushed_bytes_of_crashing_write=9)
+            store = DurableGraph.open(directory, fsync="never", io=io)
+            acked = 0
+            try:
+                for op, args in ops:
+                    getattr(store, op)(*args)
+                    acked += 1
+            except WriteCrash:
+                pass
+            store.abort()
+            prefix = matching_prefix_length(recover(directory), ops)
+            # Everything before the crashing write was written back whole.
+            assert prefix == crash_at_write - 2, crash_at_write
+
+
+# ---------------------------------------------------------------------------
+# Flaky IO: retries, and give-up behavior
+# ---------------------------------------------------------------------------
+
+
+class TestFlakyIO:
+    def test_transient_errors_are_invisible_to_the_caller(self, tmp_path):
+        ops = make_workload(random.Random(11), count=8)
+        directory = str(tmp_path / "s")
+        io = FlakyIO(fail_writes=3, fail_fsyncs=2)
+        with DurableGraph.open(directory, fsync="always", io=io,
+                               backoff=0.0) as store:
+            for op, args in ops:
+                getattr(store, op)(*args)
+            assert store.stats()["wal"]["io_retries"] >= 5
+        assert matching_prefix_length(recover(directory), ops) == len(ops)
+
+    def test_exhausted_retries_keep_the_log_consistent(self, tmp_path):
+        """A persistent IO failure surfaces as WalWriteError; the failed
+        frame is rolled back, so recovery sees a clean acked prefix."""
+        ops = make_workload(random.Random(12), count=8)
+        directory = str(tmp_path / "s")
+        store = DurableGraph.open(directory, fsync="always", retries=1,
+                                  backoff=0.0)
+        for op, args in ops[:5]:
+            getattr(store, op)(*args)
+        store._writer._io = FlakyIO(fail_writes=10)
+        with pytest.raises(WalWriteError):
+            getattr(store, ops[5][0])(*ops[5][1])
+        store.abort()
+        recovered = recover(directory)
+        scan_clean = matching_prefix_length(recovered, ops)
+        assert scan_clean == 5

@@ -1,0 +1,250 @@
+"""WAL unit tests: framing, torn tails, fsync policies, retry/backoff.
+
+Everything here drives :mod:`repro.storage.wal` directly — segment files
+on a tmp path, no ``DurableGraph`` in sight — so a framing or policy bug
+fails close to its cause instead of surfacing as a recovery divergence.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.errors import WalCorruptionError, WalWriteError
+from repro.exec.faults import BufferedDiskIO, FlakyIO, StorageIO
+from repro.storage.wal import (
+    MAGIC,
+    WalWriter,
+    encode_entry,
+    list_segments,
+    read_wal,
+    repair,
+    segment_name,
+)
+
+OPS = [
+    (1, "add_node", ["a", "person", {"age": 30}]),
+    (4, "add_node", ["b", "person", None]),
+    (7, "add_edge", ["e1", "a", "b", "knows", {"w": 1.5}]),
+    (8, "set_node_property", ["a", "age", 31]),
+    (11, "remove_edge", ["e1"]),
+]
+
+
+def write_ops(path, ops=OPS, fsync="always", **kwargs) -> WalWriter:
+    writer = WalWriter(path, fsync=fsync, **kwargs)
+    for version, op, args in ops:
+        writer.append(version, op, args)
+    return writer
+
+
+class TestFraming:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "seg.log")
+        write_ops(path).close()
+        scan = read_wal(path)
+        assert scan.truncated is None
+        assert [(e.version, e.op, e.args) for e in scan.entries] == OPS
+        assert scan.valid_bytes == scan.total_bytes == os.path.getsize(path)
+
+    def test_missing_file_scans_empty(self, tmp_path):
+        scan = read_wal(str(tmp_path / "absent.log"))
+        assert scan.entries == [] and scan.truncated is None
+
+    def test_reopen_appends_without_duplicating_magic(self, tmp_path):
+        path = str(tmp_path / "seg.log")
+        write_ops(path, OPS[:2]).close()
+        write_ops(path, OPS[2:]).close()
+        scan = read_wal(path)
+        assert [(e.version, e.op, e.args) for e in scan.entries] == OPS
+        with open(path, "rb") as handle:
+            data = handle.read()
+        assert data.count(MAGIC) == 1
+
+    def test_bad_magic_raises(self, tmp_path):
+        path = str(tmp_path / "seg.log")
+        with open(path, "wb") as handle:
+            handle.write(b"NOT-A-WAL-AT-ALL")
+        with pytest.raises(WalCorruptionError):
+            read_wal(path)
+
+    def test_torn_magic_scans_empty_and_repairs_to_zero(self, tmp_path):
+        path = str(tmp_path / "seg.log")
+        with open(path, "wb") as handle:
+            handle.write(MAGIC[:3])
+        scan = read_wal(path)
+        assert scan.entries == [] and scan.valid_bytes == 0
+        assert scan.truncated == "torn file magic"
+        assert repair(path, scan) == 3
+        # A fresh writer re-lays the magic whole and the log is healthy.
+        write_ops(path, OPS[:1]).close()
+        assert read_wal(path).truncated is None
+
+    def test_checksum_flip_stops_scan(self, tmp_path):
+        path = str(tmp_path / "seg.log")
+        write_ops(path).close()
+        size = os.path.getsize(path)
+        with open(path, "r+b") as handle:
+            handle.seek(size - 1)
+            byte = handle.read(1)
+            handle.seek(size - 1)
+            handle.write(bytes([byte[0] ^ 0xFF]))
+        scan = read_wal(path)
+        assert scan.truncated == "record checksum mismatch"
+        assert [(e.version, e.op, e.args) for e in scan.entries] == OPS[:-1]
+
+    def test_implausible_length_stops_scan(self, tmp_path):
+        path = str(tmp_path / "seg.log")
+        write_ops(path, OPS[:1]).close()
+        with open(path, "ab") as handle:
+            handle.write(b"\xff\xff\xff\xff\x00\x00\x00\x00")
+        scan = read_wal(path)
+        assert "implausible record length" in scan.truncated
+        assert len(scan.entries) == 1
+
+    def test_malformed_shape_stops_scan(self, tmp_path):
+        import json
+        import struct
+        import zlib
+
+        path = str(tmp_path / "seg.log")
+        write_ops(path, OPS[:1]).close()
+        payload = json.dumps({"not": "a list"}).encode()
+        with open(path, "ab") as handle:
+            handle.write(struct.pack("<II", len(payload),
+                                     zlib.crc32(payload)) + payload)
+        scan = read_wal(path)
+        assert scan.truncated == "malformed record shape"
+
+    def test_torn_tail_at_every_byte_boundary(self, tmp_path):
+        """Chopping the file anywhere never raises, and always yields the
+        record boundary at or before the chop."""
+        path = str(tmp_path / "seg.log")
+        write_ops(path).close()
+        data = open(path, "rb").read()
+        boundaries = [len(MAGIC)]
+        for version, op, args in OPS:
+            boundaries.append(boundaries[-1]
+                              + len(encode_entry(version, op, args)))
+        for cut in range(len(MAGIC), len(data) + 1):
+            torn = str(tmp_path / "torn.log")
+            with open(torn, "wb") as handle:
+                handle.write(data[:cut])
+            scan = read_wal(torn)
+            keep = max(b for b in boundaries if b <= cut)
+            assert scan.valid_bytes == keep, cut
+            expected = sum(1 for b in boundaries[1:] if b <= cut)
+            assert len(scan.entries) == expected, cut
+            assert (scan.truncated is None) == (cut in boundaries), cut
+
+    def test_repair_then_append_round_trips(self, tmp_path):
+        path = str(tmp_path / "seg.log")
+        write_ops(path).close()
+        with open(path, "r+b") as handle:
+            handle.truncate(os.path.getsize(path) - 2)
+        scan = read_wal(path)
+        assert scan.truncated is not None
+        assert repair(path, scan) > 0
+        writer = WalWriter(path, fsync="always")
+        writer.append(12, "add_node", ["c", None, None])
+        writer.close()
+        scan = read_wal(path)
+        assert scan.truncated is None
+        assert [(e.version, e.op) for e in scan.entries] == \
+            [(v, op) for v, op, _ in OPS[:-1]] + [(12, "add_node")]
+
+
+class TestSegments:
+    def test_name_round_trip_and_ordering(self, tmp_path):
+        for seq, from_version in ((2, 40), (1, 0), (10, 900)):
+            (tmp_path / segment_name(seq, from_version)).write_bytes(MAGIC)
+        (tmp_path / "not-a-segment.log").write_bytes(b"x")
+        found = list_segments(str(tmp_path))
+        assert [(seq, from_v) for seq, from_v, _ in found] == \
+            [(1, 0), (2, 40), (10, 900)]
+
+
+class TestFsyncPolicies:
+    def test_always_syncs_every_append(self, tmp_path):
+        writer = write_ops(str(tmp_path / "a.log"), fsync="always")
+        stats = writer.stats()
+        writer.close()
+        # One sync for the magic plus one per append.
+        assert stats["fsyncs"] == 1 + len(OPS)
+
+    def test_batch_syncs_on_threshold_and_flush(self, tmp_path):
+        writer = WalWriter(str(tmp_path / "b.log"), fsync="batch",
+                           batch_size=2)
+        for version, op, args in OPS:
+            writer.append(version, op, args)
+        assert writer.stats()["fsyncs"] == 1 + len(OPS) // 2
+        writer.flush()
+        assert writer.stats()["fsyncs"] == 2 + len(OPS) // 2
+        writer.close()
+
+    def test_never_syncs_only_on_flush(self, tmp_path):
+        writer = write_ops(str(tmp_path / "n.log"), fsync="never")
+        assert writer.stats()["fsyncs"] == 1  # the magic only
+        writer.close()  # close flushes
+        assert writer.stats()["fsyncs"] == 2
+
+    def test_unknown_policy_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            WalWriter(str(tmp_path / "x.log"), fsync="sometimes")
+
+    def test_buffered_disk_makes_policies_observable(self, tmp_path):
+        """Under an OS-crash model (page cache lost), ``always`` keeps every
+        acknowledged record and ``never`` keeps none of them."""
+        from repro.exec.faults import WriteCrash
+
+        for policy, survivors in (("always", len(OPS)), ("never", 0)):
+            path = str(tmp_path / f"disk-{policy}.log")
+            io = BufferedDiskIO()
+            writer = write_ops(path, fsync=policy, io=io)
+            with pytest.raises(WriteCrash):
+                io.crash(writer._fd)
+            writer.close(flush=False)
+            assert len(read_wal(path).entries) == survivors, policy
+
+
+class TestRetryBackoff:
+    def test_transient_write_errors_are_retried(self, tmp_path):
+        io = FlakyIO(fail_writes=2)
+        writer = WalWriter(str(tmp_path / "f.log"), fsync="always", io=io,
+                           backoff=0.0)
+        writer.append(1, "add_node", ["a", None, None])
+        writer.close()
+        assert writer.stats()["io_retries"] >= 2
+        assert len(read_wal(str(tmp_path / "f.log")).entries) == 1
+
+    def test_transient_fsync_errors_are_retried(self, tmp_path):
+        path = str(tmp_path / "f.log")
+        writer = WalWriter(path, fsync="never", backoff=0.0)
+        writer._io = FlakyIO(fail_fsyncs=2)
+        writer.append(1, "add_node", ["a", None, None])
+        writer.flush()
+        writer.close()
+        assert len(read_wal(path).entries) == 1
+
+    def test_exhausted_retries_surface_and_rewind(self, tmp_path):
+        path = str(tmp_path / "f.log")
+        writer = WalWriter(path, fsync="always", backoff=0.0, retries=1)
+        writer.append(1, "add_node", ["a", None, None])
+        writer._io = FlakyIO(fail_writes=10)
+        with pytest.raises(WalWriteError):
+            writer.append(2, "add_node", ["b", None, None])
+        # The failed frame was rolled back to the record boundary: the log
+        # is clean and a healthy writer can continue it.
+        writer._io = StorageIO()
+        writer.append(2, "add_node", ["b", None, None])
+        writer.close()
+        scan = read_wal(path)
+        assert scan.truncated is None
+        assert [e.version for e in scan.entries] == [1, 2]
+
+    def test_closed_writer_rejects_appends(self, tmp_path):
+        writer = WalWriter(str(tmp_path / "c.log"))
+        writer.close()
+        with pytest.raises(WalWriteError):
+            writer.append(1, "add_node", ["a", None, None])
