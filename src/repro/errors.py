@@ -89,9 +89,11 @@ class WalWriteError(StorageError):
 
     Raised after the write/fsync retry-with-backoff loop is exhausted;
     ``attempts`` records how many times the operation was tried.  The
-    in-memory graph may be *ahead* of the log when this escapes — callers
-    that need strict write-ahead semantics should treat the store as
-    failed and reopen (recovery replays only acknowledged entries).
+    in-memory graph may be *ahead* of the log when this escapes —
+    :class:`~repro.storage.DurableGraph` therefore poisons itself when one
+    of these surfaces: further mutations/checkpoints raise
+    :class:`StorageError` until the store is reopened (recovery replays
+    only acknowledged entries).
     """
 
     def __init__(self, reason: str, attempts: int) -> None:

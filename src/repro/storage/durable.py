@@ -23,10 +23,17 @@ fresh graph's mutation log to the snapshot version — so the recovered
 pre-crash cache stamp is conservatively stale, every post-recovery stamp
 validates normally — then replays the WAL tail in segment order, skipping
 entries at or below the current version (snapshot overlap, duplicate
-versions) and stopping at the first torn or corrupt record, which is
-truncated rather than fatal.  Anything after a mid-history corruption is
-quarantined (renamed, never silently replayed), because entries past a
-hole no longer connect to the recovered state.
+versions) and stopping at the first record it cannot accept — torn or
+corrupt framing, but equally a CRC-valid entry that is unreplayable
+(unknown op, version-stamp mismatch, apply failure).  Either way the
+stop point is *repaired on disk*: the owning segment is truncated at the
+rejected record (its bytes preserved in a ``.quarantined`` file) and all
+later segments are quarantined (renamed, never silently replayed),
+because entries past a hole no longer connect to the recovered state.
+Repairing before the fresh writer attaches is what keeps writes
+acknowledged *after* a recovered-with-loss open durable: the next
+recovery replays straight through to them instead of re-stopping at the
+old rejection point.
 
 **Checkpoints** write a snapshot (temp file + atomic rename), rotate the
 WAL to a fresh segment stamped with the snapshot version, and prune
@@ -41,7 +48,7 @@ import json
 import os
 from dataclasses import dataclass, field
 
-from repro.errors import ReproError, StorageError
+from repro.errors import ReproError, StorageError, WalWriteError
 from repro.exec.faults import StorageIO
 from repro.models.labeled import LabeledGraph
 from repro.models.property import PropertyGraph
@@ -184,6 +191,7 @@ class DurableGraph:
         self._directory = directory
         self._read_only = read_only
         self._closed = False
+        self._failed = False
         self._fsync = fsync
         self._batch_size = batch_size
         self._snapshot_every = snapshot_every
@@ -237,17 +245,21 @@ class DurableGraph:
     def _write_meta(self) -> None:
         path = os.path.join(self._directory, META_NAME)
         tmp = path + ".tmp"
-        with open(tmp, "w", encoding="utf-8") as handle:
-            json.dump({"format": META_FORMAT, "version": META_VERSION,
-                       "model": self._model}, handle)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.rename(tmp, path)
+        try:
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump({"format": META_FORMAT, "version": META_VERSION,
+                           "model": self._model}, handle)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.rename(tmp, path)
+        except OSError as error:
+            raise StorageError(
+                f"cannot write store metadata {path}: {error}") from error
         wal.fsync_directory(self._directory)
 
     def _fresh_base(self, loaded: snap.SnapshotLoad | None):
         """The replay starting point: snapshot graph (fast-forwarded) or empty."""
-        if loaded is None:
+        if loaded is None or loaded.graph is None:
             return MODELS[self._model]()
         graph = loaded.graph
         expected = MODELS[self._model]
@@ -261,24 +273,24 @@ class DurableGraph:
     def _recover(self) -> None:
         report = RecoveryReport(model=self._model)
         loaded = snap.load_latest_snapshot(self._directory)
-        if loaded is not None:
+        report.snapshots_rejected = loaded.rejected
+        if loaded.graph is not None:
             report.snapshot_version = loaded.version
             report.snapshot_path = loaded.path
-            report.snapshots_rejected = loaded.rejected
-        else:
-            rejected = [(path, "no valid snapshot candidates remained")
-                        for _, path in snap.list_snapshots(self._directory)]
-            report.snapshots_rejected = rejected
         graph = self._fresh_base(loaded)
 
         segments = wal.list_segments(self._directory)
         entries: list[wal.WalEntry] = []
+        origins: list[tuple[int, int]] = []  # per entry: (segment, offset)
+        scans: list[wal.WalScan] = []
         stop_reason = None
         stop_segment_index = len(segments)
         for index, (_, _, path) in enumerate(segments):
             report.segments_scanned += 1
             scan = wal.read_wal(path)
+            scans.append(scan)
             entries.extend(scan.entries)
+            origins.extend((index, offset) for offset in scan.offsets)
             if scan.truncated is not None:
                 stop_reason = scan.truncated
                 stop_segment_index = index
@@ -287,93 +299,152 @@ class DurableGraph:
                     wal.repair(path, scan)
                 break
 
-        replayed, skipped, replay_stop = self._replay(graph, entries, loaded)
-        if replay_stop is not None and stop_reason is None:
-            stop_reason = replay_stop
-            # Replay rejected an entry inside an intact segment: nothing
-            # after it can be trusted either.
-            stop_segment_index = min(stop_segment_index, len(segments) - 1)
+        replayed, skipped, replay_stop, stop_entry = self._replay(
+            graph, entries, loaded)
         report.entries_replayed = replayed
         report.entries_skipped = skipped
+
+        if replay_stop is not None:
+            # Replay rejected a CRC-valid entry: repair the stop point on
+            # disk, exactly as for a torn frame.  The owning segment is
+            # truncated at the rejected record's frame (the discarded
+            # bytes preserved in a quarantine file, never silently
+            # replayed) *before* the fresh writer attaches — otherwise
+            # every future recovery would re-stop here and silently drop
+            # writes acknowledged after this open.
+            stop_reason = replay_stop
+            seg_index, start_offset = origins[stop_entry]
+            stop_segment_index = seg_index
+            scan = scans[seg_index]
+            seg_path = segments[seg_index][2]
+            report.truncated_bytes += scan.valid_bytes - start_offset
+            if not self._read_only:
+                report.quarantined.append(self._quarantine_tail(
+                    seg_path, start_offset, scan.valid_bytes))
+                wal.repair(seg_path, wal.WalScan(
+                    entries=[], valid_bytes=start_offset,
+                    total_bytes=scan.valid_bytes))
         report.truncated_reason = stop_reason
 
-        if stop_reason is not None and not self._read_only:
+        if stop_reason is not None:
             for _, _, path in segments[stop_segment_index + 1:]:
-                report.quarantined.append(self._quarantine(path))
-        elif stop_reason is not None:
-            report.quarantined = [path for _, _, path in
-                                  segments[stop_segment_index + 1:]]
+                report.quarantined.append(
+                    path if self._read_only else self._quarantine(path))
 
         self._graph = graph
         report.final_version = graph.version
         self.recovery = report
 
     def _replay(self, graph, entries: list[wal.WalEntry],
-                loaded: snap.SnapshotLoad | None):
-        """Apply WAL entries onto ``graph``; returns (replayed, skipped, stop).
+                loaded: snap.SnapshotLoad):
+        """Apply WAL entries onto ``graph``.
 
-        Entries at or below the current version are skipped (snapshot
-        overlap and duplicate-version records are both normal after a
-        crash between checkpoint steps).  An entry that cannot be applied,
-        or whose version stamp disagrees with the version the graph
-        actually reached, stops replay — the remainder is unreachable
-        history, handled by the caller.  A version mismatch discovered
-        *after* applying rolls back by replaying the known-good prefix
-        onto a fresh base, so the recovered graph never includes the
-        mismatched op.
+        Returns ``(replayed, skipped, stop_reason, stop_index)`` where
+        ``stop_index`` locates the rejected entry in ``entries`` (``None``
+        for a clean replay) so the caller can repair the segment it came
+        from.  Entries at or below the current version are skipped
+        (snapshot overlap and duplicate-version records are both normal
+        after a crash between checkpoint steps).  An entry that cannot be
+        applied, or whose version stamp disagrees with the version the
+        graph actually reached, stops replay — the remainder is
+        unreachable history, handled by the caller.  A version mismatch
+        discovered *after* applying rolls back by replaying the
+        known-good prefix onto a fresh base, so the recovered graph never
+        includes the mismatched op.
         """
         replayed = 0
         skipped = 0
         good: list[wal.WalEntry] = []
-        for entry in entries:
+        for index, entry in enumerate(entries):
             if entry.version <= graph.version:
                 skipped += 1
                 continue
             if entry.op not in REPLAYABLE_OPS:
-                return replayed, skipped, f"unknown op {entry.op!r}"
+                return replayed, skipped, f"unknown op {entry.op!r}", index
             if entry.op in _PROPERTY_OPS and self._model != "property":
                 return (replayed, skipped,
-                        f"op {entry.op!r} invalid for model {self._model!r}")
+                        f"op {entry.op!r} invalid for model {self._model!r}",
+                        index)
             try:
                 getattr(graph, entry.op)(*entry.args)
             except (ReproError, TypeError) as error:
-                return replayed, skipped, f"replay of {entry.op} failed: {error}"
+                return (replayed, skipped,
+                        f"replay of {entry.op} failed: {error}", index)
             if graph.version != entry.version:
                 rebuilt = self._fresh_base(
                     snap.load_latest_snapshot(self._directory)
-                    if loaded is not None else None)
+                    if loaded.graph is not None else None)
                 for prior in good:
                     getattr(rebuilt, prior.op)(*prior.args)
                 graph.__dict__.update(rebuilt.__dict__)
                 return (replayed, skipped,
                         f"version stamp mismatch at {entry.op} "
-                        f"(expected {entry.version}, got {graph.version})")
+                        f"(expected {entry.version}, got {graph.version})",
+                        index)
             good.append(entry)
             replayed += 1
-        return replayed, skipped, None
+        return replayed, skipped, None, None
 
-    def _quarantine(self, path: str) -> str:
+    def _quarantine_target(self, path: str) -> str:
         target = path + ".quarantined"
         suffix = 0
         while os.path.exists(target):
             suffix += 1
             target = f"{path}.quarantined{suffix}"
+        return target
+
+    def _quarantine(self, path: str) -> str:
+        target = self._quarantine_target(path)
         os.rename(path, target)
+        return target
+
+    def _quarantine_tail(self, path: str, start: int, end: int) -> str:
+        """Preserve bytes ``[start, end)`` of a segment before truncation.
+
+        The quarantine file holds the rejected record and everything after
+        it in the segment — frames only, no magic, so it can never be
+        mistaken for (or listed as) a live segment.
+        """
+        target = self._quarantine_target(path)
+        with open(path, "rb") as source:
+            source.seek(start)
+            tail = source.read(max(0, end - start))
+        with open(target, "wb") as handle:
+            handle.write(tail)
+            handle.flush()
+            os.fsync(handle.fileno())
+        wal.fsync_directory(self._directory)
         return target
 
     # -- the durable write path --------------------------------------------
 
+    def _check_usable(self) -> None:
+        if self._closed:
+            raise StorageError("store is closed")
+        if self._failed:
+            raise StorageError(
+                "store failed after an unrecoverable WAL write error; "
+                "reopen to recover the acknowledged state")
+
     def _mutate(self, op: str, args: list) -> None:
         if self._read_only:
             raise StorageError("store was opened read-only")
-        if self._closed:
-            raise StorageError("store is closed")
+        self._check_usable()
         _canonical_args(args)
         pre_version = self._graph.version
         getattr(self._graph, op)(*args)
         if self._graph.version == pre_version:
             return  # elided no-op: nothing happened, nothing to make durable
-        self._writer.append(self._graph.version, op, args)
+        try:
+            self._writer.append(self._graph.version, op, args)
+        except WalWriteError:
+            # The in-memory graph is now ahead of the log.  Accepting more
+            # writes would log them with version stamps that skip the lost
+            # one, guaranteeing a replay stop on recovery — poison the
+            # store instead, so the failure surfaces here, not as silent
+            # data loss at the next open.
+            self._failed = True
+            raise
         self._ops_since_checkpoint += 1
         if self._snapshot_every is not None \
                 and self._ops_since_checkpoint >= self._snapshot_every:
@@ -461,9 +532,12 @@ class DurableGraph:
         """
         if self._read_only:
             raise StorageError("store was opened read-only")
-        if self._closed:
-            raise StorageError("store is closed")
-        self._writer.flush()
+        self._check_usable()
+        try:
+            self._writer.flush()
+        except WalWriteError:
+            self._failed = True  # durability of acked writes now unknown
+            raise
         version = self._graph.version
         path = snap.write_snapshot(self._directory, self._graph, version)
         self._writer.close()
@@ -497,15 +571,25 @@ class DurableGraph:
 
     def flush(self) -> None:
         """Fsync the WAL now, regardless of policy."""
-        if not self._read_only and not self._closed:
+        if self._read_only or self._closed:
+            return
+        self._check_usable()
+        try:
             self._writer.flush()
+        except WalWriteError:
+            self._failed = True
+            raise
 
     def close(self) -> None:
         if self._closed:
             return
         self._closed = True
         if self._writer is not None:
-            self._writer.close()
+            # A failed store must not fsync on the way out: the flush
+            # would likely raise again (masking the original error in
+            # ``__exit__``), and nothing after the poison point was
+            # acknowledged anyway.
+            self._writer.close(flush=not self._failed)
 
     def abort(self) -> None:
         """Drop the store without flushing anything — a simulated crash.
@@ -554,6 +638,7 @@ class DurableGraph:
             "nodes": self._graph.node_count(),
             "edges": self._graph.edge_count(),
             "read_only": self._read_only,
+            "failed": self._failed,
             "snapshots": [version for version, _ in
                           snap.list_snapshots(self._directory)],
             "segments": len(wal.list_segments(self._directory)),

@@ -77,21 +77,29 @@ def write_snapshot(directory: str, graph, version: int) -> str:
 
 @dataclass
 class SnapshotLoad:
-    """The newest valid snapshot, plus every newer one that failed checks."""
+    """The newest valid snapshot, plus every newer one that failed checks.
 
-    graph: object
+    ``graph is None`` means no candidate validated at all (a WAL-only or
+    fresh store, or every snapshot corrupt) — ``rejected`` still carries
+    the per-file reason each candidate was refused, so recovery reports
+    the real diagnostics (CRC mismatch vs unreadable vs decode failure)
+    instead of a generic stub.
+    """
+
+    graph: object | None
     version: int
-    path: str
+    path: str | None
     rejected: list[tuple[str, str]] = field(default_factory=list)
 
 
-def load_latest_snapshot(directory: str) -> SnapshotLoad | None:
+def load_latest_snapshot(directory: str) -> SnapshotLoad:
     """Newest snapshot that passes format, CRC and decode validation.
 
     Invalid candidates are skipped (recorded in ``rejected``) — corruption
     in the latest snapshot degrades recovery to the previous one plus a
-    longer WAL replay, never to a crash.  ``None`` when no snapshot is
-    usable (a WAL-only or fresh store).
+    longer WAL replay, never to a crash.  When no snapshot is usable the
+    returned :class:`SnapshotLoad` has ``graph=None`` and ``rejected``
+    listing why every candidate was refused.
     """
     rejected: list[tuple[str, str]] = []
     for version, path in list_snapshots(directory):
@@ -112,7 +120,7 @@ def load_latest_snapshot(directory: str) -> SnapshotLoad | None:
             continue
         return SnapshotLoad(graph=graph, version=version, path=path,
                             rejected=rejected)
-    return None
+    return SnapshotLoad(graph=None, version=0, path=None, rejected=rejected)
 
 
 def _validate(document, version_from_name: int) -> str | None:

@@ -51,7 +51,7 @@ import re
 import struct
 import time
 import zlib
-from dataclasses import dataclass
+from dataclasses import dataclass, field as dataclasses_field
 
 from repro.errors import WalCorruptionError, WalWriteError
 from repro.exec.faults import StorageIO
@@ -115,13 +115,17 @@ class WalScan:
     ``valid_bytes`` is the boundary after the last validated record;
     ``truncated`` is ``None`` for a clean scan, else a human-readable
     reason why the scan stopped early (the tail past ``valid_bytes`` is
-    torn or corrupt).
+    torn or corrupt).  ``offsets[i]`` is the byte offset of ``entries[i]``'s
+    frame header — recovery uses it to truncate a segment at a record that
+    is CRC-valid yet unreplayable, so the rejection point is repaired on
+    disk instead of re-stopping every future recovery.
     """
 
     entries: list[WalEntry]
     valid_bytes: int
     total_bytes: int
     truncated: str | None = None
+    offsets: list[int] = dataclasses_field(default_factory=list)
 
 
 def read_wal(path: str) -> WalScan:
@@ -150,6 +154,7 @@ def read_wal(path: str) -> WalScan:
         raise WalCorruptionError(f"{path}: not a WAL segment (bad magic)")
 
     entries: list[WalEntry] = []
+    offsets: list[int] = []
     offset = len(MAGIC)
     truncated = None
     while offset < len(data):
@@ -181,9 +186,11 @@ def read_wal(path: str) -> WalScan:
             truncated = "malformed record shape"
             break
         entries.append(WalEntry(decoded[0], decoded[1], decoded[2]))
+        offsets.append(offset)
         offset = end
     return WalScan(entries=entries, valid_bytes=offset,
-                   total_bytes=len(data), truncated=truncated)
+                   total_bytes=len(data), truncated=truncated,
+                   offsets=offsets)
 
 
 def repair(path: str, scan: WalScan) -> int:

@@ -30,7 +30,7 @@ import signal
 
 import pytest
 
-from repro.errors import ReproError, WalWriteError
+from repro.errors import ReproError, StorageError, WalWriteError
 from repro.exec.faults import BufferedDiskIO, FlakyIO, TornWriteIO, WriteCrash
 from repro.models.property import PropertyGraph
 from repro.storage import DurableGraph
@@ -383,3 +383,30 @@ class TestFlakyIO:
         recovered = recover(directory)
         scan_clean = matching_prefix_length(recovered, ops)
         assert scan_clean == 5
+
+    def test_wal_write_error_poisons_the_store_until_reopen(self, tmp_path):
+        """After a WalWriteError the in-memory graph is ahead of the log.
+        Accepting more writes would stamp them past the lost version and
+        wedge every future recovery at the gap — the store must refuse
+        them until reopened."""
+        ops = make_workload(random.Random(13), count=8)
+        directory = str(tmp_path / "s")
+        store = DurableGraph.open(directory, fsync="always", retries=1,
+                                  backoff=0.0)
+        for op, args in ops[:5]:
+            getattr(store, op)(*args)
+        store._writer._io = FlakyIO(fail_writes=10)
+        with pytest.raises(WalWriteError):
+            getattr(store, ops[5][0])(*ops[5][1])
+        with pytest.raises(StorageError, match="reopen"):
+            store.add_node("after-failure", "a", None)
+        with pytest.raises(StorageError, match="reopen"):
+            store.checkpoint()
+        assert store.stats()["failed"]
+        store.close()  # a failed store closes without raising
+        with DurableGraph.open(directory, fsync="always") as reopened:
+            assert reopened.recovery.clean
+            assert matching_prefix_length(reopened.graph, ops) == 5
+            reopened.add_node("post-reopen", "a", None)
+            expected = reopened.graph.copy()
+        assert recover(directory) == expected

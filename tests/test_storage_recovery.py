@@ -171,7 +171,35 @@ class TestRecoveryShapes:
             report = store.recovery
             assert not report.clean
             assert len(report.snapshots_rejected) == 1
+            # The real per-file diagnostic survives into the report, not
+            # a generic "no valid candidates" stub.
+            _, reason = report.snapshots_rejected[0]
+            assert "unreadable" in reason
             assert store.graph.node_count() == 0
+
+    def test_no_valid_snapshot_keeps_each_rejection_reason(self, tmp_path):
+        """load_latest_snapshot with zero valid candidates still reports
+        why each one was refused (CRC mismatch vs unreadable vs ...)."""
+        from repro.storage import load_latest_snapshot
+        from repro.storage.snapshot import SNAPSHOT_FORMAT
+
+        directory = str(tmp_path)
+        with open(os.path.join(directory, "snapshot-2.json"), "w",
+                  encoding="utf-8") as handle:
+            handle.write("not json at all")
+        with open(os.path.join(directory, "snapshot-4.json"), "w",
+                  encoding="utf-8") as handle:
+            json.dump({"format": SNAPSHOT_FORMAT, "version": 1,
+                       "graph_version": 4, "crc32": 123,
+                       "graph": "bytes that do not match the crc"}, handle)
+        loaded = load_latest_snapshot(directory)
+        assert loaded.graph is None
+        assert loaded.path is None
+        assert loaded.version == 0
+        reasons = {os.path.basename(path): reason
+                   for path, reason in loaded.rejected}
+        assert "checksum mismatch" in reasons["snapshot-4.json"]
+        assert "unreadable" in reasons["snapshot-2.json"]
 
     def test_mid_history_corruption_quarantines_later_segments(self,
                                                                tmp_path):
@@ -196,6 +224,115 @@ class TestRecoveryShapes:
         leftover = [name for name in os.listdir(directory)
                     if name.endswith(".quarantined")]
         assert leftover
+
+
+class TestReplayStopRepair:
+    """A CRC-valid but unreplayable record must be repaired *on disk*.
+
+    The high-severity failure mode this pins: without repair, recovery
+    re-stops at the same record on every open, so any write acknowledged
+    through the fresh writer afterward lives past the stop point in the
+    combined replay order and silently vanishes at the next open — even
+    under ``fsync=always``.
+    """
+
+    INJECTIONS = {
+        "unknown op": lambda v: ("evil_op", []),
+        "version stamp mismatch": lambda v: ("add_node", ["z", "a", None]),
+        "replay of remove_node failed": lambda v: ("remove_node", ["ghost"]),
+    }
+
+    @pytest.mark.parametrize("reason", sorted(INJECTIONS))
+    def test_acks_after_recovered_with_loss_open_survive(self, tmp_path,
+                                                         reason):
+        directory = str(tmp_path / "s")
+        with DurableGraph.open(directory, fsync="always") as store:
+            populate(store)
+            version = store.version
+            expected = store.graph.copy()
+        seg = list_segments(directory)[-1][2]
+        op, args = self.INJECTIONS[reason](version)
+        stamp = version + 9 if reason == "version stamp mismatch" \
+            else version + 1
+        with open(seg, "ab") as handle:
+            handle.write(encode_entry(stamp, op, args))
+        with DurableGraph.open(directory, fsync="always") as store:
+            report = store.recovery
+            assert not report.clean
+            assert reason in report.truncated_reason
+            assert report.truncated_bytes > 0
+            assert report.quarantined, "rejected tail must be preserved"
+            assert store.graph == expected
+            store.add_node("survivor", "a", None)
+            survivor_expected = store.graph.copy()
+        # The rejected record was physically truncated: re-recovery is
+        # clean and replays through to the post-repair acknowledgement.
+        with DurableGraph.open(directory) as store:
+            assert store.recovery.clean
+            assert store.graph == survivor_expected
+            assert store.node_label("survivor") == "a"
+
+    def test_rejected_record_is_gone_but_quarantined(self, tmp_path):
+        directory = str(tmp_path / "s")
+        with DurableGraph.open(directory, fsync="always") as store:
+            populate(store)
+            version = store.version
+        seg = list_segments(directory)[-1][2]
+        evil = encode_entry(version + 1, "evil_op", ["payload"])
+        with open(seg, "ab") as handle:
+            handle.write(evil)
+        with DurableGraph.open(directory) as store:
+            quarantined = list(store.recovery.quarantined)
+        scan = read_wal(seg)
+        assert scan.truncated is None
+        assert all(entry.op != "evil_op" for entry in scan.entries)
+        assert len(quarantined) == 1
+        with open(quarantined[0], "rb") as handle:
+            assert handle.read() == evil
+
+    def test_mid_history_replay_stop_quarantines_later_segments(self,
+                                                                tmp_path):
+        directory = str(tmp_path / "s")
+        with DurableGraph.open(directory, fsync="always") as store:
+            populate(store)
+            version = store.version
+            expected = store.graph.copy()
+        with DurableGraph.open(directory, fsync="always") as store:
+            store.add_node("later", "a", None)  # lives in segment 2
+        segments = list_segments(directory)
+        assert len(segments) >= 2
+        first = segments[0][2]
+        with open(first, "ab") as handle:
+            handle.write(encode_entry(version + 1, "evil_op", []))
+        with DurableGraph.open(directory, fsync="always") as store:
+            report = store.recovery
+            # Segment 2 follows the hole: quarantined wholesale, on top
+            # of the rejected tail of segment 1.
+            assert len(report.quarantined) == 2
+            assert store.graph == expected
+            store.add_node("survivor", "a", None)
+            survivor_expected = store.graph.copy()
+        with DurableGraph.open(directory) as store:
+            assert store.recovery.clean
+            assert store.graph == survivor_expected
+
+    def test_read_only_reports_replay_stop_without_repairing(self, tmp_path):
+        directory = str(tmp_path / "s")
+        with DurableGraph.open(directory, fsync="always") as store:
+            populate(store)
+            version = store.version
+        seg = list_segments(directory)[-1][2]
+        with open(seg, "ab") as handle:
+            handle.write(encode_entry(version + 1, "evil_op", []))
+        before = {name: os.path.getsize(os.path.join(directory, name))
+                  for name in os.listdir(directory)}
+        with DurableGraph.open(directory, read_only=True) as store:
+            assert not store.recovery.clean
+            assert "unknown op" in store.recovery.truncated_reason
+            assert store.recovery.truncated_bytes > 0
+        after = {name: os.path.getsize(os.path.join(directory, name))
+                 for name in os.listdir(directory)}
+        assert before == after
 
 
 class TestContentFidelity:
@@ -347,3 +484,15 @@ class TestCheckpointHousekeeping:
             json.dump({"format": "something-else"}, handle)
         with pytest.raises(StorageError):
             DurableGraph.open(directory)
+
+    def test_meta_write_failure_is_a_storage_error(self, tmp_path):
+        """An unwritable meta file surfaces as StorageError (the CLI's
+        exit-4 class), not a raw OSError — mirroring write_snapshot."""
+        directory = tmp_path / "s"
+        directory.mkdir()
+        # A directory squatting on the temp path makes open(..., "w")
+        # fail with an OSError regardless of uid (chmod tricks don't
+        # bind when the suite runs as root).
+        (directory / "store.json.tmp").mkdir()
+        with pytest.raises(StorageError, match="store metadata"):
+            DurableGraph.open(str(directory))
