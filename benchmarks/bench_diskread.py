@@ -1,0 +1,150 @@
+"""Experiment R7 — cold-start time-to-first-result on the mmap CSR path.
+
+A checkpointed store directory can be opened two ways: materialize the
+graph (snapshot load + WAL tail replay via ``DurableGraph.open``) or map
+the CSR segment file (``open_latest_segments``) and decode only the
+labels the first query touches.  This benchmark times both from a cold
+process-equivalent start — directory on disk, nothing in memory — until
+the first RPQ answer set is produced, at several graph sizes.
+
+Both paths must return the *same* answer set before their timings are
+reported; the mmap row also records how many label segments it decoded
+(the laziness the speedup comes from).
+
+Run as a script to produce ``benchmarks/BENCH_diskread.json``:
+
+    PYTHONPATH=src python benchmarks/bench_diskread.py [--quick] [--out PATH]
+"""
+
+import json
+import sys
+import tempfile
+import time
+
+from repro.bench import Experiment, report_metadata
+from repro.core.rpq import endpoint_pairs
+from repro.core.rpq.parser import parse_regex
+from repro.datasets import generate_contact_graph
+from repro.storage import DurableGraph, open_latest_segments
+
+#: The first query a cold consumer asks: two-hop contact reachability.
+#: Its footprint is a single label out of the four the dataset carries,
+#: so the lazy path should decode exactly one segment.
+QUERY = "contact/contact*"
+
+SIZES_QUICK = (50, 200)
+SIZES_FULL = (50, 200, 800, 2000)
+
+
+def build_store(directory: str, n_people: int) -> dict:
+    """Checkpoint a contact graph into ``directory``; return its shape."""
+    graph = generate_contact_graph(n_people, max(n_people // 40, 2),
+                                   max(n_people // 3, 4), 2, rng=61)
+    with DurableGraph.open(directory, model="property") as store:
+        store.ingest(graph)
+        store.checkpoint()
+    return {"nodes": graph.node_count(), "edges": graph.edge_count(),
+            "labels": len(graph.edge_label_set())}
+
+
+def time_mmap_first_result(directory: str) -> dict:
+    regex = parse_regex(QUERY)
+    start = time.perf_counter()
+    with open_latest_segments(directory) as backend:
+        pairs = endpoint_pairs(backend, regex)
+        seconds = time.perf_counter() - start
+        return {"seconds": seconds, "pairs": pairs,
+                "decoded_labels": len(backend.decoded_labels())}
+
+
+def time_replay_first_result(directory: str) -> dict:
+    regex = parse_regex(QUERY)
+    start = time.perf_counter()
+    with DurableGraph.open(directory, read_only=True) as store:
+        pairs = endpoint_pairs(store.graph, regex)
+        seconds = time.perf_counter() - start
+        return {"seconds": seconds, "pairs": pairs,
+                "entries_replayed": store.recovery.entries_replayed}
+
+
+def run_suite(out_path: str, *, sizes, reps: int) -> dict:
+    report = report_metadata()
+    report["query"] = QUERY
+    report["sizes"] = []
+    for n_people in sizes:
+        with tempfile.TemporaryDirectory() as scratch:
+            shape = build_store(scratch, n_people)
+            best_mmap, best_replay = None, None
+            for _ in range(max(reps, 1)):
+                mmap_run = time_mmap_first_result(scratch)
+                replay_run = time_replay_first_result(scratch)
+                assert mmap_run["pairs"] == replay_run["pairs"], \
+                    f"answer sets diverged at n_people={n_people}"
+                if best_mmap is None or mmap_run["seconds"] < best_mmap["seconds"]:
+                    best_mmap = mmap_run
+                if best_replay is None or replay_run["seconds"] < best_replay["seconds"]:
+                    best_replay = replay_run
+        report["sizes"].append({
+            "n_people": n_people,
+            **shape,
+            "answers": len(best_mmap["pairs"]),
+            "mmap_ttfr_s": best_mmap["seconds"],
+            "mmap_decoded_labels": best_mmap["decoded_labels"],
+            "replay_ttfr_s": best_replay["seconds"],
+            "speedup": best_replay["seconds"] / best_mmap["seconds"],
+        })
+
+    with open(out_path, "w") as handle:
+        json.dump(report, handle, indent=2)
+    return report
+
+
+# ---------------------------------------------------------------------------
+# pytest entry point: the R7 table for EXPERIMENTS.md
+# ---------------------------------------------------------------------------
+
+
+def test_cold_start_ttfr_table(record_experiment):
+    experiment = Experiment(
+        "R7", "cold-start time to first RPQ result: mmap CSR vs snapshot+replay",
+        headers=["people", "edges", "mmap ms", "replay ms", "labels decoded"])
+    for n_people in SIZES_QUICK:
+        with tempfile.TemporaryDirectory() as scratch:
+            shape = build_store(scratch, n_people)
+            mmap_run = time_mmap_first_result(scratch)
+            replay_run = time_replay_first_result(scratch)
+        # What the test pins is equivalence and laziness, not wall-clock:
+        # both cold starts produce the same answers, and the mmap path
+        # decoded only the single label the query footprint names.
+        assert mmap_run["pairs"] == replay_run["pairs"]
+        assert mmap_run["decoded_labels"] == 1
+        assert shape["labels"] > 1
+        experiment.add_row(
+            n_people, shape["edges"],
+            f"{mmap_run['seconds'] * 1000:.1f}",
+            f"{replay_run['seconds'] * 1000:.1f}",
+            f"{mmap_run['decoded_labels']}/{shape['labels']}")
+    record_experiment(experiment)
+
+
+def main(argv):
+    quick = "--quick" in argv
+    out_path = "benchmarks/BENCH_diskread.json"
+    if "--out" in argv:
+        out_path = argv[argv.index("--out") + 1]
+    report = run_suite(out_path,
+                       sizes=SIZES_QUICK if quick else SIZES_FULL,
+                       reps=1 if quick else 3)
+    for row in report["sizes"]:
+        print(f"  n={row['n_people']:<5} edges={row['edges']:<6} "
+              f"mmap={row['mmap_ttfr_s'] * 1000:8.2f}ms "
+              f"(decoded {row['mmap_decoded_labels']} label"
+              f"{'s' if row['mmap_decoded_labels'] != 1 else ''})  "
+              f"replay={row['replay_ttfr_s'] * 1000:8.2f}ms  "
+              f"speedup={row['speedup']:5.1f}x")
+    print(f"wrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -30,6 +30,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.cache.footprint import Footprint
+from repro.util import canonical_sort_key
 
 #: Sentinel distinguishing "no cached value" from a cached ``None``.
 MISS = object()
@@ -42,11 +43,15 @@ def nodes_key(nodes):
 
     ``None`` (unrestricted) stays ``None``; any iterable becomes a sorted
     tuple, so ``{1, 2}``, ``[2, 1]`` and ``(1, 2)`` key identically.  The
-    result is itself a valid ``start_nodes``/``end_nodes`` argument.
+    sort key is :func:`~repro.util.canonical_sort_key` — a bare ``repr``
+    sort is not a total order over mixed-type ids, so ``{1, "1"}``-style
+    restrictions would key by iteration order and split into duplicate
+    entries.  The result is itself a valid ``start_nodes``/``end_nodes``
+    argument.
     """
     if nodes is None:
         return None
-    return tuple(sorted(nodes, key=repr))
+    return tuple(sorted(nodes, key=canonical_sort_key))
 
 
 @dataclass

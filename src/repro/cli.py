@@ -31,9 +31,13 @@ holding a write-ahead log plus snapshots (DESIGN.md §4h)::
 
 ``--durable`` makes the query commands treat their graph argument as a
 store directory (opened read-only; recovery happens in memory, nothing on
-disk is repaired).  Exit status: 4 for an unusable store, and ``recover``
-exits 5 when the store was recovered but needed repairs (torn tail
-truncated, segments quarantined, or a corrupt snapshot skipped).
+disk is repaired).  ``--from-store`` also names a store directory but
+skips recovery entirely: queries are answered straight from the newest
+checkpoint's mmapped CSR segments (:mod:`repro.storage.diskread`) with no
+WAL replay and no full-graph materialization — the cold-start read path.
+Exit status: 4 for an unusable store, and ``recover`` exits 5 when the
+store was recovered but needed repairs (torn tail truncated, segments
+quarantined, or a corrupt snapshot skipped).
 """
 
 from __future__ import annotations
@@ -42,13 +46,15 @@ import argparse
 import json
 import sys
 
-from repro.errors import BudgetExceeded, ReproError, StorageError
+from repro.errors import (
+    BudgetExceeded,
+    ConversionError,
+    ReproError,
+    StorageError,
+)
 from repro.exec import Budget, Context
 from repro.models import figure2_property
-from repro.models.convert import labeled_to_rdf, property_to_labeled
 from repro.models.io import dumps, loads
-from repro.models.labeled import LabeledGraph
-from repro.models.property import PropertyGraph
 from repro.obs import (
     Metrics,
     Tracer,
@@ -57,7 +63,6 @@ from repro.obs import (
     explain_sparql,
 )
 from repro.query import run_cypher, run_pathql, run_sparql
-from repro.storage import PropertyGraphStore, TripleStore
 from repro.util import format_table
 
 # Exit code for a query stopped by its execution budget (2 is argparse's).
@@ -159,7 +164,15 @@ def _resolve_graph(args: argparse.Namespace):
     read-only (recovery runs in memory, nothing on disk is modified) and
     the recovered in-memory graph is returned.  A non-clean recovery is
     noted on stderr but still served — the recovered prefix is consistent.
+
+    With ``--from-store`` the store's newest checkpoint CSR segments are
+    mmapped and queried directly: no WAL replay, no snapshot ``loads()``,
+    the cold-start read path of :mod:`repro.storage.diskread`.
     """
+    if getattr(args, "from_store", False):
+        from repro.storage import open_latest_segments
+
+        return open_latest_segments(args.graph)
     if getattr(args, "durable", False):
         from repro.storage import DurableGraph
 
@@ -230,13 +243,14 @@ def _cmd_pathql(args: argparse.Namespace) -> int:
 
 
 def _cmd_sparql(args: argparse.Namespace) -> int:
+    from repro.query.sparql import store_for_graph
+
     graph = _resolve_graph(args)
-    if isinstance(graph, PropertyGraph):
-        graph = property_to_labeled(graph)
-    if not isinstance(graph, LabeledGraph):
+    try:
+        store = store_for_graph(graph)
+    except ConversionError:
         print("sparql needs a labeled or property graph file", file=sys.stderr)
         return 2
-    store = TripleStore.from_graph(labeled_to_rdf(graph))
     ctx = _make_context(args)
     if args.explain or args.explain_json:
         return _print_explain(
@@ -259,12 +273,15 @@ def _cmd_sparql(args: argparse.Namespace) -> int:
 
 
 def _cmd_cypher(args: argparse.Namespace) -> int:
+    from repro.query.cypherish import store_for_graph
+
     graph = _resolve_graph(args)
-    if not isinstance(graph, PropertyGraph):
+    try:
+        store = store_for_graph(graph)
+    except ConversionError:
         print("cypher needs a property graph file", file=sys.stderr)
         return 2
     ctx = _make_context(args)
-    store = PropertyGraphStore(graph)
     if args.explain or args.explain_json:
         return _print_explain(
             explain_cypher(store, args.query, engine=args.engine), args)
@@ -529,11 +546,20 @@ def build_parser() -> argparse.ArgumentParser:
                  "1 or unset runs serially")
 
     def add_durable_flag(subparser: argparse.ArgumentParser) -> None:
-        subparser.add_argument(
+        group = subparser.add_mutually_exclusive_group()
+        group.add_argument(
             "--durable", action="store_true",
             help="treat GRAPH as a durable store directory (WAL + "
                  "snapshots); recovery runs in memory, read-only — exit "
                  f"status {EXIT_STORAGE_ERROR} if the store is unusable")
+        group.add_argument(
+            "--from-store", action="store_true",
+            help="treat GRAPH as a durable store directory and answer "
+                 "from its newest checkpoint's CSR segments via mmap — "
+                 "no WAL replay, no full materialization (mutations since "
+                 "the last checkpoint are not visible; run 'checkpoint' "
+                 f"first) — exit status {EXIT_STORAGE_ERROR} if no usable "
+                 "segments exist")
 
     def add_cache_flags(subparser: argparse.ArgumentParser) -> None:
         subparser.add_argument(

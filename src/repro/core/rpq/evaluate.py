@@ -60,6 +60,11 @@ def footprint_edge_count(graph, nfa: NFA) -> int | None:
             if candidates is None:
                 return None
             labels |= candidates
+    # Disk-backed graphs answer per-label counts from the segment header
+    # (no decode); counting via edges_with_label would defeat laziness.
+    counter = getattr(graph, "label_edge_count", None)
+    if counter is not None:
+        return sum(counter(label) for label in labels)
     return sum(sum(1 for _ in graph.edges_with_label(label))
                for label in labels)
 

@@ -38,6 +38,19 @@ class GraphArrays:
 
     def __init__(self, graph) -> None:
         np = numpy_or_none()
+        builder = getattr(graph, "csr_arrays", None)
+        if builder is not None:
+            # Disk-backed graphs (``MmapCsrBackend``) already store the
+            # CSR form this class builds: int32 endpoint arrays mapped
+            # off the segment file and per-label position ranges.  Take
+            # them wholesale instead of re-deriving edge by edge.
+            self.nodes, self.edges, self.src, self.dst, \
+                self.label_positions = builder()
+            self.index = {node: i for i, node in enumerate(self.nodes)}
+            self.n = len(self.nodes)
+            self.m = len(self.edges)
+            self.version = getattr(graph, "version", None)
+            return
         self.nodes = list(graph.nodes())
         self.index = {node: i for i, node in enumerate(self.nodes)}
         self.n = len(self.nodes)

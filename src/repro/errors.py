@@ -115,6 +115,18 @@ class SnapshotError(StorageError):
     """No usable snapshot/metadata could be read or written."""
 
 
+class SegmentError(StorageError):
+    """A CSR segment file could not be written, opened or decoded.
+
+    Covers the disk-read path of :mod:`repro.storage.diskread`: a missing
+    or truncated segment file, a bad magic/header, and CRC mismatches
+    discovered when a lazily-read segment is first decoded.  Like snapshot
+    corruption, this is survivable at open time (an older segment file can
+    be used) but fatal once a backend is serving queries — a backend never
+    silently substitutes data for a frame that fails its checksum.
+    """
+
+
 class EngineUnavailableError(ReproError):
     """An explicitly requested evaluation engine cannot run here.
 

@@ -22,6 +22,7 @@ from repro.errors import ConversionError, GraphDecodeError, GraphError
 from repro.models.labeled import LabeledGraph
 from repro.models.property import PropertyGraph
 from repro.models.vector import VectorGraph, VectorSchema
+from repro.util import canonical_sort_key
 
 
 @contextmanager
@@ -61,10 +62,10 @@ def property_graph_to_dict(graph: PropertyGraph) -> dict[str, Any]:
     nodes = [
         {"id": node, "label": graph.node_label(node),
          "properties": graph.node_properties(node)}
-        for node in sorted(graph.nodes(), key=str)
+        for node in sorted(graph.nodes(), key=canonical_sort_key)
     ]
     edges = []
-    for edge in sorted(graph.edges(), key=str):
+    for edge in sorted(graph.edges(), key=canonical_sort_key):
         source, target = graph.endpoints(edge)
         edges.append({"id": edge, "source": source, "target": target,
                       "label": graph.edge_label(edge),
@@ -111,9 +112,9 @@ def labeled_graph_from_dict(data: dict[str, Any]) -> LabeledGraph:
 
 def vector_graph_to_dict(graph: VectorGraph) -> dict[str, Any]:
     nodes = [{"id": node, "vector": list(graph.node_vector(node))}
-             for node in sorted(graph.nodes(), key=str)]
+             for node in sorted(graph.nodes(), key=canonical_sort_key)]
     edges = []
-    for edge in sorted(graph.edges(), key=str):
+    for edge in sorted(graph.edges(), key=canonical_sort_key):
         source, target = graph.endpoints(edge)
         edges.append({"id": edge, "source": source, "target": target,
                       "vector": list(graph.edge_vector(edge))})
@@ -176,4 +177,4 @@ def loads(text: str) -> LabeledGraph | PropertyGraph | VectorGraph:
         return property_graph_from_dict(data)
     if model == "labeled":
         return labeled_graph_from_dict(data)
-    raise ConversionError(f"unknown model tag: {model!r}")
+    raise GraphDecodeError(f"unknown model tag: {model!r}", field="model")

@@ -30,8 +30,10 @@ from repro.core.rpq.nfa import compile_regex
 #: Schema version stamped into every exported report.
 #: v2 added the ``cache`` details section (key family, label footprint,
 #: target version) for every frontend; the ``engine`` details section
-#: (requested/chosen engine, reason, kernel layout) is additive within v2 —
-#: readers that ignore unknown detail keys keep working.
+#: (requested/chosen engine, reason, kernel layout) and the ``backend``
+#: section (where the answers live: in-memory model vs mmapped CSR
+#: segments) are additive within v2 — readers that ignore unknown detail
+#: keys keep working.
 EXPLAIN_SCHEMA_VERSION = 2
 
 
@@ -253,8 +255,10 @@ def explain_pathql(graph, text: str, *, governed: bool = False,
                            "(emission order and seeded randomness are part "
                            "of the answer)"))
     from repro.cache import pathql_footprint
+    from repro.storage.backend import backend_note
 
     details["cache"] = _cache_section("pathql", pathql_footprint(query), graph)
+    details["backend"] = backend_note(graph)
     if query.mode == "count" and governed:
         strategy = "governed degradation ladder (exact -> FPRAS -> lower bound)"
         remainder_after_exact = 1.0 - exact_share
@@ -332,8 +336,10 @@ def explain_sparql(store, text: str, *, engine: str = "auto") -> ExplainReport:
         "engine": _engine_section(engine, n_nodes=len(store.resources())),
     }
     from repro.cache import sparql_footprint
+    from repro.storage.backend import backend_note
 
     details["cache"] = _cache_section("sparql", sparql_footprint(query), store)
+    details["backend"] = backend_note(store)
     return ExplainReport(
         "sparql", text,
         "backtracking BGP join, greedy selectivity order (SPO/POS/OSP indexes)",
@@ -409,8 +415,10 @@ def explain_cypher(store, text: str, *, engine: str = "auto") -> ExplainReport:
                                     "returns walk multiplicities")
     details["engine"] = engine_section
     from repro.cache import cypher_footprint
+    from repro.storage.backend import backend_note
 
     details["cache"] = _cache_section("cypher", cypher_footprint(query), store)
+    details["backend"] = backend_note(store)
     return ExplainReport(
         "cypher", text,
         "backtracking pattern match over label/property indexes",

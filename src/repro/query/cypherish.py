@@ -706,14 +706,19 @@ def store_for_graph(graph) -> PropertyGraphStore:
     """Build the indexed :class:`PropertyGraphStore` this engine queries.
 
     Cypher's data model *is* the property graph, so no conversion is
-    offered: anything else raises
+    offered: the input must be a :class:`~repro.models.PropertyGraph` or a
+    :class:`~repro.storage.GraphBackend` carrying the property read
+    surface (``node_properties`` — e.g. the disk-backed CSR reader over a
+    property store's segments); anything else raises
     :class:`~repro.errors.ConversionError`.  Shared by the CLI and the
     batch engine so both reject the same inputs with the same error.
     """
     from repro.errors import ConversionError
     from repro.models import PropertyGraph
+    from repro.storage.backend import is_graph_backend
 
-    if not isinstance(graph, PropertyGraph):
+    if not isinstance(graph, PropertyGraph) and not (
+            is_graph_backend(graph) and hasattr(graph, "node_properties")):
         raise ConversionError(
             f"cypher needs a property graph, got {type(graph).__name__}")
     return PropertyGraphStore(graph)

@@ -819,12 +819,20 @@ def store_for_graph(graph) -> TripleStore:
         property_to_labeled,
     )
 
+    from repro.storage.backend import is_graph_backend
+
     if isinstance(graph, PropertyGraph):
         graph = property_to_labeled(graph)
     if isinstance(graph, LabeledGraph):
         graph = labeled_to_rdf(graph)
     if not isinstance(graph, RDFGraph):
-        raise ConversionError(
-            f"sparql needs a labeled, property or RDF graph, "
-            f"got {type(graph).__name__}")
+        if is_graph_backend(graph):
+            # A GraphBackend (e.g. the disk-backed CSR reader) exposes the
+            # same read surface the conversion consumes — triples form by
+            # iterating it, decoding segments as they are touched.
+            graph = labeled_to_rdf(graph)
+        else:
+            raise ConversionError(
+                f"sparql needs a labeled, property or RDF graph, "
+                f"got {type(graph).__name__}")
     return TripleStore.from_graph(graph)

@@ -18,8 +18,31 @@ write-ahead log (:mod:`repro.storage.wal`), atomic snapshots
 (:mod:`repro.storage.snapshot`) and the :class:`DurableGraph` adapter that
 recovers a crash-interrupted store to a consistent prefix of its
 acknowledged mutations.
+
+The *disk-read* substrate (DESIGN.md §4i) completes the pair: checkpoints
+also emit mmap-able CSR segments (:mod:`repro.storage.diskread`) that a
+cold start can query through :class:`MmapCsrBackend` without
+materializing the graph, behind the :class:`GraphBackend` protocol
+(:mod:`repro.storage.backend`) that all evaluation layers bind to.
 """
 
+from repro.storage.backend import (
+    GraphBackend,
+    backend_note,
+    is_graph_backend,
+    label_candidates,
+    missing_backend_attrs,
+)
+from repro.storage.diskread import (
+    MmapCsrBackend,
+    MmapCsrPropertyBackend,
+    list_segment_files,
+    open_latest_segments,
+    open_segments,
+    prune_segment_files,
+    segments_name,
+    write_segments,
+)
 from repro.storage.triple_store import TripleStore
 from repro.storage.property_store import PropertyGraphStore
 from repro.storage.durable import (
@@ -48,6 +71,19 @@ from repro.storage.wal import (
 )
 
 __all__ = [
+    "GraphBackend",
+    "backend_note",
+    "is_graph_backend",
+    "label_candidates",
+    "missing_backend_attrs",
+    "MmapCsrBackend",
+    "MmapCsrPropertyBackend",
+    "write_segments",
+    "open_segments",
+    "open_latest_segments",
+    "list_segment_files",
+    "prune_segment_files",
+    "segments_name",
     "TripleStore",
     "PropertyGraphStore",
     "DurableGraph",

@@ -52,6 +52,7 @@ from repro.errors import ReproError, StorageError, WalWriteError
 from repro.exec.faults import StorageIO
 from repro.models.labeled import LabeledGraph
 from repro.models.property import PropertyGraph
+from repro.storage import diskread
 from repro.storage import snapshot as snap
 from repro.storage import wal
 
@@ -540,6 +541,12 @@ class DurableGraph:
             raise
         version = self._graph.version
         path = snap.write_snapshot(self._directory, self._graph, version)
+        # The disk-read half of the checkpoint: CSR segments a cold start
+        # can mmap and query without replaying this store into memory.
+        # Written after the snapshot so a crash in between still leaves a
+        # recoverable (snapshot-only) checkpoint.
+        diskread.write_segments(self._directory, self._graph, version,
+                                model=self._model)
         self._writer.close()
         last_seq = max((seq for seq, _, _ in
                         wal.list_segments(self._directory)), default=0)
@@ -554,6 +561,8 @@ class DurableGraph:
 
     def _prune(self) -> None:
         snap.prune_snapshots(self._directory, keep=self._keep_snapshots)
+        diskread.prune_segment_files(self._directory,
+                                     keep=self._keep_snapshots)
         retained = snap.list_snapshots(self._directory)
         if not retained:
             return

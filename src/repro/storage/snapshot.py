@@ -68,10 +68,10 @@ def write_snapshot(directory: str, graph, version: int) -> str:
             handle.flush()
             os.fsync(handle.fileno())
         os.rename(tmp_path, final_path)
+        fsync_directory(directory)
     except OSError as error:
         raise SnapshotError(
             f"cannot write snapshot {final_path}: {error}") from error
-    fsync_directory(directory)
     return final_path
 
 

@@ -1,11 +1,13 @@
 """Shared utilities: deterministic RNG helpers, hashing, small statistics."""
 
+from repro.util.keys import canonical_sort_key
 from repro.util.rng import DEFAULT_SEED, make_default_rng, make_rng
 from repro.util.stats import chi_square_uniform, mean, relative_error, stddev
 from repro.util.tables import format_table
 
 __all__ = [
     "DEFAULT_SEED",
+    "canonical_sort_key",
     "make_default_rng",
     "make_rng",
     "mean",

@@ -1,0 +1,24 @@
+"""Canonical ordering for heterogeneous id collections.
+
+Node and edge ids may be any hashable value, and several layers need to
+order them *deterministically* regardless of insertion or iteration order:
+the serializer (:func:`repro.models.io.dumps` sorts nodes/edges so equal
+graphs produce byte-identical documents and therefore snapshot CRCs), the
+query cache (:func:`repro.cache.result_cache.nodes_key` canonicalizes
+start/end-node restrictions), and the on-disk CSR segment writer
+(:mod:`repro.storage.diskread`).
+
+Sorting by ``str`` or ``repr`` alone is not a total order on mixed-type
+ids: ``str(1) == str("1")`` and values of different types can share a
+``repr``, so Python's stable sort falls back to input order for the tie —
+making the "canonical" form depend on how the collection happened to be
+iterated.  The composite ``(type name, repr)`` key breaks every such
+cross-type tie; within one built-in type, equal reprs imply equal values.
+"""
+
+from __future__ import annotations
+
+
+def canonical_sort_key(value: object) -> tuple[str, str]:
+    """A total-order sort key over mixed-type ids: ``(type name, repr)``."""
+    return (type(value).__name__, repr(value))

@@ -367,3 +367,61 @@ class TestQueryCache:
             graph.add_node(f"n{index}")
         assert cache.lookup(graph, "k") is MISS
         assert cache.stats()["stale"] == 1
+
+
+class _ReprCollider:
+    """A hashable id whose repr collides with ``repr(1)`` — the case a
+    bare ``key=repr`` sort cannot totally order."""
+
+    def __repr__(self):
+        return "1"
+
+    def __hash__(self):
+        return 99991
+
+    def __eq__(self, other):
+        return isinstance(other, _ReprCollider)
+
+
+class TestNodesKeyCanonicalOrder:
+    def test_repr_colliding_ids_key_identically(self):
+        collider = _ReprCollider()
+        assert nodes_key([1, collider]) == nodes_key([collider, 1])
+
+    def test_mixed_type_ids_key_identically(self):
+        assert nodes_key([1, "1", 2, "2"]) == nodes_key(["2", 2, "1", 1])
+
+    def test_canonical_key_orders_by_type_then_repr(self):
+        key = nodes_key(["b", 2, "a", 1])
+        assert key == (1, 2, "a", "b")
+
+
+class TestQueryCacheCanonicalRestrictionKeys:
+    def _graph(self):
+        graph = LabeledGraph()
+        for node in (1, "1", 2):
+            graph.add_node(node, "x")
+        graph.add_edge("e", 1, "1", "r")
+        return graph
+
+    def test_one_entry_for_reordered_mixed_restrictions(self):
+        """The same logical {1, "1"} restriction, iterated two ways, must
+        file under one cache entry — not split into duplicate entries
+        with spurious misses."""
+        graph = self._graph()
+        cache = QueryCache()
+        first = ("pairs", "r", nodes_key([1, "1"]))
+        second = ("pairs", "r", nodes_key(["1", 1]))
+        cache.store(graph, first, Footprint(edge_labels=frozenset("r")), 42)
+        assert cache.lookup(graph, second) == 42
+        assert len(cache) == 1
+        cache.store(graph, second, Footprint(edge_labels=frozenset("r")), 42)
+        assert len(cache) == 1
+
+    def test_repr_colliding_restriction_is_order_insensitive(self):
+        graph = self._graph()
+        collider = _ReprCollider()
+        cache = QueryCache()
+        cache.store(graph, ("k", nodes_key([1, collider])), Footprint(), 7)
+        assert cache.lookup(graph, ("k", nodes_key([collider, 1]))) == 7
+        assert len(cache) == 1

@@ -222,3 +222,98 @@ class TestGraphDecodeError:
         # Callers that caught ConversionError before the split keep working.
         with pytest.raises(ConversionError):
             loads("not json")
+
+
+class TestUnknownModelTag:
+    """The tag check is part of the decode contract: typed error, field
+    context, and a snapshot-recovery rejection reason that keeps the
+    document coordinate."""
+
+    def test_unknown_model_tag_is_a_decode_error_with_field(self):
+        with pytest.raises(GraphDecodeError) as excinfo:
+            loads('{"model": "hypergraph"}')
+        assert excinfo.value.field == "model"
+        assert "(at model)" in str(excinfo.value)
+
+    def test_tag_corrupted_snapshot_rejection_keeps_coordinate(self, tmp_path):
+        import json
+        import zlib
+
+        from repro.storage import load_latest_snapshot
+        from repro.storage.snapshot import (
+            SNAPSHOT_FORMAT,
+            SNAPSHOT_VERSION,
+        )
+
+        graph_text = '{"model": "hypergraph", "nodes": [], "edges": []}'
+        with open(tmp_path / "snapshot-3.json", "w",
+                  encoding="utf-8") as handle:
+            json.dump({"format": SNAPSHOT_FORMAT,
+                       "version": SNAPSHOT_VERSION, "graph_version": 3,
+                       "crc32": zlib.crc32(graph_text.encode("utf-8")),
+                       "graph": graph_text}, handle)
+        loaded = load_latest_snapshot(str(tmp_path))
+        assert loaded.graph is None
+        assert len(loaded.rejected) == 1
+        _, reason = loaded.rejected[0]
+        assert "unknown model tag" in reason
+        assert "(at model)" in reason
+
+
+class TestDumpOrderStability:
+    """`dumps` must be a function of graph *content*: ids ``1`` and ``"1"``
+    tie under ``key=str``, so a bare str sort made dump bytes (and
+    therefore snapshot CRCs) depend on insertion order."""
+
+    NODES = [(1, "person"), ("1", "person"), (2, "bus"), ("2", "bus")]
+    EDGES = [("e", 1, "1", "knows"), ("E", "1", 2, "knows"),
+             (0, "2", 1, "likes"), ("0", 2, "2", "likes")]
+
+    def _labeled(self, node_order, edge_order):
+        graph = LabeledGraph()
+        for node, label in node_order:
+            graph.add_node(node, label)
+        for eid, source, target, label in edge_order:
+            graph.add_edge(eid, source, target, label)
+        return graph
+
+    def test_labeled_dump_is_insertion_order_independent(self):
+        forward = self._labeled(self.NODES, self.EDGES)
+        backward = self._labeled(self.NODES[::-1], self.EDGES[::-1])
+        assert dumps(forward) == dumps(backward)
+
+    def test_shuffled_property_dumps_are_byte_identical(self):
+        rng = random.Random(17)
+        reference = None
+        for _ in range(6):
+            nodes = list(self.NODES)
+            edges = list(self.EDGES)
+            rng.shuffle(nodes)
+            rng.shuffle(edges)
+            graph = PropertyGraph()
+            for node, label in nodes:
+                graph.add_node(node, label, {"k": repr(node)})
+            for eid, source, target, label in edges:
+                graph.add_edge(eid, source, target, label, {})
+            text = dumps(graph)
+            if reference is None:
+                reference = text
+            assert text == reference
+
+    def test_vector_dump_is_insertion_order_independent(self):
+        def build(order):
+            graph = VectorGraph(2)
+            for node, _ in order:
+                graph.add_node(node, [0.0, 1.0])
+            graph.add_edge("e", 1, "1", [1.0, 0.0])
+            return graph
+
+        assert dumps(build(self.NODES)) == dumps(build(self.NODES[::-1]))
+
+    def test_mixed_id_round_trip_preserves_content(self):
+        graph = self._labeled(self.NODES, self.EDGES)
+        back = loads(dumps(graph))
+        assert set(back.nodes()) == set(graph.nodes())
+        assert set(back.edges()) == set(graph.edges())
+        for edge in graph.edges():
+            assert back.endpoints(edge) == graph.endpoints(edge)

@@ -17,7 +17,7 @@ import os
 
 import pytest
 
-from repro.errors import StorageError
+from repro.errors import SnapshotError, StorageError
 from repro.models.labeled import LabeledGraph
 from repro.models.property import PropertyGraph
 from repro.storage import (
@@ -496,3 +496,36 @@ class TestCheckpointHousekeeping:
         (directory / "store.json.tmp").mkdir()
         with pytest.raises(StorageError, match="store metadata"):
             DurableGraph.open(str(directory))
+
+
+class TestSnapshotWriteFailures:
+    """The rename/dir-fsync tail of write_snapshot is inside the OSError
+    net: a failure there is a SnapshotError (StorageError, the CLI's
+    exit-4 class), never a raw OSError escaping the storage layer."""
+
+    def _graph(self):
+        graph = LabeledGraph()
+        graph.add_node("a", "person")
+        return graph
+
+    def test_failing_dir_fsync_raises_snapshot_error(self, tmp_path, monkeypatch):
+        from repro.storage import snapshot as snapshot_module
+
+        def broken_fsync(directory):
+            raise OSError("injected: cannot fsync directory")
+
+        monkeypatch.setattr(snapshot_module, "fsync_directory", broken_fsync)
+        with pytest.raises(SnapshotError) as excinfo:
+            snapshot_module.write_snapshot(str(tmp_path), self._graph(), 1)
+        assert "cannot write snapshot" in str(excinfo.value)
+        assert "injected" in str(excinfo.value)
+
+    def test_failing_rename_raises_snapshot_error(self, tmp_path, monkeypatch):
+        from repro.storage import snapshot as snapshot_module
+
+        def broken_rename(src, dst):
+            raise OSError("injected: rename refused")
+
+        monkeypatch.setattr(snapshot_module.os, "rename", broken_rename)
+        with pytest.raises(SnapshotError):
+            snapshot_module.write_snapshot(str(tmp_path), self._graph(), 1)
