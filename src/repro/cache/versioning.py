@@ -8,12 +8,17 @@ bounded record of *what kind of thing* each mutation touched — edge labels,
 node labels, property names, feature indices, and whether the node/edge
 *structure* changed at all.
 
-The log deliberately does not store node or edge identities.  Invalidation
-(:meth:`MutationLog.intersects_since`) is decided purely on the label level,
-matching the theory: an RPQ's answer can only change when a mutation touches
-a label in the expression's *label footprint* (see
-:mod:`repro.cache.footprint`).  Identities would buy little extra precision
-for typical footprints and would make records unboundedly large.
+Invalidation (:meth:`MutationLog.intersects_since`) is decided purely on
+the label level, matching the theory: an RPQ's answer can only change when a
+mutation touches a label in the expression's *label footprint* (see
+:mod:`repro.cache.footprint`).  For label-based invalidation identities
+would buy little extra precision — but they are exactly what *incremental*
+maintenance and time travel need, so each record also carries a small
+``payload`` tuple naming the mutated object (and, for destructive
+mutations, enough of its old state to restore it).  Payload shapes are a
+per-``kind`` convention owned by the model layer that wrote the record;
+consumers (:mod:`repro.ivm`) treat records whose kind they do not know
+conservatively.  Payloads stay O(mutated object), never O(graph).
 
 A logical mutation may append more than one record — each layer of the model
 hierarchy logs the part it owns (structure at the base, labels in
@@ -91,9 +96,36 @@ class MutationRecord:
     features: frozenset = frozenset()
     structural_edges: bool = False
     structural_nodes: bool = False
+    #: Identity (and old-state) of the mutated object, shaped per ``kind``
+    #: — e.g. ``(edge, source, target, label)`` for ``"remove_edge.label"``.
+    #: Empty for records written before payloads existed or by layers that
+    #: do not support replay; consumers must fall back conservatively then.
+    payload: tuple = ()
 
 
 _EMPTY: frozenset = frozenset()
+
+
+class _Absent:
+    """Sentinel for "the property had no value" in old-state payloads.
+
+    Distinct from ``None`` because ``None`` is a storable property value;
+    restoring ``ABSENT`` means *deleting* the property.
+    """
+
+    _instance = None
+
+    def __new__(cls) -> "_Absent":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "ABSENT"
+
+
+#: Old-value marker in property payloads: the property did not exist.
+ABSENT = _Absent()
 
 
 class MutationLog:
@@ -145,7 +177,8 @@ class MutationLog:
                properties: Iterable = (),
                features: Iterable = (),
                structural_edges: bool = False,
-               structural_nodes: bool = False) -> int:
+               structural_nodes: bool = False,
+               payload: tuple = ()) -> int:
         """Append one record, bump the version, and return the new version."""
         self._version += 1
         self._records.append(MutationRecord(
@@ -157,6 +190,7 @@ class MutationLog:
             features=frozenset(features) if features else _EMPTY,
             structural_edges=structural_edges,
             structural_nodes=structural_nodes,
+            payload=payload,
         ))
         return self._version
 

@@ -186,6 +186,29 @@ def _resolve_graph(args: argparse.Namespace):
     return _load_graph(args.graph)
 
 
+def _apply_as_of(graph, args: argparse.Namespace):
+    """Time-travel the graph when ``--as-of N`` was given.
+
+    Returns the reconstructed graph (tagged ``as_of_version``), the
+    original graph when the flag is absent, or ``None`` after printing
+    the reason a reconstruction is impossible — a future version, a
+    version past the mutation log's retained window, or a graph with no
+    log at all (the mmapped ``--from-store`` read path) — a usage-level
+    failure, exit 2.
+    """
+    version = getattr(args, "as_of", None)
+    if version is None:
+        return graph
+    from repro.errors import TimeTravelError
+    from repro.ivm import as_of
+
+    try:
+        return as_of(graph, version)
+    except TimeTravelError as error:
+        print(f"--as-of {version}: {error}", file=sys.stderr)
+        return None
+
+
 def _validate_workers(args: argparse.Namespace) -> int | None:
     """Reject nonsensical --workers values; ``None`` means valid."""
     if args.workers is not None and args.workers < 1:
@@ -208,12 +231,15 @@ def _cmd_pathql(args: argparse.Namespace) -> int:
     invalid = _validate_workers(args)
     if invalid is not None:
         return invalid
-    graph = _resolve_graph(args)
+    graph = _apply_as_of(_resolve_graph(args), args)
+    if graph is None:
+        return 2
     ctx = _make_context(args)
     if args.explain or args.explain_json:
         return _print_explain(
             explain_pathql(graph, args.query, governed=ctx is not None,
-                           engine=args.engine), args)
+                           engine=args.engine,
+                           as_of=getattr(args, "as_of", None)), args)
     tracer = _make_tracer(args)
     pool = _make_pool(graph, args)
     cache = _make_cache(args)
@@ -245,7 +271,9 @@ def _cmd_pathql(args: argparse.Namespace) -> int:
 def _cmd_sparql(args: argparse.Namespace) -> int:
     from repro.query.sparql import store_for_graph
 
-    graph = _resolve_graph(args)
+    graph = _apply_as_of(_resolve_graph(args), args)
+    if graph is None:
+        return 2
     try:
         store = store_for_graph(graph)
     except ConversionError:
@@ -254,7 +282,8 @@ def _cmd_sparql(args: argparse.Namespace) -> int:
     ctx = _make_context(args)
     if args.explain or args.explain_json:
         return _print_explain(
-            explain_sparql(store, args.query, engine=args.engine), args)
+            explain_sparql(store, args.query, engine=args.engine,
+                           as_of=getattr(args, "as_of", None)), args)
     tracer = _make_tracer(args)
     cache = _make_cache(args)
     try:
@@ -275,7 +304,9 @@ def _cmd_sparql(args: argparse.Namespace) -> int:
 def _cmd_cypher(args: argparse.Namespace) -> int:
     from repro.query.cypherish import store_for_graph
 
-    graph = _resolve_graph(args)
+    graph = _apply_as_of(_resolve_graph(args), args)
+    if graph is None:
+        return 2
     try:
         store = store_for_graph(graph)
     except ConversionError:
@@ -284,7 +315,8 @@ def _cmd_cypher(args: argparse.Namespace) -> int:
     ctx = _make_context(args)
     if args.explain or args.explain_json:
         return _print_explain(
-            explain_cypher(store, args.query, engine=args.engine), args)
+            explain_cypher(store, args.query, engine=args.engine,
+                           as_of=getattr(args, "as_of", None)), args)
     tracer = _make_tracer(args)
     cache = _make_cache(args)
     try:
@@ -561,6 +593,14 @@ def build_parser() -> argparse.ArgumentParser:
                  f"first) — exit status {EXIT_STORAGE_ERROR} if no usable "
                  "segments exist")
 
+    def add_as_of_flag(subparser: argparse.ArgumentParser) -> None:
+        subparser.add_argument(
+            "--as-of", type=int, default=None, metavar="N",
+            help="evaluate against the graph as it stood at mutation-log "
+                 "version N (transaction-time travel, replayed from the "
+                 "bounded mutation log; exit 2 if N is outside the "
+                 "retained window)")
+
     def add_cache_flags(subparser: argparse.ArgumentParser) -> None:
         subparser.add_argument(
             "--cache", action="store_true",
@@ -580,6 +620,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_engine_flag(pathql)
     add_workers_flag(pathql)
     add_cache_flags(pathql)
+    add_as_of_flag(pathql)
     add_durable_flag(pathql)
     pathql.set_defaults(handler=_cmd_pathql)
 
@@ -590,6 +631,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_obs_flags(sparql)
     add_engine_flag(sparql)
     add_cache_flags(sparql)
+    add_as_of_flag(sparql)
     add_durable_flag(sparql)
     sparql.set_defaults(handler=_cmd_sparql)
 
@@ -600,6 +642,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_obs_flags(cypher)
     add_engine_flag(cypher)
     add_cache_flags(cypher)
+    add_as_of_flag(cypher)
     add_durable_flag(cypher)
     cypher.set_defaults(handler=_cmd_cypher)
 

@@ -188,6 +188,27 @@ class InvalidLengthError(ReproError, ValueError):
         self.value = value
 
 
+class ViewError(ReproError):
+    """A materialized view was registered or used inconsistently.
+
+    Raised when a view is served against a different target than it was
+    registered on, or a name is registered twice with a different query
+    (see :mod:`repro.ivm`).
+    """
+
+
+class TimeTravelError(ReproError):
+    """An ``AS OF version N`` evaluation could not be reconstructed.
+
+    Raised when the requested version lies in the future, when the
+    mutation log's bounded window no longer reaches back to it, or when a
+    record in the replay range carries no payload (pre-payload history or
+    a model layer that does not support replay).  Time travel never
+    guesses: a history that cannot be inverted exactly is an error, not an
+    approximation.
+    """
+
+
 class ExecutionError(ReproError):
     """Base class for execution-governance outcomes (see :mod:`repro.exec`)."""
 

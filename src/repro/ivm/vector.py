@@ -1,0 +1,76 @@
+"""Vectorized delta application against :class:`GraphArrays`.
+
+The scalar delta seeder of :class:`~repro.ivm.delta.IncrementalPairs`
+matches each net-new edge against each NFA transition with a per-edge
+Python ``matches_edge`` call — exactly right for the single-digit deltas of
+an interactive mutation stream.  For *bulk* deltas (a batch load landing
+thousands of edges) that inner loop dominates, and the adjacency-array
+snapshot the vector engine already maintains can answer all the membership
+questions at once: one boolean mask per transition over the edge-id array,
+indexed at the batch's positions.
+
+The helper is read-only over the shared
+:func:`~repro.core.rpq.vectorized.arrays.graph_arrays` cache — it never
+mutates a cached array in place (see the double-invalidation audit in
+DESIGN §4j: views and the cache share one mutation log, so a view that
+re-stamped or rewrote shared arrays would corrupt the other consumer's
+validity reasoning).  The arrays snapshot is rebuilt by its own cache on
+structural change, which costs O(m); that is why the bulk path only
+engages past a batch-size threshold where the rebuild amortizes.
+"""
+
+from __future__ import annotations
+
+try:  # pragma: no cover - exercised by presence/absence of numpy
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+#: Below this batch size the scalar per-edge loop wins (building the
+#: edge-position map alone costs O(m)); ``force=True`` (engine="vector")
+#: overrides it so tests can pin scalar == vector on small batches.
+MIN_BULK_EDGES = 64
+
+
+def numpy_available() -> bool:
+    return _np is not None
+
+
+def bulk_transition_matches(graph, transition_list, edge_ids, *,
+                            force: bool = False) -> dict | None:
+    """Which transitions each edge of a batch can fire, computed vectorized.
+
+    Returns ``{edge_id: set_of_transition_indices}`` (indices into
+    ``transition_list``, whose rows are ``(q1, test, inverse, q2)``), or
+    ``None`` when the bulk path should not run — no numpy, a too-small
+    batch without ``force``, or a graph the arrays builder cannot snapshot.
+    A ``None`` return means "use the scalar loop", never "no matches".
+    """
+    if _np is None:
+        return None
+    if not force and len(edge_ids) < MIN_BULK_EDGES:
+        return None
+    from repro.core.rpq.vectorized.arrays import graph_arrays
+    try:
+        arrays = graph_arrays(graph)
+    except Exception:
+        return None
+    position_of = {edge: index for index, edge in enumerate(arrays.edges)}
+    positions = []
+    batch = []
+    for edge in edge_ids:
+        position = position_of.get(edge)
+        if position is not None:
+            positions.append(position)
+            batch.append(edge)
+    matches: dict = {edge: set() for edge in batch}
+    if not batch:
+        return matches
+    index_array = _np.asarray(positions, dtype=_np.int64)
+    for t_index, (_q1, test, _inverse, _q2) in enumerate(transition_list):
+        mask = arrays.edge_mask(graph, test, use_label_index=True)
+        hits = mask[index_array]
+        for edge, hit in zip(batch, hits):
+            if hit:
+                matches[edge].add(t_index)
+    return matches

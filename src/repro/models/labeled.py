@@ -63,7 +63,8 @@ class LabeledGraph(MultiGraph):
             self._node_labels[node] = resolved
             self._nodes_by_label.setdefault(resolved, {})[node] = None
             self.mutation_log.record("add_node.label",
-                                     node_labels=(resolved,))
+                                     node_labels=(resolved,),
+                                     payload=(node, resolved))
         return node
 
     def add_edge(self, edge: Const, source: Const, target: Const,
@@ -72,7 +73,8 @@ class LabeledGraph(MultiGraph):
         resolved = DEFAULT_LABEL if label is None else label
         self._edge_labels[edge] = resolved
         self._index_edge(edge, source, target, resolved)
-        self.mutation_log.record("add_edge.label", edge_labels=(resolved,))
+        self.mutation_log.record("add_edge.label", edge_labels=(resolved,),
+                                 payload=(edge, source, target, resolved))
         return edge
 
     def remove_edge(self, edge: Const) -> None:
@@ -81,14 +83,16 @@ class LabeledGraph(MultiGraph):
         super().remove_edge(edge)
         del self._edge_labels[edge]
         self._unindex_edge(edge, source, target, label)
-        self.mutation_log.record("remove_edge.label", edge_labels=(label,))
+        self.mutation_log.record("remove_edge.label", edge_labels=(label,),
+                                 payload=(edge, source, target, label))
 
     def remove_node(self, node: Const) -> None:
         label = self.node_label(node)
         super().remove_node(node)
         del self._node_labels[node]
         self._discard_from_bucket(self._nodes_by_label, label, node)
-        self.mutation_log.record("remove_node.label", node_labels=(label,))
+        self.mutation_log.record("remove_node.label", node_labels=(label,),
+                                 payload=(node, label))
 
     def _index_edge(self, edge: Const, source: Const, target: Const,
                     label: Const) -> None:
@@ -128,7 +132,8 @@ class LabeledGraph(MultiGraph):
         self._node_labels[node] = label
         self._discard_from_bucket(self._nodes_by_label, old, node)
         self._nodes_by_label.setdefault(label, {})[node] = None
-        self.mutation_log.record("set_node_label", node_labels=(old, label))
+        self.mutation_log.record("set_node_label", node_labels=(old, label),
+                                 payload=(node, old, label))
 
     def set_edge_label(self, edge: Const, label: Const) -> None:
         source, target = self.endpoints(edge)
@@ -138,7 +143,8 @@ class LabeledGraph(MultiGraph):
         self._edge_labels[edge] = label
         self._unindex_edge(edge, source, target, old)
         self._index_edge(edge, source, target, label)
-        self.mutation_log.record("set_edge_label", edge_labels=(old, label))
+        self.mutation_log.record("set_edge_label", edge_labels=(old, label),
+                                 payload=(edge, old, label))
 
     def nodes_with_label(self, label: Const) -> Iterator[Const]:
         """All nodes n with lambda(n) = label (O(1) index hit)."""

@@ -58,7 +58,8 @@ class MultiGraph:
             self._nodes.add(node)
             self._out[node] = {}
             self._in[node] = {}
-            self.mutation_log.record("add_node", structural_nodes=True)
+            self.mutation_log.record("add_node", structural_nodes=True,
+                                     payload=(node,))
         return node
 
     def add_edge(self, edge: Const, source: Const, target: Const) -> Const:
@@ -75,7 +76,8 @@ class MultiGraph:
         self._edges[edge] = (source, target)
         self._out[source][edge] = None
         self._in[target][edge] = None
-        self.mutation_log.record("add_edge", structural_edges=True)
+        self.mutation_log.record("add_edge", structural_edges=True,
+                                 payload=(edge, source, target))
         return edge
 
     def remove_edge(self, edge: Const) -> None:
@@ -84,7 +86,8 @@ class MultiGraph:
         del self._edges[edge]
         del self._out[source][edge]
         del self._in[target][edge]
-        self.mutation_log.record("remove_edge", structural_edges=True)
+        self.mutation_log.record("remove_edge", structural_edges=True,
+                                 payload=(edge, source, target))
 
     def remove_node(self, node: Const) -> None:
         """Remove a node and every edge incident to it."""
@@ -95,7 +98,8 @@ class MultiGraph:
         self._nodes.discard(node)
         del self._out[node]
         del self._in[node]
-        self.mutation_log.record("remove_node", structural_nodes=True)
+        self.mutation_log.record("remove_node", structural_nodes=True,
+                                 payload=(node,))
 
     # -- inspection --------------------------------------------------------
 

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Mapping
 
+from repro.cache.versioning import ABSENT
 from repro.models.labeled import LabeledGraph
 from repro.models.multigraph import Const, MultiGraph
 
@@ -26,12 +27,24 @@ class PropertyGraph(LabeledGraph):
 
     def add_node(self, node: Const, label: Const | None = None,
                  properties: Mapping[Const, Const] | None = None) -> Const:
+        fresh = node not in self._node_props
         super().add_node(node, label)
         store = self._node_props.setdefault(node, {})
         if properties:
+            # Re-adding an existing node with properties is an in-place
+            # update; the payload then carries per-property old values so
+            # the write can be inverted, where a fresh node's payload only
+            # needs the values themselves (inversion deletes the node).
+            if fresh:
+                detail = (node, tuple(properties.items()), "fresh")
+            else:
+                detail = (node, tuple((prop, store.get(prop, ABSENT), value)
+                                      for prop, value in properties.items()),
+                          "update")
             store.update(properties)
             self.mutation_log.record("add_node.props",
-                                     properties=tuple(properties))
+                                     properties=tuple(properties),
+                                     payload=detail)
         return node
 
     def add_edge(self, edge: Const, source: Const, target: Const,
@@ -41,24 +54,33 @@ class PropertyGraph(LabeledGraph):
         self._edge_props[edge] = dict(properties) if properties else {}
         if properties:
             self.mutation_log.record("add_edge.props",
-                                     properties=tuple(properties))
+                                     properties=tuple(properties),
+                                     payload=(edge, source, target,
+                                              tuple(properties.items())))
         return edge
 
     def remove_edge(self, edge: Const) -> None:
+        source, target = self.endpoints(edge)
+        label = self.edge_label(edge)
         props = self._edge_props[edge] if edge in self._edge_props else {}
         super().remove_edge(edge)
         del self._edge_props[edge]
         if props:
             self.mutation_log.record("remove_edge.props",
-                                     properties=tuple(props))
+                                     properties=tuple(props),
+                                     payload=(edge, source, target, label,
+                                              tuple(props.items())))
 
     def remove_node(self, node: Const) -> None:
+        label = self.node_label(node)
         props = self._node_props.get(node, {})
         super().remove_node(node)
         del self._node_props[node]
         if props:
             self.mutation_log.record("remove_node.props",
-                                     properties=tuple(props))
+                                     properties=tuple(props),
+                                     payload=(node, label,
+                                              tuple(props.items())))
 
     # -- sigma -------------------------------------------------------------
 
@@ -67,16 +89,40 @@ class PropertyGraph(LabeledGraph):
         store = self._node_props[node]
         if prop in store and store[prop] == value:
             return
+        old = store.get(prop, ABSENT)
         store[prop] = value
-        self.mutation_log.record("set_node_property", properties=(prop,))
+        self.mutation_log.record("set_node_property", properties=(prop,),
+                                 payload=(node, prop, old, value))
 
     def set_edge_property(self, edge: Const, prop: Const, value: Const) -> None:
         self.endpoints(edge)
         store = self._edge_props[edge]
         if prop in store and store[prop] == value:
             return
+        old = store.get(prop, ABSENT)
         store[prop] = value
-        self.mutation_log.record("set_edge_property", properties=(prop,))
+        self.mutation_log.record("set_edge_property", properties=(prop,),
+                                 payload=(edge, prop, old, value))
+
+    def delete_node_property(self, node: Const, prop: Const) -> None:
+        """Make sigma(node, prop) undefined again; a missing prop is a no-op."""
+        self._require_node(node)
+        store = self._node_props[node]
+        if prop not in store:
+            return
+        old = store.pop(prop)
+        self.mutation_log.record("del_node_property", properties=(prop,),
+                                 payload=(node, prop, old))
+
+    def delete_edge_property(self, edge: Const, prop: Const) -> None:
+        """Make sigma(edge, prop) undefined again; a missing prop is a no-op."""
+        self.endpoints(edge)
+        store = self._edge_props[edge]
+        if prop not in store:
+            return
+        old = store.pop(prop)
+        self.mutation_log.record("del_edge_property", properties=(prop,),
+                                 payload=(edge, prop, old))
 
     def node_property(self, node: Const, prop: Const) -> Const | None:
         """sigma(node, prop), or None where sigma is undefined."""

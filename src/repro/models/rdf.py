@@ -75,6 +75,7 @@ class RDFGraph:
             self._by_subject.setdefault(subject, set()).add(triple)
             self._by_object.setdefault(obj, set()).add(triple)
             self.mutation_log.record("add_triple",
+                                     payload=(subject, predicate, obj),
                                      **_triple_record_fields(predicate, obj))
         return triple
 
@@ -85,6 +86,7 @@ class RDFGraph:
             self._discard_indexed(self._by_subject, subject, triple)
             self._discard_indexed(self._by_object, obj, triple)
             self.mutation_log.record("discard_triple",
+                                     payload=(subject, predicate, obj),
                                      **_triple_record_fields(predicate, obj))
 
     @staticmethod

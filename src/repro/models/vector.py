@@ -87,7 +87,8 @@ class VectorGraph(MultiGraph):
         if node not in self._node_vectors:
             self._node_vectors[node] = vector
             self.mutation_log.record("add_node.features",
-                                     features=self._all_features())
+                                     features=self._all_features(),
+                                     payload=(node, vector))
         return node
 
     def add_edge(self, edge: Const, source: Const, target: Const,
@@ -97,7 +98,8 @@ class VectorGraph(MultiGraph):
         self._edge_vectors[edge] = vector
         self._index_edge_vector(edge, source, target, vector)
         self.mutation_log.record("add_edge.features",
-                                 features=self._all_features())
+                                 features=self._all_features(),
+                                 payload=(edge, source, target, vector))
         return edge
 
     def remove_edge(self, edge: Const) -> None:
@@ -107,7 +109,8 @@ class VectorGraph(MultiGraph):
         del self._edge_vectors[edge]
         self._unindex_edge_vector(edge, source, target, vector)
         self.mutation_log.record("remove_edge.features",
-                                 features=self._all_features())
+                                 features=self._all_features(),
+                                 payload=(edge, source, target, vector))
 
     def _index_edge_vector(self, edge: Const, source: Const, target: Const,
                            vector: tuple[Const, ...]) -> None:
@@ -130,10 +133,13 @@ class VectorGraph(MultiGraph):
                 del index[key]
 
     def remove_node(self, node: Const) -> None:
+        self._require_node(node)
+        vector = self._node_vectors[node]
         super().remove_node(node)
         del self._node_vectors[node]
         self.mutation_log.record("remove_node.features",
-                                 features=self._all_features())
+                                 features=self._all_features(),
+                                 payload=(node, vector))
 
     def _all_features(self) -> range:
         """Every 1-based coordinate — an added/removed element carries a
@@ -166,7 +172,8 @@ class VectorGraph(MultiGraph):
             return
         self._node_vectors[node] = vector
         self.mutation_log.record("set_node_vector",
-                                 features=_changed_indices(old, vector))
+                                 features=_changed_indices(old, vector),
+                                 payload=(node, old, vector))
 
     def set_edge_vector(self, edge: Const, features: Sequence[Const]) -> None:
         source, target = self.endpoints(edge)
@@ -178,7 +185,8 @@ class VectorGraph(MultiGraph):
         self._unindex_edge_vector(edge, source, target, old)
         self._index_edge_vector(edge, source, target, vector)
         self.mutation_log.record("set_edge_vector",
-                                 features=_changed_indices(old, vector))
+                                 features=_changed_indices(old, vector),
+                                 payload=(edge, old, vector))
 
     # -- feature-indexed adjacency -----------------------------------------
 

@@ -32,8 +32,9 @@ from repro.core.rpq.nfa import compile_regex
 #: target version) for every frontend; the ``engine`` details section
 #: (requested/chosen engine, reason, kernel layout) and the ``backend``
 #: section (where the answers live: in-memory model vs mmapped CSR
-#: segments) are additive within v2 — readers that ignore unknown detail
-#: keys keep working.
+#: segments) and the ``view`` section (materialized-view registration,
+#: maintenance strategy, AS OF version pin) are additive within v2 —
+#: readers that ignore unknown detail keys keep working.
 EXPLAIN_SCHEMA_VERSION = 2
 
 
@@ -110,6 +111,30 @@ def _cache_section(key_family: str, footprint, target) -> dict:
         "policy": "store exact-quality results; hit while no "
                   "footprint-intersecting mutation is logged",
     }
+
+
+def _view_section(key, target, view, as_of) -> dict:
+    """The ``view`` details block (additive within schema v2).
+
+    Reports whether a :class:`~repro.ivm.ViewRegistry` passed as ``view=``
+    already materializes this query (and with which maintenance strategy),
+    and the transaction-time version an ``AS OF`` evaluation is pinned to —
+    taken from the explicit ``as_of`` argument or from a graph that was
+    itself produced by :func:`repro.ivm.as_of`.  ``strategy`` is ``None``
+    when no registry is in play.
+    """
+    if as_of is None:
+        as_of = getattr(target, "as_of_version", None)
+    section: dict = {"registered": False, "strategy": None, "as_of": as_of}
+    if view is not None:
+        found = view._by_key.get(key)
+        if found is not None:
+            section.update(registered=True, name=found.name,
+                           strategy=found.strategy,
+                           view_version=found.version)
+        else:
+            section["strategy"] = "auto-register on first run"
+    return section
 
 
 # ---------------------------------------------------------------------------
@@ -209,7 +234,8 @@ _MODE_STRATEGIES = {
 def explain_pathql(graph, text: str, *, governed: bool = False,
                    exact_share: float = 0.5,
                    approx_share: float = 0.8,
-                   engine: str = "auto") -> ExplainReport:
+                   engine: str = "auto", view=None,
+                   as_of: int | None = None) -> ExplainReport:
     """Strategy report for a PathQL statement (parsed, not executed)."""
     from repro.query.pathql import parse_pathql
 
@@ -259,6 +285,9 @@ def explain_pathql(graph, text: str, *, governed: bool = False,
 
     details["cache"] = _cache_section("pathql", pathql_footprint(query), graph)
     details["backend"] = backend_note(graph)
+    from repro.query.pathql import _canonical_key
+
+    details["view"] = _view_section(_canonical_key(query), graph, view, as_of)
     if query.mode == "count" and governed:
         strategy = "governed degradation ladder (exact -> FPRAS -> lower bound)"
         remainder_after_exact = 1.0 - exact_share
@@ -299,7 +328,8 @@ def _path_shape(path) -> str:
     return type(path).__name__
 
 
-def explain_sparql(store, text: str, *, engine: str = "auto") -> ExplainReport:
+def explain_sparql(store, text: str, *, engine: str = "auto", view=None,
+                   as_of: int | None = None) -> ExplainReport:
     """Strategy report for a mini-SPARQL query: join order + estimates."""
     from repro.query.sparql import _estimate, parse_sparql
 
@@ -340,6 +370,7 @@ def explain_sparql(store, text: str, *, engine: str = "auto") -> ExplainReport:
 
     details["cache"] = _cache_section("sparql", sparql_footprint(query), store)
     details["backend"] = backend_note(store)
+    details["view"] = _view_section(("sparql", text), store, view, as_of)
     return ExplainReport(
         "sparql", text,
         "backtracking BGP join, greedy selectivity order (SPO/POS/OSP indexes)",
@@ -361,7 +392,8 @@ def _term(term) -> str:
 # ---------------------------------------------------------------------------
 
 
-def explain_cypher(store, text: str, *, engine: str = "auto") -> ExplainReport:
+def explain_cypher(store, text: str, *, engine: str = "auto", view=None,
+                   as_of: int | None = None) -> ExplainReport:
     """Strategy report for a mini-Cypher query: candidate sources + expansions."""
     from repro.query.cypherish import parse_cypher
 
@@ -419,6 +451,7 @@ def explain_cypher(store, text: str, *, engine: str = "auto") -> ExplainReport:
 
     details["cache"] = _cache_section("cypher", cypher_footprint(query), store)
     details["backend"] = backend_note(store)
+    details["view"] = _view_section(("cypher", text), store, view, as_of)
     return ExplainReport(
         "cypher", text,
         "backtracking pattern match over label/property indexes",

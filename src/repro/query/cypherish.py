@@ -380,7 +380,7 @@ class CypherResult:
 
 
 def run_cypher(store: PropertyGraphStore, text: str, *,
-               ctx=None, tracer=None, cache=None,
+               ctx=None, tracer=None, cache=None, view=None,
                engine: str = "auto") -> CypherResult:
     """Parse and evaluate a query against a property-graph store.
 
@@ -409,7 +409,15 @@ def run_cypher(store: PropertyGraphStore, text: str, *,
     DISTINCT`` patterns that do not bind the relationship variable, so
     anything else (including a forced ``engine="vector"``) is demoted to
     scalar with the demotion recorded in the stats notes.
+
+    With a :class:`~repro.ivm.ViewRegistry` (``view=``), the query is
+    served from a continuously maintained materialized view bound to this
+    store (:class:`~repro.errors.ViewError` for any other target);
+    ``cache=`` is ignored for view-served queries — the view is the memo.
     """
+    if view is not None:
+        return view.serve_cypher(store, text, ctx=ctx, tracer=tracer,
+                                 engine=engine)
     if tracer is None:
         return _run_cypher(store, text, ctx, cache=cache, engine=engine)
     with tracer.span("parse", frontend="cypher"):

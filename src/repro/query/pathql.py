@@ -148,7 +148,7 @@ def parse_pathql(text: str) -> PathQuery:
 
 
 def run_pathql(graph, text: str, *, ctx=None, tracer=None,
-               pool=None, cache=None,
+               pool=None, cache=None, view=None,
                engine: str = "auto") -> PathQueryResult:
     """Parse and execute a PathQL statement against any graph model.
 
@@ -183,7 +183,18 @@ def run_pathql(graph, text: str, *, ctx=None, tracer=None,
     backward-layer sweep vectorizes); enumeration, sampling and the FPRAS
     are scalar by construction — their emission order and seeded
     randomness are part of the answer — so the flag is a no-op there.
+
+    With a :class:`~repro.ivm.ViewRegistry` (``view=``), the query is
+    served from a continuously maintained materialized view instead: it
+    auto-registers on first use and later runs answer from the view's
+    state, re-evaluating only when an intersecting mutation landed.  The
+    registry must be bound to this graph
+    (:class:`~repro.errors.ViewError` otherwise); ``cache=`` is ignored
+    for view-served queries — the view is the memo.
     """
+    if view is not None:
+        return view.serve_pathql(graph, text, ctx=ctx, tracer=tracer,
+                                 pool=pool, engine=engine)
     if tracer is None:
         return _run_pathql(graph, text, ctx, pool=pool, cache=cache,
                            engine=engine)

@@ -406,7 +406,8 @@ class SelectResult:
 
 
 def run_sparql(store: TripleStore, text: str, *, ctx=None,
-               tracer=None, cache=None, engine: str = "auto") -> SelectResult:
+               tracer=None, cache=None, view=None,
+               engine: str = "auto") -> SelectResult:
     """Parse and evaluate a query against a triple store.
 
     With an execution :class:`~repro.exec.Context` the backtracking join
@@ -433,7 +434,15 @@ def run_sparql(store: TripleStore, text: str, *, ctx=None,
     squaring, and ``"auto"`` (the default) picks by resource count.  The
     answer multiset is engine-independent; only the evaluation strategy
     (and its checkpoint granularity) changes.
+
+    With a :class:`~repro.ivm.ViewRegistry` (``view=``), the query is
+    served from a continuously maintained materialized view bound to this
+    store (:class:`~repro.errors.ViewError` for any other target);
+    ``cache=`` is ignored for view-served queries — the view is the memo.
     """
+    if view is not None:
+        return view.serve_sparql(store, text, ctx=ctx, tracer=tracer,
+                                 engine=engine)
     if tracer is None:
         return _run_sparql(store, text, ctx, cache=cache, engine=engine)
     with tracer.span("parse", frontend="sparql"):

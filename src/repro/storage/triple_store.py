@@ -58,6 +58,7 @@ class TripleStore:
         self._osp.setdefault(obj, {}).setdefault(subject, set()).add(predicate)
         self._size += 1
         self.mutation_log.record("add_triple",
+                                 payload=(subject, predicate, obj),
                                  **_triple_record_fields(predicate, obj))
         return True
 
@@ -74,6 +75,7 @@ class TripleStore:
         self._prune(self._pos, predicate, obj)
         self._prune(self._osp, obj, subject)
         self.mutation_log.record("remove_triple",
+                                 payload=(subject, predicate, obj),
                                  **_triple_record_fields(predicate, obj))
         return True
 

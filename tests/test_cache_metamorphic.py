@@ -258,3 +258,51 @@ def test_sparql_cache_metamorphic(seed):
                 (fresh.variables, fresh.rows), f"{where} sparql={text!r}"
         hits += cache.stats()["hits"]
     assert hits > SPARQL_INTERLEAVINGS / 10, f"suspiciously few hits: {hits}"
+
+
+# ---------------------------------------------------------------------------
+# IVM co-run: a registered view alongside the cache (PR 10)
+# ---------------------------------------------------------------------------
+
+VIEW_INTERLEAVINGS = 40
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_view_and_cache_agree_metamorphic(seed):
+    """Three evaluation paths, one answer: incremental view == cached ==
+    uncached, after every step of a mutation/query interleaving.
+
+    The cache revalidates by footprint restamping while the view absorbs
+    the same mutations as deltas; if either machinery observed a mutation
+    twice (double invalidation) or not at all, the three-way equality
+    breaks.
+    """
+    from repro.ivm import IncrementalPairs
+
+    rng = random.Random(840_000 + seed)
+    hits = 0
+    view_deltas = 0
+    for interleaving in range(VIEW_INTERLEAVINGS):
+        graph = random_property_graph(rng)
+        cache = QueryCache()
+        pool = [parse_regex(random_regex_text(rng)) for _ in range(2)]
+        views = [IncrementalPairs(graph, regex) for regex in pool]
+        for step in range(STEPS_PER_INTERLEAVING):
+            where = f"seed={seed} interleaving={interleaving} step={step}"
+            if rng.random() < 0.45:
+                move = random_mutation(rng, graph, f"v{interleaving}.{step}")
+                where += f" after={move}"
+                continue
+            which = rng.randrange(len(pool))
+            regex, view = pool[which], views[which]
+            from_view = view.pairs()
+            cached = endpoint_pairs(graph, regex, cache=cache)
+            uncached = endpoint_pairs(graph, regex)
+            assert from_view == cached == uncached, \
+                f"{where} regex={regex.to_text()!r} stats={view.stats}"
+        hits += cache.stats()["hits"]
+        view_deltas += sum(v.stats["delta_syncs"] for v in views)
+    # Both machineries must have been exercised, not bypassed.
+    assert hits > VIEW_INTERLEAVINGS / 10, f"suspiciously few hits: {hits}"
+    assert view_deltas > VIEW_INTERLEAVINGS / 2, \
+        f"suspiciously few delta syncs: {view_deltas}"

@@ -1,0 +1,189 @@
+"""Time-travel (`AS OF version N`) correctness against a replay oracle.
+
+The contract: ``as_of(graph, v)`` must equal the graph obtained by
+replaying the first mutations of the history onto a fresh copy of the
+base world — a *prefix-replay oracle*.  Since :meth:`MultiGraph.__eq__`
+compares full signatures (nodes, edges, labels, properties), graph
+equality at every version implies equality of every query answer; the
+matrix tests then make that implication concrete by running the
+22-shape x 3-frontend battery from ``tests.test_cross_frontend`` at each
+version checkpoint of a 50-mutation history, comparing the answers a
+time-traveled graph gives with the answers the oracle replay gives,
+frontend by frontend.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.datasets import generate_contact_graph
+from repro.errors import TimeTravelError
+from repro.ivm import as_of
+from repro.models import figure2_property
+from repro.query.cypherish import run_cypher
+from repro.query.cypherish import store_for_graph as cypher_store_for_graph
+from repro.query.pathql import run_pathql
+from repro.query.sparql import run_sparql
+from repro.query.sparql import store_for_graph as sparql_store_for_graph
+from tests.test_cross_frontend import SHAPES, _pathql_pairs, _table_pairs
+
+HISTORY_LENGTH = 50
+
+_WORLD_BUILDERS = {
+    "contact": lambda: generate_contact_graph(14, 3, 6, 2, rng=5),
+    "fig2": figure2_property,
+}
+
+
+def _scripted_ops(rng: random.Random, graph) -> list[tuple]:
+    """Mutate ``graph`` through HISTORY_LENGTH ops; return a replayable script.
+
+    Each entry is a concrete op tuple (no randomness left in it), so the
+    oracle can replay the exact history on a fresh copy of the base world.
+    """
+    edge_labels = sorted({graph.edge_label(e) for e in graph.edges()})
+    node_labels = sorted({graph.node_label(n) for n in graph.nodes()})
+    script: list[tuple] = []
+    fresh_nodes: list[str] = []  # script-added nodes with no incident edges
+    for i in range(HISTORY_LENGTH):
+        nodes = sorted(graph.nodes())
+        edges = sorted(graph.edges())
+        roll = rng.random()
+        if roll < 0.30:
+            op = ("add_edge", f"tt_e{i}", rng.choice(nodes),
+                  rng.choice(nodes), rng.choice(edge_labels))
+            fresh_nodes = [n for n in fresh_nodes if n not in op[2:4]]
+        elif roll < 0.45:
+            node = f"tt_n{i}"
+            op = ("add_node", node, rng.choice(node_labels))
+            fresh_nodes.append(node)
+        elif roll < 0.65 and edges:
+            op = ("remove_edge", rng.choice(edges))
+        elif roll < 0.72 and fresh_nodes:
+            op = ("remove_node", fresh_nodes.pop())
+        elif roll < 0.85:
+            op = ("set_node_property", rng.choice(nodes), "score", i)
+        elif edges:
+            op = ("set_edge_property", rng.choice(edges), "weight", i)
+        else:
+            op = ("set_node_property", rng.choice(nodes), "score", i)
+        _apply(graph, op)
+        script.append(op)
+    return script
+
+
+def _apply(graph, op: tuple) -> None:
+    kind = op[0]
+    if kind == "add_edge":
+        graph.add_edge(op[1], op[2], op[3], label=op[4])
+    elif kind == "add_node":
+        graph.add_node(op[1], op[2])
+    elif kind == "remove_edge":
+        graph.remove_edge(op[1])
+    elif kind == "remove_node":
+        graph.remove_node(op[1])
+    elif kind == "set_node_property":
+        graph.set_node_property(op[1], op[2], op[3])
+    elif kind == "set_edge_property":
+        graph.set_edge_property(op[1], op[2], op[3])
+    else:  # pragma: no cover - script generator bug
+        raise AssertionError(f"unknown op {op!r}")
+
+
+class TestPrefixReplayOracle:
+    """``as_of`` at every checkpoint of a 50-mutation history."""
+
+    @pytest.mark.parametrize("world", sorted(_WORLD_BUILDERS))
+    def test_every_version_matches_oracle(self, world: str) -> None:
+        graph = _WORLD_BUILDERS[world]()
+        base_version = graph.version
+        rng = random.Random(510_000 + len(world))
+        script = _scripted_ops(rng, graph)
+        checkpoints = _checkpoint_versions(world, script)
+        final = graph.version
+        oracle = _WORLD_BUILDERS[world]()
+        assert as_of(graph, base_version) == oracle
+        for (version, op) in zip(checkpoints, script):
+            _apply(oracle, op)
+            traveled = as_of(graph, version)
+            assert traveled == oracle, f"{world} v{version} after {op!r}"
+            assert traveled.as_of_version == version
+        # Travel must not disturb the live graph.
+        assert graph.version == final
+        assert as_of(graph, final) == graph
+
+    def test_out_of_range_versions_rejected(self) -> None:
+        graph = figure2_property()
+        with pytest.raises(TimeTravelError):
+            as_of(graph, graph.version + 1)
+        with pytest.raises(TimeTravelError):
+            as_of(graph, -1)
+
+    def test_truncated_history_rejected(
+            self, monkeypatch: pytest.MonkeyPatch) -> None:
+        monkeypatch.setenv("REPRO_LOG_HORIZON", "4")
+        graph = figure2_property()
+        early = graph.version
+        for i in range(8):
+            graph.set_node_property("n1", "score", i)
+        with pytest.raises(TimeTravelError):
+            as_of(graph, early)
+
+
+def _checkpoint_versions(world: str, script) -> list[int]:
+    """Version after each scripted op, recovered from a fresh replay.
+
+    One op can emit several mutation records (base + companions), so the
+    checkpoints are recomputed by replaying the script on a fresh world
+    and reading ``graph.version`` after each op.
+    """
+    probe = _WORLD_BUILDERS[world]()
+    versions = []
+    for op in script:
+        _apply(probe, op)
+        versions.append(probe.version)
+    return versions
+
+
+class TestTimeTravelMatrix:
+    """22-shape x 3-frontend equivalence at every history checkpoint."""
+
+    @pytest.mark.parametrize("world", sorted(_WORLD_BUILDERS))
+    def test_matrix_at_every_checkpoint(self, world: str) -> None:
+        shapes = [s for s in SHAPES if s[1] == world]
+        assert shapes, world
+        graph = _WORLD_BUILDERS[world]()
+        base_version = graph.version
+        rng = random.Random(510_000 + len(world))  # same script as above
+        script = _scripted_ops(rng, graph)
+        oracle = _WORLD_BUILDERS[world]()
+        checkpoints = _checkpoint_versions(world, script)
+        mismatches = []
+        for (version, op) in zip(checkpoints, script):
+            _apply(oracle, op)
+            traveled = as_of(graph, version)
+            t_stores = (sparql_store_for_graph(traveled),
+                        cypher_store_for_graph(traveled))
+            o_stores = (sparql_store_for_graph(oracle),
+                        cypher_store_for_graph(oracle))
+            for name, _, pathql, sparql, cypher in shapes:
+                checks = (
+                    ("pathql", _pathql_pairs(traveled, pathql),
+                     _pathql_pairs(oracle, pathql)),
+                    ("sparql", _table_pairs(run_sparql(t_stores[0], sparql).rows),
+                     _table_pairs(run_sparql(o_stores[0], sparql).rows)),
+                    ("cypher", _table_pairs(run_cypher(t_stores[1], cypher).rows),
+                     _table_pairs(run_cypher(o_stores[1], cypher).rows)),
+                )
+                for frontend, got, want in checks:
+                    if got != want:
+                        mismatches.append((version, name, frontend,
+                                           sorted(got), sorted(want)))
+        assert not mismatches, mismatches[:5]
+
+    def test_matrix_shape_coverage(self) -> None:
+        """The two worlds together cover the full 22-shape matrix."""
+        assert len(SHAPES) == 22
+        assert {s[1] for s in SHAPES} == set(_WORLD_BUILDERS)
